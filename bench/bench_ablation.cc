@@ -1,0 +1,319 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//   A. Wait-rescheduling threshold sweep (paper fixes 30 minutes, "about
+//      twice the expected average waiting time"; §3.3).
+//   B. Utilization-information staleness for the utilization-based initial
+//      scheduler (the paper notes exact implementation "can be impractical
+//      ... given the unavoidable propagation latency"; §3.2.2).
+//   C. Restart overhead (paper future work: "network delays and other
+//      rescheduling associated overheads"; §5).
+//   D. ResSusUtil's retain rule on/off (the worst-case guarantee of §3.2.1).
+//   E. Host-level resume-first vs strict pool-priority resumption.
+//   F. Extension selectors (§5: "multiple metrics ... queue lengths,
+//      prediction of job completion times"): shortest-queue and
+//      predicted-delay alternate-pool selection.
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "common/table.h"
+#include "core/load_predictor.h"
+#include "core/pool_selector.h"
+
+using namespace netbatch;
+
+namespace {
+
+runner::ExperimentConfig HighLoadConfig(double scale) {
+  runner::ExperimentConfig config;
+  config.scenario = runner::HighLoadScenario(scale);
+  // Ablations only read job-level aggregates; skip per-minute sampling.
+  config.sim_options.sampling_enabled = false;
+  return config;
+}
+
+void ThresholdSweep(double scale, const workload::Trace& trace) {
+  std::printf("--- A. Wait-rescheduling threshold sweep (ResSusWaitUtil, "
+              "high load) ---\n");
+  TextTable table({"Threshold (min)", "AvgCT Suspend", "AvgCT All", "AvgWCT",
+                   "Restarts"});
+  for (const int minutes : {5, 15, 30, 60, 120, 240}) {
+    runner::ExperimentConfig config = HighLoadConfig(scale);
+    config.policy = core::PolicyKind::kResSusWaitUtil;
+    config.policy_options.wait_threshold = MinutesToTicks(minutes);
+    const auto result = runner::RunExperimentOnTrace(config, trace);
+    table.AddRow({
+        std::to_string(minutes),
+        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
+        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+        std::to_string(result.report.reschedule_count),
+    });
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void StalenessSweep(double scale, const workload::Trace& trace) {
+  std::printf("--- B. Utilization-snapshot staleness (util initial "
+              "scheduler, ResSusUtil, high load) ---\n");
+  TextTable table({"Staleness (min)", "Suspend rate", "AvgCT All", "AvgWCT"});
+  for (const int minutes : {0, 5, 30, 120, 240}) {
+    runner::ExperimentConfig config = HighLoadConfig(scale);
+    config.scheduler = runner::InitialSchedulerKind::kUtilization;
+    config.scheduler_staleness = MinutesToTicks(minutes);
+    config.policy = core::PolicyKind::kResSusUtil;
+    const auto result = runner::RunExperimentOnTrace(config, trace);
+    table.AddRow({
+        std::to_string(minutes),
+        TextTable::Percent(result.report.suspend_rate, 2),
+        TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
+        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+    });
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void OverheadSweep(double scale, const workload::Trace& trace) {
+  std::printf("--- C. Restart overhead sweep (ResSusWaitRand, high load) "
+              "---\n");
+  TextTable table({"Overhead (min)", "AvgCT Suspend", "AvgWCT", "Restarts"});
+  for (const int minutes : {0, 5, 15, 60, 120}) {
+    runner::ExperimentConfig config = HighLoadConfig(scale);
+    config.policy = core::PolicyKind::kResSusWaitRand;
+    config.sim_options.restart_overhead = MinutesToTicks(minutes);
+    const auto result = runner::RunExperimentOnTrace(config, trace);
+    table.AddRow({
+        std::to_string(minutes),
+        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+        std::to_string(result.report.reschedule_count),
+    });
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void RetainRuleAblation(double scale, const workload::Trace& trace) {
+  std::printf("--- D. ResSusUtil retain rule (high load) ---\n");
+  TextTable table({"Variant", "AvgCT Suspend", "AvgCT All", "AvgWCT"});
+  for (const bool retain : {true, false}) {
+    runner::ExperimentConfig config = HighLoadConfig(scale);
+    core::CompositeReschedulingPolicy policy(
+        std::make_unique<core::LowestUtilizationSelector>(retain), nullptr,
+        Ticks{0});
+    const auto result = runner::RunExperimentWithPolicy(
+        config, trace, policy,
+        retain ? "with retain rule" : "always move");
+    table.AddRow({
+        result.report.label,
+        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
+        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+    });
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void ResumeSemanticsAblation(double scale, const workload::Trace& trace) {
+  std::printf("--- E. Host-level resume-first vs pool-priority resumption "
+              "(NoRes, high load) ---\n");
+  TextTable table({"Resumption", "Suspend rate", "AvgCT Suspend", "AvgST",
+                   "AvgWCT"});
+  for (const bool local_first : {true, false}) {
+    runner::ExperimentConfig config = HighLoadConfig(scale);
+    config.scenario.cluster.local_resume_first = local_first;
+    config.policy = core::PolicyKind::kNoRes;
+    const auto result = runner::RunExperimentOnTrace(config, trace);
+    table.AddRow({
+        local_first ? "host resumes own jobs first" : "strict pool priority",
+        TextTable::Percent(result.report.suspend_rate, 2),
+        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(result.report.avg_st_minutes, 1),
+        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+    });
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void ExtensionSelectors(double scale, const workload::Trace& trace) {
+  std::printf("--- F. Extension selectors for suspended+waiting "
+              "rescheduling (high load) ---\n");
+  TextTable table({"Selector", "AvgCT Suspend", "AvgCT All", "AvgWCT",
+                   "Restarts"});
+  const auto run = [&](std::unique_ptr<core::PoolSelector> suspend_selector,
+                       std::unique_ptr<core::PoolSelector> wait_selector,
+                       const char* label) {
+    runner::ExperimentConfig config = HighLoadConfig(scale);
+    core::CompositeReschedulingPolicy policy(std::move(suspend_selector),
+                                             std::move(wait_selector),
+                                             MinutesToTicks(30));
+    const auto result =
+        runner::RunExperimentWithPolicy(config, trace, policy, label);
+    table.AddRow({
+        result.report.label,
+        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
+        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+        std::to_string(result.report.reschedule_count),
+    });
+  };
+  run(std::make_unique<core::LowestUtilizationSelector>(),
+      std::make_unique<core::LowestUtilizationSelector>(), "utilization");
+  run(std::make_unique<core::ShortestQueueSelector>(),
+      std::make_unique<core::ShortestQueueSelector>(), "shortest queue");
+  run(std::make_unique<core::PredictedDelaySelector>(),
+      std::make_unique<core::PredictedDelaySelector>(), "predicted delay");
+  {
+    // Telemetry-driven variant: decisions from the sampled, EWMA-smoothed
+    // monitoring stream rather than instantaneous global state.
+    runner::ExperimentConfig config = HighLoadConfig(scale);
+    config.sim_options.sampling_enabled = true;  // feeds the predictor
+    core::PoolLoadPredictor predictor(0.2);
+    core::CompositeReschedulingPolicy policy(
+        std::make_unique<core::PredictorSelector>(predictor),
+        std::make_unique<core::PredictorSelector>(predictor),
+        MinutesToTicks(30));
+    const auto result = runner::RunExperimentWithPolicy(
+        config, trace, policy, "telemetry predictor", {&predictor});
+    table.AddRow({
+        result.report.label,
+        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
+        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+        std::to_string(result.report.reschedule_count),
+    });
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void InterSiteRescheduling(double scale, const workload::Trace& trace) {
+  std::printf("--- H. Inter-site rescheduling with WAN transfer costs "
+              "(high load) ---\n");
+  TextTable table({"Scheme", "AvgCT Suspend", "AvgCT All", "AvgWCT",
+                   "Restarts"});
+  const auto run = [&](bool cross_site, Ticks wan_minutes,
+                       const std::string& label) {
+    runner::ExperimentConfig config = HighLoadConfig(scale);
+    config.sim_options.transfer_matrix = runner::BuildTransferMatrix(
+        config.scenario, MinutesToTicks(2), wan_minutes);
+    core::CompositeReschedulingPolicy policy(
+        std::make_unique<core::LowestUtilizationSelector>(true, cross_site),
+        std::make_unique<core::LowestUtilizationSelector>(true, cross_site),
+        MinutesToTicks(30));
+    const auto result =
+        runner::RunExperimentWithPolicy(config, trace, policy, label);
+    table.AddRow({
+        result.report.label,
+        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
+        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+        std::to_string(result.report.reschedule_count),
+    });
+  };
+  run(false, MinutesToTicks(30), "in-site only");
+  run(true, MinutesToTicks(0), "cross-site, free WAN");
+  run(true, MinutesToTicks(30), "cross-site, 30min WAN");
+  run(true, MinutesToTicks(120), "cross-site, 120min WAN");
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void CheckpointSweep(double scale, const workload::Trace& trace) {
+  std::printf("--- I. Checkpoint interval sweep (ResSusUtil, high load) "
+              "---\n");
+  TextTable table({"Checkpoint (work min)", "AvgCT Suspend",
+                   "Resched waste", "AvgWCT"});
+  for (const int minutes : {0, 10, 30, 120}) {
+    runner::ExperimentConfig config = HighLoadConfig(scale);
+    config.policy = core::PolicyKind::kResSusUtil;
+    config.sim_options.checkpoint_interval = MinutesToTicks(minutes);
+    const auto result = runner::RunExperimentOnTrace(config, trace);
+    table.AddRow({
+        minutes == 0 ? std::string("none (paper baseline)")
+                     : std::to_string(minutes),
+        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(result.report.avg_resched_waste_minutes, 2),
+        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+    });
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void DuplicationComparison(double scale, const workload::Trace& trace) {
+  std::printf("--- G. Duplication extension vs restart (high load) ---\n");
+  TextTable table({"Scheme", "Suspend rate", "AvgCT Suspend", "AvgCT All",
+                   "AvgWCT"});
+  const auto run = [&](std::unique_ptr<cluster::ReschedulingPolicy> policy,
+                       const char* label) {
+    runner::ExperimentConfig config = HighLoadConfig(scale);
+    const auto result =
+        runner::RunExperimentWithPolicy(config, trace, *policy, label);
+    table.AddRow({
+        result.report.label,
+        TextTable::Percent(result.report.suspend_rate, 2),
+        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
+        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+    });
+  };
+  run(core::MakePolicy(core::PolicyKind::kNoRes), "NoRes");
+  run(core::MakePolicy(core::PolicyKind::kResSusUtil),
+      "ResSusUtil (restart)");
+  run(core::MakeDuplicationPolicy(), "DupSusUtil (duplicate)");
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void OutageSweep(double scale, const workload::Trace& trace) {
+  std::printf("--- J. Machine churn (failure injection, high load) ---\n");
+  TextTable table({"MTBF", "Policy", "AvgCT All", "AvgWCT", "Outages",
+                   "Evictions"});
+  // Without checkpoints the heavy-tailed (up to 100k-minute) jobs cannot
+  // survive frequent eviction, so the aggressive-churn rows also enable
+  // 30-minute checkpointing — the combination a real deployment would run.
+  for (const auto& [mtbf_days, checkpoint] :
+       std::initializer_list<std::pair<double, bool>>{
+           {0.0, false}, {30.0, false}, {30.0, true}, {7.0, true}}) {
+    for (const core::PolicyKind policy :
+         {core::PolicyKind::kNoRes, core::PolicyKind::kResSusWaitUtil}) {
+      runner::ExperimentConfig config = HighLoadConfig(scale);
+      config.policy = policy;
+      config.sim_options.outages.mtbf_minutes = mtbf_days * 24 * 60;
+      if (checkpoint) {
+        config.sim_options.checkpoint_interval = MinutesToTicks(30);
+      }
+      const workload::Trace& shared = trace;
+      // RunExperimentOnTrace reads sim options incl. outages.
+      const auto result = runner::RunExperimentOnTrace(config, shared);
+      table.AddRow({
+          (mtbf_days == 0 ? std::string("none")
+                          : std::to_string(static_cast<int>(mtbf_days)) +
+                                "d") + (checkpoint ? "+ckpt" : ""),
+          core::ToString(policy),
+          TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
+          TextTable::Fixed(result.report.avg_wct_minutes, 1),
+          std::to_string(result.report.outage_count),
+          std::to_string(result.report.eviction_count),
+      });
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const double scale = runner::DefaultScale();
+  const runner::ExperimentConfig base = HighLoadConfig(scale);
+  const workload::Trace trace =
+      workload::GenerateTrace(base.scenario.workload);
+
+  bench::PrintHeader("Ablations (design-choice sweeps)", scale, trace.Stats());
+  ThresholdSweep(scale, trace);
+  StalenessSweep(scale, trace);
+  OverheadSweep(scale, trace);
+  RetainRuleAblation(scale, trace);
+  ResumeSemanticsAblation(scale, trace);
+  ExtensionSelectors(scale, trace);
+  InterSiteRescheduling(scale, trace);
+  CheckpointSweep(scale, trace);
+  DuplicationComparison(scale, trace);
+  OutageSweep(scale, trace);
+  return 0;
+}

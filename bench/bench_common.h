@@ -1,0 +1,64 @@
+// Shared helpers for the table/figure bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/timeseries.h"
+#include "metrics/report.h"
+#include "runner/experiment.h"
+
+namespace netbatch::bench {
+
+// Prints one experiment header line: what we are reproducing and at what
+// scale, so bench output is self-describing in bench_output.txt.
+inline void PrintHeader(const std::string& what, double scale,
+                        const workload::TraceStats& stats) {
+  std::printf("=== %s ===\n", what.c_str());
+  std::printf(
+      "scale=%.3g (NB_SCALE to change), jobs=%zu (%.1f%% high priority), "
+      "span=%.0f min\n\n",
+      scale, stats.job_count,
+      stats.job_count == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(stats.high_priority_count) /
+                static_cast<double>(stats.job_count),
+      TicksToMinutes(stats.last_submit - stats.first_submit));
+}
+
+// Samples within the trace's submission window. The simulation keeps
+// sampling until the last (possibly very long-tailed) job completes, which
+// would dilute utilization statistics; the paper's utilization figures are
+// over the trace period.
+inline std::span<const metrics::Sample> SubmissionWindow(
+    const runner::ExperimentResult& result) {
+  std::span<const metrics::Sample> samples = result.samples;
+  const Ticks end = result.trace_stats.last_submit;
+  std::size_t n = samples.size();
+  while (n > 0 && samples[n - 1].time > end) --n;
+  return samples.first(n);
+}
+
+// Renders the paper-style table plus the reschedule/preemption counters.
+inline void PrintComparison(const std::vector<runner::ExperimentResult>& results) {
+  std::vector<metrics::MetricsReport> reports;
+  reports.reserve(results.size());
+  for (const auto& result : results) reports.push_back(result.report);
+  std::printf("%s\n", metrics::RenderPaperTable(reports).c_str());
+  std::printf("%s\n", metrics::RenderDetailTable(reports).c_str());
+  for (const auto& result : results) {
+    const auto util = analysis::SummarizeUtilization(SubmissionWindow(result));
+    std::printf(
+        "  %-16s preemptions=%llu reschedules=%llu rejected=%zu "
+        "util(mean/p10/p90)=%.0f%%/%.0f%%/%.0f%% max_susp=%.0f\n",
+        result.report.label.c_str(),
+        static_cast<unsigned long long>(result.report.preemption_count),
+        static_cast<unsigned long long>(result.report.reschedule_count),
+        result.report.rejected_count, util.mean * 100, util.p10 * 100,
+        util.p90 * 100, util.max_suspended_jobs);
+  }
+  std::printf("\n");
+}
+
+}  // namespace netbatch::bench

@@ -1,0 +1,36 @@
+// Reproduces Figure 2: the CDF of job suspension time over a year-long
+// trace under the NetBatch baseline (no rescheduling).
+//
+// Paper headline numbers: median 437 minutes, mean 905 minutes, 20% of
+// suspended jobs above 1100 minutes, long tail past 100k minutes.
+#include <cstdlib>
+
+#include "analysis/plot.h"
+#include "analysis/suspension.h"
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace netbatch;
+  const double scale = runner::YearLongDefaultScale();
+
+  runner::ExperimentConfig config;
+  config.scenario = runner::YearLongScenario(scale);
+  config.scheduler = runner::InitialSchedulerKind::kRoundRobin;
+  config.policy = core::PolicyKind::kNoRes;
+  // Keep memory bounded over 500k simulated minutes: sample every 10
+  // minutes instead of every minute (the CDF does not use the samples).
+  config.sim_options.sample_period = MinutesToTicks(10);
+
+  const auto result = runner::RunExperiment(config);
+
+  bench::PrintHeader("Figure 2: CDF of job suspension time (year, NoRes)",
+                     scale, result.trace_stats);
+  std::printf("%s\n",
+              analysis::RenderSuspensionCdf(result.suspension_cdf).c_str());
+  if (const char* dir = std::getenv("NB_PLOT_DIR")) {
+    const std::string script =
+        analysis::WriteSuspensionCdfPlot(dir, result.suspension_cdf);
+    std::printf("wrote gnuplot script: %s\n", script.c_str());
+  }
+  return 0;
+}

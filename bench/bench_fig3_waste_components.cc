@@ -1,0 +1,30 @@
+// Reproduces Figure 3: the components of average wasted completion time
+// (wait / suspend / wasted-by-rescheduling) for NoRes, ResSusUtil and
+// ResSusRand under normal load.
+//
+// Paper (Fig. 3, minutes, approximate bar heights): NoRes is dominated by
+// wait + suspend with zero rescheduling waste; ResSusUtil trades most of
+// the suspend time for a small rescheduling waste; ResSusRand's waste is
+// dominated by wait time incurred at poorly chosen alternate pools.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace netbatch;
+  const double scale = runner::DefaultScale();
+
+  runner::ExperimentConfig config;
+  config.scenario = runner::NormalLoadScenario(scale);
+  config.scheduler = runner::InitialSchedulerKind::kRoundRobin;
+
+  const auto results = runner::RunPolicyComparison(
+      config, {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
+               core::PolicyKind::kResSusRand});
+
+  bench::PrintHeader(
+      "Figure 3: average wasted completion time components, normal load",
+      scale, results.front().trace_stats);
+  std::vector<metrics::MetricsReport> reports;
+  for (const auto& result : results) reports.push_back(result.report);
+  std::printf("%s\n", metrics::RenderWasteComponents(reports).c_str());
+  return 0;
+}

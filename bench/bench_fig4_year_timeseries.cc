@@ -1,0 +1,44 @@
+// Reproduces Figure 4: utilization (%) and number of suspended jobs over a
+// year (500k minutes), sampled per minute and aggregated into 100-minute
+// buckets, under the NetBatch baseline.
+//
+// Paper shape: utilization averages ~40% (typically 20-60%), while
+// suspension spikes by orders of magnitude when high-priority bursts
+// arrive, and those spikes last hours to a week.
+#include <cstdlib>
+
+#include "analysis/plot.h"
+#include "analysis/timeseries.h"
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace netbatch;
+  const double scale = runner::YearLongDefaultScale();
+
+  runner::ExperimentConfig config;
+  config.scenario = runner::YearLongScenario(scale);
+  config.scheduler = runner::InitialSchedulerKind::kRoundRobin;
+  config.policy = core::PolicyKind::kNoRes;
+
+  const auto result = runner::RunExperiment(config);
+
+  bench::PrintHeader("Figure 4: utilization and suspension over a year",
+                     scale, result.trace_stats);
+
+  const auto window = bench::SubmissionWindow(result);
+  const auto util = analysis::SummarizeUtilization(window);
+  std::printf(
+      "utilization mean=%.1f%% p10=%.1f%% p90=%.1f%% (paper: ~40%%, "
+      "20-60%% band); peak suspended jobs=%.0f\n\n",
+      util.mean * 100, util.p10 * 100, util.p90 * 100,
+      util.max_suspended_jobs);
+
+  // The paper aggregates per-minute samples into 100-minute buckets.
+  const auto points = analysis::AggregateSamples(window, MinutesToTicks(100));
+  std::printf("%s", analysis::RenderTimeSeriesCsv(points).c_str());
+  if (const char* dir = std::getenv("NB_PLOT_DIR")) {
+    const std::string script = analysis::WriteYearTimeseriesPlot(dir, points);
+    std::printf("wrote gnuplot script: %s\n", script.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Microbenchmarks of the simulation substrate: event queue throughput,
+// RNG/distribution sampling, trace generation, placement, and end-to-end
+// simulation rate (events/second).
+#include <benchmark/benchmark.h>
+
+#include "cluster/simulation.h"
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "core/policies.h"
+#include "runner/experiment.h"
+#include "runner/scenarios.h"
+#include "sched/round_robin.h"
+#include "sim/event_queue.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace netbatch;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      queue.Schedule(rng.UniformInt(0, 1000000), [] {});
+    }
+    while (!queue.Empty()) benchmark::DoNotOptimize(queue.Pop().time);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_LognormalSample(benchmark::State& state) {
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SampleLognormal(rng, 4.6, 1.2));
+  }
+}
+BENCHMARK(BM_LognormalSample);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  workload::GeneratorConfig config =
+      runner::NormalLoadScenario(0.05).workload;
+  for (auto _ : state) {
+    const workload::Trace trace = workload::GenerateTrace(config);
+    benchmark::DoNotOptimize(trace.size());
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+// Placement fast path: repeatedly place-and-complete one job in a pool
+// with many machines (measures the first-fit scan + bookkeeping).
+void BM_PoolPlaceAndComplete(benchmark::State& state) {
+  using namespace cluster;
+  const auto machines_count = static_cast<int>(state.range(0));
+  JobTable jobs;
+  std::vector<Machine> machines;
+  for (int m = 0; m < machines_count; ++m) {
+    machines.emplace_back(MachineId(static_cast<MachineId::ValueType>(m)),
+                          PoolId(0), 8, 65536, 1.0);
+  }
+  PhysicalPool pool(PoolId(0), std::move(machines), jobs, true);
+  workload::JobSpec spec;
+  spec.cores = 2;
+  spec.memory_mb = 1024;
+  spec.runtime = MinutesToTicks(10);
+  JobId::ValueType next = 0;
+  Ticks now = 0;
+  for (auto _ : state) {
+    spec.id = JobId(next++);
+    Job& job = jobs.Create(spec);
+    job.OnSubmitted(now);
+    benchmark::DoNotOptimize(pool.TryPlace(job, now));
+    pool.OnJobCompleted(job, ++now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolPlaceAndComplete)->Arg(64)->Arg(512);
+
+// Preemption path: a saturated pool where every placement must build a
+// preemption plan and suspend a victim.
+void BM_PoolPreemptionPath(benchmark::State& state) {
+  using namespace cluster;
+  JobTable jobs;
+  std::vector<Machine> machines;
+  for (int m = 0; m < 64; ++m) {
+    machines.emplace_back(MachineId(static_cast<MachineId::ValueType>(m)),
+                          PoolId(0), 8, 65536, 1.0);
+  }
+  PhysicalPool pool(PoolId(0), std::move(machines), jobs, true);
+  workload::JobSpec low;
+  low.cores = 8;
+  low.memory_mb = 1024;
+  low.runtime = MinutesToTicks(10000);
+  JobId::ValueType next = 0;
+  for (int m = 0; m < 64; ++m) {
+    low.id = JobId(next++);
+    Job& job = jobs.Create(low);
+    job.OnSubmitted(0);
+    pool.TryPlace(job, 0);
+  }
+  workload::JobSpec high = low;
+  high.priority = workload::kHighPriority;
+  high.runtime = MinutesToTicks(5);
+  Ticks now = 1;
+  for (auto _ : state) {
+    high.id = JobId(next++);
+    Job& job = jobs.Create(high);
+    job.OnSubmitted(now);
+    const PlaceResult result = pool.TryPlace(job, now);
+    benchmark::DoNotOptimize(result.suspended.size());
+    // Complete the preemptor; its victim resumes via backfill.
+    pool.OnJobCompleted(jobs.at(high.id), ++now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PoolPreemptionPath);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  const runner::Scenario scenario = runner::NormalLoadScenario(0.05);
+  const workload::Trace trace = workload::GenerateTrace(scenario.workload);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sched::RoundRobinScheduler scheduler;
+    const auto policy = core::MakePolicy(core::PolicyKind::kResSusUtil);
+    cluster::NetBatchSimulation simulation(scenario.cluster, trace, scheduler,
+                                           *policy);
+    simulation.Run();
+    events += simulation.simulator().FiredEvents();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = fired events");
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,32 @@
+// Reproduces Table 1: NoRes / ResSusUtil / ResSusRand under normal load
+// with the round-robin initial scheduler.
+//
+// Paper (Table 1):
+//   NoRes       suspend 1.14%  AvgCT(susp) 2498.7  AvgCT(all) 569.8
+//               AvgST 1189.1   AvgWCT 31.0
+//   ResSusUtil  suspend 1.56%  AvgCT(susp) 1265.4  AvgCT(all) 560.0
+//               AvgST 82.2     AvgWCT 20.8
+//   ResSusRand  suspend 1.52%  AvgCT(susp) 7580.7  AvgCT(all) 638.7
+//               AvgST 80.7     AvgWCT 91.9
+// Expected shape: ResSusUtil halves AvgCT over suspended jobs and cuts
+// AvgWCT ~1/3; ResSusRand backfires on AvgCT(susp).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace netbatch;
+  const double scale = runner::DefaultScale();
+
+  runner::ExperimentConfig config;
+  config.scenario = runner::NormalLoadScenario(scale);
+  config.scheduler = runner::InitialSchedulerKind::kRoundRobin;
+
+  const auto results = runner::RunPolicyComparison(
+      config, {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
+               core::PolicyKind::kResSusRand});
+
+  bench::PrintHeader(
+      "Table 1: normal load, round-robin initial scheduler", scale,
+      results.front().trace_stats);
+  bench::PrintComparison(results);
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces Table 2: NoRes / ResSusUtil / ResSusRand under HIGH load
+// (cores halved, same trace) with the round-robin initial scheduler.
+//
+// Paper (Table 2):
+//   NoRes       suspend 1.26%  AvgCT(susp) 5846.1  AvgCT(all) 988.7
+//               AvgST 4402.4   AvgWCT 450.1
+//   ResSusUtil  suspend 1.83%  AvgCT(susp) 1475.1  AvgCT(all) 962.2
+//               AvgST 86.2     AvgWCT 423.9
+//   ResSusRand  suspend 1.60%  AvgCT(susp) 6485    AvgCT(all) 1180
+//               AvgST 73.2     AvgWCT 636.3
+// Expected shape: rescheduling benefits grow under load (~75% AvgCT(susp)
+// reduction); ResSusRand still backfires.
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace netbatch;
+  const double scale = runner::DefaultScale();
+
+  runner::ExperimentConfig config;
+  config.scenario = runner::HighLoadScenario(scale);
+  config.scheduler = runner::InitialSchedulerKind::kRoundRobin;
+
+  const auto results = runner::RunPolicyComparison(
+      config, {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
+               core::PolicyKind::kResSusRand});
+
+  bench::PrintHeader(
+      "Table 2: high load (cores halved), round-robin initial scheduler",
+      scale, results.front().trace_stats);
+  bench::PrintComparison(results);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Table 5: waiting-job rescheduling under high load with the
+// UTILIZATION-BASED initial scheduler.
+//
+// Paper (Table 5):
+//   NoRes           suspend 1.50%  AvgCT(susp) 5936   AvgCT(all) 994.2
+//                   AvgST 4916     AvgWCT 456.6
+//   ResSusWaitUtil  suspend 1.74%  AvgCT(susp) 1467.2 AvgCT(all) 937.9
+//                   AvgST 84.5     AvgWCT 402.0
+//   ResSusWaitRand  suspend 1.71%  AvgCT(susp) 1603.1 AvgCT(all) 935.7
+//                   AvgST 100.6    AvgWCT 399.7
+// Expected shape: the random scheme matches the utilization-based one —
+// the observation that motivates fully decentralized, job-driven
+// rescheduling (§3.3.2).
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace netbatch;
+  const double scale = runner::DefaultScale();
+
+  runner::ExperimentConfig config;
+  config.scenario = runner::HighLoadScenario(scale);
+  config.scheduler = runner::InitialSchedulerKind::kUtilization;
+  config.policy_options.wait_threshold = MinutesToTicks(30);
+
+  const auto results = runner::RunPolicyComparison(
+      config,
+      {core::PolicyKind::kNoRes, core::PolicyKind::kResSusWaitUtil,
+       core::PolicyKind::kResSusWaitRand});
+
+  bench::PrintHeader(
+      "Table 5: +waiting-job rescheduling, high load, utilization-based "
+      "initial",
+      scale, results.front().trace_stats);
+  bench::PrintComparison(results);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Capacity planning with the simulator: how much hardware does dynamic
+// rescheduling save?
+//
+// The paper's business motivation is effective utilization of purchased
+// capacity. This example asks the inverse question a capacity planner
+// would: for a fixed busy-week workload, how does completion time degrade
+// as the cluster shrinks — and how much of the degradation does dynamic
+// rescheduling (ResSusWaitUtil) claw back? The gap between the two curves
+// is hardware money.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "netbatch.h"
+
+using namespace netbatch;
+
+namespace {
+
+// Shrinks every machine group of the base scenario by `fraction`.
+cluster::ClusterConfig ShrinkCluster(const cluster::ClusterConfig& base,
+                                     double fraction) {
+  cluster::ClusterConfig shrunk = base;
+  for (auto& pool : shrunk.pools) {
+    for (auto& group : pool.machine_groups) {
+      group.count = std::max(
+          1, static_cast<int>(std::lround(group.count * fraction)));
+    }
+  }
+  return shrunk;
+}
+
+}  // namespace
+
+int main() {
+  const double scale = 0.15;
+  const runner::Scenario base = runner::NormalLoadScenario(scale);
+  const workload::Trace trace = workload::GenerateTrace(base.workload);
+
+  std::printf(
+      "Capacity sweep: one busy-week workload (%zu jobs) on shrinking "
+      "clusters\n\n",
+      trace.size());
+
+  TextTable table({"Capacity", "Cores", "Policy", "AvgCT All", "p90 CT",
+                   "AvgWCT"});
+  for (const double fraction : {1.0, 0.75, 0.5}) {
+    for (const core::PolicyKind policy :
+         {core::PolicyKind::kNoRes, core::PolicyKind::kResSusWaitUtil}) {
+      runner::ExperimentConfig config;
+      config.scenario = base;
+      config.scenario.cluster = ShrinkCluster(base.cluster, fraction);
+      config.policy = policy;
+      config.sim_options.sampling_enabled = false;
+      const auto result = runner::RunExperimentOnTrace(config, trace);
+      table.AddRow({
+          TextTable::Percent(fraction, 0),
+          std::to_string(config.scenario.cluster.TotalCores()),
+          core::ToString(policy),
+          TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
+          TextTable::Fixed(result.report.p90_ct_minutes, 1),
+          TextTable::Fixed(result.report.avg_wct_minutes, 1),
+      });
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Read vertically: if rescheduling at 75%% capacity matches NoRes at\n"
+      "100%%, a quarter of the fleet is recoverable by software.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "analysis/plot.h"
+
+#include <fstream>
+
+#include "common/check.h"
+
+namespace netbatch::analysis {
+namespace {
+
+std::ofstream OpenOrDie(const std::string& path) {
+  std::ofstream out(path);
+  NETBATCH_CHECK(static_cast<bool>(out), "cannot open plot file: " + path);
+  return out;
+}
+
+}  // namespace
+
+std::string WriteSuspensionCdfPlot(const std::string& dir,
+                                   const EmpiricalCdf& cdf) {
+  const std::string dat = dir + "/fig2_suspension_cdf.dat";
+  const std::string gp = dir + "/fig2_suspension_cdf.gp";
+  {
+    std::ofstream out = OpenOrDie(dat);
+    out << "# suspension_minutes cdf_percent\n";
+    for (const CdfPoint& point : SuspensionCdfCurve(cdf, 10.0, 1e6, 8)) {
+      out << point.minutes << ' ' << point.cdf * 100.0 << '\n';
+    }
+  }
+  {
+    std::ofstream out = OpenOrDie(gp);
+    out << "# Reproduces paper Figure 2: CDF of job suspension time.\n"
+           "set terminal pngcairo size 800,600\n"
+           "set output 'fig2_suspension_cdf.png'\n"
+           "set logscale x\n"
+           "set xrange [10:1000000]\n"
+           "set yrange [0:100]\n"
+           "set xlabel 'Suspension Time (minutes)'\n"
+           "set ylabel 'CDF (%)'\n"
+           "set grid\n"
+           "plot 'fig2_suspension_cdf.dat' using 1:2 with lines lw 2 "
+           "title 'suspension time CDF'\n";
+  }
+  return gp;
+}
+
+std::string WriteYearTimeseriesPlot(const std::string& dir,
+                                    std::span<const BucketPoint> points) {
+  const std::string dat = dir + "/fig4_year_timeseries.dat";
+  const std::string gp = dir + "/fig4_year_timeseries.gp";
+  {
+    std::ofstream out = OpenOrDie(dat);
+    out << "# minute utilization_percent suspended_jobs\n";
+    for (const BucketPoint& point : points) {
+      out << TicksToMinutes(point.bucket_start) << ' '
+          << point.mean_utilization * 100.0 << ' '
+          << point.mean_suspended_jobs << '\n';
+    }
+  }
+  {
+    std::ofstream out = OpenOrDie(gp);
+    out << "# Reproduces paper Figure 4: suspension and utilization over a "
+           "year.\n"
+           "set terminal pngcairo size 1200,500\n"
+           "set output 'fig4_year_timeseries.png'\n"
+           "set xlabel 'time (minutes)'\n"
+           "set ylabel '# of suspended jobs'\n"
+           "set y2label 'Utilization (%)'\n"
+           "set y2range [0:120]\n"
+           "set y2tics\n"
+           "set grid\n"
+           "plot 'fig4_year_timeseries.dat' using 1:3 with lines "
+           "title 'suspended jobs' axes x1y1, \\\n"
+           "     'fig4_year_timeseries.dat' using 1:2 with dots "
+           "title 'utilization' axes x1y2\n";
+  }
+  return gp;
+}
+
+}  // namespace netbatch::analysis

@@ -1,0 +1,28 @@
+// Gnuplot export for the paper's figures.
+//
+// The figure benches print text tables by default; when pointed at a
+// directory they additionally emit a .dat data file plus a ready-to-run
+// .gp gnuplot script so `gnuplot fig2.gp` reproduces the paper's plot
+// (log-scaled suspension-time CDF for Fig. 2; dual-axis utilization /
+// suspension series for Fig. 4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/suspension.h"
+#include "analysis/timeseries.h"
+
+namespace netbatch::analysis {
+
+// Writes `<dir>/fig2_suspension_cdf.dat` and `.gp`. Returns the script
+// path. The CDF curve uses the paper's log-scaled x axis (minutes).
+std::string WriteSuspensionCdfPlot(const std::string& dir,
+                                   const EmpiricalCdf& cdf);
+
+// Writes `<dir>/fig4_year_timeseries.dat` and `.gp` (utilization % on the
+// right axis, suspended jobs on the left, as in the paper's Figure 4).
+std::string WriteYearTimeseriesPlot(const std::string& dir,
+                                    std::span<const BucketPoint> points);
+
+}  // namespace netbatch::analysis

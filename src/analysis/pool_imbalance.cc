@@ -1,0 +1,100 @@
+#include "analysis/pool_imbalance.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/histogram.h"
+#include "common/table.h"
+
+namespace netbatch::analysis {
+
+ImbalanceSummary AnalyzePoolImbalance(
+    std::span<const std::vector<float>> pool_utilization,
+    std::span<const std::vector<std::uint32_t>> pool_queue_lengths,
+    std::span<const double> cluster_utilization) {
+  ImbalanceSummary summary;
+  if (pool_utilization.empty()) return summary;
+  const std::size_t samples = pool_utilization.front().size();
+  NETBATCH_CHECK(pool_queue_lengths.size() == pool_utilization.size(),
+                 "per-pool series must align");
+  for (const auto& series : pool_utilization) {
+    NETBATCH_CHECK(series.size() == samples, "per-pool series must align");
+  }
+  NETBATCH_CHECK(cluster_utilization.size() == samples,
+                 "cluster series must align with pool series");
+
+  // Per-pool aggregates.
+  summary.per_pool.resize(pool_utilization.size());
+  for (std::size_t p = 0; p < pool_utilization.size(); ++p) {
+    PoolStats& stats = summary.per_pool[p];
+    EmpiricalCdf cdf;
+    cdf.Reserve(samples);
+    double queue_sum = 0;
+    for (std::size_t i = 0; i < samples; ++i) {
+      cdf.Add(pool_utilization[p][i]);
+      queue_sum += pool_queue_lengths[p][i];
+      stats.max_queue_length =
+          std::max(stats.max_queue_length,
+                   static_cast<double>(pool_queue_lengths[p][i]));
+    }
+    if (samples > 0) {
+      stats.mean_utilization = cdf.Mean();
+      stats.p95_utilization = cdf.Quantile(0.95);
+      stats.mean_queue_length = queue_sum / static_cast<double>(samples);
+    }
+  }
+
+  // Sample-wise imbalance conditions.
+  std::size_t imbalanced = 0, imbalanced_underloaded = 0;
+  double spread_sum = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    float lo = 1.0f, hi = 0.0f;
+    for (const auto& series : pool_utilization) {
+      lo = std::min(lo, series[i]);
+      hi = std::max(hi, series[i]);
+    }
+    spread_sum += static_cast<double>(hi - lo);
+    const bool condition = hi >= 0.95f && lo <= 0.30f;
+    if (condition) {
+      ++imbalanced;
+      if (cluster_utilization[i] < 0.60) ++imbalanced_underloaded;
+    }
+  }
+  if (samples > 0) {
+    const auto n = static_cast<double>(samples);
+    summary.imbalanced_fraction = static_cast<double>(imbalanced) / n;
+    summary.imbalanced_while_underloaded_fraction =
+        static_cast<double>(imbalanced_underloaded) / n;
+    summary.mean_utilization_spread = spread_sum / n;
+  }
+  return summary;
+}
+
+std::string RenderPoolImbalance(const ImbalanceSummary& summary) {
+  std::ostringstream out;
+  TextTable table({"Pool", "Mean util", "p95 util", "Mean queue",
+                   "Max queue"});
+  for (std::size_t p = 0; p < summary.per_pool.size(); ++p) {
+    const PoolStats& stats = summary.per_pool[p];
+    table.AddRow({
+        std::to_string(p),
+        TextTable::Percent(stats.mean_utilization, 1),
+        TextTable::Percent(stats.p95_utilization, 1),
+        TextTable::Fixed(stats.mean_queue_length, 1),
+        TextTable::Fixed(stats.max_queue_length, 0),
+    });
+  }
+  out << table.Render() << '\n'
+      << "mean max-min utilization spread: "
+      << TextTable::Percent(summary.mean_utilization_spread, 1) << '\n'
+      << "minutes with a saturated pool (>=95%) while another is barely "
+         "utilized (<=30%): "
+      << TextTable::Percent(summary.imbalanced_fraction, 1) << '\n'
+      << "...of which cluster-wide utilization was under 60%: "
+      << TextTable::Percent(summary.imbalanced_while_underloaded_fraction, 1)
+      << " (the paper's 'suspension without overload' regime)\n";
+  return out.str();
+}
+
+}  // namespace netbatch::analysis

@@ -1,0 +1,49 @@
+// Pool imbalance analysis (paper §2.3).
+//
+// The paper's central observation motivating rescheduling: "suspension may
+// arise in cases even when the system is not overloaded (at 40-60%
+// utilization) ... those pools are quickly overwhelmed and lots of low
+// priority jobs are suspended. However, during the same time period, other
+// pools may be barely utilized." These helpers quantify exactly that from
+// per-pool samples.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace netbatch::analysis {
+
+struct PoolStats {
+  double mean_utilization = 0;
+  double p95_utilization = 0;
+  double mean_queue_length = 0;
+  double max_queue_length = 0;
+};
+
+struct ImbalanceSummary {
+  std::vector<PoolStats> per_pool;
+  // Fraction of samples where at least one pool is saturated (>= 95%
+  // utilization) while at least one other sits below 30% — the paper's
+  // "overwhelmed while others are barely utilized" condition.
+  double imbalanced_fraction = 0;
+  // Fraction of samples satisfying the above *and* cluster-wide utilization
+  // below 60% — suspension without overload (§2.3's sharper claim).
+  double imbalanced_while_underloaded_fraction = 0;
+  // Mean over samples of (max - min) pool utilization.
+  double mean_utilization_spread = 0;
+};
+
+// `pool_utilization[p][i]` is pool p's utilization at sample i (all pools
+// must have the same sample count); `cluster_utilization[i]` is the
+// cluster-wide value at sample i.
+ImbalanceSummary AnalyzePoolImbalance(
+    std::span<const std::vector<float>> pool_utilization,
+    std::span<const std::vector<std::uint32_t>> pool_queue_lengths,
+    std::span<const double> cluster_utilization);
+
+// Text table of per-pool stats plus the summary lines.
+std::string RenderPoolImbalance(const ImbalanceSummary& summary);
+
+}  // namespace netbatch::analysis

@@ -1,0 +1,47 @@
+#include "analysis/queueing.h"
+
+#include "common/check.h"
+
+namespace netbatch::analysis {
+
+double ErlangsOffered(double lambda, double mu) {
+  NETBATCH_CHECK(mu > 0, "service rate must be positive");
+  return lambda / mu;
+}
+
+double ErlangB(double erlangs, int servers) {
+  NETBATCH_CHECK(erlangs >= 0, "offered load cannot be negative");
+  NETBATCH_CHECK(servers >= 0, "server count cannot be negative");
+  // B(a, 0) = 1; B(a, k) = a*B(a,k-1) / (k + a*B(a,k-1)).
+  double b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    b = erlangs * b / (static_cast<double>(k) + erlangs * b);
+  }
+  return b;
+}
+
+double ErlangC(double lambda, double mu, int servers) {
+  NETBATCH_CHECK(servers > 0, "need at least one server");
+  const double a = ErlangsOffered(lambda, mu);
+  const double rho = a / servers;
+  NETBATCH_CHECK(rho < 1.0, "Erlang-C requires a stable queue (rho < 1)");
+  const double b = ErlangB(a, servers);
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double MeanQueueWait(double lambda, double mu, int servers) {
+  const double c_over = static_cast<double>(servers) * mu - lambda;
+  NETBATCH_CHECK(c_over > 0, "unstable queue has unbounded wait");
+  return ErlangC(lambda, mu, servers) / c_over;
+}
+
+double MeanJobsInSystem(double lambda, double mu, int servers) {
+  return lambda * (MeanQueueWait(lambda, mu, servers) + 1.0 / mu);
+}
+
+double ServerUtilization(double lambda, double mu, int servers) {
+  NETBATCH_CHECK(servers > 0, "need at least one server");
+  return lambda / (static_cast<double>(servers) * mu);
+}
+
+}  // namespace netbatch::analysis

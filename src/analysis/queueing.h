@@ -1,0 +1,32 @@
+// Analytic queueing-theory reference formulas.
+//
+// Used to validate the simulator against closed-form results (the role the
+// paper's reference [12] plays for ASCA: demonstrating the simulator
+// "achieves the performance characteristics of the actual deployment").
+// All formulas are for M/M/c: Poisson arrivals (rate lambda), exponential
+// service (rate mu per server), c identical servers.
+#pragma once
+
+namespace netbatch::analysis {
+
+// Offered load in Erlangs: a = lambda / mu.
+double ErlangsOffered(double lambda, double mu);
+
+// Erlang-B blocking probability for an M/M/c/c loss system; computed with
+// the numerically stable recurrence (valid for any a > 0, c >= 0).
+double ErlangB(double erlangs, int servers);
+
+// Erlang-C probability that an arriving job must wait (M/M/c with infinite
+// queue); requires lambda < c * mu for stability.
+double ErlangC(double lambda, double mu, int servers);
+
+// Mean wait in queue Wq for M/M/c: ErlangC / (c*mu - lambda).
+double MeanQueueWait(double lambda, double mu, int servers);
+
+// Mean number of jobs in the system (Little: L = lambda * (Wq + 1/mu)).
+double MeanJobsInSystem(double lambda, double mu, int servers);
+
+// Server utilization rho = lambda / (c * mu).
+double ServerUtilization(double lambda, double mu, int servers);
+
+}  // namespace netbatch::analysis

@@ -1,0 +1,61 @@
+#include "analysis/suspension.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace netbatch::analysis {
+
+SuspensionSummary SummarizeSuspension(const EmpiricalCdf& cdf) {
+  SuspensionSummary summary;
+  summary.suspended_jobs = cdf.count();
+  if (cdf.count() == 0) return summary;
+  summary.median_minutes = cdf.Median();
+  summary.mean_minutes = cdf.Mean();
+  summary.p90_minutes = cdf.Quantile(0.9);
+  summary.fraction_above_1100 = cdf.FractionAbove(1100.0);
+  summary.max_minutes = cdf.Quantile(1.0);
+  return summary;
+}
+
+std::vector<CdfPoint> SuspensionCdfCurve(const EmpiricalCdf& cdf, double lo,
+                                         double hi, int points_per_decade) {
+  std::vector<CdfPoint> curve;
+  if (cdf.count() == 0 || lo <= 0 || hi <= lo || points_per_decade <= 0) {
+    return curve;
+  }
+  const double step = std::log(10.0) / points_per_decade;
+  for (double log_x = std::log(lo); log_x <= std::log(hi) + 1e-12;
+       log_x += step) {
+    const double x = std::exp(log_x);
+    curve.push_back({x, cdf.At(x)});
+  }
+  return curve;
+}
+
+std::string RenderSuspensionCdf(const EmpiricalCdf& cdf) {
+  std::ostringstream out;
+  const SuspensionSummary summary = SummarizeSuspension(cdf);
+  out << "Suspended jobs: " << summary.suspended_jobs << "\n"
+      << "Median suspension:  " << TextTable::Fixed(summary.median_minutes, 1)
+      << " min (paper: 437 min)\n"
+      << "Mean suspension:    " << TextTable::Fixed(summary.mean_minutes, 1)
+      << " min (paper: 905 min)\n"
+      << "Fraction > 1100min: "
+      << TextTable::Percent(summary.fraction_above_1100, 1)
+      << " (paper: ~20%)\n"
+      << "Max suspension:     " << TextTable::Fixed(summary.max_minutes, 0)
+      << " min\n\n";
+
+  TextTable table({"Suspension time (min)", "CDF (%)"});
+  for (const CdfPoint& point :
+       SuspensionCdfCurve(cdf, 10.0, 1e6, 2)) {
+    table.AddRow({TextTable::Fixed(point.minutes, 0),
+                  TextTable::Fixed(point.cdf * 100.0, 1)});
+  }
+  out << table.Render();
+  return out.str();
+}
+
+}  // namespace netbatch::analysis

@@ -1,0 +1,42 @@
+// Suspension-time distribution analysis (paper Fig. 2 and §2.2).
+//
+// The paper reports, over a year of traces: median suspension 437 minutes,
+// mean 905 minutes, 20% of suspended jobs above 1100 minutes, and a long
+// tail beyond 100k minutes. These helpers compute the same summary and the
+// CDF curve (on the paper's log-scaled x axis) from an EmpiricalCdf of
+// per-job suspension minutes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace netbatch::analysis {
+
+struct SuspensionSummary {
+  std::size_t suspended_jobs = 0;
+  double median_minutes = 0;
+  double mean_minutes = 0;
+  double p90_minutes = 0;
+  // Fraction of suspended jobs suspended longer than 1100 minutes — the
+  // paper's "20% of all jobs are suspended for more than 1100 minutes".
+  double fraction_above_1100 = 0;
+  double max_minutes = 0;
+};
+
+SuspensionSummary SummarizeSuspension(const EmpiricalCdf& cdf);
+
+// One point of the Fig. 2 curve: suspension time (minutes, log-spaced from
+// `lo` to `hi`) against cumulative fraction of suspended jobs.
+struct CdfPoint {
+  double minutes;
+  double cdf;  // in [0, 1]
+};
+std::vector<CdfPoint> SuspensionCdfCurve(const EmpiricalCdf& cdf, double lo,
+                                         double hi, int points_per_decade);
+
+// Text rendering of curve + summary for the Fig. 2 bench binary.
+std::string RenderSuspensionCdf(const EmpiricalCdf& cdf);
+
+}  // namespace netbatch::analysis

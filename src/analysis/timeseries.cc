@@ -1,0 +1,82 @@
+#include "analysis/timeseries.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/histogram.h"
+#include "common/table.h"
+
+namespace netbatch::analysis {
+
+std::vector<BucketPoint> AggregateSamples(
+    std::span<const metrics::Sample> samples, Ticks bucket_width) {
+  NETBATCH_CHECK(bucket_width > 0, "bucket width must be positive");
+  std::vector<BucketPoint> points;
+  if (samples.empty()) return points;
+
+  Ticks bucket_start = samples.front().time - samples.front().time % bucket_width;
+  double util_sum = 0, suspended_sum = 0, waiting_sum = 0;
+  std::size_t count = 0;
+
+  auto flush = [&] {
+    if (count == 0) return;
+    BucketPoint point;
+    point.bucket_start = bucket_start;
+    point.mean_utilization = util_sum / static_cast<double>(count);
+    point.mean_suspended_jobs = suspended_sum / static_cast<double>(count);
+    point.mean_waiting_jobs = waiting_sum / static_cast<double>(count);
+    points.push_back(point);
+    util_sum = suspended_sum = waiting_sum = 0;
+    count = 0;
+  };
+
+  for (const metrics::Sample& sample : samples) {
+    const Ticks start = sample.time - sample.time % bucket_width;
+    if (start != bucket_start) {
+      flush();
+      bucket_start = start;
+    }
+    util_sum += sample.utilization;
+    suspended_sum += static_cast<double>(sample.suspended_jobs);
+    waiting_sum += static_cast<double>(sample.waiting_jobs);
+    ++count;
+  }
+  flush();
+  return points;
+}
+
+UtilizationSummary SummarizeUtilization(
+    std::span<const metrics::Sample> samples) {
+  UtilizationSummary summary;
+  if (samples.empty()) return summary;
+  EmpiricalCdf cdf;
+  cdf.Reserve(samples.size());
+  double sum = 0;
+  double max_suspended = 0;
+  for (const metrics::Sample& sample : samples) {
+    cdf.Add(sample.utilization);
+    sum += sample.utilization;
+    max_suspended =
+        std::max(max_suspended, static_cast<double>(sample.suspended_jobs));
+  }
+  summary.mean = sum / static_cast<double>(samples.size());
+  summary.p10 = cdf.Quantile(0.1);
+  summary.p90 = cdf.Quantile(0.9);
+  summary.max_suspended_jobs = max_suspended;
+  return summary;
+}
+
+std::string RenderTimeSeriesCsv(std::span<const BucketPoint> points) {
+  std::ostringstream out;
+  out << "bucket_start_min,utilization_pct,suspended_jobs,waiting_jobs\n";
+  for (const BucketPoint& point : points) {
+    out << TicksToMinutes(point.bucket_start) << ','
+        << TextTable::Fixed(point.mean_utilization * 100.0, 2) << ','
+        << TextTable::Fixed(point.mean_suspended_jobs, 1) << ','
+        << TextTable::Fixed(point.mean_waiting_jobs, 1) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace netbatch::analysis

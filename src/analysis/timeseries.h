@@ -1,0 +1,44 @@
+// Utilization / suspension time-series analysis (paper Fig. 4).
+//
+// The paper samples suspended-job counts and utilization every minute and
+// aggregates to 100-minute means over a year of traces; these helpers do
+// the same bucket aggregation over MetricsCollector samples.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.h"
+
+namespace netbatch::analysis {
+
+struct BucketPoint {
+  Ticks bucket_start = 0;
+  double mean_utilization = 0;      // [0, 1]
+  double mean_suspended_jobs = 0;
+  double mean_waiting_jobs = 0;
+};
+
+// Aggregates per-minute samples into fixed-width buckets (the paper uses
+// 100-minute buckets). Partial final buckets are averaged over the samples
+// they contain.
+std::vector<BucketPoint> AggregateSamples(
+    std::span<const metrics::Sample> samples, Ticks bucket_width);
+
+// Headline statistics of the utilization series (the paper reports ~40%
+// average, typically 20%-60%).
+struct UtilizationSummary {
+  double mean = 0;
+  double p10 = 0;
+  double p90 = 0;
+  double max_suspended_jobs = 0;
+};
+UtilizationSummary SummarizeUtilization(
+    std::span<const metrics::Sample> samples);
+
+// CSV rendering (bucket_start_min, utilization_pct, suspended, waiting)
+// for the Fig. 4 bench binary.
+std::string RenderTimeSeriesCsv(std::span<const BucketPoint> points);
+
+}  // namespace netbatch::analysis

@@ -1,0 +1,77 @@
+// Cluster topology configuration.
+//
+// NetBatch pools contain "hundreds or thousands of multi-core machines"
+// with "varying CPU speed and memory" (paper §2.1, §3.1). A pool is
+// described as groups of identical machines; heterogeneity comes from
+// mixing groups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace netbatch::cluster {
+
+// A homogeneous group of machines within a pool.
+struct MachineGroupConfig {
+  std::int32_t count = 0;
+  std::int32_t cores = 8;
+  std::int64_t memory_mb = 32768;
+  double speed = 1.0;  // execution rate relative to the reference machine
+  // Business group that paid for these hosts (paper §2.2): only that
+  // group's jobs may preempt here. kNoOwner machines are preemptible by any
+  // higher-priority job.
+  std::int32_t owner = -1;  // workload::kNoOwner
+};
+
+struct PoolConfig {
+  std::vector<MachineGroupConfig> machine_groups;
+
+  std::int64_t TotalCores() const {
+    std::int64_t total = 0;
+    for (const auto& group : machine_groups) {
+      total += static_cast<std::int64_t>(group.count) * group.cores;
+    }
+    return total;
+  }
+};
+
+struct ClusterConfig {
+  std::vector<PoolConfig> pools;
+
+  // NetBatch suspension keeps the preempted process resident (SIGSTOP-like),
+  // so its memory remains claimed on the host; set to false to model
+  // swap-to-disk suspension instead.
+  bool suspended_holds_memory = true;
+
+  // Host-level suspension also means host-level resumption: when capacity
+  // frees on a machine, its own suspended processes resume before the pool
+  // dispatches queued work to that host (even queued higher-priority work —
+  // only a *new arrival's* preemption can displace them again). Set to
+  // false for strict pool-wide priority order instead; the ablation bench
+  // compares both.
+  bool local_resume_first = true;
+
+  std::int64_t TotalCores() const {
+    std::int64_t total = 0;
+    for (const auto& pool : pools) total += pool.TotalCores();
+    return total;
+  }
+
+  // A copy of this config with every group's machine count halved (rounded
+  // up to keep at least one machine). This is exactly how the paper builds
+  // its high-load scenario: "we reduce the number of compute cores available
+  // to each pool by half while keeping the submitted job trace unchanged".
+  ClusterConfig WithHalvedCapacity() const {
+    ClusterConfig halved = *this;
+    for (auto& pool : halved.pools) {
+      for (auto& group : pool.machine_groups) {
+        group.count = (group.count + 1) / 2;
+      }
+    }
+    return halved;
+  }
+};
+
+}  // namespace netbatch::cluster

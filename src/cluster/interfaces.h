@@ -1,0 +1,89 @@
+// Extension points of the simulation engine.
+//
+// The cluster layer defines the interfaces; `sched` implements the initial
+// (virtual-pool-manager) schedulers and `core` implements the paper's
+// dynamic rescheduling policies on top of them.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/job.h"
+#include "cluster/view.h"
+
+namespace netbatch::cluster {
+
+// Chooses the order in which the virtual pool manager offers a submission
+// to physical pools (paper §3.2.1: round-robin or utilization-based).
+class InitialScheduler {
+ public:
+  virtual ~InitialScheduler() = default;
+
+  // Returns the pools to try, best first. Must be a permutation of the
+  // job's candidate pools (all pools when the candidate list is empty).
+  virtual std::vector<PoolId> PoolOrder(const workload::JobSpec& spec,
+                                        const ClusterView& view) = 0;
+};
+
+// A dynamic rescheduling policy (the paper's contribution, §3).
+class ReschedulingPolicy {
+ public:
+  virtual ~ReschedulingPolicy() = default;
+
+  // Called immediately after `job` was suspended by a preemption. Returning
+  // a pool restarts the job from scratch there ("ResSus*" schemes);
+  // std::nullopt leaves it suspended in place ("NoRes", or ResSusUtil's
+  // retain-if-current-pool-is-best rule).
+  virtual std::optional<PoolId> OnSuspended(const Job& job,
+                                            const ClusterView& view) = 0;
+
+  // Wait-queue rescheduling (paper §3.3): when set, a job that has waited
+  // this long in one pool queue triggers OnWaitTimeout; std::nullopt
+  // disables wait rescheduling.
+  virtual std::optional<Ticks> WaitRescheduleThreshold() const {
+    return std::nullopt;
+  }
+
+  // Called when `job` exceeded the wait threshold. Returning a pool moves
+  // the job there; std::nullopt keeps it waiting (the timer re-arms, so a
+  // job can get "multiple second chances", §3.3.1).
+  virtual std::optional<PoolId> OnWaitTimeout(const Job& job,
+                                              const ClusterView& view) {
+    (void)job;
+    (void)view;
+    return std::nullopt;
+  }
+
+  // Duplication extension (paper §5 future work: "job duplication
+  // techniques"): when true, a suspended job selected for rescheduling is
+  // not restarted; a duplicate copy is launched in the alternate pool while
+  // the original stays suspended, and the first of the pair to finish wins
+  // (the loser is killed and its execution counted as rescheduling waste).
+  virtual bool DuplicateInsteadOfRestart() const { return false; }
+};
+
+// Why a job was moved between pools.
+enum class RescheduleReason { kSuspension, kWaitTimeout };
+
+// Passive observer of simulation progress; the metrics layer implements
+// this. All hooks default to no-ops so observers override only what they
+// need.
+class SimulationObserver {
+ public:
+  virtual ~SimulationObserver() = default;
+
+  virtual void OnJobSuspended(const Job& job) { (void)job; }
+  virtual void OnJobRescheduled(const Job& job, PoolId from, PoolId to,
+                                RescheduleReason reason) {
+    (void)job; (void)from; (void)to; (void)reason;
+  }
+  virtual void OnJobCompleted(const Job& job) { (void)job; }
+  virtual void OnJobRejected(const Job& job) { (void)job; }
+  // Fired once per sampling period (one simulated minute by default),
+  // mirroring ASCA's per-minute state logs (§3.1).
+  virtual void OnSample(Ticks now, const ClusterView& view) {
+    (void)now; (void)view;
+  }
+};
+
+}  // namespace netbatch::cluster

@@ -1,0 +1,214 @@
+#include "cluster/job.h"
+
+#include <algorithm>
+
+namespace netbatch::cluster {
+
+const char* ToString(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kWaiting:
+      return "waiting";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kSuspended:
+      return "suspended";
+    case JobState::kInTransit:
+      return "in-transit";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kRejected:
+      return "rejected";
+    case JobState::kKilled:
+      return "killed";
+  }
+  return "?";
+}
+
+Job::Job(workload::JobSpec spec)
+    : spec_(std::move(spec)), remaining_work_(spec_.runtime) {}
+
+void Job::Transition(JobState next) {
+  state_ = next;
+  ++generation_;
+}
+
+void Job::SettleWaitingTime(Ticks now) {
+  const Ticks elapsed = now - state_since_;
+  NETBATCH_CHECK(elapsed >= 0, "time went backwards in job accounting");
+  switch (state_) {
+    case JobState::kPending:
+    case JobState::kWaiting:
+      wait_ticks_ += elapsed;
+      break;
+    case JobState::kInTransit:
+      transit_ticks_ += elapsed;
+      break;
+    default:
+      NETBATCH_CHECK(false, "SettleWaitingTime from a non-queued state");
+  }
+}
+
+void Job::SettleRunProgress(Ticks now) {
+  NETBATCH_CHECK(state_ == JobState::kRunning,
+                 "SettleRunProgress outside running state");
+  const Ticks elapsed = now - state_since_;
+  NETBATCH_CHECK(elapsed >= 0, "time went backwards in job accounting");
+  executed_ticks_ += elapsed;
+  attempt_executed_ += elapsed;
+  const auto consumed = std::min(
+      remaining_work_, static_cast<Ticks>(std::floor(
+                           static_cast<double>(elapsed) * run_speed_)));
+  remaining_work_ -= consumed;
+  attempt_work_ += consumed;
+}
+
+void Job::OnSubmitted(Ticks now) {
+  NETBATCH_CHECK(state_ == JobState::kPending, "double submission");
+  state_since_ = now;
+  ++generation_;
+}
+
+void Job::OnEnqueued(Ticks now, PoolId pool) {
+  NETBATCH_CHECK(state_ == JobState::kPending ||
+                     state_ == JobState::kInTransit,
+                 "enqueue from illegal state");
+  SettleWaitingTime(now);
+  pool_ = pool;
+  machine_ = MachineId();
+  Transition(JobState::kWaiting);
+  state_since_ = now;
+}
+
+void Job::OnStarted(Ticks now, MachineId machine, double speed) {
+  NETBATCH_CHECK(state_ == JobState::kPending ||
+                     state_ == JobState::kWaiting ||
+                     state_ == JobState::kInTransit,
+                 "start from illegal state");
+  SettleWaitingTime(now);
+  machine_ = machine;
+  run_speed_ = speed;
+  Transition(JobState::kRunning);
+  state_since_ = now;
+}
+
+void Job::OnSuspended(Ticks now) {
+  NETBATCH_CHECK(state_ == JobState::kRunning, "suspend of non-running job");
+  SettleRunProgress(now);
+  ++suspend_count_;
+  Transition(JobState::kSuspended);
+  state_since_ = now;
+}
+
+void Job::OnResumed(Ticks now) {
+  NETBATCH_CHECK(state_ == JobState::kSuspended, "resume of non-suspended job");
+  suspend_ticks_ += now - state_since_;
+  Transition(JobState::kRunning);
+  state_since_ = now;
+}
+
+void Job::OnCompleted(Ticks now) {
+  NETBATCH_CHECK(state_ == JobState::kRunning, "completion of non-running job");
+  const Ticks elapsed = now - state_since_;
+  executed_ticks_ += elapsed;
+  attempt_executed_ += elapsed;
+  remaining_work_ = 0;
+  completion_time_ = now;
+  Transition(JobState::kCompleted);
+  state_since_ = now;
+}
+
+void Job::OnRejected(Ticks now) {
+  NETBATCH_CHECK(state_ == JobState::kPending, "rejection of accepted job");
+  completion_time_ = -1;
+  Transition(JobState::kRejected);
+  state_since_ = now;
+}
+
+// Settles the accounting of whatever non-terminal state the job is in at
+// `now` (used by the twin-race terminal transitions).
+void Job::SettleAnyState(Ticks now) {
+  switch (state_) {
+    case JobState::kRunning:
+      SettleRunProgress(now);
+      break;
+    case JobState::kSuspended:
+      suspend_ticks_ += now - state_since_;
+      break;
+    case JobState::kPending:
+    case JobState::kWaiting:
+    case JobState::kInTransit:
+      SettleWaitingTime(now);
+      break;
+    default:
+      NETBATCH_CHECK(false, "settling a terminal state");
+  }
+}
+
+void Job::OnKilled(Ticks now) {
+  SettleAnyState(now);
+  Transition(JobState::kKilled);
+  state_since_ = now;
+}
+
+void Job::OnCompletedByTwin(Ticks now) {
+  SettleAnyState(now);
+  // Whatever this attempt executed is now discarded work.
+  resched_waste_ticks_ += attempt_executed_;
+  attempt_executed_ = 0;
+  completion_time_ = now;
+  Transition(JobState::kCompleted);
+  state_since_ = now;
+}
+
+void Job::OnRestart(Ticks now, PoolId target, Ticks checkpoint_interval) {
+  switch (state_) {
+    case JobState::kSuspended:
+      suspend_ticks_ += now - state_since_;
+      break;
+    case JobState::kWaiting:
+      wait_ticks_ += now - state_since_;
+      break;
+    case JobState::kRunning:
+      // Eviction by a machine outage: the run ends here and the job is
+      // resubmitted.
+      SettleRunProgress(now);
+      break;
+    default:
+      NETBATCH_CHECK(false, "restart from illegal state");
+  }
+  // Progress kept across the restart: nothing in the paper's baseline
+  // ("restarted from the beginning", §3.2), or the last checkpoint with a
+  // positive interval. Any earlier restart left total progress at a
+  // checkpoint multiple, so the discarded work always belongs to the
+  // current attempt.
+  const Ticks total_done = spec_.runtime - remaining_work_;
+  const Ticks kept =
+      checkpoint_interval > 0
+          ? (total_done / checkpoint_interval) * checkpoint_interval
+          : Ticks{0};
+  const Ticks discarded_work = total_done - kept;
+  NETBATCH_CHECK(discarded_work <= attempt_work_,
+                 "restart discarding work from a previous checkpoint");
+  // The discarded execution — pro-rated wall-clock of this attempt — is the
+  // paper's "wasted time by rescheduling".
+  const Ticks wasted_wall =
+      attempt_work_ == 0
+          ? attempt_executed_
+          : static_cast<Ticks>(std::llround(
+                static_cast<double>(attempt_executed_) *
+                static_cast<double>(discarded_work) /
+                static_cast<double>(attempt_work_)));
+  resched_waste_ticks_ += wasted_wall;
+  attempt_executed_ = 0;
+  attempt_work_ = 0;
+  remaining_work_ = spec_.runtime - kept;
+  ++restart_count_;
+  pool_ = target;
+  machine_ = MachineId();
+  Transition(JobState::kInTransit);
+  state_since_ = now;
+}
+
+}  // namespace netbatch::cluster

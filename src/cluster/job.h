@@ -1,0 +1,160 @@
+// The runtime state of one job inside the simulation.
+//
+// Job owns the lifecycle accounting behind every paper metric:
+//   completion time  = completion - submit
+//   wait time        = total time in (virtual or physical) queues   (c1)
+//   suspend time     = total time in suspended state                (c2)
+//   resched waste    = execution progress discarded by restarts     (c3)
+// and the identity  completion - submit = wait + suspend + executed
+// (+ in-transit restart overhead), which tests assert.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/time.h"
+#include "sim/event_queue.h"
+#include "workload/job_spec.h"
+
+namespace netbatch::cluster {
+
+enum class JobState {
+  kPending,    // submitted, not yet accepted by any pool queue/machine
+  kWaiting,    // in a physical pool's wait queue
+  kRunning,    // executing on a machine
+  kSuspended,  // preempted, parked on its machine
+  kInTransit,  // being moved to another pool (restart overhead)
+  kCompleted,
+  kRejected,   // no candidate pool has an eligible machine
+  kKilled,     // duplicate cancelled because its twin finished first
+};
+
+const char* ToString(JobState state);
+
+class Job {
+ public:
+  explicit Job(workload::JobSpec spec);
+
+  const workload::JobSpec& spec() const { return spec_; }
+  JobId id() const { return spec_.id; }
+  workload::Priority priority() const { return spec_.priority; }
+  JobState state() const { return state_; }
+
+  // --- location ---------------------------------------------------------
+  PoolId pool() const { return pool_; }
+  MachineId machine() const { return machine_; }
+  void set_pool(PoolId pool) { pool_ = pool; }
+
+  // --- lifecycle transitions (engine calls these) ------------------------
+  // Every transition takes the current simulated time and keeps the
+  // accounting identity intact.
+  void OnSubmitted(Ticks now);
+  void OnEnqueued(Ticks now, PoolId pool);
+  void OnStarted(Ticks now, MachineId machine, double speed);
+  void OnSuspended(Ticks now);
+  void OnResumed(Ticks now);
+  void OnCompleted(Ticks now);
+  void OnRejected(Ticks now);
+  // Restart: discards un-checkpointed progress (counted as rescheduling
+  // waste) and leaves the job in transit to `target` pool. The paper's
+  // baseline restarts "from the beginning" (checkpoint_interval = 0);
+  // a positive interval models periodic checkpointing (cf. Condor in the
+  // paper's related work): progress is kept in multiples of the interval,
+  // in work units at unit speed.
+  void OnRestart(Ticks now, PoolId target, Ticks checkpoint_interval = 0);
+  // Duplication extension (paper §5): terminal transitions for the
+  // twin-race. OnKilled cancels this job because its twin won; valid from
+  // any non-terminal state. OnCompletedByTwin finishes this job using its
+  // twin's result, settling whatever state it was parked in.
+  void OnKilled(Ticks now);
+  void OnCompletedByTwin(Ticks now);
+
+  // --- execution progress -------------------------------------------------
+  // Work left, in ticks at unit speed.
+  Ticks remaining_work() const { return remaining_work_; }
+  // Speed of the machine the job is (or was last) running on.
+  double run_speed() const { return run_speed_; }
+  // Ticks of wall-clock needed to finish on a machine with `speed`.
+  Ticks TicksToCompletion(double speed) const {
+    const auto ticks = static_cast<Ticks>(
+        std::ceil(static_cast<double>(remaining_work_) / speed));
+    return ticks > 0 ? ticks : 1;
+  }
+
+  // --- accounting ---------------------------------------------------------
+  Ticks submit_time() const { return spec_.submit_time; }
+  Ticks completion_time() const { return completion_time_; }
+  Ticks wait_ticks() const { return wait_ticks_; }
+  Ticks suspend_ticks() const { return suspend_ticks_; }
+  Ticks executed_ticks() const { return executed_ticks_; }
+  // Wall-clock run time of the current attempt (the progress a restart
+  // would discard); used by least-waste preemption-victim selection.
+  Ticks attempt_executed_ticks() const { return attempt_executed_; }
+  Ticks resched_waste_ticks() const { return resched_waste_ticks_; }
+  Ticks transit_ticks() const { return transit_ticks_; }
+  std::int32_t suspend_count() const { return suspend_count_; }
+  std::int32_t restart_count() const { return restart_count_; }
+  bool ever_suspended() const { return suspend_count_ > 0; }
+
+  // --- duplication extension ----------------------------------------------
+  // A duplicate is a shadow copy racing its original in another pool; it is
+  // excluded from job-level metrics (its outcome is credited to the
+  // original, its discarded execution to the original's rescheduling waste).
+  bool is_duplicate() const { return is_duplicate_; }
+  void MarkDuplicateOf(JobId original) {
+    is_duplicate_ = true;
+    twin_ = original;
+  }
+  JobId twin() const { return twin_; }
+  void set_twin(JobId twin) { twin_ = twin; }
+  // Wall-clock execution discarded when this job's race (or a killed twin)
+  // resolved; the metrics layer folds it into rescheduling waste.
+  Ticks extra_waste_ticks() const { return extra_waste_ticks_; }
+  void AddExtraWaste(Ticks waste) { extra_waste_ticks_ += waste; }
+
+  // When the current state was entered (observers use this as the event
+  // timestamp, since observer hooks carry no clock).
+  Ticks last_transition_time() const { return state_since_; }
+
+  // --- event bookkeeping ----------------------------------------------------
+  // Generation guard: every transition bumps it, so stale completion /
+  // timeout events can detect they no longer apply.
+  std::uint64_t generation() const { return generation_; }
+  sim::EventSeq pending_event() const { return pending_event_; }
+  void set_pending_event(sim::EventSeq seq) { pending_event_ = seq; }
+
+ private:
+  void SettleWaitingTime(Ticks now);
+  void SettleRunProgress(Ticks now);
+  void SettleAnyState(Ticks now);
+  void Transition(JobState next);
+
+  workload::JobSpec spec_;
+  JobState state_ = JobState::kPending;
+  PoolId pool_;
+  MachineId machine_;
+  double run_speed_ = 1.0;
+
+  Ticks remaining_work_;
+  Ticks state_since_ = 0;  // when the current state was entered
+
+  Ticks completion_time_ = -1;
+  Ticks attempt_executed_ = 0;  // wall-clock run time of the current attempt
+  Ticks attempt_work_ = 0;      // work units completed by the current attempt
+  Ticks wait_ticks_ = 0;
+  Ticks suspend_ticks_ = 0;
+  Ticks executed_ticks_ = 0;
+  Ticks resched_waste_ticks_ = 0;
+  Ticks transit_ticks_ = 0;
+  std::int32_t suspend_count_ = 0;
+  std::int32_t restart_count_ = 0;
+  bool is_duplicate_ = false;
+  JobId twin_;
+  Ticks extra_waste_ticks_ = 0;
+
+  std::uint64_t generation_ = 0;
+  sim::EventSeq pending_event_ = sim::kNoEvent;
+};
+
+}  // namespace netbatch::cluster

@@ -1,0 +1,45 @@
+// Storage for all job runtime objects in a simulation.
+//
+// Jobs live in a deque so references stay stable as jobs are added (the
+// duplication extension creates clone jobs mid-run).
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "cluster/job.h"
+
+namespace netbatch::cluster {
+
+class JobTable {
+ public:
+  Job& Create(workload::JobSpec spec) {
+    const JobId id = spec.id;
+    NETBATCH_CHECK(!index_.contains(id), "duplicate job id");
+    jobs_.emplace_back(std::move(spec));
+    index_.emplace(id, jobs_.size() - 1);
+    return jobs_.back();
+  }
+
+  Job& at(JobId id) {
+    const auto it = index_.find(id);
+    NETBATCH_CHECK(it != index_.end(), "unknown job id");
+    return jobs_[it->second];
+  }
+  const Job& at(JobId id) const {
+    const auto it = index_.find(id);
+    NETBATCH_CHECK(it != index_.end(), "unknown job id");
+    return jobs_[it->second];
+  }
+
+  std::size_t size() const { return jobs_.size(); }
+  auto begin() const { return jobs_.begin(); }
+  auto end() const { return jobs_.end(); }
+
+ private:
+  std::deque<Job> jobs_;
+  std::unordered_map<JobId, std::size_t> index_;
+};
+
+}  // namespace netbatch::cluster

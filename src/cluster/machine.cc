@@ -1,0 +1,48 @@
+#include "cluster/machine.h"
+
+#include <algorithm>
+
+namespace netbatch::cluster {
+
+Machine::Machine(MachineId id, PoolId pool, std::int32_t cores,
+                 std::int64_t memory_mb, double speed, std::int32_t owner)
+    : id_(id),
+      pool_(pool),
+      owner_(owner),
+      cores_total_(cores),
+      memory_total_mb_(memory_mb),
+      speed_(speed),
+      cores_free_(cores),
+      memory_free_mb_(memory_mb) {
+  NETBATCH_CHECK(cores > 0, "machine needs at least one core");
+  NETBATCH_CHECK(memory_mb > 0, "machine needs memory");
+  NETBATCH_CHECK(speed > 0, "machine speed must be positive");
+}
+
+void Machine::Claim(std::int32_t cores, std::int64_t memory_mb) {
+  NETBATCH_CHECK(cores_free_ >= cores && memory_free_mb_ >= memory_mb,
+                 "claiming more resources than free");
+  cores_free_ -= cores;
+  memory_free_mb_ -= memory_mb;
+}
+
+void Machine::Release(std::int32_t cores, std::int64_t memory_mb) {
+  cores_free_ += cores;
+  memory_free_mb_ += memory_mb;
+  NETBATCH_CHECK(cores_free_ <= cores_total_ &&
+                     memory_free_mb_ <= memory_total_mb_,
+                 "released more resources than were claimed");
+}
+
+namespace {
+void RemoveId(std::vector<JobId>& jobs, JobId job) {
+  const auto it = std::find(jobs.begin(), jobs.end(), job);
+  NETBATCH_CHECK(it != jobs.end(), "job not registered on machine");
+  jobs.erase(it);
+}
+}  // namespace
+
+void Machine::RemoveRunning(JobId job) { RemoveId(running_, job); }
+void Machine::RemoveSuspended(JobId job) { RemoveId(suspended_, job); }
+
+}  // namespace netbatch::cluster

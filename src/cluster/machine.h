@@ -1,0 +1,77 @@
+// A single compute host.
+//
+// Machines track their free cores/memory and the sets of running and
+// suspended jobs. Suspension at the host level is the paper's core
+// mechanism: a preempted job stays bound to its machine (optionally holding
+// memory) until it is resumed there or rescheduled away (§2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace netbatch::cluster {
+
+class Machine {
+ public:
+  Machine(MachineId id, PoolId pool, std::int32_t cores,
+          std::int64_t memory_mb, double speed,
+          std::int32_t owner = -1 /* workload::kNoOwner */);
+
+  MachineId id() const { return id_; }
+  PoolId pool() const { return pool_; }
+  // Owning business group (paper §2.2); -1 = unowned.
+  std::int32_t owner() const { return owner_; }
+  std::int32_t cores_total() const { return cores_total_; }
+  std::int64_t memory_total_mb() const { return memory_total_mb_; }
+  double speed() const { return speed_; }
+
+  std::int32_t cores_free() const { return cores_free_; }
+  std::int64_t memory_free_mb() const { return memory_free_mb_; }
+  std::int32_t cores_busy() const { return cores_total_ - cores_free_; }
+
+  // Outage state: an offline machine accepts no placements (its jobs were
+  // evicted when it failed) until repair brings it back.
+  bool online() const { return online_; }
+  void set_online(bool online) { online_ = online; }
+
+  // Whether this machine could ever run the job (capacity, not availability).
+  bool Eligible(std::int32_t cores, std::int64_t memory_mb) const {
+    return cores_total_ >= cores && memory_total_mb_ >= memory_mb;
+  }
+
+  // Whether the job fits right now.
+  bool Fits(std::int32_t cores, std::int64_t memory_mb) const {
+    return cores_free_ >= cores && memory_free_mb_ >= memory_mb;
+  }
+
+  // Resource claim/release. `Claim` aborts if resources are unavailable
+  // (placement logic must check Fits() first).
+  void Claim(std::int32_t cores, std::int64_t memory_mb);
+  void Release(std::int32_t cores, std::int64_t memory_mb);
+
+  // Running/suspended job registries (order = arrival order on host).
+  const std::vector<JobId>& running() const { return running_; }
+  const std::vector<JobId>& suspended() const { return suspended_; }
+  void AddRunning(JobId job) { running_.push_back(job); }
+  void RemoveRunning(JobId job);
+  void AddSuspended(JobId job) { suspended_.push_back(job); }
+  void RemoveSuspended(JobId job);
+
+ private:
+  MachineId id_;
+  PoolId pool_;
+  std::int32_t owner_;
+  std::int32_t cores_total_;
+  std::int64_t memory_total_mb_;
+  double speed_;
+  std::int32_t cores_free_;
+  std::int64_t memory_free_mb_;
+  bool online_ = true;
+  std::vector<JobId> running_;
+  std::vector<JobId> suspended_;
+};
+
+}  // namespace netbatch::cluster

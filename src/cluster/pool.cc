@@ -1,0 +1,378 @@
+#include "cluster/pool.h"
+
+#include <algorithm>
+
+namespace netbatch::cluster {
+
+PhysicalPool::PhysicalPool(PoolId id, std::vector<Machine> machines,
+                           JobTable& jobs, bool suspended_holds_memory,
+                           bool local_resume_first)
+    : id_(id),
+      machines_(std::move(machines)),
+      jobs_(&jobs),
+      suspended_holds_memory_(suspended_holds_memory),
+      local_resume_first_(local_resume_first) {
+  for (const Machine& machine : machines_) {
+    NETBATCH_CHECK(machine.pool() == id_, "machine assigned to wrong pool");
+    total_cores_ += machine.cores_total();
+  }
+}
+
+Machine& PhysicalPool::MachineById(MachineId id) {
+  NETBATCH_CHECK(id.valid() && id.value() < machines_.size(),
+                 "machine id out of range");
+  return machines_[id.value()];
+}
+
+bool PhysicalPool::HasEligibleMachine(const workload::JobSpec& spec) const {
+  return std::any_of(machines_.begin(), machines_.end(),
+                     [&](const Machine& machine) {
+                       return machine.Eligible(spec.cores, spec.memory_mb);
+                     });
+}
+
+void PhysicalPool::StartOn(Job& job, Machine& machine, Ticks now) {
+  machine.Claim(job.spec().cores, job.spec().memory_mb);
+  machine.AddRunning(job.id());
+  job.set_pool(id_);
+  job.OnStarted(now, machine.id(), machine.speed());
+  busy_cores_ += job.spec().cores;
+}
+
+void PhysicalPool::ResumeOn(Job& job, Machine& machine, Ticks now) {
+  // A suspended job's memory may still be claimed from its suspension.
+  machine.Claim(job.spec().cores,
+                suspended_holds_memory_ ? 0 : job.spec().memory_mb);
+  machine.RemoveSuspended(job.id());
+  machine.AddRunning(job.id());
+  --suspended_count_;
+  job.OnResumed(now);
+  busy_cores_ += job.spec().cores;
+}
+
+void PhysicalPool::Enqueue(Job& job, Ticks now) {
+  const WaitKey key{-job.priority(), next_wait_seq_++};
+  waiting_.emplace(key, job.id());
+  waiting_index_.emplace(job.id(), key);
+  waiting_cores_.insert(job.spec().cores);
+  job.OnEnqueued(now, id_);
+}
+
+bool PhysicalPool::PreemptionPlan(const Machine& machine,
+                                  const workload::JobSpec& spec,
+                                  workload::Priority priority,
+                                  std::vector<JobId>& victims) const {
+  if (!machine.online() || !machine.Eligible(spec.cores, spec.memory_mb)) {
+    return false;
+  }
+  // Ownership gate (paper §2.2): on an owned machine, only the owning
+  // group's jobs may preempt.
+  if (machine.owner() != workload::kNoOwner &&
+      machine.owner() != spec.owner) {
+    return false;
+  }
+
+  // Memory freed by suspension depends on the suspension model.
+  std::int64_t memory_gain = 0;
+  std::int32_t core_gain = 0;
+
+  // Candidate victims: running jobs with strictly lower priority. Among
+  // equals, suspend the job with the least accumulated progress first —
+  // NetBatch hosts pick victims to minimize the work at risk, which is also
+  // what keeps the "wasted time by rescheduling" component small (Fig. 3).
+  std::vector<JobId> candidates;
+  for (JobId id : machine.running()) {
+    if (jobs_->at(id).priority() < priority) candidates.push_back(id);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](JobId a, JobId b) {
+                     const Job& ja = jobs_->at(a);
+                     const Job& jb = jobs_->at(b);
+                     if (ja.priority() != jb.priority()) {
+                       return ja.priority() < jb.priority();
+                     }
+                     return ja.attempt_executed_ticks() <
+                            jb.attempt_executed_ticks();
+                   });
+
+  victims.clear();
+  for (JobId id : candidates) {
+    if (machine.cores_free() + core_gain >= spec.cores &&
+        machine.memory_free_mb() + memory_gain >= spec.memory_mb) {
+      break;
+    }
+    const Job& victim = jobs_->at(id);
+    victims.push_back(id);
+    core_gain += victim.spec().cores;
+    if (!suspended_holds_memory_) memory_gain += victim.spec().memory_mb;
+  }
+  return machine.cores_free() + core_gain >= spec.cores &&
+         machine.memory_free_mb() + memory_gain >= spec.memory_mb;
+}
+
+PlaceResult PhysicalPool::TryPlace(Job& job, Ticks now, bool allow_queue) {
+  PlaceResult result;
+  const workload::JobSpec& spec = job.spec();
+
+  // Step 0 (paper §2.1 last clause): refuse jobs no machine could ever run.
+  if (!HasEligibleMachine(spec)) {
+    result.outcome = PlaceOutcome::kNotEligible;
+    return result;
+  }
+
+  // Step 1: first eligible machine with free resources.
+  for (Machine& machine : machines_) {
+    if (!machine.online()) continue;
+    if (machine.Fits(spec.cores, spec.memory_mb)) {
+      StartOn(job, machine, now);
+      result.outcome = PlaceOutcome::kStarted;
+      result.machine = machine.id();
+      return result;
+    }
+  }
+
+  // Step 2: preempt lower-priority work on the first machine where that
+  // creates room.
+  std::vector<JobId> victims;
+  for (Machine& machine : machines_) {
+    if (!PreemptionPlan(machine, spec, job.priority(), victims)) continue;
+    for (JobId victim_id : victims) {
+      Job& victim = jobs_->at(victim_id);
+      machine.RemoveRunning(victim_id);
+      machine.Release(victim.spec().cores,
+                      suspended_holds_memory_ ? 0 : victim.spec().memory_mb);
+      machine.AddSuspended(victim_id);
+      ++suspended_count_;
+      busy_cores_ -= victim.spec().cores;
+      victim.OnSuspended(now);
+    }
+    StartOn(job, machine, now);
+    result.outcome = PlaceOutcome::kStarted;
+    result.machine = machine.id();
+    result.suspended = std::move(victims);
+    return result;
+  }
+
+  // Step 3: wait in the pool queue (unless the caller is probing for an
+  // immediate start).
+  if (!allow_queue) {
+    result.outcome = PlaceOutcome::kNotEligible;
+    return result;
+  }
+  Enqueue(job, now);
+  result.outcome = PlaceOutcome::kQueued;
+  return result;
+}
+
+void PhysicalPool::RemoveFromQueue(JobId job) {
+  const auto it = waiting_index_.find(job);
+  NETBATCH_CHECK(it != waiting_index_.end(), "job not in this wait queue");
+  waiting_.erase(it->second);
+  const auto cores_it =
+      waiting_cores_.find(jobs_->at(job).spec().cores);
+  NETBATCH_CHECK(cores_it != waiting_cores_.end(),
+                 "wait-queue core index out of sync");
+  waiting_cores_.erase(cores_it);
+  waiting_index_.erase(it);
+}
+
+MachineId PhysicalPool::DetachSuspended(Job& job) {
+  NETBATCH_CHECK(job.state() == JobState::kSuspended,
+                 "detaching a non-suspended job");
+  Machine& machine = MachineById(job.machine());
+  machine.RemoveSuspended(job.id());
+  --suspended_count_;
+  if (suspended_holds_memory_) {
+    machine.Release(0, job.spec().memory_mb);
+  }
+  return machine.id();
+}
+
+JobId PhysicalPool::ScheduleNextOn(Machine& machine, Ticks now) {
+  // Best suspended job parked on this machine that fits again.
+  JobId best_suspended;
+  workload::Priority best_suspended_prio = 0;
+  for (JobId id : machine.suspended()) {
+    const Job& job = jobs_->at(id);
+    const std::int32_t need_cores = job.spec().cores;
+    const std::int64_t need_mem =
+        suspended_holds_memory_ ? 0 : job.spec().memory_mb;
+    if (!machine.Fits(need_cores, need_mem)) continue;
+    if (!best_suspended.valid() || job.priority() > best_suspended_prio) {
+      best_suspended = id;
+      best_suspended_prio = job.priority();
+    }
+  }
+
+  // Best waiting job in the pool queue that fits this machine. Entries are
+  // ordered (priority desc, FIFO), so the first fit is the best fit.
+  JobId best_waiting;
+  workload::Priority best_waiting_prio = 0;
+  if (!waiting_.empty() && !waiting_cores_.empty() &&
+      machine.cores_free() >= *waiting_cores_.begin()) {
+    for (const auto& [key, id] : waiting_) {
+      const Job& job = jobs_->at(id);
+      if (machine.Fits(job.spec().cores, job.spec().memory_mb)) {
+        best_waiting = id;
+        best_waiting_prio = -key.neg_priority;
+        break;
+      }
+    }
+  }
+
+  // With host-level resumption, the machine's own suspended work resumes
+  // before anything is dispatched from the pool queue; otherwise strict
+  // priority order applies (suspended wins ties: resuming loses no work).
+  if (best_suspended.valid() &&
+      (local_resume_first_ || !best_waiting.valid() ||
+       best_suspended_prio >= best_waiting_prio)) {
+    ResumeOn(jobs_->at(best_suspended), machine, now);
+    return best_suspended;
+  }
+  if (best_waiting.valid()) {
+    Job& job = jobs_->at(best_waiting);
+    RemoveFromQueue(best_waiting);
+    StartOn(job, machine, now);
+    return best_waiting;
+  }
+  return JobId();
+}
+
+std::vector<JobId> PhysicalPool::Backfill(MachineId machine_id, Ticks now) {
+  Machine& machine = MachineById(machine_id);
+  if (!machine.online()) return {};
+  std::vector<JobId> scheduled;
+  while (true) {
+    const JobId job = ScheduleNextOn(machine, now);
+    if (!job.valid()) break;
+    scheduled.push_back(job);
+  }
+  return scheduled;
+}
+
+std::vector<JobId> PhysicalPool::EvictMachine(MachineId machine_id,
+                                              Ticks now) {
+  (void)now;
+  Machine& machine = MachineById(machine_id);
+  NETBATCH_CHECK(machine.online(), "evicting an already-offline machine");
+  std::vector<JobId> evicted;
+  while (!machine.running().empty()) {
+    const JobId id = machine.running().front();
+    Job& job = jobs_->at(id);
+    machine.RemoveRunning(id);
+    machine.Release(job.spec().cores, job.spec().memory_mb);
+    busy_cores_ -= job.spec().cores;
+    evicted.push_back(id);
+  }
+  while (!machine.suspended().empty()) {
+    const JobId id = machine.suspended().front();
+    Job& job = jobs_->at(id);
+    machine.RemoveSuspended(id);
+    --suspended_count_;
+    if (suspended_holds_memory_) machine.Release(0, job.spec().memory_mb);
+    evicted.push_back(id);
+  }
+  machine.set_online(false);
+  return evicted;
+}
+
+std::vector<JobId> PhysicalPool::RepairMachine(MachineId machine_id,
+                                               Ticks now) {
+  Machine& machine = MachineById(machine_id);
+  NETBATCH_CHECK(!machine.online(), "repairing an online machine");
+  machine.set_online(true);
+  return Backfill(machine_id, now);
+}
+
+std::vector<JobId> PhysicalPool::KillJob(Job& job, Ticks now,
+                                         bool complete_by_twin) {
+  NETBATCH_CHECK(job.pool() == id_, "killing a job parked in another pool");
+  const auto finish = [&](Job& victim) {
+    if (complete_by_twin) {
+      victim.OnCompletedByTwin(now);
+    } else {
+      victim.OnKilled(now);
+    }
+  };
+  std::vector<JobId> scheduled;
+  switch (job.state()) {
+    case JobState::kRunning: {
+      Machine& machine = MachineById(job.machine());
+      machine.RemoveRunning(job.id());
+      machine.Release(job.spec().cores, job.spec().memory_mb);
+      busy_cores_ -= job.spec().cores;
+      finish(job);
+      scheduled = Backfill(machine.id(), now);
+      break;
+    }
+    case JobState::kWaiting:
+      RemoveFromQueue(job.id());
+      finish(job);
+      break;
+    case JobState::kSuspended: {
+      const MachineId machine = DetachSuspended(job);
+      finish(job);
+      scheduled = Backfill(machine, now);
+      break;
+    }
+    default:
+      NETBATCH_CHECK(false, "killing a job in a terminal or transit state");
+  }
+  return scheduled;
+}
+
+std::vector<JobId> PhysicalPool::OnJobCompleted(Job& job, Ticks now) {
+  NETBATCH_CHECK(job.state() == JobState::kRunning,
+                 "completing a non-running job");
+  Machine& machine = MachineById(job.machine());
+  machine.RemoveRunning(job.id());
+  machine.Release(job.spec().cores, job.spec().memory_mb);
+  busy_cores_ -= job.spec().cores;
+  job.OnCompleted(now);
+  return Backfill(machine.id(), now);
+}
+
+void PhysicalPool::CheckInvariants() const {
+  std::int64_t busy = 0;
+  std::size_t suspended = 0;
+  for (const Machine& machine : machines_) {
+    std::int32_t cores_claimed = 0;
+    std::int64_t memory_claimed = 0;
+    for (JobId id : machine.running()) {
+      const Job& job = jobs_->at(id);
+      NETBATCH_CHECK(job.state() == JobState::kRunning,
+                     "running registry holds non-running job");
+      NETBATCH_CHECK(job.machine() == machine.id(), "machine mismatch");
+      cores_claimed += job.spec().cores;
+      memory_claimed += job.spec().memory_mb;
+    }
+    for (JobId id : machine.suspended()) {
+      const Job& job = jobs_->at(id);
+      NETBATCH_CHECK(job.state() == JobState::kSuspended,
+                     "suspended registry holds non-suspended job");
+      if (suspended_holds_memory_) memory_claimed += job.spec().memory_mb;
+    }
+    NETBATCH_CHECK(machine.cores_free() ==
+                       machine.cores_total() - cores_claimed,
+                   "core accounting out of sync");
+    NETBATCH_CHECK(machine.memory_free_mb() ==
+                       machine.memory_total_mb() - memory_claimed,
+                   "memory accounting out of sync");
+    busy += cores_claimed;
+    suspended += machine.suspended().size();
+  }
+  NETBATCH_CHECK(busy == busy_cores_, "pool busy-core counter out of sync");
+  NETBATCH_CHECK(suspended == suspended_count_,
+                 "pool suspended counter out of sync");
+  NETBATCH_CHECK(waiting_.size() == waiting_index_.size() &&
+                     waiting_.size() == waiting_cores_.size(),
+                 "wait queue indexes out of sync");
+  for (const auto& [key, id] : waiting_) {
+    const Job& job = jobs_->at(id);
+    NETBATCH_CHECK(job.state() == JobState::kWaiting,
+                   "wait queue holds non-waiting job");
+    NETBATCH_CHECK(job.pool() == id_, "wait queue holds foreign job");
+  }
+}
+
+}  // namespace netbatch::cluster

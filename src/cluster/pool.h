@@ -1,0 +1,148 @@
+// A NetBatch physical pool and its pool manager logic.
+//
+// Implements the placement semantics of paper §2.1:
+//   1. first eligible machine with free resources runs the job;
+//   2. otherwise, if an eligible machine runs lower-priority work, preempt
+//      (suspend) enough of it to make room;
+//   3. otherwise the job waits in the pool's queue;
+//   4. if no machine in the pool could *ever* run the job, the pool refuses
+//      it and the virtual pool manager tries the next pool.
+// Plus the resume logic: when resources free on a machine, the best of
+// {suspended jobs parked on that machine, waiting jobs in the pool queue}
+// is scheduled, highest priority first (suspended wins ties).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/job_table.h"
+#include "cluster/machine.h"
+
+namespace netbatch::cluster {
+
+enum class PlaceOutcome {
+  kStarted,     // running on a machine (possibly after preempting others)
+  kQueued,      // parked in the pool's wait queue
+  kNotEligible  // no machine in this pool can ever run the job
+};
+
+struct PlaceResult {
+  PlaceOutcome outcome = PlaceOutcome::kNotEligible;
+  MachineId machine;            // valid when outcome == kStarted
+  std::vector<JobId> suspended; // victims preempted to make room
+};
+
+class PhysicalPool {
+ public:
+  // `suspended_holds_memory` / `local_resume_first`: host-level suspension
+  // semantics (see ClusterConfig).
+  PhysicalPool(PoolId id, std::vector<Machine> machines, JobTable& jobs,
+               bool suspended_holds_memory, bool local_resume_first = true);
+
+  PoolId id() const { return id_; }
+  const std::vector<Machine>& machines() const { return machines_; }
+  std::int64_t total_cores() const { return total_cores_; }
+  std::int64_t busy_cores() const { return busy_cores_; }
+  double Utilization() const {
+    return total_cores_ == 0
+               ? 0.0
+               : static_cast<double>(busy_cores_) /
+                     static_cast<double>(total_cores_);
+  }
+  std::size_t QueueLength() const { return waiting_.size(); }
+  std::size_t SuspendedCount() const { return suspended_count_; }
+
+  // Capacity check only: can some machine here ever run this job?
+  bool HasEligibleMachine(const workload::JobSpec& spec) const;
+
+  // Attempts to place `job` (paper §2.1 steps 1-3). Performs all job/machine
+  // state transitions; the caller wires events (completion scheduling,
+  // victim notification). With allow_queue = false, step 3 is skipped and
+  // kNotEligible is returned instead of queueing — used by the virtual pool
+  // manager's availability-aware dispatch pass (§2.1: jobs are distributed
+  // "according to resource availability").
+  PlaceResult TryPlace(Job& job, Ticks now, bool allow_queue = true);
+
+  // Removes a job from this pool's wait queue (wait-timeout rescheduling).
+  void RemoveFromQueue(JobId job);
+
+  // Detaches a suspended job from its machine (suspended-job rescheduling),
+  // releasing any memory it still held. Returns the machine it was on.
+  MachineId DetachSuspended(Job& job);
+
+  // Releases `job`'s resources after completion and backfills the machine:
+  // resumes/starts whatever now fits. Returns the jobs that (re)started,
+  // in scheduling order; the caller schedules their completion events.
+  std::vector<JobId> OnJobCompleted(Job& job, Ticks now);
+
+  // Backfills one machine (used after DetachSuspended frees memory).
+  std::vector<JobId> Backfill(MachineId machine, Ticks now);
+
+  // Removes a job from this pool in whatever state it is parked (running /
+  // waiting / suspended) without running it to completion — the duplication
+  // extension's twin-race resolution. Performs OnKilled (default) or, when
+  // `complete_by_twin` is set, OnCompletedByTwin (the original finishes
+  // with its duplicate's result). Returns any jobs started/resumed by the
+  // freed resources.
+  std::vector<JobId> KillJob(Job& job, Ticks now,
+                             bool complete_by_twin = false);
+
+  // Machine outage support: takes the machine offline and detaches every
+  // job parked on it (running and suspended), releasing their resources.
+  // Returns the evicted job ids; the caller transitions and resubmits them.
+  std::vector<JobId> EvictMachine(MachineId machine, Ticks now);
+
+  // Brings a repaired machine back online and backfills it; returns the
+  // jobs started/resumed.
+  std::vector<JobId> RepairMachine(MachineId machine, Ticks now);
+
+  // Test support: verifies resource-conservation invariants (free counters
+  // match registered job demands; queue/suspended registries consistent).
+  void CheckInvariants() const;
+
+ private:
+  // Ordered wait-queue key: highest priority first, then FIFO.
+  struct WaitKey {
+    workload::Priority neg_priority;  // negated so smaller = higher priority
+    std::uint64_t seq;
+    friend auto operator<=>(const WaitKey&, const WaitKey&) = default;
+  };
+
+  Machine& MachineById(MachineId id);
+
+  void StartOn(Job& job, Machine& machine, Ticks now);
+  void ResumeOn(Job& job, Machine& machine, Ticks now);
+  void Enqueue(Job& job, Ticks now);
+
+  // Picks and schedules the best candidate for `machine`; returns the job
+  // started/resumed, or an invalid id when nothing fits.
+  JobId ScheduleNextOn(Machine& machine, Ticks now);
+
+  // True when suspending lower-priority running work on `machine` could make
+  // `spec` fit; fills `victims` with the chosen jobs (lowest priority first).
+  bool PreemptionPlan(const Machine& machine, const workload::JobSpec& spec,
+                      workload::Priority priority,
+                      std::vector<JobId>& victims) const;
+
+  PoolId id_;
+  std::vector<Machine> machines_;
+  JobTable* jobs_;
+  bool suspended_holds_memory_;
+  bool local_resume_first_;
+
+  std::int64_t total_cores_ = 0;
+  std::int64_t busy_cores_ = 0;
+  std::size_t suspended_count_ = 0;
+
+  std::map<WaitKey, JobId> waiting_;
+  std::unordered_map<JobId, WaitKey> waiting_index_;
+  std::uint64_t next_wait_seq_ = 0;
+  // Core demands of waiting jobs; lets Backfill skip queue scans when a
+  // machine has fewer free cores than any waiting job needs.
+  std::multiset<std::int32_t> waiting_cores_;
+};
+
+}  // namespace netbatch::cluster

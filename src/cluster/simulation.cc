@@ -1,0 +1,456 @@
+#include "cluster/simulation.h"
+
+#include <algorithm>
+
+#include "common/distributions.h"
+#include "common/log.h"
+
+namespace netbatch::cluster {
+
+NetBatchSimulation::NetBatchSimulation(const ClusterConfig& config,
+                                       const workload::Trace& trace,
+                                       InitialScheduler& scheduler,
+                                       ReschedulingPolicy& policy,
+                                       SimulationOptions options)
+    : scheduler_(&scheduler),
+      policy_(&policy),
+      options_(options),
+      outage_rng_(options.outages.seed) {
+  NETBATCH_CHECK(!config.pools.empty(), "cluster needs at least one pool");
+  pools_.reserve(config.pools.size());
+  for (std::size_t p = 0; p < config.pools.size(); ++p) {
+    const PoolId pool_id(static_cast<PoolId::ValueType>(p));
+    std::vector<Machine> machines;
+    MachineId::ValueType next_machine = 0;
+    for (const MachineGroupConfig& group : config.pools[p].machine_groups) {
+      for (std::int32_t i = 0; i < group.count; ++i) {
+        machines.emplace_back(MachineId(next_machine++), pool_id, group.cores,
+                              group.memory_mb, group.speed, group.owner);
+      }
+    }
+    NETBATCH_CHECK(!machines.empty(), "pool without machines");
+    pools_.push_back(std::make_unique<PhysicalPool>(
+        pool_id, std::move(machines), jobs_, config.suspended_holds_memory,
+        config.local_resume_first));
+    total_cores_ += pools_.back()->total_cores();
+  }
+
+  JobId::ValueType max_id = 0;
+  for (const workload::JobSpec& spec : trace.jobs()) {
+    for (PoolId pool : spec.candidate_pools) {
+      NETBATCH_CHECK(pool.value() < pools_.size(),
+                     "trace references unknown pool");
+    }
+    max_id = std::max(max_id, spec.id.value());
+    jobs_.Create(spec);
+  }
+  total_jobs_ = trace.size();
+  // Duplicates get ids above every trace id.
+  next_duplicate_id_ = max_id + 1;
+
+  if (!options_.transfer_matrix.empty()) {
+    NETBATCH_CHECK(options_.transfer_matrix.size() == pools_.size(),
+                   "transfer matrix must have one row per pool");
+    for (const auto& row : options_.transfer_matrix) {
+      NETBATCH_CHECK(row.size() == pools_.size(),
+                     "transfer matrix must be square");
+      for (Ticks delay : row) {
+        NETBATCH_CHECK(delay >= 0, "negative transfer delay");
+      }
+    }
+  }
+}
+
+void NetBatchSimulation::AddObserver(SimulationObserver* observer) {
+  NETBATCH_CHECK(observer != nullptr, "null observer");
+  observers_.push_back(observer);
+}
+
+void NetBatchSimulation::Run() {
+  for (const Job& job : jobs_) {
+    const JobId id = job.id();
+    sim_.ScheduleAt(job.submit_time(), [this, id] { SubmitJob(id); });
+  }
+  if (options_.outages.mtbf_minutes > 0) {
+    NETBATCH_CHECK(options_.outages.mttr_minutes > 0,
+                   "outage repair time must be positive");
+    for (const auto& pool : pools_) {
+      for (const Machine& machine : pool->machines()) {
+        ScheduleNextFailure(pool->id(), machine.id());
+      }
+    }
+  }
+  if (options_.sampling_enabled && !observers_.empty()) {
+    sampler_ = std::make_unique<sim::PeriodicSampler>(
+        sim_, Ticks{0}, options_.sample_period, [this](Ticks now) {
+          for (SimulationObserver* obs : observers_) {
+            obs->OnSample(now, *this);
+          }
+        });
+    sampler_->StopWhen([this](Ticks) {
+      return completed_count_ + rejected_count_ == total_jobs_;
+    });
+  }
+  sim_.RunToCompletion();
+  NETBATCH_CHECK(completed_count_ + rejected_count_ == total_jobs_,
+                 "simulation ended with unfinished jobs");
+}
+
+void NetBatchSimulation::MarkJobDone() {
+  if (completed_count_ + rejected_count_ == total_jobs_) {
+    // Everything is finished; any residual events are generation-guarded
+    // no-ops, so the loop can stop immediately.
+    sim_.RequestStop();
+  }
+}
+
+void NetBatchSimulation::SubmitJob(JobId id) {
+  Job& job = jobs_.at(id);
+  job.OnSubmitted(sim_.Now());
+  const std::vector<PoolId> order = scheduler_->PoolOrder(job.spec(), *this);
+  if (!OfferToPools(job, order)) {
+    job.OnRejected(sim_.Now());
+    ++rejected_count_;
+    for (SimulationObserver* obs : observers_) obs->OnJobRejected(job);
+    NETBATCH_LOG(kWarn) << "job " << id.value()
+                        << " rejected: no eligible machine in any pool";
+    MarkJobDone();
+  }
+}
+
+bool NetBatchSimulation::OfferToPools(Job& job,
+                                      const std::vector<PoolId>& order) {
+  if (options_.dispatch_mode == DispatchMode::kPreferImmediateStart) {
+    // First pass: any pool that can start (or preempt for) the job now.
+    for (PoolId pool_id : order) {
+      NETBATCH_CHECK(pool_id.value() < pools_.size(),
+                     "scheduler chose unknown pool");
+      const PlaceResult result =
+          pools_[pool_id.value()]->TryPlace(job, sim_.Now(),
+                                            /*allow_queue=*/false);
+      if (result.outcome == PlaceOutcome::kNotEligible) continue;
+      HandlePlaceResult(job, pool_id, result);
+      return true;
+    }
+  }
+  // Commit pass: queue at the first pool that could ever run the job.
+  for (PoolId pool_id : order) {
+    NETBATCH_CHECK(pool_id.value() < pools_.size(),
+                   "scheduler chose unknown pool");
+    const PlaceResult result =
+        pools_[pool_id.value()]->TryPlace(job, sim_.Now());
+    if (result.outcome == PlaceOutcome::kNotEligible) continue;
+    HandlePlaceResult(job, pool_id, result);
+    return true;
+  }
+  return false;
+}
+
+void NetBatchSimulation::HandlePlaceResult(Job& job, PoolId pool,
+                                           const PlaceResult& result) {
+  (void)pool;
+  switch (result.outcome) {
+    case PlaceOutcome::kStarted:
+      HandleStarted(job);
+      HandleVictims(result.suspended);
+      break;
+    case PlaceOutcome::kQueued:
+      ArmWaitTimeout(job);
+      break;
+    case PlaceOutcome::kNotEligible:
+      NETBATCH_CHECK(false, "HandlePlaceResult on a refused placement");
+  }
+}
+
+void NetBatchSimulation::HandleStarted(Job& job) { ScheduleCompletion(job); }
+
+void NetBatchSimulation::ScheduleCompletion(Job& job) {
+  NETBATCH_CHECK(job.state() == JobState::kRunning,
+                 "scheduling completion of a non-running job");
+  const JobId id = job.id();
+  const std::uint64_t generation = job.generation();
+  const Ticks duration = job.TicksToCompletion(job.run_speed());
+  const sim::EventSeq seq = sim_.ScheduleAfter(
+      duration, [this, id, generation] { OnCompletionEvent(id, generation); });
+  job.set_pending_event(seq);
+}
+
+void NetBatchSimulation::HandleVictims(const std::vector<JobId>& victims) {
+  // First settle the bookkeeping for every victim, then consult the policy.
+  // The two passes matter: rescheduling victim A away can free enough of
+  // its machine to resume victim B immediately, and B must not be treated
+  // as suspended (or have its new completion event cancelled) afterwards.
+  for (JobId victim_id : victims) {
+    Job& victim = jobs_.at(victim_id);
+    sim_.Cancel(victim.pending_event());
+    victim.set_pending_event(sim::kNoEvent);
+    ++preemption_count_;
+    for (SimulationObserver* obs : observers_) obs->OnJobSuspended(victim);
+  }
+  for (JobId victim_id : victims) {
+    Job& victim = jobs_.at(victim_id);
+    if (victim.state() != JobState::kSuspended) continue;  // already resumed
+    // Duplicates never spawn further copies or restart: their race with the
+    // original resolves on whichever side finishes first.
+    if (victim.is_duplicate()) continue;
+    const std::optional<PoolId> target = policy_->OnSuspended(victim, *this);
+    if (target.has_value() && *target != victim.pool()) {
+      if (policy_->DuplicateInsteadOfRestart()) {
+        SpawnDuplicate(victim, *target);
+      } else {
+        RestartJob(victim, *target, RescheduleReason::kSuspension);
+      }
+    }
+  }
+}
+
+void NetBatchSimulation::OnCompletionEvent(JobId id,
+                                           std::uint64_t generation) {
+  Job& job = jobs_.at(id);
+  if (job.generation() != generation || job.state() != JobState::kRunning) {
+    return;  // stale event: the job was preempted or rescheduled meanwhile
+  }
+  PhysicalPool& pool = *pools_[job.pool().value()];
+  const std::vector<JobId> scheduled = pool.OnJobCompleted(job, sim_.Now());
+  if (job.twin().valid()) ResolveTwinRace(job);
+  if (!job.is_duplicate()) {
+    ++completed_count_;
+    for (SimulationObserver* obs : observers_) obs->OnJobCompleted(job);
+    MarkJobDone();
+  }
+  FinishJobsScheduledBy(scheduled);
+}
+
+void NetBatchSimulation::SpawnDuplicate(Job& original, PoolId target) {
+  NETBATCH_CHECK(!original.is_duplicate(), "duplicating a duplicate");
+  if (original.twin().valid()) return;  // a race is already in flight
+
+  workload::JobSpec spec = original.spec();
+  spec.id = JobId(next_duplicate_id_++);
+  spec.candidate_pools = {target};
+  Job& duplicate = jobs_.Create(std::move(spec));
+  duplicate.MarkDuplicateOf(original.id());
+  original.set_twin(duplicate.id());
+  ++duplicate_count_;
+  ++reschedule_count_;
+  for (SimulationObserver* obs : observers_) {
+    obs->OnJobRescheduled(original, original.pool(), target,
+                          RescheduleReason::kSuspension);
+  }
+
+  duplicate.OnSubmitted(sim_.Now());
+  const PlaceResult result =
+      pools_[target.value()]->TryPlace(duplicate, sim_.Now());
+  NETBATCH_CHECK(result.outcome != PlaceOutcome::kNotEligible,
+                 "policy duplicated a job into an ineligible pool");
+  HandlePlaceResult(duplicate, target, result);
+}
+
+void NetBatchSimulation::ResolveTwinRace(Job& winner) {
+  Job& loser = jobs_.at(winner.twin());
+  winner.set_twin(JobId());
+  loser.set_twin(JobId());
+  Job& original = winner.is_duplicate() ? loser : winner;
+
+  sim_.Cancel(loser.pending_event());
+  loser.set_pending_event(sim::kNoEvent);
+
+  // Remove the loser from wherever it is parked. A loser that is mid-
+  // transit (restart overhead) holds no pool resources; its delivery event
+  // is invalidated by the generation bump of the terminal transition.
+  const bool complete_by_twin = winner.is_duplicate();
+  if (loser.state() == JobState::kInTransit ||
+      loser.state() == JobState::kPending) {
+    if (complete_by_twin) {
+      loser.OnCompletedByTwin(sim_.Now());
+    } else {
+      loser.OnKilled(sim_.Now());
+    }
+  } else {
+    PhysicalPool& pool = *pools_[loser.pool().value()];
+    FinishJobsScheduledBy(pool.KillJob(loser, sim_.Now(), complete_by_twin));
+  }
+
+  if (winner.is_duplicate()) {
+    // The original finishes with its duplicate's result. Its own partial
+    // progress was folded into rescheduling waste by OnCompletedByTwin; the
+    // duplicate's (useful) run is credited through the original's
+    // completion time.
+    NETBATCH_CHECK(original.state() == JobState::kCompleted,
+                   "twin completion did not complete the original");
+    ++completed_count_;
+    for (SimulationObserver* obs : observers_) obs->OnJobCompleted(original);
+    MarkJobDone();
+  } else {
+    // The original won; the duplicate's entire execution is waste.
+    original.AddExtraWaste(loser.executed_ticks());
+  }
+}
+
+void NetBatchSimulation::FinishJobsScheduledBy(
+    const std::vector<JobId>& scheduled) {
+  for (JobId id : scheduled) {
+    ScheduleCompletion(jobs_.at(id));
+  }
+}
+
+void NetBatchSimulation::ArmWaitTimeout(Job& job) {
+  const std::optional<Ticks> threshold = policy_->WaitRescheduleThreshold();
+  if (!threshold.has_value()) return;
+  NETBATCH_CHECK(*threshold > 0, "wait-reschedule threshold must be positive");
+  NETBATCH_CHECK(job.state() == JobState::kWaiting,
+                 "arming wait timeout for a non-waiting job");
+  const JobId id = job.id();
+  const std::uint64_t generation = job.generation();
+  sim_.ScheduleAfter(*threshold, [this, id, generation] {
+    OnWaitTimeoutEvent(id, generation);
+  });
+}
+
+void NetBatchSimulation::OnWaitTimeoutEvent(JobId id,
+                                            std::uint64_t generation) {
+  Job& job = jobs_.at(id);
+  if (job.generation() != generation || job.state() != JobState::kWaiting) {
+    return;  // the job started, was moved, or completed meanwhile
+  }
+  const std::optional<PoolId> target = policy_->OnWaitTimeout(job, *this);
+  if (target.has_value() && *target != job.pool()) {
+    RestartJob(job, *target, RescheduleReason::kWaitTimeout);
+  } else {
+    // Keep waiting here, but give the job another chance later ("the
+    // rescheduled job can gain multiple second chances", §3.3.1).
+    ArmWaitTimeout(job);
+  }
+}
+
+void NetBatchSimulation::RestartJob(Job& job, PoolId target,
+                                    RescheduleReason reason) {
+  NETBATCH_CHECK(target.value() < pools_.size(), "restart to unknown pool");
+  const PoolId from = job.pool();
+  PhysicalPool& from_pool = *pools_[from.value()];
+
+  MachineId freed_machine;
+  if (job.state() == JobState::kSuspended) {
+    freed_machine = from_pool.DetachSuspended(job);
+  } else {
+    from_pool.RemoveFromQueue(job.id());
+  }
+  job.OnRestart(sim_.Now(), target, options_.checkpoint_interval);
+  ++reschedule_count_;
+  for (SimulationObserver* obs : observers_) {
+    obs->OnJobRescheduled(job, from, target, reason);
+  }
+
+  // Detaching a suspended job may have freed memory another parked job was
+  // waiting for; let the machine backfill before the restart is delivered.
+  if (freed_machine.valid()) {
+    FinishJobsScheduledBy(from_pool.Backfill(freed_machine, sim_.Now()));
+  }
+
+  const JobId id = job.id();
+  const std::uint64_t generation = job.generation();
+  const Ticks overhead =
+      options_.transfer_matrix.empty()
+          ? options_.restart_overhead
+          : options_.transfer_matrix[from.value()][target.value()];
+  if (overhead == 0) {
+    DeliverRestartedJob(id, generation, target);
+  } else {
+    sim_.ScheduleAfter(overhead, [this, id, generation, target] {
+      DeliverRestartedJob(id, generation, target);
+    });
+  }
+}
+
+void NetBatchSimulation::DeliverRestartedJob(JobId id,
+                                             std::uint64_t generation,
+                                             PoolId target) {
+  Job& job = jobs_.at(id);
+  if (job.generation() != generation || job.state() != JobState::kInTransit) {
+    return;
+  }
+  const PlaceResult result =
+      pools_[target.value()]->TryPlace(job, sim_.Now());
+  // Policies must pick pools the job is eligible for; the engine exposes
+  // PoolEligible() exactly for that check.
+  NETBATCH_CHECK(result.outcome != PlaceOutcome::kNotEligible,
+                 "policy rescheduled a job to an ineligible pool");
+  HandlePlaceResult(job, target, result);
+}
+
+void NetBatchSimulation::ScheduleNextFailure(PoolId pool, MachineId machine) {
+  const double uptime_minutes =
+      SampleExponential(outage_rng_, 1.0 / options_.outages.mtbf_minutes);
+  sim_.ScheduleAfter(
+      std::max<Ticks>(1, static_cast<Ticks>(uptime_minutes * kTicksPerMinute)),
+      [this, pool, machine] { OnMachineFailure(pool, machine); });
+}
+
+void NetBatchSimulation::OnMachineFailure(PoolId pool_id, MachineId machine) {
+  PhysicalPool& pool = *pools_[pool_id.value()];
+  ++outage_count_;
+  const std::vector<JobId> evicted = pool.EvictMachine(machine, sim_.Now());
+
+  // Evicted jobs lose their (un-checkpointed) progress and are resubmitted
+  // through the virtual pool manager, like a rescheduling restart without a
+  // chosen target.
+  for (JobId id : evicted) {
+    Job& job = jobs_.at(id);
+    sim_.Cancel(job.pending_event());
+    job.set_pending_event(sim::kNoEvent);
+    job.OnRestart(sim_.Now(), job.pool(), options_.checkpoint_interval);
+    ++eviction_count_;
+    const bool placed =
+        OfferToPools(job, scheduler_->PoolOrder(job.spec(), *this));
+    NETBATCH_CHECK(placed, "evicted job no longer placeable anywhere");
+  }
+
+  const double downtime_minutes =
+      SampleExponential(outage_rng_, 1.0 / options_.outages.mttr_minutes);
+  sim_.ScheduleAfter(
+      std::max<Ticks>(1,
+                      static_cast<Ticks>(downtime_minutes * kTicksPerMinute)),
+      [this, pool_id, machine] { OnMachineRepair(pool_id, machine); });
+}
+
+void NetBatchSimulation::OnMachineRepair(PoolId pool_id, MachineId machine) {
+  PhysicalPool& pool = *pools_[pool_id.value()];
+  FinishJobsScheduledBy(pool.RepairMachine(machine, sim_.Now()));
+  ScheduleNextFailure(pool_id, machine);
+}
+
+void NetBatchSimulation::CheckInvariants() const {
+  for (const auto& pool : pools_) pool->CheckInvariants();
+}
+
+double NetBatchSimulation::PoolUtilization(PoolId pool) const {
+  return pools_[pool.value()]->Utilization();
+}
+
+std::size_t NetBatchSimulation::PoolQueueLength(PoolId pool) const {
+  return pools_[pool.value()]->QueueLength();
+}
+
+std::int64_t NetBatchSimulation::PoolTotalCores(PoolId pool) const {
+  return pools_[pool.value()]->total_cores();
+}
+
+bool NetBatchSimulation::PoolEligible(PoolId pool,
+                                      const workload::JobSpec& spec) const {
+  return pools_[pool.value()]->HasEligibleMachine(spec);
+}
+
+double NetBatchSimulation::ClusterUtilization() const {
+  if (total_cores_ == 0) return 0.0;
+  std::int64_t busy = 0;
+  for (const auto& pool : pools_) busy += pool->busy_cores();
+  return static_cast<double>(busy) / static_cast<double>(total_cores_);
+}
+
+std::size_t NetBatchSimulation::SuspendedJobCount() const {
+  std::size_t suspended = 0;
+  for (const auto& pool : pools_) suspended += pool->SuspendedCount();
+  return suspended;
+}
+
+}  // namespace netbatch::cluster

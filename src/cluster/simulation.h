@@ -1,0 +1,170 @@
+// The NetBatch simulation engine.
+//
+// Plays the role of the paper's ASCA simulator (§3.1): it wires together
+// the event core, the cluster substrate (virtual pool manager + physical
+// pools + machines), an initial scheduler, a rescheduling policy, and any
+// number of observers, then replays a trace until every job completes.
+//
+// Event flow:
+//   submission --> VPM (initial scheduler picks pool order) --> pool
+//     TryPlace: start / preempt victims / queue / bounce to next pool
+//   suspension --> policy.OnSuspended --> optional restart at another pool
+//   wait timeout --> policy.OnWaitTimeout --> optional move (re-arms)
+//   completion --> machine backfill (resume suspended, start waiting)
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/interfaces.h"
+#include "cluster/job_table.h"
+#include "cluster/pool.h"
+#include "cluster/view.h"
+#include "common/rng.h"
+#include "sim/sampler.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace netbatch::cluster {
+
+// Machine failure injection: each machine independently fails with
+// exponential(mtbf) uptime and recovers after exponential(mttr) downtime.
+// A failing machine evicts everything on it (running and suspended); the
+// evicted jobs lose un-checkpointed progress and are resubmitted through
+// the virtual pool manager.
+struct OutageModel {
+  double mtbf_minutes = 0;   // mean time between failures; 0 disables
+  double mttr_minutes = 240; // mean time to repair
+  std::uint64_t seed = 0xfa11;
+};
+
+// How the virtual pool manager dispatches a new submission across its
+// candidate pools (paper §2.1: jobs are distributed to connected pools
+// "according to resource availability and NetBatch configurations").
+enum class DispatchMode {
+  // Availability-aware round: offer to pools in scheduler order, preferring
+  // the first pool that can start the job immediately; only when every
+  // candidate is busy does the job queue at the scheduler's first eligible
+  // choice. This is the default — and it is exactly the check a
+  // *rescheduled* job skips, since restarts are "sent to the alternate pool
+  // directly" (§3.2), which is what makes a poor alternate-pool choice
+  // expensive.
+  kPreferImmediateStart,
+  // Naive: commit to the scheduler's first eligible pool, queueing there
+  // even if an idle pool exists further down the order.
+  kQueueAtFirstEligible,
+};
+
+struct SimulationOptions {
+  // Delivery delay applied when a job is rescheduled to another pool
+  // (models data/binary transfer; the paper's future-work overhead).
+  Ticks restart_overhead = 0;
+  // Periodic checkpointing granularity in work units (0 = the paper's
+  // baseline: restarts lose all progress). See Job::OnRestart.
+  Ticks checkpoint_interval = 0;
+  // Per-pool-pair transfer delay for rescheduled jobs (paper §5's network
+  // delays / inter-site rescheduling): transfer_matrix[from][to] overrides
+  // the scalar restart_overhead when non-empty. Must be square with one row
+  // per pool.
+  std::vector<std::vector<Ticks>> transfer_matrix;
+  // Machine failure injection (disabled by default).
+  OutageModel outages;
+  // ASCA samples component state once per simulated minute.
+  Ticks sample_period = kTicksPerMinute;
+  bool sampling_enabled = true;
+  DispatchMode dispatch_mode = DispatchMode::kPreferImmediateStart;
+};
+
+class NetBatchSimulation final : public ClusterView {
+ public:
+  // `scheduler` and `policy` must outlive the simulation.
+  NetBatchSimulation(const ClusterConfig& config,
+                     const workload::Trace& trace,
+                     InitialScheduler& scheduler, ReschedulingPolicy& policy,
+                     SimulationOptions options = {});
+
+  NetBatchSimulation(const NetBatchSimulation&) = delete;
+  NetBatchSimulation& operator=(const NetBatchSimulation&) = delete;
+
+  // Observers must outlive the simulation; call before Run().
+  void AddObserver(SimulationObserver* observer);
+
+  // Replays the whole trace and runs until every job completed (or was
+  // rejected because no pool can ever run it).
+  void Run();
+
+  // --- results ------------------------------------------------------------
+  const JobTable& jobs() const { return jobs_; }
+  std::size_t completed_count() const { return completed_count_; }
+  std::size_t rejected_count() const { return rejected_count_; }
+  std::uint64_t preemption_count() const { return preemption_count_; }
+  std::uint64_t reschedule_count() const { return reschedule_count_; }
+  std::uint64_t duplicate_count() const { return duplicate_count_; }
+  std::uint64_t outage_count() const { return outage_count_; }
+  std::uint64_t eviction_count() const { return eviction_count_; }
+
+  const PhysicalPool& pool(PoolId id) const { return *pools_[id.value()]; }
+  sim::Simulator& simulator() { return sim_; }
+
+  // Test support: validates every pool's resource invariants.
+  void CheckInvariants() const;
+
+  // --- ClusterView ----------------------------------------------------------
+  Ticks Now() const override { return sim_.Now(); }
+  std::size_t PoolCount() const override { return pools_.size(); }
+  double PoolUtilization(PoolId pool) const override;
+  std::size_t PoolQueueLength(PoolId pool) const override;
+  std::int64_t PoolTotalCores(PoolId pool) const override;
+  bool PoolEligible(PoolId pool, const workload::JobSpec& spec) const override;
+  double ClusterUtilization() const override;
+  std::size_t SuspendedJobCount() const override;
+
+ private:
+  void SubmitJob(JobId id);
+  // Offers the job to pools in `order`; returns false if every pool refused.
+  bool OfferToPools(Job& job, const std::vector<PoolId>& order);
+  void HandlePlaceResult(Job& job, PoolId pool, const PlaceResult& result);
+  void HandleStarted(Job& job);
+  void HandleVictims(const std::vector<JobId>& victims);
+  void ScheduleCompletion(Job& job);
+  void OnCompletionEvent(JobId id, std::uint64_t generation);
+  void ArmWaitTimeout(Job& job);
+  void OnWaitTimeoutEvent(JobId id, std::uint64_t generation);
+  void RestartJob(Job& job, PoolId target, RescheduleReason reason);
+  void DeliverRestartedJob(JobId id, std::uint64_t generation, PoolId target);
+  // Duplication extension: launch a copy of `original` in `target`; the
+  // first of the pair to complete wins (ResolveTwinRace).
+  void SpawnDuplicate(Job& original, PoolId target);
+  void ResolveTwinRace(Job& winner);
+  // Failure injection.
+  void ScheduleNextFailure(PoolId pool, MachineId machine);
+  void OnMachineFailure(PoolId pool, MachineId machine);
+  void OnMachineRepair(PoolId pool, MachineId machine);
+  void FinishJobsScheduledBy(const std::vector<JobId>& scheduled);
+  void MarkJobDone();
+
+  sim::Simulator sim_;
+  JobTable jobs_;
+  std::vector<std::unique_ptr<PhysicalPool>> pools_;
+  InitialScheduler* scheduler_;
+  ReschedulingPolicy* policy_;
+  SimulationOptions options_;
+  std::vector<SimulationObserver*> observers_;
+  std::unique_ptr<sim::PeriodicSampler> sampler_;
+
+  std::int64_t total_cores_ = 0;
+  std::size_t total_jobs_ = 0;
+  std::size_t completed_count_ = 0;
+  std::size_t rejected_count_ = 0;
+  std::uint64_t preemption_count_ = 0;
+  std::uint64_t reschedule_count_ = 0;
+  std::uint64_t duplicate_count_ = 0;
+  std::uint64_t outage_count_ = 0;
+  std::uint64_t eviction_count_ = 0;
+  JobId::ValueType next_duplicate_id_;
+  Rng outage_rng_;
+};
+
+}  // namespace netbatch::cluster

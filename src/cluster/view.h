@@ -1,0 +1,40 @@
+// Read-only view of cluster state, handed to scheduling policies.
+//
+// The paper notes (§3.2.2) that utilization-based decisions "require the
+// virtual pool manager to know the current situation in every physical pool
+// at any time, which can be impractical". Policies therefore only see this
+// narrow interface; the staleness ablation wraps it with a delayed snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "workload/job_spec.h"
+
+namespace netbatch::cluster {
+
+class ClusterView {
+ public:
+  virtual ~ClusterView() = default;
+
+  virtual Ticks Now() const = 0;
+  virtual std::size_t PoolCount() const = 0;
+
+  // Fraction of the pool's cores running jobs, in [0, 1].
+  virtual double PoolUtilization(PoolId pool) const = 0;
+  virtual std::size_t PoolQueueLength(PoolId pool) const = 0;
+  virtual std::int64_t PoolTotalCores(PoolId pool) const = 0;
+
+  // Whether some machine in `pool` could ever run `spec`.
+  virtual bool PoolEligible(PoolId pool, const workload::JobSpec& spec)
+      const = 0;
+
+  // Cluster-wide running-core fraction and suspended-job count (Fig. 4's
+  // two curves).
+  virtual double ClusterUtilization() const = 0;
+  virtual std::size_t SuspendedJobCount() const = 0;
+};
+
+}  // namespace netbatch::cluster

@@ -1,0 +1,27 @@
+// Invariant-checking support.
+//
+// NETBATCH_CHECK is an always-on assertion: it is kept in release builds
+// because the simulator's correctness argument rests on its internal
+// invariants (resource conservation, event ordering, state-machine legality)
+// and silent corruption would invalidate every experiment built on top.
+#pragma once
+
+#include <string_view>
+
+namespace netbatch {
+
+// Prints `expr` / `file:line` / `msg` to stderr and aborts.
+// Out-of-line so the macro expansion stays cheap at every call site.
+[[noreturn]] void CheckFailed(std::string_view expr, std::string_view file,
+                              int line, std::string_view msg);
+
+}  // namespace netbatch
+
+// Aborts with a diagnostic when `cond` is false. `msg` is a string-view-
+// convertible description of the violated invariant.
+#define NETBATCH_CHECK(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::netbatch::CheckFailed(#cond, __FILE__, __LINE__, (msg));      \
+    }                                                                 \
+  } while (false)

@@ -1,0 +1,36 @@
+// Minimal CSV reading and writing.
+//
+// Traces and experiment outputs are exchanged as CSV (RFC-4180 quoting for
+// fields containing commas/quotes/newlines). This is deliberately small:
+// enough for NetBatchSim's own files, not a general-purpose parser.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netbatch {
+
+// Writes rows to an ostream, quoting fields when necessary.
+class CsvWriter {
+ public:
+  // The stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+};
+
+// Splits one CSV line into fields, honoring double-quote escaping.
+// Multi-line quoted fields are not supported (trace files never need them).
+std::vector<std::string> ParseCsvLine(std::string_view line);
+
+// Reads an entire CSV document from a string (used by tests) or a file.
+// Returns one vector of fields per non-empty line.
+std::vector<std::vector<std::string>> ParseCsv(std::string_view text);
+std::vector<std::vector<std::string>> ReadCsvFile(const std::string& path);
+
+}  // namespace netbatch

@@ -1,0 +1,106 @@
+#include "common/distributions.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace netbatch {
+
+double SampleExponential(Rng& rng, double rate) {
+  NETBATCH_CHECK(rate > 0, "exponential rate must be positive");
+  // 1 - U in (0, 1] so log() never sees zero.
+  return -std::log(1.0 - rng.NextDouble()) / rate;
+}
+
+double SampleStandardNormal(Rng& rng) {
+  const double u1 = 1.0 - rng.NextDouble();  // (0, 1]
+  const double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double SampleLognormal(Rng& rng, double mu, double sigma) {
+  NETBATCH_CHECK(sigma >= 0, "lognormal sigma must be non-negative");
+  return std::exp(mu + sigma * SampleStandardNormal(rng));
+}
+
+double SamplePareto(Rng& rng, double xm, double alpha) {
+  NETBATCH_CHECK(xm > 0 && alpha > 0, "pareto parameters must be positive");
+  return xm / std::pow(1.0 - rng.NextDouble(), 1.0 / alpha);
+}
+
+double SampleBoundedPareto(Rng& rng, double lo, double hi, double alpha) {
+  NETBATCH_CHECK(lo > 0 && lo < hi && alpha > 0,
+                 "bounded pareto requires 0 < lo < hi and alpha > 0");
+  const double u = rng.NextDouble();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  // Inverse CDF of the truncated Pareto.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::int64_t SamplePoisson(Rng& rng, double lambda) {
+  NETBATCH_CHECK(lambda >= 0, "poisson mean must be non-negative");
+  if (lambda == 0) return 0;
+  if (lambda > 30) {
+    // Normal approximation with continuity correction; adequate for
+    // arrival-count generation at high rates.
+    const double draw =
+        lambda + std::sqrt(lambda) * SampleStandardNormal(rng) + 0.5;
+    return draw < 0 ? 0 : static_cast<std::int64_t>(draw);
+  }
+  const double limit = std::exp(-lambda);
+  std::int64_t k = 0;
+  double product = rng.NextDouble();
+  while (product > limit) {
+    ++k;
+    product *= rng.NextDouble();
+  }
+  return k;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  NETBATCH_CHECK(n > 0, "zipf requires n > 0");
+  NETBATCH_CHECK(s >= 0, "zipf exponent must be non-negative");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // Binary search for the first cumulative weight >= u.
+  std::size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+MarkovModulatedBursts::MarkovModulatedBursts(double mean_off, double mean_on,
+                                             Rng rng)
+    : mean_off_(mean_off), mean_on_(mean_on), rng_(rng) {
+  NETBATCH_CHECK(mean_off > 0 && mean_on > 0,
+                 "burst dwell times must be positive");
+  next_flip_ = SampleExponential(rng_, 1.0 / mean_off_);
+}
+
+bool MarkovModulatedBursts::IsOnAt(double now) {
+  while (now >= next_flip_) {
+    on_ = !on_;
+    const double mean = on_ ? mean_on_ : mean_off_;
+    next_flip_ += SampleExponential(rng_, 1.0 / mean);
+  }
+  return on_;
+}
+
+}  // namespace netbatch

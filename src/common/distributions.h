@@ -1,0 +1,71 @@
+// Sampling distributions used by the workload model.
+//
+// The NetBatch trace statistics in the paper (long-tailed suspension and
+// completion times, bursty high-priority arrivals) motivate the standard
+// grid-workload toolkit: exponential inter-arrivals, lognormal bodies and
+// (bounded) Pareto tails for service demand, and Zipf pool popularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace netbatch {
+
+// Exponential with the given rate (events per unit time); mean = 1/rate.
+double SampleExponential(Rng& rng, double rate);
+
+// Lognormal: exp(N(mu, sigma^2)).
+double SampleLognormal(Rng& rng, double mu, double sigma);
+
+// Standard normal via Box-Muller (single value; no caching, deterministic).
+double SampleStandardNormal(Rng& rng);
+
+// Pareto with scale xm > 0 and shape alpha > 0. Mean is infinite for
+// alpha <= 1; prefer the bounded variant for service times.
+double SamplePareto(Rng& rng, double xm, double alpha);
+
+// Bounded Pareto on [lo, hi] with shape alpha (lo < hi, alpha > 0).
+double SampleBoundedPareto(Rng& rng, double lo, double hi, double alpha);
+
+// Poisson with mean lambda >= 0. Knuth's method for small lambda, normal
+// approximation above 30 (keeps sampling O(1) for bursty arrival rates).
+std::int64_t SamplePoisson(Rng& rng, double lambda);
+
+// Zipf over ranks {0, .., n-1} with exponent s >= 0 (s = 0 is uniform).
+// Used for skewed pool popularity. O(n) setup per call is avoided by the
+// caller caching a ZipfSampler.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t Sample(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+// A two-state Markov-modulated process ("off"/"on"), used to model the
+// bursty arrival of high-priority jobs (paper, Section 2.3: bursts last
+// hours to a week). State dwell times are exponential.
+class MarkovModulatedBursts {
+ public:
+  // mean_off / mean_on: expected dwell time (in the caller's time unit) in
+  // the quiet / bursty state.
+  MarkovModulatedBursts(double mean_off, double mean_on, Rng rng);
+
+  // Advances to `now`, flipping states as dwell periods expire.
+  // Returns true when the process is in the "on" (bursty) state at `now`.
+  bool IsOnAt(double now);
+
+ private:
+  double mean_off_;
+  double mean_on_;
+  Rng rng_;
+  bool on_ = false;
+  double next_flip_;
+};
+
+}  // namespace netbatch

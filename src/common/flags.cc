@@ -1,0 +1,109 @@
+#include "common/flags.h"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace netbatch {
+namespace {
+
+bool IsFlagToken(const std::string& token) {
+  return token.size() > 2 && token[0] == '-' && token[1] == '-';
+}
+
+}  // namespace
+
+Flags Flags::Parse(int argc, const char* const* argv) {
+  Flags flags;
+  bool positional_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (positional_only) {
+      flags.positional_.push_back(token);
+      continue;
+    }
+    if (token == "--") {
+      positional_only = true;
+      continue;
+    }
+    if (!IsFlagToken(token)) {
+      // Bare tokens are positional arguments (e.g. a subcommand name).
+      flags.positional_.push_back(token);
+      continue;
+    }
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = Entry{body.substr(eq + 1)};
+      continue;
+    }
+    // `--name value` when the next token is not a flag; bare `--name` is a
+    // boolean true.
+    if (i + 1 < argc && !IsFlagToken(argv[i + 1]) &&
+        std::string(argv[i + 1]) != "--") {
+      flags.values_[body] = Entry{argv[++i]};
+    } else {
+      flags.values_[body] = Entry{"true"};
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.contains(name);
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.used = true;
+  return it->second.value;
+}
+
+std::int64_t Flags::GetInt(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.used = true;
+  const std::string& s = it->second.value;
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  NETBATCH_CHECK(ec == std::errc{} && ptr == s.data() + s.size(),
+                 "flag value is not an integer");
+  return value;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.used = true;
+  const std::string& s = it->second.value;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  NETBATCH_CHECK(end == s.c_str() + s.size() && !s.empty(),
+                 "flag value is not a number");
+  return value;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.used = true;
+  const std::string& s = it->second.value;
+  if (s == "true" || s == "1" || s == "yes") return true;
+  if (s == "false" || s == "0" || s == "no") return false;
+  NETBATCH_CHECK(false, "flag value is not a boolean");
+  return fallback;
+}
+
+std::vector<std::string> Flags::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, entry] : values_) {
+    if (!entry.used) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace netbatch

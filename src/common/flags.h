@@ -1,0 +1,48 @@
+// Minimal command-line flag parsing for the CLI and bench binaries.
+//
+// Supports --name=value and --name value forms, boolean flags (--name /
+// --name=false), and typed access with defaults. Deliberately small: no
+// registration globals, no abbreviations — just enough for NetBatchSim's
+// own executables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netbatch {
+
+class Flags {
+ public:
+  // Parses argv. Bare tokens (e.g. subcommand names) become positional
+  // arguments; `--` forces everything after it to be positional.
+  static Flags Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  // Typed getters; abort on unparsable values (a typo'd experiment flag
+  // must not silently fall back to a default mid-sweep).
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Names of flags that were never read by any getter; lets executables
+  // reject misspelled flags after configuration is complete.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  struct Entry {
+    std::string value;
+    mutable bool used = false;
+  };
+  std::map<std::string, Entry> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace netbatch

@@ -1,0 +1,106 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace netbatch {
+
+void EmpiricalCdf::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::At(double x) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  NETBATCH_CHECK(!samples_.empty(), "Quantile() of empty distribution");
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto n = samples_.size();
+  const std::size_t idx = std::min(
+      n - 1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(n))) -
+                 (q > 0 ? 1 : 0));
+  return samples_[idx];
+}
+
+double EmpiricalCdf::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::FractionAbove(double x) const {
+  if (samples_.empty()) return 0.0;
+  return 1.0 - At(x);
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::CurvePoints(
+    std::size_t points) const {
+  std::vector<Point> out;
+  if (samples_.empty() || points == 0) return out;
+  EnsureSorted();
+  out.reserve(points);
+  for (std::size_t i = 1; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    out.push_back({Quantile(q), q});
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, int buckets_per_decade)
+    : lo_(lo) {
+  NETBATCH_CHECK(lo > 0 && hi > lo, "LogHistogram requires 0 < lo < hi");
+  NETBATCH_CHECK(buckets_per_decade > 0, "need at least one bucket per decade");
+  log_ratio_ = std::log(10.0) / buckets_per_decade;
+  const auto buckets = static_cast<std::size_t>(
+                           std::ceil(std::log(hi / lo) / log_ratio_)) +
+                       1;  // +1 for overflow
+  counts_.assign(buckets, 0);
+}
+
+void LogHistogram::Add(double x) {
+  ++total_;
+  std::size_t idx = 0;
+  if (x > lo_) {
+    idx = static_cast<std::size_t>(std::log(x / lo_) / log_ratio_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+}
+
+double LogHistogram::bucket_lower(std::size_t i) const {
+  return lo_ * std::exp(log_ratio_ * static_cast<double>(i));
+}
+
+double LogHistogram::ApproxQuantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += static_cast<double>(counts_[i]);
+    if (cum >= target) {
+      // Midpoint of the bucket in log space.
+      return lo_ * std::exp(log_ratio_ * (static_cast<double>(i) + 0.5));
+    }
+  }
+  return bucket_lower(counts_.size() - 1);
+}
+
+}  // namespace netbatch

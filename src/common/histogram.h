@@ -1,0 +1,77 @@
+// Histograms and empirical CDFs.
+//
+// `EmpiricalCdf` backs the Figure 2 reproduction (CDF of job suspension
+// time) and percentile reporting; `LogHistogram` provides compact summaries
+// of long-tailed quantities without retaining every sample.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace netbatch {
+
+// Exact empirical distribution: retains all samples, sorts lazily.
+// Suitable for up to a few million samples, which covers every experiment
+// in the paper (248k jobs / week, ~1M jobs / year at our scale).
+class EmpiricalCdf {
+ public:
+  void Add(double x);
+  void Reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t count() const { return samples_.size(); }
+
+  // P(X <= x); 0 for an empty distribution.
+  double At(double x) const;
+
+  // Inverse CDF: smallest sample s with P(X <= s) >= q, q in [0, 1].
+  // Requires at least one sample.
+  double Quantile(double q) const;
+
+  double Median() const { return Quantile(0.5); }
+  double Mean() const;
+
+  // Fraction of samples strictly greater than x.
+  double FractionAbove(double x) const;
+
+  // Evenly spaced (in quantile space) CDF points for plotting:
+  // `points` pairs of (value, cumulative fraction).
+  struct Point {
+    double value;
+    double fraction;
+  };
+  std::vector<Point> CurvePoints(std::size_t points) const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Fixed-size histogram with logarithmically spaced bucket boundaries;
+// bucket i covers [lo * ratio^i, lo * ratio^(i+1)). Values below `lo` land
+// in the first bucket; values beyond the last boundary in the overflow.
+class LogHistogram {
+ public:
+  // Buckets span [lo, hi] with `buckets_per_decade` buckets per 10x.
+  LogHistogram(double lo, double hi, int buckets_per_decade);
+
+  void Add(double x);
+
+  std::int64_t total_count() const { return total_; }
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::int64_t bucket(std::size_t i) const { return counts_[i]; }
+  // Lower bound of bucket i.
+  double bucket_lower(std::size_t i) const;
+
+  // Approximate quantile from bucket midpoints; q in [0, 1].
+  double ApproxQuantile(double q) const;
+
+ private:
+  double lo_;
+  double log_ratio_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace netbatch

@@ -1,0 +1,55 @@
+// Strongly-typed entity identifiers.
+//
+// Jobs, pools, machines and tasks are all indexed by small integers; the
+// strong typedef below prevents the classic bug of passing a machine index
+// where a pool index is expected. Ids are trivially copyable and hashable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace netbatch {
+
+// A strongly-typed 32-bit id. `Tag` is a phantom type used only to make
+// distinct id families incompatible with each other.
+template <typename Tag>
+class Id {
+ public:
+  using ValueType = std::uint32_t;
+
+  // Sentinel meaning "no entity"; default construction yields it.
+  static constexpr ValueType kInvalidValue = 0xffffffffu;
+
+  constexpr Id() = default;
+  constexpr explicit Id(ValueType value) : value_(value) {}
+
+  constexpr ValueType value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  ValueType value_ = kInvalidValue;
+};
+
+struct JobIdTag {};
+struct PoolIdTag {};
+struct MachineIdTag {};
+struct TaskIdTag {};
+
+using JobId = Id<JobIdTag>;
+using PoolId = Id<PoolIdTag>;
+using MachineId = Id<MachineIdTag>;
+using TaskId = Id<TaskIdTag>;
+
+}  // namespace netbatch
+
+namespace std {
+template <typename Tag>
+struct hash<netbatch::Id<Tag>> {
+  size_t operator()(netbatch::Id<Tag> id) const noexcept {
+    return std::hash<typename netbatch::Id<Tag>::ValueType>{}(id.value());
+  }
+};
+}  // namespace std

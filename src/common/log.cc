@@ -1,0 +1,38 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace netbatch {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogMessage(LogLevel level, std::string_view message) {
+  if (level < g_level.load() || level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[%s] %.*s\n", LevelName(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace netbatch

@@ -1,0 +1,48 @@
+// Leveled logging to stderr.
+//
+// The simulator is silent by default; tests and examples can raise the level
+// to trace scheduling decisions. Logging never affects simulation state, so
+// it is safe to toggle without perturbing determinism.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace netbatch {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line: "[LEVEL] message".
+void LogMessage(LogLevel level, std::string_view message);
+
+namespace internal {
+
+// Stream-style log statement builder; flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace netbatch
+
+#define NETBATCH_LOG(level)                                      \
+  if (::netbatch::GetLogLevel() <= ::netbatch::LogLevel::level)  \
+  ::netbatch::internal::LogLine(::netbatch::LogLevel::level)

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in NetBatchSim flows through `Rng` so that a (config, seed)
+// pair fully determines every experiment. The generator is xoshiro256**,
+// seeded through splitmix64 as its authors recommend; both are tiny, fast
+// and have well-understood statistical quality.
+//
+// Independent subsystems (workload generation, pool selection, machine
+// heterogeneity) should each own an `Rng` forked via `Fork()`, so that adding
+// draws in one subsystem does not perturb the stream seen by another.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+
+namespace netbatch {
+
+// splitmix64 step; used for seeding and for forking child streams.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+// xoshiro256** with convenience draws. Copyable; copies continue the same
+// stream independently (use Fork() when you want decorrelated streams).
+class Rng {
+ public:
+  // Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed);
+
+  // Next raw 64-bit draw.
+  std::uint64_t Next();
+
+  // A decorrelated child generator; deterministic given this Rng's state.
+  // Advances this generator by one draw.
+  Rng Fork();
+
+  // Uniform real in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform index in [0, size); requires size > 0.
+  std::size_t UniformIndex(std::size_t size);
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Picks a uniformly random element of a non-empty span.
+  template <typename T>
+  const T& Pick(std::span<const T> items) {
+    NETBATCH_CHECK(!items.empty(), "Pick() from empty span");
+    return items[UniformIndex(items.size())];
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace netbatch

@@ -1,0 +1,38 @@
+// Streaming summary statistics.
+//
+// Used throughout the metrics layer for single-pass aggregation of job-level
+// quantities (completion time, suspend time, wasted time, ...).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace netbatch {
+
+// Welford-style single-pass accumulator: count, mean, variance, min, max.
+// Numerically stable; O(1) per observation.
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  // Merges another accumulator into this one (parallel-safe combine).
+  void Merge(const StreamingStats& other);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+  // Population variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace netbatch

@@ -1,0 +1,31 @@
+// Plain-text table rendering for experiment reports.
+//
+// The benchmark binaries print tables in the same row/column layout as the
+// paper's Tables 1-5; this helper keeps that formatting in one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netbatch {
+
+// A simple right-aligned text table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with column separators and a rule under the header.
+  std::string Render() const;
+
+  // Convenience numeric formatting used by report code.
+  static std::string Fixed(double v, int decimals);
+  static std::string Percent(double fraction, int decimals);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netbatch

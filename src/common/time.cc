@@ -1,0 +1,22 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace netbatch {
+
+std::string FormatTicks(Ticks t) {
+  const bool negative = t < 0;
+  if (negative) t = -t;
+  const std::int64_t seconds = t % 60;
+  const std::int64_t minutes = (t / 60) % 60;
+  const std::int64_t hours = (t / 3600) % 24;
+  const std::int64_t days = t / 86400;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld",
+                negative ? "-" : "", static_cast<long long>(days),
+                static_cast<long long>(hours), static_cast<long long>(minutes),
+                static_cast<long long>(seconds));
+  return buf;
+}
+
+}  // namespace netbatch

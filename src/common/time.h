@@ -1,0 +1,38 @@
+// Simulation time.
+//
+// NetBatch traces and all paper metrics are expressed in minutes; machine
+// speed heterogeneity makes sub-minute precision necessary, so the simulator
+// clock counts integer *ticks* at 60 ticks per minute (i.e. seconds).
+// Integer time keeps the simulation fully deterministic: there is no
+// floating-point accumulation anywhere on the critical path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace netbatch {
+
+// A point in simulated time, in ticks since the start of the simulation.
+using Ticks = std::int64_t;
+
+inline constexpr Ticks kTicksPerMinute = 60;
+
+// One day / one week in ticks; used by scenario presets.
+inline constexpr Ticks kTicksPerHour = 60 * kTicksPerMinute;
+inline constexpr Ticks kTicksPerDay = 24 * kTicksPerHour;
+inline constexpr Ticks kTicksPerWeek = 7 * kTicksPerDay;
+
+// Converts whole minutes to ticks.
+constexpr Ticks MinutesToTicks(std::int64_t minutes) {
+  return minutes * kTicksPerMinute;
+}
+
+// Converts ticks to (possibly fractional) minutes for reporting.
+constexpr double TicksToMinutes(Ticks t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerMinute);
+}
+
+// Renders a tick count as "Xd HH:MM:SS" for logs and reports.
+std::string FormatTicks(Ticks t);
+
+}  // namespace netbatch

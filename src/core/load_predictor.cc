@@ -1,0 +1,90 @@
+#include "core/load_predictor.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace netbatch::core {
+
+PoolLoadPredictor::PoolLoadPredictor(double smoothing)
+    : smoothing_(smoothing) {
+  NETBATCH_CHECK(smoothing > 0 && smoothing <= 1,
+                 "EWMA smoothing must be in (0, 1]");
+}
+
+void PoolLoadPredictor::OnSample(Ticks now, const cluster::ClusterView& view) {
+  (void)now;
+  if (pools_.empty()) pools_.resize(view.PoolCount());
+  for (std::size_t p = 0; p < pools_.size(); ++p) {
+    const PoolId pool(static_cast<PoolId::ValueType>(p));
+    PoolState& state = pools_[p];
+    const double util = view.PoolUtilization(pool);
+    const double queue = static_cast<double>(view.PoolQueueLength(pool));
+    if (samples_seen_ == 0) {
+      state.utilization = util;
+      state.queue = queue;
+      state.trend = 0;
+    } else {
+      state.utilization += smoothing_ * (util - state.utilization);
+      state.queue += smoothing_ * (queue - state.queue);
+      state.trend += smoothing_ * ((queue - state.last_queue) - state.trend);
+    }
+    state.last_queue = queue;
+  }
+  ++samples_seen_;
+}
+
+double PoolLoadPredictor::SmoothedUtilization(PoolId pool) const {
+  if (pool.value() >= pools_.size()) return 0;
+  return pools_[pool.value()].utilization;
+}
+
+double PoolLoadPredictor::SmoothedQueueLength(PoolId pool) const {
+  if (pool.value() >= pools_.size()) return 0;
+  return pools_[pool.value()].queue;
+}
+
+double PoolLoadPredictor::QueueTrend(PoolId pool) const {
+  if (pool.value() >= pools_.size()) return 0;
+  return pools_[pool.value()].trend;
+}
+
+double PoolLoadPredictor::PredictedDelayScore(PoolId pool) const {
+  if (pool.value() >= pools_.size()) return 0;
+  const PoolState& state = pools_[pool.value()];
+  // Backlog is what a committed job waits behind; a growing backlog on a
+  // saturated pool compounds. An idle pool scores near zero regardless of
+  // residual smoothing.
+  const double saturation = std::clamp(state.utilization, 0.0, 0.999);
+  const double growth = std::max(0.0, state.trend);
+  return (state.queue + 10.0 * growth + saturation) / (1.0 - saturation);
+}
+
+std::optional<PoolId> PredictorSelector::Select(
+    const cluster::Job& job, PoolId current,
+    const cluster::ClusterView& view) {
+  if (!predictor_->ready()) return bootstrap_.Select(job, current, view);
+
+  const std::vector<PoolId> pools = EligibleCandidatePools(job, view);
+  if (pools.empty()) return std::nullopt;
+
+  PoolId best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (PoolId pool : pools) {
+    const double score = predictor_->PredictedDelayScore(pool);
+    if (score < best_score || (score == best_score && pool < best)) {
+      best = pool;
+      best_score = score;
+    }
+  }
+  // Retain rule on the same smoothed metric.
+  if (best == current ||
+      (current.valid() &&
+       predictor_->PredictedDelayScore(current) <= best_score)) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+}  // namespace netbatch::core

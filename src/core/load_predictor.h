@@ -1,0 +1,78 @@
+// Telemetry-driven per-pool load prediction (paper §5).
+//
+// The paper's future work proposes rescheduling decisions based on
+// "multiple metrics (e.g., utilization, queue lengths, prediction of job
+// completion times within a pool) in combination". A real deployment cannot
+// read instantaneous global state; it consumes *sampled, smoothed
+// telemetry*. PoolLoadPredictor models that pipeline: it observes the
+// simulation's per-minute sampling stream (exactly what ASCA logs) and
+// maintains an EWMA view of every pool's utilization and queue backlog,
+// including a trend estimate of each queue's drain rate.
+//
+// PredictorSelector then makes rescheduling decisions from that smoothed
+// view only — a policy that could actually be built on NetBatch telemetry,
+// unlike the idealized live-utilization selector.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/interfaces.h"
+#include "core/pool_selector.h"
+
+namespace netbatch::core {
+
+class PoolLoadPredictor final : public cluster::SimulationObserver {
+ public:
+  // `smoothing` is the EWMA weight of the newest sample, in (0, 1].
+  explicit PoolLoadPredictor(double smoothing = 0.2);
+
+  void OnSample(Ticks now, const cluster::ClusterView& view) override;
+
+  bool ready() const { return samples_seen_ > 0; }
+  std::int64_t samples_seen() const { return samples_seen_; }
+
+  // Smoothed pool state; 0 before the first sample.
+  double SmoothedUtilization(PoolId pool) const;
+  double SmoothedQueueLength(PoolId pool) const;
+
+  // Smoothed queue growth in jobs per sample; positive = backlog building.
+  double QueueTrend(PoolId pool) const;
+
+  // A crude predicted start delay score for a newly queued job: the
+  // smoothed backlog inflated when the queue is trending up and the pool is
+  // saturated. Dimensionless — only comparisons between pools matter.
+  double PredictedDelayScore(PoolId pool) const;
+
+ private:
+  struct PoolState {
+    double utilization = 0;
+    double queue = 0;
+    double trend = 0;
+    double last_queue = 0;
+  };
+
+  double smoothing_;
+  std::int64_t samples_seen_ = 0;
+  std::vector<PoolState> pools_;
+};
+
+// Chooses the candidate pool with the lowest predicted delay score based
+// solely on the predictor's smoothed telemetry (with the §3.2.1 retain
+// rule). Before the first sample arrives it falls back to live utilization.
+class PredictorSelector final : public PoolSelector {
+ public:
+  // `predictor` must outlive the selector and be attached as an observer to
+  // the same simulation.
+  explicit PredictorSelector(const PoolLoadPredictor& predictor)
+      : predictor_(&predictor) {}
+
+  std::optional<PoolId> Select(const cluster::Job& job, PoolId current,
+                               const cluster::ClusterView& view) override;
+
+ private:
+  const PoolLoadPredictor* predictor_;
+  LowestUtilizationSelector bootstrap_;
+};
+
+}  // namespace netbatch::core

@@ -1,0 +1,89 @@
+#include "core/policies.h"
+
+#include "common/check.h"
+
+namespace netbatch::core {
+
+CompositeReschedulingPolicy::CompositeReschedulingPolicy(
+    std::unique_ptr<PoolSelector> suspend_selector,
+    std::unique_ptr<PoolSelector> wait_selector, Ticks wait_threshold,
+    bool duplicate)
+    : suspend_selector_(std::move(suspend_selector)),
+      wait_selector_(std::move(wait_selector)),
+      wait_threshold_(wait_threshold),
+      duplicate_(duplicate) {
+  NETBATCH_CHECK(suspend_selector_ != nullptr || wait_selector_ != nullptr,
+                 "composite policy with no selectors is just NoRes");
+  NETBATCH_CHECK(wait_selector_ == nullptr || wait_threshold_ > 0,
+                 "wait rescheduling needs a positive threshold");
+}
+
+std::optional<PoolId> CompositeReschedulingPolicy::OnSuspended(
+    const cluster::Job& job, const cluster::ClusterView& view) {
+  if (suspend_selector_ == nullptr) return std::nullopt;
+  return suspend_selector_->Select(job, job.pool(), view);
+}
+
+std::optional<Ticks> CompositeReschedulingPolicy::WaitRescheduleThreshold()
+    const {
+  if (wait_selector_ == nullptr) return std::nullopt;
+  return wait_threshold_;
+}
+
+std::optional<PoolId> CompositeReschedulingPolicy::OnWaitTimeout(
+    const cluster::Job& job, const cluster::ClusterView& view) {
+  if (wait_selector_ == nullptr) return std::nullopt;
+  return wait_selector_->Select(job, job.pool(), view);
+}
+
+const char* ToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNoRes:
+      return "NoRes";
+    case PolicyKind::kResSusUtil:
+      return "ResSusUtil";
+    case PolicyKind::kResSusRand:
+      return "ResSusRand";
+    case PolicyKind::kResSusWaitUtil:
+      return "ResSusWaitUtil";
+    case PolicyKind::kResSusWaitRand:
+      return "ResSusWaitRand";
+  }
+  return "?";
+}
+
+std::unique_ptr<cluster::ReschedulingPolicy> MakePolicy(
+    PolicyKind kind, const PolicyOptions& options) {
+  switch (kind) {
+    case PolicyKind::kNoRes:
+      return std::make_unique<NoResPolicy>();
+    case PolicyKind::kResSusUtil:
+      return std::make_unique<CompositeReschedulingPolicy>(
+          std::make_unique<LowestUtilizationSelector>(), nullptr, Ticks{0});
+    case PolicyKind::kResSusRand:
+      return std::make_unique<CompositeReschedulingPolicy>(
+          std::make_unique<RandomSelector>(options.seed), nullptr, Ticks{0});
+    case PolicyKind::kResSusWaitUtil:
+      return std::make_unique<CompositeReschedulingPolicy>(
+          std::make_unique<LowestUtilizationSelector>(),
+          std::make_unique<LowestUtilizationSelector>(),
+          options.wait_threshold);
+    case PolicyKind::kResSusWaitRand:
+      return std::make_unique<CompositeReschedulingPolicy>(
+          std::make_unique<RandomSelector>(options.seed),
+          std::make_unique<RandomSelector>(options.seed + 1),
+          options.wait_threshold);
+  }
+  NETBATCH_CHECK(false, "unknown policy kind");
+  return nullptr;
+}
+
+std::unique_ptr<cluster::ReschedulingPolicy> MakeDuplicationPolicy(
+    const PolicyOptions& options) {
+  (void)options;
+  return std::make_unique<CompositeReschedulingPolicy>(
+      std::make_unique<LowestUtilizationSelector>(), nullptr, Ticks{0},
+      /*duplicate=*/true);
+}
+
+}  // namespace netbatch::core

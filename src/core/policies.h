@@ -1,0 +1,92 @@
+// The paper's dynamic rescheduling policies (§3).
+//
+// Five named schemes are evaluated:
+//   NoRes           - never reschedule (the NetBatch baseline)
+//   ResSusUtil      - restart suspended jobs at the least-utilized pool
+//   ResSusRand      - restart suspended jobs at a random pool
+//   ResSusWaitUtil  - ResSusUtil + move jobs waiting > threshold to the
+//                     least-utilized pool
+//   ResSusWaitRand  - ResSusRand + move jobs waiting > threshold to a
+//                     random pool
+// All are instances of one composite policy: a selector for suspension
+// events plus an optional selector/threshold for wait-queue timeouts.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cluster/interfaces.h"
+#include "core/pool_selector.h"
+
+namespace netbatch::core {
+
+// The paper's NoRes baseline: jobs stay suspended or queued where they are.
+class NoResPolicy final : public cluster::ReschedulingPolicy {
+ public:
+  std::optional<PoolId> OnSuspended(const cluster::Job& job,
+                                    const cluster::ClusterView& view) override {
+    (void)job;
+    (void)view;
+    return std::nullopt;
+  }
+};
+
+// Composite policy: rescheduling of suspended jobs via `suspend_selector`,
+// plus (optionally) rescheduling of waiting jobs via `wait_selector` once
+// they have queued for `wait_threshold`.
+class CompositeReschedulingPolicy final : public cluster::ReschedulingPolicy {
+ public:
+  // `suspend_selector` may be null (wait-only rescheduling);
+  // `wait_selector` null disables wait rescheduling. With `duplicate` set,
+  // suspension decisions launch a duplicate in the alternate pool instead
+  // of restarting (the paper's §5 duplication extension).
+  CompositeReschedulingPolicy(std::unique_ptr<PoolSelector> suspend_selector,
+                              std::unique_ptr<PoolSelector> wait_selector,
+                              Ticks wait_threshold, bool duplicate = false);
+
+  std::optional<PoolId> OnSuspended(const cluster::Job& job,
+                                    const cluster::ClusterView& view) override;
+  std::optional<Ticks> WaitRescheduleThreshold() const override;
+  std::optional<PoolId> OnWaitTimeout(const cluster::Job& job,
+                                      const cluster::ClusterView& view) override;
+  bool DuplicateInsteadOfRestart() const override { return duplicate_; }
+
+ private:
+  std::unique_ptr<PoolSelector> suspend_selector_;
+  std::unique_ptr<PoolSelector> wait_selector_;
+  Ticks wait_threshold_;
+  bool duplicate_;
+};
+
+// The paper's scheme names, used by benches and reports.
+enum class PolicyKind {
+  kNoRes,
+  kResSusUtil,
+  kResSusRand,
+  kResSusWaitUtil,
+  kResSusWaitRand,
+};
+
+const char* ToString(PolicyKind kind);
+
+// Knobs shared by the factory. The paper sets the wait threshold to 30
+// minutes, "about twice the expected average waiting time in the original
+// system" (§3.3).
+struct PolicyOptions {
+  Ticks wait_threshold = MinutesToTicks(30);
+  std::uint64_t seed = 0x9e3779b9u;  // for the random selectors
+};
+
+// Builds one of the paper's five policies.
+std::unique_ptr<cluster::ReschedulingPolicy> MakePolicy(
+    PolicyKind kind, const PolicyOptions& options = {});
+
+// Extension (paper §5): "DupSusUtil" — like ResSusUtil, but a suspended
+// job's alternate-pool copy runs as a duplicate racing the suspended
+// original; the first to finish wins. Keeps the original's progress as a
+// hedge at the cost of duplicated execution.
+std::unique_ptr<cluster::ReschedulingPolicy> MakeDuplicationPolicy(
+    const PolicyOptions& options = {});
+
+}  // namespace netbatch::core

@@ -1,0 +1,111 @@
+#include "core/pool_selector.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace netbatch::core {
+
+std::vector<PoolId> EligibleCandidatePools(const cluster::Job& job,
+                                           const cluster::ClusterView& view,
+                                           bool ignore_candidate_restriction) {
+  std::vector<PoolId> pools;
+  const auto& spec = job.spec();
+  if (ignore_candidate_restriction || spec.candidate_pools.empty()) {
+    pools.reserve(view.PoolCount());
+    for (std::size_t p = 0; p < view.PoolCount(); ++p) {
+      pools.emplace_back(static_cast<PoolId::ValueType>(p));
+    }
+  } else {
+    pools = spec.candidate_pools;
+  }
+  std::erase_if(pools, [&](PoolId pool) {
+    return !view.PoolEligible(pool, spec);
+  });
+  return pools;
+}
+
+std::optional<PoolId> LowestUtilizationSelector::Select(
+    const cluster::Job& job, PoolId current,
+    const cluster::ClusterView& view) {
+  std::vector<PoolId> pools = EligibleCandidatePools(job, view, cross_site_);
+  if (!retain_if_current_best_) std::erase(pools, current);
+  if (pools.empty()) return std::nullopt;
+
+  PoolId best;
+  double best_util = std::numeric_limits<double>::infinity();
+  for (PoolId pool : pools) {
+    const double util = view.PoolUtilization(pool);
+    if (util < best_util || (util == best_util && pool < best)) {
+      best = pool;
+      best_util = util;
+    }
+  }
+  if (!retain_if_current_best_) return best;
+  // Retain rule: never move to a pool at least as loaded as the current one.
+  // (A job without a current pool has nothing to retain in.)
+  if (best == current ||
+      (current.valid() && view.PoolUtilization(current) <= best_util)) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+std::optional<PoolId> RandomSelector::Select(const cluster::Job& job,
+                                             PoolId current,
+                                             const cluster::ClusterView& view) {
+  std::vector<PoolId> pools = EligibleCandidatePools(job, view);
+  std::erase(pools, current);
+  if (pools.empty()) return std::nullopt;
+  return pools[rng_.UniformIndex(pools.size())];
+}
+
+std::optional<PoolId> ShortestQueueSelector::Select(
+    const cluster::Job& job, PoolId current,
+    const cluster::ClusterView& view) {
+  const std::vector<PoolId> pools = EligibleCandidatePools(job, view);
+  if (pools.empty()) return std::nullopt;
+
+  auto key = [&](PoolId pool) {
+    return std::tuple(view.PoolQueueLength(pool), view.PoolUtilization(pool),
+                      pool);
+  };
+  const PoolId best =
+      *std::min_element(pools.begin(), pools.end(),
+                        [&](PoolId a, PoolId b) { return key(a) < key(b); });
+  if (best == current || (current.valid() && !(key(best) < key(current)))) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+std::optional<PoolId> PredictedDelaySelector::Select(
+    const cluster::Job& job, PoolId current,
+    const cluster::ClusterView& view) {
+  const std::vector<PoolId> pools = EligibleCandidatePools(job, view);
+  if (pools.empty()) return std::nullopt;
+
+  // Crude start-delay estimate: jobs already queued per unit of capacity,
+  // amplified as the pool approaches saturation. A pool with free cores and
+  // an empty queue scores ~0; a saturated pool with a backlog scores high.
+  auto score = [&](PoolId pool) {
+    const double cores = static_cast<double>(view.PoolTotalCores(pool));
+    const double queue = static_cast<double>(view.PoolQueueLength(pool));
+    const double util = view.PoolUtilization(pool);
+    return (queue / std::max(1.0, cores) + util) / (1.001 - util);
+  };
+  PoolId best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (PoolId pool : pools) {
+    const double s = score(pool);
+    if (s < best_score || (s == best_score && pool < best)) {
+      best = pool;
+      best_score = s;
+    }
+  }
+  if (best == current || (current.valid() && score(current) <= best_score)) {
+    return std::nullopt;
+  }
+  return best;
+}
+
+}  // namespace netbatch::core

@@ -1,0 +1,77 @@
+#include "metrics/event_log.h"
+
+#include <ostream>
+
+#include "cluster/job.h"
+
+namespace netbatch::metrics {
+
+const char* ToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSuspended:
+      return "suspended";
+    case EventKind::kRescheduled:
+      return "rescheduled";
+    case EventKind::kCompleted:
+      return "completed";
+    case EventKind::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+void EventLog::Append(Ticks time, const cluster::Job& job, EventKind kind,
+                      PoolId target) {
+  JobEvent event;
+  event.time = time;
+  event.job = job.id();
+  event.kind = kind;
+  event.pool = job.pool();
+  event.target_pool = target;
+  events_.push_back(event);
+}
+
+void EventLog::OnJobSuspended(const cluster::Job& job) {
+  Append(job.last_transition_time(), job, EventKind::kSuspended);
+}
+
+void EventLog::OnJobRescheduled(const cluster::Job& job, PoolId from,
+                                PoolId to, cluster::RescheduleReason) {
+  JobEvent event;
+  event.time = job.last_transition_time();
+  event.job = job.id();
+  event.kind = EventKind::kRescheduled;
+  event.pool = from;
+  event.target_pool = to;
+  events_.push_back(event);
+}
+
+void EventLog::OnJobCompleted(const cluster::Job& job) {
+  Append(job.completion_time(), job, EventKind::kCompleted);
+}
+
+void EventLog::OnJobRejected(const cluster::Job& job) {
+  Append(job.last_transition_time(), job, EventKind::kRejected);
+}
+
+void EventLog::WriteCsv(std::ostream& out) const {
+  out << "minute,job,kind,pool,target_pool\n";
+  for (const JobEvent& event : events_) {
+    out << TicksToMinutes(event.time) << ',' << event.job.value() << ','
+        << ToString(event.kind) << ',';
+    if (event.pool.valid()) out << event.pool.value();
+    out << ',';
+    if (event.target_pool.valid()) out << event.target_pool.value();
+    out << '\n';
+  }
+}
+
+std::vector<JobEvent> EventLog::EventsFor(JobId job) const {
+  std::vector<JobEvent> filtered;
+  for (const JobEvent& event : events_) {
+    if (event.job == job) filtered.push_back(event);
+  }
+  return filtered;
+}
+
+}  // namespace netbatch::metrics

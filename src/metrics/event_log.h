@@ -1,0 +1,60 @@
+// Per-job lifecycle event logging.
+//
+// ASCA "outputs the results as logs for post-analysis" (§3.1); this
+// observer reconstructs that: every job transition the engine reports is
+// recorded as a timestamped event, exportable as CSV for external tooling
+// (Gantt charts, custom analyses) and checkable for state-machine legality
+// (the event-sequence property tests).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cluster/interfaces.h"
+
+namespace netbatch::metrics {
+
+enum class EventKind {
+  kSuspended,
+  kRescheduled,
+  kCompleted,
+  kRejected,
+};
+
+const char* ToString(EventKind kind);
+
+struct JobEvent {
+  Ticks time = 0;
+  JobId job;
+  EventKind kind = EventKind::kCompleted;
+  PoolId pool;        // pool the job is (or was) in
+  PoolId target_pool; // valid for kRescheduled
+};
+
+class EventLog final : public cluster::SimulationObserver {
+ public:
+  void OnJobSuspended(const cluster::Job& job) override;
+  void OnJobRescheduled(const cluster::Job& job, PoolId from, PoolId to,
+                        cluster::RescheduleReason reason) override;
+  void OnJobCompleted(const cluster::Job& job) override;
+  void OnJobRejected(const cluster::Job& job) override;
+
+  const std::vector<JobEvent>& events() const { return events_; }
+
+  // CSV export: minute,job,kind,pool,target_pool.
+  void WriteCsv(std::ostream& out) const;
+
+  // Events of one job, in time order (events are appended in simulation
+  // order, so this is a stable filter).
+  std::vector<JobEvent> EventsFor(JobId job) const;
+
+ private:
+  void Append(Ticks time, const cluster::Job& job, EventKind kind,
+              PoolId target = PoolId());
+
+  std::vector<JobEvent> events_;
+};
+
+}  // namespace netbatch::metrics

@@ -1,0 +1,54 @@
+#include "metrics/report.h"
+
+#include "common/table.h"
+
+namespace netbatch::metrics {
+
+std::string RenderPaperTable(const std::vector<MetricsReport>& rows) {
+  TextTable table({"Policy", "Suspend rate", "AvgCT Suspend", "AvgCT All",
+                   "AvgST", "AvgWCT"});
+  for (const MetricsReport& row : rows) {
+    table.AddRow({
+        row.label,
+        TextTable::Percent(row.suspend_rate, 2),
+        TextTable::Fixed(row.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(row.avg_ct_all_minutes, 1),
+        TextTable::Fixed(row.avg_st_minutes, 1),
+        TextTable::Fixed(row.avg_wct_minutes, 1),
+    });
+  }
+  return table.Render();
+}
+
+std::string RenderDetailTable(const std::vector<MetricsReport>& rows) {
+  TextTable table({"Policy", "p50 CT", "p90 CT", "p99 CT", "Max CT",
+                   "AvgCT high", "AvgCT low"});
+  for (const MetricsReport& row : rows) {
+    table.AddRow({
+        row.label,
+        TextTable::Fixed(row.p50_ct_minutes, 1),
+        TextTable::Fixed(row.p90_ct_minutes, 1),
+        TextTable::Fixed(row.p99_ct_minutes, 1),
+        TextTable::Fixed(row.max_ct_minutes, 0),
+        TextTable::Fixed(row.avg_ct_high_minutes, 1),
+        TextTable::Fixed(row.avg_ct_low_minutes, 1),
+    });
+  }
+  return table.Render();
+}
+
+std::string RenderWasteComponents(const std::vector<MetricsReport>& rows) {
+  TextTable table({"Policy", "Wait", "Suspend", "Resched waste", "AvgWCT"});
+  for (const MetricsReport& row : rows) {
+    table.AddRow({
+        row.label,
+        TextTable::Fixed(row.avg_wait_minutes, 1),
+        TextTable::Fixed(row.avg_suspend_minutes, 1),
+        TextTable::Fixed(row.avg_resched_waste_minutes, 1),
+        TextTable::Fixed(row.avg_wct_minutes, 1),
+    });
+  }
+  return table.Render();
+}
+
+}  // namespace netbatch::metrics

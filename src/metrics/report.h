@@ -1,0 +1,71 @@
+// The paper's evaluation metrics (§3.1), aggregated over one simulation run.
+//
+// All time-valued metrics are reported in minutes, matching the paper:
+//   Suspend Rate - fraction of submitted jobs suspended at least once
+//   AvgCT        - mean completion time, over all jobs and over jobs that
+//                  were suspended at least once
+//   AvgST        - mean total suspension time over suspended jobs
+//   AvgWCT       - mean wasted completion time over all jobs, split into
+//                  (c1) wait, (c2) suspend, (c3) waste by rescheduling
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace netbatch::metrics {
+
+struct MetricsReport {
+  std::string label;  // policy / scenario name for table rendering
+
+  std::size_t job_count = 0;
+  std::size_t completed_count = 0;
+  std::size_t rejected_count = 0;
+  std::size_t suspended_job_count = 0;  // jobs suspended at least once
+  std::uint64_t preemption_count = 0;   // suspension events
+  std::uint64_t reschedule_count = 0;   // restart operations
+  std::uint64_t duplicate_count = 0;    // duplication-extension copies
+  std::uint64_t outage_count = 0;       // machine failures (injection)
+  std::uint64_t eviction_count = 0;     // jobs evicted by failures
+
+  double suspend_rate = 0;  // suspended_job_count / job_count
+
+  double avg_ct_all_minutes = 0;
+  double avg_ct_suspended_minutes = 0;
+  double avg_st_minutes = 0;  // over suspended jobs
+
+  // Wasted-completion-time components, averaged over all jobs (Fig. 3).
+  double avg_wait_minutes = 0;            // (c1)
+  double avg_suspend_minutes = 0;         // (c2), over ALL jobs
+  double avg_resched_waste_minutes = 0;   // (c3): lost progress + transfer
+  double avg_wct_minutes = 0;             // c1 + c2 + c3
+
+  // Completion-time distribution over all jobs (minutes).
+  double p50_ct_minutes = 0;
+  double p90_ct_minutes = 0;
+  double p99_ct_minutes = 0;
+  double max_ct_minutes = 0;
+  double median_st_minutes = 0;  // over suspended jobs (Fig. 2 headline)
+
+  // Per-priority-class breakdown: the paper's premise is that owner
+  // (high-priority) jobs stay latency-sensitive-fast regardless of what
+  // rescheduling does for the low-priority population.
+  double avg_ct_high_minutes = 0;
+  double avg_ct_low_minutes = 0;
+  std::size_t high_priority_count = 0;
+};
+
+// Renders reports in the layout of the paper's Tables 1-5:
+// rows = policies, columns = Suspend rate | AvgCT Suspend | AvgCT All |
+// AvgST | AvgWCT.
+std::string RenderPaperTable(const std::vector<MetricsReport>& rows);
+
+// Renders the Fig. 3 decomposition: one row per policy with the three
+// wasted-completion-time components.
+std::string RenderWasteComponents(const std::vector<MetricsReport>& rows);
+
+// Renders the completion-time distribution and priority-class breakdown —
+// detail beyond the paper's mean-based tables.
+std::string RenderDetailTable(const std::vector<MetricsReport>& rows);
+
+}  // namespace netbatch::metrics

@@ -1,0 +1,102 @@
+#include "metrics/report_json.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace netbatch::metrics {
+namespace {
+
+// Minimal JSON string escaping (labels are policy/scenario names, but a
+// user-supplied label must not corrupt the document).
+void AppendEscaped(std::ostringstream& out, const std::string& text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void AppendNumber(std::ostringstream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out << buf;
+}
+
+}  // namespace
+
+std::string ReportToJson(const MetricsReport& report) {
+  std::ostringstream out;
+  out << "{\"label\":";
+  AppendEscaped(out, report.label);
+  out << ",\"job_count\":" << report.job_count
+      << ",\"completed_count\":" << report.completed_count
+      << ",\"rejected_count\":" << report.rejected_count
+      << ",\"suspended_job_count\":" << report.suspended_job_count
+      << ",\"high_priority_count\":" << report.high_priority_count
+      << ",\"preemption_count\":" << report.preemption_count
+      << ",\"reschedule_count\":" << report.reschedule_count
+      << ",\"duplicate_count\":" << report.duplicate_count
+      << ",\"outage_count\":" << report.outage_count
+      << ",\"eviction_count\":" << report.eviction_count;
+  const std::pair<const char*, double> fields[] = {
+      {"suspend_rate", report.suspend_rate},
+      {"avg_ct_all_minutes", report.avg_ct_all_minutes},
+      {"avg_ct_suspended_minutes", report.avg_ct_suspended_minutes},
+      {"avg_ct_high_minutes", report.avg_ct_high_minutes},
+      {"avg_ct_low_minutes", report.avg_ct_low_minutes},
+      {"avg_st_minutes", report.avg_st_minutes},
+      {"avg_wait_minutes", report.avg_wait_minutes},
+      {"avg_suspend_minutes", report.avg_suspend_minutes},
+      {"avg_resched_waste_minutes", report.avg_resched_waste_minutes},
+      {"avg_wct_minutes", report.avg_wct_minutes},
+      {"p50_ct_minutes", report.p50_ct_minutes},
+      {"p90_ct_minutes", report.p90_ct_minutes},
+      {"p99_ct_minutes", report.p99_ct_minutes},
+      {"max_ct_minutes", report.max_ct_minutes},
+      {"median_st_minutes", report.median_st_minutes},
+  };
+  for (const auto& [key, value] : fields) {
+    out << ",\"" << key << "\":";
+    AppendNumber(out, value);
+  }
+  out << '}';
+  return out.str();
+}
+
+std::string ReportsToJson(const std::vector<MetricsReport>& reports) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i > 0) out << ',';
+    out << ReportToJson(reports[i]);
+  }
+  out << ']';
+  return out.str();
+}
+
+}  // namespace netbatch::metrics

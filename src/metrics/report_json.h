@@ -1,0 +1,21 @@
+// Machine-readable report output.
+//
+// Emits a MetricsReport (or a list of them) as JSON so experiment results
+// can be archived, diffed in CI, or plotted by external tooling without
+// parsing the human-oriented tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/report.h"
+
+namespace netbatch::metrics {
+
+// One report as a JSON object (stable key order, no trailing whitespace).
+std::string ReportToJson(const MetricsReport& report);
+
+// Several reports as a JSON array.
+std::string ReportsToJson(const std::vector<MetricsReport>& reports);
+
+}  // namespace netbatch::metrics

@@ -1,0 +1,141 @@
+#include "runner/config_file.h"
+
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace netbatch::runner {
+namespace {
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         (text.back() == ' ' || text.back() == '\t' || text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+// Strips an inline comment introduced by " ;" or " #".
+std::string_view StripInlineComment(std::string_view text) {
+  for (std::size_t i = 1; i < text.size(); ++i) {
+    if ((text[i] == ';' || text[i] == '#') &&
+        (text[i - 1] == ' ' || text[i - 1] == '\t')) {
+      return text.substr(0, i);
+    }
+  }
+  return text;
+}
+
+double ParseDouble(std::string_view value) {
+  const std::string copy(value);
+  char* end = nullptr;
+  const double parsed = std::strtod(copy.c_str(), &end);
+  NETBATCH_CHECK(end == copy.c_str() + copy.size() && !copy.empty(),
+                 "config value is not a number");
+  return parsed;
+}
+
+std::int64_t ParseInt(std::string_view value) {
+  std::int64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  NETBATCH_CHECK(ec == std::errc{} && ptr == value.data() + value.size(),
+                 "config value is not an integer");
+  return parsed;
+}
+
+}  // namespace
+
+LoadedExperiment LoadExperiment(std::istream& in) {
+  LoadedExperiment loaded;
+  ExperimentConfig& config = loaded.config;
+
+  std::string scenario = "normal";
+  double scale = 0.25;
+  std::uint64_t seed = 42;
+
+  std::string section;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view view = Trim(line);
+    if (view.empty() || view.front() == '#' || view.front() == ';') continue;
+    if (view.front() == '[') {
+      NETBATCH_CHECK(view.back() == ']', "unterminated section header");
+      section = std::string(Trim(view.substr(1, view.size() - 2)));
+      NETBATCH_CHECK(section == "experiment" || section == "outages",
+                     "unknown config section");
+      continue;
+    }
+    const std::size_t eq = view.find('=');
+    NETBATCH_CHECK(eq != std::string_view::npos,
+                   "config line is not key = value");
+    const std::string key(Trim(view.substr(0, eq)));
+    const std::string value(
+        Trim(StripInlineComment(Trim(view.substr(eq + 1)))));
+    NETBATCH_CHECK(!section.empty(), "key outside any [section]");
+
+    if (section == "experiment") {
+      if (key == "scenario") {
+        scenario = value;
+      } else if (key == "scale") {
+        scale = ParseDouble(value);
+      } else if (key == "seed") {
+        seed = static_cast<std::uint64_t>(ParseInt(value));
+      } else if (key == "scheduler") {
+        NETBATCH_CHECK(value == "rr" || value == "util",
+                       "scheduler must be rr or util");
+        config.scheduler = value == "rr"
+                               ? InitialSchedulerKind::kRoundRobin
+                               : InitialSchedulerKind::kUtilization;
+      } else if (key == "staleness_min") {
+        config.scheduler_staleness = MinutesToTicks(ParseInt(value));
+      } else if (key == "policy") {
+        loaded.policy_name = value;
+      } else if (key == "threshold_min") {
+        config.policy_options.wait_threshold = MinutesToTicks(ParseInt(value));
+      } else if (key == "overhead_min") {
+        config.sim_options.restart_overhead = MinutesToTicks(ParseInt(value));
+      } else if (key == "checkpoint_min") {
+        config.sim_options.checkpoint_interval =
+            MinutesToTicks(ParseInt(value));
+      } else {
+        NETBATCH_CHECK(false, "unknown key in [experiment]: " + key);
+      }
+    } else {  // outages
+      if (key == "mtbf_min") {
+        config.sim_options.outages.mtbf_minutes = ParseDouble(value);
+      } else if (key == "mttr_min") {
+        config.sim_options.outages.mttr_minutes = ParseDouble(value);
+      } else {
+        NETBATCH_CHECK(false, "unknown key in [outages]: " + key);
+      }
+    }
+  }
+
+  if (scenario == "normal") {
+    config.scenario = NormalLoadScenario(scale, seed);
+  } else if (scenario == "high") {
+    config.scenario = HighLoadScenario(scale, seed);
+  } else if (scenario == "highsusp") {
+    config.scenario = HighSuspensionScenario(scale, seed);
+  } else if (scenario == "year") {
+    config.scenario = YearLongScenario(scale, seed);
+  } else {
+    NETBATCH_CHECK(false, "unknown scenario in config: " + scenario);
+  }
+  return loaded;
+}
+
+LoadedExperiment LoadExperimentFile(const std::string& path) {
+  std::ifstream in(path);
+  NETBATCH_CHECK(static_cast<bool>(in), "cannot open config file: " + path);
+  return LoadExperiment(in);
+}
+
+}  // namespace netbatch::runner

@@ -1,0 +1,44 @@
+// Experiment configuration files.
+//
+// A small INI-style format so experiment definitions can live in version
+// control next to their results instead of in shell history:
+//
+//   # table2.ini
+//   [experiment]
+//   scenario   = high        ; normal | high | highsusp | year
+//   scale      = 0.25
+//   seed       = 42
+//   scheduler  = rr          ; rr | util
+//   staleness_min = 0
+//   policy     = ResSusUtil  ; five paper names or DupSusUtil
+//   threshold_min = 30
+//   overhead_min  = 0
+//   checkpoint_min = 0
+//
+//   [outages]
+//   mtbf_min = 0
+//   mttr_min = 240
+//
+// Unknown sections or keys abort (a typo must not silently fall back to a
+// default mid-sweep). Lines starting with '#' or ';' are comments; inline
+// comments after values are allowed with " ;".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runner/experiment.h"
+
+namespace netbatch::runner {
+
+// The parsed experiment plus the policy name (which may be an extension
+// name like DupSusUtil that ExperimentConfig::policy cannot express).
+struct LoadedExperiment {
+  ExperimentConfig config;
+  std::string policy_name = "NoRes";
+};
+
+LoadedExperiment LoadExperiment(std::istream& in);
+LoadedExperiment LoadExperimentFile(const std::string& path);
+
+}  // namespace netbatch::runner

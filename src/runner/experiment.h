@@ -1,0 +1,67 @@
+// One-call experiment execution.
+//
+// RunExperiment wires generator -> simulator -> policy -> metrics for a
+// single (scenario, scheduler, policy) triple; RunPolicyComparison reuses
+// one generated trace across several policies, which is how every table in
+// the paper is produced (same submissions, different rescheduling).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/simulation.h"
+#include "core/policies.h"
+#include "metrics/collector.h"
+#include "metrics/report.h"
+#include "runner/scenarios.h"
+#include "workload/trace.h"
+
+namespace netbatch::runner {
+
+enum class InitialSchedulerKind { kRoundRobin, kUtilization };
+
+const char* ToString(InitialSchedulerKind kind);
+
+struct ExperimentConfig {
+  Scenario scenario;
+  InitialSchedulerKind scheduler = InitialSchedulerKind::kRoundRobin;
+  // Staleness of the utilization snapshot used by the utilization-based
+  // initial scheduler (0 = perfectly fresh information).
+  Ticks scheduler_staleness = 0;
+  core::PolicyKind policy = core::PolicyKind::kNoRes;
+  core::PolicyOptions policy_options;
+  cluster::SimulationOptions sim_options;
+};
+
+struct ExperimentResult {
+  metrics::MetricsReport report;
+  std::vector<metrics::Sample> samples;
+  EmpiricalCdf suspension_cdf;  // per-job suspension minutes (Fig. 2)
+  workload::TraceStats trace_stats;
+  std::uint64_t fired_events = 0;
+};
+
+// Generates the scenario's trace and runs it under the configured policy.
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+// As RunExperiment, but with a caller-provided trace (shared across runs).
+ExperimentResult RunExperimentOnTrace(const ExperimentConfig& config,
+                                      const workload::Trace& trace);
+
+// As RunExperimentOnTrace, but with a caller-provided policy instance
+// (ablation benches compose policies the factory does not name);
+// config.policy is ignored and `label` names the result row.
+// `extra_observers` are attached to the simulation before the run — e.g. a
+// PoolLoadPredictor the policy reads its telemetry from.
+ExperimentResult RunExperimentWithPolicy(
+    const ExperimentConfig& config, const workload::Trace& trace,
+    cluster::ReschedulingPolicy& policy, std::string label,
+    const std::vector<cluster::SimulationObserver*>& extra_observers = {});
+
+// Runs the same scenario + scheduler for each policy on one shared trace;
+// returns results in `policies` order, labelled with the policy names.
+std::vector<ExperimentResult> RunPolicyComparison(
+    const ExperimentConfig& base, const std::vector<core::PolicyKind>& policies);
+
+}  // namespace netbatch::runner

@@ -1,0 +1,241 @@
+#include "runner/scenarios.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace netbatch::runner {
+namespace {
+
+std::int32_t Scaled(std::int32_t count, double scale) {
+  return std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(std::llround(count * scale)));
+}
+
+// 20 strongly heterogeneous pools, as in NetBatch ("hundreds or thousands
+// of multi-core machines" per pool, §2.1). Three tiers:
+//   pools 0-11  - medium (the targets of high-priority bursts),
+//   pools 12-15 - large,
+//   pools 16-19 - small.
+// The small tier is deliberately sized near its fair round-robin load
+// share: NetBatch's capacity-blind round-robin chronically backs up such
+// pools, producing the paper's "high wait time of jobs ... due to
+// ineffective scheduling ... even when the overall system utilization is
+// relatively low" (§1) — and it is those standing queues that make random
+// rescheduling of suspended jobs backfire (Table 1's ResSusRand row).
+// At scale 1 this yields ~24k cores across ~2.6k machines.
+cluster::ClusterConfig BaseCluster(double scale) {
+  NETBATCH_CHECK(scale > 0 && scale <= 1.0, "scale must be in (0, 1]");
+  cluster::ClusterConfig config;
+  constexpr int kPools = 20;
+  config.pools.reserve(kPools);
+  for (int p = 0; p < kPools; ++p) {
+    cluster::PoolConfig pool;
+    if (p < 12) {  // medium tier: ~1000-1300 cores
+      // Owned by the business group whose bursts target this pool
+      // (paper 2.2: ownership grants preemption rights on these hosts).
+      pool.machine_groups.push_back({
+          .count = Scaled(70 + 10 * (p % 3), scale),
+          .cores = 8,
+          .memory_mb = 64 * 1024,
+          .speed = 1.0 + 0.1 * (p % 3),
+          .owner = p / 4,
+      });
+      pool.machine_groups.push_back({
+          .count = Scaled(30, scale),
+          .cores = 16,
+          .memory_mb = 128 * 1024,
+          .speed = 1.2,
+          .owner = p / 4,
+      });
+    } else if (p < 16) {  // large tier: ~2100 cores
+      pool.machine_groups.push_back({
+          .count = Scaled(170, scale),
+          .cores = 8,
+          .memory_mb = 64 * 1024,
+          .speed = 1.1,
+      });
+      pool.machine_groups.push_back({
+          .count = Scaled(45, scale),
+          .cores = 16,
+          .memory_mb = 128 * 1024,
+          .speed = 1.2,
+      });
+    } else {  // small tier: ~390 cores, near its round-robin load share
+      pool.machine_groups.push_back({
+          .count = Scaled(42, scale),
+          .cores = 8,
+          .memory_mb = 64 * 1024,
+          .speed = 0.9,
+      });
+      pool.machine_groups.push_back({
+          .count = Scaled(4, scale),
+          .cores = 16,
+          .memory_mb = 128 * 1024,
+          .speed = 1.0,
+      });
+    }
+    config.pools.push_back(std::move(pool));
+  }
+  return config;
+}
+
+// High-priority burst streams: each stream is pinned to a small, distinct
+// set of pools (§2.3's pool-affine latency-sensitive jobs). During a burst
+// the offered load exceeds the target pools' combined capacity by ~50%, so
+// those pools saturate, preempt their low-priority work, and build a
+// high-priority backlog that keeps victims suspended well past the burst
+// itself — the paper's hours-to-days suspensions.
+std::vector<workload::BurstStreamConfig> BaseBursts(double scale) {
+  std::vector<workload::BurstStreamConfig> bursts;
+  for (int s = 0; s < 3; ++s) {
+    workload::BurstStreamConfig burst;
+    burst.owner = s;
+    burst.jobs_per_minute_on = 11.0 * scale;
+    burst.jobs_per_minute_off = 0.05 * scale;
+    // The on/off process drives the year-long scenario; the week-long
+    // evaluation scenarios override this with scheduled windows (the paper
+    // evaluates a window chosen because it captures "a typical burst of
+    // high-priority jobs", §3.1).
+    burst.mean_burst_minutes = 36 * 60;
+    burst.mean_gap_minutes = 4 * 24 * 60;
+    for (int p = 0; p < 4; ++p) {
+      burst.target_pools.emplace_back(
+          static_cast<PoolId::ValueType>(s * 4 + p));
+    }
+    bursts.push_back(std::move(burst));
+  }
+  return bursts;
+}
+
+workload::GeneratorConfig BaseWorkload(double scale, std::uint64_t seed) {
+  workload::GeneratorConfig config;
+  config.seed = seed;
+  config.duration = kTicksPerWeek;
+  config.num_pools = 20;
+
+  // ~40% average utilization at the base cluster size (low base ~31%,
+  // bursty high-priority work adds the rest).
+  config.low_jobs_per_minute = 14.0 * scale;
+  config.low_runtime.lognormal_mu = std::log(100.0);  // 100-minute median
+  config.low_runtime.lognormal_sigma = 1.2;
+  config.low_runtime.tail_probability = 0.015;
+  config.low_runtime.tail_alpha = 1.1;
+  config.low_runtime.min_minutes = 2;
+  config.low_runtime.max_minutes = 100000;
+
+  // High-priority (owner) chip-simulation batches: wider, moderate length.
+  config.high_runtime.lognormal_mu = std::log(120.0);
+  config.high_runtime.lognormal_sigma = 0.8;
+  config.high_runtime.tail_probability = 0.002;
+  config.high_runtime.tail_alpha = 1.3;
+  config.high_runtime.min_minutes = 5;
+  config.high_runtime.max_minutes = 3000;
+
+  // Sites: each virtual pool manager is connected to the four medium pools
+  // its owner group's bursts target, one large pool, and one small pool
+  // (plus a fourth site spanning the remaining large/small pools). The
+  // burst-affine structure is what makes a *random* rescheduling choice
+  // risky: most of a victim's alternate pools belong to the same burst.
+  config.sites = {
+      {PoolId(0), PoolId(1), PoolId(2), PoolId(3), PoolId(12), PoolId(16)},
+      {PoolId(4), PoolId(5), PoolId(6), PoolId(7), PoolId(13), PoolId(17)},
+      {PoolId(8), PoolId(9), PoolId(10), PoolId(11), PoolId(14), PoolId(18)},
+      {PoolId(1), PoolId(5), PoolId(9), PoolId(15), PoolId(19)},
+  };
+
+  config.bursts = BaseBursts(scale);
+  return config;
+}
+
+double EnvScale(const char* name, double fallback) {
+  if (const char* value = std::getenv(name)) {
+    const double parsed = std::atof(value);
+    if (parsed > 0 && parsed <= 1.0) return parsed;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+Scenario NormalLoadScenario(double scale, std::uint64_t seed) {
+  Scenario scenario{BaseCluster(scale), BaseWorkload(scale, seed)};
+  // The evaluated week contains one staggered 36-hour burst per owner
+  // group (deterministic windows; see BurstStreamConfig::scheduled_bursts).
+  for (std::size_t s = 0; s < scenario.workload.bursts.size(); ++s) {
+    scenario.workload.bursts[s].scheduled_bursts = {
+        {.start_minute = 1000.0 + 2600.0 * static_cast<double>(s),
+         .length_minutes = 24.0 * 60.0}};
+  }
+  return scenario;
+}
+
+Scenario HighLoadScenario(double scale, std::uint64_t seed) {
+  Scenario scenario = NormalLoadScenario(scale, seed);
+  scenario.cluster = scenario.cluster.WithHalvedCapacity();
+  return scenario;
+}
+
+Scenario HighSuspensionScenario(double scale, std::uint64_t seed) {
+  Scenario scenario = NormalLoadScenario(scale, seed);
+  // Many short, sharp, staggered bursts, one stream per medium pool: each
+  // burst preempts that pool's running low-priority population, so over the
+  // week a large fraction of all low-priority jobs is suspended at least
+  // once — without driving the system into a standing backlog.
+  scenario.workload.bursts.clear();
+  for (int p = 0; p < 12; ++p) {
+    workload::BurstStreamConfig burst;
+    burst.owner = p / 4;  // the group owning this pool's machines
+    // ~2x a single medium pool's capacity during the burst.
+    burst.jobs_per_minute_on = 5.0 * scale;
+    burst.jobs_per_minute_off = 0.0;
+    burst.target_pools = {PoolId(static_cast<PoolId::ValueType>(p))};
+    // 4-hour bursts every 12 hours, staggered across pools.
+    for (int k = 0; k < 14; ++k) {
+      burst.scheduled_bursts.push_back(
+          {.start_minute = 60.0 * p + 720.0 * k, .length_minutes = 240.0});
+    }
+    scenario.workload.bursts.push_back(std::move(burst));
+  }
+  return scenario;
+}
+
+Scenario YearLongScenario(double scale, std::uint64_t seed) {
+  Scenario scenario = NormalLoadScenario(scale, seed);
+  scenario.workload.duration = MinutesToTicks(500000);  // as in Fig. 4
+  // Over a full year bursts arrive via the random on/off process (the
+  // scheduled windows only describe the paper's chosen busy week), with
+  // gaps sparse enough to keep annual average utilization near ~40%.
+  for (auto& burst : scenario.workload.bursts) {
+    burst.scheduled_bursts.clear();
+    burst.mean_gap_minutes = 6 * 24 * 60;
+  }
+  // Submission follows the working day over long horizons.
+  scenario.workload.diurnal_amplitude = 0.3;
+  return scenario;
+}
+
+std::vector<std::vector<Ticks>> BuildTransferMatrix(const Scenario& scenario,
+                                                    Ticks local,
+                                                    Ticks cross_site) {
+  const std::size_t pools = scenario.cluster.pools.size();
+  std::vector<std::vector<Ticks>> matrix(pools,
+                                         std::vector<Ticks>(pools, cross_site));
+  for (std::size_t p = 0; p < pools; ++p) matrix[p][p] = 0;
+  for (const auto& site : scenario.workload.sites) {
+    for (PoolId a : site) {
+      for (PoolId b : site) {
+        if (a != b) matrix[a.value()][b.value()] = local;
+      }
+    }
+  }
+  return matrix;
+}
+
+double DefaultScale() { return EnvScale("NB_SCALE", 0.25); }
+
+double YearLongDefaultScale() { return EnvScale("NB_YEAR_SCALE", 0.08); }
+
+}  // namespace netbatch::runner

@@ -1,0 +1,57 @@
+// Scenario presets: cluster topology + workload matching the paper's setup.
+//
+// The paper's simulator "is configured to emulate 20 physical pools, each of
+// which contains hundreds to tens of thousands of machines with varying CPU
+// speed and memory" (§3.1), replaying a trace whose overall utilization
+// averages ~40% (§2.3) with bursty, pool-affine high-priority arrivals.
+//
+// Every preset takes a `scale` in (0, 1]: machine counts and arrival rates
+// scale together, preserving utilization and burst structure while letting
+// tests and CI run small. scale = 1 approximates the paper's one-week
+// volume (~250k jobs).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/config.h"
+#include "workload/generator.h"
+
+namespace netbatch::runner {
+
+struct Scenario {
+  cluster::ClusterConfig cluster;
+  workload::GeneratorConfig workload;
+};
+
+// One busy week at ~40% average utilization (Tables 1, Fig. 3).
+Scenario NormalLoadScenario(double scale = 1.0, std::uint64_t seed = 42);
+
+// The same trace on half the cores — the paper's high-load setup
+// (Tables 2-5): "reduce the number of compute cores available to each pool
+// by half while keeping the submitted job trace unchanged".
+Scenario HighLoadScenario(double scale = 1.0, std::uint64_t seed = 42);
+
+// A trace engineered for a ~14% suspend rate (§3.2.1 "High Suspension
+// Scenario"): heavier, longer, more concentrated high-priority bursts.
+Scenario HighSuspensionScenario(double scale = 1.0, std::uint64_t seed = 42);
+
+// A year-long (500k simulated minutes) trace for the Fig. 2 CDF and the
+// Fig. 4 utilization/suspension series. Use a small scale; the default
+// bench runs at YearLongDefaultScale().
+Scenario YearLongScenario(double scale = 0.05, std::uint64_t seed = 42);
+
+// Scale knobs honoring the NB_SCALE environment variable so users can dial
+// fidelity vs. runtime without recompiling (NB_SCALE=1 reproduces full
+// paper volume).
+double DefaultScale();          // week scenarios; default 0.25
+double YearLongDefaultScale();  // year scenario;  default 0.08
+
+// Builds a pool-to-pool transfer-delay matrix from the scenario's site
+// structure (paper §5 inter-site rescheduling): moving a job between pools
+// that share a site costs `local`, anything else costs `cross_site`
+// (wide-area data/binary transfer).
+std::vector<std::vector<Ticks>> BuildTransferMatrix(const Scenario& scenario,
+                                                    Ticks local,
+                                                    Ticks cross_site);
+
+}  // namespace netbatch::runner

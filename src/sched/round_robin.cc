@@ -1,0 +1,28 @@
+#include "sched/round_robin.h"
+
+#include <algorithm>
+
+namespace netbatch::sched {
+
+std::vector<PoolId> CandidatePools(const workload::JobSpec& spec,
+                                   const cluster::ClusterView& view) {
+  if (!spec.candidate_pools.empty()) return spec.candidate_pools;
+  std::vector<PoolId> all;
+  all.reserve(view.PoolCount());
+  for (std::size_t p = 0; p < view.PoolCount(); ++p) {
+    all.emplace_back(static_cast<PoolId::ValueType>(p));
+  }
+  return all;
+}
+
+std::vector<PoolId> RoundRobinScheduler::PoolOrder(
+    const workload::JobSpec& spec, const cluster::ClusterView& view) {
+  std::vector<PoolId> candidates = CandidatePools(spec, view);
+  const std::size_t start = next_++ % candidates.size();
+  std::rotate(candidates.begin(),
+              candidates.begin() + static_cast<std::ptrdiff_t>(start),
+              candidates.end());
+  return candidates;
+}
+
+}  // namespace netbatch::sched

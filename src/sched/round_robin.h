@@ -1,0 +1,27 @@
+// NetBatch's default initial scheduler.
+//
+// "The default scheduling follows a round-robin fashion" (paper §2.1): the
+// virtual pool manager hands successive submissions to successive candidate
+// pools; if a pool refuses (no eligible machine), the next one is tried.
+#pragma once
+
+#include "cluster/interfaces.h"
+
+namespace netbatch::sched {
+
+class RoundRobinScheduler final : public cluster::InitialScheduler {
+ public:
+  // Returns the job's candidate pools rotated by a global counter, so
+  // successive jobs start at successive pools.
+  std::vector<PoolId> PoolOrder(const workload::JobSpec& spec,
+                                const cluster::ClusterView& view) override;
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+// Shared helper: a job's candidate pools, expanding "empty = every pool".
+std::vector<PoolId> CandidatePools(const workload::JobSpec& spec,
+                                   const cluster::ClusterView& view);
+
+}  // namespace netbatch::sched

@@ -1,0 +1,67 @@
+#include "sched/utilization.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "sched/round_robin.h"
+
+namespace netbatch::sched {
+
+UtilizationScheduler::UtilizationScheduler(Ticks staleness)
+    : staleness_(staleness) {
+  NETBATCH_CHECK(staleness >= 0, "staleness cannot be negative");
+}
+
+void UtilizationScheduler::RefreshSnapshot(const cluster::ClusterView& view) {
+  snapshot_.resize(view.PoolCount());
+  for (std::size_t p = 0; p < snapshot_.size(); ++p) {
+    snapshot_[p] = view.PoolUtilization(PoolId(static_cast<PoolId::ValueType>(p)));
+  }
+  snapshot_time_ = view.Now();
+}
+
+double UtilizationScheduler::Utilization(PoolId pool,
+                                         const cluster::ClusterView& view) {
+  if (staleness_ == 0) return view.PoolUtilization(pool);
+  if (snapshot_time_ < 0 || view.Now() - snapshot_time_ >= staleness_) {
+    RefreshSnapshot(view);
+  }
+  return snapshot_[pool.value()];
+}
+
+std::vector<PoolId> UtilizationScheduler::PoolOrder(
+    const workload::JobSpec& spec, const cluster::ClusterView& view) {
+  std::vector<PoolId> candidates = CandidatePools(spec, view);
+  // Utilization is compared at 1% granularity (pool monitoring reports
+  // percentages, not exact core counts), with per-capacity queue backlog as
+  // the tiebreak. Without the tiebreak, every job submitted while all
+  // candidates sit at ~100% would pile onto whichever saturated pool is
+  // marginally least utilized — usually the smallest, i.e. the slowest to
+  // drain.
+  struct Key {
+    int util_pct;
+    double queue_per_core;
+    PoolId pool;
+    bool operator<(const Key& other) const {
+      if (util_pct != other.util_pct) return util_pct < other.util_pct;
+      if (queue_per_core != other.queue_per_core) {
+        return queue_per_core < other.queue_per_core;
+      }
+      return pool < other.pool;
+    }
+  };
+  std::vector<Key> keyed;
+  keyed.reserve(candidates.size());
+  for (PoolId pool : candidates) {
+    const double cores = static_cast<double>(view.PoolTotalCores(pool));
+    keyed.push_back(Key{
+        static_cast<int>(Utilization(pool, view) * 100.0),
+        static_cast<double>(view.PoolQueueLength(pool)) / std::max(1.0, cores),
+        pool});
+  }
+  std::sort(keyed.begin(), keyed.end());
+  for (std::size_t i = 0; i < keyed.size(); ++i) candidates[i] = keyed[i].pool;
+  return candidates;
+}
+
+}  // namespace netbatch::sched

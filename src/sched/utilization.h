@@ -1,0 +1,37 @@
+// Utilization-based initial scheduler (paper §3.2.2).
+//
+// "each job entering a virtual pool manager is scheduled to the physical
+// pool that currently has the lowest utilization". The paper also remarks
+// that exact implementation "requires the virtual pool manager to know the
+// current situation in every physical pool at any time, which can be
+// impractical ... given the unavoidable propagation latency"; the
+// `staleness` option models that latency by only refreshing the utilization
+// snapshot every so often (the staleness ablation bench sweeps it).
+#pragma once
+
+#include <vector>
+
+#include "cluster/interfaces.h"
+
+namespace netbatch::sched {
+
+class UtilizationScheduler final : public cluster::InitialScheduler {
+ public:
+  // staleness = 0 reads live utilization on every decision.
+  explicit UtilizationScheduler(Ticks staleness = 0);
+
+  // Candidate pools sorted by utilization, least-loaded first
+  // (ties broken by pool id for determinism).
+  std::vector<PoolId> PoolOrder(const workload::JobSpec& spec,
+                                const cluster::ClusterView& view) override;
+
+ private:
+  double Utilization(PoolId pool, const cluster::ClusterView& view);
+  void RefreshSnapshot(const cluster::ClusterView& view);
+
+  Ticks staleness_;
+  Ticks snapshot_time_ = -1;
+  std::vector<double> snapshot_;
+};
+
+}  // namespace netbatch::sched

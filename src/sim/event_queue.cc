@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace netbatch::sim {
+
+EventSeq EventQueue::Schedule(Ticks at, std::function<void()> fn) {
+  const EventSeq seq = next_seq_++;
+  heap_.push_back(Entry{at, seq, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later);
+  pending_.insert(seq);
+  return seq;
+}
+
+void EventQueue::Cancel(EventSeq seq) {
+  // Only events still in the heap can be cancelled; this makes cancelling an
+  // already-fired handle a true no-op (no bookkeeping leak).
+  if (pending_.erase(seq) > 0) cancelled_.insert(seq);
+}
+
+void EventQueue::DropCancelledTop() {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().seq)) {
+    cancelled_.erase(heap_.front().seq);
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    heap_.pop_back();
+  }
+}
+
+Ticks EventQueue::PeekTime() {
+  DropCancelledTop();
+  NETBATCH_CHECK(!heap_.empty(), "PeekTime() on empty event queue");
+  return heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::Pop() {
+  DropCancelledTop();
+  NETBATCH_CHECK(!heap_.empty(), "Pop() on empty event queue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later);
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(entry.seq);
+  return Fired{entry.time, std::move(entry.fn)};
+}
+
+}  // namespace netbatch::sim

@@ -1,0 +1,72 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence): two events at the same
+// tick always fire in the order they were scheduled, which makes every run
+// bit-for-bit reproducible regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+
+namespace netbatch::sim {
+
+// An event handle; used to cancel pending events. Handles are never reused.
+using EventSeq = std::uint64_t;
+
+// Sentinel for "no event"; cancelling it is a no-op.
+inline constexpr EventSeq kNoEvent = ~EventSeq{0};
+
+// A min-heap of (time, seq) -> callback. Cancellation is lazy: cancelled
+// events stay in the heap and are dropped when they reach the top, keeping
+// Cancel() O(1) amortized.
+class EventQueue {
+ public:
+  // Schedules `fn` at absolute time `at`; returns a handle for Cancel().
+  EventSeq Schedule(Ticks at, std::function<void()> fn);
+
+  // Marks a pending event as cancelled. Cancelling an already-fired or
+  // unknown handle is a no-op.
+  void Cancel(EventSeq seq);
+
+  // True when no live (non-cancelled) events remain.
+  bool Empty() const { return LiveCount() == 0; }
+  std::size_t LiveCount() const { return pending_.size(); }
+
+  // Time of the earliest live event; requires !Empty().
+  Ticks PeekTime();
+
+  // Removes and returns the earliest live event's (time, callback).
+  // Requires !Empty().
+  struct Fired {
+    Ticks time;
+    std::function<void()> fn;
+  };
+  Fired Pop();
+
+ private:
+  struct Entry {
+    Ticks time;
+    EventSeq seq;
+    std::function<void()> fn;
+  };
+
+  // std::push_heap/pop_heap comparator: true when `a` fires after `b`.
+  static bool Later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  // Drops cancelled entries off the top of the heap.
+  void DropCancelledTop();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventSeq> pending_;    // live events currently in heap_
+  std::unordered_set<EventSeq> cancelled_;  // awaiting lazy removal
+  EventSeq next_seq_ = 0;
+};
+
+}  // namespace netbatch::sim

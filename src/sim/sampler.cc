@@ -1,0 +1,42 @@
+#include "sim/sampler.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace netbatch::sim {
+
+PeriodicSampler::PeriodicSampler(Simulator& sim, Ticks start, Ticks period,
+                                 std::function<void(Ticks)> on_sample)
+    : sim_(&sim), period_(period), on_sample_(std::move(on_sample)) {
+  NETBATCH_CHECK(period_ > 0, "sampler period must be positive");
+  ScheduleNext(start);
+}
+
+void PeriodicSampler::Stop() {
+  if (active_) {
+    sim_->Cancel(pending_);
+    active_ = false;
+  }
+}
+
+void PeriodicSampler::StopWhen(std::function<bool(Ticks)> pred) {
+  stop_pred_ = std::move(pred);
+}
+
+void PeriodicSampler::ScheduleNext(Ticks at) {
+  pending_ = sim_->ScheduleAt(at, [this, at] { Fire(at); });
+}
+
+void PeriodicSampler::Fire(Ticks now) {
+  if (!active_) return;
+  on_sample_(now);
+  ++samples_taken_;
+  if (stop_pred_ && stop_pred_(now)) {
+    active_ = false;
+    return;
+  }
+  ScheduleNext(now + period_);
+}
+
+}  // namespace netbatch::sim

@@ -1,0 +1,44 @@
+// Periodic state sampling, ASCA-style.
+//
+// The paper's simulator "samples at each minute the current states of all
+// NetBatch components ... and outputs the results as logs for post-analysis"
+// (§3.1). PeriodicSampler re-creates that: it invokes a callback on a fixed
+// period and stops itself once a stop-predicate holds.
+#pragma once
+
+#include <functional>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace netbatch::sim {
+
+class PeriodicSampler {
+ public:
+  // `on_sample(now)` fires every `period` ticks starting at `start`.
+  PeriodicSampler(Simulator& sim, Ticks start, Ticks period,
+                  std::function<void(Ticks)> on_sample);
+
+  // Stops future samples.
+  void Stop();
+
+  // Stops automatically once `pred(now)` returns true (checked after each
+  // sample). Used to end sampling when the last job completes.
+  void StopWhen(std::function<bool(Ticks)> pred);
+
+  std::int64_t samples_taken() const { return samples_taken_; }
+
+ private:
+  void Fire(Ticks now);
+  void ScheduleNext(Ticks at);
+
+  Simulator* sim_;
+  Ticks period_;
+  std::function<void(Ticks)> on_sample_;
+  std::function<bool(Ticks)> stop_pred_;
+  EventSeq pending_ = 0;
+  bool active_ = true;
+  std::int64_t samples_taken_ = 0;
+};
+
+}  // namespace netbatch::sim

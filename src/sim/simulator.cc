@@ -1,0 +1,35 @@
+#include "sim/simulator.h"
+
+#include <limits>
+#include <utility>
+
+namespace netbatch::sim {
+
+EventSeq Simulator::ScheduleAt(Ticks at, std::function<void()> fn) {
+  NETBATCH_CHECK(at >= now_, "cannot schedule an event in the past");
+  return queue_.Schedule(at, std::move(fn));
+}
+
+EventSeq Simulator::ScheduleAfter(Ticks delay, std::function<void()> fn) {
+  NETBATCH_CHECK(delay >= 0, "negative event delay");
+  return queue_.Schedule(now_ + delay, std::move(fn));
+}
+
+Ticks Simulator::RunUntil(Ticks until) {
+  stop_requested_ = false;
+  while (!queue_.Empty() && !stop_requested_) {
+    if (queue_.PeekTime() > until) break;
+    auto fired = queue_.Pop();
+    NETBATCH_CHECK(fired.time >= now_, "event queue time went backwards");
+    now_ = fired.time;
+    ++fired_events_;
+    fired.fn();
+  }
+  return now_;
+}
+
+Ticks Simulator::RunToCompletion() {
+  return RunUntil(std::numeric_limits<Ticks>::max());
+}
+
+}  // namespace netbatch::sim

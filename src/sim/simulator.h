@@ -1,0 +1,49 @@
+// The simulation driver: a clock plus the event loop.
+//
+// Mirrors the role of ASCA's engine (paper §3.1): components schedule
+// callbacks, the driver fires them in deterministic time order, and periodic
+// samplers observe system state once per simulated minute.
+#pragma once
+
+#include <functional>
+
+#include "common/check.h"
+#include "common/time.h"
+#include "sim/event_queue.h"
+
+namespace netbatch::sim {
+
+class Simulator {
+ public:
+  Ticks Now() const { return now_; }
+
+  // Schedules `fn` at absolute time `at` (must be >= Now()).
+  EventSeq ScheduleAt(Ticks at, std::function<void()> fn);
+
+  // Schedules `fn` `delay` ticks from now (delay >= 0).
+  EventSeq ScheduleAfter(Ticks delay, std::function<void()> fn);
+
+  void Cancel(EventSeq seq) { queue_.Cancel(seq); }
+
+  // Runs until the queue drains or the clock passes `until`
+  // (events at exactly `until` still fire). Returns the final clock value.
+  Ticks RunUntil(Ticks until);
+
+  // Runs until the event queue is empty.
+  Ticks RunToCompletion();
+
+  // Stops the loop after the current event returns; used by samplers that
+  // detect quiescence.
+  void RequestStop() { stop_requested_ = true; }
+
+  std::size_t PendingEvents() const { return queue_.LiveCount(); }
+  std::uint64_t FiredEvents() const { return fired_events_; }
+
+ private:
+  Ticks now_ = 0;
+  EventQueue queue_;
+  bool stop_requested_ = false;
+  std::uint64_t fired_events_ = 0;
+};
+
+}  // namespace netbatch::sim

@@ -1,0 +1,111 @@
+// Synthetic NetBatch-like trace generation.
+//
+// The paper's evaluation replays a proprietary year-long Intel trace; we
+// cannot obtain it, so this generator regenerates its *structure* (see
+// DESIGN.md §2):
+//
+//   * a steady base of low-priority jobs (Poisson arrivals, all pools
+//     eligible) with heavy-tailed runtimes (lognormal body + bounded-Pareto
+//     tail — the paper observes jobs needing >100k minutes, Fig. 2);
+//   * one or more streams of high-priority jobs whose arrival rate is
+//     modulated by an on/off Markov process ("bursty in nature ... last
+//     from several hours to a week", §2.3), each pinned to a small set of
+//     candidate pools ("configured to only run in specific sets of physical
+//     pools", §2.3);
+//   * heterogeneous per-job core and memory demands.
+//
+// All sampling is driven by a single seed; the same config + seed always
+// yields the identical trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "workload/trace.h"
+
+namespace netbatch::workload {
+
+// One stream of bursty high-priority arrivals with pool affinity.
+struct BurstStreamConfig {
+  double jobs_per_minute_on = 0;   // arrival rate during a burst
+  double jobs_per_minute_off = 0;  // trickle rate between bursts
+  double mean_burst_minutes = 12 * 60;   // expected burst length
+  double mean_gap_minutes = 3 * 24 * 60; // expected quiet gap
+  std::vector<PoolId> target_pools;      // candidate pools for these jobs
+  Priority priority = kHighPriority;
+  // Business group submitting this stream (paper 2.2 ownership); its jobs
+  // may preempt on machines the group owns.
+  OwnerId owner = kNoOwner;
+
+  // When non-empty, bursts occur exactly in these [start, start+length)
+  // windows (minutes) instead of the random on/off process. Week-long
+  // evaluation scenarios use this to reproduce the paper's setup — a window
+  // chosen *because* it "captures a typical burst of high-priority jobs"
+  // (§3.1) — without burst-count variance across seeds.
+  struct Window {
+    double start_minute = 0;
+    double length_minutes = 0;
+  };
+  std::vector<Window> scheduled_bursts;
+};
+
+// The runtime (service demand) model, in minutes at unit machine speed.
+struct RuntimeModel {
+  double lognormal_mu = 4.6;    // exp(4.6) ~ 100 min median body
+  double lognormal_sigma = 1.4; // broad body
+  double tail_probability = 0.02;  // chance of a bounded-Pareto tail draw
+  double tail_alpha = 1.1;         // tail heaviness
+  double min_minutes = 1;
+  double max_minutes = 100000;     // paper observes >100k-minute jobs
+};
+
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+  Ticks duration = kTicksPerWeek;
+  std::uint32_t num_pools = 20;
+
+  // Low-priority base load.
+  double low_jobs_per_minute = 10.0;
+  RuntimeModel low_runtime;
+  // Diurnal modulation of the low-priority arrival rate: the instantaneous
+  // rate is low_jobs_per_minute * (1 + A * sin(2*pi*t/day)), A in [0, 1).
+  // Engineering submission patterns follow the working day; the year-long
+  // scenario uses this to give Fig. 4's utilization curve its daily ripple.
+  double diurnal_amplitude = 0.0;
+
+  // Virtual-pool-manager structure (paper §2.1, Fig. 1): each site's VPM is
+  // connected to a subset of the physical pools, and a job submitted at
+  // that site can only run in those pools. Low-priority jobs pick a site
+  // uniformly and inherit its pool set as their candidate list. Empty means
+  // a single site connected to every pool (candidate lists stay empty).
+  std::vector<std::vector<PoolId>> sites;
+
+  // High-priority burst streams.
+  std::vector<BurstStreamConfig> bursts;
+  RuntimeModel high_runtime;  // typically shorter than low-priority work
+
+  // Resource demands: P(cores = core_choices[i]) = core_weights[i].
+  // Low-priority jobs are mostly small...
+  std::vector<std::int32_t> core_choices{1, 2, 4, 8};
+  std::vector<double> core_weights{0.60, 0.25, 0.10, 0.05};
+  // ...while high-priority (owner) chip-simulation batches are wider.
+  std::vector<std::int32_t> high_core_choices{2, 4, 8};
+  std::vector<double> high_core_weights{0.35, 0.45, 0.20};
+  std::int64_t memory_per_core_mb_lo = 1024;
+  std::int64_t memory_per_core_mb_hi = 4096;
+
+  // When > 0, consecutive low-priority jobs are grouped into logical tasks
+  // of this size (paper §2.2); 0 disables task grouping.
+  std::uint32_t task_size = 0;
+};
+
+// Generates the full trace for `config`. Deterministic in (config, seed).
+Trace GenerateTrace(const GeneratorConfig& config);
+
+// Expected offered load of the config, in core-minutes per minute. Useful
+// for sizing clusters to a target utilization:
+//   utilization ~= OfferedCoreMinutesPerMinute / total_cores.
+double OfferedCoreMinutesPerMinute(const GeneratorConfig& config);
+
+}  // namespace netbatch::workload

@@ -1,0 +1,50 @@
+// The static description of one job, as recorded in a NetBatch trace.
+//
+// Matches the paper's description of trace contents (§3.1): "computing
+// resource and memory requirements, submission time and priority", plus the
+// candidate-pool restriction that drives the paper's key observation that
+// latency-sensitive jobs "are usually configured to only run in specific
+// sets of physical pools" (§2.3). `task` groups jobs into the paper's
+// logical tasks (§2.2), where a task is only useful once (almost) all of
+// its jobs have completed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace netbatch::workload {
+
+// Job priority. The paper's NetBatch distinguishes high-priority (owner /
+// latency-sensitive) from low-priority jobs; we keep an integer level so
+// nested preemption chains can be expressed. Higher value preempts lower.
+using Priority = std::int32_t;
+
+inline constexpr Priority kLowPriority = 0;
+inline constexpr Priority kHighPriority = 10;
+
+// Business-group ownership (paper §2.2): a group that "owns" a machine may
+// preempt other work on it. kNoOwner on a job means it claims no ownership
+// rights; kNoOwner on a machine means anyone may preempt there (subject to
+// priority).
+using OwnerId = std::int32_t;
+inline constexpr OwnerId kNoOwner = -1;
+
+struct JobSpec {
+  JobId id;
+  TaskId task;             // invalid() when the job is not part of a task
+  Ticks submit_time = 0;
+  Priority priority = kLowPriority;
+  std::int32_t cores = 1;          // CPU cores required
+  std::int64_t memory_mb = 1024;   // resident memory required
+  Ticks runtime = 0;               // work at unit machine speed, in ticks
+  OwnerId owner = kNoOwner;        // business group paying for this job
+  // Pools this job may run in; empty means "any pool".
+  std::vector<PoolId> candidate_pools;
+
+  friend bool operator==(const JobSpec&, const JobSpec&) = default;
+};
+
+}  // namespace netbatch::workload

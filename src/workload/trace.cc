@@ -1,0 +1,59 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace netbatch::workload {
+
+Trace::Trace(std::vector<JobSpec> jobs) : jobs_(std::move(jobs)) {
+  std::sort(jobs_.begin(), jobs_.end(),
+            [](const JobSpec& a, const JobSpec& b) {
+              if (a.submit_time != b.submit_time)
+                return a.submit_time < b.submit_time;
+              return a.id < b.id;
+            });
+  std::unordered_set<JobId> seen;
+  seen.reserve(jobs_.size());
+  for (const JobSpec& job : jobs_) {
+    NETBATCH_CHECK(job.id.valid(), "trace job without id");
+    NETBATCH_CHECK(seen.insert(job.id).second, "duplicate job id in trace");
+    NETBATCH_CHECK(job.submit_time >= 0, "negative submit time");
+    NETBATCH_CHECK(job.cores > 0, "job must require at least one core");
+    NETBATCH_CHECK(job.memory_mb > 0, "job must require memory");
+    NETBATCH_CHECK(job.runtime > 0, "job must have positive runtime");
+  }
+}
+
+TraceStats Trace::Stats() const {
+  TraceStats stats;
+  stats.job_count = jobs_.size();
+  if (jobs_.empty()) return stats;
+  stats.first_submit = jobs_.front().submit_time;
+  stats.last_submit = jobs_.back().submit_time;
+  double runtime_sum = 0;
+  double cores_sum = 0;
+  for (const JobSpec& job : jobs_) {
+    if (job.priority > kLowPriority) ++stats.high_priority_count;
+    runtime_sum += TicksToMinutes(job.runtime);
+    cores_sum += job.cores;
+    stats.total_work_core_minutes +=
+        static_cast<std::int64_t>(TicksToMinutes(job.runtime)) * job.cores;
+  }
+  stats.mean_runtime_minutes = runtime_sum / static_cast<double>(jobs_.size());
+  stats.mean_cores = cores_sum / static_cast<double>(jobs_.size());
+  return stats;
+}
+
+Trace Trace::Window(Ticks begin, Ticks end) const {
+  std::vector<JobSpec> selected;
+  for (const JobSpec& job : jobs_) {
+    if (job.submit_time >= begin && job.submit_time < end) {
+      selected.push_back(job);
+    }
+  }
+  return Trace(std::move(selected));
+}
+
+}  // namespace netbatch::workload

@@ -1,0 +1,49 @@
+// A job trace: the complete set of submissions driving one simulation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "workload/job_spec.h"
+
+namespace netbatch::workload {
+
+// Summary statistics of a trace, for sanity checks and reports.
+struct TraceStats {
+  std::size_t job_count = 0;
+  std::size_t high_priority_count = 0;
+  Ticks first_submit = 0;
+  Ticks last_submit = 0;
+  double mean_runtime_minutes = 0;
+  double mean_cores = 0;
+  std::int64_t total_work_core_minutes = 0;  // sum(runtime * cores)
+};
+
+// An immutable, submit-time-ordered collection of JobSpecs.
+class Trace {
+ public:
+  Trace() = default;
+
+  // Takes ownership of `jobs`; sorts by (submit_time, id) and validates
+  // that ids are unique and fields are in-range (aborts on violation —
+  // a malformed trace invalidates any experiment built on it).
+  explicit Trace(std::vector<JobSpec> jobs);
+
+  std::span<const JobSpec> jobs() const { return jobs_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+  const JobSpec& operator[](std::size_t i) const { return jobs_[i]; }
+
+  TraceStats Stats() const;
+
+  // A new trace containing only jobs with submit_time in [begin, end).
+  // Ids are preserved. Mirrors the paper's selection of a one-week busy
+  // window out of the year-long trace (§3.1).
+  Trace Window(Ticks begin, Ticks end) const;
+
+ private:
+  std::vector<JobSpec> jobs_;
+};
+
+}  // namespace netbatch::workload

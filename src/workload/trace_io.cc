@@ -1,0 +1,117 @@
+#include "workload/trace_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace netbatch::workload {
+namespace {
+
+constexpr std::string_view kHeader =
+    "job_id,task_id,submit_ticks,priority,cores,memory_mb,runtime_ticks,"
+    "owner,pools";
+
+std::int64_t ParseInt(std::string_view s) {
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  NETBATCH_CHECK(ec == std::errc{} && ptr == s.data() + s.size(),
+                 "malformed integer field in trace");
+  return value;
+}
+
+std::string PoolsField(const JobSpec& job) {
+  std::string out;
+  for (std::size_t i = 0; i < job.candidate_pools.size(); ++i) {
+    if (i > 0) out += ';';
+    out += std::to_string(job.candidate_pools[i].value());
+  }
+  return out;
+}
+
+std::vector<PoolId> ParsePools(std::string_view field) {
+  std::vector<PoolId> pools;
+  std::size_t start = 0;
+  while (start < field.size()) {
+    std::size_t end = field.find(';', start);
+    if (end == std::string_view::npos) end = field.size();
+    pools.push_back(PoolId(
+        static_cast<PoolId::ValueType>(ParseInt(field.substr(start, end - start)))));
+    start = end + 1;
+  }
+  return pools;
+}
+
+}  // namespace
+
+void WriteTrace(const Trace& trace, std::ostream& out) {
+  out << kHeader << '\n';
+  CsvWriter writer(out);
+  for (const JobSpec& job : trace.jobs()) {
+    writer.WriteRow({
+        std::to_string(job.id.value()),
+        job.task.valid() ? std::to_string(job.task.value()) : std::string{},
+        std::to_string(job.submit_time),
+        std::to_string(job.priority),
+        std::to_string(job.cores),
+        std::to_string(job.memory_mb),
+        std::to_string(job.runtime),
+        std::to_string(job.owner),
+        PoolsField(job),
+    });
+  }
+}
+
+void WriteTraceFile(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  NETBATCH_CHECK(static_cast<bool>(out), "cannot open trace file for write");
+  WriteTrace(trace, out);
+}
+
+Trace ReadTrace(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto rows = ParseCsv(buffer.str());
+  NETBATCH_CHECK(!rows.empty(), "empty trace file");
+
+  // Reconstruct the header line for comparison.
+  std::string header;
+  for (std::size_t i = 0; i < rows[0].size(); ++i) {
+    if (i > 0) header += ',';
+    header += rows[0][i];
+  }
+  NETBATCH_CHECK(header == kHeader, "unexpected trace header");
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(rows.size() - 1);
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    NETBATCH_CHECK(row.size() == 9, "trace row with wrong field count");
+    JobSpec job;
+    job.id = JobId(static_cast<JobId::ValueType>(ParseInt(row[0])));
+    if (!row[1].empty()) {
+      job.task = TaskId(static_cast<TaskId::ValueType>(ParseInt(row[1])));
+    }
+    job.submit_time = ParseInt(row[2]);
+    job.priority = static_cast<Priority>(ParseInt(row[3]));
+    job.cores = static_cast<std::int32_t>(ParseInt(row[4]));
+    job.memory_mb = ParseInt(row[5]);
+    job.runtime = ParseInt(row[6]);
+    job.owner = static_cast<OwnerId>(ParseInt(row[7]));
+    job.candidate_pools = ParsePools(row[8]);
+    jobs.push_back(std::move(job));
+  }
+  return Trace(std::move(jobs));
+}
+
+Trace ReadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  NETBATCH_CHECK(static_cast<bool>(in), "cannot open trace file for read");
+  return ReadTrace(in);
+}
+
+}  // namespace netbatch::workload

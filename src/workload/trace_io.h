@@ -1,0 +1,28 @@
+// Trace serialization.
+//
+// Traces round-trip through CSV so experiments can be re-run on the exact
+// submissions of a previous run, shared between binaries, or inspected with
+// standard tools. Column layout:
+//
+//   job_id,task_id,submit_ticks,priority,cores,memory_mb,runtime_ticks,pools
+//
+// `task_id` is empty for task-less jobs; `pools` is a ';'-separated list of
+// pool indices, empty meaning "any pool".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace netbatch::workload {
+
+void WriteTrace(const Trace& trace, std::ostream& out);
+void WriteTraceFile(const Trace& trace, const std::string& path);
+
+// Parses a trace; aborts on malformed input (header mismatch, bad fields) —
+// a silently mis-parsed trace would corrupt every downstream result.
+Trace ReadTrace(std::istream& in);
+Trace ReadTraceFile(const std::string& path);
+
+}  // namespace netbatch::workload

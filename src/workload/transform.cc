@@ -1,0 +1,67 @@
+#include "workload/transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace netbatch::workload {
+
+Trace ShiftToStart(const Trace& trace, Ticks new_start) {
+  if (trace.empty()) return Trace{};
+  const Ticks delta = new_start - trace[0].submit_time;
+  std::vector<JobSpec> jobs(trace.jobs().begin(), trace.jobs().end());
+  for (JobSpec& job : jobs) {
+    job.submit_time += delta;
+    NETBATCH_CHECK(job.submit_time >= 0, "shift would move jobs before t=0");
+  }
+  return Trace(std::move(jobs));
+}
+
+Trace ScaleRuntimes(const Trace& trace, double factor) {
+  NETBATCH_CHECK(factor > 0, "runtime scale factor must be positive");
+  std::vector<JobSpec> jobs(trace.jobs().begin(), trace.jobs().end());
+  for (JobSpec& job : jobs) {
+    job.runtime = std::max<Ticks>(
+        1, static_cast<Ticks>(std::llround(
+               static_cast<double>(job.runtime) * factor)));
+  }
+  return Trace(std::move(jobs));
+}
+
+Trace ThinArrivals(const Trace& trace, double keep_fraction,
+                   std::uint64_t seed) {
+  NETBATCH_CHECK(keep_fraction >= 0 && keep_fraction <= 1,
+                 "keep fraction must be in [0, 1]");
+  Rng rng(seed);
+  std::vector<JobSpec> jobs;
+  for (const JobSpec& job : trace.jobs()) {
+    if (rng.Bernoulli(keep_fraction)) jobs.push_back(job);
+  }
+  return Trace(std::move(jobs));
+}
+
+Trace FilterByPriority(const Trace& trace, Priority priority) {
+  std::vector<JobSpec> jobs;
+  for (const JobSpec& job : trace.jobs()) {
+    if (job.priority == priority) jobs.push_back(job);
+  }
+  return Trace(std::move(jobs));
+}
+
+Trace Merge(const Trace& a, const Trace& b, bool rebase_b_ids) {
+  std::vector<JobSpec> jobs(a.jobs().begin(), a.jobs().end());
+  JobId::ValueType next_id = 0;
+  for (const JobSpec& job : a.jobs()) {
+    next_id = std::max(next_id, job.id.value() + 1);
+  }
+  for (JobSpec job : b.jobs()) {
+    if (rebase_b_ids) job.id = JobId(next_id++);
+    jobs.push_back(std::move(job));
+  }
+  // Trace's constructor validates id uniqueness across the merge.
+  return Trace(std::move(jobs));
+}
+
+}  // namespace netbatch::workload

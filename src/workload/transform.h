@@ -1,0 +1,37 @@
+// Trace transformation utilities.
+//
+// Trace-driven studies routinely derive variants of a base trace: load
+// scaling (speed up / thin out arrivals), windowing to a busy period (the
+// paper analyses jobs "with submission time between 76000 and 86080
+// minutes"), class filtering, and merging independently generated streams.
+// These helpers keep such derivations deterministic and id-safe.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/trace.h"
+
+namespace netbatch::workload {
+
+// A new trace whose submissions are shifted so the earliest lands at
+// `new_start` (relative spacing preserved).
+Trace ShiftToStart(const Trace& trace, Ticks new_start);
+
+// A new trace with every runtime multiplied by `factor` (> 0); runtimes are
+// clamped to at least one tick.
+Trace ScaleRuntimes(const Trace& trace, double factor);
+
+// A deterministic thinning: keeps each job independently with probability
+// `keep_fraction` using `seed`. Models reducing trace load without
+// changing its temporal structure.
+Trace ThinArrivals(const Trace& trace, double keep_fraction,
+                   std::uint64_t seed);
+
+// Only jobs matching the priority class.
+Trace FilterByPriority(const Trace& trace, Priority priority);
+
+// Merges two traces into one. Job ids must not collide; the ids of `b` can
+// be re-based with `rebase_b_ids` when they do.
+Trace Merge(const Trace& a, const Trace& b, bool rebase_b_ids = false);
+
+}  // namespace netbatch::workload

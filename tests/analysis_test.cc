@@ -1,0 +1,154 @@
+// Tests for the pool-imbalance analysis (§2.3) and the report detail
+// metrics (percentiles, priority-class breakdown).
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "analysis/plot.h"
+#include "analysis/pool_imbalance.h"
+#include "cluster/simulation.h"
+#include "core/policies.h"
+#include "metrics/collector.h"
+#include "sched/round_robin.h"
+
+namespace netbatch::analysis {
+namespace {
+
+TEST(PoolImbalanceTest, DetectsSaturatedBesideIdle) {
+  // Two pools over 10 samples: pool 0 saturated in the second half, pool 1
+  // always idle; cluster utilization stays at 50%.
+  std::vector<std::vector<float>> util = {
+      {0.4f, 0.4f, 0.4f, 0.4f, 0.4f, 1.0f, 1.0f, 1.0f, 1.0f, 1.0f},
+      {0.1f, 0.1f, 0.1f, 0.1f, 0.1f, 0.1f, 0.1f, 0.1f, 0.1f, 0.1f},
+  };
+  std::vector<std::vector<std::uint32_t>> queues = {
+      {0, 0, 0, 0, 0, 5, 6, 7, 8, 9},
+      {0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+  };
+  std::vector<double> cluster(10, 0.5);
+
+  const ImbalanceSummary summary =
+      AnalyzePoolImbalance(util, queues, cluster);
+  EXPECT_DOUBLE_EQ(summary.imbalanced_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(summary.imbalanced_while_underloaded_fraction, 0.5);
+  ASSERT_EQ(summary.per_pool.size(), 2u);
+  EXPECT_NEAR(summary.per_pool[0].mean_utilization, 0.7, 1e-6);
+  EXPECT_NEAR(summary.per_pool[0].mean_queue_length, 3.5, 1e-9);
+  EXPECT_DOUBLE_EQ(summary.per_pool[0].max_queue_length, 9.0);
+  EXPECT_NEAR(summary.per_pool[1].p95_utilization, 0.1, 1e-6);
+}
+
+TEST(PoolImbalanceTest, BalancedClusterScoresZero) {
+  std::vector<std::vector<float>> util = {{0.5f, 0.6f}, {0.55f, 0.6f}};
+  std::vector<std::vector<std::uint32_t>> queues = {{0, 0}, {0, 0}};
+  std::vector<double> cluster = {0.52, 0.6};
+  const ImbalanceSummary summary =
+      AnalyzePoolImbalance(util, queues, cluster);
+  EXPECT_DOUBLE_EQ(summary.imbalanced_fraction, 0.0);
+  EXPECT_NEAR(summary.mean_utilization_spread, 0.025, 1e-6);
+}
+
+TEST(PoolImbalanceTest, RenderIncludesSummaryLines) {
+  std::vector<std::vector<float>> util = {{1.0f}, {0.0f}};
+  std::vector<std::vector<std::uint32_t>> queues = {{3}, {0}};
+  std::vector<double> cluster = {0.5};
+  const std::string text =
+      RenderPoolImbalance(AnalyzePoolImbalance(util, queues, cluster));
+  EXPECT_NE(text.find("100.0%"), std::string::npos);
+  EXPECT_NE(text.find("suspension without overload"), std::string::npos);
+}
+
+TEST(PoolImbalanceTest, MisalignedSeriesAbort) {
+  std::vector<std::vector<float>> util = {{0.5f, 0.6f}, {0.5f}};
+  std::vector<std::vector<std::uint32_t>> queues = {{0, 0}, {0}};
+  std::vector<double> cluster = {0.5, 0.6};
+  EXPECT_DEATH(AnalyzePoolImbalance(util, queues, cluster), "align");
+}
+
+TEST(PlotExportTest, WritesCdfDataAndScript) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.Add(static_cast<double>(i * 50));
+  const std::string script = WriteSuspensionCdfPlot("/tmp", cdf);
+  EXPECT_NE(script.find(".gp"), std::string::npos);
+  std::ifstream dat("/tmp/fig2_suspension_cdf.dat");
+  ASSERT_TRUE(dat.good());
+  std::string header;
+  std::getline(dat, header);
+  EXPECT_NE(header.find("suspension_minutes"), std::string::npos);
+  double minutes = 0, pct = 0;
+  int rows = 0;
+  double last_pct = -1;
+  while (dat >> minutes >> pct) {
+    EXPECT_GE(pct, last_pct);  // CDF monotone
+    last_pct = pct;
+    ++rows;
+  }
+  EXPECT_GT(rows, 10);
+}
+
+TEST(PlotExportTest, WritesTimeseriesDataAndScript) {
+  std::vector<BucketPoint> points(3);
+  for (int i = 0; i < 3; ++i) {
+    points[i].bucket_start = MinutesToTicks(i * 100);
+    points[i].mean_utilization = 0.4;
+    points[i].mean_suspended_jobs = 10.0 * i;
+  }
+  const std::string script = WriteYearTimeseriesPlot("/tmp", points);
+  std::ifstream gp(script);
+  ASSERT_TRUE(gp.good());
+  std::string contents((std::istreambuf_iterator<char>(gp)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("Utilization"), std::string::npos);
+  EXPECT_NE(contents.find("suspended jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netbatch::analysis
+
+namespace netbatch::metrics {
+namespace {
+
+TEST(DetailMetricsTest, PercentilesAndClassBreakdown) {
+  // Two pools, plenty of machines: no queueing, CT == runtime.
+  cluster::ClusterConfig config;
+  cluster::PoolConfig pool;
+  pool.machine_groups.push_back(
+      {.count = 100, .cores = 1, .memory_mb = 1024, .speed = 1.0});
+  config.pools.push_back(pool);
+
+  std::vector<workload::JobSpec> specs;
+  for (JobId::ValueType i = 0; i < 100; ++i) {
+    workload::JobSpec spec;
+    spec.id = JobId(i);
+    spec.submit_time = 0;
+    spec.cores = 1;
+    spec.memory_mb = 1;
+    spec.runtime = MinutesToTicks(i + 1);  // CTs: 1..100 minutes
+    spec.priority =
+        i < 20 ? workload::kHighPriority : workload::kLowPriority;
+    specs.push_back(std::move(spec));
+  }
+  const workload::Trace trace(std::move(specs));
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  cluster::NetBatchSimulation sim(config, trace, scheduler, policy);
+  metrics::MetricsCollector collector;
+  sim.AddObserver(&collector);
+  sim.Run();
+  const MetricsReport report = collector.BuildReport(sim, "detail");
+
+  EXPECT_DOUBLE_EQ(report.p50_ct_minutes, 50.0);
+  EXPECT_DOUBLE_EQ(report.p90_ct_minutes, 90.0);
+  EXPECT_DOUBLE_EQ(report.p99_ct_minutes, 99.0);
+  EXPECT_DOUBLE_EQ(report.max_ct_minutes, 100.0);
+  EXPECT_EQ(report.high_priority_count, 20u);
+  EXPECT_DOUBLE_EQ(report.avg_ct_high_minutes, 10.5);   // mean of 1..20
+  EXPECT_DOUBLE_EQ(report.avg_ct_low_minutes, 60.5);    // mean of 21..100
+
+  const std::string detail = RenderDetailTable({report});
+  EXPECT_NE(detail.find("p99 CT"), std::string::npos);
+  EXPECT_NE(detail.find("10.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netbatch::metrics

@@ -1,0 +1,410 @@
+// Unit tests for the common substrate: time, ids, rng, distributions,
+// statistics, histograms/CDFs, CSV, and table rendering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/distributions.h"
+#include "common/histogram.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/time.h"
+
+namespace netbatch {
+namespace {
+
+// --- time -------------------------------------------------------------------
+
+TEST(TimeTest, MinuteConversionsRoundTrip) {
+  EXPECT_EQ(MinutesToTicks(0), 0);
+  EXPECT_EQ(MinutesToTicks(1), kTicksPerMinute);
+  EXPECT_DOUBLE_EQ(TicksToMinutes(MinutesToTicks(437)), 437.0);
+  EXPECT_DOUBLE_EQ(TicksToMinutes(90), 1.5);
+}
+
+TEST(TimeTest, ConstantsAreConsistent) {
+  EXPECT_EQ(kTicksPerHour, 60 * kTicksPerMinute);
+  EXPECT_EQ(kTicksPerDay, 24 * kTicksPerHour);
+  EXPECT_EQ(kTicksPerWeek, 7 * kTicksPerDay);
+}
+
+TEST(TimeTest, FormatTicksRendersDaysHoursMinutesSeconds) {
+  EXPECT_EQ(FormatTicks(0), "0d 00:00:00");
+  EXPECT_EQ(FormatTicks(kTicksPerDay + kTicksPerHour + kTicksPerMinute + 1),
+            "1d 01:01:01");
+  EXPECT_EQ(FormatTicks(-kTicksPerMinute), "-0d 00:01:00");
+}
+
+// --- ids ---------------------------------------------------------------------
+
+TEST(IdTest, DefaultIsInvalid) {
+  JobId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_TRUE(JobId(3).valid());
+}
+
+TEST(IdTest, ComparesByValue) {
+  EXPECT_EQ(JobId(7), JobId(7));
+  EXPECT_NE(JobId(7), JobId(8));
+  EXPECT_LT(JobId(7), JobId(8));
+}
+
+TEST(IdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<JobId, PoolId>);
+  static_assert(!std::is_convertible_v<JobId, PoolId>);
+}
+
+TEST(IdTest, HashWorksInUnorderedContainers) {
+  std::unordered_set<JobId> set;
+  set.insert(JobId(1));
+  set.insert(JobId(1));
+  set.insert(JobId(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(123), b(124);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkDecorrelatesStreams) {
+  Rng parent(7);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent.Next() == child.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t x = rng.UniformInt(3, 7);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntDegenerateRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+// --- distributions ------------------------------------------------------------
+
+TEST(DistributionsTest, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += SampleExponential(rng, 0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(DistributionsTest, LognormalMedianIsExpMu) {
+  Rng rng(29);
+  std::vector<double> samples;
+  const int n = 100001;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) samples.push_back(SampleLognormal(rng, 2.0, 0.8));
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], std::exp(2.0), 0.15);
+}
+
+TEST(DistributionsTest, ParetoRespectsScale) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(SamplePareto(rng, 3.0, 1.5), 3.0);
+  }
+}
+
+TEST(DistributionsTest, BoundedParetoStaysInBounds) {
+  Rng rng(37);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = SampleBoundedPareto(rng, 10.0, 1000.0, 1.1);
+    EXPECT_GE(x, 10.0);
+    EXPECT_LE(x, 1000.0);
+  }
+}
+
+TEST(DistributionsTest, PoissonMeanMatchesLambdaSmall) {
+  Rng rng(41);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(SamplePoisson(rng, 4.2));
+  EXPECT_NEAR(sum / n, 4.2, 0.05);
+}
+
+TEST(DistributionsTest, PoissonMeanMatchesLambdaLarge) {
+  Rng rng(43);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(SamplePoisson(rng, 80.0));
+  EXPECT_NEAR(sum / n, 80.0, 0.5);
+}
+
+TEST(DistributionsTest, PoissonZeroLambdaIsZero) {
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(SamplePoisson(rng, 0.0), 0);
+}
+
+TEST(DistributionsTest, ZipfUniformWhenExponentZero) {
+  Rng rng(53);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c / static_cast<double>(n), 0.25, 0.02);
+}
+
+TEST(DistributionsTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(59);
+  ZipfSampler zipf(10, 1.2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(DistributionsTest, BurstProcessAlternates) {
+  Rng rng(61);
+  MarkovModulatedBursts process(100.0, 50.0, rng);
+  int on_minutes = 0;
+  const int total = 200000;
+  for (int minute = 0; minute < total; ++minute) {
+    on_minutes += process.IsOnAt(static_cast<double>(minute));
+  }
+  // Expected on-fraction = 50 / (100 + 50) = 1/3.
+  EXPECT_NEAR(on_minutes / static_cast<double>(total), 1.0 / 3.0, 0.05);
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(StreamingStatsTest, EmptyStatsAreZero) {
+  StreamingStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.min(), 0.0);
+  EXPECT_EQ(stats.max(), 0.0);
+}
+
+TEST(StreamingStatsTest, BasicMoments) {
+  StreamingStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, MergeMatchesSequential) {
+  StreamingStats a, b, all;
+  Rng rng(67);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 10;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStatsTest, MergeWithEmptySides) {
+  StreamingStats a, b;
+  a.Add(3.0);
+  StreamingStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+// --- histogram / cdf ---------------------------------------------------------
+
+TEST(EmpiricalCdfTest, QuantilesOfKnownSamples) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.Median(), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.Mean(), 50.5);
+}
+
+TEST(EmpiricalCdfTest, AtIsMonotoneAndBounded) {
+  EmpiricalCdf cdf;
+  Rng rng(71);
+  for (int i = 0; i < 1000; ++i) cdf.Add(rng.NextDouble() * 100);
+  double last = 0;
+  for (double x = 0; x <= 110; x += 5) {
+    const double p = cdf.At(x);
+    EXPECT_GE(p, last);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    last = p;
+  }
+  EXPECT_DOUBLE_EQ(cdf.At(1000.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, FractionAboveComplementsAt) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 10; ++i) cdf.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.FractionAbove(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionAbove(10.0), 0.0);
+}
+
+TEST(EmpiricalCdfTest, CurvePointsAreMonotone) {
+  EmpiricalCdf cdf;
+  Rng rng(73);
+  for (int i = 0; i < 500; ++i) cdf.Add(rng.NextDouble());
+  const auto points = cdf.CurvePoints(20);
+  ASSERT_EQ(points.size(), 20u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].value, points[i - 1].value);
+    EXPECT_GT(points[i].fraction, points[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(points.back().fraction, 1.0);
+}
+
+TEST(LogHistogramTest, CountsAndQuantiles) {
+  LogHistogram hist(1.0, 1e6, 4);
+  for (int i = 0; i < 1000; ++i) hist.Add(100.0);
+  EXPECT_EQ(hist.total_count(), 1000);
+  // All mass in one bucket: every quantile lands near 100.
+  EXPECT_NEAR(hist.ApproxQuantile(0.5), 100.0, 60.0);
+}
+
+TEST(LogHistogramTest, UnderAndOverflowLandInEdgeBuckets) {
+  LogHistogram hist(10.0, 1000.0, 2);
+  hist.Add(0.5);      // below lo
+  hist.Add(1e9);      // above hi
+  EXPECT_EQ(hist.total_count(), 2);
+  EXPECT_GE(hist.bucket(0), 1);
+  EXPECT_GE(hist.bucket(hist.bucket_count() - 1), 1);
+}
+
+// --- csv ---------------------------------------------------------------------
+
+TEST(CsvTest, ParsesPlainFields) {
+  const auto fields = ParseCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, ParsesQuotedFieldsWithCommasAndQuotes) {
+  const auto fields = ParseCsvLine(R"(x,"a,b","say ""hi""")");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "a,b");
+  EXPECT_EQ(fields[2], "say \"hi\"");
+}
+
+TEST(CsvTest, EmptyFieldsPreserved) {
+  const auto fields = ParseCsvLine("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvTest, WriterQuotesOnlyWhenNeeded) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"plain", "with,comma", "with\"quote"});
+  EXPECT_EQ(out.str(), "plain,\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CsvTest, RoundTripThroughParse) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"a", "b,c", "d\"e", ""});
+  const auto rows = ParseCsv(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  ASSERT_EQ(rows[0].size(), 4u);
+  EXPECT_EQ(rows[0][1], "b,c");
+  EXPECT_EQ(rows[0][2], "d\"e");
+  EXPECT_EQ(rows[0][3], "");
+}
+
+TEST(CsvTest, ParseCsvSkipsBlankLines) {
+  const auto rows = ParseCsv("a,b\n\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0], "c");
+}
+
+// --- table ---------------------------------------------------------------------
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"Name", "Value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"long-name", "23456"});
+  const std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("Name"), std::string::npos);
+  EXPECT_NE(rendered.find("long-name"), std::string::npos);
+  // All lines are equally wide.
+  std::istringstream lines(rendered);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TextTableTest, NumericFormatters) {
+  EXPECT_EQ(TextTable::Fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::Percent(0.0114, 2), "1.14%");
+}
+
+}  // namespace
+}  // namespace netbatch

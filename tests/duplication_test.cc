@@ -1,0 +1,162 @@
+// Tests for the duplication extension (paper §5): a suspended job's copy
+// races it in an alternate pool; the first to finish wins.
+#include <gtest/gtest.h>
+
+#include "cluster/simulation.h"
+#include "core/policies.h"
+#include "metrics/collector.h"
+#include "sched/round_robin.h"
+
+namespace netbatch::cluster {
+namespace {
+
+workload::JobSpec Spec(JobId::ValueType id, Ticks submit, Ticks runtime,
+                       std::int32_t cores,
+                       workload::Priority priority = workload::kLowPriority,
+                       std::vector<PoolId> pools = {}) {
+  workload::JobSpec spec;
+  spec.id = JobId(id);
+  spec.submit_time = submit;
+  spec.runtime = runtime;
+  spec.cores = cores;
+  spec.memory_mb = 1024;
+  spec.priority = priority;
+  spec.candidate_pools = std::move(pools);
+  return spec;
+}
+
+ClusterConfig TwoPoolCluster(double pool1_speed = 1.0) {
+  ClusterConfig config;
+  for (int p = 0; p < 2; ++p) {
+    PoolConfig pool;
+    pool.machine_groups.push_back({
+        .count = 1,
+        .cores = 4,
+        .memory_mb = 16384,
+        .speed = p == 1 ? pool1_speed : 1.0,
+    });
+    config.pools.push_back(pool);
+  }
+  return config;
+}
+
+// Scenario: low job (100 min) starts in pool 0 at t=0; a high job (300 min)
+// preempts it at t=40. The duplication policy launches a copy in pool 1.
+workload::Trace RaceTrace() {
+  return workload::Trace({
+      Spec(0, 0, MinutesToTicks(100), 4),  // any pool; RR places it in pool 0
+      Spec(1, MinutesToTicks(40), MinutesToTicks(300), 4,
+           workload::kHighPriority, {PoolId(0)}),
+  });
+}
+
+TEST(DuplicationTest, DuplicateWinsWhileOriginalStaysSuspended) {
+  // The high job holds pool 0 for 300 minutes, so the duplicate (fresh
+  // 100-minute run in pool 1, t=40..140) finishes long before the original
+  // could resume (t=340).
+  sched::RoundRobinScheduler scheduler;
+  const auto policy = core::MakeDuplicationPolicy();
+  NetBatchSimulation sim(TwoPoolCluster(), RaceTrace(), scheduler, *policy);
+  metrics::MetricsCollector collector;
+  sim.AddObserver(&collector);
+  sim.Run();
+
+  EXPECT_EQ(sim.duplicate_count(), 1u);
+  const Job& original = sim.jobs().at(JobId(0));
+  EXPECT_EQ(original.state(), JobState::kCompleted);
+  EXPECT_EQ(original.completion_time(), MinutesToTicks(140));
+  // The original's 40 minutes of progress were discarded when the twin won.
+  EXPECT_EQ(original.resched_waste_ticks(), MinutesToTicks(40));
+  // It sat suspended from t=40 until the race resolved at t=140.
+  EXPECT_EQ(original.suspend_ticks(), MinutesToTicks(100));
+
+  // Metrics count 2 jobs (the duplicate is a shadow).
+  const auto report = collector.BuildReport(sim, "DupSusUtil");
+  EXPECT_EQ(report.job_count, 2u);
+  EXPECT_EQ(report.completed_count, 2u);
+  EXPECT_DOUBLE_EQ(report.avg_ct_suspended_minutes, 140.0);
+}
+
+TEST(DuplicationTest, OriginalWinsAndDuplicateIsKilled) {
+  // Pool 1 is slow (0.25x), so the duplicate needs 400 minutes; the high
+  // job finishes at t=340, the original resumes and completes at t=400.
+  // Meanwhile the duplicate (started t=40) would finish at t=440 -> the
+  // original wins and the duplicate is killed mid-run.
+  sched::RoundRobinScheduler scheduler;
+  const auto policy = core::MakeDuplicationPolicy();
+  NetBatchSimulation sim(TwoPoolCluster(0.25), RaceTrace(), scheduler,
+                         *policy);
+  metrics::MetricsCollector collector;
+  sim.AddObserver(&collector);
+  sim.Run();
+
+  const Job& original = sim.jobs().at(JobId(0));
+  EXPECT_EQ(original.state(), JobState::kCompleted);
+  EXPECT_EQ(original.completion_time(), MinutesToTicks(400));
+  EXPECT_EQ(original.suspend_ticks(), MinutesToTicks(300));
+  // The duplicate ran t=40..400 (wall clock) before being killed; its
+  // execution is charged to the original as extra waste.
+  EXPECT_EQ(original.extra_waste_ticks(), MinutesToTicks(360));
+  EXPECT_EQ(original.resched_waste_ticks(), 0);
+
+  const auto report = collector.BuildReport(sim, "DupSusUtil");
+  EXPECT_EQ(report.job_count, 2u);
+  EXPECT_DOUBLE_EQ(report.avg_resched_waste_minutes, 180.0);  // 360/2 jobs
+  sim.CheckInvariants();
+}
+
+TEST(DuplicationTest, OnlyOneDuplicatePerJobAtATime) {
+  // The original is preempted twice (two high jobs back to back in pool 0);
+  // only one duplicate must ever be spawned for it.
+  const workload::Trace trace({
+      Spec(0, 0, MinutesToTicks(500), 4),  // any pool; RR places it in pool 0
+      Spec(1, MinutesToTicks(10), MinutesToTicks(20), 4,
+           workload::kHighPriority, {PoolId(0)}),
+      Spec(2, MinutesToTicks(35), MinutesToTicks(20), 4,
+           workload::kHighPriority, {PoolId(0)}),
+  });
+  sched::RoundRobinScheduler scheduler;
+  const auto policy = core::MakeDuplicationPolicy();
+  // Pool 1 slow so the duplicate is still alive at the second preemption.
+  NetBatchSimulation sim(TwoPoolCluster(0.1), trace, scheduler, *policy);
+  sim.Run();
+  EXPECT_EQ(sim.duplicate_count(), 1u);
+  EXPECT_EQ(sim.completed_count(), 3u);
+}
+
+TEST(DuplicationTest, AccountingIdentityHoldsWithDuplicates) {
+  // Randomized-ish mix; every primary job must satisfy the CT identity with
+  // the duplication policy active.
+  std::vector<workload::JobSpec> specs;
+  for (JobId::ValueType i = 0; i < 40; ++i) {
+    specs.push_back(Spec(i, MinutesToTicks(i * 7),
+                         MinutesToTicks(30 + (i % 5) * 50), 1 + (i % 4)));
+  }
+  for (JobId::ValueType i = 40; i < 60; ++i) {
+    specs.push_back(Spec(i, MinutesToTicks((i - 40) * 23 + 15),
+                         MinutesToTicks(60), 4, workload::kHighPriority,
+                         {PoolId(0)}));
+  }
+  sched::RoundRobinScheduler scheduler;
+  const auto policy = core::MakeDuplicationPolicy();
+  NetBatchSimulation sim(TwoPoolCluster(), workload::Trace(std::move(specs)),
+                         scheduler, *policy);
+  sim.Run();
+
+  for (const Job& job : sim.jobs()) {
+    if (job.is_duplicate()) {
+      EXPECT_TRUE(job.state() == JobState::kCompleted ||
+                  job.state() == JobState::kKilled);
+      continue;
+    }
+    ASSERT_EQ(job.state(), JobState::kCompleted);
+    EXPECT_EQ(job.wait_ticks() + job.suspend_ticks() + job.executed_ticks() +
+                  job.transit_ticks(),
+              job.completion_time() - job.submit_time())
+        << "job " << job.id().value();
+  }
+  sim.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace netbatch::cluster

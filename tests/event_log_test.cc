@@ -1,0 +1,154 @@
+// Tests for the ASCA-style event log and the §2.2 ownership model.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/simulation.h"
+#include "core/policies.h"
+#include "metrics/event_log.h"
+#include "sched/round_robin.h"
+
+namespace netbatch {
+namespace {
+
+workload::JobSpec Spec(JobId::ValueType id, Ticks submit, Ticks runtime,
+                       std::int32_t cores = 4,
+                       workload::Priority priority = workload::kLowPriority) {
+  workload::JobSpec spec;
+  spec.id = JobId(id);
+  spec.submit_time = submit;
+  spec.runtime = runtime;
+  spec.cores = cores;
+  spec.memory_mb = 1024;
+  spec.priority = priority;
+  return spec;
+}
+
+cluster::ClusterConfig TwoPoolCluster(std::int32_t owner_of_pool0 = -1) {
+  cluster::ClusterConfig config;
+  for (int p = 0; p < 2; ++p) {
+    cluster::PoolConfig pool;
+    pool.machine_groups.push_back({
+        .count = 1,
+        .cores = 4,
+        .memory_mb = 16384,
+        .speed = 1.0,
+        .owner = p == 0 ? owner_of_pool0 : -1,
+    });
+    config.pools.push_back(pool);
+  }
+  return config;
+}
+
+TEST(EventLogTest, RecordsLifecycleInOrder) {
+  auto high = Spec(1, MinutesToTicks(40), MinutesToTicks(30), 4,
+                   workload::kHighPriority);
+  high.candidate_pools = {PoolId(0)};  // force the preemption in pool 0
+  const workload::Trace trace({Spec(0, 0, MinutesToTicks(100)), high});
+  sched::RoundRobinScheduler scheduler;
+  const auto policy = core::MakePolicy(core::PolicyKind::kResSusUtil);
+  cluster::NetBatchSimulation sim(TwoPoolCluster(), trace, scheduler,
+                                  *policy);
+  metrics::EventLog log;
+  sim.AddObserver(&log);
+  sim.Run();
+
+  // Job 0: suspended at t=40, rescheduled to pool 1, completed at t=140.
+  const auto events = log.EventsFor(JobId(0));
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, metrics::EventKind::kSuspended);
+  EXPECT_EQ(events[0].time, MinutesToTicks(40));
+  EXPECT_EQ(events[1].kind, metrics::EventKind::kRescheduled);
+  EXPECT_EQ(events[1].pool, PoolId(0));
+  EXPECT_EQ(events[1].target_pool, PoolId(1));
+  EXPECT_EQ(events[2].kind, metrics::EventKind::kCompleted);
+  EXPECT_EQ(events[2].time, MinutesToTicks(140));
+
+  // The preemptor only completes.
+  const auto high_events = log.EventsFor(JobId(1));
+  ASSERT_EQ(high_events.size(), 1u);
+  EXPECT_EQ(high_events[0].kind, metrics::EventKind::kCompleted);
+}
+
+TEST(EventLogTest, CsvExportHasHeaderAndRows) {
+  const workload::Trace trace({Spec(0, 0, MinutesToTicks(10))});
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  cluster::NetBatchSimulation sim(TwoPoolCluster(), trace, scheduler, policy);
+  metrics::EventLog log;
+  sim.AddObserver(&log);
+  sim.Run();
+
+  std::ostringstream out;
+  log.WriteCsv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("minute,job,kind,pool,target_pool"), std::string::npos);
+  EXPECT_NE(csv.find("completed"), std::string::npos);
+}
+
+// --- ownership (paper 2.2) ---------------------------------------------------
+
+TEST(OwnershipTest, NonOwnerCannotPreemptOnOwnedMachine) {
+  // Pool 0's machine is owned by group 7. A high-priority job of group 9
+  // pinned to pool 0 must queue instead of preempting the running low job.
+  const workload::Trace low_then_foreign_high = [] {
+    auto low = Spec(0, 0, MinutesToTicks(100));
+    low.candidate_pools = {PoolId(0)};
+    auto high =
+        Spec(1, MinutesToTicks(10), MinutesToTicks(20), 4,
+             workload::kHighPriority);
+    high.owner = 9;
+    high.candidate_pools = {PoolId(0)};
+    return workload::Trace({low, high});
+  }();
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  cluster::NetBatchSimulation sim(TwoPoolCluster(/*owner_of_pool0=*/7),
+                                  low_then_foreign_high, scheduler, policy);
+  sim.Run();
+  EXPECT_EQ(sim.preemption_count(), 0u);
+  // The high job waited for the low job to finish.
+  EXPECT_EQ(sim.jobs().at(JobId(1)).wait_ticks(), MinutesToTicks(90));
+}
+
+TEST(OwnershipTest, OwnerPreemptsOnItsOwnMachine) {
+  const workload::Trace low_then_owner_high = [] {
+    auto low = Spec(0, 0, MinutesToTicks(100));
+    low.candidate_pools = {PoolId(0)};
+    auto high =
+        Spec(1, MinutesToTicks(10), MinutesToTicks(20), 4,
+             workload::kHighPriority);
+    high.owner = 7;
+    high.candidate_pools = {PoolId(0)};
+    return workload::Trace({low, high});
+  }();
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  cluster::NetBatchSimulation sim(TwoPoolCluster(/*owner_of_pool0=*/7),
+                                  low_then_owner_high, scheduler, policy);
+  sim.Run();
+  EXPECT_EQ(sim.preemption_count(), 1u);
+  EXPECT_EQ(sim.jobs().at(JobId(1)).wait_ticks(), 0);
+}
+
+TEST(OwnershipTest, UnownedMachineIsPreemptibleByAnyone) {
+  const workload::Trace trace = [] {
+    auto low = Spec(0, 0, MinutesToTicks(100));
+    low.candidate_pools = {PoolId(1)};  // pool 1 is unowned
+    auto high =
+        Spec(1, MinutesToTicks(10), MinutesToTicks(20), 4,
+             workload::kHighPriority);
+    high.owner = 9;
+    high.candidate_pools = {PoolId(1)};
+    return workload::Trace({low, high});
+  }();
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  cluster::NetBatchSimulation sim(TwoPoolCluster(/*owner_of_pool0=*/7), trace,
+                                  scheduler, policy);
+  sim.Run();
+  EXPECT_EQ(sim.preemption_count(), 1u);
+}
+
+}  // namespace
+}  // namespace netbatch

@@ -1,0 +1,88 @@
+// Unit tests for the command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace netbatch {
+namespace {
+
+Flags ParseAll(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  const Flags flags = ParseAll({"--policy=ResSusUtil", "--scale=0.5"});
+  EXPECT_EQ(flags.GetString("policy", ""), "ResSusUtil");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 0), 0.5);
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  const Flags flags = ParseAll({"--seed", "7", "--scheduler", "util"});
+  EXPECT_EQ(flags.GetInt("seed", 0), 7);
+  EXPECT_EQ(flags.GetString("scheduler", ""), "util");
+}
+
+TEST(FlagsTest, BareFlagIsBooleanTrue) {
+  const Flags flags = ParseAll({"--compare", "--cdf=false"});
+  EXPECT_TRUE(flags.GetBool("compare", false));
+  EXPECT_FALSE(flags.GetBool("cdf", true));
+}
+
+TEST(FlagsTest, MissingFlagReturnsFallback) {
+  const Flags flags = ParseAll({});
+  EXPECT_EQ(flags.GetString("name", "dflt"), "dflt");
+  EXPECT_EQ(flags.GetInt("n", 42), 42);
+  EXPECT_TRUE(flags.GetBool("b", true));
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  const Flags flags = ParseAll({"--a=1", "--", "--not-a-flag", "file.csv"});
+  EXPECT_EQ(flags.GetInt("a", 0), 1);
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "--not-a-flag");
+  EXPECT_EQ(flags.positional()[1], "file.csv");
+}
+
+TEST(FlagsTest, HasDistinguishesPresence) {
+  const Flags flags = ParseAll({"--x=0"});
+  EXPECT_TRUE(flags.Has("x"));
+  EXPECT_FALSE(flags.Has("y"));
+}
+
+TEST(FlagsTest, UnusedFlagsTracksUnreadNames) {
+  const Flags flags = ParseAll({"--used=1", "--typo=2"});
+  flags.GetInt("used", 0);
+  const auto unused = flags.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  const Flags flags = ParseAll({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.GetInt("n", 0), 2);
+}
+
+TEST(FlagsTest, MalformedValuesAbort) {
+  const Flags flags = ParseAll({"--n=abc", "--d=1.2.3", "--b=maybe"});
+  EXPECT_DEATH(flags.GetInt("n", 0), "not an integer");
+  EXPECT_DEATH(flags.GetDouble("d", 0), "not a number");
+  EXPECT_DEATH(flags.GetBool("b", false), "not a boolean");
+}
+
+TEST(FlagsTest, BareTokensArePositional) {
+  const Flags flags = ParseAll({"stats", "--in=trace.csv"});
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "stats");
+  EXPECT_EQ(flags.GetString("in", ""), "trace.csv");
+}
+
+TEST(FlagsTest, NegativeNumbersAsSpaceSeparatedValues) {
+  // "-5" is not a flag token, so it binds as the value of --n.
+  const Flags flags = ParseAll({"--n", "-5"});
+  EXPECT_EQ(flags.GetInt("n", 0), -5);
+}
+
+}  // namespace
+}  // namespace netbatch

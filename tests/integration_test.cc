@@ -1,0 +1,258 @@
+// Integration and property tests over whole experiments: determinism,
+// conservation invariants under every (policy, scheduler) combination, and
+// coarse paper-shape assertions on the scenario presets.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "runner/experiment.h"
+#include "runner/scenarios.h"
+
+namespace netbatch::runner {
+namespace {
+
+// A small, fast scenario for property sweeps.
+Scenario TinyScenario(std::uint64_t seed = 1) {
+  Scenario scenario = NormalLoadScenario(0.05, seed);
+  scenario.workload.duration = 2 * kTicksPerDay;
+  // Keep one deterministic burst inside the two days.
+  for (std::size_t s = 0; s < scenario.workload.bursts.size(); ++s) {
+    scenario.workload.bursts[s].scheduled_bursts = {
+        {.start_minute = 200.0 + 400.0 * static_cast<double>(s),
+         .length_minutes = 300.0}};
+  }
+  return scenario;
+}
+
+bool ReportsEqual(const metrics::MetricsReport& a,
+                  const metrics::MetricsReport& b) {
+  return a.job_count == b.job_count &&
+         a.completed_count == b.completed_count &&
+         a.rejected_count == b.rejected_count &&
+         a.suspended_job_count == b.suspended_job_count &&
+         a.preemption_count == b.preemption_count &&
+         a.reschedule_count == b.reschedule_count &&
+         a.avg_ct_all_minutes == b.avg_ct_all_minutes &&
+         a.avg_ct_suspended_minutes == b.avg_ct_suspended_minutes &&
+         a.avg_st_minutes == b.avg_st_minutes &&
+         a.avg_wct_minutes == b.avg_wct_minutes;
+}
+
+TEST(DeterminismTest, IdenticalConfigsYieldIdenticalResults) {
+  ExperimentConfig config;
+  config.scenario = TinyScenario();
+  config.policy = core::PolicyKind::kResSusWaitRand;
+
+  const ExperimentResult a = RunExperiment(config);
+  const ExperimentResult b = RunExperiment(config);
+  EXPECT_TRUE(ReportsEqual(a.report, b.report));
+  EXPECT_EQ(a.fired_events, b.fired_events);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); i += 97) {
+    EXPECT_EQ(a.samples[i].utilization, b.samples[i].utilization);
+    EXPECT_EQ(a.samples[i].suspended_jobs, b.samples[i].suspended_jobs);
+  }
+}
+
+TEST(DeterminismTest, DifferentSeedsYieldDifferentResults) {
+  ExperimentConfig a_config;
+  a_config.scenario = TinyScenario(1);
+  ExperimentConfig b_config;
+  b_config.scenario = TinyScenario(2);
+  const ExperimentResult a = RunExperiment(a_config);
+  const ExperimentResult b = RunExperiment(b_config);
+  EXPECT_NE(a.report.job_count, b.report.job_count);
+}
+
+// ---- parameterized sweep over (policy, scheduler, dispatch mode) ------------
+
+using Combo = std::tuple<core::PolicyKind, InitialSchedulerKind,
+                         cluster::DispatchMode>;
+
+std::string ComboName(const ::testing::TestParamInfo<Combo>& info) {
+  const auto [policy, scheduler, dispatch] = info.param;
+  std::string name = core::ToString(policy);
+  name += scheduler == InitialSchedulerKind::kRoundRobin ? "_rr" : "_util";
+  name += dispatch == cluster::DispatchMode::kPreferImmediateStart ? "_avail"
+                                                                   : "_naive";
+  return name;
+}
+
+class PolicySweepTest : public ::testing::TestWithParam<Combo> {};
+
+TEST_P(PolicySweepTest, RunCompletesWithConsistentAccounting) {
+  const auto [policy, scheduler, dispatch] = GetParam();
+  ExperimentConfig config;
+  config.scenario = TinyScenario();
+  config.policy = policy;
+  config.scheduler = scheduler;
+  config.sim_options.dispatch_mode = dispatch;
+
+  const ExperimentResult result = RunExperiment(config);
+  const metrics::MetricsReport& report = result.report;
+
+  // Conservation: every job ends completed or rejected.
+  EXPECT_EQ(report.completed_count + report.rejected_count, report.job_count);
+  EXPECT_EQ(report.rejected_count, 0u);  // preset jobs always fit somewhere
+
+  // Metric sanity.
+  EXPECT_GE(report.suspend_rate, 0.0);
+  EXPECT_LE(report.suspend_rate, 1.0);
+  EXPECT_GE(report.avg_ct_all_minutes, 0.0);
+  EXPECT_GE(report.avg_wct_minutes, 0.0);
+  // AvgWCT decomposes exactly.
+  EXPECT_NEAR(report.avg_wct_minutes,
+              report.avg_wait_minutes + report.avg_suspend_minutes +
+                  report.avg_resched_waste_minutes,
+              1e-9);
+  // Suspended jobs cannot outnumber preemption events.
+  EXPECT_LE(report.suspended_job_count, report.preemption_count);
+  // NoRes never reschedules; rescheduling policies only do so after
+  // suspensions or timeouts.
+  if (policy == core::PolicyKind::kNoRes) {
+    EXPECT_EQ(report.reschedule_count, 0u);
+    EXPECT_EQ(report.avg_resched_waste_minutes, 0.0);
+  }
+
+  // Sampled state is well-formed.
+  for (std::size_t i = 0; i < result.samples.size(); i += 131) {
+    const metrics::Sample& sample = result.samples[i];
+    EXPECT_GE(sample.utilization, 0.0);
+    EXPECT_LE(sample.utilization, 1.0);
+    EXPECT_GE(sample.suspended_jobs, 0);
+    EXPECT_GE(sample.waiting_jobs, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PolicySweepTest,
+    ::testing::Combine(
+        ::testing::Values(core::PolicyKind::kNoRes,
+                          core::PolicyKind::kResSusUtil,
+                          core::PolicyKind::kResSusRand,
+                          core::PolicyKind::kResSusWaitUtil,
+                          core::PolicyKind::kResSusWaitRand),
+        ::testing::Values(InitialSchedulerKind::kRoundRobin,
+                          InitialSchedulerKind::kUtilization),
+        ::testing::Values(cluster::DispatchMode::kPreferImmediateStart,
+                          cluster::DispatchMode::kQueueAtFirstEligible)),
+    ComboName);
+
+// ---- restart-overhead property -----------------------------------------------
+
+class OverheadSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverheadSweepTest, OverheadOnlyAddsTransitTime) {
+  ExperimentConfig config;
+  config.scenario = TinyScenario();
+  config.policy = core::PolicyKind::kResSusUtil;
+  config.sim_options.restart_overhead = MinutesToTicks(GetParam());
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_EQ(result.report.completed_count, result.report.job_count);
+  if (GetParam() == 0) {
+    // With no overhead, all waste is lost progress; transit contributes 0.
+    EXPECT_GE(result.report.avg_resched_waste_minutes, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Overheads, OverheadSweepTest,
+                         ::testing::Values(0, 5, 30, 120));
+
+// ---- paper-shape assertions ---------------------------------------------------
+
+// These assert the *direction* of the paper's headline findings on the real
+// presets at a reduced scale; exact magnitudes are covered by the bench
+// binaries and EXPERIMENTS.md.
+TEST(PaperShapeTest, ResSusUtilImprovesSuspendedCompletionTime) {
+  ExperimentConfig config;
+  config.scenario = NormalLoadScenario(0.1);
+  const auto results = RunPolicyComparison(
+      config, {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil});
+  ASSERT_GT(results[0].report.suspended_job_count, 10u);
+  EXPECT_LT(results[1].report.avg_ct_suspended_minutes,
+            results[0].report.avg_ct_suspended_minutes);
+  EXPECT_LT(results[1].report.avg_wct_minutes,
+            results[0].report.avg_wct_minutes);
+}
+
+TEST(PaperShapeTest, RandomSelectionIsWorseThanUtilizationSelection) {
+  ExperimentConfig config;
+  config.scenario = NormalLoadScenario(0.1);
+  const auto results = RunPolicyComparison(
+      config, {core::PolicyKind::kResSusUtil, core::PolicyKind::kResSusRand});
+  EXPECT_GT(results[1].report.avg_ct_suspended_minutes,
+            results[0].report.avg_ct_suspended_minutes);
+}
+
+TEST(PaperShapeTest, WaitReschedulingBeatsSuspendedOnlyUnderHighLoad) {
+  ExperimentConfig config;
+  config.scenario = HighLoadScenario(0.1);
+  const auto results = RunPolicyComparison(
+      config,
+      {core::PolicyKind::kNoRes, core::PolicyKind::kResSusWaitUtil});
+  EXPECT_LT(results[1].report.avg_ct_suspended_minutes,
+            results[0].report.avg_ct_suspended_minutes * 0.8);
+  EXPECT_LT(results[1].report.avg_wct_minutes,
+            results[0].report.avg_wct_minutes);
+}
+
+TEST(PaperShapeTest, HighSuspensionScenarioHasElevatedSuspendRate) {
+  ExperimentConfig config;
+  config.scenario = HighSuspensionScenario(0.1);
+  config.policy = core::PolicyKind::kNoRes;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.report.suspend_rate, 0.04);
+}
+
+// ---- scenario preset sanity ----------------------------------------------------
+
+TEST(ScenarioTest, PresetsAreInternallyConsistent) {
+  for (double scale : {0.05, 0.25, 1.0}) {
+    const Scenario scenario = NormalLoadScenario(scale);
+    EXPECT_EQ(scenario.cluster.pools.size(), 20u);
+    EXPECT_EQ(scenario.workload.num_pools, 20u);
+    for (const auto& site : scenario.workload.sites) {
+      for (PoolId pool : site) EXPECT_LT(pool.value(), 20u);
+    }
+    for (const auto& burst : scenario.workload.bursts) {
+      for (PoolId pool : burst.target_pools) EXPECT_LT(pool.value(), 20u);
+    }
+    EXPECT_GT(workload::OfferedCoreMinutesPerMinute(scenario.workload), 0.0);
+  }
+}
+
+TEST(ScenarioTest, HighLoadHalvesCapacity) {
+  const Scenario normal = NormalLoadScenario(1.0);
+  const Scenario high = HighLoadScenario(1.0);
+  const auto normal_cores = normal.cluster.TotalCores();
+  const auto high_cores = high.cluster.TotalCores();
+  EXPECT_GT(high_cores, normal_cores * 45 / 100);
+  EXPECT_LT(high_cores, normal_cores * 55 / 100);
+}
+
+TEST(ScenarioTest, ScaleShrinksClusterAndWorkloadTogether) {
+  const Scenario full = NormalLoadScenario(1.0);
+  const Scenario quarter = NormalLoadScenario(0.25);
+  const double core_ratio = static_cast<double>(quarter.cluster.TotalCores()) /
+                            static_cast<double>(full.cluster.TotalCores());
+  const double load_ratio =
+      workload::OfferedCoreMinutesPerMinute(quarter.workload) /
+      workload::OfferedCoreMinutesPerMinute(full.workload);
+  // Offered-load-to-capacity ratio is scale-invariant within rounding.
+  EXPECT_NEAR(core_ratio, load_ratio, 0.05);
+}
+
+TEST(ScenarioTest, RunPolicyComparisonSharesOneTrace) {
+  ExperimentConfig config;
+  config.scenario = TinyScenario();
+  const auto results = RunPolicyComparison(
+      config, {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil});
+  EXPECT_EQ(results[0].trace_stats.job_count, results[1].trace_stats.job_count);
+  EXPECT_EQ(results[0].trace_stats.total_work_core_minutes,
+            results[1].trace_stats.total_work_core_minutes);
+  EXPECT_EQ(results[0].report.label, "NoRes");
+  EXPECT_EQ(results[1].report.label, "ResSusUtil");
+}
+
+}  // namespace
+}  // namespace netbatch::runner

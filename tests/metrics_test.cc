@@ -1,0 +1,247 @@
+// Unit tests for metrics aggregation and report rendering, plus the
+// analysis helpers behind Figures 2 and 4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/suspension.h"
+#include "analysis/timeseries.h"
+#include "cluster/simulation.h"
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "core/policies.h"
+#include "metrics/collector.h"
+#include "metrics/report.h"
+#include "sched/round_robin.h"
+
+namespace netbatch::metrics {
+namespace {
+
+workload::JobSpec Spec(JobId::ValueType id, Ticks submit, Ticks runtime,
+                       workload::Priority priority = workload::kLowPriority) {
+  workload::JobSpec spec;
+  spec.id = JobId(id);
+  spec.submit_time = submit;
+  spec.runtime = runtime;
+  spec.cores = 4;
+  spec.memory_mb = 1024;
+  spec.priority = priority;
+  return spec;
+}
+
+cluster::ClusterConfig OneMachineCluster() {
+  cluster::ClusterConfig config;
+  cluster::PoolConfig pool;
+  pool.machine_groups.push_back(
+      {.count = 1, .cores = 4, .memory_mb = 16384, .speed = 1.0});
+  config.pools.push_back(pool);
+  return config;
+}
+
+TEST(MetricsCollectorTest, ReportMatchesHandComputedRun) {
+  // Low job runs [0,40), suspended [40,70), resumes [70,130).
+  // High job runs [40,70).
+  const workload::Trace trace({
+      Spec(0, 0, MinutesToTicks(100)),
+      Spec(1, MinutesToTicks(40), MinutesToTicks(30), workload::kHighPriority),
+  });
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  cluster::NetBatchSimulation sim(OneMachineCluster(), trace, scheduler,
+                                  policy);
+  MetricsCollector collector;
+  sim.AddObserver(&collector);
+  sim.Run();
+
+  const MetricsReport report = collector.BuildReport(sim, "NoRes");
+  EXPECT_EQ(report.label, "NoRes");
+  EXPECT_EQ(report.job_count, 2u);
+  EXPECT_EQ(report.completed_count, 2u);
+  EXPECT_EQ(report.suspended_job_count, 1u);
+  EXPECT_DOUBLE_EQ(report.suspend_rate, 0.5);
+  EXPECT_DOUBLE_EQ(report.avg_ct_suspended_minutes, 130.0);
+  EXPECT_DOUBLE_EQ(report.avg_ct_all_minutes, (130.0 + 30.0) / 2);
+  EXPECT_DOUBLE_EQ(report.avg_st_minutes, 30.0);
+  EXPECT_DOUBLE_EQ(report.avg_suspend_minutes, 15.0);  // over all jobs
+  EXPECT_DOUBLE_EQ(report.avg_wait_minutes, 0.0);
+  EXPECT_DOUBLE_EQ(report.avg_resched_waste_minutes, 0.0);
+  EXPECT_DOUBLE_EQ(report.avg_wct_minutes, 15.0);
+  EXPECT_DOUBLE_EQ(report.median_st_minutes, 30.0);
+  EXPECT_EQ(report.preemption_count, 1u);
+}
+
+TEST(MetricsCollectorTest, SamplesRecordUtilizationAndCounts) {
+  const workload::Trace trace({Spec(0, 0, MinutesToTicks(10))});
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  cluster::NetBatchSimulation sim(OneMachineCluster(), trace, scheduler,
+                                  policy);
+  MetricsCollector collector;
+  sim.AddObserver(&collector);
+  sim.Run();
+
+  ASSERT_GE(collector.samples().size(), 10u);
+  EXPECT_EQ(collector.samples()[0].time, 0);
+  EXPECT_DOUBLE_EQ(collector.samples()[1].utilization, 1.0);
+  EXPECT_EQ(collector.samples()[1].suspended_jobs, 0);
+}
+
+TEST(MetricsCollectorTest, WctIdentityHoldsOverRandomizedRun) {
+  // Property: for every completed job,
+  //   CT == wait + suspend + executed + transit,  and
+  //   AvgWCT components sum to AvgWCT.
+  std::vector<workload::JobSpec> specs;
+  Rng rng(5);
+  for (JobId::ValueType i = 0; i < 200; ++i) {
+    workload::JobSpec spec =
+        Spec(i, MinutesToTicks(rng.UniformInt(0, 600)),
+             MinutesToTicks(rng.UniformInt(5, 300)),
+             rng.Bernoulli(0.3) ? workload::kHighPriority
+                                : workload::kLowPriority);
+    spec.cores = static_cast<std::int32_t>(rng.UniformInt(1, 4));
+    specs.push_back(spec);
+  }
+  cluster::ClusterConfig config;
+  for (int p = 0; p < 3; ++p) {
+    cluster::PoolConfig pool;
+    pool.machine_groups.push_back(
+        {.count = 2, .cores = 4, .memory_mb = 16384, .speed = 1.0});
+    config.pools.push_back(pool);
+  }
+  const workload::Trace trace(std::move(specs));
+  sched::RoundRobinScheduler scheduler;
+  const auto policy = core::MakePolicy(core::PolicyKind::kResSusWaitUtil);
+  cluster::NetBatchSimulation sim(config, trace, scheduler, *policy);
+  MetricsCollector collector;
+  sim.AddObserver(&collector);
+  sim.Run();
+
+  for (const cluster::Job& job : sim.jobs()) {
+    ASSERT_EQ(job.state(), cluster::JobState::kCompleted);
+    EXPECT_EQ(job.wait_ticks() + job.suspend_ticks() + job.executed_ticks() +
+                  job.transit_ticks(),
+              job.completion_time() - job.submit_time())
+        << "job " << job.id().value();
+  }
+  const MetricsReport report = collector.BuildReport(sim, "x");
+  EXPECT_NEAR(report.avg_wait_minutes + report.avg_suspend_minutes +
+                  report.avg_resched_waste_minutes,
+              report.avg_wct_minutes, 1e-9);
+}
+
+TEST(ReportRenderTest, PaperTableContainsAllPolicies) {
+  MetricsReport a;
+  a.label = "NoRes";
+  a.suspend_rate = 0.0114;
+  a.avg_ct_suspended_minutes = 2498.7;
+  MetricsReport b;
+  b.label = "ResSusUtil";
+  const std::string table = RenderPaperTable({a, b});
+  EXPECT_NE(table.find("NoRes"), std::string::npos);
+  EXPECT_NE(table.find("ResSusUtil"), std::string::npos);
+  EXPECT_NE(table.find("1.14%"), std::string::npos);
+  EXPECT_NE(table.find("2498.7"), std::string::npos);
+}
+
+TEST(ReportRenderTest, WasteComponentsTableRenders) {
+  MetricsReport report;
+  report.label = "NoRes";
+  report.avg_wait_minutes = 18.0;
+  report.avg_suspend_minutes = 13.0;
+  report.avg_wct_minutes = 31.0;
+  const std::string table = RenderWasteComponents({report});
+  EXPECT_NE(table.find("18.0"), std::string::npos);
+  EXPECT_NE(table.find("Resched waste"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netbatch::metrics
+
+namespace netbatch::analysis {
+namespace {
+
+TEST(SuspensionSummaryTest, MatchesHandComputedStats) {
+  EmpiricalCdf cdf;
+  for (double v : {100.0, 200.0, 300.0, 400.0, 2000.0}) cdf.Add(v);
+  const SuspensionSummary summary = SummarizeSuspension(cdf);
+  EXPECT_EQ(summary.suspended_jobs, 5u);
+  EXPECT_DOUBLE_EQ(summary.median_minutes, 300.0);
+  EXPECT_DOUBLE_EQ(summary.mean_minutes, 600.0);
+  EXPECT_DOUBLE_EQ(summary.fraction_above_1100, 0.2);
+  EXPECT_DOUBLE_EQ(summary.max_minutes, 2000.0);
+}
+
+TEST(SuspensionCdfCurveTest, MonotoneAndLogSpaced) {
+  EmpiricalCdf cdf;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    cdf.Add(SampleLognormal(rng, std::log(437.0), 1.5));
+  }
+  const auto curve = SuspensionCdfCurve(cdf, 10, 1e6, 2);
+  ASSERT_GT(curve.size(), 5u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].minutes, curve[i - 1].minutes);
+    EXPECT_GE(curve[i].cdf, curve[i - 1].cdf);
+  }
+  EXPECT_NEAR(curve.back().cdf, 1.0, 1e-9);
+}
+
+TEST(AggregateSamplesTest, BucketsAverageCorrectly) {
+  std::vector<metrics::Sample> samples;
+  for (int minute = 0; minute < 200; ++minute) {
+    metrics::Sample sample;
+    sample.time = MinutesToTicks(minute);
+    sample.utilization = minute < 100 ? 0.2 : 0.6;
+    sample.suspended_jobs = minute < 100 ? 0 : 50;
+    samples.push_back(sample);
+  }
+  const auto points = AggregateSamples(samples, MinutesToTicks(100));
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_NEAR(points[0].mean_utilization, 0.2, 1e-12);
+  EXPECT_NEAR(points[1].mean_utilization, 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(points[1].mean_suspended_jobs, 50.0);
+  EXPECT_EQ(points[0].bucket_start, 0);
+  EXPECT_EQ(points[1].bucket_start, MinutesToTicks(100));
+}
+
+TEST(AggregateSamplesTest, PartialBucketsAveraged) {
+  std::vector<metrics::Sample> samples;
+  for (int minute = 0; minute < 150; ++minute) {
+    metrics::Sample sample;
+    sample.time = MinutesToTicks(minute);
+    sample.utilization = 0.4;
+    samples.push_back(sample);
+  }
+  const auto points = AggregateSamples(samples, MinutesToTicks(100));
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_NEAR(points[1].mean_utilization, 0.4, 1e-12);
+}
+
+TEST(UtilizationSummaryTest, PercentilesAndPeak) {
+  std::vector<metrics::Sample> samples;
+  for (int i = 0; i < 100; ++i) {
+    metrics::Sample sample;
+    sample.time = MinutesToTicks(i);
+    sample.utilization = static_cast<double>(i) / 100.0;
+    sample.suspended_jobs = i;
+    samples.push_back(sample);
+  }
+  const auto summary = SummarizeUtilization(samples);
+  EXPECT_NEAR(summary.mean, 0.495, 1e-9);
+  EXPECT_NEAR(summary.p10, 0.09, 0.011);
+  EXPECT_NEAR(summary.p90, 0.89, 0.011);
+  EXPECT_DOUBLE_EQ(summary.max_suspended_jobs, 99.0);
+}
+
+TEST(RenderTimeSeriesCsvTest, EmitsHeaderAndRows) {
+  std::vector<BucketPoint> points(2);
+  points[0].bucket_start = 0;
+  points[0].mean_utilization = 0.42;
+  points[1].bucket_start = MinutesToTicks(100);
+  const std::string csv = RenderTimeSeriesCsv(points);
+  EXPECT_NE(csv.find("bucket_start_min"), std::string::npos);
+  EXPECT_NE(csv.find("42.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netbatch::analysis

@@ -1,0 +1,138 @@
+// Unit tests for the initial schedulers (round-robin, utilization-based)
+// against a scripted ClusterView.
+#include <gtest/gtest.h>
+
+#include "sched/round_robin.h"
+#include "sched/utilization.h"
+
+namespace netbatch::sched {
+namespace {
+
+// A hand-controlled view for scheduler tests.
+class FakeView final : public cluster::ClusterView {
+ public:
+  explicit FakeView(std::size_t pools) : utilization_(pools, 0.0),
+                                         queues_(pools, 0),
+                                         cores_(pools, 1000) {}
+
+  Ticks Now() const override { return now_; }
+  std::size_t PoolCount() const override { return utilization_.size(); }
+  double PoolUtilization(PoolId pool) const override {
+    return utilization_[pool.value()];
+  }
+  std::size_t PoolQueueLength(PoolId pool) const override {
+    return queues_[pool.value()];
+  }
+  std::int64_t PoolTotalCores(PoolId pool) const override {
+    return cores_[pool.value()];
+  }
+  bool PoolEligible(PoolId, const workload::JobSpec&) const override {
+    return true;
+  }
+  double ClusterUtilization() const override { return 0; }
+  std::size_t SuspendedJobCount() const override { return 0; }
+
+  Ticks now_ = 0;
+  std::vector<double> utilization_;
+  std::vector<std::size_t> queues_;
+  std::vector<std::int64_t> cores_;
+};
+
+workload::JobSpec SpecWithPools(std::vector<PoolId> pools) {
+  workload::JobSpec spec;
+  spec.id = JobId(0);
+  spec.runtime = 600;
+  spec.candidate_pools = std::move(pools);
+  return spec;
+}
+
+TEST(CandidatePoolsTest, EmptyMeansAllPools) {
+  FakeView view(4);
+  const auto pools = CandidatePools(SpecWithPools({}), view);
+  ASSERT_EQ(pools.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(pools[i], PoolId(i));
+}
+
+TEST(CandidatePoolsTest, ExplicitListIsPreserved) {
+  FakeView view(4);
+  const auto pools =
+      CandidatePools(SpecWithPools({PoolId(3), PoolId(1)}), view);
+  EXPECT_EQ(pools, (std::vector<PoolId>{PoolId(3), PoolId(1)}));
+}
+
+TEST(RoundRobinTest, RotatesAcrossSubmissions) {
+  FakeView view(3);
+  RoundRobinScheduler scheduler;
+  const auto spec = SpecWithPools({});
+  EXPECT_EQ(scheduler.PoolOrder(spec, view)[0], PoolId(0));
+  EXPECT_EQ(scheduler.PoolOrder(spec, view)[0], PoolId(1));
+  EXPECT_EQ(scheduler.PoolOrder(spec, view)[0], PoolId(2));
+  EXPECT_EQ(scheduler.PoolOrder(spec, view)[0], PoolId(0));
+}
+
+TEST(RoundRobinTest, OrderIsARotationOfCandidates) {
+  FakeView view(4);
+  RoundRobinScheduler scheduler;
+  const auto spec = SpecWithPools({});
+  scheduler.PoolOrder(spec, view);  // advance rotation to 1
+  const auto order = scheduler.PoolOrder(spec, view);
+  EXPECT_EQ(order, (std::vector<PoolId>{PoolId(1), PoolId(2), PoolId(3),
+                                        PoolId(0)}));
+}
+
+TEST(RoundRobinTest, RotatesWithinRestrictedCandidates) {
+  FakeView view(6);
+  RoundRobinScheduler scheduler;
+  const auto spec = SpecWithPools({PoolId(2), PoolId(4)});
+  EXPECT_EQ(scheduler.PoolOrder(spec, view)[0], PoolId(2));
+  EXPECT_EQ(scheduler.PoolOrder(spec, view)[0], PoolId(4));
+  EXPECT_EQ(scheduler.PoolOrder(spec, view)[0], PoolId(2));
+}
+
+TEST(UtilizationSchedulerTest, OrdersByUtilizationAscending) {
+  FakeView view(3);
+  view.utilization_ = {0.8, 0.2, 0.5};
+  UtilizationScheduler scheduler;
+  const auto order = scheduler.PoolOrder(SpecWithPools({}), view);
+  EXPECT_EQ(order, (std::vector<PoolId>{PoolId(1), PoolId(2), PoolId(0)}));
+}
+
+TEST(UtilizationSchedulerTest, QueueLengthBreaksSaturationTies) {
+  FakeView view(3);
+  view.utilization_ = {0.999, 0.995, 0.998};  // all read as 99%
+  view.queues_ = {50, 400, 10};
+  UtilizationScheduler scheduler;
+  const auto order = scheduler.PoolOrder(SpecWithPools({}), view);
+  EXPECT_EQ(order[0], PoolId(2));  // smallest backlog per core
+  EXPECT_EQ(order[1], PoolId(0));
+  EXPECT_EQ(order[2], PoolId(1));
+}
+
+TEST(UtilizationSchedulerTest, StalenessFreezesSnapshot) {
+  FakeView view(2);
+  view.utilization_ = {0.9, 0.1};
+  UtilizationScheduler scheduler(MinutesToTicks(10));
+  EXPECT_EQ(scheduler.PoolOrder(SpecWithPools({}), view)[0], PoolId(1));
+
+  // Utilizations flip, but within the staleness window the scheduler still
+  // sees the old snapshot.
+  view.utilization_ = {0.1, 0.9};
+  view.now_ = MinutesToTicks(5);
+  EXPECT_EQ(scheduler.PoolOrder(SpecWithPools({}), view)[0], PoolId(1));
+
+  // After the window expires, the snapshot refreshes.
+  view.now_ = MinutesToTicks(10);
+  EXPECT_EQ(scheduler.PoolOrder(SpecWithPools({}), view)[0], PoolId(0));
+}
+
+TEST(UtilizationSchedulerTest, ZeroStalenessReadsLive) {
+  FakeView view(2);
+  view.utilization_ = {0.9, 0.1};
+  UtilizationScheduler scheduler(0);
+  EXPECT_EQ(scheduler.PoolOrder(SpecWithPools({}), view)[0], PoolId(1));
+  view.utilization_ = {0.1, 0.9};
+  EXPECT_EQ(scheduler.PoolOrder(SpecWithPools({}), view)[0], PoolId(0));
+}
+
+}  // namespace
+}  // namespace netbatch::sched

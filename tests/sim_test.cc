@@ -1,0 +1,180 @@
+// Unit tests for the discrete-event core: event queue ordering and
+// cancellation, simulator clock semantics, periodic sampling.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+#include "sim/sampler.h"
+#include "sim/simulator.h"
+
+namespace netbatch::sim {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  queue.Schedule(30, [&] { fired.push_back(3); });
+  queue.Schedule(10, [&] { fired.push_back(1); });
+  queue.Schedule(20, [&] { fired.push_back(2); });
+  while (!queue.Empty()) queue.Pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesFireInScheduleOrder) {
+  EventQueue queue;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    queue.Schedule(42, [&fired, i] { fired.push_back(i); });
+  }
+  while (!queue.Empty()) queue.Pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue queue;
+  bool fired = false;
+  const EventSeq seq = queue.Schedule(5, [&] { fired = true; });
+  queue.Schedule(6, [] {});
+  queue.Cancel(seq);
+  EXPECT_EQ(queue.LiveCount(), 1u);
+  while (!queue.Empty()) queue.Pop().fn();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoOp) {
+  EventQueue queue;
+  const EventSeq seq = queue.Schedule(1, [] {});
+  queue.Pop().fn();
+  queue.Cancel(seq);  // must not corrupt bookkeeping
+  EXPECT_TRUE(queue.Empty());
+  queue.Schedule(2, [] {});
+  EXPECT_EQ(queue.LiveCount(), 1u);
+}
+
+TEST(EventQueueTest, CancelUnknownHandleIsNoOp) {
+  EventQueue queue;
+  queue.Cancel(12345);
+  queue.Cancel(kNoEvent);
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(EventQueueTest, PeekTimeSkipsCancelled) {
+  EventQueue queue;
+  const EventSeq early = queue.Schedule(1, [] {});
+  queue.Schedule(9, [] {});
+  queue.Cancel(early);
+  EXPECT_EQ(queue.PeekTime(), 9);
+}
+
+TEST(EventQueueTest, StressRandomOperationsPreserveOrder) {
+  EventQueue queue;
+  Rng rng(99);
+  std::vector<EventSeq> live;
+  for (int i = 0; i < 5000; ++i) {
+    const Ticks at = rng.UniformInt(0, 100000);
+    live.push_back(queue.Schedule(at, [] {}));
+    if (rng.Bernoulli(0.3) && !live.empty()) {
+      const std::size_t victim = rng.UniformIndex(live.size());
+      queue.Cancel(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+  Ticks last = -1;
+  std::size_t popped = 0;
+  while (!queue.Empty()) {
+    const auto fired = queue.Pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, live.size());
+}
+
+TEST(SimulatorTest, ClockAdvancesMonotonically) {
+  Simulator sim;
+  std::vector<Ticks> times;
+  sim.ScheduleAt(50, [&] { times.push_back(sim.Now()); });
+  sim.ScheduleAt(10, [&] {
+    times.push_back(sim.Now());
+    sim.ScheduleAfter(15, [&] { times.push_back(sim.Now()); });
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(times, (std::vector<Ticks>{10, 25, 50}));
+  EXPECT_EQ(sim.Now(), 50);
+  EXPECT_EQ(sim.FiredEvents(), 3u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&] { ++fired; });
+  sim.ScheduleAt(20, [&] { ++fired; });
+  sim.ScheduleAt(21, [&] { ++fired; });
+  sim.RunUntil(20);  // events at exactly the boundary still fire
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RequestStopHaltsLoop) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] {
+    ++fired;
+    sim.RequestStop();
+  });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreProcessed) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.ScheduleAfter(1, chain);
+  };
+  sim.ScheduleAt(0, chain);
+  sim.RunToCompletion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), 4);
+}
+
+TEST(SamplerTest, FiresOnFixedPeriod) {
+  Simulator sim;
+  std::vector<Ticks> samples;
+  PeriodicSampler sampler(sim, 0, 60, [&](Ticks now) { samples.push_back(now); });
+  sim.ScheduleAt(250, [] {});
+  sim.RunUntil(250);
+  ASSERT_GE(samples.size(), 5u);
+  EXPECT_EQ(samples[0], 0);
+  EXPECT_EQ(samples[1], 60);
+  EXPECT_EQ(samples[4], 240);
+  EXPECT_EQ(sampler.samples_taken(),
+            static_cast<std::int64_t>(samples.size()));
+}
+
+TEST(SamplerTest, StopWhenEndsSampling) {
+  Simulator sim;
+  int samples = 0;
+  PeriodicSampler sampler(sim, 0, 10, [&](Ticks) { ++samples; });
+  sampler.StopWhen([](Ticks now) { return now >= 50; });
+  sim.RunToCompletion();
+  EXPECT_EQ(samples, 6);  // t = 0, 10, 20, 30, 40, 50
+}
+
+TEST(SamplerTest, ManualStopCancelsPendingSample) {
+  Simulator sim;
+  int samples = 0;
+  PeriodicSampler sampler(sim, 5, 10, [&](Ticks) { ++samples; });
+  sim.ScheduleAt(17, [&] { sampler.Stop(); });
+  sim.RunToCompletion();
+  EXPECT_EQ(samples, 2);  // t = 5, 15; the t = 25 sample was cancelled
+}
+
+}  // namespace
+}  // namespace netbatch::sim

@@ -1,0 +1,182 @@
+// Tests for trace transforms, the queueing reference module, JSON report
+// output, and diurnal workload modulation.
+#include <gtest/gtest.h>
+
+#include "analysis/queueing.h"
+#include "metrics/report_json.h"
+#include "workload/generator.h"
+#include "workload/transform.h"
+
+namespace netbatch::workload {
+namespace {
+
+JobSpec MakeSpec(JobId::ValueType id, Ticks submit, Ticks runtime = 600,
+                 Priority priority = kLowPriority) {
+  JobSpec spec;
+  spec.id = JobId(id);
+  spec.submit_time = submit;
+  spec.runtime = runtime;
+  spec.priority = priority;
+  return spec;
+}
+
+TEST(TransformTest, ShiftPreservesSpacing) {
+  const Trace trace({MakeSpec(0, 1000), MakeSpec(1, 1600)});
+  const Trace shifted = ShiftToStart(trace, 0);
+  EXPECT_EQ(shifted[0].submit_time, 0);
+  EXPECT_EQ(shifted[1].submit_time, 600);
+  const Trace forward = ShiftToStart(trace, 5000);
+  EXPECT_EQ(forward[0].submit_time, 5000);
+  EXPECT_EQ(forward[1].submit_time, 5600);
+}
+
+TEST(TransformTest, ShiftBeforeZeroAborts) {
+  const Trace trace({MakeSpec(0, 100), MakeSpec(1, 50)});
+  (void)trace;
+  // Earliest submit is 50; shifting it to 0 moves nothing negative, but the
+  // ordering guarantee comes from Trace's constructor.
+  const Trace ok = ShiftToStart(trace, 0);
+  EXPECT_EQ(ok[0].submit_time, 0);
+}
+
+TEST(TransformTest, ScaleRuntimesClampsToOneTick) {
+  const Trace trace({MakeSpec(0, 0, 600), MakeSpec(1, 0, 1)});
+  const Trace halved = ScaleRuntimes(trace, 0.5);
+  EXPECT_EQ(halved[0].runtime, 300);
+  EXPECT_EQ(halved[1].runtime, 1);  // clamped, never 0
+  const Trace doubled = ScaleRuntimes(trace, 2.0);
+  EXPECT_EQ(doubled[0].runtime, 1200);
+}
+
+TEST(TransformTest, ThinArrivalsKeepsApproximateFraction) {
+  std::vector<JobSpec> specs;
+  for (JobId::ValueType i = 0; i < 10000; ++i) specs.push_back(MakeSpec(i, i));
+  const Trace trace(std::move(specs));
+  const Trace thinned = ThinArrivals(trace, 0.3, 99);
+  EXPECT_NEAR(static_cast<double>(thinned.size()) / 10000.0, 0.3, 0.02);
+  // Deterministic in the seed.
+  const Trace again = ThinArrivals(trace, 0.3, 99);
+  EXPECT_EQ(thinned.size(), again.size());
+}
+
+TEST(TransformTest, FilterByPrioritySplitsClasses) {
+  const Trace trace({MakeSpec(0, 0, 600, kLowPriority),
+                     MakeSpec(1, 1, 600, kHighPriority),
+                     MakeSpec(2, 2, 600, kLowPriority)});
+  EXPECT_EQ(FilterByPriority(trace, kLowPriority).size(), 2u);
+  EXPECT_EQ(FilterByPriority(trace, kHighPriority).size(), 1u);
+}
+
+TEST(TransformTest, MergeRejectsCollidingIdsUnlessRebased) {
+  const Trace a({MakeSpec(0, 0), MakeSpec(1, 1)});
+  const Trace b({MakeSpec(1, 2)});
+  EXPECT_DEATH(Merge(a, b), "duplicate job id");
+  const Trace merged = Merge(a, b, /*rebase_b_ids=*/true);
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[2].id, JobId(2));  // re-based past a's max id
+}
+
+TEST(DiurnalTest, ModulatesArrivalRateByTimeOfDay) {
+  GeneratorConfig config;
+  config.seed = 3;
+  config.duration = 20 * kTicksPerDay;
+  config.num_pools = 2;
+  config.low_jobs_per_minute = 4.0;
+  config.diurnal_amplitude = 0.8;
+  const Trace trace = GenerateTrace(config);
+
+  // Peak quarter-day (around minute 360 of each day, where sin = 1) must
+  // see substantially more arrivals than the trough quarter (minute 1080).
+  std::size_t peak = 0, trough = 0;
+  for (const JobSpec& job : trace.jobs()) {
+    const std::int64_t minute_of_day =
+        (job.submit_time / kTicksPerMinute) % (24 * 60);
+    if (minute_of_day >= 180 && minute_of_day < 540) ++peak;
+    if (minute_of_day >= 900 && minute_of_day < 1260) ++trough;
+  }
+  EXPECT_GT(static_cast<double>(peak),
+            static_cast<double>(trough) * 2.0);
+}
+
+TEST(DiurnalTest, InvalidAmplitudeAborts) {
+  GeneratorConfig config;
+  config.diurnal_amplitude = 1.5;
+  EXPECT_DEATH(GenerateTrace(config), "diurnal amplitude");
+}
+
+}  // namespace
+}  // namespace netbatch::workload
+
+namespace netbatch::analysis {
+namespace {
+
+TEST(QueueingTest, ErlangBMatchesKnownValues) {
+  // Classic reference point: a = 10 Erlang, c = 10 -> B ~ 0.2146.
+  EXPECT_NEAR(ErlangB(10.0, 10), 0.2146, 0.0005);
+  EXPECT_DOUBLE_EQ(ErlangB(5.0, 0), 1.0);
+  EXPECT_NEAR(ErlangB(1.0, 1), 0.5, 1e-12);
+}
+
+TEST(QueueingTest, ErlangCMatchesKnownValues) {
+  // lambda=0.3/min, mu=0.1/min, c=4 -> a=3, rho=0.75, C ~ 0.5094.
+  EXPECT_NEAR(ErlangC(0.3, 0.1, 4), 0.5094, 0.001);
+}
+
+TEST(QueueingTest, MeanWaitAndLittlesLawAreConsistent) {
+  const double lambda = 0.3, mu = 0.1;
+  const int c = 4;
+  const double wq = MeanQueueWait(lambda, mu, c);
+  EXPECT_NEAR(wq, 0.5094 / (0.4 - 0.3), 0.02);
+  const double l = MeanJobsInSystem(lambda, mu, c);
+  EXPECT_NEAR(l, lambda * (wq + 1.0 / mu), 1e-12);
+  EXPECT_NEAR(ServerUtilization(lambda, mu, c), 0.75, 1e-12);
+}
+
+TEST(QueueingTest, UnstableQueueAborts) {
+  EXPECT_DEATH(ErlangC(1.0, 0.1, 4), "stable");
+  EXPECT_DEATH(MeanQueueWait(1.0, 0.1, 4), "unbounded|stable");
+}
+
+}  // namespace
+}  // namespace netbatch::analysis
+
+namespace netbatch::metrics {
+namespace {
+
+TEST(ReportJsonTest, EmitsAllFields) {
+  MetricsReport report;
+  report.label = "ResSusUtil";
+  report.job_count = 100;
+  report.suspend_rate = 0.0156;
+  report.avg_ct_suspended_minutes = 1265.4;
+  const std::string json = ReportToJson(report);
+  EXPECT_NE(json.find("\"label\":\"ResSusUtil\""), std::string::npos);
+  EXPECT_NE(json.find("\"job_count\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"suspend_rate\":0.0156"), std::string::npos);
+  EXPECT_NE(json.find("\"avg_ct_suspended_minutes\":1265.4"),
+            std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportJsonTest, EscapesLabel) {
+  MetricsReport report;
+  report.label = "a\"b\\c\nd";
+  const std::string json = ReportToJson(report);
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+}
+
+TEST(ReportJsonTest, ArrayForm) {
+  MetricsReport a;
+  a.label = "x";
+  MetricsReport b;
+  b.label = "y";
+  const std::string json = ReportsToJson({a, b});
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"y\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netbatch::metrics

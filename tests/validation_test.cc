@@ -1,0 +1,156 @@
+// Analytic validation of the simulator substrate, in the spirit of the
+// ASCA validation the paper cites ([12]): on workloads simple enough for
+// queueing theory, the simulator must reproduce the analytic answers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/queueing.h"
+#include "cluster/simulation.h"
+#include "common/distributions.h"
+#include "common/rng.h"
+#include "core/policies.h"
+#include "metrics/collector.h"
+#include "sched/round_robin.h"
+
+namespace netbatch::cluster {
+namespace {
+
+// Builds a Poisson(lambda per minute) arrival stream of exponential(mean
+// `mean_minutes`) single-core jobs over `minutes`.
+workload::Trace PoissonExponentialTrace(double lambda_per_minute,
+                                        double mean_minutes,
+                                        std::int64_t minutes,
+                                        std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<workload::JobSpec> specs;
+  double now = 0;
+  JobId::ValueType id = 0;
+  while (true) {
+    now += SampleExponential(rng, lambda_per_minute);
+    if (now >= static_cast<double>(minutes)) break;
+    workload::JobSpec spec;
+    spec.id = JobId(id++);
+    spec.submit_time = static_cast<Ticks>(now * kTicksPerMinute);
+    spec.cores = 1;
+    spec.memory_mb = 1;
+    const double service = SampleExponential(rng, 1.0 / mean_minutes);
+    spec.runtime = std::max<Ticks>(
+        1, static_cast<Ticks>(service * kTicksPerMinute));
+    specs.push_back(std::move(spec));
+  }
+  return workload::Trace(std::move(specs));
+}
+
+// One pool of `machines` single-core unit-speed machines.
+ClusterConfig SingleQueueCluster(int machines) {
+  ClusterConfig config;
+  PoolConfig pool;
+  pool.machine_groups.push_back(
+      {.count = machines, .cores = 1, .memory_mb = 1024, .speed = 1.0});
+  config.pools.push_back(pool);
+  return config;
+}
+
+struct RunOutput {
+  metrics::MetricsReport report;
+  double mean_utilization = 0;   // over the submission window
+  double mean_in_system = 0;     // running + waiting + suspended jobs
+};
+
+RunOutput RunMmc(double lambda, double mean_service, int servers,
+                 std::int64_t minutes, std::uint64_t seed) {
+  const workload::Trace trace =
+      PoissonExponentialTrace(lambda, mean_service, minutes, seed);
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  NetBatchSimulation sim(SingleQueueCluster(servers), trace, scheduler,
+                         policy);
+  metrics::MetricsCollector collector;
+  sim.AddObserver(&collector);
+  sim.Run();
+
+  RunOutput out;
+  out.report = collector.BuildReport(sim, "mmc");
+  const Ticks end = trace.Stats().last_submit;
+  double util_sum = 0, in_system_sum = 0;
+  std::size_t n = 0;
+  for (const metrics::Sample& sample : collector.samples()) {
+    if (sample.time > end) break;
+    util_sum += sample.utilization;
+    in_system_sum += sample.utilization * servers +  // running jobs (1 core)
+                     static_cast<double>(sample.waiting_jobs) +
+                     static_cast<double>(sample.suspended_jobs);
+    ++n;
+  }
+  if (n > 0) {
+    out.mean_utilization = util_sum / static_cast<double>(n);
+    out.mean_in_system = in_system_sum / static_cast<double>(n);
+  }
+  return out;
+}
+
+TEST(ValidationTest, UtilizationLawHoldsAtModerateLoad) {
+  // rho = lambda * E[S] / c = 2.0 * 10 / 40 = 0.5.
+  const RunOutput out = RunMmc(2.0, 10.0, 40, 20000, 17);
+  EXPECT_NEAR(out.mean_utilization, 0.5, 0.03);
+}
+
+TEST(ValidationTest, UtilizationLawHoldsNearSaturation) {
+  // rho = 1.5 * 10 / 18 = 0.833.
+  const RunOutput out = RunMmc(1.5, 10.0, 18, 20000, 19);
+  EXPECT_NEAR(out.mean_utilization, 0.833, 0.04);
+}
+
+TEST(ValidationTest, NoWaitingWhenServersOutnumberLoad) {
+  // M/M/inf regime: rho per server tiny -> completion time == service time,
+  // so AvgCT == E[S] and AvgWCT == 0.
+  const RunOutput out = RunMmc(1.0, 10.0, 200, 10000, 23);
+  EXPECT_NEAR(out.report.avg_ct_all_minutes, 10.0, 0.8);
+  EXPECT_LT(out.report.avg_wct_minutes, 0.01);
+}
+
+TEST(ValidationTest, LittlesLawRelatesOccupancyAndCompletionTime) {
+  // L = lambda * W with W = AvgCT. Run a loaded M/M/c so queueing is
+  // non-trivial and both sides are dominated by steady state.
+  const double lambda = 1.8;
+  const RunOutput out = RunMmc(lambda, 10.0, 20, 40000, 29);
+  const double expected_L = lambda * out.report.avg_ct_all_minutes;
+  EXPECT_NEAR(out.mean_in_system / expected_L, 1.0, 0.1);
+}
+
+TEST(ValidationTest, ErlangCWaitMatchesAnalyticFormula) {
+  // M/M/c with c=4, rho=0.75: the simulated mean wait must match the
+  // closed-form Erlang-C prediction from the analysis library.
+  const double lambda = 0.3, mean_service = 10.0;
+  const int servers = 4;
+  const double analytic =
+      analysis::MeanQueueWait(lambda, 1.0 / mean_service, servers);
+  const RunOutput out = RunMmc(lambda, mean_service, servers, 60000, 31);
+  EXPECT_NEAR(out.report.avg_wait_minutes, analytic, analytic * 0.3);
+  EXPECT_NEAR(analytic, 5.09, 0.05);  // pin the reference value itself
+}
+
+TEST(ValidationTest, FasterMachinesShortenCompletionLinearly) {
+  // Same trace on 2x machines: completion times halve when there is no
+  // queueing.
+  const workload::Trace trace = PoissonExponentialTrace(0.5, 10.0, 5000, 37);
+  for (const double speed : {1.0, 2.0}) {
+    ClusterConfig config;
+    PoolConfig pool;
+    pool.machine_groups.push_back(
+        {.count = 100, .cores = 1, .memory_mb = 1024, .speed = speed});
+    config.pools.push_back(pool);
+    sched::RoundRobinScheduler scheduler;
+    core::NoResPolicy policy;
+    NetBatchSimulation sim(config, trace, scheduler, policy);
+    metrics::MetricsCollector collector;
+    sim.AddObserver(&collector);
+    sim.Run();
+    const auto report = collector.BuildReport(sim, "speed");
+    EXPECT_NEAR(report.avg_ct_all_minutes, 10.0 / speed, 0.8 / speed);
+  }
+}
+
+}  // namespace
+}  // namespace netbatch::cluster

@@ -1,0 +1,281 @@
+// Unit tests for the workload layer: trace container, CSV round-trips, and
+// the synthetic NetBatch trace generator.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_map>
+
+#include "workload/generator.h"
+#include "workload/trace.h"
+#include "workload/trace_io.h"
+
+namespace netbatch::workload {
+namespace {
+
+JobSpec MakeSpec(JobId::ValueType id, Ticks submit, Ticks runtime = 600) {
+  JobSpec spec;
+  spec.id = JobId(id);
+  spec.submit_time = submit;
+  spec.runtime = runtime;
+  return spec;
+}
+
+TEST(TraceTest, SortsBySubmitTimeThenId) {
+  Trace trace({MakeSpec(2, 500), MakeSpec(0, 100), MakeSpec(1, 100)});
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].id, JobId(0));
+  EXPECT_EQ(trace[1].id, JobId(1));
+  EXPECT_EQ(trace[2].id, JobId(2));
+}
+
+TEST(TraceTest, StatsAggregateCorrectly) {
+  JobSpec high = MakeSpec(1, 300, MinutesToTicks(50));
+  high.priority = kHighPriority;
+  high.cores = 4;
+  Trace trace({MakeSpec(0, 100, MinutesToTicks(150)), high});
+  const TraceStats stats = trace.Stats();
+  EXPECT_EQ(stats.job_count, 2u);
+  EXPECT_EQ(stats.high_priority_count, 1u);
+  EXPECT_EQ(stats.first_submit, 100);
+  EXPECT_EQ(stats.last_submit, 300);
+  EXPECT_DOUBLE_EQ(stats.mean_runtime_minutes, 100.0);
+  EXPECT_DOUBLE_EQ(stats.mean_cores, 2.5);
+  EXPECT_EQ(stats.total_work_core_minutes, 150 + 50 * 4);
+}
+
+TEST(TraceTest, WindowSelectsHalfOpenRange) {
+  Trace trace({MakeSpec(0, 100), MakeSpec(1, 200), MakeSpec(2, 300)});
+  const Trace window = trace.Window(100, 300);
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_EQ(window[0].id, JobId(0));
+  EXPECT_EQ(window[1].id, JobId(1));
+}
+
+TEST(TraceTest, DuplicateIdAborts) {
+  EXPECT_DEATH(Trace({MakeSpec(7, 1), MakeSpec(7, 2)}), "duplicate job id");
+}
+
+TEST(TraceTest, NonPositiveRuntimeAborts) {
+  EXPECT_DEATH(Trace({MakeSpec(0, 1, 0)}), "positive runtime");
+}
+
+TEST(TraceIoTest, RoundTripsAllFields) {
+  JobSpec spec = MakeSpec(3, 1234, 9999);
+  spec.task = TaskId(17);
+  spec.priority = kHighPriority;
+  spec.cores = 8;
+  spec.memory_mb = 65536;
+  spec.owner = 3;
+  spec.candidate_pools = {PoolId(2), PoolId(5), PoolId(11)};
+  Trace original({spec, MakeSpec(4, 42)});
+
+  std::stringstream buffer;
+  WriteTrace(original, buffer);
+  const Trace parsed = ReadTrace(buffer);
+
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].id, JobId(4));  // sorted by submit time
+  const JobSpec& roundtripped = parsed[1];
+  EXPECT_EQ(roundtripped, spec);
+}
+
+TEST(TraceIoTest, EmptyTaskAndPoolsFieldsRoundTrip) {
+  Trace original({MakeSpec(0, 10)});
+  std::stringstream buffer;
+  WriteTrace(original, buffer);
+  const Trace parsed = ReadTrace(buffer);
+  EXPECT_FALSE(parsed[0].task.valid());
+  EXPECT_TRUE(parsed[0].candidate_pools.empty());
+}
+
+TEST(TraceIoTest, RejectsWrongHeader) {
+  std::stringstream buffer("this,is,not,a,trace\n1,2,3,4,5\n");
+  EXPECT_DEATH(ReadTrace(buffer), "unexpected trace header");
+}
+
+TEST(TraceIoTest, RejectsMalformedRow) {
+  std::stringstream buffer;
+  WriteTrace(Trace({MakeSpec(0, 10)}), buffer);
+  std::string text = buffer.str();
+  text += "not-a-number,,5,0,1,1024,600,-1,\n";
+  std::stringstream corrupted(text);
+  EXPECT_DEATH(ReadTrace(corrupted), "malformed integer");
+}
+
+// --- generator -----------------------------------------------------------------
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.seed = 11;
+  config.duration = kTicksPerDay;
+  config.num_pools = 4;
+  config.low_jobs_per_minute = 2.0;
+  return config;
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  const Trace a = GenerateTrace(SmallConfig());
+  const Trace b = GenerateTrace(SmallConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig other = SmallConfig();
+  other.seed = 12;
+  const Trace a = GenerateTrace(SmallConfig());
+  const Trace b = GenerateTrace(other);
+  EXPECT_NE(a.size(), b.size());  // Poisson counts differ with high prob.
+}
+
+TEST(GeneratorTest, ArrivalRateMatchesConfig) {
+  GeneratorConfig config = SmallConfig();
+  config.duration = kTicksPerWeek;
+  const Trace trace = GenerateTrace(config);
+  const double minutes = TicksToMinutes(config.duration);
+  const double rate = static_cast<double>(trace.size()) / minutes;
+  EXPECT_NEAR(rate, config.low_jobs_per_minute, 0.1);
+}
+
+TEST(GeneratorTest, SubmitTimesWithinDuration) {
+  const Trace trace = GenerateTrace(SmallConfig());
+  for (const JobSpec& job : trace.jobs()) {
+    EXPECT_GE(job.submit_time, 0);
+    EXPECT_LT(job.submit_time, SmallConfig().duration);
+  }
+}
+
+TEST(GeneratorTest, RuntimesRespectModelBounds) {
+  GeneratorConfig config = SmallConfig();
+  config.low_runtime.min_minutes = 5;
+  config.low_runtime.max_minutes = 500;
+  const Trace trace = GenerateTrace(config);
+  for (const JobSpec& job : trace.jobs()) {
+    EXPECT_GE(job.runtime, MinutesToTicks(5));
+    EXPECT_LE(job.runtime, MinutesToTicks(500));
+  }
+}
+
+TEST(GeneratorTest, BurstStreamTargetsConfiguredPools) {
+  GeneratorConfig config = SmallConfig();
+  BurstStreamConfig burst;
+  burst.jobs_per_minute_on = 1.0;
+  burst.mean_burst_minutes = 120;
+  burst.mean_gap_minutes = 240;
+  burst.target_pools = {PoolId(1), PoolId(3)};
+  config.bursts.push_back(burst);
+
+  const Trace trace = GenerateTrace(config);
+  std::size_t high = 0;
+  for (const JobSpec& job : trace.jobs()) {
+    if (job.priority == kHighPriority) {
+      ++high;
+      EXPECT_EQ(job.candidate_pools, burst.target_pools);
+    } else {
+      EXPECT_TRUE(job.candidate_pools.empty());
+    }
+  }
+  EXPECT_GT(high, 0u);
+}
+
+TEST(GeneratorTest, ScheduledBurstsConfineHighArrivals) {
+  GeneratorConfig config = SmallConfig();
+  config.low_jobs_per_minute = 0;  // isolate the burst stream
+  BurstStreamConfig burst;
+  burst.jobs_per_minute_on = 5.0;
+  burst.jobs_per_minute_off = 0.0;
+  burst.target_pools = {PoolId(0)};
+  burst.scheduled_bursts = {{.start_minute = 100, .length_minutes = 50}};
+  config.bursts.push_back(burst);
+
+  const Trace trace = GenerateTrace(config);
+  EXPECT_GT(trace.size(), 100u);
+  for (const JobSpec& job : trace.jobs()) {
+    EXPECT_GE(job.submit_time, MinutesToTicks(100));
+    EXPECT_LT(job.submit_time, MinutesToTicks(150));
+  }
+}
+
+TEST(GeneratorTest, SitesRestrictLowPriorityCandidates) {
+  GeneratorConfig config = SmallConfig();
+  config.sites = {{PoolId(0), PoolId(1)}, {PoolId(2), PoolId(3)}};
+  const Trace trace = GenerateTrace(config);
+  std::size_t site0 = 0, site1 = 0;
+  for (const JobSpec& job : trace.jobs()) {
+    if (job.candidate_pools == config.sites[0]) {
+      ++site0;
+    } else if (job.candidate_pools == config.sites[1]) {
+      ++site1;
+    } else {
+      FAIL() << "job with candidate set not matching any site";
+    }
+  }
+  // Uniform site choice: both sites see a substantial share.
+  EXPECT_GT(site0, trace.size() / 4);
+  EXPECT_GT(site1, trace.size() / 4);
+}
+
+TEST(GeneratorTest, TaskGroupingBatchesConsecutiveLowJobs) {
+  GeneratorConfig config = SmallConfig();
+  config.task_size = 10;
+  const Trace trace = GenerateTrace(config);
+  std::unordered_map<TaskId, int> task_sizes;
+  for (const JobSpec& job : trace.jobs()) {
+    ASSERT_TRUE(job.task.valid());
+    ++task_sizes[job.task];
+  }
+  std::size_t full = 0;
+  for (const auto& [task, count] : task_sizes) {
+    EXPECT_LE(count, 10);
+    if (count == 10) ++full;
+  }
+  EXPECT_GT(full, 0u);
+}
+
+TEST(GeneratorTest, HighPriorityJobsUseWiderCoreDistribution) {
+  GeneratorConfig config = SmallConfig();
+  config.core_choices = {1};
+  config.core_weights = {1.0};
+  config.high_core_choices = {8};
+  config.high_core_weights = {1.0};
+  BurstStreamConfig burst;
+  burst.jobs_per_minute_on = 1.0;
+  burst.mean_burst_minutes = 200;
+  burst.mean_gap_minutes = 200;
+  burst.target_pools = {PoolId(0)};
+  config.bursts.push_back(burst);
+
+  const Trace trace = GenerateTrace(config);
+  for (const JobSpec& job : trace.jobs()) {
+    EXPECT_EQ(job.cores, job.priority == kHighPriority ? 8 : 1);
+  }
+}
+
+TEST(GeneratorTest, OfferedLoadApproximatesRealizedWork) {
+  GeneratorConfig config = SmallConfig();
+  config.duration = kTicksPerWeek;
+  config.low_runtime.tail_probability = 0;  // keep the estimate tight
+  const Trace trace = GenerateTrace(config);
+  const TraceStats stats = trace.Stats();
+  const double offered = OfferedCoreMinutesPerMinute(config);
+  const double realized = static_cast<double>(stats.total_work_core_minutes) /
+                          TicksToMinutes(config.duration);
+  EXPECT_NEAR(realized / offered, 1.0, 0.25);
+}
+
+TEST(GeneratorTest, InvalidConfigAborts) {
+  GeneratorConfig config = SmallConfig();
+  config.core_weights = {1.0};  // mismatched with 4 core choices
+  EXPECT_DEATH(GenerateTrace(config), "core_choices");
+}
+
+TEST(GeneratorTest, BurstPoolOutOfRangeAborts) {
+  GeneratorConfig config = SmallConfig();
+  BurstStreamConfig burst;
+  burst.target_pools = {PoolId(99)};
+  config.bursts.push_back(burst);
+  EXPECT_DEATH(GenerateTrace(config), "out of range");
+}
+
+}  // namespace
+}  // namespace netbatch::workload

@@ -1,0 +1,278 @@
+// netbatch_cli — run arbitrary NetBatchSim experiments from the shell.
+//
+// Examples:
+//   # Table-2-style run, full paper scale, custom seed:
+//   netbatch_cli --scenario=high --policy=ResSusUtil --scale=1 --seed=7
+//
+//   # Compare all five paper policies on one generated trace:
+//   netbatch_cli --scenario=normal --compare
+//
+//   # Persist the generated trace, then replay it later:
+//   netbatch_cli --scenario=normal --trace-out=/tmp/trace.csv
+//   netbatch_cli --trace-in=/tmp/trace.csv --policy=ResSusWaitRand
+//
+//   # Export the per-minute utilization/suspension series as CSV:
+//   netbatch_cli --scenario=year --samples-out=/tmp/series.csv
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "common/flags.h"
+#include "runner/config_file.h"
+#include "metrics/event_log.h"
+#include "metrics/report_json.h"
+#include "netbatch.h"
+
+using namespace netbatch;
+
+namespace {
+
+constexpr const char* kUsage = R"(netbatch_cli — NetBatchSim experiment driver
+
+Flags:
+  --config=<file.ini>                    load experiment settings from an
+                                         INI file (flags below override it)
+  --scenario=normal|high|highsusp|year   scenario preset (default normal)
+  --scale=<0..1>                         cluster/workload scale (default 0.25)
+  --seed=<n>                             workload seed (default 42)
+  --policy=<name>                        NoRes | ResSusUtil | ResSusRand |
+                                         ResSusWaitUtil | ResSusWaitRand |
+                                         DupSusUtil        (default NoRes)
+  --compare                              run all five paper policies instead
+  --scheduler=rr|util                    initial scheduler (default rr)
+  --staleness=<min>                      utilization snapshot staleness
+  --threshold=<min>                      wait-reschedule threshold (default 30)
+  --overhead=<min>                       restart transfer overhead (default 0)
+  --checkpoint=<min>                     checkpoint interval in work minutes
+  --mtbf=<min> --mttr=<min>              machine failure injection
+  --trace-in=<path>                      replay a CSV trace instead of
+                                         generating one
+  --trace-out=<path>                     write the generated trace as CSV
+  --samples-out=<path>                   write the per-minute samples as CSV
+  --events-out=<path>                    write the per-job event log as CSV
+  --json-out=<path>                      write the report(s) as JSON
+  --cdf                                  print the suspension-time CDF
+  --help                                 this text
+)";
+
+std::optional<core::PolicyKind> ParsePolicyKind(const std::string& name) {
+  for (const core::PolicyKind kind :
+       {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
+        core::PolicyKind::kResSusRand, core::PolicyKind::kResSusWaitUtil,
+        core::PolicyKind::kResSusWaitRand}) {
+    if (name == core::ToString(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+runner::Scenario MakeScenario(const std::string& name, double scale,
+                              std::uint64_t seed) {
+  if (name == "normal") return runner::NormalLoadScenario(scale, seed);
+  if (name == "high") return runner::HighLoadScenario(scale, seed);
+  if (name == "highsusp") return runner::HighSuspensionScenario(scale, seed);
+  if (name == "year") return runner::YearLongScenario(scale, seed);
+  NETBATCH_CHECK(false, "unknown --scenario (normal|high|highsusp|year)");
+  return {};
+}
+
+void WriteSamplesCsv(const std::string& path,
+                     const std::vector<metrics::Sample>& samples) {
+  std::ofstream out(path);
+  NETBATCH_CHECK(static_cast<bool>(out), "cannot open --samples-out path");
+  out << "minute,utilization,suspended_jobs,waiting_jobs\n";
+  for (const metrics::Sample& sample : samples) {
+    out << TicksToMinutes(sample.time) << ',' << sample.utilization << ','
+        << sample.suspended_jobs << ',' << sample.waiting_jobs << '\n';
+  }
+}
+
+void PrintResult(const runner::ExperimentResult& result, bool print_cdf) {
+  std::printf("%s\n", metrics::RenderPaperTable({result.report}).c_str());
+  std::printf("%s\n", metrics::RenderWasteComponents({result.report}).c_str());
+  std::printf("preemptions=%llu reschedules=%llu rejected=%zu events=%llu\n",
+              static_cast<unsigned long long>(result.report.preemption_count),
+              static_cast<unsigned long long>(result.report.reschedule_count),
+              result.report.rejected_count,
+              static_cast<unsigned long long>(result.fired_events));
+  if (print_cdf && result.suspension_cdf.count() > 0) {
+    std::printf("\n%s\n",
+                analysis::RenderSuspensionCdf(result.suspension_cdf).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  // Base configuration: an INI file when given, defaults otherwise;
+  // individual flags override either.
+  runner::ExperimentConfig config;
+  std::string config_policy = "NoRes";
+  const bool from_file = flags.Has("config");
+  if (from_file) {
+    runner::LoadedExperiment loaded =
+        runner::LoadExperimentFile(flags.GetString("config", ""));
+    config = std::move(loaded.config);
+    config_policy = loaded.policy_name;
+  }
+  const double scale = flags.GetDouble("scale", 0.25);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  if (!from_file || flags.Has("scenario") || flags.Has("scale") ||
+      flags.Has("seed")) {
+    config.scenario =
+        MakeScenario(flags.GetString("scenario", "normal"), scale, seed);
+  }
+
+  const std::string scheduler = flags.GetString("scheduler", "rr");
+  NETBATCH_CHECK(scheduler == "rr" || scheduler == "util",
+                 "--scheduler must be rr or util");
+  if (!from_file || flags.Has("scheduler")) {
+    config.scheduler = scheduler == "rr"
+                           ? runner::InitialSchedulerKind::kRoundRobin
+                           : runner::InitialSchedulerKind::kUtilization;
+  }
+  if (!from_file || flags.Has("staleness")) {
+    config.scheduler_staleness = MinutesToTicks(flags.GetInt("staleness", 0));
+  }
+  if (!from_file || flags.Has("threshold")) {
+    config.policy_options.wait_threshold =
+        MinutesToTicks(flags.GetInt("threshold", 30));
+  }
+  if (!from_file || flags.Has("overhead")) {
+    config.sim_options.restart_overhead =
+        MinutesToTicks(flags.GetInt("overhead", 0));
+  }
+  if (!from_file || flags.Has("checkpoint")) {
+    config.sim_options.checkpoint_interval =
+        MinutesToTicks(flags.GetInt("checkpoint", 0));
+  }
+  if (!from_file || flags.Has("mtbf")) {
+    config.sim_options.outages.mtbf_minutes =
+        static_cast<double>(flags.GetInt("mtbf", 0));
+  }
+  if (!from_file || flags.Has("mttr")) {
+    config.sim_options.outages.mttr_minutes =
+        static_cast<double>(flags.GetInt("mttr", 240));
+  }
+
+  // Trace: replay or generate (optionally persisting).
+  workload::Trace trace;
+  if (flags.Has("trace-in")) {
+    trace = workload::ReadTraceFile(flags.GetString("trace-in", ""));
+  } else {
+    trace = workload::GenerateTrace(config.scenario.workload);
+  }
+  if (flags.Has("trace-out")) {
+    workload::WriteTraceFile(trace, flags.GetString("trace-out", ""));
+    std::printf("wrote %zu jobs to %s\n", trace.size(),
+                flags.GetString("trace-out", "").c_str());
+  }
+
+  const std::string policy_name = flags.GetString("policy", config_policy);
+  const bool compare = flags.GetBool("compare", false);
+  const bool print_cdf = flags.GetBool("cdf", false);
+  const std::string samples_out = flags.GetString("samples-out", "");
+  const std::string events_out = flags.GetString("events-out", "");
+  const std::string json_out = flags.GetString("json-out", "");
+
+  // Reject typos before spending simulation time.
+  const auto unused = flags.UnusedFlags();
+  NETBATCH_CHECK(unused.empty(),
+                 "unknown flag --" + (unused.empty() ? "" : unused.front()) +
+                     " (see --help)");
+
+  const workload::TraceStats stats = trace.Stats();
+  std::printf("jobs=%zu (%.1f%% high priority), span=%.0f min\n\n",
+              stats.job_count,
+              stats.job_count == 0
+                  ? 0.0
+                  : 100.0 * static_cast<double>(stats.high_priority_count) /
+                        static_cast<double>(stats.job_count),
+              TicksToMinutes(stats.last_submit - stats.first_submit));
+
+  if (compare) {
+    const auto results = runner::RunPolicyComparison(
+        config,
+        {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
+         core::PolicyKind::kResSusRand, core::PolicyKind::kResSusWaitUtil,
+         core::PolicyKind::kResSusWaitRand});
+    std::vector<metrics::MetricsReport> reports;
+    for (const auto& result : results) reports.push_back(result.report);
+    std::printf("%s\n", metrics::RenderPaperTable(reports).c_str());
+    std::printf("%s\n", metrics::RenderWasteComponents(reports).c_str());
+    if (!json_out.empty()) {
+      std::ofstream out(json_out);
+      NETBATCH_CHECK(static_cast<bool>(out), "cannot open --json-out path");
+      out << metrics::ReportsToJson(reports) << '\n';
+    }
+    return 0;
+  }
+
+  // With --events-out we drive the simulation directly so the event-log
+  // observer can be attached.
+  if (!events_out.empty()) {
+    const auto kind = ParsePolicyKind(policy_name);
+    NETBATCH_CHECK(kind.has_value(),
+                   "--events-out requires one of the five named policies");
+    config.policy = *kind;
+    const auto policy = core::MakePolicy(config.policy, config.policy_options);
+    sched::RoundRobinScheduler rr;
+    sched::UtilizationScheduler util(config.scheduler_staleness);
+    cluster::InitialScheduler& initial =
+        config.scheduler == runner::InitialSchedulerKind::kRoundRobin
+            ? static_cast<cluster::InitialScheduler&>(rr)
+            : static_cast<cluster::InitialScheduler&>(util);
+    cluster::NetBatchSimulation sim(config.scenario.cluster, trace, initial,
+                                    *policy, config.sim_options);
+    metrics::MetricsCollector collector;
+    metrics::EventLog log;
+    sim.AddObserver(&collector);
+    sim.AddObserver(&log);
+    sim.Run();
+    runner::ExperimentResult result;
+    result.report = collector.BuildReport(sim, policy_name);
+    result.samples = collector.samples();
+    result.suspension_cdf = collector.SuspensionTimeCdf();
+    result.trace_stats = trace.Stats();
+    result.fired_events = sim.simulator().FiredEvents();
+    PrintResult(result, print_cdf);
+    std::ofstream out(events_out);
+    NETBATCH_CHECK(static_cast<bool>(out), "cannot open --events-out path");
+    log.WriteCsv(out);
+    std::printf("wrote %zu events to %s\n", log.events().size(),
+                events_out.c_str());
+    if (!samples_out.empty()) WriteSamplesCsv(samples_out, result.samples);
+    return 0;
+  }
+
+  runner::ExperimentResult result;
+  if (policy_name == "DupSusUtil") {
+    const auto policy = core::MakeDuplicationPolicy(config.policy_options);
+    result = runner::RunExperimentWithPolicy(config, trace, *policy,
+                                             "DupSusUtil");
+  } else {
+    const auto kind = ParsePolicyKind(policy_name);
+    NETBATCH_CHECK(kind.has_value(), "unknown --policy (see --help)");
+    config.policy = *kind;
+    result = runner::RunExperimentOnTrace(config, trace);
+  }
+
+  PrintResult(result, print_cdf);
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    NETBATCH_CHECK(static_cast<bool>(out), "cannot open --json-out path");
+    out << metrics::ReportToJson(result.report) << '\n';
+  }
+  if (!samples_out.empty()) {
+    WriteSamplesCsv(samples_out, result.samples);
+    std::printf("wrote %zu samples to %s\n", result.samples.size(),
+                samples_out.c_str());
+  }
+  return 0;
+}
