@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_high_suspension.dir/bench_high_suspension.cc.o"
+  "CMakeFiles/bench_high_suspension.dir/bench_high_suspension.cc.o.d"
+  "bench_high_suspension"
+  "bench_high_suspension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_high_suspension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pool_imbalance.dir/bench_pool_imbalance.cc.o"
+  "CMakeFiles/bench_pool_imbalance.dir/bench_pool_imbalance.cc.o.d"
+  "bench_pool_imbalance"
+  "bench_pool_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pool_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

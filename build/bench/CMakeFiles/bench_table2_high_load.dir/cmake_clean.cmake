@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_high_load.dir/bench_table2_high_load.cc.o"
+  "CMakeFiles/bench_table2_high_load.dir/bench_table2_high_load.cc.o.d"
+  "bench_table2_high_load"
+  "bench_table2_high_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_high_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_util_initial.dir/bench_table3_util_initial.cc.o"
+  "CMakeFiles/bench_table3_util_initial.dir/bench_table3_util_initial.cc.o.d"
+  "bench_table3_util_initial"
+  "bench_table3_util_initial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_util_initial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_wait_resched.dir/bench_table4_wait_resched.cc.o"
+  "CMakeFiles/bench_table4_wait_resched.dir/bench_table4_wait_resched.cc.o.d"
+  "bench_table4_wait_resched"
+  "bench_table4_wait_resched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_wait_resched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_sim_campaign.dir/chip_sim_campaign.cpp.o"
+  "CMakeFiles/chip_sim_campaign.dir/chip_sim_campaign.cpp.o.d"
+  "chip_sim_campaign"
+  "chip_sim_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_sim_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

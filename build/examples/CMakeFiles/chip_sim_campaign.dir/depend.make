@@ -1,0 +1,2 @@
+# Empty dependencies file for chip_sim_campaign.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_rescheduling_jobs.dir/self_rescheduling_jobs.cpp.o"
+  "CMakeFiles/self_rescheduling_jobs.dir/self_rescheduling_jobs.cpp.o.d"
+  "self_rescheduling_jobs"
+  "self_rescheduling_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_rescheduling_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/trace_analysis.cpp" "examples/CMakeFiles/trace_analysis.dir/trace_analysis.cpp.o" "gcc" "examples/CMakeFiles/trace_analysis.dir/trace_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runner/CMakeFiles/nb_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/nb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/nb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/nb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/plot.cc" "src/analysis/CMakeFiles/nb_analysis.dir/plot.cc.o" "gcc" "src/analysis/CMakeFiles/nb_analysis.dir/plot.cc.o.d"
+  "/root/repo/src/analysis/pool_imbalance.cc" "src/analysis/CMakeFiles/nb_analysis.dir/pool_imbalance.cc.o" "gcc" "src/analysis/CMakeFiles/nb_analysis.dir/pool_imbalance.cc.o.d"
+  "/root/repo/src/analysis/queueing.cc" "src/analysis/CMakeFiles/nb_analysis.dir/queueing.cc.o" "gcc" "src/analysis/CMakeFiles/nb_analysis.dir/queueing.cc.o.d"
+  "/root/repo/src/analysis/suspension.cc" "src/analysis/CMakeFiles/nb_analysis.dir/suspension.cc.o" "gcc" "src/analysis/CMakeFiles/nb_analysis.dir/suspension.cc.o.d"
+  "/root/repo/src/analysis/timeseries.cc" "src/analysis/CMakeFiles/nb_analysis.dir/timeseries.cc.o" "gcc" "src/analysis/CMakeFiles/nb_analysis.dir/timeseries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/nb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/nb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nb_analysis.dir/plot.cc.o"
+  "CMakeFiles/nb_analysis.dir/plot.cc.o.d"
+  "CMakeFiles/nb_analysis.dir/pool_imbalance.cc.o"
+  "CMakeFiles/nb_analysis.dir/pool_imbalance.cc.o.d"
+  "CMakeFiles/nb_analysis.dir/queueing.cc.o"
+  "CMakeFiles/nb_analysis.dir/queueing.cc.o.d"
+  "CMakeFiles/nb_analysis.dir/suspension.cc.o"
+  "CMakeFiles/nb_analysis.dir/suspension.cc.o.d"
+  "CMakeFiles/nb_analysis.dir/timeseries.cc.o"
+  "CMakeFiles/nb_analysis.dir/timeseries.cc.o.d"
+  "libnb_analysis.a"
+  "libnb_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nb_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/job.cc" "src/cluster/CMakeFiles/nb_cluster.dir/job.cc.o" "gcc" "src/cluster/CMakeFiles/nb_cluster.dir/job.cc.o.d"
+  "/root/repo/src/cluster/machine.cc" "src/cluster/CMakeFiles/nb_cluster.dir/machine.cc.o" "gcc" "src/cluster/CMakeFiles/nb_cluster.dir/machine.cc.o.d"
+  "/root/repo/src/cluster/pool.cc" "src/cluster/CMakeFiles/nb_cluster.dir/pool.cc.o" "gcc" "src/cluster/CMakeFiles/nb_cluster.dir/pool.cc.o.d"
+  "/root/repo/src/cluster/simulation.cc" "src/cluster/CMakeFiles/nb_cluster.dir/simulation.cc.o" "gcc" "src/cluster/CMakeFiles/nb_cluster.dir/simulation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nb_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nb_cluster.dir/job.cc.o"
+  "CMakeFiles/nb_cluster.dir/job.cc.o.d"
+  "CMakeFiles/nb_cluster.dir/machine.cc.o"
+  "CMakeFiles/nb_cluster.dir/machine.cc.o.d"
+  "CMakeFiles/nb_cluster.dir/pool.cc.o"
+  "CMakeFiles/nb_cluster.dir/pool.cc.o.d"
+  "CMakeFiles/nb_cluster.dir/simulation.cc.o"
+  "CMakeFiles/nb_cluster.dir/simulation.cc.o.d"
+  "libnb_cluster.a"
+  "libnb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

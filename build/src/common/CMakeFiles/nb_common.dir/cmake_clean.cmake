@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nb_common.dir/check.cc.o"
+  "CMakeFiles/nb_common.dir/check.cc.o.d"
+  "CMakeFiles/nb_common.dir/csv.cc.o"
+  "CMakeFiles/nb_common.dir/csv.cc.o.d"
+  "CMakeFiles/nb_common.dir/distributions.cc.o"
+  "CMakeFiles/nb_common.dir/distributions.cc.o.d"
+  "CMakeFiles/nb_common.dir/flags.cc.o"
+  "CMakeFiles/nb_common.dir/flags.cc.o.d"
+  "CMakeFiles/nb_common.dir/histogram.cc.o"
+  "CMakeFiles/nb_common.dir/histogram.cc.o.d"
+  "CMakeFiles/nb_common.dir/log.cc.o"
+  "CMakeFiles/nb_common.dir/log.cc.o.d"
+  "CMakeFiles/nb_common.dir/rng.cc.o"
+  "CMakeFiles/nb_common.dir/rng.cc.o.d"
+  "CMakeFiles/nb_common.dir/stats.cc.o"
+  "CMakeFiles/nb_common.dir/stats.cc.o.d"
+  "CMakeFiles/nb_common.dir/table.cc.o"
+  "CMakeFiles/nb_common.dir/table.cc.o.d"
+  "CMakeFiles/nb_common.dir/time.cc.o"
+  "CMakeFiles/nb_common.dir/time.cc.o.d"
+  "libnb_common.a"
+  "libnb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/load_predictor.cc" "src/core/CMakeFiles/nb_core.dir/load_predictor.cc.o" "gcc" "src/core/CMakeFiles/nb_core.dir/load_predictor.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/core/CMakeFiles/nb_core.dir/policies.cc.o" "gcc" "src/core/CMakeFiles/nb_core.dir/policies.cc.o.d"
+  "/root/repo/src/core/pool_selector.cc" "src/core/CMakeFiles/nb_core.dir/pool_selector.cc.o" "gcc" "src/core/CMakeFiles/nb_core.dir/pool_selector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/nb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nb_core.dir/load_predictor.cc.o"
+  "CMakeFiles/nb_core.dir/load_predictor.cc.o.d"
+  "CMakeFiles/nb_core.dir/policies.cc.o"
+  "CMakeFiles/nb_core.dir/policies.cc.o.d"
+  "CMakeFiles/nb_core.dir/pool_selector.cc.o"
+  "CMakeFiles/nb_core.dir/pool_selector.cc.o.d"
+  "libnb_core.a"
+  "libnb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnb_core.a"
+)

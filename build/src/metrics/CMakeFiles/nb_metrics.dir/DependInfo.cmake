@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/collector.cc" "src/metrics/CMakeFiles/nb_metrics.dir/collector.cc.o" "gcc" "src/metrics/CMakeFiles/nb_metrics.dir/collector.cc.o.d"
+  "/root/repo/src/metrics/event_log.cc" "src/metrics/CMakeFiles/nb_metrics.dir/event_log.cc.o" "gcc" "src/metrics/CMakeFiles/nb_metrics.dir/event_log.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/metrics/CMakeFiles/nb_metrics.dir/report.cc.o" "gcc" "src/metrics/CMakeFiles/nb_metrics.dir/report.cc.o.d"
+  "/root/repo/src/metrics/report_json.cc" "src/metrics/CMakeFiles/nb_metrics.dir/report_json.cc.o" "gcc" "src/metrics/CMakeFiles/nb_metrics.dir/report_json.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/nb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

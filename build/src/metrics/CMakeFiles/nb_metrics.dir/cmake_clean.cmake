@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nb_metrics.dir/collector.cc.o"
+  "CMakeFiles/nb_metrics.dir/collector.cc.o.d"
+  "CMakeFiles/nb_metrics.dir/event_log.cc.o"
+  "CMakeFiles/nb_metrics.dir/event_log.cc.o.d"
+  "CMakeFiles/nb_metrics.dir/report.cc.o"
+  "CMakeFiles/nb_metrics.dir/report.cc.o.d"
+  "CMakeFiles/nb_metrics.dir/report_json.cc.o"
+  "CMakeFiles/nb_metrics.dir/report_json.cc.o.d"
+  "libnb_metrics.a"
+  "libnb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nb_runner.dir/config_file.cc.o"
+  "CMakeFiles/nb_runner.dir/config_file.cc.o.d"
+  "CMakeFiles/nb_runner.dir/experiment.cc.o"
+  "CMakeFiles/nb_runner.dir/experiment.cc.o.d"
+  "CMakeFiles/nb_runner.dir/scenarios.cc.o"
+  "CMakeFiles/nb_runner.dir/scenarios.cc.o.d"
+  "libnb_runner.a"
+  "libnb_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nb_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

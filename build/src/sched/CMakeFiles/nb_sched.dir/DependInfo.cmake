@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/round_robin.cc" "src/sched/CMakeFiles/nb_sched.dir/round_robin.cc.o" "gcc" "src/sched/CMakeFiles/nb_sched.dir/round_robin.cc.o.d"
+  "/root/repo/src/sched/utilization.cc" "src/sched/CMakeFiles/nb_sched.dir/utilization.cc.o" "gcc" "src/sched/CMakeFiles/nb_sched.dir/utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/nb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nb_sched.dir/round_robin.cc.o"
+  "CMakeFiles/nb_sched.dir/round_robin.cc.o.d"
+  "CMakeFiles/nb_sched.dir/utilization.cc.o"
+  "CMakeFiles/nb_sched.dir/utilization.cc.o.d"
+  "libnb_sched.a"
+  "libnb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

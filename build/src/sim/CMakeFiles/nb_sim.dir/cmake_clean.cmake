@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nb_sim.dir/event_queue.cc.o"
+  "CMakeFiles/nb_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/nb_sim.dir/sampler.cc.o"
+  "CMakeFiles/nb_sim.dir/sampler.cc.o.d"
+  "CMakeFiles/nb_sim.dir/simulator.cc.o"
+  "CMakeFiles/nb_sim.dir/simulator.cc.o.d"
+  "libnb_sim.a"
+  "libnb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

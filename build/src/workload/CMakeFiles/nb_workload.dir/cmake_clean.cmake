@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nb_workload.dir/generator.cc.o"
+  "CMakeFiles/nb_workload.dir/generator.cc.o.d"
+  "CMakeFiles/nb_workload.dir/trace.cc.o"
+  "CMakeFiles/nb_workload.dir/trace.cc.o.d"
+  "CMakeFiles/nb_workload.dir/trace_io.cc.o"
+  "CMakeFiles/nb_workload.dir/trace_io.cc.o.d"
+  "CMakeFiles/nb_workload.dir/transform.cc.o"
+  "CMakeFiles/nb_workload.dir/transform.cc.o.d"
+  "libnb_workload.a"
+  "libnb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/nb_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/checkpoint_test.cc" "tests/CMakeFiles/nb_tests.dir/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/checkpoint_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/nb_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/nb_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/config_file_test.cc" "tests/CMakeFiles/nb_tests.dir/config_file_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/config_file_test.cc.o.d"
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/nb_tests.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/core_test.cc.o.d"
+  "/root/repo/tests/duplication_test.cc" "tests/CMakeFiles/nb_tests.dir/duplication_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/duplication_test.cc.o.d"
+  "/root/repo/tests/event_log_test.cc" "tests/CMakeFiles/nb_tests.dir/event_log_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/event_log_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/nb_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/nb_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/intersite_test.cc" "tests/CMakeFiles/nb_tests.dir/intersite_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/intersite_test.cc.o.d"
+  "/root/repo/tests/load_predictor_test.cc" "tests/CMakeFiles/nb_tests.dir/load_predictor_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/load_predictor_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/nb_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/outage_test.cc" "tests/CMakeFiles/nb_tests.dir/outage_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/outage_test.cc.o.d"
+  "/root/repo/tests/pool_stress_test.cc" "tests/CMakeFiles/nb_tests.dir/pool_stress_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/pool_stress_test.cc.o.d"
+  "/root/repo/tests/sched_test.cc" "tests/CMakeFiles/nb_tests.dir/sched_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/sched_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/nb_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/simulation_test.cc" "tests/CMakeFiles/nb_tests.dir/simulation_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/simulation_test.cc.o.d"
+  "/root/repo/tests/transform_test.cc" "tests/CMakeFiles/nb_tests.dir/transform_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/transform_test.cc.o.d"
+  "/root/repo/tests/validation_test.cc" "tests/CMakeFiles/nb_tests.dir/validation_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/validation_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/nb_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/nb_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runner/CMakeFiles/nb_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/nb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nb_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/nb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/nb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

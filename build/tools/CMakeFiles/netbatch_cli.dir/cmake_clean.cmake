@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbatch_cli.dir/netbatch_cli.cc.o"
+  "CMakeFiles/netbatch_cli.dir/netbatch_cli.cc.o.d"
+  "netbatch_cli"
+  "netbatch_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

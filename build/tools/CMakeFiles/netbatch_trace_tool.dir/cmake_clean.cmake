@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbatch_trace_tool.dir/netbatch_trace_tool.cc.o"
+  "CMakeFiles/netbatch_trace_tool.dir/netbatch_trace_tool.cc.o.d"
+  "netbatch_trace_tool"
+  "netbatch_trace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbatch_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
