@@ -12,6 +12,9 @@
 //   F. Extension selectors (§5: "multiple metrics ... queue lengths,
 //      prediction of job completion times"): shortest-queue and
 //      predicted-delay alternate-pool selection.
+//
+// Every section is a spec grid replayed on one shared trace via
+// RunSweepOnTrace, so variants within a section execute in parallel.
 #include <memory>
 
 #include "bench/bench_common.h"
@@ -23,30 +26,45 @@ using namespace netbatch;
 
 namespace {
 
-runner::ExperimentConfig HighLoadConfig(double scale) {
-  runner::ExperimentConfig config;
-  config.scenario = runner::HighLoadScenario(scale);
-  // Ablations only read job-level aggregates; skip per-minute sampling.
-  config.sim_options.sampling_enabled = false;
-  return config;
+// Base spec for every ablation: high load, round-robin initial scheduler.
+// Ablations only read job-level aggregates, so per-minute sampling is off.
+runner::SpecBuilder HighLoadSpec(double scale) {
+  cluster::SimulationOptions sim_options;
+  sim_options.sampling_enabled = false;
+  runner::SpecBuilder builder;
+  builder.Scenario("high", runner::HighLoadScenario(scale))
+      .SimOptions(sim_options);
+  return builder;
+}
+
+std::vector<runner::ExperimentResult> SweepOnTrace(
+    std::vector<runner::ExperimentSpec> specs, const workload::Trace& trace) {
+  return std::move(
+      runner::RunSweepOnTrace(std::move(specs), trace).results);
 }
 
 void ThresholdSweep(double scale, const workload::Trace& trace) {
   std::printf("--- A. Wait-rescheduling threshold sweep (ResSusWaitUtil, "
               "high load) ---\n");
+  const std::vector<int> thresholds = {5, 15, 30, 60, 120, 240};
+  std::vector<runner::ExperimentSpec> specs;
+  for (const int minutes : thresholds) {
+    specs.push_back(HighLoadSpec(scale)
+                        .Policy(core::PolicyKind::kResSusWaitUtil)
+                        .WaitThreshold(MinutesToTicks(minutes))
+                        .Build());
+  }
+  const auto results = SweepOnTrace(std::move(specs), trace);
+
   TextTable table({"Threshold (min)", "AvgCT Suspend", "AvgCT All", "AvgWCT",
                    "Restarts"});
-  for (const int minutes : {5, 15, 30, 60, 120, 240}) {
-    runner::ExperimentConfig config = HighLoadConfig(scale);
-    config.policy = core::PolicyKind::kResSusWaitUtil;
-    config.policy_options.wait_threshold = MinutesToTicks(minutes);
-    const auto result = runner::RunExperimentOnTrace(config, trace);
+  for (std::size_t i = 0; i < results.size(); ++i) {
     table.AddRow({
-        std::to_string(minutes),
-        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
-        TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
-        TextTable::Fixed(result.report.avg_wct_minutes, 1),
-        std::to_string(result.report.reschedule_count),
+        std::to_string(thresholds[i]),
+        TextTable::Fixed(results[i].report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(results[i].report.avg_ct_all_minutes, 1),
+        TextTable::Fixed(results[i].report.avg_wct_minutes, 1),
+        std::to_string(results[i].report.reschedule_count),
     });
   }
   std::printf("%s\n", table.Render().c_str());
@@ -55,18 +73,24 @@ void ThresholdSweep(double scale, const workload::Trace& trace) {
 void StalenessSweep(double scale, const workload::Trace& trace) {
   std::printf("--- B. Utilization-snapshot staleness (util initial "
               "scheduler, ResSusUtil, high load) ---\n");
+  const std::vector<int> staleness = {0, 5, 30, 120, 240};
+  std::vector<runner::ExperimentSpec> specs;
+  for (const int minutes : staleness) {
+    specs.push_back(HighLoadSpec(scale)
+                        .Scheduler(runner::InitialSchedulerKind::kUtilization,
+                                   MinutesToTicks(minutes))
+                        .Policy(core::PolicyKind::kResSusUtil)
+                        .Build());
+  }
+  const auto results = SweepOnTrace(std::move(specs), trace);
+
   TextTable table({"Staleness (min)", "Suspend rate", "AvgCT All", "AvgWCT"});
-  for (const int minutes : {0, 5, 30, 120, 240}) {
-    runner::ExperimentConfig config = HighLoadConfig(scale);
-    config.scheduler = runner::InitialSchedulerKind::kUtilization;
-    config.scheduler_staleness = MinutesToTicks(minutes);
-    config.policy = core::PolicyKind::kResSusUtil;
-    const auto result = runner::RunExperimentOnTrace(config, trace);
+  for (std::size_t i = 0; i < results.size(); ++i) {
     table.AddRow({
-        std::to_string(minutes),
-        TextTable::Percent(result.report.suspend_rate, 2),
-        TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
-        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+        std::to_string(staleness[i]),
+        TextTable::Percent(results[i].report.suspend_rate, 2),
+        TextTable::Fixed(results[i].report.avg_ct_all_minutes, 1),
+        TextTable::Fixed(results[i].report.avg_wct_minutes, 1),
     });
   }
   std::printf("%s\n", table.Render().c_str());
@@ -75,17 +99,24 @@ void StalenessSweep(double scale, const workload::Trace& trace) {
 void OverheadSweep(double scale, const workload::Trace& trace) {
   std::printf("--- C. Restart overhead sweep (ResSusWaitRand, high load) "
               "---\n");
+  const std::vector<int> overheads = {0, 5, 15, 60, 120};
+  std::vector<runner::ExperimentSpec> specs;
+  for (const int minutes : overheads) {
+    runner::ExperimentSpec spec = HighLoadSpec(scale)
+                                      .Policy(core::PolicyKind::kResSusWaitRand)
+                                      .Build();
+    spec.sim_options.restart_overhead = MinutesToTicks(minutes);
+    specs.push_back(std::move(spec));
+  }
+  const auto results = SweepOnTrace(std::move(specs), trace);
+
   TextTable table({"Overhead (min)", "AvgCT Suspend", "AvgWCT", "Restarts"});
-  for (const int minutes : {0, 5, 15, 60, 120}) {
-    runner::ExperimentConfig config = HighLoadConfig(scale);
-    config.policy = core::PolicyKind::kResSusWaitRand;
-    config.sim_options.restart_overhead = MinutesToTicks(minutes);
-    const auto result = runner::RunExperimentOnTrace(config, trace);
+  for (std::size_t i = 0; i < results.size(); ++i) {
     table.AddRow({
-        std::to_string(minutes),
-        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
-        TextTable::Fixed(result.report.avg_wct_minutes, 1),
-        std::to_string(result.report.reschedule_count),
+        std::to_string(overheads[i]),
+        TextTable::Fixed(results[i].report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(results[i].report.avg_wct_minutes, 1),
+        std::to_string(results[i].report.reschedule_count),
     });
   }
   std::printf("%s\n", table.Render().c_str());
@@ -93,15 +124,28 @@ void OverheadSweep(double scale, const workload::Trace& trace) {
 
 void RetainRuleAblation(double scale, const workload::Trace& trace) {
   std::printf("--- D. ResSusUtil retain rule (high load) ---\n");
-  TextTable table({"Variant", "AvgCT Suspend", "AvgCT All", "AvgWCT"});
+  std::vector<runner::ExperimentSpec> specs;
   for (const bool retain : {true, false}) {
-    runner::ExperimentConfig config = HighLoadConfig(scale);
-    core::CompositeReschedulingPolicy policy(
-        std::make_unique<core::LowestUtilizationSelector>(retain), nullptr,
-        Ticks{0});
-    const auto result = runner::RunExperimentWithPolicy(
-        config, trace, policy,
-        retain ? "with retain rule" : "always move");
+    const char* label = retain ? "with retain rule" : "always move";
+    specs.push_back(
+        HighLoadSpec(scale)
+            .CustomPolicy(label,
+                          [retain](std::uint64_t) {
+                            runner::PolicyInstance instance;
+                            instance.policy = std::make_unique<
+                                core::CompositeReschedulingPolicy>(
+                                std::make_unique<
+                                    core::LowestUtilizationSelector>(retain),
+                                nullptr, Ticks{0});
+                            return instance;
+                          })
+            .DisplayLabel(label)
+            .Build());
+  }
+  const auto results = SweepOnTrace(std::move(specs), trace);
+
+  TextTable table({"Variant", "AvgCT Suspend", "AvgCT All", "AvgWCT"});
+  for (const auto& result : results) {
     table.AddRow({
         result.report.label,
         TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
@@ -115,15 +159,24 @@ void RetainRuleAblation(double scale, const workload::Trace& trace) {
 void ResumeSemanticsAblation(double scale, const workload::Trace& trace) {
   std::printf("--- E. Host-level resume-first vs pool-priority resumption "
               "(NoRes, high load) ---\n");
+  std::vector<runner::ExperimentSpec> specs;
+  for (const bool local_first : {true, false}) {
+    runner::ExperimentSpec spec =
+        HighLoadSpec(scale)
+            .Policy(core::PolicyKind::kNoRes)
+            .DisplayLabel(local_first ? "host resumes own jobs first"
+                                      : "strict pool priority")
+            .Build();
+    spec.scenario.cluster.local_resume_first = local_first;
+    specs.push_back(std::move(spec));
+  }
+  const auto results = SweepOnTrace(std::move(specs), trace);
+
   TextTable table({"Resumption", "Suspend rate", "AvgCT Suspend", "AvgST",
                    "AvgWCT"});
-  for (const bool local_first : {true, false}) {
-    runner::ExperimentConfig config = HighLoadConfig(scale);
-    config.scenario.cluster.local_resume_first = local_first;
-    config.policy = core::PolicyKind::kNoRes;
-    const auto result = runner::RunExperimentOnTrace(config, trace);
+  for (const auto& result : results) {
     table.AddRow({
-        local_first ? "host resumes own jobs first" : "strict pool priority",
+        result.report.label,
         TextTable::Percent(result.report.suspend_rate, 2),
         TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
         TextTable::Fixed(result.report.avg_st_minutes, 1),
@@ -136,43 +189,75 @@ void ResumeSemanticsAblation(double scale, const workload::Trace& trace) {
 void ExtensionSelectors(double scale, const workload::Trace& trace) {
   std::printf("--- F. Extension selectors for suspended+waiting "
               "rescheduling (high load) ---\n");
-  TextTable table({"Selector", "AvgCT Suspend", "AvgCT All", "AvgWCT",
-                   "Restarts"});
-  const auto run = [&](std::unique_ptr<core::PoolSelector> suspend_selector,
-                       std::unique_ptr<core::PoolSelector> wait_selector,
-                       const char* label) {
-    runner::ExperimentConfig config = HighLoadConfig(scale);
-    core::CompositeReschedulingPolicy policy(std::move(suspend_selector),
-                                             std::move(wait_selector),
-                                             MinutesToTicks(30));
-    const auto result =
-        runner::RunExperimentWithPolicy(config, trace, policy, label);
-    table.AddRow({
-        result.report.label,
-        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
-        TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
-        TextTable::Fixed(result.report.avg_wct_minutes, 1),
-        std::to_string(result.report.reschedule_count),
-    });
+  // A selector pair per variant, built inside the run's policy factory.
+  using SelectorFactory = std::unique_ptr<core::PoolSelector> (*)();
+  struct Variant {
+    const char* label;
+    SelectorFactory make;
   };
-  run(std::make_unique<core::LowestUtilizationSelector>(),
-      std::make_unique<core::LowestUtilizationSelector>(), "utilization");
-  run(std::make_unique<core::ShortestQueueSelector>(),
-      std::make_unique<core::ShortestQueueSelector>(), "shortest queue");
-  run(std::make_unique<core::PredictedDelaySelector>(),
-      std::make_unique<core::PredictedDelaySelector>(), "predicted delay");
+  const std::vector<Variant> variants = {
+      {"utilization",
+       [] {
+         return std::unique_ptr<core::PoolSelector>(
+             std::make_unique<core::LowestUtilizationSelector>());
+       }},
+      {"shortest queue",
+       [] {
+         return std::unique_ptr<core::PoolSelector>(
+             std::make_unique<core::ShortestQueueSelector>());
+       }},
+      {"predicted delay",
+       [] {
+         return std::unique_ptr<core::PoolSelector>(
+             std::make_unique<core::PredictedDelaySelector>());
+       }},
+  };
+
+  std::vector<runner::ExperimentSpec> specs;
+  for (const Variant& variant : variants) {
+    specs.push_back(
+        HighLoadSpec(scale)
+            .CustomPolicy(variant.label,
+                          [make = variant.make](std::uint64_t) {
+                            runner::PolicyInstance instance;
+                            instance.policy = std::make_unique<
+                                core::CompositeReschedulingPolicy>(
+                                make(), make(), MinutesToTicks(30));
+                            return instance;
+                          })
+            .DisplayLabel(variant.label)
+            .Build());
+  }
   {
     // Telemetry-driven variant: decisions from the sampled, EWMA-smoothed
     // monitoring stream rather than instantaneous global state.
-    runner::ExperimentConfig config = HighLoadConfig(scale);
-    config.sim_options.sampling_enabled = true;  // feeds the predictor
-    core::PoolLoadPredictor predictor(0.2);
-    core::CompositeReschedulingPolicy policy(
-        std::make_unique<core::PredictorSelector>(predictor),
-        std::make_unique<core::PredictorSelector>(predictor),
-        MinutesToTicks(30));
-    const auto result = runner::RunExperimentWithPolicy(
-        config, trace, policy, "telemetry predictor", {&predictor});
+    runner::ExperimentSpec spec =
+        HighLoadSpec(scale)
+            .CustomPolicy("telemetry predictor",
+                          [](std::uint64_t) {
+                            runner::PolicyInstance instance;
+                            auto predictor =
+                                std::make_unique<core::PoolLoadPredictor>(0.2);
+                            instance.policy = std::make_unique<
+                                core::CompositeReschedulingPolicy>(
+                                std::make_unique<core::PredictorSelector>(
+                                    *predictor),
+                                std::make_unique<core::PredictorSelector>(
+                                    *predictor),
+                                MinutesToTicks(30));
+                            instance.observers.push_back(std::move(predictor));
+                            return instance;
+                          })
+            .DisplayLabel("telemetry predictor")
+            .Build();
+    spec.sim_options.sampling_enabled = true;  // feeds the predictor
+    specs.push_back(std::move(spec));
+  }
+  const auto results = SweepOnTrace(std::move(specs), trace);
+
+  TextTable table({"Selector", "AvgCT Suspend", "AvgCT All", "AvgWCT",
+                   "Restarts"});
+  for (const auto& result : results) {
     table.AddRow({
         result.report.label,
         TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
@@ -187,19 +272,47 @@ void ExtensionSelectors(double scale, const workload::Trace& trace) {
 void InterSiteRescheduling(double scale, const workload::Trace& trace) {
   std::printf("--- H. Inter-site rescheduling with WAN transfer costs "
               "(high load) ---\n");
+  struct Variant {
+    bool cross_site;
+    int wan_minutes;
+    const char* label;
+  };
+  const std::vector<Variant> variants = {
+      {false, 30, "in-site only"},
+      {true, 0, "cross-site, free WAN"},
+      {true, 30, "cross-site, 30min WAN"},
+      {true, 120, "cross-site, 120min WAN"},
+  };
+  std::vector<runner::ExperimentSpec> specs;
+  for (const Variant& variant : variants) {
+    const bool cross_site = variant.cross_site;
+    runner::ExperimentSpec spec =
+        HighLoadSpec(scale)
+            .CustomPolicy(variant.label,
+                          [cross_site](std::uint64_t) {
+                            runner::PolicyInstance instance;
+                            instance.policy = std::make_unique<
+                                core::CompositeReschedulingPolicy>(
+                                std::make_unique<
+                                    core::LowestUtilizationSelector>(
+                                    true, cross_site),
+                                std::make_unique<
+                                    core::LowestUtilizationSelector>(
+                                    true, cross_site),
+                                MinutesToTicks(30));
+                            return instance;
+                          })
+            .DisplayLabel(variant.label)
+            .Build();
+    spec.sim_options.transfer_matrix = runner::BuildTransferMatrix(
+        spec.scenario, MinutesToTicks(2), MinutesToTicks(variant.wan_minutes));
+    specs.push_back(std::move(spec));
+  }
+  const auto results = SweepOnTrace(std::move(specs), trace);
+
   TextTable table({"Scheme", "AvgCT Suspend", "AvgCT All", "AvgWCT",
                    "Restarts"});
-  const auto run = [&](bool cross_site, Ticks wan_minutes,
-                       const std::string& label) {
-    runner::ExperimentConfig config = HighLoadConfig(scale);
-    config.sim_options.transfer_matrix = runner::BuildTransferMatrix(
-        config.scenario, MinutesToTicks(2), wan_minutes);
-    core::CompositeReschedulingPolicy policy(
-        std::make_unique<core::LowestUtilizationSelector>(true, cross_site),
-        std::make_unique<core::LowestUtilizationSelector>(true, cross_site),
-        MinutesToTicks(30));
-    const auto result =
-        runner::RunExperimentWithPolicy(config, trace, policy, label);
+  for (const auto& result : results) {
     table.AddRow({
         result.report.label,
         TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
@@ -207,30 +320,33 @@ void InterSiteRescheduling(double scale, const workload::Trace& trace) {
         TextTable::Fixed(result.report.avg_wct_minutes, 1),
         std::to_string(result.report.reschedule_count),
     });
-  };
-  run(false, MinutesToTicks(30), "in-site only");
-  run(true, MinutesToTicks(0), "cross-site, free WAN");
-  run(true, MinutesToTicks(30), "cross-site, 30min WAN");
-  run(true, MinutesToTicks(120), "cross-site, 120min WAN");
+  }
   std::printf("%s\n", table.Render().c_str());
 }
 
 void CheckpointSweep(double scale, const workload::Trace& trace) {
   std::printf("--- I. Checkpoint interval sweep (ResSusUtil, high load) "
               "---\n");
+  const std::vector<int> intervals = {0, 10, 30, 120};
+  std::vector<runner::ExperimentSpec> specs;
+  for (const int minutes : intervals) {
+    runner::ExperimentSpec spec = HighLoadSpec(scale)
+                                      .Policy(core::PolicyKind::kResSusUtil)
+                                      .Build();
+    spec.sim_options.checkpoint_interval = MinutesToTicks(minutes);
+    specs.push_back(std::move(spec));
+  }
+  const auto results = SweepOnTrace(std::move(specs), trace);
+
   TextTable table({"Checkpoint (work min)", "AvgCT Suspend",
                    "Resched waste", "AvgWCT"});
-  for (const int minutes : {0, 10, 30, 120}) {
-    runner::ExperimentConfig config = HighLoadConfig(scale);
-    config.policy = core::PolicyKind::kResSusUtil;
-    config.sim_options.checkpoint_interval = MinutesToTicks(minutes);
-    const auto result = runner::RunExperimentOnTrace(config, trace);
+  for (std::size_t i = 0; i < results.size(); ++i) {
     table.AddRow({
-        minutes == 0 ? std::string("none (paper baseline)")
-                     : std::to_string(minutes),
-        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
-        TextTable::Fixed(result.report.avg_resched_waste_minutes, 2),
-        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+        intervals[i] == 0 ? std::string("none (paper baseline)")
+                          : std::to_string(intervals[i]),
+        TextTable::Fixed(results[i].report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(results[i].report.avg_resched_waste_minutes, 2),
+        TextTable::Fixed(results[i].report.avg_wct_minutes, 1),
     });
   }
   std::printf("%s\n", table.Render().c_str());
@@ -238,13 +354,24 @@ void CheckpointSweep(double scale, const workload::Trace& trace) {
 
 void DuplicationComparison(double scale, const workload::Trace& trace) {
   std::printf("--- G. Duplication extension vs restart (high load) ---\n");
+  std::vector<runner::ExperimentSpec> specs;
+  specs.push_back(HighLoadSpec(scale)
+                      .Policy(core::PolicyKind::kNoRes)
+                      .DisplayLabel("NoRes")
+                      .Build());
+  specs.push_back(HighLoadSpec(scale)
+                      .Policy(core::PolicyKind::kResSusUtil)
+                      .DisplayLabel("ResSusUtil (restart)")
+                      .Build());
+  specs.push_back(HighLoadSpec(scale)
+                      .Duplication()
+                      .DisplayLabel("DupSusUtil (duplicate)")
+                      .Build());
+  const auto results = SweepOnTrace(std::move(specs), trace);
+
   TextTable table({"Scheme", "Suspend rate", "AvgCT Suspend", "AvgCT All",
                    "AvgWCT"});
-  const auto run = [&](std::unique_ptr<cluster::ReschedulingPolicy> policy,
-                       const char* label) {
-    runner::ExperimentConfig config = HighLoadConfig(scale);
-    const auto result =
-        runner::RunExperimentWithPolicy(config, trace, *policy, label);
+  for (const auto& result : results) {
     table.AddRow({
         result.report.label,
         TextTable::Percent(result.report.suspend_rate, 2),
@@ -252,45 +379,59 @@ void DuplicationComparison(double scale, const workload::Trace& trace) {
         TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
         TextTable::Fixed(result.report.avg_wct_minutes, 1),
     });
-  };
-  run(core::MakePolicy(core::PolicyKind::kNoRes), "NoRes");
-  run(core::MakePolicy(core::PolicyKind::kResSusUtil),
-      "ResSusUtil (restart)");
-  run(core::MakeDuplicationPolicy(), "DupSusUtil (duplicate)");
+  }
   std::printf("%s\n", table.Render().c_str());
 }
 
 void OutageSweep(double scale, const workload::Trace& trace) {
   std::printf("--- J. Machine churn (failure injection, high load) ---\n");
-  TextTable table({"MTBF", "Policy", "AvgCT All", "AvgWCT", "Outages",
-                   "Evictions"});
   // Without checkpoints the heavy-tailed (up to 100k-minute) jobs cannot
   // survive frequent eviction, so the aggressive-churn rows also enable
   // 30-minute checkpointing — the combination a real deployment would run.
-  for (const auto& [mtbf_days, checkpoint] :
-       std::initializer_list<std::pair<double, bool>>{
-           {0.0, false}, {30.0, false}, {30.0, true}, {7.0, true}}) {
-    for (const core::PolicyKind policy :
-         {core::PolicyKind::kNoRes, core::PolicyKind::kResSusWaitUtil}) {
-      runner::ExperimentConfig config = HighLoadConfig(scale);
-      config.policy = policy;
-      config.sim_options.outages.mtbf_minutes = mtbf_days * 24 * 60;
-      if (checkpoint) {
-        config.sim_options.checkpoint_interval = MinutesToTicks(30);
+  struct Variant {
+    double mtbf_days;
+    bool checkpoint;
+  };
+  const std::vector<Variant> variants = {
+      {0.0, false}, {30.0, false}, {30.0, true}, {7.0, true}};
+  const std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::kNoRes, core::PolicyKind::kResSusWaitUtil};
+
+  std::vector<runner::ExperimentSpec> specs;
+  std::vector<std::string> row_labels;
+  for (const Variant& variant : variants) {
+    for (const core::PolicyKind policy : policies) {
+      runner::ExperimentSpec spec =
+          HighLoadSpec(scale).Policy(policy).Build();
+      spec.sim_options.outages.mtbf_minutes = variant.mtbf_days * 24 * 60;
+      if (variant.checkpoint) {
+        spec.sim_options.checkpoint_interval = MinutesToTicks(30);
       }
-      const workload::Trace& shared = trace;
-      // RunExperimentOnTrace reads sim options incl. outages.
-      const auto result = runner::RunExperimentOnTrace(config, shared);
+      specs.push_back(std::move(spec));
+      row_labels.push_back(
+          (variant.mtbf_days == 0
+               ? std::string("none")
+               : std::to_string(static_cast<int>(variant.mtbf_days)) + "d") +
+          (variant.checkpoint ? "+ckpt" : ""));
+    }
+  }
+  const auto results = SweepOnTrace(std::move(specs), trace);
+
+  TextTable table({"MTBF", "Policy", "AvgCT All", "AvgWCT", "Outages",
+                   "Evictions"});
+  std::size_t i = 0;
+  for (const Variant& variant : variants) {
+    (void)variant;
+    for (const core::PolicyKind policy : policies) {
       table.AddRow({
-          (mtbf_days == 0 ? std::string("none")
-                          : std::to_string(static_cast<int>(mtbf_days)) +
-                                "d") + (checkpoint ? "+ckpt" : ""),
+          row_labels[i],
           core::ToString(policy),
-          TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
-          TextTable::Fixed(result.report.avg_wct_minutes, 1),
-          std::to_string(result.report.outage_count),
-          std::to_string(result.report.eviction_count),
+          TextTable::Fixed(results[i].report.avg_ct_all_minutes, 1),
+          TextTable::Fixed(results[i].report.avg_wct_minutes, 1),
+          std::to_string(results[i].report.outage_count),
+          std::to_string(results[i].report.eviction_count),
       });
+      ++i;
     }
   }
   std::printf("%s\n", table.Render().c_str());
@@ -300,9 +441,8 @@ void OutageSweep(double scale, const workload::Trace& trace) {
 
 int main() {
   const double scale = runner::DefaultScale();
-  const runner::ExperimentConfig base = HighLoadConfig(scale);
   const workload::Trace trace =
-      workload::GenerateTrace(base.scenario.workload);
+      runner::GenerateSpecTrace(HighLoadSpec(scale).Build());
 
   bench::PrintHeader("Ablations (design-choice sweeps)", scale, trace.Stats());
   ThresholdSweep(scale, trace);

@@ -7,9 +7,32 @@
 
 #include "analysis/timeseries.h"
 #include "metrics/report.h"
-#include "runner/experiment.h"
+#include "runner/sweep.h"
 
 namespace netbatch::bench {
+
+// Builds one spec per policy for the scenario and runs them as a sweep:
+// the trace is generated once and shared, execution fans out on the worker
+// pool, and reports keep the plain policy-name labels the tables expect.
+inline std::vector<runner::ExperimentResult> RunPolicySweep(
+    const std::string& scenario_name, const runner::Scenario& scenario,
+    const std::vector<core::PolicyKind>& policies,
+    runner::InitialSchedulerKind scheduler =
+        runner::InitialSchedulerKind::kRoundRobin,
+    Ticks wait_threshold = MinutesToTicks(30)) {
+  std::vector<runner::ExperimentSpec> specs;
+  specs.reserve(policies.size());
+  for (const core::PolicyKind policy : policies) {
+    specs.push_back(runner::SpecBuilder()
+                        .Scenario(scenario_name, scenario)
+                        .Scheduler(scheduler)
+                        .Policy(policy)
+                        .WaitThreshold(wait_threshold)
+                        .DisplayLabel(core::ToString(policy))
+                        .Build());
+  }
+  return std::move(runner::RunSweep(std::move(specs)).results);
+}
 
 // Prints one experiment header line: what we are reproducing and at what
 // scale, so bench output is self-describing in bench_output.txt.

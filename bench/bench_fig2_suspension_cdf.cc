@@ -13,15 +13,17 @@ int main() {
   using namespace netbatch;
   const double scale = runner::YearLongDefaultScale();
 
-  runner::ExperimentConfig config;
-  config.scenario = runner::YearLongScenario(scale);
-  config.scheduler = runner::InitialSchedulerKind::kRoundRobin;
-  config.policy = core::PolicyKind::kNoRes;
   // Keep memory bounded over 500k simulated minutes: sample every 10
   // minutes instead of every minute (the CDF does not use the samples).
-  config.sim_options.sample_period = MinutesToTicks(10);
-
-  const auto result = runner::RunExperiment(config);
+  cluster::SimulationOptions sim_options;
+  sim_options.sample_period = MinutesToTicks(10);
+  const auto result = runner::RunSingle(
+      runner::SpecBuilder()
+          .Scenario("year", runner::YearLongScenario(scale))
+          .Policy(core::PolicyKind::kNoRes)
+          .SimOptions(sim_options)
+          .DisplayLabel("NoRes")
+          .Build());
 
   bench::PrintHeader("Figure 2: CDF of job suspension time (year, NoRes)",
                      scale, result.trace_stats);

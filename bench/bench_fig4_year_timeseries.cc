@@ -15,12 +15,12 @@ int main() {
   using namespace netbatch;
   const double scale = runner::YearLongDefaultScale();
 
-  runner::ExperimentConfig config;
-  config.scenario = runner::YearLongScenario(scale);
-  config.scheduler = runner::InitialSchedulerKind::kRoundRobin;
-  config.policy = core::PolicyKind::kNoRes;
-
-  const auto result = runner::RunExperiment(config);
+  const auto result = runner::RunSingle(
+      runner::SpecBuilder()
+          .Scenario("year", runner::YearLongScenario(scale))
+          .Policy(core::PolicyKind::kNoRes)
+          .DisplayLabel("NoRes")
+          .Build());
 
   bench::PrintHeader("Figure 4: utilization and suspension over a year",
                      scale, result.trace_stats);

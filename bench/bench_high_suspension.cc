@@ -10,12 +10,9 @@ int main() {
   using namespace netbatch;
   const double scale = runner::DefaultScale();
 
-  runner::ExperimentConfig config;
-  config.scenario = runner::HighSuspensionScenario(scale);
-  config.scheduler = runner::InitialSchedulerKind::kRoundRobin;
-
-  const auto results = runner::RunPolicyComparison(
-      config, {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil});
+  const auto results = bench::RunPolicySweep(
+      "highsusp", runner::HighSuspensionScenario(scale),
+      {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil});
 
   bench::PrintHeader("High-suspension scenario (paper 3.2.1)", scale,
                      results.front().trace_stats);

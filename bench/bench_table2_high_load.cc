@@ -16,13 +16,10 @@ int main() {
   using namespace netbatch;
   const double scale = runner::DefaultScale();
 
-  runner::ExperimentConfig config;
-  config.scenario = runner::HighLoadScenario(scale);
-  config.scheduler = runner::InitialSchedulerKind::kRoundRobin;
-
-  const auto results = runner::RunPolicyComparison(
-      config, {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
-               core::PolicyKind::kResSusRand});
+  const auto results = bench::RunPolicySweep(
+      "high", runner::HighLoadScenario(scale),
+      {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
+       core::PolicyKind::kResSusRand});
 
   bench::PrintHeader(
       "Table 2: high load (cores halved), round-robin initial scheduler",

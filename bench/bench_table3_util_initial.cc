@@ -16,13 +16,11 @@ int main() {
   using namespace netbatch;
   const double scale = runner::DefaultScale();
 
-  runner::ExperimentConfig config;
-  config.scenario = runner::HighLoadScenario(scale);
-  config.scheduler = runner::InitialSchedulerKind::kUtilization;
-
-  const auto results = runner::RunPolicyComparison(
-      config, {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
-               core::PolicyKind::kResSusRand});
+  const auto results = bench::RunPolicySweep(
+      "high", runner::HighLoadScenario(scale),
+      {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
+       core::PolicyKind::kResSusRand},
+      runner::InitialSchedulerKind::kUtilization);
 
   bench::PrintHeader(
       "Table 3: high load, utilization-based initial scheduler", scale,

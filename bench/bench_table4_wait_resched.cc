@@ -17,17 +17,13 @@ int main() {
   using namespace netbatch;
   const double scale = runner::DefaultScale();
 
-  runner::ExperimentConfig config;
-  config.scenario = runner::HighLoadScenario(scale);
-  config.scheduler = runner::InitialSchedulerKind::kRoundRobin;
   // Threshold: 30 minutes, "about twice the expected average waiting time
   // in the original system" (§3.3).
-  config.policy_options.wait_threshold = MinutesToTicks(30);
-
-  const auto results = runner::RunPolicyComparison(
-      config,
+  const auto results = bench::RunPolicySweep(
+      "high", runner::HighLoadScenario(scale),
       {core::PolicyKind::kNoRes, core::PolicyKind::kResSusWaitUtil,
-       core::PolicyKind::kResSusWaitRand});
+       core::PolicyKind::kResSusWaitRand},
+      runner::InitialSchedulerKind::kRoundRobin, MinutesToTicks(30));
 
   bench::PrintHeader(
       "Table 4: +waiting-job rescheduling, high load, round-robin initial",

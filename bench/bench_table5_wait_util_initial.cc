@@ -17,15 +17,11 @@ int main() {
   using namespace netbatch;
   const double scale = runner::DefaultScale();
 
-  runner::ExperimentConfig config;
-  config.scenario = runner::HighLoadScenario(scale);
-  config.scheduler = runner::InitialSchedulerKind::kUtilization;
-  config.policy_options.wait_threshold = MinutesToTicks(30);
-
-  const auto results = runner::RunPolicyComparison(
-      config,
+  const auto results = bench::RunPolicySweep(
+      "high", runner::HighLoadScenario(scale),
       {core::PolicyKind::kNoRes, core::PolicyKind::kResSusWaitUtil,
-       core::PolicyKind::kResSusWaitRand});
+       core::PolicyKind::kResSusWaitRand},
+      runner::InitialSchedulerKind::kUtilization, MinutesToTicks(30));
 
   bench::PrintHeader(
       "Table 5: +waiting-job rescheduling, high load, utilization-based "

@@ -42,25 +42,43 @@ int main() {
       "clusters\n\n",
       trace.size());
 
+  // One spec per (capacity, policy) cell; all six replay the same trace in
+  // parallel via the sweep engine.
+  cluster::SimulationOptions sim_options;
+  sim_options.sampling_enabled = false;
+  const std::vector<double> fractions = {1.0, 0.75, 0.5};
+  const std::vector<core::PolicyKind> policies = {
+      core::PolicyKind::kNoRes, core::PolicyKind::kResSusWaitUtil};
+  std::vector<runner::ExperimentSpec> specs;
+  for (const double fraction : fractions) {
+    runner::Scenario scenario = base;
+    scenario.cluster = ShrinkCluster(base.cluster, fraction);
+    for (const core::PolicyKind policy : policies) {
+      specs.push_back(
+          runner::SpecBuilder()
+              .Scenario("normal-" + TextTable::Percent(fraction, 0), scenario)
+              .Policy(policy)
+              .SimOptions(sim_options)
+              .Build());
+    }
+  }
+  const auto sweep = runner::RunSweepOnTrace(std::move(specs), trace);
+
   TextTable table({"Capacity", "Cores", "Policy", "AvgCT All", "p90 CT",
                    "AvgWCT"});
-  for (const double fraction : {1.0, 0.75, 0.5}) {
-    for (const core::PolicyKind policy :
-         {core::PolicyKind::kNoRes, core::PolicyKind::kResSusWaitUtil}) {
-      runner::ExperimentConfig config;
-      config.scenario = base;
-      config.scenario.cluster = ShrinkCluster(base.cluster, fraction);
-      config.policy = policy;
-      config.sim_options.sampling_enabled = false;
-      const auto result = runner::RunExperimentOnTrace(config, trace);
+  std::size_t i = 0;
+  for (const double fraction : fractions) {
+    for (const core::PolicyKind policy : policies) {
+      const auto& result = sweep.results[i];
       table.AddRow({
           TextTable::Percent(fraction, 0),
-          std::to_string(config.scenario.cluster.TotalCores()),
+          std::to_string(sweep.specs[i].scenario.cluster.TotalCores()),
           core::ToString(policy),
           TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
           TextTable::Fixed(result.report.p90_ct_minutes, 1),
           TextTable::Fixed(result.report.avg_wct_minutes, 1),
       });
+      ++i;
     }
   }
   std::printf("%s\n", table.Render().c_str());

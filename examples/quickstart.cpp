@@ -40,14 +40,20 @@ int main() {
   burst.target_pools = {PoolId(0)};
   workload_config.bursts.push_back(burst);
 
-  // 3. Run the same trace under two rescheduling policies.
-  runner::ExperimentConfig experiment;
-  experiment.scenario = {cluster_config, workload_config};
-  experiment.scheduler = runner::InitialSchedulerKind::kRoundRobin;
-
-  const auto results = runner::RunPolicyComparison(
-      experiment,
-      {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil});
+  // 3. Run the same trace under two rescheduling policies. Specs sharing a
+  //    scenario and seed share one generated trace, and the sweep fans out
+  //    across cores — deterministically, whatever the worker count.
+  std::vector<runner::ExperimentSpec> specs;
+  for (const core::PolicyKind policy :
+       {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil}) {
+    specs.push_back(runner::SpecBuilder()
+                        .Scenario("tiny", {cluster_config, workload_config})
+                        .Scheduler(runner::InitialSchedulerKind::kRoundRobin)
+                        .Policy(policy)
+                        .DisplayLabel(core::ToString(policy))
+                        .Build());
+  }
+  const auto results = std::move(runner::RunSweep(std::move(specs)).results);
 
   // 4. Report.
   std::printf("Jobs: %zu\n\n", results[0].trace_stats.job_count);

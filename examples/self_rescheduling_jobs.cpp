@@ -21,27 +21,22 @@ using namespace netbatch;
 
 namespace {
 
-void RunAndReport(TextTable& table, core::PolicyKind policy,
-                  Ticks restart_overhead) {
-  runner::ExperimentConfig config;
-  config.scenario = runner::HighLoadScenario(0.15);
-  config.policy = policy;
-  config.sim_options.restart_overhead = restart_overhead;
-
-  const runner::ExperimentResult result = runner::RunExperiment(config);
+runner::ExperimentSpec MakeSpec(core::PolicyKind policy,
+                                Ticks restart_overhead) {
   std::string label = core::ToString(policy);
   if (restart_overhead > 0) {
     label += " (+";
     label += TextTable::Fixed(TicksToMinutes(restart_overhead), 0);
     label += "min restart)";
   }
-  table.AddRow({
-      label,
-      TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
-      TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
-      TextTable::Fixed(result.report.avg_wct_minutes, 1),
-      std::to_string(result.report.reschedule_count),
-  });
+  cluster::SimulationOptions sim_options;
+  sim_options.restart_overhead = restart_overhead;
+  return runner::SpecBuilder()
+      .Scenario("high", runner::HighLoadScenario(0.15))
+      .Policy(policy)
+      .SimOptions(sim_options)
+      .DisplayLabel(label)
+      .Build();
 }
 
 }  // namespace
@@ -51,14 +46,29 @@ int main() {
       "Decentralized rescheduling: jobs with timers vs a stats-driven\n"
       "central scheduler (high-load week)\n\n");
 
-  TextTable table({"Scheme", "AvgCT Suspend", "AvgCT All", "AvgWCT",
-                   "Restarts"});
-  RunAndReport(table, core::PolicyKind::kNoRes, 0);
-  RunAndReport(table, core::PolicyKind::kResSusWaitUtil, 0);
-  RunAndReport(table, core::PolicyKind::kResSusWaitRand, 0);
+  // All four specs share the high-load scenario and seed, so RunSweep
+  // generates the workload trace once and replays it under each scheme.
+  std::vector<runner::ExperimentSpec> specs;
+  specs.push_back(MakeSpec(core::PolicyKind::kNoRes, 0));
+  specs.push_back(MakeSpec(core::PolicyKind::kResSusWaitUtil, 0));
+  specs.push_back(MakeSpec(core::PolicyKind::kResSusWaitRand, 0));
   // The decentralized scheme's weakness: it restarts far more often, and
   // each restart may cost real transfer time.
-  RunAndReport(table, core::PolicyKind::kResSusWaitRand, MinutesToTicks(10));
+  specs.push_back(MakeSpec(core::PolicyKind::kResSusWaitRand,
+                           MinutesToTicks(10)));
+  const auto results = std::move(runner::RunSweep(std::move(specs)).results);
+
+  TextTable table({"Scheme", "AvgCT Suspend", "AvgCT All", "AvgWCT",
+                   "Restarts"});
+  for (const auto& result : results) {
+    table.AddRow({
+        result.report.label,
+        TextTable::Fixed(result.report.avg_ct_suspended_minutes, 1),
+        TextTable::Fixed(result.report.avg_ct_all_minutes, 1),
+        TextTable::Fixed(result.report.avg_wct_minutes, 1),
+        std::to_string(result.report.reschedule_count),
+    });
+  }
   std::printf("%s\n", table.Render().c_str());
 
   std::printf(

@@ -18,6 +18,28 @@ std::uint64_t SplitMix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t DeriveSeed(std::uint64_t root, std::string_view key) {
+  std::uint64_t state = root;
+  std::uint64_t derived = SplitMix64(state);
+  // Absorb the key in 8-byte little-endian chunks; the final partial chunk
+  // carries the key length so "ab" and "ab\0" stay distinct.
+  std::uint64_t chunk = 0;
+  int bytes = 0;
+  for (const char c : key) {
+    chunk |= static_cast<std::uint64_t>(static_cast<unsigned char>(c))
+             << (8 * bytes);
+    if (++bytes == 8) {
+      state ^= chunk;
+      derived ^= SplitMix64(state);
+      chunk = 0;
+      bytes = 0;
+    }
+  }
+  state ^= chunk ^ (static_cast<std::uint64_t>(key.size()) << 56);
+  derived ^= SplitMix64(state);
+  return derived;
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = SplitMix64(sm);

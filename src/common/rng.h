@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 
 #include "common/check.h"
 
@@ -19,6 +20,15 @@ namespace netbatch {
 
 // splitmix64 step; used for seeding and for forking child streams.
 std::uint64_t SplitMix64(std::uint64_t& state);
+
+// Derives a decorrelated substream seed from a root seed and a string key
+// by absorbing the key, 8 bytes at a time, through splitmix64. Runs that
+// differ in either the root or the key get independent streams, and the
+// result depends only on (root, key) — never on how many other substreams
+// were derived before it. The sweep engine keys every run's policy and
+// outage streams on the run's spec label so that executing a sweep on 1
+// worker or 16 yields bit-identical results.
+std::uint64_t DeriveSeed(std::uint64_t root, std::string_view key);
 
 // xoshiro256** with convenience draws. Copyable; copies continue the same
 // stream independently (use Fork() when you want decorrelated streams).

@@ -38,4 +38,21 @@ double StreamingStats::variance() const {
 
 double StreamingStats::stddev() const { return std::sqrt(variance()); }
 
+SampleSummary SummarizeSamples(std::span<const double> values) {
+  SampleSummary summary;
+  summary.n = values.size();
+  if (values.empty()) return summary;
+  StreamingStats stats;
+  for (const double v : values) stats.Add(v);
+  summary.mean = stats.mean();
+  if (values.size() >= 2) {
+    // Convert the population variance (n denominator) to the sample
+    // variance (n-1).
+    const double n = static_cast<double>(values.size());
+    summary.stddev = std::sqrt(stats.variance() * n / (n - 1.0));
+    summary.ci95_half = 1.96 * summary.stddev / std::sqrt(n);
+  }
+  return summary;
+}
+
 }  // namespace netbatch

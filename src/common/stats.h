@@ -6,8 +6,23 @@
 
 #include <cstdint>
 #include <limits>
+#include <span>
 
 namespace netbatch {
+
+// Replication summary: mean, SAMPLE standard deviation (n-1 denominator,
+// unlike StreamingStats' population variance) and the half-width of a
+// normal-approximation 95% confidence interval (1.96 * stddev / sqrt(n)).
+// Used by the sweep engine to aggregate per-seed replications of one
+// experiment spec into a `mean ± ci` summary row.
+struct SampleSummary {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;     // 0 for fewer than two observations
+  double ci95_half = 0;  // 0 for fewer than two observations
+};
+
+SampleSummary SummarizeSamples(std::span<const double> values);
 
 // Welford-style single-pass accumulator: count, mean, variance, min, max.
 // Numerically stable; O(1) per observation.

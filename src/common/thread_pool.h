@@ -1,0 +1,60 @@
+// A fixed-size worker pool for CPU-bound simulation fan-out.
+//
+// The sweep engine executes independent simulation runs on this pool; each
+// task writes only to state it owns (its slot of a pre-sized results
+// vector), so parallel execution needs no locking beyond the queue itself
+// and results are independent of scheduling order. Tasks must not block on
+// other tasks — the pool has no work stealing and a dependency cycle would
+// deadlock Wait().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netbatch {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+
+  // Joins all workers; pending tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Safe to call from any thread except a worker running
+  // a task submitted to this pool (tasks do not submit tasks).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. If any task threw, the
+  // first captured exception is rethrown here (remaining tasks still ran).
+  void Wait();
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()); }
+
+  // std::thread::hardware_concurrency(), clamped to at least 1 (the
+  // standard allows it to return 0 when unknown).
+  static unsigned DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace netbatch

@@ -52,6 +52,13 @@ const char* ToString(PolicyKind kind) {
   return "?";
 }
 
+std::optional<PolicyKind> ParsePolicyKind(std::string_view name) {
+  for (const PolicyKind kind : kAllPolicyKinds) {
+    if (name == ToString(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
 std::unique_ptr<cluster::ReschedulingPolicy> MakePolicy(
     PolicyKind kind, const PolicyOptions& options) {
   switch (kind) {

@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "cluster/interfaces.h"
 #include "core/pool_selector.h"
@@ -69,6 +70,20 @@ enum class PolicyKind {
 };
 
 const char* ToString(PolicyKind kind);
+
+// Inverse of ToString: parses one of the five scheme names exactly as
+// ToString renders them ("NoRes", "ResSusUtil", ...). Unknown names yield
+// std::nullopt; ParsePolicyKind(ToString(k)) == k for every kind.
+std::optional<PolicyKind> ParsePolicyKind(std::string_view name);
+
+// Every named policy kind, in ToString/table order. Lets callers (CLI flag
+// validation, sweeps over "all policies") enumerate without hand-written
+// lists that silently go stale when a kind is added.
+inline constexpr PolicyKind kAllPolicyKinds[] = {
+    PolicyKind::kNoRes,          PolicyKind::kResSusUtil,
+    PolicyKind::kResSusRand,     PolicyKind::kResSusWaitUtil,
+    PolicyKind::kResSusWaitRand,
+};
 
 // Knobs shared by the factory. The paper sets the wait threshold to 30
 // minutes, "about twice the expected average waiting time in the original

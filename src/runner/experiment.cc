@@ -1,91 +1,60 @@
 #include "runner/experiment.h"
 
-#include <memory>
-
-#include "sched/round_robin.h"
-#include "sched/utilization.h"
-#include "workload/generator.h"
+#include <utility>
 
 namespace netbatch::runner {
 
-const char* ToString(InitialSchedulerKind kind) {
-  switch (kind) {
-    case InitialSchedulerKind::kRoundRobin:
-      return "round-robin";
-    case InitialSchedulerKind::kUtilization:
-      return "utilization-based";
-  }
-  return "?";
+ExperimentSpec SpecFromConfig(const ExperimentConfig& config,
+                              std::string scenario_name) {
+  ExperimentSpec spec;
+  spec.scenario_name = std::move(scenario_name);
+  spec.scenario = config.scenario;
+  spec.seed = config.scenario.workload.seed;
+  spec.scheduler = config.scheduler;
+  spec.scheduler_staleness = config.scheduler_staleness;
+  spec.policy = config.policy;
+  spec.policy_options = config.policy_options;
+  spec.sim_options = config.sim_options;
+  return spec;
 }
-
-namespace {
-
-std::unique_ptr<cluster::InitialScheduler> MakeScheduler(
-    const ExperimentConfig& config) {
-  switch (config.scheduler) {
-    case InitialSchedulerKind::kRoundRobin:
-      return std::make_unique<sched::RoundRobinScheduler>();
-    case InitialSchedulerKind::kUtilization:
-      return std::make_unique<sched::UtilizationScheduler>(
-          config.scheduler_staleness);
-  }
-  NETBATCH_CHECK(false, "unknown scheduler kind");
-  return nullptr;
-}
-
-}  // namespace
 
 ExperimentResult RunExperimentWithPolicy(
     const ExperimentConfig& config, const workload::Trace& trace,
     cluster::ReschedulingPolicy& policy, std::string label,
     const std::vector<cluster::SimulationObserver*>& extra_observers) {
-  const std::unique_ptr<cluster::InitialScheduler> scheduler =
-      MakeScheduler(config);
-
-  cluster::NetBatchSimulation simulation(config.scenario.cluster, trace,
-                                         *scheduler, policy,
-                                         config.sim_options);
-  metrics::MetricsCollector collector;
-  simulation.AddObserver(&collector);
-  for (cluster::SimulationObserver* observer : extra_observers) {
-    simulation.AddObserver(observer);
-  }
-  simulation.Run();
-
-  ExperimentResult result;
-  result.report = collector.BuildReport(simulation, std::move(label));
-  result.samples = collector.samples();
-  result.suspension_cdf = collector.SuspensionTimeCdf();
-  result.trace_stats = trace.Stats();
-  result.fired_events = simulation.simulator().FiredEvents();
-  return result;
+  return RunSpecWithPolicy(SpecFromConfig(config), trace, policy,
+                           std::move(label), extra_observers);
 }
 
 ExperimentResult RunExperimentOnTrace(const ExperimentConfig& config,
                                       const workload::Trace& trace) {
-  const std::unique_ptr<cluster::ReschedulingPolicy> policy =
-      core::MakePolicy(config.policy, config.policy_options);
-  return RunExperimentWithPolicy(config, trace, *policy,
-                                 core::ToString(config.policy));
+  ExperimentSpec spec = SpecFromConfig(config);
+  spec.display_label = core::ToString(config.policy);
+  return RunSpec(spec, trace);
 }
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  const workload::Trace trace = workload::GenerateTrace(config.scenario.workload);
-  return RunExperimentOnTrace(config, trace);
+  ExperimentSpec spec = SpecFromConfig(config);
+  spec.display_label = core::ToString(config.policy);
+  return RunSingle(spec);
 }
 
 std::vector<ExperimentResult> RunPolicyComparison(
     const ExperimentConfig& base,
     const std::vector<core::PolicyKind>& policies) {
-  const workload::Trace trace = workload::GenerateTrace(base.scenario.workload);
-  std::vector<ExperimentResult> results;
-  results.reserve(policies.size());
-  for (core::PolicyKind policy : policies) {
+  std::vector<ExperimentSpec> specs;
+  specs.reserve(policies.size());
+  for (const core::PolicyKind policy : policies) {
     ExperimentConfig config = base;
     config.policy = policy;
-    results.push_back(RunExperimentOnTrace(config, trace));
+    ExperimentSpec spec = SpecFromConfig(config);
+    spec.display_label = core::ToString(policy);
+    specs.push_back(std::move(spec));
   }
-  return results;
+  // One shared trace (equal scenario_name + seed) and parallel execution
+  // come from the sweep engine for free.
+  SweepResult sweep = RunSweep(std::move(specs));
+  return std::move(sweep.results);
 }
 
 }  // namespace netbatch::runner

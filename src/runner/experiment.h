@@ -1,28 +1,29 @@
-// One-call experiment execution.
+// DEPRECATED single-run experiment wrappers.
 //
-// RunExperiment wires generator -> simulator -> policy -> metrics for a
-// single (scenario, scheduler, policy) triple; RunPolicyComparison reuses
-// one generated trace across several policies, which is how every table in
-// the paper is produced (same submissions, different rescheduling).
+// The experiment API lives in runner/sweep.h: describe runs as
+// `ExperimentSpec`s (SpecBuilder) and execute them with RunSweep /
+// RunSingle, which adds trace sharing, a worker pool, replication
+// aggregation, and deterministic parallelism. These wrappers are thin shims
+// kept only for the INI config-file loader (runner/config_file); they will
+// be deleted once that path speaks specs natively. Do not add callers.
+//
+// Migration:
+//   RunExperiment(config)            -> RunSingle(SpecFromConfig(config))
+//   RunExperimentOnTrace(c, trace)   -> RunSpec(SpecFromConfig(c), trace)
+//   RunExperimentWithPolicy(...)     -> RunSpecWithPolicy(...) or a
+//                                       SpecBuilder().CustomPolicy(...)
+//   RunPolicyComparison(c, policies) -> RunSweep(specs, ...) with one spec
+//                                       per policy (shared trace is implied)
 #pragma once
 
 #include <string>
 #include <vector>
 
-#include "cluster/config.h"
-#include "cluster/simulation.h"
-#include "core/policies.h"
-#include "metrics/collector.h"
-#include "metrics/report.h"
-#include "runner/scenarios.h"
-#include "workload/trace.h"
+#include "runner/sweep.h"
 
 namespace netbatch::runner {
 
-enum class InitialSchedulerKind { kRoundRobin, kUtilization };
-
-const char* ToString(InitialSchedulerKind kind);
-
+// The legacy flat run description, still produced by runner/config_file.
 struct ExperimentConfig {
   Scenario scenario;
   InitialSchedulerKind scheduler = InitialSchedulerKind::kRoundRobin;
@@ -34,33 +35,26 @@ struct ExperimentConfig {
   cluster::SimulationOptions sim_options;
 };
 
-struct ExperimentResult {
-  metrics::MetricsReport report;
-  std::vector<metrics::Sample> samples;
-  EmpiricalCdf suspension_cdf;  // per-job suspension minutes (Fig. 2)
-  workload::TraceStats trace_stats;
-  std::uint64_t fired_events = 0;
-};
+// Bridges an ExperimentConfig into the sweep API. The spec's replication
+// seed is the scenario's workload seed, so trace generation matches the
+// legacy behavior exactly.
+ExperimentSpec SpecFromConfig(const ExperimentConfig& config,
+                              std::string scenario_name = "custom");
 
-// Generates the scenario's trace and runs it under the configured policy.
+// DEPRECATED: use RunSingle(SpecFromConfig(config)).
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 
-// As RunExperiment, but with a caller-provided trace (shared across runs).
+// DEPRECATED: use RunSpec(SpecFromConfig(config), trace).
 ExperimentResult RunExperimentOnTrace(const ExperimentConfig& config,
                                       const workload::Trace& trace);
 
-// As RunExperimentOnTrace, but with a caller-provided policy instance
-// (ablation benches compose policies the factory does not name);
-// config.policy is ignored and `label` names the result row.
-// `extra_observers` are attached to the simulation before the run — e.g. a
-// PoolLoadPredictor the policy reads its telemetry from.
+// DEPRECATED: use RunSpecWithPolicy, or a spec with CustomPolicy.
 ExperimentResult RunExperimentWithPolicy(
     const ExperimentConfig& config, const workload::Trace& trace,
     cluster::ReschedulingPolicy& policy, std::string label,
     const std::vector<cluster::SimulationObserver*>& extra_observers = {});
 
-// Runs the same scenario + scheduler for each policy on one shared trace;
-// returns results in `policies` order, labelled with the policy names.
+// DEPRECATED: use RunSweep with one spec per policy.
 std::vector<ExperimentResult> RunPolicyComparison(
     const ExperimentConfig& base, const std::vector<core::PolicyKind>& policies);
 

@@ -5,8 +5,8 @@
 
 #include <tuple>
 
-#include "runner/experiment.h"
 #include "runner/scenarios.h"
+#include "runner/sweep.h"
 
 namespace netbatch::runner {
 namespace {
@@ -24,6 +24,22 @@ Scenario TinyScenario(std::uint64_t seed = 1) {
   return scenario;
 }
 
+// One spec per policy on a shared scenario/seed/trace, plain policy-name
+// labels — the canonical paper-table comparison.
+std::vector<ExperimentResult> ComparePolicies(
+    const std::string& name, const Scenario& scenario,
+    const std::vector<core::PolicyKind>& policies) {
+  std::vector<ExperimentSpec> specs;
+  for (const core::PolicyKind policy : policies) {
+    specs.push_back(SpecBuilder()
+                        .Scenario(name, scenario)
+                        .Policy(policy)
+                        .DisplayLabel(core::ToString(policy))
+                        .Build());
+  }
+  return std::move(RunSweep(std::move(specs)).results);
+}
+
 bool ReportsEqual(const metrics::MetricsReport& a,
                   const metrics::MetricsReport& b) {
   return a.job_count == b.job_count &&
@@ -38,13 +54,13 @@ bool ReportsEqual(const metrics::MetricsReport& a,
          a.avg_wct_minutes == b.avg_wct_minutes;
 }
 
-TEST(DeterminismTest, IdenticalConfigsYieldIdenticalResults) {
-  ExperimentConfig config;
-  config.scenario = TinyScenario();
-  config.policy = core::PolicyKind::kResSusWaitRand;
-
-  const ExperimentResult a = RunExperiment(config);
-  const ExperimentResult b = RunExperiment(config);
+TEST(DeterminismTest, IdenticalSpecsYieldIdenticalResults) {
+  const ExperimentSpec spec = SpecBuilder()
+                                  .Scenario("tiny", TinyScenario())
+                                  .Policy(core::PolicyKind::kResSusWaitRand)
+                                  .Build();
+  const ExperimentResult a = RunSingle(spec);
+  const ExperimentResult b = RunSingle(spec);
   EXPECT_TRUE(ReportsEqual(a.report, b.report));
   EXPECT_EQ(a.fired_events, b.fired_events);
   ASSERT_EQ(a.samples.size(), b.samples.size());
@@ -55,12 +71,10 @@ TEST(DeterminismTest, IdenticalConfigsYieldIdenticalResults) {
 }
 
 TEST(DeterminismTest, DifferentSeedsYieldDifferentResults) {
-  ExperimentConfig a_config;
-  a_config.scenario = TinyScenario(1);
-  ExperimentConfig b_config;
-  b_config.scenario = TinyScenario(2);
-  const ExperimentResult a = RunExperiment(a_config);
-  const ExperimentResult b = RunExperiment(b_config);
+  const ExperimentResult a =
+      RunSingle(SpecBuilder().Scenario("tiny", TinyScenario(1)).Build());
+  const ExperimentResult b =
+      RunSingle(SpecBuilder().Scenario("tiny", TinyScenario(2)).Build());
   EXPECT_NE(a.report.job_count, b.report.job_count);
 }
 
@@ -82,13 +96,14 @@ class PolicySweepTest : public ::testing::TestWithParam<Combo> {};
 
 TEST_P(PolicySweepTest, RunCompletesWithConsistentAccounting) {
   const auto [policy, scheduler, dispatch] = GetParam();
-  ExperimentConfig config;
-  config.scenario = TinyScenario();
-  config.policy = policy;
-  config.scheduler = scheduler;
-  config.sim_options.dispatch_mode = dispatch;
-
-  const ExperimentResult result = RunExperiment(config);
+  cluster::SimulationOptions sim_options;
+  sim_options.dispatch_mode = dispatch;
+  const ExperimentResult result = RunSingle(SpecBuilder()
+                                                .Scenario("tiny", TinyScenario())
+                                                .Policy(policy)
+                                                .Scheduler(scheduler)
+                                                .SimOptions(sim_options)
+                                                .Build());
   const metrics::MetricsReport& report = result.report;
 
   // Conservation: every job ends completed or rejected.
@@ -143,11 +158,14 @@ INSTANTIATE_TEST_SUITE_P(
 class OverheadSweepTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(OverheadSweepTest, OverheadOnlyAddsTransitTime) {
-  ExperimentConfig config;
-  config.scenario = TinyScenario();
-  config.policy = core::PolicyKind::kResSusUtil;
-  config.sim_options.restart_overhead = MinutesToTicks(GetParam());
-  const ExperimentResult result = RunExperiment(config);
+  cluster::SimulationOptions sim_options;
+  sim_options.restart_overhead = MinutesToTicks(GetParam());
+  const ExperimentResult result =
+      RunSingle(SpecBuilder()
+                    .Scenario("tiny", TinyScenario())
+                    .Policy(core::PolicyKind::kResSusUtil)
+                    .SimOptions(sim_options)
+                    .Build());
   EXPECT_EQ(result.report.completed_count, result.report.job_count);
   if (GetParam() == 0) {
     // With no overhead, all waste is lost progress; transit contributes 0.
@@ -164,10 +182,9 @@ INSTANTIATE_TEST_SUITE_P(Overheads, OverheadSweepTest,
 // presets at a reduced scale; exact magnitudes are covered by the bench
 // binaries and EXPERIMENTS.md.
 TEST(PaperShapeTest, ResSusUtilImprovesSuspendedCompletionTime) {
-  ExperimentConfig config;
-  config.scenario = NormalLoadScenario(0.1);
-  const auto results = RunPolicyComparison(
-      config, {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil});
+  const auto results =
+      ComparePolicies("normal", NormalLoadScenario(0.1),
+                      {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil});
   ASSERT_GT(results[0].report.suspended_job_count, 10u);
   EXPECT_LT(results[1].report.avg_ct_suspended_minutes,
             results[0].report.avg_ct_suspended_minutes);
@@ -176,19 +193,16 @@ TEST(PaperShapeTest, ResSusUtilImprovesSuspendedCompletionTime) {
 }
 
 TEST(PaperShapeTest, RandomSelectionIsWorseThanUtilizationSelection) {
-  ExperimentConfig config;
-  config.scenario = NormalLoadScenario(0.1);
-  const auto results = RunPolicyComparison(
-      config, {core::PolicyKind::kResSusUtil, core::PolicyKind::kResSusRand});
+  const auto results = ComparePolicies(
+      "normal", NormalLoadScenario(0.1),
+      {core::PolicyKind::kResSusUtil, core::PolicyKind::kResSusRand});
   EXPECT_GT(results[1].report.avg_ct_suspended_minutes,
             results[0].report.avg_ct_suspended_minutes);
 }
 
 TEST(PaperShapeTest, WaitReschedulingBeatsSuspendedOnlyUnderHighLoad) {
-  ExperimentConfig config;
-  config.scenario = HighLoadScenario(0.1);
-  const auto results = RunPolicyComparison(
-      config,
+  const auto results = ComparePolicies(
+      "high", HighLoadScenario(0.1),
       {core::PolicyKind::kNoRes, core::PolicyKind::kResSusWaitUtil});
   EXPECT_LT(results[1].report.avg_ct_suspended_minutes,
             results[0].report.avg_ct_suspended_minutes * 0.8);
@@ -197,10 +211,11 @@ TEST(PaperShapeTest, WaitReschedulingBeatsSuspendedOnlyUnderHighLoad) {
 }
 
 TEST(PaperShapeTest, HighSuspensionScenarioHasElevatedSuspendRate) {
-  ExperimentConfig config;
-  config.scenario = HighSuspensionScenario(0.1);
-  config.policy = core::PolicyKind::kNoRes;
-  const ExperimentResult result = RunExperiment(config);
+  const ExperimentResult result =
+      RunSingle(SpecBuilder()
+                    .Scenario("highsusp", HighSuspensionScenario(0.1))
+                    .Policy(core::PolicyKind::kNoRes)
+                    .Build());
   EXPECT_GT(result.report.suspend_rate, 0.04);
 }
 
@@ -242,11 +257,19 @@ TEST(ScenarioTest, ScaleShrinksClusterAndWorkloadTogether) {
   EXPECT_NEAR(core_ratio, load_ratio, 0.05);
 }
 
-TEST(ScenarioTest, RunPolicyComparisonSharesOneTrace) {
-  ExperimentConfig config;
-  config.scenario = TinyScenario();
-  const auto results = RunPolicyComparison(
-      config, {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil});
+TEST(ScenarioTest, PolicySweepSharesOneTrace) {
+  std::vector<ExperimentSpec> specs;
+  for (const core::PolicyKind policy :
+       {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil}) {
+    specs.push_back(SpecBuilder()
+                        .Scenario("tiny", TinyScenario())
+                        .Policy(policy)
+                        .DisplayLabel(core::ToString(policy))
+                        .Build());
+  }
+  const SweepResult sweep = RunSweep(std::move(specs));
+  const auto& results = sweep.results;
+  EXPECT_EQ(sweep.generated_trace_count, 1u);
   EXPECT_EQ(results[0].trace_stats.job_count, results[1].trace_stats.job_count);
   EXPECT_EQ(results[0].trace_stats.total_work_core_minutes,
             results[1].trace_stats.total_work_core_minutes);

@@ -1,0 +1,288 @@
+// Tests for the sweep engine's three hard guarantees:
+//
+//   1. Determinism under parallelism — a sweep at jobs=8 is bit-identical
+//      to the same sweep at jobs=1, report field by report field.
+//   2. Trace sharing — each distinct (scenario_name, seed) pair generates
+//      its workload trace exactly once, however many specs replay it.
+//   3. Replication aggregation — mean / sample stddev / 95% CI match
+//      hand-computed values.
+//
+// Plus the spec-label scheme and the ToString/Parse round-trips the CLI
+// relies on. This file is also the body of the `sweep_test_tsan` CTest
+// entry: under -DNETBATCH_SANITIZE=thread, the jobs=8 sweeps here must run
+// race-free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "runner/scenarios.h"
+#include "runner/sweep.h"
+
+namespace netbatch::runner {
+namespace {
+
+// Small but non-trivial: enough jobs for suspensions and rescheduling to
+// actually fire under every policy.
+Scenario SmallScenario(std::uint64_t seed = 1) {
+  Scenario scenario = NormalLoadScenario(0.05, seed);
+  scenario.workload.duration = 2 * kTicksPerDay;
+  for (std::size_t s = 0; s < scenario.workload.bursts.size(); ++s) {
+    scenario.workload.bursts[s].scheduled_bursts = {
+        {.start_minute = 200.0 + 400.0 * static_cast<double>(s),
+         .length_minutes = 300.0}};
+  }
+  return scenario;
+}
+
+// A 3-policy x 2-scheduler x 2-seed factorial grid (12 specs).
+std::vector<ExperimentSpec> FactorialSpecs() {
+  std::vector<ExperimentSpec> specs;
+  for (const InitialSchedulerKind scheduler :
+       {InitialSchedulerKind::kRoundRobin, InitialSchedulerKind::kUtilization}) {
+    for (const core::PolicyKind policy :
+         {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
+          core::PolicyKind::kResSusWaitRand}) {
+      for (const std::uint64_t seed : {1ull, 2ull}) {
+        specs.push_back(SpecBuilder()
+                            .Scenario("small", SmallScenario(seed))
+                            .Scheduler(scheduler)
+                            .Policy(policy)
+                            .Seed(seed)
+                            .Build());
+      }
+    }
+  }
+  return specs;
+}
+
+void ExpectReportsIdentical(const metrics::MetricsReport& a,
+                            const metrics::MetricsReport& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.job_count, b.job_count);
+  EXPECT_EQ(a.completed_count, b.completed_count);
+  EXPECT_EQ(a.rejected_count, b.rejected_count);
+  EXPECT_EQ(a.suspended_job_count, b.suspended_job_count);
+  EXPECT_EQ(a.preemption_count, b.preemption_count);
+  EXPECT_EQ(a.reschedule_count, b.reschedule_count);
+  // Bit-identical, not approximately equal: EXPECT_EQ on doubles is the
+  // point of the test.
+  EXPECT_EQ(a.suspend_rate, b.suspend_rate);
+  EXPECT_EQ(a.avg_ct_all_minutes, b.avg_ct_all_minutes);
+  EXPECT_EQ(a.avg_ct_suspended_minutes, b.avg_ct_suspended_minutes);
+  EXPECT_EQ(a.avg_st_minutes, b.avg_st_minutes);
+  EXPECT_EQ(a.avg_wct_minutes, b.avg_wct_minutes);
+  EXPECT_EQ(a.avg_wait_minutes, b.avg_wait_minutes);
+  EXPECT_EQ(a.avg_suspend_minutes, b.avg_suspend_minutes);
+  EXPECT_EQ(a.avg_resched_waste_minutes, b.avg_resched_waste_minutes);
+}
+
+TEST(SweepDeterminismTest, EightWorkersBitIdenticalToOne) {
+  const SweepResult serial = RunSweep(FactorialSpecs(), {.jobs = 1});
+  const SweepResult parallel = RunSweep(FactorialSpecs(), {.jobs = 8});
+
+  ASSERT_EQ(serial.results.size(), 12u);
+  ASSERT_EQ(parallel.results.size(), serial.results.size());
+  for (std::size_t i = 0; i < serial.results.size(); ++i) {
+    ExpectReportsIdentical(serial.results[i].report,
+                           parallel.results[i].report);
+    EXPECT_EQ(serial.results[i].fired_events, parallel.results[i].fired_events);
+  }
+  // The rendered artifacts are therefore identical too.
+  EXPECT_EQ(RenderSweepSummary(SummarizeSweep(serial)),
+            RenderSweepSummary(SummarizeSweep(parallel)));
+}
+
+TEST(SweepDeterminismTest, JsonExportIdenticalAcrossWorkerCounts) {
+  const SweepResult a = RunSweep(FactorialSpecs(), {.jobs = 1});
+  const SweepResult b = RunSweep(FactorialSpecs(), {.jobs = 8});
+  EXPECT_EQ(SweepToJson(a, SummarizeSweep(a)), SweepToJson(b, SummarizeSweep(b)));
+}
+
+TEST(SweepTraceSharingTest, EachScenarioSeedPairGeneratedOnce) {
+  const std::vector<ExperimentSpec> specs = FactorialSpecs();
+  std::set<std::pair<std::string, std::uint64_t>> distinct;
+  for (const ExperimentSpec& spec : specs) {
+    distinct.insert({spec.scenario_name, spec.seed});
+  }
+  const SweepResult sweep = RunSweep(specs);
+  EXPECT_EQ(sweep.generated_trace_count, distinct.size());
+  EXPECT_EQ(sweep.generated_trace_count, 2u);  // two seeds, one scenario
+
+  // Runs sharing a seed saw the same workload.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::size_t j = i + 1; j < specs.size(); ++j) {
+      if (specs[i].seed != specs[j].seed) continue;
+      EXPECT_EQ(sweep.results[i].trace_stats.job_count,
+                sweep.results[j].trace_stats.job_count);
+      EXPECT_EQ(sweep.results[i].trace_stats.total_work_core_minutes,
+                sweep.results[j].trace_stats.total_work_core_minutes);
+    }
+  }
+}
+
+TEST(SweepTraceSharingTest, RunSweepOnTraceGeneratesNothing) {
+  const workload::Trace trace = GenerateSpecTrace(
+      SpecBuilder().Scenario("small", SmallScenario()).Build());
+  std::vector<ExperimentSpec> specs;
+  for (const core::PolicyKind policy :
+       {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil}) {
+    specs.push_back(SpecBuilder()
+                        .Scenario("small", SmallScenario())
+                        .Policy(policy)
+                        .Build());
+  }
+  const SweepResult sweep = RunSweepOnTrace(std::move(specs), trace);
+  EXPECT_EQ(sweep.generated_trace_count, 0u);
+  EXPECT_EQ(sweep.results[0].trace_stats.job_count, trace.size());
+}
+
+TEST(SweepAggregationTest, SummaryMatchesHandComputedValues) {
+  const std::vector<double> samples = {10.0, 12.0, 14.0, 16.0};
+  const SampleSummary summary = SummarizeSamples(samples);
+  EXPECT_EQ(summary.n, 4u);
+  EXPECT_DOUBLE_EQ(summary.mean, 13.0);
+  // Sample (n-1) stddev: sqrt((9+1+1+9)/3) = sqrt(20/3).
+  EXPECT_NEAR(summary.stddev, std::sqrt(20.0 / 3.0), 1e-12);
+  // Normal-approximation half-width: 1.96 * s / sqrt(4).
+  EXPECT_NEAR(summary.ci95_half, 1.96 * std::sqrt(20.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(SweepAggregationTest, SingleSampleHasZeroSpread) {
+  const std::vector<double> one = {42.0};
+  const SampleSummary summary = SummarizeSamples(one);
+  EXPECT_EQ(summary.n, 1u);
+  EXPECT_DOUBLE_EQ(summary.mean, 42.0);
+  EXPECT_DOUBLE_EQ(summary.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(summary.ci95_half, 0.0);
+}
+
+TEST(SweepAggregationTest, GroupsReplicationsByGroupLabel) {
+  // 2 policies x 3 seeds -> 6 runs, 2 summary rows with n=3 each.
+  std::vector<ExperimentSpec> specs;
+  for (const core::PolicyKind policy :
+       {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil}) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      specs.push_back(SpecBuilder()
+                          .Scenario("small", SmallScenario(seed))
+                          .Policy(policy)
+                          .Seed(seed)
+                          .Build());
+    }
+  }
+  const SweepResult sweep = RunSweep(std::move(specs));
+  const std::vector<SweepSummaryRow> rows = SummarizeSweep(sweep);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "small/rr/NoRes");
+  EXPECT_EQ(rows[1].label, "small/rr/ResSusUtil");
+  for (const SweepSummaryRow& row : rows) {
+    EXPECT_EQ(row.replications, 3u);
+    EXPECT_EQ(row.avg_ct_all.n, 3u);
+    EXPECT_GT(row.avg_ct_all.mean, 0.0);
+  }
+  // Mean of the group's per-run values, recomputed by hand.
+  double sum = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    sum += sweep.results[i].report.avg_ct_all_minutes;
+  }
+  EXPECT_NEAR(rows[0].avg_ct_all.mean, sum / 3.0, 1e-12);
+
+  std::ostringstream csv;
+  WriteSweepSummaryCsv(csv, rows);
+  EXPECT_NE(csv.str().find("small/rr/NoRes"), std::string::npos);
+  EXPECT_NE(csv.str().find("avg_ct_all_mean"), std::string::npos);
+}
+
+TEST(SpecLabelTest, LabelSchemeIsStable) {
+  const ExperimentSpec spec = SpecBuilder()
+                                  .Scenario("high", HighLoadScenario(0.05))
+                                  .Scheduler(InitialSchedulerKind::kUtilization)
+                                  .Policy(core::PolicyKind::kResSusWaitUtil)
+                                  .Seed(7)
+                                  .Build();
+  EXPECT_EQ(spec.GroupLabel(), "high/util/ResSusWaitUtil");
+  EXPECT_EQ(spec.Label(), "high/util/ResSusWaitUtil/s7");
+  EXPECT_EQ(spec.DisplayLabel(), spec.Label());
+  // The run seed is a pure function of (seed, GroupLabel).
+  EXPECT_EQ(spec.RunSeed(), DeriveSeed(7, "high/util/ResSusWaitUtil"));
+}
+
+TEST(SpecLabelTest, RunSeedsDifferAcrossGroupsAndSeeds) {
+  SpecBuilder base;
+  base.Scenario("small", SmallScenario());
+  const ExperimentSpec a =
+      SpecBuilder(base).Policy(core::PolicyKind::kNoRes).Seed(1).Build();
+  const ExperimentSpec b =
+      SpecBuilder(base).Policy(core::PolicyKind::kResSusRand).Seed(1).Build();
+  const ExperimentSpec c =
+      SpecBuilder(base).Policy(core::PolicyKind::kNoRes).Seed(2).Build();
+  EXPECT_NE(a.RunSeed(), b.RunSeed());
+  EXPECT_NE(a.RunSeed(), c.RunSeed());
+  EXPECT_NE(b.RunSeed(), c.RunSeed());
+}
+
+TEST(ParseRoundTripTest, PolicyKinds) {
+  for (const core::PolicyKind kind : core::kAllPolicyKinds) {
+    const auto parsed = core::ParsePolicyKind(core::ToString(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(core::ParsePolicyKind("NoSuchPolicy").has_value());
+  EXPECT_FALSE(core::ParsePolicyKind("").has_value());
+}
+
+TEST(ParseRoundTripTest, SchedulerKinds) {
+  for (const InitialSchedulerKind kind :
+       {InitialSchedulerKind::kRoundRobin, InitialSchedulerKind::kUtilization}) {
+    const auto parsed = ParseInitialSchedulerKind(ToString(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+    const auto parsed_short = ParseInitialSchedulerKind(ToShortString(kind));
+    ASSERT_TRUE(parsed_short.has_value());
+    EXPECT_EQ(*parsed_short, kind);
+  }
+  EXPECT_FALSE(ParseInitialSchedulerKind("fifo").has_value());
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool is reusable after Wait().
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(DeriveSeedTest, DistinctKeysAndRootsGiveDistinctStreams) {
+  std::set<std::uint64_t> seen;
+  for (const std::uint64_t root : {1ull, 2ull, 3ull}) {
+    for (const char* key : {"a", "b", "high/rr/NoRes", "high/rr/NoRes2",
+                            "a longer key spanning chunks"}) {
+      seen.insert(DeriveSeed(root, key));
+    }
+  }
+  EXPECT_EQ(seen.size(), 15u);
+  // Deterministic across calls.
+  EXPECT_EQ(DeriveSeed(42, "x/y/z"), DeriveSeed(42, "x/y/z"));
+}
+
+}  // namespace
+}  // namespace netbatch::runner

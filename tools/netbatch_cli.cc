@@ -7,6 +7,11 @@
 //   # Compare all five paper policies on one generated trace:
 //   netbatch_cli --scenario=normal --compare
 //
+//   # A parallel factorial sweep with replications and a JSON summary:
+//   netbatch_cli sweep --scenario=high --policies=NoRes,ResSusUtil
+//       --schedulers=rr,util --seeds=42,43,44,45 --jobs=8
+//       --json-out=sweep.json
+//
 //   # Persist the generated trace, then replay it later:
 //   netbatch_cli --scenario=normal --trace-out=/tmp/trace.csv
 //   netbatch_cli --trace-in=/tmp/trace.csv --policy=ResSusWaitRand
@@ -16,9 +21,13 @@
 #include <cstdio>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "runner/config_file.h"
 #include "metrics/event_log.h"
 #include "metrics/report_json.h"
@@ -30,7 +39,7 @@ namespace {
 
 constexpr const char* kUsage = R"(netbatch_cli — NetBatchSim experiment driver
 
-Flags:
+Single-run flags:
   --config=<file.ini>                    load experiment settings from an
                                          INI file (flags below override it)
   --scenario=normal|high|highsusp|year   scenario preset (default normal)
@@ -54,17 +63,23 @@ Flags:
   --json-out=<path>                      write the report(s) as JSON
   --cdf                                  print the suspension-time CDF
   --help                                 this text
-)";
 
-std::optional<core::PolicyKind> ParsePolicyKind(const std::string& name) {
-  for (const core::PolicyKind kind :
-       {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
-        core::PolicyKind::kResSusRand, core::PolicyKind::kResSusWaitUtil,
-        core::PolicyKind::kResSusWaitRand}) {
-    if (name == core::ToString(kind)) return kind;
-  }
-  return std::nullopt;
-}
+Sweep subcommand — a parallel factorial scenario x scheduler x policy x
+seed sweep with per-spec mean/stddev/95%-CI aggregation. Deterministic:
+any --jobs value produces bit-identical reports.
+
+  netbatch_cli sweep [flags]
+  --scenario=<preset>                    as above (one scenario per sweep)
+  --scale=<0..1>
+  --policies=<a,b,...>                   default: all five paper policies
+  --schedulers=rr,util                   default: rr
+  --seeds=<s1,s2,...>                    explicit replication seeds, or
+  --seed=<n> --replications=<k>          seeds n, n+1, ..., n+k-1
+  --jobs=<n>                             worker threads (default: all cores)
+  --staleness/--threshold/--overhead/--checkpoint/--mtbf/--mttr  as above
+  --csv-out=<path>                       summary rows as CSV
+  --json-out=<path>                      per-run reports + summary as JSON
+)";
 
 runner::Scenario MakeScenario(const std::string& name, double scale,
                               std::uint64_t seed) {
@@ -74,6 +89,16 @@ runner::Scenario MakeScenario(const std::string& name, double scale,
   if (name == "year") return runner::YearLongScenario(scale, seed);
   NETBATCH_CHECK(false, "unknown --scenario (normal|high|highsusp|year)");
   return {};
+}
+
+std::vector<std::string> SplitList(const std::string& text) {
+  std::vector<std::string> items;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
 }
 
 void WriteSamplesCsv(const std::string& path,
@@ -101,6 +126,148 @@ void PrintResult(const runner::ExperimentResult& result, bool print_cdf) {
   }
 }
 
+// Applies the sweep-relevant sim/policy flags onto a builder-produced spec.
+struct SharedKnobs {
+  Ticks staleness = 0;
+  Ticks threshold = MinutesToTicks(30);
+  cluster::SimulationOptions sim_options;
+};
+
+SharedKnobs ReadSharedKnobs(const Flags& flags) {
+  SharedKnobs knobs;
+  knobs.staleness = MinutesToTicks(flags.GetInt("staleness", 0));
+  knobs.threshold = MinutesToTicks(flags.GetInt("threshold", 30));
+  knobs.sim_options.restart_overhead =
+      MinutesToTicks(flags.GetInt("overhead", 0));
+  knobs.sim_options.checkpoint_interval =
+      MinutesToTicks(flags.GetInt("checkpoint", 0));
+  knobs.sim_options.outages.mtbf_minutes =
+      static_cast<double>(flags.GetInt("mtbf", 0));
+  knobs.sim_options.outages.mttr_minutes =
+      static_cast<double>(flags.GetInt("mttr", 240));
+  return knobs;
+}
+
+int RunSweepCommand(const Flags& flags) {
+  const std::string scenario_name = flags.GetString("scenario", "normal");
+  const double scale = flags.GetDouble("scale", 0.25);
+  const auto base_seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  std::vector<std::uint64_t> seeds;
+  if (flags.Has("seeds")) {
+    for (const std::string& s : SplitList(flags.GetString("seeds", ""))) {
+      std::uint64_t value = 0;
+      std::size_t parsed = 0;
+      try {
+        value = std::stoull(s, &parsed);
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      NETBATCH_CHECK(parsed == s.size() && !s.empty(),
+                     "--seeds expects a comma-separated integer list, got '" +
+                         s + "'");
+      seeds.push_back(value);
+    }
+  } else {
+    const std::int64_t replications = flags.GetInt("replications", 1);
+    NETBATCH_CHECK(replications >= 1, "--replications must be >= 1");
+    for (std::int64_t r = 0; r < replications; ++r) {
+      seeds.push_back(base_seed + static_cast<std::uint64_t>(r));
+    }
+  }
+  NETBATCH_CHECK(!seeds.empty(), "--seeds list is empty");
+
+  std::vector<std::string> scheduler_names =
+      SplitList(flags.GetString("schedulers", "rr"));
+  std::vector<runner::InitialSchedulerKind> schedulers;
+  for (const std::string& name : scheduler_names) {
+    const auto kind = runner::ParseInitialSchedulerKind(name);
+    NETBATCH_CHECK(kind.has_value(), "unknown scheduler '" + name + "'");
+    schedulers.push_back(*kind);
+  }
+
+  std::string default_policies;
+  for (const core::PolicyKind kind : core::kAllPolicyKinds) {
+    if (!default_policies.empty()) default_policies += ',';
+    default_policies += core::ToString(kind);
+  }
+  const std::vector<std::string> policy_names =
+      SplitList(flags.GetString("policies", default_policies));
+  NETBATCH_CHECK(!policy_names.empty(), "--policies list is empty");
+
+  const SharedKnobs knobs = ReadSharedKnobs(flags);
+  const auto jobs = static_cast<unsigned>(flags.GetInt("jobs", 0));
+  const std::string csv_out = flags.GetString("csv-out", "");
+  const std::string json_out = flags.GetString("json-out", "");
+
+  const auto unused = flags.UnusedFlags();
+  NETBATCH_CHECK(unused.empty(),
+                 "unknown flag --" + (unused.empty() ? "" : unused.front()) +
+                     " (see --help)");
+
+  const runner::Scenario scenario =
+      MakeScenario(scenario_name, scale, base_seed);
+
+  std::vector<runner::ExperimentSpec> specs;
+  for (const runner::InitialSchedulerKind scheduler : schedulers) {
+    for (const std::string& policy_name : policy_names) {
+      for (const std::uint64_t seed : seeds) {
+        runner::SpecBuilder builder;
+        builder.Scenario(scenario_name, scenario)
+            .Scheduler(scheduler, knobs.staleness)
+            .WaitThreshold(knobs.threshold)
+            .SimOptions(knobs.sim_options)
+            .Seed(seed);
+        if (policy_name == "DupSusUtil") {
+          builder.Duplication();
+        } else {
+          const auto kind = core::ParsePolicyKind(policy_name);
+          NETBATCH_CHECK(kind.has_value(),
+                         "unknown policy '" + policy_name + "' (see --help)");
+          builder.Policy(*kind);
+        }
+        specs.push_back(builder.Build());
+      }
+    }
+  }
+
+  std::printf("sweep: %zu specs (%zu policies x %zu schedulers x %zu seeds)\n",
+              specs.size(), policy_names.size(), schedulers.size(),
+              seeds.size());
+
+  const runner::SweepResult sweep =
+      runner::RunSweep(std::move(specs), {.jobs = jobs});
+
+  std::vector<metrics::MetricsReport> reports;
+  reports.reserve(sweep.results.size());
+  for (const runner::ExperimentResult& result : sweep.results) {
+    reports.push_back(result.report);
+  }
+  std::printf("\n%s\n", metrics::RenderPaperTable(reports).c_str());
+
+  const std::vector<runner::SweepSummaryRow> summary =
+      runner::SummarizeSweep(sweep);
+  std::printf("%s\n", runner::RenderSweepSummary(summary).c_str());
+  std::printf(
+      "%zu runs, %zu generated traces, wall %.2fs (jobs=%u)\n",
+      sweep.results.size(), sweep.generated_trace_count, sweep.wall_seconds,
+      jobs == 0 ? ThreadPool::DefaultThreadCount() : jobs);
+
+  if (!csv_out.empty()) {
+    std::ofstream out(csv_out);
+    NETBATCH_CHECK(static_cast<bool>(out), "cannot open --csv-out path");
+    runner::WriteSweepSummaryCsv(out, summary);
+    std::printf("wrote summary CSV: %s\n", csv_out.c_str());
+  }
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    NETBATCH_CHECK(static_cast<bool>(out), "cannot open --json-out path");
+    out << runner::SweepToJson(sweep, summary) << '\n';
+    std::printf("wrote sweep JSON: %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,6 +275,10 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help", false)) {
     std::fputs(kUsage, stdout);
     return 0;
+  }
+
+  if (!flags.positional().empty() && flags.positional().front() == "sweep") {
+    return RunSweepCommand(flags);
   }
 
   // Base configuration: an INI file when given, defaults otherwise;
@@ -123,19 +294,17 @@ int main(int argc, char** argv) {
   }
   const double scale = flags.GetDouble("scale", 0.25);
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  std::string scenario_name = flags.GetString("scenario", "normal");
   if (!from_file || flags.Has("scenario") || flags.Has("scale") ||
       flags.Has("seed")) {
-    config.scenario =
-        MakeScenario(flags.GetString("scenario", "normal"), scale, seed);
+    config.scenario = MakeScenario(scenario_name, scale, seed);
   }
 
-  const std::string scheduler = flags.GetString("scheduler", "rr");
-  NETBATCH_CHECK(scheduler == "rr" || scheduler == "util",
-                 "--scheduler must be rr or util");
   if (!from_file || flags.Has("scheduler")) {
-    config.scheduler = scheduler == "rr"
-                           ? runner::InitialSchedulerKind::kRoundRobin
-                           : runner::InitialSchedulerKind::kUtilization;
+    const std::string scheduler = flags.GetString("scheduler", "rr");
+    const auto kind = runner::ParseInitialSchedulerKind(scheduler);
+    NETBATCH_CHECK(kind.has_value(), "--scheduler must be rr or util");
+    config.scheduler = *kind;
   }
   if (!from_file || flags.Has("staleness")) {
     config.scheduler_staleness = MinutesToTicks(flags.GetInt("staleness", 0));
@@ -162,11 +331,13 @@ int main(int argc, char** argv) {
   }
 
   // Trace: replay or generate (optionally persisting).
+  const runner::ExperimentSpec base_spec =
+      runner::SpecFromConfig(config, scenario_name);
   workload::Trace trace;
   if (flags.Has("trace-in")) {
     trace = workload::ReadTraceFile(flags.GetString("trace-in", ""));
   } else {
-    trace = workload::GenerateTrace(config.scenario.workload);
+    trace = runner::GenerateSpecTrace(base_spec);
   }
   if (flags.Has("trace-out")) {
     workload::WriteTraceFile(trace, flags.GetString("trace-out", ""));
@@ -197,13 +368,17 @@ int main(int argc, char** argv) {
               TicksToMinutes(stats.last_submit - stats.first_submit));
 
   if (compare) {
-    const auto results = runner::RunPolicyComparison(
-        config,
-        {core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
-         core::PolicyKind::kResSusRand, core::PolicyKind::kResSusWaitUtil,
-         core::PolicyKind::kResSusWaitRand});
+    std::vector<runner::ExperimentSpec> specs;
+    for (const core::PolicyKind kind : core::kAllPolicyKinds) {
+      runner::ExperimentSpec spec = base_spec;
+      spec.policy = kind;
+      spec.display_label = core::ToString(kind);
+      specs.push_back(std::move(spec));
+    }
+    const runner::SweepResult sweep =
+        runner::RunSweepOnTrace(std::move(specs), trace);
     std::vector<metrics::MetricsReport> reports;
-    for (const auto& result : results) reports.push_back(result.report);
+    for (const auto& result : sweep.results) reports.push_back(result.report);
     std::printf("%s\n", metrics::RenderPaperTable(reports).c_str());
     std::printf("%s\n", metrics::RenderWasteComponents(reports).c_str());
     if (!json_out.empty()) {
@@ -214,33 +389,41 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // With --events-out we drive the simulation directly so the event-log
-  // observer can be attached.
+  // Build the run's policy: one of the named kinds or the DupSusUtil
+  // extension.
+  runner::ExperimentSpec spec = base_spec;
+  if (policy_name == "DupSusUtil") {
+    runner::SpecBuilder builder;
+    builder.Scenario(scenario_name, config.scenario)
+        .Seed(base_spec.seed)
+        .Scheduler(config.scheduler, config.scheduler_staleness)
+        .WaitThreshold(config.policy_options.wait_threshold)
+        .SimOptions(config.sim_options)
+        .Duplication();
+    spec = builder.Build();
+  } else {
+    const auto kind = core::ParsePolicyKind(policy_name);
+    NETBATCH_CHECK(kind.has_value(), "unknown --policy (see --help)");
+    spec.policy = *kind;
+  }
+  spec.display_label = policy_name;
+
+  runner::ExperimentResult result;
   if (!events_out.empty()) {
-    const auto kind = ParsePolicyKind(policy_name);
-    NETBATCH_CHECK(kind.has_value(),
-                   "--events-out requires one of the five named policies");
-    config.policy = *kind;
-    const auto policy = core::MakePolicy(config.policy, config.policy_options);
-    sched::RoundRobinScheduler rr;
-    sched::UtilizationScheduler util(config.scheduler_staleness);
-    cluster::InitialScheduler& initial =
-        config.scheduler == runner::InitialSchedulerKind::kRoundRobin
-            ? static_cast<cluster::InitialScheduler&>(rr)
-            : static_cast<cluster::InitialScheduler&>(util);
-    cluster::NetBatchSimulation sim(config.scenario.cluster, trace, initial,
-                                    *policy, config.sim_options);
-    metrics::MetricsCollector collector;
+    // Attach the event-log observer alongside the metrics collector.
+    NETBATCH_CHECK(spec.policy_factory == nullptr || policy_name == "DupSusUtil",
+                   "--events-out supports named policies");
     metrics::EventLog log;
-    sim.AddObserver(&collector);
-    sim.AddObserver(&log);
-    sim.Run();
-    runner::ExperimentResult result;
-    result.report = collector.BuildReport(sim, policy_name);
-    result.samples = collector.samples();
-    result.suspension_cdf = collector.SuspensionTimeCdf();
-    result.trace_stats = trace.Stats();
-    result.fired_events = sim.simulator().FiredEvents();
+    runner::PolicyInstance instance;
+    if (spec.policy_factory != nullptr) {
+      instance = spec.policy_factory(spec.RunSeed());
+    } else {
+      core::PolicyOptions options = spec.policy_options;
+      options.seed = DeriveSeed(spec.RunSeed(), "policy");
+      instance.policy = core::MakePolicy(spec.policy, options);
+    }
+    result = runner::RunSpecWithPolicy(spec, trace, *instance.policy,
+                                       policy_name, {&log});
     PrintResult(result, print_cdf);
     std::ofstream out(events_out);
     NETBATCH_CHECK(static_cast<bool>(out), "cannot open --events-out path");
@@ -251,18 +434,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  runner::ExperimentResult result;
-  if (policy_name == "DupSusUtil") {
-    const auto policy = core::MakeDuplicationPolicy(config.policy_options);
-    result = runner::RunExperimentWithPolicy(config, trace, *policy,
-                                             "DupSusUtil");
-  } else {
-    const auto kind = ParsePolicyKind(policy_name);
-    NETBATCH_CHECK(kind.has_value(), "unknown --policy (see --help)");
-    config.policy = *kind;
-    result = runner::RunExperimentOnTrace(config, trace);
-  }
-
+  result = runner::RunSpec(spec, trace);
   PrintResult(result, print_cdf);
   if (!json_out.empty()) {
     std::ofstream out(json_out);
