@@ -140,4 +140,40 @@ void BM_EndToEndSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
 
+// Counter-registry hot path: the per-event cost the engine pays for its
+// observability counters (resolve once, one integer add per Increment).
+void BM_CounterIncrement(benchmark::State& state) {
+  CounterRegistry registry;
+  Counter* counter = &registry.GetCounter("bench.events");
+  for (auto _ : state) {
+    counter->Increment();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterIncrement);
+
+// End-to-end simulation with the invariant auditor fully on (periodic
+// cluster-wide audits plus a pool-local audit on every transition) —
+// compare against BM_EndToEndSimulation for the audit overhead.
+void BM_EndToEndSimulationAudited(benchmark::State& state) {
+  const runner::Scenario scenario = runner::NormalLoadScenario(0.05);
+  const workload::Trace trace = workload::GenerateTrace(scenario.workload);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sched::RoundRobinScheduler scheduler;
+    const auto policy = core::MakePolicy(core::PolicyKind::kResSusUtil);
+    cluster::SimulationOptions options;
+    options.audit_period = MinutesToTicks(30);
+    options.audit_on_transitions = true;
+    cluster::NetBatchSimulation simulation(scenario.cluster, trace, scheduler,
+                                           *policy, options);
+    simulation.Run();
+    events += simulation.simulator().FiredEvents();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = fired events");
+}
+BENCHMARK(BM_EndToEndSimulationAudited)->Unit(benchmark::kMillisecond);
+
 }  // namespace

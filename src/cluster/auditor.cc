@@ -1,0 +1,33 @@
+#include "cluster/auditor.h"
+
+namespace netbatch::cluster {
+
+InvariantAuditor::InvariantAuditor(const NetBatchSimulation& simulation)
+    : InvariantAuditor(simulation, Options{}) {}
+
+InvariantAuditor::InvariantAuditor(const NetBatchSimulation& simulation,
+                                   Options options)
+    : simulation_(&simulation), options_(options) {
+  NETBATCH_CHECK(options_.period > 0, "audit period must be positive");
+}
+
+void InvariantAuditor::OnSample(Ticks now, const ClusterView& view) {
+  (void)view;
+  if (now < next_audit_) return;
+  next_audit_ = now + options_.period;
+  Audit();
+}
+
+void InvariantAuditor::Report(const InvariantViolation& violation) {
+  if (options_.fail_fast) {
+    NETBATCH_CHECK(false, violation.what);
+  }
+  violations_.push_back(violation);
+}
+
+void InvariantAuditor::Audit() {
+  ++audits_run_;
+  simulation_->AuditInvariants(*this);
+}
+
+}  // namespace netbatch::cluster

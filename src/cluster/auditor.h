@@ -1,0 +1,60 @@
+// Continuous invariant auditing over a running simulation.
+//
+// InvariantAuditor attaches as a SimulationObserver and re-audits the whole
+// cluster — every pool's resource conservation plus cluster-wide job-state
+// conservation (NetBatchSimulation::AuditInvariants) — every `period` of
+// simulated time, collecting violations instead of aborting. Tests attach
+// one to a scenario run and assert violations().empty(); corruption tests
+// desync state on purpose and assert the auditor notices. For the
+// abort-on-violation engine-internal flavor, see
+// SimulationOptions::audit_period / audit_on_transitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/invariants.h"
+#include "cluster/simulation.h"
+
+namespace netbatch::cluster {
+
+class InvariantAuditor final : public SimulationObserver,
+                               public InvariantSink {
+ public:
+  struct Options {
+    // Minimum simulated time between OnSample-driven audits. The observer
+    // is sampled every SimulationOptions::sample_period; audits run on the
+    // first sample at or after each period boundary.
+    Ticks period = kTicksPerMinute;
+    // Abort (NETBATCH_CHECK-style) on the first violation instead of
+    // collecting it.
+    bool fail_fast = false;
+  };
+
+  // `simulation` must outlive the auditor.
+  explicit InvariantAuditor(const NetBatchSimulation& simulation);
+  InvariantAuditor(const NetBatchSimulation& simulation, Options options);
+
+  // SimulationObserver: audits on the sampling cadence.
+  void OnSample(Ticks now, const ClusterView& view) override;
+
+  // InvariantSink: records (or aborts on) one violation.
+  void Report(const InvariantViolation& violation) override;
+
+  // Runs one full audit immediately.
+  void Audit();
+
+  std::uint64_t audits_run() const { return audits_run_; }
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+
+ private:
+  const NetBatchSimulation* simulation_;
+  Options options_;
+  Ticks next_audit_ = 0;
+  std::uint64_t audits_run_ = 0;
+  std::vector<InvariantViolation> violations_;
+};
+
+}  // namespace netbatch::cluster

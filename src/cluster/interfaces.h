@@ -72,6 +72,11 @@ class SimulationObserver {
  public:
   virtual ~SimulationObserver() = default;
 
+  // Lifecycle transitions the engine forwards from the pools (the job's
+  // last_transition_time() is the event timestamp).
+  virtual void OnJobEnqueued(const Job& job) { (void)job; }
+  virtual void OnJobStarted(const Job& job) { (void)job; }
+  virtual void OnJobResumed(const Job& job) { (void)job; }
   virtual void OnJobSuspended(const Job& job) { (void)job; }
   virtual void OnJobRescheduled(const Job& job, PoolId from, PoolId to,
                                 RescheduleReason reason) {

@@ -1,0 +1,39 @@
+// Invariant-audit plumbing shared by the pool and simulation layers.
+//
+// Audits walk cluster state and *report* violations to a sink instead of
+// aborting, so the same checks serve three masters: NETBATCH_CHECK-style
+// fail-fast validation (FailFastSink), the periodic InvariantAuditor that
+// counts violations across a run, and tests that deliberately corrupt state
+// and assert the audit notices.
+#pragma once
+
+#include <string>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace netbatch::cluster {
+
+struct InvariantViolation {
+  Ticks time = 0;
+  PoolId pool;        // invalid for cluster-wide (cross-pool) checks
+  std::string what;
+};
+
+class InvariantSink {
+ public:
+  virtual ~InvariantSink() = default;
+  virtual void Report(const InvariantViolation& violation) = 0;
+};
+
+// Aborts on the first violation — the behavior of the original
+// PhysicalPool::CheckInvariants, preserved for tests and debug use.
+class FailFastSink final : public InvariantSink {
+ public:
+  void Report(const InvariantViolation& violation) override {
+    NETBATCH_CHECK(false, violation.what);
+  }
+};
+
+}  // namespace netbatch::cluster

@@ -6,12 +6,13 @@ namespace netbatch::cluster {
 
 PhysicalPool::PhysicalPool(PoolId id, std::vector<Machine> machines,
                            JobTable& jobs, bool suspended_holds_memory,
-                           bool local_resume_first)
+                           bool local_resume_first, PoolObserver* observer)
     : id_(id),
       machines_(std::move(machines)),
       jobs_(&jobs),
       suspended_holds_memory_(suspended_holds_memory),
-      local_resume_first_(local_resume_first) {
+      local_resume_first_(local_resume_first),
+      observer_(observer) {
   for (const Machine& machine : machines_) {
     NETBATCH_CHECK(machine.pool() == id_, "machine assigned to wrong pool");
     total_cores_ += machine.cores_total();
@@ -24,10 +25,12 @@ Machine& PhysicalPool::MachineById(MachineId id) {
   return machines_[id.value()];
 }
 
-bool PhysicalPool::HasEligibleMachine(const workload::JobSpec& spec) const {
+bool PhysicalPool::HasEligibleMachine(const workload::JobSpec& spec,
+                                      bool require_online) const {
   return std::any_of(machines_.begin(), machines_.end(),
                      [&](const Machine& machine) {
-                       return machine.Eligible(spec.cores, spec.memory_mb);
+                       return (!require_online || machine.online()) &&
+                              machine.Eligible(spec.cores, spec.memory_mb);
                      });
 }
 
@@ -37,6 +40,7 @@ void PhysicalPool::StartOn(Job& job, Machine& machine, Ticks now) {
   job.set_pool(id_);
   job.OnStarted(now, machine.id(), machine.speed());
   busy_cores_ += job.spec().cores;
+  if (observer_ != nullptr) observer_->OnJobStarted(job);
 }
 
 void PhysicalPool::ResumeOn(Job& job, Machine& machine, Ticks now) {
@@ -48,6 +52,7 @@ void PhysicalPool::ResumeOn(Job& job, Machine& machine, Ticks now) {
   --suspended_count_;
   job.OnResumed(now);
   busy_cores_ += job.spec().cores;
+  if (observer_ != nullptr) observer_->OnJobResumed(job);
 }
 
 void PhysicalPool::Enqueue(Job& job, Ticks now) {
@@ -56,6 +61,7 @@ void PhysicalPool::Enqueue(Job& job, Ticks now) {
   waiting_index_.emplace(job.id(), key);
   waiting_cores_.insert(job.spec().cores);
   job.OnEnqueued(now, id_);
+  if (observer_ != nullptr) observer_->OnJobEnqueued(job);
 }
 
 bool PhysicalPool::PreemptionPlan(const Machine& machine,
@@ -110,12 +116,14 @@ bool PhysicalPool::PreemptionPlan(const Machine& machine,
          machine.memory_free_mb() + memory_gain >= spec.memory_mb;
 }
 
-PlaceResult PhysicalPool::TryPlace(Job& job, Ticks now, bool allow_queue) {
+PlaceResult PhysicalPool::TryPlace(Job& job, Ticks now, bool allow_queue,
+                                   bool require_online) {
   PlaceResult result;
   const workload::JobSpec& spec = job.spec();
 
-  // Step 0 (paper §2.1 last clause): refuse jobs no machine could ever run.
-  if (!HasEligibleMachine(spec)) {
+  // Step 0 (paper §2.1 last clause): refuse jobs no machine could ever run
+  // (with require_online: no machine could run *while the outage lasts*).
+  if (!HasEligibleMachine(spec, require_online)) {
     result.outcome = PlaceOutcome::kNotEligible;
     return result;
   }
@@ -189,18 +197,30 @@ MachineId PhysicalPool::DetachSuspended(Job& job) {
 }
 
 JobId PhysicalPool::ScheduleNextOn(Machine& machine, Ticks now) {
-  // Best suspended job parked on this machine that fits again.
+  // Best suspended job parked on this machine that fits again. Equal
+  // priorities resume the longest-suspended job first (total accumulated
+  // suspension, settled spells plus the current one) — breaking ties by
+  // registry order would make the suspension-time tail (Fig. 2) an artifact
+  // of insertion order and starve repeatedly-preempted jobs.
   JobId best_suspended;
   workload::Priority best_suspended_prio = 0;
+  Ticks best_suspended_for = -1;
   for (JobId id : machine.suspended()) {
     const Job& job = jobs_->at(id);
     const std::int32_t need_cores = job.spec().cores;
     const std::int64_t need_mem =
         suspended_holds_memory_ ? 0 : job.spec().memory_mb;
     if (!machine.Fits(need_cores, need_mem)) continue;
-    if (!best_suspended.valid() || job.priority() > best_suspended_prio) {
+    // suspend_ticks() settles only on resume; the current spell runs from
+    // the suspension transition to now.
+    const Ticks suspended_for =
+        job.suspend_ticks() + (now - job.last_transition_time());
+    if (!best_suspended.valid() || job.priority() > best_suspended_prio ||
+        (job.priority() == best_suspended_prio &&
+         suspended_for > best_suspended_for)) {
       best_suspended = id;
       best_suspended_prio = job.priority();
+      best_suspended_for = suspended_for;
     }
   }
 
@@ -332,7 +352,10 @@ std::vector<JobId> PhysicalPool::OnJobCompleted(Job& job, Ticks now) {
   return Backfill(machine.id(), now);
 }
 
-void PhysicalPool::CheckInvariants() const {
+void PhysicalPool::AuditInvariants(Ticks now, InvariantSink& sink) const {
+  const auto check = [&](bool ok, const std::string& what) {
+    if (!ok) sink.Report(InvariantViolation{now, id_, what});
+  };
   std::int64_t busy = 0;
   std::size_t suspended = 0;
   for (const Machine& machine : machines_) {
@@ -340,39 +363,45 @@ void PhysicalPool::CheckInvariants() const {
     std::int64_t memory_claimed = 0;
     for (JobId id : machine.running()) {
       const Job& job = jobs_->at(id);
-      NETBATCH_CHECK(job.state() == JobState::kRunning,
-                     "running registry holds non-running job");
-      NETBATCH_CHECK(job.machine() == machine.id(), "machine mismatch");
+      check(job.state() == JobState::kRunning,
+            "running registry holds non-running job");
+      check(job.machine() == machine.id(), "machine mismatch");
       cores_claimed += job.spec().cores;
       memory_claimed += job.spec().memory_mb;
     }
     for (JobId id : machine.suspended()) {
       const Job& job = jobs_->at(id);
-      NETBATCH_CHECK(job.state() == JobState::kSuspended,
-                     "suspended registry holds non-suspended job");
+      check(job.state() == JobState::kSuspended,
+            "suspended registry holds non-suspended job");
       if (suspended_holds_memory_) memory_claimed += job.spec().memory_mb;
     }
-    NETBATCH_CHECK(machine.cores_free() ==
-                       machine.cores_total() - cores_claimed,
-                   "core accounting out of sync");
-    NETBATCH_CHECK(machine.memory_free_mb() ==
-                       machine.memory_total_mb() - memory_claimed,
-                   "memory accounting out of sync");
+    check(machine.cores_free() == machine.cores_total() - cores_claimed,
+          "core accounting out of sync");
+    check(machine.memory_free_mb() ==
+              machine.memory_total_mb() - memory_claimed,
+          "memory accounting out of sync");
     busy += cores_claimed;
     suspended += machine.suspended().size();
   }
-  NETBATCH_CHECK(busy == busy_cores_, "pool busy-core counter out of sync");
-  NETBATCH_CHECK(suspended == suspended_count_,
-                 "pool suspended counter out of sync");
-  NETBATCH_CHECK(waiting_.size() == waiting_index_.size() &&
-                     waiting_.size() == waiting_cores_.size(),
-                 "wait queue indexes out of sync");
+  check(busy == busy_cores_, "pool busy-core counter out of sync");
+  check(suspended == suspended_count_, "pool suspended counter out of sync");
+  check(waiting_.size() == waiting_index_.size() &&
+            waiting_.size() == waiting_cores_.size(),
+        "wait queue indexes out of sync");
   for (const auto& [key, id] : waiting_) {
     const Job& job = jobs_->at(id);
-    NETBATCH_CHECK(job.state() == JobState::kWaiting,
-                   "wait queue holds non-waiting job");
-    NETBATCH_CHECK(job.pool() == id_, "wait queue holds foreign job");
+    check(job.state() == JobState::kWaiting,
+          "wait queue holds non-waiting job");
+    check(job.pool() == id_, "wait queue holds foreign job");
+    const auto index_it = waiting_index_.find(id);
+    check(index_it != waiting_index_.end() && index_it->second == key,
+          "wait queue index disagrees with queue entry");
   }
+}
+
+void PhysicalPool::CheckInvariants() const {
+  FailFastSink sink;
+  AuditInvariants(0, sink);
 }
 
 }  // namespace netbatch::cluster

@@ -18,10 +18,25 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/invariants.h"
 #include "cluster/job_table.h"
 #include "cluster/machine.h"
 
 namespace netbatch::cluster {
+
+// Hooks fired by a pool whenever it transitions a job (start / resume /
+// enqueue). Suspension and completion are driven by the simulation engine,
+// which already sees them; these three transitions happen deep inside pool
+// scheduling (backfill, preemption) and would otherwise be invisible. Each
+// hook fires *after* the pool's bookkeeping settled, so the pool is
+// audit-consistent inside the callback.
+class PoolObserver {
+ public:
+  virtual ~PoolObserver() = default;
+  virtual void OnJobStarted(const Job& job) { (void)job; }
+  virtual void OnJobResumed(const Job& job) { (void)job; }
+  virtual void OnJobEnqueued(const Job& job) { (void)job; }
+};
 
 enum class PlaceOutcome {
   kStarted,     // running on a machine (possibly after preempting others)
@@ -38,9 +53,11 @@ struct PlaceResult {
 class PhysicalPool {
  public:
   // `suspended_holds_memory` / `local_resume_first`: host-level suspension
-  // semantics (see ClusterConfig).
+  // semantics (see ClusterConfig). `observer` (optional, must outlive the
+  // pool) sees every start/resume/enqueue transition.
   PhysicalPool(PoolId id, std::vector<Machine> machines, JobTable& jobs,
-               bool suspended_holds_memory, bool local_resume_first = true);
+               bool suspended_holds_memory, bool local_resume_first = true,
+               PoolObserver* observer = nullptr);
 
   PoolId id() const { return id_; }
   const std::vector<Machine>& machines() const { return machines_; }
@@ -55,16 +72,25 @@ class PhysicalPool {
   std::size_t QueueLength() const { return waiting_.size(); }
   std::size_t SuspendedCount() const { return suspended_count_; }
 
-  // Capacity check only: can some machine here ever run this job?
-  bool HasEligibleMachine(const workload::JobSpec& spec) const;
+  // Capacity check: can some machine here ever run this job? With
+  // require_online, the machine must additionally be up right now — the
+  // virtual pool manager uses that form so a job whose only capacity-fit
+  // machines are all down bounces to the next candidate pool instead of
+  // waiting behind an outage (its commit pass falls back to the capacity-only
+  // form only when *no* candidate pool has an online eligible machine, which
+  // keeps rejection a pure capacity decision).
+  bool HasEligibleMachine(const workload::JobSpec& spec,
+                          bool require_online = false) const;
 
   // Attempts to place `job` (paper §2.1 steps 1-3). Performs all job/machine
   // state transitions; the caller wires events (completion scheduling,
   // victim notification). With allow_queue = false, step 3 is skipped and
   // kNotEligible is returned instead of queueing — used by the virtual pool
   // manager's availability-aware dispatch pass (§2.1: jobs are distributed
-  // "according to resource availability").
-  PlaceResult TryPlace(Job& job, Ticks now, bool allow_queue = true);
+  // "according to resource availability"). With require_online, the step-0
+  // eligibility gate also demands an online machine (see above).
+  PlaceResult TryPlace(Job& job, Ticks now, bool allow_queue = true,
+                       bool require_online = false);
 
   // Removes a job from this pool's wait queue (wait-timeout rescheduling).
   void RemoveFromQueue(JobId job);
@@ -99,9 +125,17 @@ class PhysicalPool {
   // jobs started/resumed.
   std::vector<JobId> RepairMachine(MachineId machine, Ticks now);
 
-  // Test support: verifies resource-conservation invariants (free counters
-  // match registered job demands; queue/suspended registries consistent).
+  // Walks this pool's resource-conservation invariants (free counters match
+  // registered job demands; queue/suspended registries consistent) and
+  // reports every violated one to `sink` instead of aborting.
+  void AuditInvariants(Ticks now, InvariantSink& sink) const;
+
+  // Fail-fast form: aborts on the first violated invariant.
   void CheckInvariants() const;
+
+  // Mutable machine access — for outage wiring and for corruption tests
+  // that desync a machine's accounting to prove the auditor fires.
+  Machine& MachineById(MachineId id);
 
  private:
   // Ordered wait-queue key: highest priority first, then FIFO.
@@ -110,8 +144,6 @@ class PhysicalPool {
     std::uint64_t seq;
     friend auto operator<=>(const WaitKey&, const WaitKey&) = default;
   };
-
-  Machine& MachineById(MachineId id);
 
   void StartOn(Job& job, Machine& machine, Ticks now);
   void ResumeOn(Job& job, Machine& machine, Ticks now);
@@ -132,6 +164,7 @@ class PhysicalPool {
   JobTable* jobs_;
   bool suspended_holds_memory_;
   bool local_resume_first_;
+  PoolObserver* observer_;
 
   std::int64_t total_cores_ = 0;
   std::int64_t busy_cores_ = 0;

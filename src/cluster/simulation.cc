@@ -31,9 +31,32 @@ NetBatchSimulation::NetBatchSimulation(const ClusterConfig& config,
     NETBATCH_CHECK(!machines.empty(), "pool without machines");
     pools_.push_back(std::make_unique<PhysicalPool>(
         pool_id, std::move(machines), jobs_, config.suspended_holds_memory,
-        config.local_resume_first));
+        config.local_resume_first,
+        /*observer=*/static_cast<PoolObserver*>(this)));
     total_cores_ += pools_.back()->total_cores();
   }
+
+  // Resolve the hot-path counter handles once; every engine transition then
+  // costs a single integer add.
+  hot_.submitted = &counters_.GetCounter("jobs.submitted");
+  hot_.enqueued = &counters_.GetCounter("jobs.enqueued");
+  hot_.started = &counters_.GetCounter("jobs.started");
+  hot_.resumed = &counters_.GetCounter("jobs.resumed");
+  hot_.preempted = &counters_.GetCounter("jobs.preempted");
+  hot_.completed = &counters_.GetCounter("jobs.completed");
+  hot_.rejected = &counters_.GetCounter("jobs.rejected");
+  hot_.rescheduled = &counters_.GetCounter("jobs.rescheduled");
+  hot_.duplicated = &counters_.GetCounter("jobs.duplicated");
+  hot_.evicted = &counters_.GetCounter("jobs.evicted");
+  hot_.bounced = &counters_.GetCounter("vpm.bounces");
+  hot_.failures = &counters_.GetCounter("outages.failures");
+  hot_.repairs = &counters_.GetCounter("outages.repairs");
+  hot_.audits = &counters_.GetCounter("audit.runs");
+  hot_.busy_cores = &counters_.GetGauge("cluster.busy_cores");
+  hot_.suspended_jobs = &counters_.GetGauge("cluster.suspended_jobs");
+  hot_.waiting_jobs = &counters_.GetGauge("cluster.waiting_jobs");
+  hot_.pending_events = &counters_.GetGauge("sim.pending_events");
+  hot_.fired_events = &counters_.GetGauge("sim.fired_events");
 
   JobId::ValueType max_id = 0;
   for (const workload::JobSpec& spec : trace.jobs()) {
@@ -83,6 +106,7 @@ void NetBatchSimulation::Run() {
   if (options_.sampling_enabled && !observers_.empty()) {
     sampler_ = std::make_unique<sim::PeriodicSampler>(
         sim_, Ticks{0}, options_.sample_period, [this](Ticks now) {
+          SampleGauges(now);
           for (SimulationObserver* obs : observers_) {
             obs->OnSample(now, *this);
           }
@@ -91,9 +115,20 @@ void NetBatchSimulation::Run() {
       return completed_count_ + rejected_count_ == total_jobs_;
     });
   }
+  if (options_.audit_period > 0) {
+    audit_sampler_ = std::make_unique<sim::PeriodicSampler>(
+        sim_, Ticks{0}, options_.audit_period,
+        [this](Ticks) { RunPeriodicAudit(); });
+    audit_sampler_->StopWhen([this](Ticks) {
+      return completed_count_ + rejected_count_ == total_jobs_;
+    });
+  }
   sim_.RunToCompletion();
   NETBATCH_CHECK(completed_count_ + rejected_count_ == total_jobs_,
                  "simulation ended with unfinished jobs");
+  // Leave the gauges describing the end-of-run state even when no sampler
+  // ran (sampling disabled or no observers attached).
+  SampleGauges(sim_.Now());
 }
 
 void NetBatchSimulation::MarkJobDone() {
@@ -107,10 +142,12 @@ void NetBatchSimulation::MarkJobDone() {
 void NetBatchSimulation::SubmitJob(JobId id) {
   Job& job = jobs_.at(id);
   job.OnSubmitted(sim_.Now());
+  hot_.submitted->Increment();
   const std::vector<PoolId> order = scheduler_->PoolOrder(job.spec(), *this);
   if (!OfferToPools(job, order)) {
     job.OnRejected(sim_.Now());
     ++rejected_count_;
+    hot_.rejected->Increment();
     for (SimulationObserver* obs : observers_) obs->OnJobRejected(job);
     NETBATCH_LOG(kWarn) << "job " << id.value()
                         << " rejected: no eligible machine in any pool";
@@ -133,10 +170,30 @@ bool NetBatchSimulation::OfferToPools(Job& job,
       return true;
     }
   }
-  // Commit pass: queue at the first pool that could ever run the job.
+  // Commit pass: queue at the first pool with an *online* eligible machine.
+  // A pool whose only capacity-fit machines are down would strand the job
+  // behind the outage, so it bounces to the next candidate instead.
   for (PoolId pool_id : order) {
     NETBATCH_CHECK(pool_id.value() < pools_.size(),
                    "scheduler chose unknown pool");
+    const PlaceResult result = pools_[pool_id.value()]->TryPlace(
+        job, sim_.Now(), /*allow_queue=*/true, /*require_online=*/true);
+    if (result.outcome == PlaceOutcome::kNotEligible) {
+      // Only an availability refusal is a bounce: the pool has the capacity
+      // but its eligible machines are down. Capacity refusals are the
+      // ordinary §2.1 step-4 path, not outage fallout.
+      if (pools_[pool_id.value()]->HasEligibleMachine(job.spec())) {
+        hot_.bounced->Increment();
+      }
+      continue;
+    }
+    HandlePlaceResult(job, pool_id, result);
+    return true;
+  }
+  // Fallback: every candidate pool's eligible machines are offline right
+  // now. Queue at the first capacity-eligible pool and wait for repair —
+  // rejection stays a pure capacity decision, never an availability one.
+  for (PoolId pool_id : order) {
     const PlaceResult result =
         pools_[pool_id.value()]->TryPlace(job, sim_.Now());
     if (result.outcome == PlaceOutcome::kNotEligible) continue;
@@ -185,6 +242,7 @@ void NetBatchSimulation::HandleVictims(const std::vector<JobId>& victims) {
     sim_.Cancel(victim.pending_event());
     victim.set_pending_event(sim::kNoEvent);
     ++preemption_count_;
+    hot_.preempted->Increment();
     for (SimulationObserver* obs : observers_) obs->OnJobSuspended(victim);
   }
   for (JobId victim_id : victims) {
@@ -215,6 +273,7 @@ void NetBatchSimulation::OnCompletionEvent(JobId id,
   if (job.twin().valid()) ResolveTwinRace(job);
   if (!job.is_duplicate()) {
     ++completed_count_;
+    hot_.completed->Increment();
     for (SimulationObserver* obs : observers_) obs->OnJobCompleted(job);
     MarkJobDone();
   }
@@ -233,6 +292,8 @@ void NetBatchSimulation::SpawnDuplicate(Job& original, PoolId target) {
   original.set_twin(duplicate.id());
   ++duplicate_count_;
   ++reschedule_count_;
+  hot_.duplicated->Increment();
+  hot_.rescheduled->Increment();
   for (SimulationObserver* obs : observers_) {
     obs->OnJobRescheduled(original, original.pool(), target,
                           RescheduleReason::kSuspension);
@@ -279,6 +340,7 @@ void NetBatchSimulation::ResolveTwinRace(Job& winner) {
     NETBATCH_CHECK(original.state() == JobState::kCompleted,
                    "twin completion did not complete the original");
     ++completed_count_;
+    hot_.completed->Increment();
     for (SimulationObserver* obs : observers_) obs->OnJobCompleted(original);
     MarkJobDone();
   } else {
@@ -337,6 +399,7 @@ void NetBatchSimulation::RestartJob(Job& job, PoolId target,
   }
   job.OnRestart(sim_.Now(), target, options_.checkpoint_interval);
   ++reschedule_count_;
+  hot_.rescheduled->Increment();
   for (SimulationObserver* obs : observers_) {
     obs->OnJobRescheduled(job, from, target, reason);
   }
@@ -389,6 +452,7 @@ void NetBatchSimulation::ScheduleNextFailure(PoolId pool, MachineId machine) {
 void NetBatchSimulation::OnMachineFailure(PoolId pool_id, MachineId machine) {
   PhysicalPool& pool = *pools_[pool_id.value()];
   ++outage_count_;
+  hot_.failures->Increment();
   const std::vector<JobId> evicted = pool.EvictMachine(machine, sim_.Now());
 
   // Evicted jobs lose their (un-checkpointed) progress and are resubmitted
@@ -400,6 +464,7 @@ void NetBatchSimulation::OnMachineFailure(PoolId pool_id, MachineId machine) {
     job.set_pending_event(sim::kNoEvent);
     job.OnRestart(sim_.Now(), job.pool(), options_.checkpoint_interval);
     ++eviction_count_;
+    hot_.evicted->Increment();
     const bool placed =
         OfferToPools(job, scheduler_->PoolOrder(job.spec(), *this));
     NETBATCH_CHECK(placed, "evicted job no longer placeable anywhere");
@@ -415,12 +480,131 @@ void NetBatchSimulation::OnMachineFailure(PoolId pool_id, MachineId machine) {
 
 void NetBatchSimulation::OnMachineRepair(PoolId pool_id, MachineId machine) {
   PhysicalPool& pool = *pools_[pool_id.value()];
+  hot_.repairs->Increment();
   FinishJobsScheduledBy(pool.RepairMachine(machine, sim_.Now()));
   ScheduleNextFailure(pool_id, machine);
 }
 
+// ---- observability --------------------------------------------------------
+
+void NetBatchSimulation::OnJobStarted(const Job& job) {
+  hot_.started->Increment();
+  for (SimulationObserver* obs : observers_) obs->OnJobStarted(job);
+  AuditTransition(job.pool());
+}
+
+void NetBatchSimulation::OnJobResumed(const Job& job) {
+  hot_.resumed->Increment();
+  for (SimulationObserver* obs : observers_) obs->OnJobResumed(job);
+  AuditTransition(job.pool());
+}
+
+void NetBatchSimulation::OnJobEnqueued(const Job& job) {
+  hot_.enqueued->Increment();
+  for (SimulationObserver* obs : observers_) obs->OnJobEnqueued(job);
+  AuditTransition(job.pool());
+}
+
+void NetBatchSimulation::AuditTransition(PoolId pool) {
+  if (!options_.audit_on_transitions) return;
+  hot_.audits->Increment();
+  FailFastSink sink;
+  pools_[pool.value()]->AuditInvariants(sim_.Now(), sink);
+}
+
+void NetBatchSimulation::RunPeriodicAudit() {
+  hot_.audits->Increment();
+  FailFastSink sink;
+  AuditInvariants(sink);
+}
+
+void NetBatchSimulation::SampleGauges(Ticks now) {
+  (void)now;
+  std::int64_t busy = 0;
+  std::size_t waiting = 0;
+  for (const auto& pool : pools_) {
+    busy += pool->busy_cores();
+    waiting += pool->QueueLength();
+  }
+  hot_.busy_cores->Set(busy);
+  hot_.suspended_jobs->Set(static_cast<std::int64_t>(SuspendedJobCount()));
+  hot_.waiting_jobs->Set(static_cast<std::int64_t>(waiting));
+  hot_.pending_events->Set(
+      static_cast<std::int64_t>(sim_.PendingEvents()));
+  hot_.fired_events->Set(static_cast<std::int64_t>(sim_.FiredEvents()));
+}
+
+void NetBatchSimulation::AuditInvariants(InvariantSink& sink) const {
+  const Ticks now = sim_.Now();
+  for (const auto& pool : pools_) pool->AuditInvariants(now, sink);
+
+  // Cluster-wide conservation. Pools audited their own registries above;
+  // this pass cross-checks job states (the other side of the ledger)
+  // against the pool aggregates and the engine's terminal counters.
+  const auto check = [&](bool ok, const char* what) {
+    if (!ok) sink.Report(InvariantViolation{now, PoolId(), what});
+  };
+  std::size_t running = 0;
+  std::size_t waiting = 0;
+  std::size_t suspended = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::int64_t running_cores = 0;
+  for (const Job& job : jobs_) {
+    switch (job.state()) {
+      case JobState::kRunning:
+        ++running;
+        running_cores += job.spec().cores;
+        break;
+      case JobState::kWaiting:
+        ++waiting;
+        break;
+      case JobState::kSuspended:
+        ++suspended;
+        break;
+      case JobState::kCompleted:
+        // Duplicates are credited to their original, never to the engine's
+        // completion counter.
+        if (!job.is_duplicate()) ++completed;
+        break;
+      case JobState::kRejected:
+        ++rejected;
+        break;
+      default:
+        break;
+    }
+  }
+  std::int64_t busy = 0;
+  std::size_t pool_suspended = 0;
+  std::size_t pool_waiting = 0;
+  std::size_t pool_running = 0;
+  for (const auto& pool : pools_) {
+    busy += pool->busy_cores();
+    pool_suspended += pool->SuspendedCount();
+    pool_waiting += pool->QueueLength();
+    for (const Machine& machine : pool->machines()) {
+      pool_running += machine.running().size();
+    }
+  }
+  check(busy == running_cores,
+        "cluster busy cores != sum of running job core demands");
+  check(pool_running == running,
+        "machine running registries != jobs in running state");
+  check(pool_suspended == suspended,
+        "pool suspended counts != jobs in suspended state");
+  check(pool_waiting == waiting,
+        "pool wait queues != jobs in waiting state");
+  check(completed == completed_count_,
+        "completion counter != completed (non-duplicate) jobs");
+  check(rejected == rejected_count_,
+        "rejection counter != rejected jobs");
+  check(completed_count_ + rejected_count_ <= total_jobs_,
+        "terminal counters exceed total trace jobs");
+}
+
 void NetBatchSimulation::CheckInvariants() const {
-  for (const auto& pool : pools_) pool->CheckInvariants();
+  FailFastSink sink;
+  AuditInvariants(sink);
 }
 
 double NetBatchSimulation::PoolUtilization(PoolId pool) const {

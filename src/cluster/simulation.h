@@ -19,9 +19,11 @@
 
 #include "cluster/config.h"
 #include "cluster/interfaces.h"
+#include "cluster/invariants.h"
 #include "cluster/job_table.h"
 #include "cluster/pool.h"
 #include "cluster/view.h"
+#include "common/counters.h"
 #include "common/rng.h"
 #include "sim/sampler.h"
 #include "sim/simulator.h"
@@ -75,9 +77,16 @@ struct SimulationOptions {
   Ticks sample_period = kTicksPerMinute;
   bool sampling_enabled = true;
   DispatchMode dispatch_mode = DispatchMode::kPreferImmediateStart;
+  // Continuous invariant auditing (opt-in; both abort on the first violated
+  // invariant, like NETBATCH_CHECK). audit_period > 0 runs a full cluster
+  // audit — every pool plus cluster-wide conservation — every that many
+  // ticks; audit_on_transitions additionally audits the affected pool after
+  // every pool-level job transition (start / resume / enqueue).
+  Ticks audit_period = 0;
+  bool audit_on_transitions = false;
 };
 
-class NetBatchSimulation final : public ClusterView {
+class NetBatchSimulation final : public ClusterView, private PoolObserver {
  public:
   // `scheduler` and `policy` must outlive the simulation.
   NetBatchSimulation(const ClusterConfig& config,
@@ -108,8 +117,25 @@ class NetBatchSimulation final : public ClusterView {
   const PhysicalPool& pool(PoolId id) const { return *pools_[id.value()]; }
   sim::Simulator& simulator() { return sim_; }
 
-  // Test support: validates every pool's resource invariants.
+  // The per-simulation observability registry. Counters (jobs.*, vpm.*,
+  // outages.*, audit.*) are maintained on every engine transition; gauges
+  // (cluster.*, sim.*) are refreshed each sampling period and once at the
+  // end of Run(). Per-instance by design: sweeps run simulations in
+  // parallel, so a process-global registry would race.
+  const CounterRegistry& counters() const { return counters_; }
+  CounterRegistry& counters() { return counters_; }
+
+  // Audits every pool's resource invariants plus cluster-wide conservation
+  // (job states vs pool registries, busy cores vs running jobs, terminal
+  // counters vs terminal states), reporting violations to `sink`.
+  void AuditInvariants(InvariantSink& sink) const;
+
+  // Fail-fast form of AuditInvariants: aborts on the first violation.
   void CheckInvariants() const;
+
+  // Test support: mutable pool access, for corruption tests that desync
+  // pool/machine accounting to prove the auditor fires.
+  PhysicalPool& mutable_pool(PoolId id) { return *pools_[id.value()]; }
 
   // --- ClusterView ----------------------------------------------------------
   Ticks Now() const override { return sim_.Now(); }
@@ -122,6 +148,15 @@ class NetBatchSimulation final : public ClusterView {
   std::size_t SuspendedJobCount() const override;
 
  private:
+  // PoolObserver: pools report job transitions here; the engine bumps
+  // counters, forwards to SimulationObservers, and (when enabled) audits.
+  void OnJobStarted(const Job& job) override;
+  void OnJobResumed(const Job& job) override;
+  void OnJobEnqueued(const Job& job) override;
+  void AuditTransition(PoolId pool);
+  void RunPeriodicAudit();
+  void SampleGauges(Ticks now);
+
   void SubmitJob(JobId id);
   // Offers the job to pools in `order`; returns false if every pool refused.
   bool OfferToPools(Job& job, const std::vector<PoolId>& order);
@@ -153,6 +188,32 @@ class NetBatchSimulation final : public ClusterView {
   SimulationOptions options_;
   std::vector<SimulationObserver*> observers_;
   std::unique_ptr<sim::PeriodicSampler> sampler_;
+  std::unique_ptr<sim::PeriodicSampler> audit_sampler_;
+
+  CounterRegistry counters_;
+  // Hot-path handles into counters_, resolved once at construction.
+  struct HotCounters {
+    Counter* submitted = nullptr;
+    Counter* enqueued = nullptr;
+    Counter* started = nullptr;
+    Counter* resumed = nullptr;
+    Counter* preempted = nullptr;
+    Counter* completed = nullptr;
+    Counter* rejected = nullptr;
+    Counter* rescheduled = nullptr;
+    Counter* duplicated = nullptr;
+    Counter* evicted = nullptr;
+    Counter* bounced = nullptr;
+    Counter* failures = nullptr;
+    Counter* repairs = nullptr;
+    Counter* audits = nullptr;
+    Gauge* busy_cores = nullptr;
+    Gauge* suspended_jobs = nullptr;
+    Gauge* waiting_jobs = nullptr;
+    Gauge* pending_events = nullptr;
+    Gauge* fired_events = nullptr;
+  };
+  HotCounters hot_;
 
   std::int64_t total_cores_ = 0;
   std::size_t total_jobs_ = 0;

@@ -1,0 +1,59 @@
+#include "common/counters.h"
+
+#include <sstream>
+
+namespace netbatch {
+
+Counter& CounterRegistry::GetCounter(std::string_view name) {
+  auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) return counters_[it->second];
+  counter_index_.emplace(std::string(name), counters_.size());
+  counter_names_.emplace_back(name);
+  return counters_.emplace_back();
+}
+
+Gauge& CounterRegistry::GetGauge(std::string_view name) {
+  auto it = gauge_index_.find(std::string(name));
+  if (it != gauge_index_.end()) return gauges_[it->second];
+  gauge_index_.emplace(std::string(name), gauges_.size());
+  gauge_names_.emplace_back(name);
+  return gauges_.emplace_back();
+}
+
+const Counter* CounterRegistry::FindCounter(std::string_view name) const {
+  auto it = counter_index_.find(std::string(name));
+  return it == counter_index_.end() ? nullptr : &counters_[it->second];
+}
+
+const Gauge* CounterRegistry::FindGauge(std::string_view name) const {
+  auto it = gauge_index_.find(std::string(name));
+  return it == gauge_index_.end() ? nullptr : &gauges_[it->second];
+}
+
+CounterSnapshot CounterRegistry::TakeSnapshot() const {
+  CounterSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    snap.counters.emplace_back(counter_names_[i], counters_[i].value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    snap.gauges.emplace_back(gauge_names_[i], gauges_[i].value(),
+                             gauges_[i].max());
+  }
+  return snap;
+}
+
+std::string CounterRegistry::Render() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    out << counter_names_[i] << "=" << counters_[i].value() << "\n";
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    out << gauge_names_[i] << "=" << gauges_[i].value()
+        << " (max=" << gauges_[i].max() << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace netbatch

@@ -1,0 +1,173 @@
+#include "metrics/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cluster/job.h"
+
+namespace netbatch::metrics {
+
+namespace {
+
+// One simulated tick (a second) renders as 1000 µs on the trace timeline.
+long long TicksToTraceUs(Ticks ticks) {
+  return static_cast<long long>(ticks) * 1000;
+}
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return std::string(buf);
+}
+
+}  // namespace
+
+void ChromeTraceExporter::EnsureProcessNamed(int pid) {
+  if (!named_pids_.insert(pid).second) return;
+  std::ostringstream out;
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"name\":\""
+      << (pid == 0 ? std::string("cluster")
+                   : "pool " + std::to_string(pid - 1))
+      << "\"}}";
+  events_.push_back(out.str());
+}
+
+void ChromeTraceExporter::OpenJobPhase(const cluster::Job& job,
+                                       const char* name, Ticks start,
+                                       int pid) {
+  EnsureProcessNamed(pid);
+  if (start > latest_) latest_ = start;
+  open_[job.id()] = OpenPhase{name, start, pid};
+}
+
+void ChromeTraceExporter::CloseJobPhase(JobId job, Ticks end) {
+  const auto it = open_.find(job);
+  if (it == open_.end()) return;
+  const OpenPhase& phase = it->second;
+  std::ostringstream out;
+  out << "{\"name\":\"" << phase.name << "\",\"ph\":\"X\",\"ts\":"
+      << TicksToTraceUs(phase.start)
+      << ",\"dur\":" << TicksToTraceUs(end - phase.start)
+      << ",\"pid\":" << phase.pid << ",\"tid\":" << job.value()
+      << ",\"cat\":\"job\"}";
+  events_.push_back(out.str());
+  open_.erase(it);
+}
+
+void ChromeTraceExporter::EmitInstant(const char* name, Ticks when, int pid,
+                                      JobId job) {
+  EnsureProcessNamed(pid);
+  if (when > latest_) latest_ = when;
+  std::ostringstream out;
+  out << "{\"name\":\"" << name << "\",\"ph\":\"i\",\"ts\":"
+      << TicksToTraceUs(when) << ",\"pid\":" << pid
+      << ",\"tid\":" << job.value() << ",\"s\":\"t\",\"cat\":\"job\"}";
+  events_.push_back(out.str());
+}
+
+void ChromeTraceExporter::EmitCounter(const char* name, Ticks when, int pid,
+                                      double value) {
+  EnsureProcessNamed(pid);
+  if (when > latest_) latest_ = when;
+  std::ostringstream out;
+  out << "{\"name\":\"" << name << "\",\"ph\":\"C\",\"ts\":"
+      << TicksToTraceUs(when) << ",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"value\":" << FormatDouble(value) << "}}";
+  events_.push_back(out.str());
+}
+
+void ChromeTraceExporter::OnJobEnqueued(const cluster::Job& job) {
+  const Ticks now = job.last_transition_time();
+  CloseJobPhase(job.id(), now);
+  OpenJobPhase(job, "waiting", now, PoolPid(job.pool()));
+}
+
+void ChromeTraceExporter::OnJobStarted(const cluster::Job& job) {
+  const Ticks now = job.last_transition_time();
+  CloseJobPhase(job.id(), now);
+  OpenJobPhase(job, "running", now, PoolPid(job.pool()));
+}
+
+void ChromeTraceExporter::OnJobResumed(const cluster::Job& job) {
+  const Ticks now = job.last_transition_time();
+  CloseJobPhase(job.id(), now);
+  OpenJobPhase(job, "running", now, PoolPid(job.pool()));
+}
+
+void ChromeTraceExporter::OnJobSuspended(const cluster::Job& job) {
+  const Ticks now = job.last_transition_time();
+  CloseJobPhase(job.id(), now);
+  OpenJobPhase(job, "suspended", now, PoolPid(job.pool()));
+}
+
+void ChromeTraceExporter::OnJobRescheduled(const cluster::Job& job,
+                                           PoolId from, PoolId to,
+                                           cluster::RescheduleReason reason) {
+  const Ticks now = job.last_transition_time();
+  CloseJobPhase(job.id(), now);
+  EmitInstant(reason == cluster::RescheduleReason::kSuspension
+                  ? "reschedule:suspension"
+                  : "reschedule:wait-timeout",
+              now, PoolPid(from), job.id());
+  // The transit slice lands in the destination pool's track: that is where
+  // the job will materialize once the transfer overhead elapses.
+  OpenJobPhase(job, "transit", now, PoolPid(to));
+}
+
+void ChromeTraceExporter::OnJobCompleted(const cluster::Job& job) {
+  if (job.last_transition_time() > latest_) {
+    latest_ = job.last_transition_time();
+  }
+  CloseJobPhase(job.id(), job.last_transition_time());
+}
+
+void ChromeTraceExporter::OnJobRejected(const cluster::Job& job) {
+  CloseJobPhase(job.id(), job.last_transition_time());
+  EmitInstant("rejected", job.last_transition_time(), /*pid=*/0, job.id());
+}
+
+void ChromeTraceExporter::OnSample(Ticks now,
+                                   const cluster::ClusterView& view) {
+  for (std::size_t p = 0; p < view.PoolCount(); ++p) {
+    const PoolId pool(static_cast<PoolId::ValueType>(p));
+    EmitCounter("utilization", now, PoolPid(pool),
+                view.PoolUtilization(pool));
+    EmitCounter("queue_depth", now, PoolPid(pool),
+                static_cast<double>(view.PoolQueueLength(pool)));
+  }
+  EmitCounter("suspended_jobs", now, /*pid=*/0,
+              static_cast<double>(view.SuspendedJobCount()));
+  EmitCounter("utilization", now, /*pid=*/0, view.ClusterUtilization());
+}
+
+void ChromeTraceExporter::Finish() {
+  // Close in a deterministic order: collect ids first (CloseJobPhase
+  // mutates the map).
+  std::vector<JobId> ids;
+  ids.reserve(open_.size());
+  for (const auto& [id, phase] : open_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (JobId id : ids) CloseJobPhase(id, latest_);
+}
+
+std::string ChromeTraceExporter::ToJson() const {
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += events_[i];
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool ChromeTraceExporter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToJson() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace netbatch::metrics

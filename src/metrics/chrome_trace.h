@@ -1,0 +1,70 @@
+// Structured trace export in Chrome-trace (Perfetto-compatible) JSON.
+//
+// ChromeTraceExporter observes a simulation and records every job's
+// lifecycle as complete ("X") slices — waiting / running / suspended /
+// transit — plus per-pool utilization and queue-depth counter ("C") series
+// from the sampling loop. Load the output in chrome://tracing or
+// https://ui.perfetto.dev: each physical pool renders as a process, each
+// job as a thread inside the pool currently hosting it.
+//
+// Timebase: one simulation tick (one second of simulated time) is emitted
+// as 1000 µs, so a simulated minute reads as 60 ms on the timeline.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/interfaces.h"
+
+namespace netbatch::metrics {
+
+class ChromeTraceExporter final : public cluster::SimulationObserver {
+ public:
+  void OnJobEnqueued(const cluster::Job& job) override;
+  void OnJobStarted(const cluster::Job& job) override;
+  void OnJobResumed(const cluster::Job& job) override;
+  void OnJobSuspended(const cluster::Job& job) override;
+  void OnJobRescheduled(const cluster::Job& job, PoolId from, PoolId to,
+                        cluster::RescheduleReason reason) override;
+  void OnJobCompleted(const cluster::Job& job) override;
+  void OnJobRejected(const cluster::Job& job) override;
+  void OnSample(Ticks now, const cluster::ClusterView& view) override;
+
+  // Closes any still-open job phases at the latest simulated time seen.
+  // Call once after the run; phases left open (e.g. a killed duplicate's)
+  // are otherwise dropped from the output.
+  void Finish();
+
+  // The complete {"traceEvents": [...]} document.
+  std::string ToJson() const;
+
+  // Writes ToJson() to `path`; false when the file cannot be opened.
+  bool WriteFile(const std::string& path) const;
+
+  std::size_t event_count() const { return events_.size(); }
+
+ private:
+  struct OpenPhase {
+    const char* name;  // "waiting" / "running" / "suspended" / "transit"
+    Ticks start = 0;
+    int pid = 0;
+  };
+
+  // pid 0 is the cluster-wide pseudo-process; pool p is pid p + 1.
+  static int PoolPid(PoolId pool) { return static_cast<int>(pool.value()) + 1; }
+  void EnsureProcessNamed(int pid);
+  void OpenJobPhase(const cluster::Job& job, const char* name, Ticks start,
+                    int pid);
+  void CloseJobPhase(JobId job, Ticks end);
+  void EmitInstant(const char* name, Ticks when, int pid, JobId job);
+  void EmitCounter(const char* name, Ticks when, int pid, double value);
+
+  std::vector<std::string> events_;  // pre-serialized JSON objects
+  std::unordered_map<JobId, OpenPhase> open_;
+  std::unordered_set<int> named_pids_;
+  Ticks latest_ = 0;  // latest simulated time observed (Finish() close time)
+};
+
+}  // namespace netbatch::metrics

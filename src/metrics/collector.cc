@@ -57,8 +57,11 @@ MetricsReport MetricsCollector::BuildReport(
     // Duplicates are shadow copies: their outcome is already credited to
     // their original (completion time, extra waste), so they are not jobs.
     if (job.is_duplicate()) continue;
-    ++report.job_count;
+    // Rejected jobs never entered the system: they are tracked only in
+    // rejected_count, and counting them in job_count would deflate
+    // suspend_rate (its denominator) whenever rejections occur.
     if (job.state() == cluster::JobState::kRejected) continue;
+    ++report.job_count;
 
     const double ct = TicksToMinutes(job.completion_time() - job.submit_time());
     const double wait = TicksToMinutes(job.wait_ticks());

@@ -18,6 +18,8 @@ namespace netbatch::metrics {
 struct MetricsReport {
   std::string label;  // policy / scenario name for table rendering
 
+  // Jobs the cluster accepted (excludes rejected jobs and duplicate shadow
+  // copies) — the denominator of suspend_rate and of every per-job average.
   std::size_t job_count = 0;
   std::size_t completed_count = 0;
   std::size_t rejected_count = 0;

@@ -182,7 +182,12 @@ ExperimentResult RunSpecWithPolicy(
   for (cluster::SimulationObserver* observer : extra_observers) {
     simulation.AddObserver(observer);
   }
+  const auto run_start = std::chrono::steady_clock::now();
   simulation.Run();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    run_start)
+          .count();
 
   ExperimentResult result;
   result.report = collector.BuildReport(simulation, std::move(label));
@@ -190,6 +195,8 @@ ExperimentResult RunSpecWithPolicy(
   result.suspension_cdf = collector.SuspensionTimeCdf();
   result.trace_stats = trace.Stats();
   result.fired_events = simulation.simulator().FiredEvents();
+  result.wall_seconds = wall_seconds;
+  result.counters = simulation.counters().TakeSnapshot();
   return result;
 }
 

@@ -31,6 +31,7 @@
 
 #include "cluster/config.h"
 #include "cluster/simulation.h"
+#include "common/counters.h"
 #include "common/stats.h"
 #include "core/policies.h"
 #include "metrics/collector.h"
@@ -57,6 +58,18 @@ struct ExperimentResult {
   EmpiricalCdf suspension_cdf;  // per-job suspension minutes (Fig. 2)
   workload::TraceStats trace_stats;
   std::uint64_t fired_events = 0;
+  // Profiling: this run's wall-clock execution time (simulation only, not
+  // trace generation) and the end-of-run snapshot of the simulation's
+  // counter registry (jobs.*, vpm.*, outages.*, audit.*, cluster.*).
+  double wall_seconds = 0;
+  CounterSnapshot counters;
+
+  // Simulator throughput; 0 when the run was too fast to time.
+  double EventsPerSecond() const {
+    return wall_seconds > 0
+               ? static_cast<double>(fired_events) / wall_seconds
+               : 0.0;
+  }
 };
 
 // A caller-built policy plus any observers it depends on (e.g. the

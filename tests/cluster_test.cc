@@ -405,6 +405,64 @@ TEST(PoolTest, BackfillPrefersQueuedHighWithPriorityOrder) {
   fixture.pool->CheckInvariants();
 }
 
+TEST(PoolTest, ResumePrefersLongestSuspendedAmongEqualPriority) {
+  // Choreograph two equal-priority suspended jobs on m2 whose *registry*
+  // order ([lowB, lowA]) disagrees with their accumulated suspension time
+  // (lowA carries an earlier settled spell). Resume order must follow total
+  // suspension, not insertion order.
+  PoolFixture fixture;
+  // Park high-priority fillers on m0/m1 so every placement below hits m2
+  // and the fillers are never preemption victims.
+  fixture.pool->TryPlace(
+      fixture.Add(Spec(10, 4, 8192, MinutesToTicks(1000),
+                       workload::kHighPriority)),
+      0);
+  fixture.pool->TryPlace(
+      fixture.Add(Spec(11, 4, 8192, MinutesToTicks(1000),
+                       workload::kHighPriority)),
+      0);
+
+  Job& low_a = fixture.Add(Spec(0, 4, 4096, MinutesToTicks(1000)));
+  fixture.pool->TryPlace(low_a, 0);  // m2, 12 cores left
+  Job& high1 = fixture.Add(
+      Spec(2, 12, 16384, MinutesToTicks(20), workload::kHighPriority));
+  fixture.pool->TryPlace(high1, 0);  // m2 now full
+
+  // lowA's settled spell: preempted at t=10, resumed by backfill at t=15.
+  Job& high2 = fixture.Add(
+      Spec(3, 4, 4096, MinutesToTicks(5), workload::kHighPriority));
+  fixture.pool->TryPlace(high2, MinutesToTicks(10));
+  ASSERT_EQ(low_a.state(), JobState::kSuspended);
+  fixture.pool->OnJobCompleted(high2, MinutesToTicks(15));
+  ASSERT_EQ(low_a.state(), JobState::kRunning);
+  EXPECT_EQ(low_a.suspend_ticks(), MinutesToTicks(5));
+
+  fixture.pool->OnJobCompleted(high1, MinutesToTicks(20));
+  Job& low_b = fixture.Add(Spec(1, 8, 16384, MinutesToTicks(1000)));
+  fixture.pool->TryPlace(low_b, MinutesToTicks(20));
+  ASSERT_EQ(low_b.state(), JobState::kRunning);
+
+  // A 16-core preemptor suspends both lows: lowB first (least attempt
+  // progress), so the suspension registry reads [lowB, lowA].
+  Job& high3 = fixture.Add(
+      Spec(4, 16, 16384, MinutesToTicks(5), workload::kHighPriority));
+  fixture.pool->TryPlace(high3, MinutesToTicks(25));
+  ASSERT_EQ(low_a.state(), JobState::kSuspended);
+  ASSERT_EQ(low_b.state(), JobState::kSuspended);
+  ASSERT_EQ(fixture.pool->machines()[2].suspended().front(), JobId(1));
+
+  // At t=30: lowB has 5 suspended minutes, lowA 5 settled + 5 current = 10.
+  // The longest-suspended job resumes first despite its registry position.
+  const std::vector<JobId> resumed =
+      fixture.pool->OnJobCompleted(high3, MinutesToTicks(30));
+  ASSERT_EQ(resumed.size(), 2u);
+  EXPECT_EQ(resumed[0], JobId(0));  // lowA: longest suspended
+  EXPECT_EQ(resumed[1], JobId(1));
+  EXPECT_EQ(low_a.state(), JobState::kRunning);
+  EXPECT_EQ(low_b.state(), JobState::kRunning);
+  fixture.pool->CheckInvariants();
+}
+
 TEST(PoolTest, DetachSuspendedFreesHeldMemory) {
   PoolFixture fixture(/*holds_memory=*/true);
   Job& low = fixture.Add(Spec(0, 4, 8000));

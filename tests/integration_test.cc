@@ -106,8 +106,9 @@ TEST_P(PolicySweepTest, RunCompletesWithConsistentAccounting) {
                                                 .Build());
   const metrics::MetricsReport& report = result.report;
 
-  // Conservation: every job ends completed or rejected.
-  EXPECT_EQ(report.completed_count + report.rejected_count, report.job_count);
+  // Conservation: every accepted job ends completed (job_count excludes
+  // rejections, which are tracked separately in rejected_count).
+  EXPECT_EQ(report.completed_count, report.job_count);
   EXPECT_EQ(report.rejected_count, 0u);  // preset jobs always fit somewhere
 
   // Metric sanity.

@@ -70,6 +70,40 @@ TEST(MetricsCollectorTest, ReportMatchesHandComputedRun) {
   EXPECT_EQ(report.preemption_count, 1u);
 }
 
+TEST(MetricsCollectorTest, RejectedJobsDoNotDeflateSuspendRate) {
+  // Same hand-computed run as above, plus a job no machine could ever run.
+  // The rejected job must not land in job_count: one of two *accepted* jobs
+  // suspends, so suspend_rate is 0.5 — not 1/3, which the old accounting
+  // (counting the rejected job in the denominator) reported.
+  workload::JobSpec oversized;
+  oversized.id = JobId(2);
+  oversized.submit_time = 0;
+  oversized.runtime = MinutesToTicks(10);
+  oversized.cores = 8;  // the one machine has 4
+  oversized.memory_mb = 1024;
+  const workload::Trace trace({
+      Spec(0, 0, MinutesToTicks(100)),
+      Spec(1, MinutesToTicks(40), MinutesToTicks(30), workload::kHighPriority),
+      oversized,
+  });
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  cluster::NetBatchSimulation sim(OneMachineCluster(), trace, scheduler,
+                                  policy);
+  MetricsCollector collector;
+  sim.AddObserver(&collector);
+  sim.Run();
+
+  const MetricsReport report = collector.BuildReport(sim, "NoRes");
+  EXPECT_EQ(report.rejected_count, 1u);
+  EXPECT_EQ(report.job_count, 2u);  // accepted jobs only
+  EXPECT_EQ(report.completed_count, 2u);
+  EXPECT_EQ(report.suspended_job_count, 1u);
+  EXPECT_DOUBLE_EQ(report.suspend_rate, 0.5);
+  // Per-job averages keep the accepted-only denominator too.
+  EXPECT_DOUBLE_EQ(report.avg_suspend_minutes, 15.0);
+}
+
 TEST(MetricsCollectorTest, SamplesRecordUtilizationAndCounts) {
   const workload::Trace trace({Spec(0, 0, MinutesToTicks(10))});
   sched::RoundRobinScheduler scheduler;

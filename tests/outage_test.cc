@@ -60,6 +60,81 @@ TEST(OutageTest, EvictMachineDetachesEverything) {
   pool.CheckInvariants();
 }
 
+ClusterConfig TwoSinglePoolCluster() {
+  ClusterConfig config;
+  for (int p = 0; p < 2; ++p) {
+    PoolConfig pool;
+    pool.machine_groups.push_back(
+        {.count = 1, .cores = 4, .memory_mb = 16384, .speed = 1.0});
+    config.pools.push_back(pool);
+  }
+  return config;
+}
+
+TEST(OutageTest, JobBouncesToNextPoolWhenEligibleMachinesOffline) {
+  // Pool 0's only machine is down. The virtual pool manager must not strand
+  // the job behind the outage: it bounces to pool 1 and completes there.
+  const workload::Trace trace({Spec(0, 0, MinutesToTicks(10), 4)});
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  NetBatchSimulation sim(TwoSinglePoolCluster(), trace, scheduler, policy);
+  sim.mutable_pool(PoolId(0)).EvictMachine(MachineId(0), 0);
+  sim.Run();
+
+  const Job& job = sim.jobs().at(JobId(0));
+  EXPECT_EQ(job.state(), JobState::kCompleted);
+  EXPECT_EQ(job.pool(), PoolId(1));
+  sim.CheckInvariants();
+}
+
+TEST(OutageTest, OfflinePoolRefusalIsCountedAsBounce) {
+  // Round-robin rotates per submission: job 0 sees [0,1], job 1 sees [1,0],
+  // job 2 sees [0,1]. With pool 0 down and pool 1 busy, job 2's commit pass
+  // consults pool 0 first, gets refused for the outage, and queues at pool 1
+  // — that refusal is the one vpm.bounces tick.
+  const workload::Trace trace({
+      Spec(0, 0, MinutesToTicks(30), 4),
+      Spec(1, MinutesToTicks(1), MinutesToTicks(10), 4),
+      Spec(2, MinutesToTicks(2), MinutesToTicks(10), 4),
+  });
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  NetBatchSimulation sim(TwoSinglePoolCluster(), trace, scheduler, policy);
+  sim.mutable_pool(PoolId(0)).EvictMachine(MachineId(0), 0);
+  sim.Run();
+
+  EXPECT_EQ(sim.completed_count(), 3u);
+  for (const Job& job : sim.jobs()) {
+    EXPECT_EQ(job.pool(), PoolId(1));
+  }
+  const Counter* bounces = sim.counters().FindCounter("vpm.bounces");
+  ASSERT_NE(bounces, nullptr);
+  EXPECT_EQ(bounces->value(), 1u);
+  sim.CheckInvariants();
+}
+
+TEST(OutageTest, JobWaitsForRepairWhenEveryEligibleMachineOffline) {
+  // When *no* candidate pool has an online eligible machine, the job must
+  // not be rejected — rejection is a capacity decision. It queues at the
+  // first capacity-eligible pool and waits for the repair.
+  const workload::Trace trace({Spec(0, 0, MinutesToTicks(10), 4)});
+  sched::RoundRobinScheduler scheduler;
+  core::NoResPolicy policy;
+  ClusterConfig config;
+  PoolConfig pool;
+  pool.machine_groups.push_back(
+      {.count = 1, .cores = 4, .memory_mb = 16384, .speed = 1.0});
+  config.pools.push_back(pool);
+  NetBatchSimulation sim(config, trace, scheduler, policy);
+  sim.mutable_pool(PoolId(0)).EvictMachine(MachineId(0), 0);
+  // The fallback pass parks the job in the (capacity-eligible) pool's queue
+  // to wait out the outage. Were it rejected instead, the run would finish
+  // cleanly with rejected_count == 1; with no repair ever scheduled, the
+  // loop must instead drain with the job still waiting — which the engine
+  // treats as fatal.
+  EXPECT_DEATH(sim.Run(), "unfinished jobs");
+}
+
 TEST(OutageTest, EvictedJobLosesProgressAndCompletesElsewhere) {
   // Deterministic end-to-end: with MTBF enabled and a known seed, failures
   // hit; the evicted job must still complete with consistent accounting.

@@ -12,12 +12,15 @@
 //       --schedulers=rr,util --seeds=42,43,44,45 --jobs=8
 //       --json-out=sweep.json
 //
-//   # Persist the generated trace, then replay it later:
-//   netbatch_cli --scenario=normal --trace-out=/tmp/trace.csv
+//   # Persist the generated workload, then replay it later:
+//   netbatch_cli --scenario=normal --workload-out=/tmp/trace.csv
 //   netbatch_cli --trace-in=/tmp/trace.csv --policy=ResSusWaitRand
 //
 //   # Export the per-minute utilization/suspension series as CSV:
 //   netbatch_cli --scenario=year --samples-out=/tmp/series.csv
+//
+//   # Export a Chrome-trace / Perfetto timeline of the run:
+//   netbatch_cli --scenario=normal --trace-out=/tmp/run.json
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -25,10 +28,12 @@
 #include <string>
 #include <vector>
 
+#include "common/counters.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "runner/config_file.h"
+#include "metrics/chrome_trace.h"
 #include "metrics/event_log.h"
 #include "metrics/report_json.h"
 #include "netbatch.h"
@@ -57,10 +62,17 @@ Single-run flags:
   --mtbf=<min> --mttr=<min>              machine failure injection
   --trace-in=<path>                      replay a CSV trace instead of
                                          generating one
-  --trace-out=<path>                     write the generated trace as CSV
+  --workload-out=<path>                  write the generated workload as CSV
+  --trace-out=<path>                     write the run as Chrome-trace JSON
+                                         (open in ui.perfetto.dev)
   --samples-out=<path>                   write the per-minute samples as CSV
   --events-out=<path>                    write the per-job event log as CSV
   --json-out=<path>                      write the report(s) as JSON
+  --profile                              print wall-clock time and events/sec
+  --counters                             print the simulation counter registry
+  --audit-every=<min>                    run the invariant auditor every that
+                                         many simulated minutes (0 = off;
+                                         any violation aborts the run)
   --cdf                                  print the suspension-time CDF
   --help                                 this text
 
@@ -76,7 +88,9 @@ any --jobs value produces bit-identical reports.
   --seeds=<s1,s2,...>                    explicit replication seeds, or
   --seed=<n> --replications=<k>          seeds n, n+1, ..., n+k-1
   --jobs=<n>                             worker threads (default: all cores)
-  --staleness/--threshold/--overhead/--checkpoint/--mtbf/--mttr  as above
+  --staleness/--threshold/--overhead/--checkpoint/--mtbf/--mttr/--audit-every
+                                         as above
+  --profile                              per-run wall-clock / events/sec table
   --csv-out=<path>                       summary rows as CSV
   --json-out=<path>                      per-run reports + summary as JSON
 )";
@@ -145,7 +159,40 @@ SharedKnobs ReadSharedKnobs(const Flags& flags) {
       static_cast<double>(flags.GetInt("mtbf", 0));
   knobs.sim_options.outages.mttr_minutes =
       static_cast<double>(flags.GetInt("mttr", 240));
+  knobs.sim_options.audit_period =
+      MinutesToTicks(flags.GetInt("audit-every", 0));
   return knobs;
+}
+
+void PrintProfileTable(const runner::SweepResult& sweep) {
+  std::printf("\n%-44s %10s %14s %14s\n", "run", "wall s", "events",
+              "events/s");
+  std::uint64_t total_events = 0;
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    const runner::ExperimentResult& result = sweep.results[i];
+    total_events += result.fired_events;
+    std::printf("%-44s %10.3f %14llu %14.0f\n",
+                sweep.specs[i].Label().c_str(), result.wall_seconds,
+                static_cast<unsigned long long>(result.fired_events),
+                result.EventsPerSecond());
+  }
+  std::printf("%-44s %10.3f %14llu %14.0f\n", "total (wall = sweep)",
+              sweep.wall_seconds,
+              static_cast<unsigned long long>(total_events),
+              sweep.wall_seconds > 0
+                  ? static_cast<double>(total_events) / sweep.wall_seconds
+                  : 0.0);
+}
+
+void PrintCounters(const CounterSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    std::printf("%s=%llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value, max] : snapshot.gauges) {
+    std::printf("%s=%lld (max=%lld)\n", name.c_str(),
+                static_cast<long long>(value), static_cast<long long>(max));
+  }
 }
 
 int RunSweepCommand(const Flags& flags) {
@@ -197,6 +244,7 @@ int RunSweepCommand(const Flags& flags) {
 
   const SharedKnobs knobs = ReadSharedKnobs(flags);
   const auto jobs = static_cast<unsigned>(flags.GetInt("jobs", 0));
+  const bool profile = flags.GetBool("profile", false);
   const std::string csv_out = flags.GetString("csv-out", "");
   const std::string json_out = flags.GetString("json-out", "");
 
@@ -252,6 +300,7 @@ int RunSweepCommand(const Flags& flags) {
       "%zu runs, %zu generated traces, wall %.2fs (jobs=%u)\n",
       sweep.results.size(), sweep.generated_trace_count, sweep.wall_seconds,
       jobs == 0 ? ThreadPool::DefaultThreadCount() : jobs);
+  if (profile) PrintProfileTable(sweep);
 
   if (!csv_out.empty()) {
     std::ofstream out(csv_out);
@@ -329,6 +378,10 @@ int main(int argc, char** argv) {
     config.sim_options.outages.mttr_minutes =
         static_cast<double>(flags.GetInt("mttr", 240));
   }
+  if (!from_file || flags.Has("audit-every")) {
+    config.sim_options.audit_period =
+        MinutesToTicks(flags.GetInt("audit-every", 0));
+  }
 
   // Trace: replay or generate (optionally persisting).
   const runner::ExperimentSpec base_spec =
@@ -339,17 +392,20 @@ int main(int argc, char** argv) {
   } else {
     trace = runner::GenerateSpecTrace(base_spec);
   }
-  if (flags.Has("trace-out")) {
-    workload::WriteTraceFile(trace, flags.GetString("trace-out", ""));
+  if (flags.Has("workload-out")) {
+    workload::WriteTraceFile(trace, flags.GetString("workload-out", ""));
     std::printf("wrote %zu jobs to %s\n", trace.size(),
-                flags.GetString("trace-out", "").c_str());
+                flags.GetString("workload-out", "").c_str());
   }
 
   const std::string policy_name = flags.GetString("policy", config_policy);
   const bool compare = flags.GetBool("compare", false);
   const bool print_cdf = flags.GetBool("cdf", false);
+  const bool profile = flags.GetBool("profile", false);
+  const bool print_counters = flags.GetBool("counters", false);
   const std::string samples_out = flags.GetString("samples-out", "");
   const std::string events_out = flags.GetString("events-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
   const std::string json_out = flags.GetString("json-out", "");
 
   // Reject typos before spending simulation time.
@@ -381,6 +437,7 @@ int main(int argc, char** argv) {
     for (const auto& result : sweep.results) reports.push_back(result.report);
     std::printf("%s\n", metrics::RenderPaperTable(reports).c_str());
     std::printf("%s\n", metrics::RenderWasteComponents(reports).c_str());
+    if (profile) PrintProfileTable(sweep);
     if (!json_out.empty()) {
       std::ofstream out(json_out);
       NETBATCH_CHECK(static_cast<bool>(out), "cannot open --json-out path");
@@ -409,11 +466,12 @@ int main(int argc, char** argv) {
   spec.display_label = policy_name;
 
   runner::ExperimentResult result;
-  if (!events_out.empty()) {
-    // Attach the event-log observer alongside the metrics collector.
+  if (!events_out.empty() || !trace_out.empty()) {
+    // Attach the export observers alongside the metrics collector.
     NETBATCH_CHECK(spec.policy_factory == nullptr || policy_name == "DupSusUtil",
-                   "--events-out supports named policies");
+                   "--events-out/--trace-out support named policies");
     metrics::EventLog log;
+    metrics::ChromeTraceExporter tracer;
     runner::PolicyInstance instance;
     if (spec.policy_factory != nullptr) {
       instance = spec.policy_factory(spec.RunSeed());
@@ -422,20 +480,43 @@ int main(int argc, char** argv) {
       options.seed = DeriveSeed(spec.RunSeed(), "policy");
       instance.policy = core::MakePolicy(spec.policy, options);
     }
+    std::vector<cluster::SimulationObserver*> observers;
+    for (const auto& observer : instance.observers) {
+      observers.push_back(observer.get());
+    }
+    if (!events_out.empty()) observers.push_back(&log);
+    if (!trace_out.empty()) observers.push_back(&tracer);
     result = runner::RunSpecWithPolicy(spec, trace, *instance.policy,
-                                       policy_name, {&log});
-    PrintResult(result, print_cdf);
-    std::ofstream out(events_out);
-    NETBATCH_CHECK(static_cast<bool>(out), "cannot open --events-out path");
-    log.WriteCsv(out);
-    std::printf("wrote %zu events to %s\n", log.events().size(),
-                events_out.c_str());
-    if (!samples_out.empty()) WriteSamplesCsv(samples_out, result.samples);
-    return 0;
+                                       policy_name, observers);
+    if (!events_out.empty()) {
+      std::ofstream out(events_out);
+      NETBATCH_CHECK(static_cast<bool>(out), "cannot open --events-out path");
+      log.WriteCsv(out);
+      std::printf("wrote %zu events to %s\n", log.events().size(),
+                  events_out.c_str());
+    }
+    if (!trace_out.empty()) {
+      tracer.Finish();
+      NETBATCH_CHECK(tracer.WriteFile(trace_out),
+                     "cannot open --trace-out path");
+      std::printf("wrote %zu trace events to %s\n", tracer.event_count(),
+                  trace_out.c_str());
+    }
+  } else {
+    result = runner::RunSpec(spec, trace);
   }
 
-  result = runner::RunSpec(spec, trace);
   PrintResult(result, print_cdf);
+  if (profile) {
+    std::printf("profile: wall %.3fs, %llu events, %.0f events/s\n",
+                result.wall_seconds,
+                static_cast<unsigned long long>(result.fired_events),
+                result.EventsPerSecond());
+  }
+  if (print_counters) {
+    std::printf("\n");
+    PrintCounters(result.counters);
+  }
   if (!json_out.empty()) {
     std::ofstream out(json_out);
     NETBATCH_CHECK(static_cast<bool>(out), "cannot open --json-out path");
