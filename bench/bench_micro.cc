@@ -20,16 +20,47 @@ using namespace netbatch;
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   const std::int64_t batch = state.range(0);
   Rng rng(1);
+  sim::Event ev;
+  ev.kind = 1;
   for (auto _ : state) {
     sim::EventQueue queue;
     for (std::int64_t i = 0; i < batch; ++i) {
-      queue.Schedule(rng.UniformInt(0, 1000000), [] {});
+      queue.Schedule(rng.UniformInt(0, 1000000), ev);
     }
     while (!queue.Empty()) benchmark::DoNotOptimize(queue.Pop().time);
   }
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+// Schedule/cancel churn against a standing population of live events — the
+// shape the engine produces under heavy suspension (every suspend cancels a
+// completion event, every resume re-arms one). Exercises the indexed-heap
+// removal path and the position-index trim.
+void BM_EventQueueScheduleCancelPop(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  Rng rng(2);
+  sim::Event ev;
+  ev.kind = 1;
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    std::vector<sim::EventSeq> live;
+    live.reserve(static_cast<std::size_t>(batch));
+    for (std::int64_t i = 0; i < batch; ++i) {
+      live.push_back(queue.Schedule(rng.UniformInt(0, 1000000), ev));
+      // Cancel a random live event half the time, then re-arm it: 3 heap
+      // operations per loop iteration on average.
+      if (rng.Bernoulli(0.5) && !live.empty()) {
+        const std::size_t victim = rng.UniformIndex(live.size());
+        queue.Cancel(live[victim]);
+        live[victim] = queue.Schedule(rng.UniformInt(0, 1000000), ev);
+      }
+    }
+    while (!queue.Empty()) benchmark::DoNotOptimize(queue.Pop().time);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleCancelPop)->Arg(1024)->Arg(16384);
 
 void BM_RngNext(benchmark::State& state) {
   Rng rng(7);

@@ -118,9 +118,16 @@ class Job {
   Ticks last_transition_time() const { return state_since_; }
 
   // --- event bookkeeping ----------------------------------------------------
-  // Generation guard: every transition bumps it, so stale completion /
-  // timeout events can detect they no longer apply.
+  // Generation guard: every transition bumps it. Typed events carry the
+  // generation current when they were scheduled as their stamp, so the
+  // dispatcher invalidates stale completion / timeout / delivery events
+  // with the single integer compare below — an unchanged generation also
+  // implies an unchanged state, since no transition leaves it untouched.
   std::uint64_t generation() const { return generation_; }
+  bool GenerationIs(std::uint64_t stamp) const { return generation_ == stamp; }
+  // Handle of the in-flight completion event, kept so preemption/eviction/
+  // twin-resolution can remove it from the heap eagerly (memory stays
+  // proportional to live events; staleness would be caught anyway).
   sim::EventSeq pending_event() const { return pending_event_; }
   void set_pending_event(sim::EventSeq seq) { pending_event_ = seq; }
 

@@ -1,11 +1,15 @@
 // Storage for all job runtime objects in a simulation.
 //
 // Jobs live in a deque so references stay stable as jobs are added (the
-// duplication extension creates clone jobs mid-run).
+// duplication extension creates clone jobs mid-run). Lookup is a dense
+// JobId -> slot vector for ordinary (small, near-contiguous) ids — one
+// indexed load on the event-dispatch hot path — with a hash-map fallback
+// for traces that use sparse ids beyond the dense cap.
 #pragma once
 
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "common/check.h"
 #include "cluster/job.h"
@@ -16,21 +20,43 @@ class JobTable {
  public:
   Job& Create(workload::JobSpec spec) {
     const JobId id = spec.id;
-    NETBATCH_CHECK(!index_.contains(id), "duplicate job id");
+    const JobId::ValueType v = id.value();
+    if (v < kDenseCap) {
+      if (v >= dense_.size()) dense_.resize(v + 1, kNoSlot);
+      NETBATCH_CHECK(dense_[v] == kNoSlot, "duplicate job id");
+      dense_[v] = static_cast<std::uint32_t>(jobs_.size());
+    } else {
+      NETBATCH_CHECK(!sparse_.contains(id), "duplicate job id");
+      sparse_.emplace(id, jobs_.size());
+    }
     jobs_.emplace_back(std::move(spec));
-    index_.emplace(id, jobs_.size() - 1);
     return jobs_.back();
   }
 
   Job& at(JobId id) {
-    const auto it = index_.find(id);
-    NETBATCH_CHECK(it != index_.end(), "unknown job id");
-    return jobs_[it->second];
+    const JobId::ValueType v = id.value();
+    if (v < dense_.size()) {
+      const std::uint32_t slot = dense_[v];
+      NETBATCH_CHECK(slot != kNoSlot, "unknown job id");
+      return jobs_[slot];
+    }
+    return jobs_[SparseSlot(id)];
   }
   const Job& at(JobId id) const {
-    const auto it = index_.find(id);
-    NETBATCH_CHECK(it != index_.end(), "unknown job id");
-    return jobs_[it->second];
+    const JobId::ValueType v = id.value();
+    if (v < dense_.size()) {
+      const std::uint32_t slot = dense_[v];
+      NETBATCH_CHECK(slot != kNoSlot, "unknown job id");
+      return jobs_[slot];
+    }
+    return jobs_[SparseSlot(id)];
+  }
+
+  // Pre-sizes the id index for `n` jobs with ids 0..n-1 (the common trace
+  // shape) so neither the dense vector nor the fallback map reallocates
+  // mid-run. Safe to call with jobs already present.
+  void Reserve(std::size_t n) {
+    if (n < kDenseCap && n > dense_.size()) dense_.resize(n, kNoSlot);
   }
 
   std::size_t size() const { return jobs_.size(); }
@@ -38,8 +64,20 @@ class JobTable {
   auto end() const { return jobs_.end(); }
 
  private:
+  // Ids below this resolve through the dense vector (worst case 16 MiB of
+  // index); anything above falls back to the hash map.
+  static constexpr JobId::ValueType kDenseCap = 1u << 22;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  std::size_t SparseSlot(JobId id) const {
+    const auto it = sparse_.find(id);
+    NETBATCH_CHECK(it != sparse_.end(), "unknown job id");
+    return it->second;
+  }
+
   std::deque<Job> jobs_;
-  std::unordered_map<JobId, std::size_t> index_;
+  std::vector<std::uint32_t> dense_;  // id.value() -> slot, kNoSlot if absent
+  std::unordered_map<JobId, std::size_t> sparse_;  // ids >= kDenseCap
 };
 
 }  // namespace netbatch::cluster

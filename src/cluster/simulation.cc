@@ -7,6 +7,35 @@
 
 namespace netbatch::cluster {
 
+namespace {
+
+// Builders for the typed POD events the engine schedules. The stamp is the
+// job's generation at scheduling time; Dispatch drops the event when the
+// generations no longer match (the job transitioned meanwhile).
+sim::Event JobEvent(EventKind kind, const Job& job) {
+  sim::Event event;
+  event.kind = static_cast<std::uint16_t>(kind);
+  event.job = job.id();
+  event.stamp = job.generation();
+  return event;
+}
+
+sim::Event MachineEvent(EventKind kind, PoolId pool, MachineId machine) {
+  sim::Event event;
+  event.kind = static_cast<std::uint16_t>(kind);
+  event.pool = pool;
+  event.machine = machine;
+  return event;
+}
+
+sim::Event TickEvent(EventKind kind) {
+  sim::Event event;
+  event.kind = static_cast<std::uint16_t>(kind);
+  return event;
+}
+
+}  // namespace
+
 NetBatchSimulation::NetBatchSimulation(const ClusterConfig& config,
                                        const workload::Trace& trace,
                                        InitialScheduler& scheduler,
@@ -17,6 +46,11 @@ NetBatchSimulation::NetBatchSimulation(const ClusterConfig& config,
       options_(options),
       outage_rng_(options.outages.seed) {
   NETBATCH_CHECK(!config.pools.empty(), "cluster needs at least one pool");
+  sim_.set_dispatcher(this);
+  // Size the job index and the event heap for the trace up front so neither
+  // reallocates mid-run (duplicates spill past this; that growth is rare).
+  jobs_.Reserve(trace.size());
+  sim_.Reserve(trace.size());
   pools_.reserve(config.pools.size());
   for (std::size_t p = 0; p < config.pools.size(); ++p) {
     const PoolId pool_id(static_cast<PoolId::ValueType>(p));
@@ -91,8 +125,7 @@ void NetBatchSimulation::AddObserver(SimulationObserver* observer) {
 
 void NetBatchSimulation::Run() {
   for (const Job& job : jobs_) {
-    const JobId id = job.id();
-    sim_.ScheduleAt(job.submit_time(), [this, id] { SubmitJob(id); });
+    sim_.ScheduleAt(job.submit_time(), JobEvent(EventKind::kSubmit, job));
   }
   if (options_.outages.mtbf_minutes > 0) {
     NETBATCH_CHECK(options_.outages.mttr_minutes > 0,
@@ -104,35 +137,68 @@ void NetBatchSimulation::Run() {
     }
   }
   if (options_.sampling_enabled && !observers_.empty()) {
-    sampler_ = std::make_unique<sim::PeriodicSampler>(
-        sim_, Ticks{0}, options_.sample_period, [this](Ticks now) {
-          SampleGauges(now);
-          for (SimulationObserver* obs : observers_) {
-            obs->OnSample(now, *this);
-          }
-        });
-    sampler_->StopWhen([this](Ticks) {
-      return completed_count_ + rejected_count_ == total_jobs_;
-    });
+    sim_.ScheduleAt(Ticks{0}, TickEvent(EventKind::kSampleTick));
   }
   if (options_.audit_period > 0) {
-    audit_sampler_ = std::make_unique<sim::PeriodicSampler>(
-        sim_, Ticks{0}, options_.audit_period,
-        [this](Ticks) { RunPeriodicAudit(); });
-    audit_sampler_->StopWhen([this](Ticks) {
-      return completed_count_ + rejected_count_ == total_jobs_;
-    });
+    sim_.ScheduleAt(Ticks{0}, TickEvent(EventKind::kAuditTick));
   }
   sim_.RunToCompletion();
-  NETBATCH_CHECK(completed_count_ + rejected_count_ == total_jobs_,
+  NETBATCH_CHECK(AllJobsFinished(),
                  "simulation ended with unfinished jobs");
   // Leave the gauges describing the end-of-run state even when no sampler
   // ran (sampling disabled or no observers attached).
   SampleGauges(sim_.Now());
 }
 
+void NetBatchSimulation::Dispatch(const sim::Event& event) {
+  switch (static_cast<EventKind>(event.kind)) {
+    case EventKind::kSubmit:
+      SubmitJob(event.job);
+      break;
+    case EventKind::kCompletion:
+      OnCompletionEvent(event);
+      break;
+    case EventKind::kWaitTimeout:
+      OnWaitTimeoutEvent(event);
+      break;
+    case EventKind::kRestartDelivery:
+      DeliverRestartedJob(event.job, event.stamp, event.pool);
+      break;
+    case EventKind::kMachineFailure:
+      OnMachineFailure(event.pool, event.machine);
+      break;
+    case EventKind::kMachineRepair:
+      OnMachineRepair(event.pool, event.machine);
+      break;
+    case EventKind::kSampleTick:
+      OnSampleTick();
+      break;
+    case EventKind::kAuditTick:
+      OnAuditTick();
+      break;
+    default:
+      NETBATCH_CHECK(false, "unknown event kind");
+  }
+}
+
+void NetBatchSimulation::OnSampleTick() {
+  const Ticks now = sim_.Now();
+  SampleGauges(now);
+  for (SimulationObserver* obs : observers_) obs->OnSample(now, *this);
+  // Stop sampling once the last job settled (the loop is about to stop).
+  if (AllJobsFinished()) return;
+  sim_.ScheduleAfter(options_.sample_period,
+                     TickEvent(EventKind::kSampleTick));
+}
+
+void NetBatchSimulation::OnAuditTick() {
+  RunPeriodicAudit();
+  if (AllJobsFinished()) return;
+  sim_.ScheduleAfter(options_.audit_period, TickEvent(EventKind::kAuditTick));
+}
+
 void NetBatchSimulation::MarkJobDone() {
-  if (completed_count_ + rejected_count_ == total_jobs_) {
+  if (AllJobsFinished()) {
     // Everything is finished; any residual events are generation-guarded
     // no-ops, so the loop can stop immediately.
     sim_.RequestStop();
@@ -224,11 +290,9 @@ void NetBatchSimulation::HandleStarted(Job& job) { ScheduleCompletion(job); }
 void NetBatchSimulation::ScheduleCompletion(Job& job) {
   NETBATCH_CHECK(job.state() == JobState::kRunning,
                  "scheduling completion of a non-running job");
-  const JobId id = job.id();
-  const std::uint64_t generation = job.generation();
   const Ticks duration = job.TicksToCompletion(job.run_speed());
-  const sim::EventSeq seq = sim_.ScheduleAfter(
-      duration, [this, id, generation] { OnCompletionEvent(id, generation); });
+  const sim::EventSeq seq =
+      sim_.ScheduleAfter(duration, JobEvent(EventKind::kCompletion, job));
   job.set_pending_event(seq);
 }
 
@@ -262,12 +326,13 @@ void NetBatchSimulation::HandleVictims(const std::vector<JobId>& victims) {
   }
 }
 
-void NetBatchSimulation::OnCompletionEvent(JobId id,
-                                           std::uint64_t generation) {
-  Job& job = jobs_.at(id);
-  if (job.generation() != generation || job.state() != JobState::kRunning) {
+void NetBatchSimulation::OnCompletionEvent(const sim::Event& event) {
+  Job& job = jobs_.at(event.job);
+  if (!job.GenerationIs(event.stamp)) {
     return;  // stale event: the job was preempted or rescheduled meanwhile
   }
+  NETBATCH_CHECK(job.state() == JobState::kRunning,
+                 "completion event matched generation of a non-running job");
   PhysicalPool& pool = *pools_[job.pool().value()];
   const std::vector<JobId> scheduled = pool.OnJobCompleted(job, sim_.Now());
   if (job.twin().valid()) ResolveTwinRace(job);
@@ -362,19 +427,16 @@ void NetBatchSimulation::ArmWaitTimeout(Job& job) {
   NETBATCH_CHECK(*threshold > 0, "wait-reschedule threshold must be positive");
   NETBATCH_CHECK(job.state() == JobState::kWaiting,
                  "arming wait timeout for a non-waiting job");
-  const JobId id = job.id();
-  const std::uint64_t generation = job.generation();
-  sim_.ScheduleAfter(*threshold, [this, id, generation] {
-    OnWaitTimeoutEvent(id, generation);
-  });
+  sim_.ScheduleAfter(*threshold, JobEvent(EventKind::kWaitTimeout, job));
 }
 
-void NetBatchSimulation::OnWaitTimeoutEvent(JobId id,
-                                            std::uint64_t generation) {
-  Job& job = jobs_.at(id);
-  if (job.generation() != generation || job.state() != JobState::kWaiting) {
+void NetBatchSimulation::OnWaitTimeoutEvent(const sim::Event& event) {
+  Job& job = jobs_.at(event.job);
+  if (!job.GenerationIs(event.stamp)) {
     return;  // the job started, was moved, or completed meanwhile
   }
+  NETBATCH_CHECK(job.state() == JobState::kWaiting,
+                 "wait-timeout event matched generation of a non-waiting job");
   const std::optional<PoolId> target = policy_->OnWaitTimeout(job, *this);
   if (target.has_value() && *target != job.pool()) {
     RestartJob(job, *target, RescheduleReason::kWaitTimeout);
@@ -410,18 +472,16 @@ void NetBatchSimulation::RestartJob(Job& job, PoolId target,
     FinishJobsScheduledBy(from_pool.Backfill(freed_machine, sim_.Now()));
   }
 
-  const JobId id = job.id();
-  const std::uint64_t generation = job.generation();
   const Ticks overhead =
       options_.transfer_matrix.empty()
           ? options_.restart_overhead
           : options_.transfer_matrix[from.value()][target.value()];
   if (overhead == 0) {
-    DeliverRestartedJob(id, generation, target);
+    DeliverRestartedJob(job.id(), job.generation(), target);
   } else {
-    sim_.ScheduleAfter(overhead, [this, id, generation, target] {
-      DeliverRestartedJob(id, generation, target);
-    });
+    sim::Event event = JobEvent(EventKind::kRestartDelivery, job);
+    event.pool = target;
+    sim_.ScheduleAfter(overhead, event);
   }
 }
 
@@ -429,9 +489,11 @@ void NetBatchSimulation::DeliverRestartedJob(JobId id,
                                              std::uint64_t generation,
                                              PoolId target) {
   Job& job = jobs_.at(id);
-  if (job.generation() != generation || job.state() != JobState::kInTransit) {
-    return;
+  if (!job.GenerationIs(generation)) {
+    return;  // the transit was superseded (e.g. the job's twin resolved)
   }
+  NETBATCH_CHECK(job.state() == JobState::kInTransit,
+                 "restart delivery matched generation of a non-transit job");
   const PlaceResult result =
       pools_[target.value()]->TryPlace(job, sim_.Now());
   // Policies must pick pools the job is eligible for; the engine exposes
@@ -446,7 +508,7 @@ void NetBatchSimulation::ScheduleNextFailure(PoolId pool, MachineId machine) {
       SampleExponential(outage_rng_, 1.0 / options_.outages.mtbf_minutes);
   sim_.ScheduleAfter(
       std::max<Ticks>(1, static_cast<Ticks>(uptime_minutes * kTicksPerMinute)),
-      [this, pool, machine] { OnMachineFailure(pool, machine); });
+      MachineEvent(EventKind::kMachineFailure, pool, machine));
 }
 
 void NetBatchSimulation::OnMachineFailure(PoolId pool_id, MachineId machine) {
@@ -475,7 +537,7 @@ void NetBatchSimulation::OnMachineFailure(PoolId pool_id, MachineId machine) {
   sim_.ScheduleAfter(
       std::max<Ticks>(1,
                       static_cast<Ticks>(downtime_minutes * kTicksPerMinute)),
-      [this, pool_id, machine] { OnMachineRepair(pool_id, machine); });
+      MachineEvent(EventKind::kMachineRepair, pool_id, machine));
 }
 
 void NetBatchSimulation::OnMachineRepair(PoolId pool_id, MachineId machine) {

@@ -25,11 +25,26 @@
 #include "cluster/view.h"
 #include "common/counters.h"
 #include "common/rng.h"
-#include "sim/sampler.h"
 #include "sim/simulator.h"
 #include "workload/trace.h"
 
 namespace netbatch::cluster {
+
+// Every event the engine schedules, as a typed kind. The simulator carries
+// these as 48-byte POD payloads (sim::Event) — no per-event allocation —
+// and NetBatchSimulation::Dispatch switches on the kind. Stale events
+// (cancelled logically by a later transition) are dropped by comparing the
+// event's generation stamp against the job's current generation.
+enum class EventKind : std::uint16_t {
+  kSubmit = 1,       // job: trace submission reaches the virtual pool manager
+  kCompletion,       // job+stamp: a running job finishes
+  kWaitTimeout,      // job+stamp: wait-queue rescheduling check (§3.3)
+  kRestartDelivery,  // job+stamp+pool: rescheduled job arrives at its target
+  kMachineFailure,   // pool+machine: outage injection
+  kMachineRepair,    // pool+machine: repair after an outage
+  kSampleTick,       // per-minute ASCA sampling (gauges + observers)
+  kAuditTick,        // periodic invariant audit
+};
 
 // Machine failure injection: each machine independently fails with
 // exponential(mtbf) uptime and recovers after exponential(mttr) downtime.
@@ -86,7 +101,9 @@ struct SimulationOptions {
   bool audit_on_transitions = false;
 };
 
-class NetBatchSimulation final : public ClusterView, private PoolObserver {
+class NetBatchSimulation final : public ClusterView,
+                                 private PoolObserver,
+                                 private sim::EventDispatcher {
  public:
   // `scheduler` and `policy` must outlive the simulation.
   NetBatchSimulation(const ClusterConfig& config,
@@ -116,6 +133,7 @@ class NetBatchSimulation final : public ClusterView, private PoolObserver {
 
   const PhysicalPool& pool(PoolId id) const { return *pools_[id.value()]; }
   sim::Simulator& simulator() { return sim_; }
+  const sim::Simulator& simulator() const { return sim_; }
 
   // The per-simulation observability registry. Counters (jobs.*, vpm.*,
   // outages.*, audit.*) are maintained on every engine transition; gauges
@@ -146,8 +164,17 @@ class NetBatchSimulation final : public ClusterView, private PoolObserver {
   bool PoolEligible(PoolId pool, const workload::JobSpec& spec) const override;
   double ClusterUtilization() const override;
   std::size_t SuspendedJobCount() const override;
+  std::size_t PendingEventCount() const override {
+    return sim_.PendingEvents();
+  }
+  std::uint64_t FiredEventCount() const override {
+    return sim_.FiredEvents();
+  }
 
  private:
+  // sim::EventDispatcher: the single switch every typed event goes through.
+  void Dispatch(const sim::Event& event) override;
+
   // PoolObserver: pools report job transitions here; the engine bumps
   // counters, forwards to SimulationObservers, and (when enabled) audits.
   void OnJobStarted(const Job& job) override;
@@ -156,6 +183,11 @@ class NetBatchSimulation final : public ClusterView, private PoolObserver {
   void AuditTransition(PoolId pool);
   void RunPeriodicAudit();
   void SampleGauges(Ticks now);
+  void OnSampleTick();
+  void OnAuditTick();
+  bool AllJobsFinished() const {
+    return completed_count_ + rejected_count_ == total_jobs_;
+  }
 
   void SubmitJob(JobId id);
   // Offers the job to pools in `order`; returns false if every pool refused.
@@ -164,9 +196,9 @@ class NetBatchSimulation final : public ClusterView, private PoolObserver {
   void HandleStarted(Job& job);
   void HandleVictims(const std::vector<JobId>& victims);
   void ScheduleCompletion(Job& job);
-  void OnCompletionEvent(JobId id, std::uint64_t generation);
+  void OnCompletionEvent(const sim::Event& event);
   void ArmWaitTimeout(Job& job);
-  void OnWaitTimeoutEvent(JobId id, std::uint64_t generation);
+  void OnWaitTimeoutEvent(const sim::Event& event);
   void RestartJob(Job& job, PoolId target, RescheduleReason reason);
   void DeliverRestartedJob(JobId id, std::uint64_t generation, PoolId target);
   // Duplication extension: launch a copy of `original` in `target`; the
@@ -187,8 +219,6 @@ class NetBatchSimulation final : public ClusterView, private PoolObserver {
   ReschedulingPolicy* policy_;
   SimulationOptions options_;
   std::vector<SimulationObserver*> observers_;
-  std::unique_ptr<sim::PeriodicSampler> sampler_;
-  std::unique_ptr<sim::PeriodicSampler> audit_sampler_;
 
   CounterRegistry counters_;
   // Hot-path handles into counters_, resolved once at construction.

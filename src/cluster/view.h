@@ -35,6 +35,12 @@ class ClusterView {
   // two curves).
   virtual double ClusterUtilization() const = 0;
   virtual std::size_t SuspendedJobCount() const = 0;
+
+  // Event-core observability: pending/fired counts of the typed event loop.
+  // Defaults keep snapshot views and test fakes trivial — only the live
+  // engine overrides these (exporters use them for counter tracks).
+  virtual std::size_t PendingEventCount() const { return 0; }
+  virtual std::uint64_t FiredEventCount() const { return 0; }
 };
 
 }  // namespace netbatch::cluster

@@ -141,6 +141,12 @@ void ChromeTraceExporter::OnSample(Ticks now,
   EmitCounter("suspended_jobs", now, /*pid=*/0,
               static_cast<double>(view.SuspendedJobCount()));
   EmitCounter("utilization", now, /*pid=*/0, view.ClusterUtilization());
+  // Event-core track: live events in the typed heap. Only emitted for views
+  // that actually run an event loop (snapshot views report 0).
+  if (const std::size_t pending = view.PendingEventCount(); pending > 0) {
+    EmitCounter("pending_events", now, /*pid=*/0,
+                static_cast<double>(pending));
+  }
 }
 
 void ChromeTraceExporter::Finish() {

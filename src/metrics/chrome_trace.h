@@ -2,8 +2,10 @@
 //
 // ChromeTraceExporter observes a simulation and records every job's
 // lifecycle as complete ("X") slices — waiting / running / suspended /
-// transit — plus per-pool utilization and queue-depth counter ("C") series
-// from the sampling loop. Load the output in chrome://tracing or
+// transit — plus counter ("C") series from the sampling loop: per-pool
+// utilization and queue depth, cluster utilization and suspended jobs,
+// and the engine's live typed-event count (`pending_events`, via
+// ClusterView::PendingEventCount). Load the output in chrome://tracing or
 // https://ui.perfetto.dev: each physical pool renders as a process, each
 // job as a thread inside the pool currently hosting it.
 //

@@ -1,48 +1,184 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
-#include <utility>
 
 #include "common/check.h"
 
 namespace netbatch::sim {
 
-EventSeq EventQueue::Schedule(Ticks at, std::function<void()> fn) {
-  const EventSeq seq = next_seq_++;
-  heap_.push_back(Entry{at, seq, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later);
-  pending_.insert(seq);
-  return seq;
-}
-
-void EventQueue::Cancel(EventSeq seq) {
-  // Only events still in the heap can be cancelled; this makes cancelling an
-  // already-fired handle a true no-op (no bookkeeping leak).
-  if (pending_.erase(seq) > 0) cancelled_.insert(seq);
-}
-
-void EventQueue::DropCancelledTop() {
-  while (!heap_.empty() && cancelled_.contains(heap_.front().seq)) {
-    cancelled_.erase(heap_.front().seq);
-    std::pop_heap(heap_.begin(), heap_.end(), Later);
-    heap_.pop_back();
+EventSeq EventQueue::Schedule(Ticks at, Event ev) {
+  std::uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+  } else {
+    NETBATCH_CHECK(payloads_.size() < 0xffffffffu,
+                   "event handle table exhausted");
+    idx = static_cast<std::uint32_t>(payloads_.size());
+    payloads_.emplace_back();
+    meta_.push_back(0);
   }
+  NETBATCH_CHECK(at >= 0 && at <= 0xffffffff,
+                 "event time outside the queue's 2^32-tick range");
+  NETBATCH_CHECK(next_seq_ <= 0xffffffffu, "event sequence counter wrapped");
+  ev.time = at;
+  ev.seq = next_seq_++;
+  ev.handle = idx;
+  payloads_[idx] = ev;
+  PushKey(Key{(static_cast<std::uint64_t>(at) << 32) |
+                  static_cast<std::uint32_t>(ev.seq),
+              idx});
+  ++live_;
+  return (static_cast<EventSeq>(meta_[idx] >> 1) << 32) | idx;
+}
+
+std::optional<Event> EventQueue::Cancel(EventSeq handle) {
+  const std::uint32_t idx = static_cast<std::uint32_t>(handle);
+  const std::uint32_t generation = static_cast<std::uint32_t>(handle >> 32);
+  if (idx >= meta_.size()) return std::nullopt;  // unknown / kNoEvent
+  if ((meta_[idx] >> 1) != generation || Cancelled(idx)) {
+    return std::nullopt;  // already fired or cancelled
+  }
+  const Event removed = payloads_[idx];
+  meta_[idx] |= kCancelledBit;
+  --live_;
+  ++cancelled_in_heap_;
+  MaybeCompact();
+  return removed;
 }
 
 Ticks EventQueue::PeekTime() {
-  DropCancelledTop();
-  NETBATCH_CHECK(!heap_.empty(), "PeekTime() on empty event queue");
-  return heap_.front().time;
+  NETBATCH_CHECK(live_ > 0, "PeekTime() on empty event queue");
+  if (cancelled_in_heap_ > 0) DropCancelledTop();
+  return static_cast<Ticks>(heap_[kRoot].rank >> 32);
 }
 
-EventQueue::Fired EventQueue::Pop() {
-  DropCancelledTop();
-  NETBATCH_CHECK(!heap_.empty(), "Pop() on empty event queue");
-  std::pop_heap(heap_.begin(), heap_.end(), Later);
-  Entry entry = std::move(heap_.back());
-  heap_.pop_back();
-  pending_.erase(entry.seq);
-  return Fired{entry.time, std::move(entry.fn)};
+Event EventQueue::Pop() {
+  NETBATCH_CHECK(live_ > 0, "Pop() on empty event queue");
+  if (cancelled_in_heap_ > 0) DropCancelledTop();
+  // Overlap the payload fetch with the sift-down the key pop is about to do.
+  __builtin_prefetch(&payloads_[heap_[kRoot].handle]);
+  const Key top = PopTopKey();
+  const Event out = payloads_[top.handle];
+  ReleaseHandle(top.handle);
+  --live_;
+  return out;
+}
+
+void EventQueue::PushKey(Key key) {
+  if (heap_.empty()) heap_.resize(kRoot);  // burn the pre-root slots once
+  heap_.push_back(key);
+  SiftUp(heap_.size() - 1);
+}
+
+EventQueue::Key EventQueue::PopTopKey() {
+  const Key top = heap_[kRoot];
+  const std::size_t last = heap_.size() - 1;
+  if (last > kRoot) {
+    heap_[kRoot] = heap_[last];
+    heap_.pop_back();
+    SiftDown(kRoot);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+void EventQueue::DropCancelledTop() {
+  while (Cancelled(heap_[kRoot].handle)) {
+    ReleaseHandle(PopTopKey().handle);
+    --cancelled_in_heap_;
+  }
+}
+
+void EventQueue::ReleaseHandle(std::uint32_t handle) {
+  // Bump the generation, clearing the cancelled bit.
+  meta_[handle] = (meta_[handle] | kCancelledBit) + 1;
+  free_.push_back(handle);
+}
+
+void EventQueue::MaybeCompact() {
+  if (cancelled_in_heap_ <= live_ || heap_.size() - kRoot < 64) return;
+  std::size_t kept = kRoot;
+  for (std::size_t slot = kRoot; slot < heap_.size(); ++slot) {
+    const Key key = heap_[slot];
+    if (Cancelled(key.handle)) {
+      ReleaseHandle(key.handle);
+    } else {
+      heap_[kept++] = key;
+    }
+  }
+  heap_.resize(kept);
+  cancelled_in_heap_ = 0;
+  // Rebuild the heap property bottom-up (Floyd), starting at the parent of
+  // the last key; pop order stays deterministic because the rank packs the
+  // (time, seq) total order.
+  if (kept > kRoot + 1) {
+    for (std::size_t slot = (kept - 1) / 4 + 3; slot-- > kRoot;) {
+      SiftDown(slot);
+    }
+  }
+  if (heap_.capacity() > 4 * (heap_.size() + 64)) heap_.shrink_to_fit();
+}
+
+void EventQueue::Reserve(std::size_t events) {
+  heap_.reserve(events + kRoot);
+  payloads_.reserve(events);
+  meta_.reserve(events);
+  free_.reserve(events);
+}
+
+std::size_t EventQueue::MemoryFootprintBytes() const {
+  return heap_.capacity() * sizeof(Key) +
+         payloads_.capacity() * sizeof(Event) +
+         meta_.capacity() * sizeof(std::uint32_t) +
+         free_.capacity() * sizeof(std::uint32_t);
+}
+
+void EventQueue::SiftUp(std::size_t slot) {
+  const Key moving = heap_[slot];
+  while (slot > kRoot) {
+    const std::size_t parent = slot / 4 + 2;
+    if (moving.rank >= heap_[parent].rank) break;
+    heap_[slot] = heap_[parent];
+    slot = parent;
+  }
+  heap_[slot] = moving;
+}
+
+void EventQueue::SiftDown(std::size_t slot) {
+  const std::size_t n = heap_.size();
+  const Key moving = heap_[slot];
+  while (true) {
+    const std::size_t first = 4 * slot - 8;  // children of `slot`
+    if (first >= n) break;
+    // The grandchildren of `slot` are 16 contiguous keys (4 aligned cache
+    // lines); pull them in while we scan the children.
+    const std::size_t grand = 4 * first - 8;
+    if (grand < n) {
+      const char* g = reinterpret_cast<const char*>(&heap_[grand]);
+      __builtin_prefetch(g);
+      __builtin_prefetch(g + 64);
+      __builtin_prefetch(g + 128);
+      __builtin_prefetch(g + 192);
+    }
+    // Branchless best-child scan: random keys make "is this child smaller"
+    // a coin flip, so a branchy scan eats mispredicts; single-word rank
+    // compares let the compiler emit conditional moves.
+    std::size_t best = first;
+    std::uint64_t best_rank = heap_[first].rank;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      const std::uint64_t rank = heap_[c].rank;
+      const bool smaller = rank < best_rank;
+      best = smaller ? c : best;
+      best_rank = smaller ? rank : best_rank;
+    }
+    if (best_rank >= moving.rank) break;
+    heap_[slot] = heap_[best];
+    slot = best;
+  }
+  heap_[slot] = moving;
 }
 
 }  // namespace netbatch::sim

@@ -2,8 +2,14 @@
 //
 // The paper's simulator "samples at each minute the current states of all
 // NetBatch components ... and outputs the results as logs for post-analysis"
-// (§3.1). PeriodicSampler re-creates that: it invokes a callback on a fixed
-// period and stops itself once a stop-predicate holds.
+// (§3.1). PeriodicSampler re-creates that for library users and tests: it
+// invokes a callback on a fixed period and stops itself once a
+// stop-predicate holds. Each tick rides the simulator's one-shot callback
+// path (a recycled slot, no steady-state allocation).
+//
+// The simulation engine itself does not use this class: its sampling and
+// audit ticks are typed events handled in NetBatchSimulation::Dispatch so
+// the hot loop stays a single switch.
 #pragma once
 
 #include <functional>
@@ -19,7 +25,7 @@ class PeriodicSampler {
   PeriodicSampler(Simulator& sim, Ticks start, Ticks period,
                   std::function<void(Ticks)> on_sample);
 
-  // Stops future samples.
+  // Stops future samples (cancels the pending tick event).
   void Stop();
 
   // Stops automatically once `pred(now)` returns true (checked after each
@@ -36,7 +42,7 @@ class PeriodicSampler {
   Ticks period_;
   std::function<void(Ticks)> on_sample_;
   std::function<bool(Ticks)> stop_pred_;
-  EventSeq pending_ = 0;
+  EventSeq pending_ = kNoEvent;
   bool active_ = true;
   std::int64_t samples_taken_ = 0;
 };

@@ -1,5 +1,5 @@
-// Unit tests for the discrete-event core: event queue ordering and
-// cancellation, simulator clock semantics, periodic sampling.
+// Unit tests for the discrete-event core: typed event queue ordering and
+// cancellation, simulator clock/dispatch semantics, periodic sampling.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -12,58 +12,103 @@
 namespace netbatch::sim {
 namespace {
 
+// Builds a payload event of the given kind tagged with a payload id.
+Event Tagged(std::uint16_t kind, std::uint32_t aux = 0) {
+  Event ev;
+  ev.kind = kind;
+  ev.aux = aux;
+  return ev;
+}
+
 TEST(EventQueueTest, PopsInTimeOrder) {
   EventQueue queue;
+  queue.Schedule(30, Tagged(3));
+  queue.Schedule(10, Tagged(1));
+  queue.Schedule(20, Tagged(2));
   std::vector<int> fired;
-  queue.Schedule(30, [&] { fired.push_back(3); });
-  queue.Schedule(10, [&] { fired.push_back(1); });
-  queue.Schedule(20, [&] { fired.push_back(2); });
-  while (!queue.Empty()) queue.Pop().fn();
+  while (!queue.Empty()) fired.push_back(queue.Pop().kind);
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(EventQueueTest, TiesFireInScheduleOrder) {
   EventQueue queue;
-  std::vector<int> fired;
-  for (int i = 0; i < 10; ++i) {
-    queue.Schedule(42, [&fired, i] { fired.push_back(i); });
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    queue.Schedule(42, Tagged(7, i));
   }
-  while (!queue.Empty()) queue.Pop().fn();
-  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+  std::uint32_t expected = 0;
+  while (!queue.Empty()) EXPECT_EQ(queue.Pop().aux, expected++);
+  EXPECT_EQ(expected, 10u);
 }
 
-TEST(EventQueueTest, CancelPreventsFiring) {
+// The determinism contract across *kinds*: events of different types landing
+// on the same tick fire in the order they were scheduled, not in any
+// kind-dependent or heap-internal order.
+TEST(EventQueueTest, MixedKindsAtEqualTickFireInScheduleOrder) {
   EventQueue queue;
-  bool fired = false;
-  const EventSeq seq = queue.Schedule(5, [&] { fired = true; });
-  queue.Schedule(6, [] {});
-  queue.Cancel(seq);
+  const std::uint16_t kinds[] = {5, 2, 9, 2, 5, 1};
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    queue.Schedule(100, Tagged(kinds[i], i));
+  }
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const Event ev = queue.Pop();
+    EXPECT_EQ(ev.kind, kinds[i]);
+    EXPECT_EQ(ev.aux, i);
+  }
+}
+
+TEST(EventQueueTest, PayloadRoundTrips) {
+  EventQueue queue;
+  Event ev;
+  ev.kind = 11;
+  ev.stamp = 0xdeadbeefcafeull;
+  ev.job = JobId(7);
+  ev.pool = PoolId(3);
+  ev.machine = MachineId(22);
+  ev.aux = 99;
+  queue.Schedule(5, ev);
+  const Event out = queue.Pop();
+  EXPECT_EQ(out.time, 5);
+  EXPECT_EQ(out.kind, 11);
+  EXPECT_EQ(out.stamp, 0xdeadbeefcafeull);
+  EXPECT_EQ(out.job, JobId(7));
+  EXPECT_EQ(out.pool, PoolId(3));
+  EXPECT_EQ(out.machine, MachineId(22));
+  EXPECT_EQ(out.aux, 99u);
+}
+
+TEST(EventQueueTest, CancelRemovesFromHeap) {
+  EventQueue queue;
+  const EventSeq seq = queue.Schedule(5, Tagged(1));
+  queue.Schedule(6, Tagged(2));
+  const std::optional<Event> removed = queue.Cancel(seq);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->kind, 1);
   EXPECT_EQ(queue.LiveCount(), 1u);
-  while (!queue.Empty()) queue.Pop().fn();
-  EXPECT_FALSE(fired);
+  EXPECT_EQ(queue.Pop().kind, 2);
+  EXPECT_TRUE(queue.Empty());
 }
 
 TEST(EventQueueTest, CancelAfterFireIsNoOp) {
   EventQueue queue;
-  const EventSeq seq = queue.Schedule(1, [] {});
-  queue.Pop().fn();
-  queue.Cancel(seq);  // must not corrupt bookkeeping
+  const EventSeq seq = queue.Schedule(1, Tagged(1));
+  queue.Pop();
+  EXPECT_FALSE(queue.Cancel(seq).has_value());  // must not corrupt bookkeeping
   EXPECT_TRUE(queue.Empty());
-  queue.Schedule(2, [] {});
+  queue.Schedule(2, Tagged(2));
   EXPECT_EQ(queue.LiveCount(), 1u);
 }
 
 TEST(EventQueueTest, CancelUnknownHandleIsNoOp) {
   EventQueue queue;
-  queue.Cancel(12345);
-  queue.Cancel(kNoEvent);
+  EXPECT_FALSE(queue.Cancel(12345).has_value());
+  EXPECT_FALSE(queue.Cancel(kNoEvent).has_value());
   EXPECT_TRUE(queue.Empty());
 }
 
-TEST(EventQueueTest, PeekTimeSkipsCancelled) {
+TEST(EventQueueTest, PeekTimeSeesEarliestLiveEvent) {
   EventQueue queue;
-  const EventSeq early = queue.Schedule(1, [] {});
-  queue.Schedule(9, [] {});
+  const EventSeq early = queue.Schedule(1, Tagged(1));
+  queue.Schedule(9, Tagged(2));
   queue.Cancel(early);
   EXPECT_EQ(queue.PeekTime(), 9);
 }
@@ -74,7 +119,7 @@ TEST(EventQueueTest, StressRandomOperationsPreserveOrder) {
   std::vector<EventSeq> live;
   for (int i = 0; i < 5000; ++i) {
     const Ticks at = rng.UniformInt(0, 100000);
-    live.push_back(queue.Schedule(at, [] {}));
+    live.push_back(queue.Schedule(at, Tagged(1)));
     if (rng.Bernoulli(0.3) && !live.empty()) {
       const std::size_t victim = rng.UniformIndex(live.size());
       queue.Cancel(live[victim]);
@@ -83,13 +128,107 @@ TEST(EventQueueTest, StressRandomOperationsPreserveOrder) {
   }
   Ticks last = -1;
   std::size_t popped = 0;
+  std::uint64_t last_seq = 0;
   while (!queue.Empty()) {
-    const auto fired = queue.Pop();
+    const Event fired = queue.Pop();
     EXPECT_GE(fired.time, last);
+    if (fired.time == last) EXPECT_GT(fired.seq, last_seq);
     last = fired.time;
+    last_seq = fired.seq;
     ++popped;
   }
   EXPECT_EQ(popped, live.size());
+}
+
+// Regression for the old callback queue's unbounded growth: cancelled
+// entries below the heap top were never compacted, so schedule/cancel churn
+// (a job suspended and resumed over and over re-arms its completion event
+// each time) grew the heap with the *total* event count. The typed queue
+// removes cancelled events eagerly; storage must stay proportional to the
+// live events, not the 1M-event churn.
+TEST(EventQueueTest, ScheduleCancelChurnKeepsMemoryBounded) {
+  EventQueue queue;
+  Rng rng(7);
+  // A small persistent population of live events, far in the future.
+  std::vector<EventSeq> live;
+  for (int i = 0; i < 100; ++i) {
+    live.push_back(queue.Schedule(1'000'000 + i, Tagged(1)));
+  }
+  constexpr int kChurn = 1'000'000;
+  for (int i = 0; i < kChurn; ++i) {
+    // Schedule far-future events and cancel them immediately: under lazy
+    // cancellation none of these would ever reach the top and be dropped.
+    const EventSeq seq =
+        queue.Schedule(2'000'000 + rng.UniformInt(0, 1000), Tagged(2));
+    ASSERT_TRUE(queue.Cancel(seq).has_value());
+  }
+  EXPECT_EQ(queue.LiveCount(), live.size());
+  // Storage must be proportional to the ~100 live events (with slack for
+  // capacity growth/high-water), nowhere near the 1M churned events.
+  EXPECT_LT(queue.MemoryFootprintBytes(), 64u * 1024u);
+  // The queue still drains correctly after the churn.
+  std::size_t popped = 0;
+  while (!queue.Empty()) {
+    EXPECT_EQ(queue.Pop().kind, 1);
+    ++popped;
+  }
+  EXPECT_EQ(popped, live.size());
+}
+
+// A dispatcher that records every typed event it receives.
+class RecordingDispatcher : public EventDispatcher {
+ public:
+  void Dispatch(const Event& event) override { events.push_back(event); }
+  std::vector<Event> events;
+};
+
+TEST(SimulatorTest, TypedEventsReachDispatcherInOrder) {
+  Simulator sim;
+  RecordingDispatcher dispatcher;
+  sim.set_dispatcher(&dispatcher);
+  sim.ScheduleAt(20, Tagged(2));
+  sim.ScheduleAt(10, Tagged(1));
+  sim.ScheduleAfter(30, Tagged(3));
+  sim.RunToCompletion();
+  ASSERT_EQ(dispatcher.events.size(), 3u);
+  EXPECT_EQ(dispatcher.events[0].kind, 1);
+  EXPECT_EQ(dispatcher.events[1].kind, 2);
+  EXPECT_EQ(dispatcher.events[2].kind, 3);
+  EXPECT_EQ(sim.FiredEvents(), 3u);
+}
+
+// Typed events and one-shot callbacks at the same tick interleave purely by
+// schedule order — the dispatch route does not affect determinism.
+TEST(SimulatorTest, TypedAndCallbackEventsShareOneDeterministicOrder) {
+  Simulator sim;
+  RecordingDispatcher dispatcher;
+  sim.set_dispatcher(&dispatcher);
+  std::vector<int> order;
+  sim.ScheduleAt(5, Tagged(1));
+  sim.ScheduleAt(5, [&] { order.push_back(-1); });
+  sim.ScheduleAt(5, Tagged(2));
+  sim.ScheduleAt(5, [&] {
+    order.push_back(static_cast<int>(dispatcher.events.size()));
+  });
+  sim.RunToCompletion();
+  // Callback #1 fired after typed kind 1 (one typed event seen), callback #2
+  // after both typed events.
+  EXPECT_EQ(order, (std::vector<int>{-1, 2}));
+  ASSERT_EQ(dispatcher.events.size(), 2u);
+  EXPECT_EQ(dispatcher.events[0].kind, 1);
+  EXPECT_EQ(dispatcher.events[1].kind, 2);
+}
+
+TEST(SimulatorTest, CancelledCallbackSlotIsRecycled) {
+  Simulator sim;
+  int fired = 0;
+  const EventSeq seq = sim.ScheduleAt(10, [&] { ++fired; });
+  sim.Cancel(seq);
+  for (int i = 0; i < 1000; ++i) {
+    sim.ScheduleAt(20 + i, [&] { ++fired; });
+  }
+  sim.RunToCompletion();
+  EXPECT_EQ(fired, 1000);
 }
 
 TEST(SimulatorTest, ClockAdvancesMonotonically) {
