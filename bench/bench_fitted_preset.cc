@@ -1,0 +1,53 @@
+// End-to-end calibration demo: generate a "real" workload, fit the
+// generator to it (calib/fit.h), and run the paper's policy comparison on a
+// scenario rebuilt from the fitted preset alone.
+//
+// This is the closed loop the calibration subsystem exists for: if the fit
+// is faithful, the policy ranking measured on the regenerated workload
+// matches the ranking on the source workload — meaning conclusions drawn
+// from fitted presets transfer to the traces they came from.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "calib/fit.h"
+#include "calib/goodness.h"
+#include "netbatch.h"
+
+using namespace netbatch;
+
+int main() {
+  const double scale = runner::DefaultScale();
+
+  // The "observed" workload: the normal-load scenario's trace stands in for
+  // a real NetBatch log (in production this would come from import-swf).
+  const runner::Scenario source = runner::NormalLoadScenario(scale);
+  const workload::Trace observed = workload::GenerateTrace(source.workload);
+  bench::PrintHeader("calibration closed loop: fit -> regenerate -> compare",
+                     scale, observed.Stats());
+
+  // Fit every generator parameter to the observed trace.
+  const calib::FittedWorkloadModel fitted = calib::FitWorkloadModel(observed);
+  std::printf("%s\n", calib::RenderFitSummary(fitted).c_str());
+
+  // Goodness of fit: source vs. a trace regenerated from the fit.
+  workload::GeneratorConfig regen_config = fitted.config;
+  regen_config.seed = 777;
+  const workload::Trace regenerated = workload::GenerateTrace(regen_config);
+  const calib::GoodnessReport goodness =
+      calib::EvaluateFit(observed, regenerated);
+  std::printf("%s\n", calib::RenderGoodnessReport(goodness).c_str());
+
+  // Policy comparison on a scenario built purely from the fitted model.
+  const runner::Scenario refit =
+      runner::ScenarioFromWorkload(regen_config);
+  const std::vector<core::PolicyKind> policies{
+      core::PolicyKind::kNoRes, core::PolicyKind::kResSusUtil,
+      core::PolicyKind::kResSusWaitUtil};
+
+  std::printf("--- policies on the source workload ---\n");
+  bench::PrintComparison(
+      bench::RunPolicySweep("source", source, policies));
+  std::printf("--- policies on the fitted, regenerated workload ---\n");
+  bench::PrintComparison(bench::RunPolicySweep("fitted", refit, policies));
+  return 0;
+}

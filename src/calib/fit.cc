@@ -1,0 +1,493 @@
+#include "calib/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <sstream>
+#include <tuple>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace netbatch::calib {
+namespace {
+
+using workload::BurstStreamConfig;
+using workload::GeneratorConfig;
+using workload::JobSpec;
+using workload::RuntimeModel;
+using workload::Trace;
+
+// Interpolated empirical quantile of a sorted sample, q in [0, 1].
+double Quantile(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double FractionAbove(const std::vector<double>& sorted, double x) {
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  return static_cast<double>(sorted.end() - it) /
+         static_cast<double>(sorted.size());
+}
+
+// z such that Phi(z) = 0.75; the interquartile spread of log-samples is
+// 2 * z75 * sigma for a lognormal body.
+constexpr double kZ75 = 0.6744897501960817;
+// The generator starts tail draws at the body's p95 (exp(mu + 1.65 sigma));
+// this is the body mass that naturally sits above that split point.
+const double kBodyMassAboveTail = 0.5 * std::erfc(1.65 / std::numbers::sqrt2);
+
+// Bounded-Pareto shape by maximum likelihood over exceedances of `lo`,
+// upper-truncated at `hi`. The log-likelihood
+//   l(a) = m log a + m a log lo - (a + 1) sum(log x) - m log(1 - (lo/hi)^a)
+// is maximized by golden-section search; the truncation term is what a
+// plain Hill estimator ignores.
+double FitBoundedParetoAlpha(const std::vector<double>& exceedances,
+                             double lo, double hi) {
+  const auto m = static_cast<double>(exceedances.size());
+  double sum_log = 0;
+  for (const double x : exceedances) sum_log += std::log(x);
+  const double log_ratio = std::log(lo / hi);  // < 0
+  const auto neg_ll = [&](double a) {
+    const double trunc = 1.0 - std::exp(a * log_ratio);
+    return -(m * std::log(a) + m * a * std::log(lo) - (a + 1.0) * sum_log -
+             m * std::log(trunc));
+  };
+  double a = 0.05, b = 20.0;
+  constexpr double kGolden = 0.6180339887498949;
+  double x1 = b - kGolden * (b - a), x2 = a + kGolden * (b - a);
+  double f1 = neg_ll(x1), f2 = neg_ll(x2);
+  for (int i = 0; i < 200 && b - a > 1e-6; ++i) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kGolden * (b - a);
+      f1 = neg_ll(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kGolden * (b - a);
+      f2 = neg_ll(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+// One burst stream's arrival-process fit: interarrival-threshold
+// segmentation, on/off classification by segment rate, Markov dwell means
+// from the on-segment spans and inter-burst gaps.
+StreamFit FitArrivalProcess(const std::vector<double>& arrival_minutes,
+                            double duration_minutes) {
+  StreamFit fit;
+  fit.jobs = arrival_minutes.size();
+  const auto n = static_cast<double>(arrival_minutes.size());
+
+  // Too sparse for burst structure: model as a steady trickle.
+  if (arrival_minutes.size() < 8) {
+    fit.bursts_detected = 0;
+    fit.on_jobs_per_minute = fit.off_jobs_per_minute = n / duration_minutes;
+    fit.mean_burst_minutes = duration_minutes / 2;
+    fit.mean_gap_minutes = duration_minutes / 2;
+    return fit;
+  }
+
+  std::vector<double> gaps;
+  gaps.reserve(arrival_minutes.size() - 1);
+  for (std::size_t i = 1; i < arrival_minutes.size(); ++i) {
+    gaps.push_back(arrival_minutes[i] - arrival_minutes[i - 1]);
+  }
+  std::vector<double> sorted_gaps = gaps;
+  std::sort(sorted_gaps.begin(), sorted_gaps.end());
+  const double median_gap = Quantile(sorted_gaps, 0.5);
+  // A gap an order of magnitude beyond the in-burst interarrival separates
+  // bursts; the 30-minute floor keeps sparse trickle arrivals from being
+  // split into single-job "bursts".
+  const double threshold = std::max(30.0, 10.0 * median_gap);
+
+  struct Segment {
+    double first, last;
+    std::size_t count;
+    double Span(double pad) const { return (last - first) + pad; }
+  };
+  std::vector<Segment> segments;
+  segments.push_back({arrival_minutes[0], arrival_minutes[0], 1});
+  for (std::size_t i = 1; i < arrival_minutes.size(); ++i) {
+    if (gaps[i - 1] > threshold) {
+      segments.push_back({arrival_minutes[i], arrival_minutes[i], 1});
+    } else {
+      segments.back().last = arrival_minutes[i];
+      ++segments.back().count;
+    }
+  }
+
+  // Pad each segment by one typical interarrival so single-minute bursts
+  // don't divide by a zero span.
+  const double pad = std::max(median_gap, 1.0);
+  double max_rate = 0;
+  for (const Segment& segment : segments) {
+    if (segment.count >= 3) {
+      max_rate = std::max(
+          max_rate, static_cast<double>(segment.count) / segment.Span(pad));
+    }
+  }
+  // A segment is a burst if it carries real volume at a rate comparable to
+  // the densest one; everything else is between-burst trickle.
+  double on_jobs = 0, on_time = 0;
+  std::vector<const Segment*> on_segments;
+  for (const Segment& segment : segments) {
+    const double rate = static_cast<double>(segment.count) / segment.Span(pad);
+    if (segment.count >= 5 && rate >= max_rate / 4) {
+      on_jobs += static_cast<double>(segment.count);
+      on_time += segment.Span(pad);
+      on_segments.push_back(&segment);
+    }
+  }
+
+  if (on_segments.empty() || on_time <= 0) {
+    fit.bursts_detected = 0;
+    fit.on_jobs_per_minute = fit.off_jobs_per_minute = n / duration_minutes;
+    fit.mean_burst_minutes = duration_minutes / 2;
+    fit.mean_gap_minutes = duration_minutes / 2;
+    return fit;
+  }
+
+  fit.bursts_detected = on_segments.size();
+  fit.on_jobs_per_minute = on_jobs / on_time;
+  const double off_time = std::max(duration_minutes - on_time, 1.0);
+  fit.off_jobs_per_minute = (n - on_jobs) / off_time;
+  fit.mean_burst_minutes = on_time / static_cast<double>(on_segments.size());
+  if (on_segments.size() >= 2) {
+    double gap_sum = 0;
+    for (std::size_t i = 1; i < on_segments.size(); ++i) {
+      gap_sum += on_segments[i]->first - on_segments[i - 1]->last;
+    }
+    fit.mean_gap_minutes =
+        gap_sum / static_cast<double>(on_segments.size() - 1);
+  } else {
+    // One burst observed: size the quiet dwell so the duty cycle matches.
+    const double duty = std::min(on_time / duration_minutes, 0.99);
+    fit.mean_gap_minutes = fit.mean_burst_minutes * (1.0 - duty) / duty;
+  }
+  return fit;
+}
+
+// First diurnal Fourier coefficient of the arrival process: for a rate
+// lambda * (1 + A sin(2 pi t / day)), E[sin(w t)] over arrivals is A / 2
+// (over whole days). The window-average of sin is subtracted so traces that
+// do not span whole days stay unbiased to first order.
+double FitDiurnalAmplitude(const std::vector<double>& arrival_minutes,
+                           double duration_minutes) {
+  constexpr double kMinutesPerDay = 24.0 * 60.0;
+  if (arrival_minutes.size() < 1000 ||
+      duration_minutes < 2 * kMinutesPerDay) {
+    return 0;  // too little data to separate a daily ripple from noise
+  }
+  const double omega = 2.0 * std::numbers::pi / kMinutesPerDay;
+  double mean_sin = 0;
+  for (const double t : arrival_minutes) mean_sin += std::sin(omega * t);
+  mean_sin /= static_cast<double>(arrival_minutes.size());
+  const double baseline =
+      (1.0 - std::cos(omega * duration_minutes)) / (omega * duration_minutes);
+  const double amplitude = std::clamp(2.0 * (mean_sin - baseline), 0.0, 0.95);
+  return amplitude < 0.02 ? 0.0 : amplitude;  // below noise: call it flat
+}
+
+// Empirical discrete distribution of core counts.
+void FitCores(const std::map<std::int32_t, std::size_t>& histogram,
+              std::vector<std::int32_t>* choices,
+              std::vector<double>* weights) {
+  if (histogram.empty()) return;  // keep the config defaults
+  choices->clear();
+  weights->clear();
+  double total = 0;
+  for (const auto& [cores, count] : histogram) {
+    total += static_cast<double>(count);
+  }
+  for (const auto& [cores, count] : histogram) {
+    choices->push_back(cores);
+    weights->push_back(static_cast<double>(count) / total);
+  }
+}
+
+}  // namespace
+
+RuntimeModel FitRuntimeModel(std::vector<double> minutes) {
+  NETBATCH_CHECK(!minutes.empty(), "cannot fit a runtime model to no jobs");
+  RuntimeModel model;
+  std::sort(minutes.begin(), minutes.end());
+  model.min_minutes = minutes.front();
+  model.max_minutes = std::max(minutes.back(), model.min_minutes + 1e-6);
+
+  if (minutes.size() < 20) {
+    // Too small for quantile matching or tail structure: moment fit on the
+    // logs, no tail.
+    double mean = 0;
+    for (const double m : minutes) mean += std::log(m);
+    mean /= static_cast<double>(minutes.size());
+    double var = 0;
+    for (const double m : minutes) {
+      var += (std::log(m) - mean) * (std::log(m) - mean);
+    }
+    var /= static_cast<double>(minutes.size());
+    model.lognormal_mu = mean;
+    model.lognormal_sigma = std::max(std::sqrt(var), 1e-3);
+    model.tail_probability = 0;
+    return model;
+  }
+
+  // Below the tail threshold the mixture CDF is (1 - p) * Body, so the
+  // body's quantile q sits at mixture quantile q * (1 - p). Iterate: the
+  // threshold depends on (mu, sigma), the mass correction on p.
+  double p = 0, mu = 0, sigma = 0, tail_lo = 0;
+  for (int iter = 0; iter < 4; ++iter) {
+    const double body_mass = 1.0 - p;
+    mu = std::log(Quantile(minutes, 0.50 * body_mass));
+    const double q25 = Quantile(minutes, 0.25 * body_mass);
+    const double q75 = Quantile(minutes, 0.75 * body_mass);
+    sigma = std::max((std::log(q75) - std::log(q25)) / (2.0 * kZ75), 1e-3);
+    tail_lo = std::max(std::exp(mu + 1.65 * sigma), model.min_minutes);
+    const double above = FractionAbove(minutes, tail_lo);
+    p = std::clamp((above - kBodyMassAboveTail) / (1.0 - kBodyMassAboveTail),
+                   0.0, 0.5);
+  }
+  model.lognormal_mu = mu;
+  model.lognormal_sigma = sigma;
+  model.tail_probability = p < 1e-4 ? 0.0 : p;
+
+  std::vector<double> exceedances;
+  for (auto it = std::upper_bound(minutes.begin(), minutes.end(), tail_lo);
+       it != minutes.end(); ++it) {
+    exceedances.push_back(*it);
+  }
+  if (model.tail_probability > 0 && exceedances.size() >= 10 &&
+      model.max_minutes > tail_lo * 1.01) {
+    model.tail_alpha =
+        FitBoundedParetoAlpha(exceedances, tail_lo, model.max_minutes);
+  }
+  return model;
+}
+
+FittedWorkloadModel FitWorkloadModel(const Trace& trace) {
+  NETBATCH_CHECK(!trace.empty(), "cannot fit an empty trace");
+  FittedWorkloadModel fitted;
+  GeneratorConfig& config = fitted.config;
+  FitDiagnostics& diag = fitted.diagnostics;
+
+  const workload::TraceStats stats = trace.Stats();
+  const double duration_minutes =
+      std::max(1.0, std::ceil(TicksToMinutes(stats.last_submit + 1)));
+  diag.duration_minutes = duration_minutes;
+  config = GeneratorConfig{};
+  config.seed = 1;
+  config.duration = MinutesToTicks(static_cast<std::int64_t>(duration_minutes));
+
+  // ---- partition jobs and collect empirical distributions ----------------
+  std::vector<double> low_runtimes, high_runtimes, low_arrivals;
+  std::map<std::int32_t, std::size_t> low_cores, high_cores;
+  std::map<std::vector<PoolId::ValueType>, std::size_t> site_sets;
+  // (priority, owner, pool set) -> arrival minutes; sorted keys make the
+  // fitted stream order deterministic.
+  std::map<std::tuple<workload::Priority, workload::OwnerId,
+                      std::vector<PoolId::ValueType>>,
+           std::vector<double>>
+      streams;
+  std::map<TaskId, std::size_t> task_sizes;
+  std::int64_t per_core_lo = 0, per_core_hi = 0;
+  PoolId::ValueType max_pool = 0;
+  bool any_pool_seen = false;
+
+  for (const JobSpec& job : trace.jobs()) {
+    const double minutes = TicksToMinutes(job.submit_time);
+    const double runtime = std::max(TicksToMinutes(job.runtime), 1e-3);
+    std::vector<PoolId::ValueType> pools;
+    pools.reserve(job.candidate_pools.size());
+    for (const PoolId pool : job.candidate_pools) {
+      pools.push_back(pool.value());
+      max_pool = std::max(max_pool, pool.value());
+      any_pool_seen = true;
+    }
+    std::sort(pools.begin(), pools.end());
+
+    const std::int64_t per_core =
+        job.memory_mb / std::max<std::int64_t>(job.cores, 1);
+    if (per_core_lo == 0 || per_core < per_core_lo) {
+      per_core_lo = std::max<std::int64_t>(per_core, 1);
+    }
+    per_core_hi = std::max(per_core_hi, per_core);
+
+    if (job.priority > workload::kLowPriority) {
+      high_runtimes.push_back(runtime);
+      ++high_cores[job.cores];
+      streams[{job.priority, job.owner, std::move(pools)}].push_back(minutes);
+    } else {
+      low_runtimes.push_back(runtime);
+      low_arrivals.push_back(minutes);
+      ++low_cores[job.cores];
+      if (!pools.empty()) ++site_sets[std::move(pools)];
+      if (job.task.valid()) ++task_sizes[job.task];
+    }
+  }
+  diag.low_jobs = low_runtimes.size();
+  diag.high_jobs = high_runtimes.size();
+
+  // num_pools: tight bound on the ids the trace references. A trace where
+  // every job may run anywhere carries no pool structure; keep the default.
+  if (any_pool_seen) config.num_pools = max_pool + 1;
+
+  // ---- low-priority base load --------------------------------------------
+  // Poisson rate MLE: arrivals per observed minute.
+  config.low_jobs_per_minute =
+      static_cast<double>(diag.low_jobs) / duration_minutes;
+  if (!low_runtimes.empty()) {
+    config.low_runtime = FitRuntimeModel(low_runtimes);
+    diag.low_tail_threshold_minutes =
+        std::max(std::exp(config.low_runtime.lognormal_mu +
+                          1.65 * config.low_runtime.lognormal_sigma),
+                 config.low_runtime.min_minutes);
+    diag.low_tail_samples = static_cast<std::size_t>(std::count_if(
+        low_runtimes.begin(), low_runtimes.end(),
+        [&](double m) { return m > diag.low_tail_threshold_minutes; }));
+  }
+  config.diurnal_amplitude =
+      FitDiurnalAmplitude(low_arrivals, duration_minutes);
+
+  // Sites: the distinct candidate-pool sets low-priority jobs arrive with.
+  config.sites.clear();
+  for (const auto& [pools, count] : site_sets) {
+    std::vector<PoolId> site;
+    site.reserve(pools.size());
+    for (const PoolId::ValueType pool : pools) site.emplace_back(pool);
+    config.sites.push_back(std::move(site));
+  }
+
+  // Task grouping: the modal complete-task population.
+  config.task_size = 0;
+  if (!task_sizes.empty()) {
+    std::map<std::size_t, std::size_t> size_counts;
+    for (const auto& [task, size] : task_sizes) ++size_counts[size];
+    std::size_t best_size = 0, best_count = 0;
+    for (const auto& [size, count] : size_counts) {
+      if (count > best_count) {
+        best_count = count;
+        best_size = size;
+      }
+    }
+    config.task_size = static_cast<std::uint32_t>(best_size);
+  }
+
+  // ---- resource demands --------------------------------------------------
+  FitCores(low_cores, &config.core_choices, &config.core_weights);
+  FitCores(high_cores, &config.high_core_choices, &config.high_core_weights);
+  if (per_core_hi > 0) {
+    config.memory_per_core_mb_lo = per_core_lo;
+    config.memory_per_core_mb_hi = std::max(per_core_hi, per_core_lo);
+  }
+
+  // ---- high-priority burst streams ---------------------------------------
+  config.bursts.clear();
+  if (!high_runtimes.empty()) {
+    config.high_runtime = FitRuntimeModel(high_runtimes);
+    diag.high_tail_threshold_minutes =
+        std::max(std::exp(config.high_runtime.lognormal_mu +
+                          1.65 * config.high_runtime.lognormal_sigma),
+                 config.high_runtime.min_minutes);
+    diag.high_tail_samples = static_cast<std::size_t>(std::count_if(
+        high_runtimes.begin(), high_runtimes.end(),
+        [&](double m) { return m > diag.high_tail_threshold_minutes; }));
+  }
+  for (const auto& [key, arrivals] : streams) {
+    const auto& [priority, owner, pools] = key;
+    StreamFit stream_fit = FitArrivalProcess(arrivals, duration_minutes);
+    stream_fit.owner = owner;
+    diag.streams.push_back(stream_fit);
+
+    BurstStreamConfig burst;
+    burst.priority = priority;
+    burst.owner = owner;
+    burst.jobs_per_minute_on = stream_fit.on_jobs_per_minute;
+    burst.jobs_per_minute_off = stream_fit.off_jobs_per_minute;
+    burst.mean_burst_minutes = std::max(stream_fit.mean_burst_minutes, 1.0);
+    burst.mean_gap_minutes = std::max(stream_fit.mean_gap_minutes, 1.0);
+    if (pools.empty()) {
+      // The generator requires explicit targets; "anywhere" means all pools.
+      for (PoolId::ValueType pool = 0; pool < config.num_pools; ++pool) {
+        burst.target_pools.emplace_back(pool);
+      }
+    } else {
+      for (const PoolId::ValueType pool : pools) {
+        burst.target_pools.emplace_back(pool);
+      }
+    }
+    config.bursts.push_back(std::move(burst));
+  }
+
+  return fitted;
+}
+
+std::string RenderFitSummary(const FittedWorkloadModel& model) {
+  const GeneratorConfig& config = model.config;
+  const FitDiagnostics& diag = model.diagnostics;
+  std::ostringstream out;
+
+  TextTable table({"Parameter", "Fitted value"});
+  table.AddRow({"jobs (low / high)", std::to_string(diag.low_jobs) + " / " +
+                                         std::to_string(diag.high_jobs)});
+  table.AddRow({"duration (min)", TextTable::Fixed(diag.duration_minutes, 0)});
+  table.AddRow({"low arrivals/min",
+                TextTable::Fixed(config.low_jobs_per_minute, 4)});
+  table.AddRow(
+      {"diurnal amplitude", TextTable::Fixed(config.diurnal_amplitude, 3)});
+  table.AddRow({"low runtime mu / sigma",
+                TextTable::Fixed(config.low_runtime.lognormal_mu, 4) + " / " +
+                    TextTable::Fixed(config.low_runtime.lognormal_sigma, 4)});
+  table.AddRow(
+      {"low tail p / alpha",
+       TextTable::Fixed(config.low_runtime.tail_probability, 4) + " / " +
+           TextTable::Fixed(config.low_runtime.tail_alpha, 3)});
+  table.AddRow({"low tail threshold (min)",
+                TextTable::Fixed(diag.low_tail_threshold_minutes, 1) + " (" +
+                    std::to_string(diag.low_tail_samples) + " samples)"});
+  table.AddRow({"runtime bounds (min)",
+                TextTable::Fixed(config.low_runtime.min_minutes, 2) + " .. " +
+                    TextTable::Fixed(config.low_runtime.max_minutes, 0)});
+  if (diag.high_jobs > 0) {
+    table.AddRow(
+        {"high runtime mu / sigma",
+         TextTable::Fixed(config.high_runtime.lognormal_mu, 4) + " / " +
+             TextTable::Fixed(config.high_runtime.lognormal_sigma, 4)});
+  }
+  table.AddRow({"pools / sites / streams",
+                std::to_string(config.num_pools) + " / " +
+                    std::to_string(config.sites.size()) + " / " +
+                    std::to_string(config.bursts.size())});
+  table.AddRow({"task size", std::to_string(config.task_size)});
+  table.AddRow({"memory MB/core",
+                std::to_string(config.memory_per_core_mb_lo) + " .. " +
+                    std::to_string(config.memory_per_core_mb_hi)});
+  out << table.Render();
+
+  if (!diag.streams.empty()) {
+    TextTable streams({"Stream", "jobs", "bursts", "on/min", "off/min",
+                       "burst min", "gap min"});
+    for (std::size_t i = 0; i < diag.streams.size(); ++i) {
+      const StreamFit& stream = diag.streams[i];
+      streams.AddRow({"owner " + std::to_string(stream.owner),
+                      std::to_string(stream.jobs),
+                      std::to_string(stream.bursts_detected),
+                      TextTable::Fixed(stream.on_jobs_per_minute, 3),
+                      TextTable::Fixed(stream.off_jobs_per_minute, 4),
+                      TextTable::Fixed(stream.mean_burst_minutes, 0),
+                      TextTable::Fixed(stream.mean_gap_minutes, 0)});
+    }
+    out << '\n' << streams.Render();
+  }
+  return out.str();
+}
+
+}  // namespace netbatch::calib

@@ -1,0 +1,90 @@
+// Workload-model calibration: fit a GeneratorConfig to an observed trace.
+//
+// The synthetic generator (workload/generator.h) regenerates the *structure*
+// of the paper's proprietary trace from hand-picked parameters (DESIGN.md
+// §2). This module closes the loop for real workloads: given any Trace —
+// replayed from a previous run, or imported from a Parallel Workloads
+// Archive SWF log (workload/swf.h) — it estimates every generator parameter
+// so the fitted config regenerates a statistically matching workload and can
+// be saved as a named scenario preset (runner/config_file).
+//
+// Estimators, per parameter family:
+//
+//   * base arrival rate — Poisson MLE on low-priority arrivals
+//     (count / span), plus the first diurnal Fourier coefficient for the
+//     sinusoidal day modulation;
+//   * runtime body — lognormal (mu, sigma) by quantile matching on
+//     log-runtimes (median and interquartile spread), with the quantile
+//     positions corrected for the tail mixture mass. Quantile estimators
+//     are robust against the few-percent Pareto tail that would bias a
+//     plain MLE;
+//   * runtime tail — the tail threshold is the body's p95 (the generator's
+//     own split point); tail_probability from the observed exceedance mass
+//     above it, and tail_alpha by maximum likelihood for the bounded Pareto
+//     over the exceedances (a Hill-style fit that accounts for the upper
+//     truncation);
+//   * burst streams — high-priority jobs grouped by (priority, owner,
+//     candidate-pool set); each stream's arrivals are segmented at
+//     interarrival gaps above a threshold, segments classified on/off by
+//     rate, yielding the Markov on/off rates and dwell means;
+//   * structure — sites from the distinct low-priority candidate-pool sets,
+//     per-stream pool affinities from observed placement eligibility, core
+//     choices/weights and the per-core memory range from their empirical
+//     distributions, task_size from the modal task population.
+//
+// Fitting is deterministic: the same trace always yields the identical
+// config (there is no randomness anywhere in the fit).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+#include "workload/trace.h"
+
+namespace netbatch::calib {
+
+// Per-stream fit diagnostics (one per fitted BurstStreamConfig, same order).
+struct StreamFit {
+  workload::OwnerId owner = workload::kNoOwner;
+  std::size_t jobs = 0;
+  std::size_t bursts_detected = 0;
+  double on_jobs_per_minute = 0;
+  double off_jobs_per_minute = 0;
+  double mean_burst_minutes = 0;
+  double mean_gap_minutes = 0;
+};
+
+struct FitDiagnostics {
+  std::size_t low_jobs = 0;
+  std::size_t high_jobs = 0;
+  double duration_minutes = 0;
+  // Body/tail split points (minutes) used by the runtime fits.
+  double low_tail_threshold_minutes = 0;
+  double high_tail_threshold_minutes = 0;
+  std::size_t low_tail_samples = 0;
+  std::size_t high_tail_samples = 0;
+  std::vector<StreamFit> streams;
+};
+
+struct FittedWorkloadModel {
+  workload::GeneratorConfig config;
+  FitDiagnostics diagnostics;
+};
+
+// Fits every GeneratorConfig parameter to `trace`. The trace must be
+// non-empty. The fitted config's seed is 1 (regeneration randomness is the
+// caller's choice; the fit itself has none) and its duration covers the
+// trace's submission span.
+FittedWorkloadModel FitWorkloadModel(const workload::Trace& trace);
+
+// Human-readable summary of the fitted parameters and diagnostics.
+std::string RenderFitSummary(const FittedWorkloadModel& model);
+
+// Fits just the lognormal-body / bounded-Pareto-tail runtime model to a
+// sample of runtimes in minutes. Exposed for tests and the goodness report;
+// FitWorkloadModel uses it for both priority classes.
+workload::RuntimeModel FitRuntimeModel(std::vector<double> minutes);
+
+}  // namespace netbatch::calib

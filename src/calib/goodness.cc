@@ -1,0 +1,143 @@
+#include "calib/goodness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/table.h"
+
+namespace netbatch::calib {
+namespace {
+
+using workload::JobSpec;
+using workload::Trace;
+
+constexpr double kQuantiles[] = {0.10, 0.25, 0.50, 0.75, 0.90, 0.99};
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+DistributionComparison Compare(std::vector<double> source,
+                               std::vector<double> regenerated) {
+  DistributionComparison comparison;
+  comparison.source_count = source.size();
+  comparison.regenerated_count = regenerated.size();
+  if (source.empty() || regenerated.empty()) return comparison;
+  std::sort(source.begin(), source.end());
+  std::sort(regenerated.begin(), regenerated.end());
+  // Inline KS on the already-sorted copies.
+  const auto n = static_cast<double>(source.size());
+  const auto m = static_cast<double>(regenerated.size());
+  std::size_t i = 0, j = 0;
+  double ks = 0;
+  while (i < source.size() && j < regenerated.size()) {
+    const double x = std::min(source[i], regenerated[j]);
+    while (i < source.size() && source[i] <= x) ++i;
+    while (j < regenerated.size() && regenerated[j] <= x) ++j;
+    ks = std::max(ks, std::abs(static_cast<double>(i) / n -
+                               static_cast<double>(j) / m));
+  }
+  comparison.ks = ks;
+  for (const double q : kQuantiles) {
+    comparison.quantiles.push_back(
+        {q, Quantile(source, q), Quantile(regenerated, q)});
+  }
+  return comparison;
+}
+
+std::vector<double> RuntimesMinutes(const Trace& trace) {
+  std::vector<double> minutes;
+  minutes.reserve(trace.size());
+  for (const JobSpec& job : trace.jobs()) {
+    minutes.push_back(TicksToMinutes(job.runtime));
+  }
+  return minutes;
+}
+
+std::vector<double> InterarrivalsMinutes(const Trace& trace) {
+  std::vector<double> minutes;
+  if (trace.size() < 2) return minutes;
+  minutes.reserve(trace.size() - 1);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    minutes.push_back(
+        TicksToMinutes(trace[i].submit_time - trace[i - 1].submit_time));
+  }
+  return minutes;
+}
+
+}  // namespace
+
+double TwoSampleKs(std::vector<double> a, std::vector<double> b) {
+  NETBATCH_CHECK(!a.empty() && !b.empty(),
+                 "two-sample KS needs non-empty samples");
+  return Compare(std::move(a), std::move(b)).ks;
+}
+
+GoodnessReport EvaluateFit(const Trace& source, const Trace& regenerated) {
+  GoodnessReport report;
+  report.runtime_minutes =
+      Compare(RuntimesMinutes(source), RuntimesMinutes(regenerated));
+  report.interarrival_minutes =
+      Compare(InterarrivalsMinutes(source), InterarrivalsMinutes(regenerated));
+
+  const workload::TraceStats source_stats = source.Stats();
+  const workload::TraceStats regen_stats = regenerated.Stats();
+  const auto rate = [](const workload::TraceStats& stats) {
+    const double span =
+        TicksToMinutes(stats.last_submit - stats.first_submit);
+    return span > 0 ? static_cast<double>(stats.job_count) / span : 0.0;
+  };
+  report.source_jobs_per_minute = rate(source_stats);
+  report.regenerated_jobs_per_minute = rate(regen_stats);
+  const auto high_fraction = [](const workload::TraceStats& stats) {
+    return stats.job_count == 0
+               ? 0.0
+               : static_cast<double>(stats.high_priority_count) /
+                     static_cast<double>(stats.job_count);
+  };
+  report.source_high_fraction = high_fraction(source_stats);
+  report.regenerated_high_fraction = high_fraction(regen_stats);
+  report.source_mean_cores = source_stats.mean_cores;
+  report.regenerated_mean_cores = regen_stats.mean_cores;
+  return report;
+}
+
+std::string RenderGoodnessReport(const GoodnessReport& report) {
+  std::ostringstream out;
+
+  TextTable scalars({"Metric", "Source", "Regenerated"});
+  scalars.AddRow({"jobs/min",
+                  TextTable::Fixed(report.source_jobs_per_minute, 3),
+                  TextTable::Fixed(report.regenerated_jobs_per_minute, 3)});
+  scalars.AddRow({"high-priority share",
+                  TextTable::Percent(report.source_high_fraction, 1),
+                  TextTable::Percent(report.regenerated_high_fraction, 1)});
+  scalars.AddRow({"mean cores", TextTable::Fixed(report.source_mean_cores, 2),
+                  TextTable::Fixed(report.regenerated_mean_cores, 2)});
+  out << scalars.Render();
+
+  const auto render_distribution = [&out](const char* name,
+                                          const DistributionComparison& d) {
+    out << '\n'
+        << name << ": KS = " << TextTable::Fixed(d.ks, 4) << " ("
+        << d.source_count << " vs " << d.regenerated_count << " samples)\n";
+    TextTable table({"Quantile", "Source (min)", "Regenerated (min)"});
+    for (const QuantilePoint& point : d.quantiles) {
+      table.AddRow({TextTable::Percent(point.q, 0),
+                    TextTable::Fixed(point.source, 2),
+                    TextTable::Fixed(point.regenerated, 2)});
+    }
+    out << table.Render();
+  };
+  render_distribution("runtime", report.runtime_minutes);
+  render_distribution("interarrival", report.interarrival_minutes);
+  return out.str();
+}
+
+}  // namespace netbatch::calib

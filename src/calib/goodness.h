@@ -1,0 +1,59 @@
+// Goodness-of-fit reporting for calibrated workload models.
+//
+// After FitWorkloadModel produces a GeneratorConfig, the natural check is:
+// regenerate a trace from the fitted config and compare it against the
+// source, distribution by distribution. This module computes two-sample
+// Kolmogorov-Smirnov statistics and side-by-side quantile tables for the
+// quantities the scheduler actually feels — runtimes, interarrival times,
+// core demands — plus scalar rate/mix comparisons.
+//
+// KS here is a *distance*, not a hypothesis test: with 10^5-job traces even
+// excellent fits "reject" at classical significance levels, so we report
+// the statistic itself (0 = identical, 1 = disjoint) and let calibration
+// quality gates assert a ceiling on it (tests use 0.05).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace netbatch::calib {
+
+struct QuantilePoint {
+  double q = 0;            // quantile level, e.g. 0.50
+  double source = 0;       // source-trace value
+  double regenerated = 0;  // regenerated-trace value
+};
+
+struct DistributionComparison {
+  std::size_t source_count = 0;
+  std::size_t regenerated_count = 0;
+  double ks = 0;  // two-sample KS statistic, in [0, 1]
+  std::vector<QuantilePoint> quantiles;
+};
+
+struct GoodnessReport {
+  DistributionComparison runtime_minutes;       // all jobs
+  DistributionComparison interarrival_minutes;  // consecutive submissions
+  double source_jobs_per_minute = 0;
+  double regenerated_jobs_per_minute = 0;
+  double source_high_fraction = 0;
+  double regenerated_high_fraction = 0;
+  double source_mean_cores = 0;
+  double regenerated_mean_cores = 0;
+};
+
+// Two-sample KS statistic: sup_x |F_a(x) - F_b(x)| over the empirical CDFs.
+// Both samples must be non-empty.
+double TwoSampleKs(std::vector<double> a, std::vector<double> b);
+
+// Compares `source` against a trace regenerated from its fitted config.
+GoodnessReport EvaluateFit(const workload::Trace& source,
+                           const workload::Trace& regenerated);
+
+// Text tables: KS + quantile rows per distribution, scalar comparisons.
+std::string RenderGoodnessReport(const GoodnessReport& report);
+
+}  // namespace netbatch::calib

@@ -41,4 +41,37 @@ struct LoadedExperiment {
 LoadedExperiment LoadExperiment(std::istream& in);
 LoadedExperiment LoadExperimentFile(const std::string& path);
 
+// ---- workload presets ------------------------------------------------------
+//
+// A *workload preset* is a GeneratorConfig serialized as INI — the output of
+// `netbatch_cli calibrate --emit-preset` (calib/fit.h) and a first-class
+// scenario source: anywhere a scenario name is accepted (`--scenario=`,
+// `scenario =` in an experiment INI), a preset file path loads the fitted
+// workload and sizes a matching cluster via ScenarioFromWorkload. Layout:
+//
+//   [workload]            ; rates, pools, cores/memory demands, task size
+//   [runtime.low]         ; lognormal body + bounded-Pareto tail, bounds
+//   [runtime.high]
+//   [burst]               ; repeatable — one section per high-prio stream
+//   [sites]               ; repeatable `site =` pool lists
+//
+// Round-trips exactly: Load(Write(config)) == config, field for field
+// (doubles are written with max_digits10 precision). Unknown sections or
+// keys abort, as with experiment files.
+
+void WriteWorkloadPreset(std::ostream& out,
+                         const workload::GeneratorConfig& config);
+void WriteWorkloadPresetFile(const std::string& path,
+                             const workload::GeneratorConfig& config);
+
+workload::GeneratorConfig LoadWorkloadPreset(std::istream& in);
+workload::GeneratorConfig LoadWorkloadPresetFile(const std::string& path);
+
+// Resolves a scenario name: one of the built-in presets (normal | high |
+// highsusp | year), or a path to a workload preset file. For preset files,
+// `seed` replaces the stored workload seed and `scale` feeds
+// ScenarioFromWorkload; unknown names abort.
+Scenario ResolveScenario(const std::string& name, double scale,
+                         std::uint64_t seed);
+
 }  // namespace netbatch::runner

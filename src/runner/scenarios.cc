@@ -217,6 +217,53 @@ Scenario YearLongScenario(double scale, std::uint64_t seed) {
   return scenario;
 }
 
+Scenario ScenarioFromWorkload(workload::GeneratorConfig workload,
+                              double scale, double target_utilization) {
+  NETBATCH_CHECK(scale > 0, "scale must be positive");
+  NETBATCH_CHECK(target_utilization > 0 && target_utilization <= 1.0,
+                 "target utilization must be in (0, 1]");
+  workload.low_jobs_per_minute *= scale;
+  for (auto& burst : workload.bursts) {
+    burst.jobs_per_minute_on *= scale;
+    burst.jobs_per_minute_off *= scale;
+  }
+
+  // Size the cluster so offered load / total cores = target utilization.
+  const double offered = workload::OfferedCoreMinutesPerMinute(workload);
+  const auto pools = static_cast<std::int64_t>(workload.num_pools);
+  constexpr std::int32_t kCoresPerMachine = 8;
+  const std::int64_t total_cores = std::max<std::int64_t>(
+      static_cast<std::int64_t>(std::llround(offered / target_utilization)),
+      pools * kCoresPerMachine);
+  const auto machines_per_pool = static_cast<std::int32_t>(std::max<std::int64_t>(
+      1, (total_cores / kCoresPerMachine + pools - 1) / pools));
+
+  Scenario scenario;
+  scenario.cluster.pools.reserve(workload.num_pools);
+  for (std::uint32_t p = 0; p < workload.num_pools; ++p) {
+    cluster::PoolConfig pool;
+    cluster::MachineGroupConfig group;
+    group.count = machines_per_pool;
+    group.cores = kCoresPerMachine;
+    group.memory_mb = std::max<std::int64_t>(
+        64 * 1024, workload.memory_per_core_mb_hi * kCoresPerMachine);
+    group.speed = 1.0;
+    // Burst-targeted pools belong to the submitting business group.
+    for (const auto& burst : workload.bursts) {
+      if (burst.owner == workload::kNoOwner) continue;
+      if (std::find(burst.target_pools.begin(), burst.target_pools.end(),
+                    PoolId(p)) != burst.target_pools.end()) {
+        group.owner = burst.owner;
+        break;
+      }
+    }
+    pool.machine_groups.push_back(group);
+    scenario.cluster.pools.push_back(std::move(pool));
+  }
+  scenario.workload = std::move(workload);
+  return scenario;
+}
+
 std::vector<std::vector<Ticks>> BuildTransferMatrix(const Scenario& scenario,
                                                     Ticks local,
                                                     Ticks cross_site) {

@@ -40,6 +40,16 @@ Scenario HighSuspensionScenario(double scale = 1.0, std::uint64_t seed = 42);
 // bench runs at YearLongDefaultScale().
 Scenario YearLongScenario(double scale = 0.05, std::uint64_t seed = 42);
 
+// Builds a runnable scenario around an arbitrary (typically calibrated —
+// see calib/fit.h) workload config: `scale` multiplies the arrival rates,
+// and the cluster is sized so the scaled offered load lands at
+// `target_utilization` across `workload.num_pools` uniform 8-core pools.
+// Pools targeted by a burst stream are owned by that stream's business
+// group, mirroring the base presets' ownership story (paper §2.2).
+Scenario ScenarioFromWorkload(workload::GeneratorConfig workload,
+                              double scale = 1.0,
+                              double target_utilization = 0.40);
+
 // Scale knobs honoring the NB_SCALE environment variable so users can dial
 // fidelity vs. runtime without recompiling (NB_SCALE=1 reproduces full
 // paper volume).

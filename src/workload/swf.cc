@@ -1,0 +1,218 @@
+#include "workload/swf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+#include "common/check.h"
+
+namespace netbatch::workload {
+namespace {
+
+// 1-based SWF field indices, per the PWA format definition.
+enum SwfField : std::size_t {
+  kJobNumber = 0,
+  kSubmitSeconds = 1,
+  kWaitSeconds = 2,
+  kRunSeconds = 3,
+  kAllocatedProcs = 4,
+  kAvgCpuSeconds = 5,
+  kUsedMemoryKb = 6,
+  kRequestedProcs = 7,
+  kRequestedSeconds = 8,
+  kRequestedMemoryKb = 9,
+  kStatus = 10,
+  kUserId = 11,
+  kGroupId = 12,
+  kExecutable = 13,
+  kQueue = 14,
+  kPartition = 15,
+  kPrecedingJob = 16,
+  kThinkSeconds = 17,
+};
+constexpr std::size_t kSwfFieldCount = 18;
+
+constexpr const char* kFieldNames[kSwfFieldCount] = {
+    "job_number",      "submit_seconds",    "wait_seconds",
+    "run_seconds",     "allocated_procs",   "avg_cpu_seconds",
+    "used_memory_kb",  "requested_procs",   "requested_seconds",
+    "requested_memory_kb", "status",        "user_id",
+    "group_id",        "executable",        "queue",
+    "partition",       "preceding_job",     "think_seconds",
+};
+
+std::vector<std::string_view> SplitWhitespace(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) fields.push_back(line.substr(start, i - start));
+  }
+  return fields;
+}
+
+// SWF fields are integers in the spec, but archives occasionally carry
+// fractional values (average CPU time); parse as double and round.
+double ParseField(std::string_view text, std::size_t field,
+                  std::size_t line_no) {
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  NETBATCH_CHECK(end == copy.c_str() + copy.size() && !copy.empty(),
+                 "swf line " + std::to_string(line_no) + ": field '" +
+                     kFieldNames[field] + "' is not a number: '" + copy + "'");
+  return value;
+}
+
+// The raw numeric content of one kept record, before id remapping.
+struct SwfRecord {
+  std::int64_t submit_seconds = 0;
+  std::int64_t run_seconds = 0;
+  std::int32_t procs = 1;
+  std::int64_t memory_mb = 0;  // 0 = unknown, defaulted later
+  std::int64_t pool_key = -1;  // partition (queue fallback); -1 = any pool
+  std::int64_t owner_key = -1; // group (user fallback); -1 = no owner
+  Priority priority = kLowPriority;
+};
+
+}  // namespace
+
+SwfImportResult ReadSwfTrace(std::istream& in,
+                             const SwfImportOptions& options) {
+  SwfImportResult result;
+  std::vector<SwfRecord> records;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view view = line;
+    while (!view.empty() && (view.front() == ' ' || view.front() == '\t')) {
+      view.remove_prefix(1);
+    }
+    if (view.empty()) continue;       // blank line
+    if (view.front() == ';') continue;  // header comment — all fields are
+                                        // informational; unknown ones too.
+
+    ++result.total_records;
+    const auto fields = SplitWhitespace(view);
+    NETBATCH_CHECK(
+        fields.size() >= kSwfFieldCount,
+        "swf line " + std::to_string(line_no) + ": expected " +
+            std::to_string(kSwfFieldCount) + " fields, got " +
+            std::to_string(fields.size()));
+
+    const auto get = [&](std::size_t field) {
+      return ParseField(fields[field], field, line_no);
+    };
+
+    const auto status = static_cast<std::int64_t>(get(kStatus));
+    const bool keep_status =
+        status == 1 || status == -1 || (status >= 2 && status <= 4) ||
+        (status == 0 && options.include_failed) ||
+        (status == 5 && options.include_cancelled);
+    if (!keep_status) {
+      ++result.skipped_status;
+      continue;
+    }
+
+    SwfRecord record;
+    record.submit_seconds = static_cast<std::int64_t>(get(kSubmitSeconds));
+    record.run_seconds =
+        static_cast<std::int64_t>(std::llround(get(kRunSeconds)));
+    double procs = get(kAllocatedProcs);
+    if (procs <= 0) procs = get(kRequestedProcs);
+    if (record.run_seconds <= 0 || procs <= 0 ||
+        record.submit_seconds < 0) {
+      ++result.skipped_invalid;
+      continue;
+    }
+    record.procs = static_cast<std::int32_t>(procs);
+
+    // Used memory is KB per processor; fall back to the request.
+    double memory_kb = get(kUsedMemoryKb);
+    if (memory_kb <= 0) memory_kb = get(kRequestedMemoryKb);
+    if (memory_kb > 0) {
+      record.memory_mb = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 std::ceil(memory_kb * procs / 1024.0)));
+    }
+
+    const auto queue = static_cast<std::int64_t>(get(kQueue));
+    const auto partition = static_cast<std::int64_t>(get(kPartition));
+    record.pool_key = partition >= 0 ? partition : queue;
+    const auto user = static_cast<std::int64_t>(get(kUserId));
+    const auto group = static_cast<std::int64_t>(get(kGroupId));
+    record.owner_key = group >= 0 ? group : user;
+    if (std::find(options.high_priority_queues.begin(),
+                  options.high_priority_queues.end(),
+                  queue) != options.high_priority_queues.end()) {
+      record.priority = kHighPriority;
+    }
+    records.push_back(record);
+  }
+
+  // Dense, deterministic id remapping: distinct raw keys in sorted order.
+  std::map<std::int64_t, PoolId::ValueType> pool_map;
+  std::map<std::int64_t, OwnerId> owner_map;
+  for (const SwfRecord& record : records) {
+    if (record.pool_key >= 0) pool_map.emplace(record.pool_key, 0);
+    if (record.owner_key >= 0) owner_map.emplace(record.owner_key, 0);
+  }
+  PoolId::ValueType next_pool = 0;
+  for (auto& [raw, id] : pool_map) id = next_pool++;
+  OwnerId next_owner = 0;
+  for (auto& [raw, id] : owner_map) id = next_owner++;
+  result.pool_count = pool_map.size();
+  result.owner_count = owner_map.size();
+
+  std::int64_t base_seconds = 0;
+  if (!records.empty()) {
+    base_seconds = records.front().submit_seconds;
+    for (const SwfRecord& record : records) {
+      base_seconds = std::min(base_seconds, record.submit_seconds);
+    }
+  }
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(records.size());
+  JobId::ValueType next_id = 0;
+  for (const SwfRecord& record : records) {
+    JobSpec job;
+    job.id = JobId(next_id++);
+    // One tick is one second, so SWF times map 1:1 onto the simulator
+    // clock; rebase the trace to start at t = 0.
+    job.submit_time = record.submit_seconds - base_seconds;
+    job.runtime = record.run_seconds;
+    job.priority = record.priority;
+    job.cores = record.procs;
+    job.memory_mb = record.memory_mb > 0
+                        ? record.memory_mb
+                        : static_cast<std::int64_t>(1024) * record.procs;
+    job.owner = record.owner_key >= 0 ? owner_map.at(record.owner_key)
+                                      : kNoOwner;
+    if (record.pool_key >= 0) {
+      job.candidate_pools = {PoolId(pool_map.at(record.pool_key))};
+    }
+    jobs.push_back(std::move(job));
+  }
+  result.trace = Trace(std::move(jobs));
+  return result;
+}
+
+SwfImportResult ReadSwfTraceFile(const std::string& path,
+                                 const SwfImportOptions& options) {
+  std::ifstream in(path);
+  NETBATCH_CHECK(static_cast<bool>(in), "cannot open swf file: " + path);
+  return ReadSwfTrace(in, options);
+}
+
+}  // namespace netbatch::workload

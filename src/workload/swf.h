@@ -1,0 +1,60 @@
+// Standard Workload Format (SWF) import.
+//
+// The Parallel Workloads Archive publishes real cluster logs in SWF: `;`-
+// prefixed header comments followed by whitespace-separated 18-field job
+// records (job, submit, wait, run, procs, avg-cpu, used-mem, req-procs,
+// req-time, req-mem, status, user, group, executable, queue, partition,
+// preceding-job, think-time), times in seconds, -1 meaning "unknown".
+//
+// `ReadSwfTrace` maps such a log onto the NetBatchSim `Trace` model so any
+// PWA workload can drive the simulator directly or be fitted into a named
+// generator preset (see calib/fit.h):
+//
+//   * submit/run seconds become ticks (one tick is one second), rebased so
+//     the earliest imported submission is t = 0;
+//   * partition ids (queue ids as fallback) are densely renumbered into
+//     PoolIds and become the job's single-entry candidate-pool list;
+//   * group ids (user ids as fallback) are densely renumbered into OwnerIds;
+//   * records are status-filtered: completed jobs (status 1, partial 2-4,
+//     unknown -1) are kept, failed (0) and cancelled (5) are dropped unless
+//     the options say otherwise, and records without a positive runtime or
+//     processor count are unusable for replay and counted as invalid.
+//
+// The parser tolerates CRLF line endings, blank lines, and unknown header
+// fields; a malformed *record* aborts with the line number and offending
+// field, like the CSV trace reader.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace netbatch::workload {
+
+struct SwfImportOptions {
+  bool include_failed = false;     // status 0
+  bool include_cancelled = false;  // status 5
+  // Jobs submitted to these SWF queue numbers import as kHighPriority
+  // (SWF has no priority field; queues are how archives express service
+  // classes). Everything else imports as kLowPriority.
+  std::vector<std::int64_t> high_priority_queues;
+};
+
+struct SwfImportResult {
+  Trace trace;
+  std::size_t total_records = 0;    // data lines seen
+  std::size_t skipped_status = 0;   // dropped by the status filter
+  std::size_t skipped_invalid = 0;  // no positive runtime / processor count
+  std::size_t pool_count = 0;       // distinct partitions/queues mapped
+  std::size_t owner_count = 0;      // distinct groups/users mapped
+};
+
+SwfImportResult ReadSwfTrace(std::istream& in,
+                             const SwfImportOptions& options = {});
+SwfImportResult ReadSwfTraceFile(const std::string& path,
+                                 const SwfImportOptions& options = {});
+
+}  // namespace netbatch::workload

@@ -16,11 +16,16 @@ constexpr std::string_view kHeader =
     "job_id,task_id,submit_ticks,priority,cores,memory_mb,runtime_ticks,"
     "owner,pools";
 
-std::int64_t ParseInt(std::string_view s) {
+// Parse failures name the line, the field, and the offending value: a
+// corrupted multi-megabyte trace is undebuggable from a bare abort.
+std::int64_t ParseInt(std::string_view s, std::size_t line_no,
+                      std::string_view field) {
   std::int64_t value = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
   NETBATCH_CHECK(ec == std::errc{} && ptr == s.data() + s.size(),
-                 "malformed integer field in trace");
+                 "trace line " + std::to_string(line_no) +
+                     ": malformed integer in field '" + std::string(field) +
+                     "': '" + std::string(s) + "'");
   return value;
 }
 
@@ -33,14 +38,14 @@ std::string PoolsField(const JobSpec& job) {
   return out;
 }
 
-std::vector<PoolId> ParsePools(std::string_view field) {
+std::vector<PoolId> ParsePools(std::string_view field, std::size_t line_no) {
   std::vector<PoolId> pools;
   std::size_t start = 0;
   while (start < field.size()) {
     std::size_t end = field.find(';', start);
     if (end == std::string_view::npos) end = field.size();
-    pools.push_back(PoolId(
-        static_cast<PoolId::ValueType>(ParseInt(field.substr(start, end - start)))));
+    pools.push_back(PoolId(static_cast<PoolId::ValueType>(
+        ParseInt(field.substr(start, end - start), line_no, "pools"))));
     start = end + 1;
   }
   return pools;
@@ -73,38 +78,43 @@ void WriteTraceFile(const Trace& trace, const std::string& path) {
 }
 
 Trace ReadTrace(std::istream& in) {
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const auto rows = ParseCsv(buffer.str());
-  NETBATCH_CHECK(!rows.empty(), "empty trace file");
-
-  // Reconstruct the header line for comparison.
-  std::string header;
-  for (std::size_t i = 0; i < rows[0].size(); ++i) {
-    if (i > 0) header += ',';
-    header += rows[0][i];
-  }
-  NETBATCH_CHECK(header == kHeader, "unexpected trace header");
-
   std::vector<JobSpec> jobs;
-  jobs.reserve(rows.size() - 1);
-  for (std::size_t r = 1; r < rows.size(); ++r) {
-    const auto& row = rows[r];
-    NETBATCH_CHECK(row.size() == 9, "trace row with wrong field count");
-    JobSpec job;
-    job.id = JobId(static_cast<JobId::ValueType>(ParseInt(row[0])));
-    if (!row[1].empty()) {
-      job.task = TaskId(static_cast<TaskId::ValueType>(ParseInt(row[1])));
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!saw_header) {
+      NETBATCH_CHECK(line == kHeader,
+                     "unexpected trace header at line " +
+                         std::to_string(line_no) + ": '" + line + "'");
+      saw_header = true;
+      continue;
     }
-    job.submit_time = ParseInt(row[2]);
-    job.priority = static_cast<Priority>(ParseInt(row[3]));
-    job.cores = static_cast<std::int32_t>(ParseInt(row[4]));
-    job.memory_mb = ParseInt(row[5]);
-    job.runtime = ParseInt(row[6]);
-    job.owner = static_cast<OwnerId>(ParseInt(row[7]));
-    job.candidate_pools = ParsePools(row[8]);
+    const auto row = ParseCsvLine(line);
+    NETBATCH_CHECK(row.size() == 9,
+                   "trace line " + std::to_string(line_no) + ": " +
+                       std::to_string(row.size()) + " fields, expected 9");
+    JobSpec job;
+    job.id = JobId(
+        static_cast<JobId::ValueType>(ParseInt(row[0], line_no, "job_id")));
+    if (!row[1].empty()) {
+      job.task = TaskId(
+          static_cast<TaskId::ValueType>(ParseInt(row[1], line_no, "task_id")));
+    }
+    job.submit_time = ParseInt(row[2], line_no, "submit_ticks");
+    job.priority =
+        static_cast<Priority>(ParseInt(row[3], line_no, "priority"));
+    job.cores = static_cast<std::int32_t>(ParseInt(row[4], line_no, "cores"));
+    job.memory_mb = ParseInt(row[5], line_no, "memory_mb");
+    job.runtime = ParseInt(row[6], line_no, "runtime_ticks");
+    job.owner = static_cast<OwnerId>(ParseInt(row[7], line_no, "owner"));
+    job.candidate_pools = ParsePools(row[8], line_no);
     jobs.push_back(std::move(job));
   }
+  NETBATCH_CHECK(saw_header, "empty trace file");
   return Trace(std::move(jobs));
 }
 

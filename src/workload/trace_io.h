@@ -21,7 +21,9 @@ void WriteTrace(const Trace& trace, std::ostream& out);
 void WriteTraceFile(const Trace& trace, const std::string& path);
 
 // Parses a trace; aborts on malformed input (header mismatch, bad fields) —
-// a silently mis-parsed trace would corrupt every downstream result.
+// a silently mis-parsed trace would corrupt every downstream result. The
+// diagnostic names the line number and the offending field/value. Blank
+// lines and CRLF line endings are tolerated.
 Trace ReadTrace(std::istream& in);
 Trace ReadTraceFile(const std::string& path);
 

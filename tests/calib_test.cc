@@ -1,0 +1,280 @@
+// Unit tests for the calibration subsystem (calib/): closed-loop parameter
+// recovery on generator-produced traces, goodness-of-fit statistics, fit
+// determinism, and the workload-preset round trip through runner/config_file.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "calib/fit.h"
+#include "calib/goodness.h"
+#include "runner/config_file.h"
+#include "runner/scenarios.h"
+#include "workload/generator.h"
+
+namespace netbatch::calib {
+namespace {
+
+using workload::GenerateTrace;
+using workload::GeneratorConfig;
+using workload::Trace;
+
+// A week-long, structurally rich workload with known parameters: a steady
+// low-priority base plus one scheduled high-priority burst stream.
+GeneratorConfig KnownConfig() {
+  GeneratorConfig config;
+  config.seed = 5;
+  config.duration = kTicksPerWeek;
+  config.num_pools = 8;
+  config.low_jobs_per_minute = 6.0;
+  config.low_runtime.lognormal_mu = std::log(90.0);
+  config.low_runtime.lognormal_sigma = 1.3;
+  config.low_runtime.tail_probability = 0.02;
+  config.low_runtime.tail_alpha = 1.2;
+  config.low_runtime.min_minutes = 2;
+  config.low_runtime.max_minutes = 100000;
+  config.high_runtime.lognormal_mu = std::log(120.0);
+  config.high_runtime.lognormal_sigma = 0.8;
+  config.sites = {{PoolId(0), PoolId(1), PoolId(2), PoolId(3)},
+                  {PoolId(4), PoolId(5), PoolId(6), PoolId(7)}};
+  workload::BurstStreamConfig burst;
+  burst.owner = 0;
+  burst.jobs_per_minute_on = 4.0;
+  burst.jobs_per_minute_off = 0.0;
+  burst.target_pools = {PoolId(0), PoolId(1)};
+  burst.scheduled_bursts = {{.start_minute = 1000, .length_minutes = 24 * 60},
+                            {.start_minute = 6000, .length_minutes = 24 * 60}};
+  config.bursts.push_back(std::move(burst));
+  return config;
+}
+
+double RelativeError(double fitted, double truth) {
+  return std::abs(fitted - truth) / std::abs(truth);
+}
+
+// The issue's acceptance bar: generate from a known config, fit, and the
+// recovered lognormal body and base arrival rate are within 5% of truth.
+TEST(CalibFitTest, ClosedLoopRecoversKnownParameters) {
+  const GeneratorConfig truth = KnownConfig();
+  const Trace trace = GenerateTrace(truth);
+  const FittedWorkloadModel fitted = FitWorkloadModel(trace);
+
+  EXPECT_LT(RelativeError(fitted.config.low_runtime.lognormal_mu,
+                          truth.low_runtime.lognormal_mu),
+            0.05);
+  EXPECT_LT(RelativeError(fitted.config.low_runtime.lognormal_sigma,
+                          truth.low_runtime.lognormal_sigma),
+            0.05);
+  EXPECT_LT(RelativeError(fitted.config.low_jobs_per_minute,
+                          truth.low_jobs_per_minute),
+            0.05);
+  // Tail mass within a factor of two (only ~2% of samples inform it).
+  EXPECT_GT(fitted.config.low_runtime.tail_probability, 0.01);
+  EXPECT_LT(fitted.config.low_runtime.tail_probability, 0.04);
+}
+
+TEST(CalibFitTest, ClosedLoopRegeneratedRuntimesMatchByKs) {
+  const Trace source = GenerateTrace(KnownConfig());
+  GeneratorConfig fitted = FitWorkloadModel(source).config;
+  fitted.seed = 99;  // regeneration randomness independent of the source
+  const Trace regenerated = GenerateTrace(fitted);
+  const GoodnessReport report = EvaluateFit(source, regenerated);
+  EXPECT_LT(report.runtime_minutes.ks, 0.05);
+  EXPECT_GT(report.runtime_minutes.source_count, 0u);
+  EXPECT_GT(report.runtime_minutes.regenerated_count, 0u);
+}
+
+TEST(CalibFitTest, RecoversStructure) {
+  const GeneratorConfig truth = KnownConfig();
+  const Trace trace = GenerateTrace(truth);
+  const FittedWorkloadModel fitted = FitWorkloadModel(trace);
+
+  EXPECT_EQ(fitted.config.num_pools, truth.num_pools);
+  EXPECT_EQ(fitted.config.sites.size(), truth.sites.size());
+  ASSERT_EQ(fitted.config.bursts.size(), 1u);
+  EXPECT_EQ(fitted.config.bursts[0].owner, 0);
+  EXPECT_EQ(fitted.config.bursts[0].target_pools,
+            truth.bursts[0].target_pools);
+  // Two scheduled 24-hour bursts at 4 jobs/min: the on/off fit must find
+  // both and land near the true rate and dwell time.
+  ASSERT_EQ(fitted.diagnostics.streams.size(), 1u);
+  EXPECT_EQ(fitted.diagnostics.streams[0].bursts_detected, 2u);
+  EXPECT_LT(RelativeError(fitted.config.bursts[0].jobs_per_minute_on, 4.0),
+            0.10);
+  EXPECT_LT(
+      RelativeError(fitted.config.bursts[0].mean_burst_minutes, 24 * 60),
+      0.15);
+}
+
+// Same trace, same fit — byte for byte. The fit has no randomness, so the
+// serialized presets must be identical.
+TEST(CalibFitTest, FitIsDeterministic) {
+  const Trace trace = GenerateTrace(KnownConfig());
+  const FittedWorkloadModel a = FitWorkloadModel(trace);
+  const FittedWorkloadModel b = FitWorkloadModel(trace);
+  std::ostringstream out_a;
+  std::ostringstream out_b;
+  runner::WriteWorkloadPreset(out_a, a.config);
+  runner::WriteWorkloadPreset(out_b, b.config);
+  EXPECT_EQ(out_a.str(), out_b.str());
+  EXPECT_FALSE(out_a.str().empty());
+}
+
+TEST(CalibFitTest, FitSummaryRenders) {
+  const Trace trace = GenerateTrace(KnownConfig());
+  const std::string summary = RenderFitSummary(FitWorkloadModel(trace));
+  EXPECT_NE(summary.find("mu / sigma"), std::string::npos);
+  EXPECT_NE(summary.find("Stream"), std::string::npos);
+}
+
+TEST(CalibFitTest, RuntimeModelFitHandlesTinySamples) {
+  // Too few points for a tail fit: the body fit must still be sane.
+  const workload::RuntimeModel model =
+      FitRuntimeModel({10.0, 20.0, 40.0, 80.0, 160.0});
+  EXPECT_GT(model.lognormal_sigma, 0.0);
+  EXPECT_NEAR(model.lognormal_mu, std::log(40.0), 0.7);
+}
+
+TEST(CalibFitTest, EmptyTraceAborts) {
+  EXPECT_DEATH(FitWorkloadModel(Trace()), "");
+}
+
+TEST(GoodnessTest, KsIsZeroForIdenticalSamples) {
+  const std::vector<double> sample{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(TwoSampleKs(sample, sample), 0.0);
+}
+
+TEST(GoodnessTest, KsIsOneForDisjointSamples) {
+  EXPECT_DOUBLE_EQ(TwoSampleKs({1, 2, 3}, {10, 20, 30}), 1.0);
+}
+
+TEST(GoodnessTest, ReportRendersQuantileTables) {
+  const Trace source = GenerateTrace(KnownConfig());
+  const GoodnessReport report = EvaluateFit(source, source);
+  EXPECT_DOUBLE_EQ(report.runtime_minutes.ks, 0.0);
+  const std::string text = RenderGoodnessReport(report);
+  EXPECT_NE(text.find("runtime"), std::string::npos);
+  EXPECT_NE(text.find("KS"), std::string::npos);
+}
+
+// ---- preset serialization --------------------------------------------------
+
+TEST(WorkloadPresetTest, RoundTripsFittedConfigExactly) {
+  const Trace trace = GenerateTrace(KnownConfig());
+  const GeneratorConfig fitted = FitWorkloadModel(trace).config;
+
+  std::stringstream buffer;
+  runner::WriteWorkloadPreset(buffer, fitted);
+  const GeneratorConfig loaded = runner::LoadWorkloadPreset(buffer);
+
+  EXPECT_EQ(loaded.seed, fitted.seed);
+  EXPECT_EQ(loaded.duration, fitted.duration);
+  EXPECT_EQ(loaded.num_pools, fitted.num_pools);
+  EXPECT_EQ(loaded.low_jobs_per_minute, fitted.low_jobs_per_minute);
+  EXPECT_EQ(loaded.diurnal_amplitude, fitted.diurnal_amplitude);
+  EXPECT_EQ(loaded.low_runtime.lognormal_mu, fitted.low_runtime.lognormal_mu);
+  EXPECT_EQ(loaded.low_runtime.lognormal_sigma,
+            fitted.low_runtime.lognormal_sigma);
+  EXPECT_EQ(loaded.low_runtime.tail_probability,
+            fitted.low_runtime.tail_probability);
+  EXPECT_EQ(loaded.low_runtime.tail_alpha, fitted.low_runtime.tail_alpha);
+  EXPECT_EQ(loaded.high_runtime.lognormal_mu,
+            fitted.high_runtime.lognormal_mu);
+  EXPECT_EQ(loaded.sites, fitted.sites);
+  EXPECT_EQ(loaded.core_choices, fitted.core_choices);
+  EXPECT_EQ(loaded.core_weights, fitted.core_weights);
+  EXPECT_EQ(loaded.memory_per_core_mb_lo, fitted.memory_per_core_mb_lo);
+  EXPECT_EQ(loaded.memory_per_core_mb_hi, fitted.memory_per_core_mb_hi);
+  EXPECT_EQ(loaded.task_size, fitted.task_size);
+  ASSERT_EQ(loaded.bursts.size(), fitted.bursts.size());
+  for (std::size_t i = 0; i < loaded.bursts.size(); ++i) {
+    EXPECT_EQ(loaded.bursts[i].priority, fitted.bursts[i].priority);
+    EXPECT_EQ(loaded.bursts[i].owner, fitted.bursts[i].owner);
+    EXPECT_EQ(loaded.bursts[i].jobs_per_minute_on,
+              fitted.bursts[i].jobs_per_minute_on);
+    EXPECT_EQ(loaded.bursts[i].jobs_per_minute_off,
+              fitted.bursts[i].jobs_per_minute_off);
+    EXPECT_EQ(loaded.bursts[i].mean_burst_minutes,
+              fitted.bursts[i].mean_burst_minutes);
+    EXPECT_EQ(loaded.bursts[i].mean_gap_minutes,
+              fitted.bursts[i].mean_gap_minutes);
+    EXPECT_EQ(loaded.bursts[i].target_pools, fitted.bursts[i].target_pools);
+  }
+  // The loaded config regenerates the identical trace.
+  const Trace from_fitted = GenerateTrace(fitted);
+  const Trace from_loaded = GenerateTrace(loaded);
+  ASSERT_EQ(from_fitted.size(), from_loaded.size());
+  for (std::size_t i = 0; i < from_fitted.size(); ++i) {
+    EXPECT_EQ(from_fitted[i], from_loaded[i]);
+  }
+}
+
+TEST(WorkloadPresetTest, RoundTripsScheduledBurstWindows) {
+  GeneratorConfig config = KnownConfig();
+  std::stringstream buffer;
+  runner::WriteWorkloadPreset(buffer, config);
+  const GeneratorConfig loaded = runner::LoadWorkloadPreset(buffer);
+  ASSERT_EQ(loaded.bursts.size(), 1u);
+  ASSERT_EQ(loaded.bursts[0].scheduled_bursts.size(), 2u);
+  EXPECT_EQ(loaded.bursts[0].scheduled_bursts[1].start_minute, 6000);
+  EXPECT_EQ(loaded.bursts[0].scheduled_bursts[1].length_minutes, 24 * 60);
+}
+
+TEST(WorkloadPresetTest, UnknownKeyAborts) {
+  std::stringstream buffer("[workload]\nnot_a_key = 3\n");
+  EXPECT_DEATH(runner::LoadWorkloadPreset(buffer), "unknown key");
+}
+
+TEST(WorkloadPresetTest, MissingWorkloadSectionAborts) {
+  std::stringstream buffer("[burst]\npriority = 10\n");
+  EXPECT_DEATH(runner::LoadWorkloadPreset(buffer), "no \\[workload\\]");
+}
+
+// ---- scenario construction -------------------------------------------------
+
+TEST(ScenarioFromWorkloadTest, SizesClusterToTargetUtilization) {
+  const GeneratorConfig config = KnownConfig();
+  const runner::Scenario scenario =
+      runner::ScenarioFromWorkload(config, 1.0, 0.40);
+  ASSERT_EQ(scenario.cluster.pools.size(), config.num_pools);
+
+  std::int64_t total_cores = 0;
+  for (const auto& pool : scenario.cluster.pools) {
+    for (const auto& group : pool.machine_groups) {
+      total_cores += static_cast<std::int64_t>(group.count) * group.cores;
+    }
+  }
+  const double offered = workload::OfferedCoreMinutesPerMinute(config);
+  const double utilization = offered / static_cast<double>(total_cores);
+  EXPECT_GT(utilization, 0.30);
+  EXPECT_LE(utilization, 0.45);
+  // Pools targeted by the burst stream belong to its owner group.
+  EXPECT_EQ(scenario.cluster.pools[0].machine_groups[0].owner, 0);
+  EXPECT_EQ(scenario.cluster.pools[7].machine_groups[0].owner,
+            workload::kNoOwner);
+}
+
+TEST(ResolveScenarioTest, ResolvesNamedPresets) {
+  const runner::Scenario scenario = runner::ResolveScenario("normal", 0.1, 7);
+  EXPECT_EQ(scenario.cluster.pools.size(), 20u);
+  EXPECT_EQ(scenario.workload.seed, 7u);
+}
+
+TEST(ResolveScenarioTest, LoadsPresetFiles) {
+  const GeneratorConfig config = KnownConfig();
+  const std::string path = testing::TempDir() + "/resolve_preset.ini";
+  runner::WriteWorkloadPresetFile(path, config);
+  const runner::Scenario scenario = runner::ResolveScenario(path, 1.0, 123);
+  EXPECT_EQ(scenario.workload.seed, 123u);  // seed overrides the stored one
+  EXPECT_EQ(scenario.workload.num_pools, config.num_pools);
+  EXPECT_EQ(scenario.cluster.pools.size(), config.num_pools);
+}
+
+TEST(ResolveScenarioTest, UnknownNameAborts) {
+  EXPECT_DEATH(runner::ResolveScenario("no-such-scenario", 1.0, 1),
+               "unknown scenario");
+}
+
+}  // namespace
+}  // namespace netbatch::calib

@@ -1,0 +1,131 @@
+// Unit tests for the Standard Workload Format importer (workload/swf.h):
+// the hand-written PWA-style fixture in tests/data/tiny.swf, parser
+// tolerance (CRLF, blank lines, unknown headers), status filtering, the
+// pool/owner remapping, and malformed-record diagnostics.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "workload/swf.h"
+#include "workload/trace.h"
+
+namespace netbatch::workload {
+namespace {
+
+std::string FixturePath() { return std::string(NB_TEST_DATA_DIR) + "/tiny.swf"; }
+
+// The fixture holds 11 records: job 4 failed (status 0), job 7 cancelled
+// (status 5), job 5 has no positive runtime. With default options that
+// leaves 8 importable jobs.
+TEST(SwfImportTest, ImportsFixtureWithDefaultOptions) {
+  const SwfImportResult result = ReadSwfTraceFile(FixturePath());
+  EXPECT_EQ(result.total_records, 11u);
+  EXPECT_EQ(result.skipped_status, 2u);
+  EXPECT_EQ(result.skipped_invalid, 1u);
+  ASSERT_EQ(result.trace.size(), 8u);
+  EXPECT_EQ(result.pool_count, 3u);
+  EXPECT_EQ(result.owner_count, 5u);
+}
+
+TEST(SwfImportTest, RebasesSubmitTimesToZero) {
+  const SwfImportResult result = ReadSwfTraceFile(FixturePath());
+  // The earliest kept submission lands at t = 0 (one tick per SWF second).
+  EXPECT_EQ(result.trace[0].submit_time, 0);
+  const TraceStats stats = result.trace.Stats();
+  EXPECT_EQ(stats.first_submit, 0);
+  EXPECT_GT(stats.last_submit, 0);
+}
+
+TEST(SwfImportTest, MapsPartitionsToDensePoolIds) {
+  const SwfImportResult result = ReadSwfTraceFile(FixturePath());
+  // Raw partition/queue keys {1, 2, 3} must renumber densely to {0, 1, 2},
+  // and every job carries exactly its own pool as candidate list.
+  for (const JobSpec& job : result.trace.jobs()) {
+    ASSERT_EQ(job.candidate_pools.size(), 1u);
+    EXPECT_LT(job.candidate_pools[0].value(), result.pool_count);
+  }
+}
+
+TEST(SwfImportTest, MapsGroupsToDenseOwnerIds) {
+  const SwfImportResult result = ReadSwfTraceFile(FixturePath());
+  for (const JobSpec& job : result.trace.jobs()) {
+    EXPECT_GE(job.owner, 0);
+    EXPECT_LT(static_cast<std::size_t>(job.owner), result.owner_count);
+  }
+}
+
+TEST(SwfImportTest, StatusFilterIsConfigurable) {
+  SwfImportOptions options;
+  options.include_failed = true;
+  options.include_cancelled = true;
+  const SwfImportResult result = ReadSwfTraceFile(FixturePath(), options);
+  EXPECT_EQ(result.skipped_status, 0u);
+  // Job 4 (failed) and job 7 (cancelled) come back; job 5 stays invalid.
+  EXPECT_EQ(result.trace.size(), 10u);
+}
+
+TEST(SwfImportTest, HighPriorityQueuesImportAsHighPriority) {
+  SwfImportOptions options;
+  options.high_priority_queues = {2};
+  const SwfImportResult result = ReadSwfTraceFile(FixturePath(), options);
+  std::size_t high = 0;
+  for (const JobSpec& job : result.trace.jobs()) {
+    if (job.priority == kHighPriority) ++high;
+  }
+  EXPECT_EQ(high, 3u);  // fixture jobs 3, 6 and 11 are in queue 2
+  // Without the option everything is low priority.
+  const SwfImportResult plain = ReadSwfTraceFile(FixturePath());
+  EXPECT_EQ(plain.trace.Stats().high_priority_count, 0u);
+}
+
+TEST(SwfImportTest, ToleratesCrlfBlankLinesAndUnknownHeaders) {
+  std::stringstream in(
+      "; Version: 2.2\r\n"
+      "; SomeUnknownHeaderField: whatever value\r\n"
+      "\r\n"
+      "1 0 5 60 1 -1 -1 1 120 -1 1 17 3 -1 0 0 -1 -1\r\n"
+      "\n"
+      "2 30 5 90 2 -1 -1 2 120 -1 1 17 3 -1 0 0 -1 -1\n");
+  const SwfImportResult result = ReadSwfTrace(in);
+  EXPECT_EQ(result.total_records, 2u);
+  ASSERT_EQ(result.trace.size(), 2u);
+  EXPECT_EQ(result.trace[1].submit_time - result.trace[0].submit_time, 30);
+  EXPECT_EQ(result.trace[1].cores, 2);
+}
+
+TEST(SwfImportTest, FallsBackToRequestedProcessors) {
+  // Allocated processors unknown (-1): the requested count must be used.
+  std::stringstream in("1 0 5 60 -1 -1 -1 4 120 -1 1 17 3 -1 0 0 -1 -1\n");
+  const SwfImportResult result = ReadSwfTrace(in);
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].cores, 4);
+}
+
+TEST(SwfImportTest, UsedMemoryIsPerProcessorKilobytes) {
+  // 2048 KB per processor on 4 processors = 8 MB total.
+  std::stringstream in("1 0 5 60 4 -1 2048 4 120 -1 1 17 3 -1 0 0 -1 -1\n");
+  const SwfImportResult result = ReadSwfTrace(in);
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].memory_mb, 8);
+}
+
+TEST(SwfImportTest, ShortRecordAbortsWithLineNumber) {
+  std::stringstream in(
+      "; header\n"
+      "1 0 5 60 1 -1 -1 1\n");
+  EXPECT_DEATH(ReadSwfTrace(in), "swf line 2");
+}
+
+TEST(SwfImportTest, NonNumericFieldAbortsWithFieldName) {
+  std::stringstream in("1 0 5 sixty 1 -1 -1 1 120 -1 1 17 3 -1 0 0 -1 -1\n");
+  EXPECT_DEATH(ReadSwfTrace(in), "run_seconds");
+}
+
+TEST(SwfImportTest, MissingFileAborts) {
+  EXPECT_DEATH(ReadSwfTraceFile("/nonexistent/nope.swf"), "cannot open");
+}
+
+}  // namespace
+}  // namespace netbatch::workload

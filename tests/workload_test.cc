@@ -102,6 +102,55 @@ TEST(TraceIoTest, RejectsMalformedRow) {
   EXPECT_DEATH(ReadTrace(corrupted), "malformed integer");
 }
 
+TEST(TraceIoTest, DiagnosticsNameLineAndField) {
+  std::stringstream buffer;
+  WriteTrace(Trace({MakeSpec(0, 10)}), buffer);
+  std::string text = buffer.str();  // header is line 1, first row line 2
+  text += "7,,oops,0,1,1024,600,-1,\n";
+  std::stringstream corrupted(text);
+  // The corrupted submit_time sits on line 3; the message must say so and
+  // name the field.
+  EXPECT_DEATH(ReadTrace(corrupted), "trace line 3.*submit_ticks");
+}
+
+TEST(TraceIoTest, ToleratesCrlfAndBlankLines) {
+  std::stringstream buffer;
+  WriteTrace(Trace({MakeSpec(0, 10), MakeSpec(1, 20)}), buffer);
+  std::string text;
+  for (char c : buffer.str()) {
+    if (c == '\n') text += "\r\n\n";  // CRLF plus a blank line after each row
+    else text += c;
+  }
+  std::stringstream tolerant(text);
+  const Trace parsed = ReadTrace(tolerant);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[1].submit_time, 20);
+}
+
+TEST(TraceIoTest, RejectsWrongFieldCountWithLineNumber) {
+  std::stringstream buffer;
+  WriteTrace(Trace({MakeSpec(0, 10)}), buffer);
+  std::string text = buffer.str();
+  text += "1,2,3\n";
+  std::stringstream corrupted(text);
+  EXPECT_DEATH(ReadTrace(corrupted), "trace line 3");
+}
+
+TEST(TraceIoTest, RejectsEmptyFile) {
+  std::stringstream buffer("");
+  EXPECT_DEATH(ReadTrace(buffer), "empty trace file");
+}
+
+TEST(TraceIoTest, RoundTripsMaxRuntimeAndLargeMemory) {
+  JobSpec spec = MakeSpec(0, 0, MinutesToTicks(100000));
+  spec.memory_mb = 1 << 20;
+  Trace original({spec});
+  std::stringstream buffer;
+  WriteTrace(original, buffer);
+  const Trace parsed = ReadTrace(buffer);
+  EXPECT_EQ(parsed[0], spec);
+}
+
 // --- generator -----------------------------------------------------------------
 
 GeneratorConfig SmallConfig() {

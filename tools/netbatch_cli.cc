@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "calib/fit.h"
+#include "calib/goodness.h"
 #include "common/counters.h"
 #include "common/flags.h"
 #include "common/rng.h"
@@ -47,7 +49,11 @@ constexpr const char* kUsage = R"(netbatch_cli — NetBatchSim experiment driver
 Single-run flags:
   --config=<file.ini>                    load experiment settings from an
                                          INI file (flags below override it)
-  --scenario=normal|high|highsusp|year   scenario preset (default normal)
+  --scenario=<name|preset.ini>           scenario preset: normal | high |
+                                         highsusp | year, or the path of a
+                                         workload preset file written by
+                                         `calibrate --emit-preset`
+                                         (default normal)
   --scale=<0..1>                         cluster/workload scale (default 0.25)
   --seed=<n>                             workload seed (default 42)
   --policy=<name>                        NoRes | ResSusUtil | ResSusRand |
@@ -93,17 +99,18 @@ any --jobs value produces bit-identical reports.
   --profile                              per-run wall-clock / events/sec table
   --csv-out=<path>                       summary rows as CSV
   --json-out=<path>                      per-run reports + summary as JSON
-)";
 
-runner::Scenario MakeScenario(const std::string& name, double scale,
-                              std::uint64_t seed) {
-  if (name == "normal") return runner::NormalLoadScenario(scale, seed);
-  if (name == "high") return runner::HighLoadScenario(scale, seed);
-  if (name == "highsusp") return runner::HighSuspensionScenario(scale, seed);
-  if (name == "year") return runner::YearLongScenario(scale, seed);
-  NETBATCH_CHECK(false, "unknown --scenario (normal|high|highsusp|year)");
-  return {};
-}
+Calibrate subcommand — fit the workload generator to an observed trace
+(calib/fit.h) and optionally save the result as a scenario preset usable
+anywhere --scenario is accepted:
+
+  netbatch_cli calibrate --in=<trace.csv> [flags]
+  --emit-preset=<path>                   write the fitted GeneratorConfig as
+                                         a workload preset INI
+  --report                               regenerate a trace from the fit and
+                                         print the goodness-of-fit report
+                                         (KS statistics, quantile tables)
+)";
 
 std::vector<std::string> SplitList(const std::string& text) {
   std::vector<std::string> items;
@@ -195,6 +202,35 @@ void PrintCounters(const CounterSnapshot& snapshot) {
   }
 }
 
+int RunCalibrateCommand(const Flags& flags) {
+  const std::string in = flags.GetString("in", "");
+  NETBATCH_CHECK(!in.empty(), "calibrate requires --in=<trace.csv>");
+  const std::string emit_preset = flags.GetString("emit-preset", "");
+  const bool report = flags.GetBool("report", false);
+  const auto unused = flags.UnusedFlags();
+  NETBATCH_CHECK(unused.empty(),
+                 "unknown flag --" + (unused.empty() ? "" : unused.front()) +
+                     " (see --help)");
+
+  const workload::Trace trace = workload::ReadTraceFile(in);
+  NETBATCH_CHECK(trace.size() > 0, "cannot calibrate an empty trace");
+  const calib::FittedWorkloadModel fitted = calib::FitWorkloadModel(trace);
+  std::printf("%s\n", calib::RenderFitSummary(fitted).c_str());
+
+  if (!emit_preset.empty()) {
+    runner::WriteWorkloadPresetFile(emit_preset, fitted.config);
+    std::printf("wrote workload preset: %s (run it with --scenario=%s)\n",
+                emit_preset.c_str(), emit_preset.c_str());
+  }
+  if (report) {
+    const workload::Trace regenerated = workload::GenerateTrace(fitted.config);
+    const calib::GoodnessReport goodness =
+        calib::EvaluateFit(trace, regenerated);
+    std::printf("\n%s\n", calib::RenderGoodnessReport(goodness).c_str());
+  }
+  return 0;
+}
+
 int RunSweepCommand(const Flags& flags) {
   const std::string scenario_name = flags.GetString("scenario", "normal");
   const double scale = flags.GetDouble("scale", 0.25);
@@ -254,7 +290,7 @@ int RunSweepCommand(const Flags& flags) {
                      " (see --help)");
 
   const runner::Scenario scenario =
-      MakeScenario(scenario_name, scale, base_seed);
+      runner::ResolveScenario(scenario_name, scale, base_seed);
 
   std::vector<runner::ExperimentSpec> specs;
   for (const runner::InitialSchedulerKind scheduler : schedulers) {
@@ -329,6 +365,10 @@ int main(int argc, char** argv) {
   if (!flags.positional().empty() && flags.positional().front() == "sweep") {
     return RunSweepCommand(flags);
   }
+  if (!flags.positional().empty() &&
+      flags.positional().front() == "calibrate") {
+    return RunCalibrateCommand(flags);
+  }
 
   // Base configuration: an INI file when given, defaults otherwise;
   // individual flags override either.
@@ -346,7 +386,7 @@ int main(int argc, char** argv) {
   std::string scenario_name = flags.GetString("scenario", "normal");
   if (!from_file || flags.Has("scenario") || flags.Has("scale") ||
       flags.Has("seed")) {
-    config.scenario = MakeScenario(scenario_name, scale, seed);
+    config.scenario = runner::ResolveScenario(scenario_name, scale, seed);
   }
 
   if (!from_file || flags.Has("scheduler")) {
