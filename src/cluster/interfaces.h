@@ -84,6 +84,11 @@ class SimulationObserver {
   }
   virtual void OnJobCompleted(const Job& job) { (void)job; }
   virtual void OnJobRejected(const Job& job) { (void)job; }
+  // A machine failure threw the job off its host (it loses un-checkpointed
+  // progress and is resubmitted; a placement hook fires next for it).
+  virtual void OnJobEvicted(const Job& job) { (void)job; }
+  // The job lost a twin race and was terminated (duplication extension).
+  virtual void OnJobKilled(const Job& job) { (void)job; }
   // Fired once per sampling period (one simulated minute by default),
   // mirroring ASCA's per-minute state logs (§3.1).
   virtual void OnSample(Ticks now, const ClusterView& view) {

@@ -19,6 +19,7 @@ struct InvariantViolation {
   Ticks time = 0;
   PoolId pool;        // invalid for cluster-wide (cross-pool) checks
   std::string what;
+  MachineId machine;  // set for per-machine checks (index consistency)
 };
 
 class InvariantSink {

@@ -42,7 +42,36 @@ void RemoveId(std::vector<JobId>& jobs, JobId job) {
 }
 }  // namespace
 
-void Machine::RemoveRunning(JobId job) { RemoveId(running_, job); }
+void Machine::AddRunning(JobId job, std::int32_t priority, std::int32_t cores,
+                         std::int64_t memory_mb) {
+  running_.push_back(job);
+  auto it = std::lower_bound(
+      running_classes_.begin(), running_classes_.end(), priority,
+      [](const RunningClass& cls, std::int32_t p) { return cls.priority < p; });
+  if (it == running_classes_.end() || it->priority != priority) {
+    it = running_classes_.insert(it, RunningClass{priority, 0, 0, 0});
+  }
+  ++it->jobs;
+  it->cores += cores;
+  it->memory_mb += memory_mb;
+}
+
+void Machine::RemoveRunning(JobId job, std::int32_t priority,
+                            std::int32_t cores, std::int64_t memory_mb) {
+  RemoveId(running_, job);
+  const auto it = std::lower_bound(
+      running_classes_.begin(), running_classes_.end(), priority,
+      [](const RunningClass& cls, std::int32_t p) { return cls.priority < p; });
+  NETBATCH_CHECK(it != running_classes_.end() && it->priority == priority,
+                 "running-class summary missing the job's priority");
+  --it->jobs;
+  it->cores -= cores;
+  it->memory_mb -= memory_mb;
+  NETBATCH_CHECK(it->jobs >= 0 && it->cores >= 0 && it->memory_mb >= 0,
+                 "running-class summary went negative");
+  if (it->jobs == 0) running_classes_.erase(it);
+}
+
 void Machine::RemoveSuspended(JobId job) { RemoveId(suspended_, job); }
 
 }  // namespace netbatch::cluster

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -53,14 +54,53 @@ class Machine {
   void Release(std::int32_t cores, std::int64_t memory_mb);
 
   // Running/suspended job registries (order = arrival order on host).
+  // AddRunning/RemoveRunning also maintain the per-priority running-class
+  // summary below, so callers pass the job's priority and resource demand.
   const std::vector<JobId>& running() const { return running_; }
   const std::vector<JobId>& suspended() const { return suspended_; }
-  void AddRunning(JobId job) { running_.push_back(job); }
-  void RemoveRunning(JobId job);
+  void AddRunning(JobId job, std::int32_t priority, std::int32_t cores,
+                  std::int64_t memory_mb);
+  void RemoveRunning(JobId job, std::int32_t priority, std::int32_t cores,
+                     std::int64_t memory_mb);
   void AddSuspended(JobId job) { suspended_.push_back(job); }
   void RemoveSuspended(JobId job);
 
+  // --- preemptible-priority summary ---------------------------------------
+  // Aggregates the running jobs by priority so the pool's preemption step
+  // can skip machines that cannot yield without touching their job lists.
+
+  // Sentinel "no running work" priority — above every real priority.
+  static constexpr std::int32_t kNoRunningPriority =
+      std::numeric_limits<std::int32_t>::max();
+
+  // Priority of the machine's lowest-priority running job (the best victim
+  // class); kNoRunningPriority when nothing runs here.
+  std::int32_t lowest_running_priority() const {
+    return running_classes_.empty() ? kNoRunningPriority
+                                    : running_classes_.front().priority;
+  }
+
+  // Total cores/memory held by running jobs with priority strictly below
+  // `priority` — exactly what a preemption at that priority could reclaim.
+  void ReclaimableBelow(std::int32_t priority, std::int32_t& cores,
+                        std::int64_t& memory_mb) const {
+    cores = 0;
+    memory_mb = 0;
+    for (const RunningClass& cls : running_classes_) {
+      if (cls.priority >= priority) break;
+      cores += cls.cores;
+      memory_mb += cls.memory_mb;
+    }
+  }
+
  private:
+  struct RunningClass {
+    std::int32_t priority = 0;
+    std::int32_t jobs = 0;
+    std::int32_t cores = 0;
+    std::int64_t memory_mb = 0;
+  };
+
   MachineId id_;
   PoolId pool_;
   std::int32_t owner_;
@@ -72,6 +112,9 @@ class Machine {
   bool online_ = true;
   std::vector<JobId> running_;
   std::vector<JobId> suspended_;
+  // Sorted by priority ascending; a handful of entries (one per distinct
+  // running priority on this host).
+  std::vector<RunningClass> running_classes_;
 };
 
 }  // namespace netbatch::cluster

@@ -1,0 +1,280 @@
+#include "cluster/placement_index.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "cluster/machine.h"
+#include "common/check.h"
+
+namespace netbatch::cluster {
+namespace {
+
+constexpr std::int64_t kNoMemory = -1;
+
+}  // namespace
+
+void FreeCapacityIndex::Rebuild(const std::vector<Machine>& machines) {
+  std::int32_t max_cores = 0;
+  for (const Machine& machine : machines) {
+    max_cores = std::max(max_cores, machine.cores_total());
+  }
+  words_ = (machines.size() + 63) / 64;
+  by_cores_.assign(static_cast<std::size_t>(max_cores) + 1, Bucket{});
+  for (Bucket& bucket : by_cores_) {
+    bucket.bits.assign(words_, 0);
+    bucket.word_max_memory.assign(words_, kNoMemory);
+  }
+  entries_.assign(machines.size(), Entry{});
+  for (const Machine& machine : machines) {
+    NETBATCH_CHECK(machine.id().value() < machines.size(),
+                   "machine id out of index range");
+    Update(machine);
+  }
+}
+
+void FreeCapacityIndex::Remove(MachineId::ValueType id) {
+  Entry& entry = entries_[id];
+  if (!entry.present) return;
+  Bucket& bucket = by_cores_[static_cast<std::size_t>(entry.cores_free)];
+  const std::size_t word = id / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (id % 64);
+  NETBATCH_CHECK((bucket.bits[word] & bit) != 0, "index bucket missing entry");
+  bucket.bits[word] &= ~bit;
+  --bucket.count;
+  if (entry.memory_free_mb == bucket.word_max_memory[word]) {
+    // The departing machine may have carried the word's max; recompute
+    // from the <= 63 remaining members.
+    std::int64_t max = kNoMemory;
+    for (std::uint64_t rest = bucket.bits[word]; rest != 0; rest &= rest - 1) {
+      const MachineId::ValueType other =
+          static_cast<MachineId::ValueType>(word * 64) +
+          static_cast<MachineId::ValueType>(std::countr_zero(rest));
+      max = std::max(max, entries_[other].memory_free_mb);
+    }
+    bucket.word_max_memory[word] = max;
+  }
+  entry.present = false;
+}
+
+void FreeCapacityIndex::Insert(MachineId::ValueType id,
+                               std::int32_t cores_free,
+                               std::int64_t memory_free_mb) {
+  Bucket& bucket = by_cores_[static_cast<std::size_t>(cores_free)];
+  const std::size_t word = id / 64;
+  bucket.bits[word] |= std::uint64_t{1} << (id % 64);
+  ++bucket.count;
+  bucket.word_max_memory[word] =
+      std::max(bucket.word_max_memory[word], memory_free_mb);
+  entries_[id] = Entry{true, cores_free, memory_free_mb};
+}
+
+void FreeCapacityIndex::Update(const Machine& machine) {
+  const MachineId::ValueType id = machine.id().value();
+  NETBATCH_CHECK(id < entries_.size(), "machine id out of index range");
+  const Entry& entry = entries_[id];
+  if (entry.present && machine.online() &&
+      entry.cores_free == machine.cores_free() &&
+      entry.memory_free_mb == machine.memory_free_mb()) {
+    return;
+  }
+  Remove(id);
+  if (machine.online()) {
+    Insert(id, machine.cores_free(), machine.memory_free_mb());
+  }
+}
+
+MachineId FreeCapacityIndex::FirstFit(std::int32_t cores,
+                                      std::int64_t memory_mb) const {
+  if (static_cast<std::size_t>(cores) >= by_cores_.size()) return MachineId();
+  MachineId::ValueType best = std::numeric_limits<MachineId::ValueType>::max();
+  std::size_t best_word = words_;  // words at/after this cannot improve
+  for (std::size_t c = static_cast<std::size_t>(std::max(cores, 0));
+       c < by_cores_.size(); ++c) {
+    const Bucket& bucket = by_cores_[c];
+    if (bucket.count == 0) continue;
+    for (std::size_t word = 0; word <= best_word && word < words_; ++word) {
+      if (bucket.word_max_memory[word] < memory_mb) continue;
+      for (std::uint64_t rest = bucket.bits[word]; rest != 0;
+           rest &= rest - 1) {
+        const MachineId::ValueType id =
+            static_cast<MachineId::ValueType>(word * 64) +
+            static_cast<MachineId::ValueType>(std::countr_zero(rest));
+        if (id >= best) break;
+        if (entries_[id].memory_free_mb >= memory_mb) {
+          best = id;
+          best_word = word;
+          break;
+        }
+      }
+      break;  // only the first qualifying word can beat `best` in id order
+    }
+  }
+  return best == std::numeric_limits<MachineId::ValueType>::max()
+             ? MachineId()
+             : MachineId(best);
+}
+
+void FreeCapacityIndex::Audit(
+    const std::vector<Machine>& machines,
+    const std::function<void(MachineId, const char*)>& report) const {
+  if (entries_.size() != machines.size()) {
+    report(MachineId(), "free-capacity index sized for wrong machine count");
+    return;
+  }
+  std::size_t indexed = 0;
+  for (const Machine& machine : machines) {
+    const MachineId::ValueType id = machine.id().value();
+    const Entry& entry = entries_[id];
+    if (entry.present != machine.online()) {
+      report(machine.id(),
+             "free-capacity index presence disagrees with online state");
+      continue;
+    }
+    if (!entry.present) continue;
+    ++indexed;
+    if (entry.cores_free != machine.cores_free() ||
+        entry.memory_free_mb != machine.memory_free_mb()) {
+      report(machine.id(), "free-capacity index entry is stale");
+      continue;
+    }
+    const Bucket& bucket = by_cores_[static_cast<std::size_t>(entry.cores_free)];
+    if ((bucket.bits[id / 64] & (std::uint64_t{1} << (id % 64))) == 0) {
+      report(machine.id(), "free-capacity index bucket missing machine");
+    }
+  }
+  std::size_t bucketed = 0;
+  for (const Bucket& bucket : by_cores_) {
+    std::size_t members = 0;
+    for (std::size_t word = 0; word < words_; ++word) {
+      members += static_cast<std::size_t>(std::popcount(bucket.bits[word]));
+      // Word summary must equal the true max free memory of its members.
+      std::int64_t max = kNoMemory;
+      for (std::uint64_t rest = bucket.bits[word]; rest != 0;
+           rest &= rest - 1) {
+        const MachineId::ValueType id =
+            static_cast<MachineId::ValueType>(word * 64) +
+            static_cast<MachineId::ValueType>(std::countr_zero(rest));
+        max = std::max(max, entries_[id].memory_free_mb);
+      }
+      if (max != bucket.word_max_memory[word]) {
+        report(MachineId(), "free-capacity bucket memory summary out of sync");
+      }
+    }
+    if (members != bucket.count) {
+      report(MachineId(), "free-capacity bucket count out of sync");
+    }
+    bucketed += members;
+  }
+  if (bucketed != indexed) {
+    report(MachineId(), "free-capacity index holds stray machines");
+  }
+}
+
+void CapacityClassIndex::Rebuild(const std::vector<Machine>& machines) {
+  classes_.clear();
+  for (const Machine& machine : machines) {
+    Class* found = nullptr;
+    for (Class& cls : classes_) {
+      if (cls.cores_total == machine.cores_total() &&
+          cls.memory_total_mb == machine.memory_total_mb()) {
+        found = &cls;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      classes_.push_back(Class{machine.cores_total(),
+                               machine.memory_total_mb(), 0, 0});
+      found = &classes_.back();
+    }
+    ++found->machines;
+    if (machine.online()) ++found->online;
+  }
+  // Memoize the eligibility structure once: keep only Pareto-maximal
+  // shapes, cores ascending / memory strictly descending.
+  frontier_.clear();
+  for (const Class& cls : classes_) {
+    frontier_.emplace_back(cls.cores_total, cls.memory_total_mb);
+  }
+  std::sort(frontier_.begin(), frontier_.end());
+  std::vector<std::pair<std::int32_t, std::int64_t>> pareto;
+  for (auto it = frontier_.rbegin(); it != frontier_.rend(); ++it) {
+    if (pareto.empty() || it->second > pareto.back().second) {
+      pareto.push_back(*it);
+    }
+  }
+  std::reverse(pareto.begin(), pareto.end());
+  frontier_ = std::move(pareto);
+}
+
+void CapacityClassIndex::OnOnlineChanged(const Machine& machine,
+                                         bool now_online) {
+  for (Class& cls : classes_) {
+    if (cls.cores_total == machine.cores_total() &&
+        cls.memory_total_mb == machine.memory_total_mb()) {
+      cls.online += now_online ? 1 : -1;
+      NETBATCH_CHECK(cls.online >= 0 && cls.online <= cls.machines,
+                     "capacity class online count out of range");
+      return;
+    }
+  }
+  NETBATCH_CHECK(false, "machine belongs to no capacity class");
+}
+
+bool CapacityClassIndex::AnyEligible(std::int32_t cores,
+                                     std::int64_t memory_mb,
+                                     bool require_online) const {
+  if (require_online) {
+    // Not frontier-answerable (online counts change), but the class list
+    // is tiny.
+    for (const Class& cls : classes_) {
+      if (cls.online > 0 && cls.cores_total >= cores &&
+          cls.memory_total_mb >= memory_mb) {
+        return true;
+      }
+    }
+    return false;
+  }
+  // First frontier shape with enough cores has the most memory of any
+  // shape with enough cores.
+  for (const auto& [frontier_cores, frontier_memory] : frontier_) {
+    if (frontier_cores >= cores) return frontier_memory >= memory_mb;
+  }
+  return false;
+}
+
+void CapacityClassIndex::Audit(
+    const std::vector<Machine>& machines,
+    const std::function<void(const char*)>& report) const {
+  std::int64_t total = 0;
+  std::int64_t online = 0;
+  for (const Class& cls : classes_) {
+    total += cls.machines;
+    online += cls.online;
+  }
+  std::int64_t actual_online = 0;
+  for (const Machine& machine : machines) {
+    if (machine.online()) ++actual_online;
+  }
+  if (total != static_cast<std::int64_t>(machines.size())) {
+    report("capacity classes cover wrong machine count");
+  }
+  if (online != actual_online) {
+    report("capacity class online counts out of sync");
+  }
+  // The frontier must answer exactly like a scan over the classes.
+  for (const Class& cls : classes_) {
+    bool frontier_says = false;
+    for (const auto& [frontier_cores, frontier_memory] : frontier_) {
+      if (frontier_cores >= cls.cores_total) {
+        frontier_says = frontier_memory >= cls.memory_total_mb;
+        break;
+      }
+    }
+    if (!frontier_says) {
+      report("capacity frontier disagrees with class list");
+    }
+  }
+}
+
+}  // namespace netbatch::cluster

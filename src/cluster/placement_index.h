@@ -1,0 +1,119 @@
+// Incremental placement index over a pool's machines.
+//
+// PhysicalPool's placement semantics are defined in terms of linear scans
+// ("first eligible machine with free resources", paper §2.1) that cost
+// O(machines) per decision — untenable for the pools the paper describes
+// ("tens of thousands of machines"). The structures here answer the same
+// queries from incrementally maintained summaries, in machine-id order, so
+// placement results stay bit-identical to the scans they replace:
+//
+//   * FreeCapacityIndex — online machines bucketed by exact free-core
+//     count, each bucket an id-ordered bitmap with a max-free-memory
+//     summary per 64-machine word. FirstFit(c, m) replaces TryPlace
+//     step 1's scan. Updates are allocation-free bit flips plus one
+//     bounded word-summary refresh, because placement mutates the index
+//     on every Claim/Release and a tree-node allocation per update costs
+//     more than the scan it replaces on mid-sized pools.
+//   * CapacityClassIndex — the distinct (cores_total, memory_total_mb)
+//     machine shapes with machine/online counts, memoized at Rebuild into
+//     a Pareto frontier (capacity totals are immutable, so the frontier
+//     never invalidates). Replaces HasEligibleMachine's scan.
+//
+// The third summary (per-machine preemptible-priority classes, replacing
+// TryPlace step 2's scan) lives on Machine itself plus an id-ordered
+// registry in PhysicalPool; see Machine::lowest_running_priority().
+//
+// Both indexes are pure caches over Machine state: every query is
+// answerable (slowly) from the machines alone, and PhysicalPool's
+// AuditInvariants proves the caches match a from-scratch rebuild.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace netbatch::cluster {
+
+class Machine;
+
+class FreeCapacityIndex {
+ public:
+  // Registers every machine (capacity table sizing) and indexes the online
+  // ones. Machine ids must equal their position in `machines`.
+  void Rebuild(const std::vector<Machine>& machines);
+
+  // Re-syncs one machine after any change to its free resources or online
+  // state. Offline machines are absent from the index.
+  void Update(const Machine& machine);
+
+  // Smallest-id online machine with cores_free >= cores and
+  // memory_free_mb >= memory_mb; invalid id when none qualifies.
+  MachineId FirstFit(std::int32_t cores, std::int64_t memory_mb) const;
+
+  // Reports every divergence between the index and the machines' actual
+  // state to `report(machine, what)` — the pool audit's consistency check.
+  void Audit(const std::vector<Machine>& machines,
+             const std::function<void(MachineId, const char*)>& report) const;
+
+ private:
+  // Machines holding exactly `cores_free` free cores, as a bitmap over
+  // machine ids (bit order = id order = the first-eligible-machine
+  // placement order), plus the max free memory per 64-id word so FirstFit
+  // can skip words that cannot satisfy the memory demand.
+  struct Bucket {
+    std::vector<std::uint64_t> bits;
+    std::vector<std::int64_t> word_max_memory;
+    std::size_t count = 0;
+  };
+  struct Entry {
+    bool present = false;
+    std::int32_t cores_free = 0;
+    std::int64_t memory_free_mb = 0;
+  };
+
+  void Remove(MachineId::ValueType id);
+  void Insert(MachineId::ValueType id, std::int32_t cores_free,
+              std::int64_t memory_free_mb);
+
+  // Indexed by exact free-core count (bounded by the largest machine's
+  // core total), so bucket lookup is one array access.
+  std::vector<Bucket> by_cores_;
+  std::vector<Entry> entries_;  // mirror of what the index holds, by id
+  std::size_t words_ = 0;       // ceil(machines / 64)
+};
+
+class CapacityClassIndex {
+ public:
+  void Rebuild(const std::vector<Machine>& machines);
+
+  // Tracks online/offline flips (capacity totals never change).
+  void OnOnlineChanged(const Machine& machine, bool now_online);
+
+  // Whether any machine (with require_online: any *online* machine) has the
+  // capacity to ever run a (cores, memory) demand. The capacity-only form
+  // answers from the Pareto frontier precomputed at Rebuild — machine
+  // capacity totals are immutable, so it is never invalidated.
+  bool AnyEligible(std::int32_t cores, std::int64_t memory_mb,
+                   bool require_online) const;
+
+  void Audit(const std::vector<Machine>& machines,
+             const std::function<void(const char*)>& report) const;
+
+ private:
+  struct Class {
+    std::int32_t cores_total = 0;
+    std::int64_t memory_total_mb = 0;
+    std::int32_t machines = 0;
+    std::int32_t online = 0;
+  };
+  // A handful of entries (distinct machine shapes in the pool).
+  std::vector<Class> classes_;
+  // Pareto-maximal (cores_total, memory_total_mb) pairs, cores ascending
+  // and memory strictly descending: eligibility is "first frontier entry
+  // with cores_total >= demand also has the memory".
+  std::vector<std::pair<std::int32_t, std::int64_t>> frontier_;
+};
+
+}  // namespace netbatch::cluster

@@ -1,6 +1,8 @@
 #include "cluster/pool.h"
 
 #include <algorithm>
+#include <bit>
+#include <limits>
 
 namespace netbatch::cluster {
 
@@ -13,9 +15,52 @@ PhysicalPool::PhysicalPool(PoolId id, std::vector<Machine> machines,
       suspended_holds_memory_(suspended_holds_memory),
       local_resume_first_(local_resume_first),
       observer_(observer) {
-  for (const Machine& machine : machines_) {
-    NETBATCH_CHECK(machine.pool() == id_, "machine assigned to wrong pool");
-    total_cores_ += machine.cores_total();
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    NETBATCH_CHECK(machines_[m].pool() == id_,
+                   "machine assigned to wrong pool");
+    NETBATCH_CHECK(machines_[m].id().value() == m,
+                   "machine ids must be dense and in table order");
+    total_cores_ += machines_[m].cores_total();
+  }
+  machine_words_ = (machines_.size() + 63) / 64;
+  free_index_.Rebuild(machines_);
+  capacity_classes_.Rebuild(machines_);
+}
+
+void PhysicalPool::AddRunningIndexed(Machine& machine, const Job& job) {
+  const std::int32_t before = machine.lowest_running_priority();
+  machine.AddRunning(job.id(), job.priority(), job.spec().cores,
+                     job.spec().memory_mb);
+  ReindexPreemptible(machine, before);
+}
+
+void PhysicalPool::RemoveRunningIndexed(Machine& machine, const Job& job) {
+  const std::int32_t before = machine.lowest_running_priority();
+  machine.RemoveRunning(job.id(), job.priority(), job.spec().cores,
+                        job.spec().memory_mb);
+  ReindexPreemptible(machine, before);
+}
+
+void PhysicalPool::ReindexPreemptible(const Machine& machine,
+                                      std::int32_t before) {
+  const std::int32_t after = machine.lowest_running_priority();
+  if (before == after) return;
+  const MachineId::ValueType id = machine.id().value();
+  const std::size_t word = id / 64;
+  const std::uint64_t bit = std::uint64_t{1} << (id % 64);
+  if (before != Machine::kNoRunningPriority) {
+    const auto it = preemptible_.find(before);
+    NETBATCH_CHECK(
+        it != preemptible_.end() && (it->second.bits[word] & bit) != 0,
+        "preemptible registry out of sync");
+    it->second.bits[word] &= ~bit;
+    --it->second.count;
+  }
+  if (after != Machine::kNoRunningPriority) {
+    PriorityBitmap& bitmap = preemptible_[after];
+    if (bitmap.bits.empty()) bitmap.bits.assign(machine_words_, 0);
+    bitmap.bits[word] |= bit;
+    ++bitmap.count;
   }
 }
 
@@ -27,16 +72,14 @@ Machine& PhysicalPool::MachineById(MachineId id) {
 
 bool PhysicalPool::HasEligibleMachine(const workload::JobSpec& spec,
                                       bool require_online) const {
-  return std::any_of(machines_.begin(), machines_.end(),
-                     [&](const Machine& machine) {
-                       return (!require_online || machine.online()) &&
-                              machine.Eligible(spec.cores, spec.memory_mb);
-                     });
+  return capacity_classes_.AnyEligible(spec.cores, spec.memory_mb,
+                                       require_online);
 }
 
 void PhysicalPool::StartOn(Job& job, Machine& machine, Ticks now) {
   machine.Claim(job.spec().cores, job.spec().memory_mb);
-  machine.AddRunning(job.id());
+  AddRunningIndexed(machine, job);
+  ReindexFree(machine);
   job.set_pool(id_);
   job.OnStarted(now, machine.id(), machine.speed());
   busy_cores_ += job.spec().cores;
@@ -48,20 +91,92 @@ void PhysicalPool::ResumeOn(Job& job, Machine& machine, Ticks now) {
   machine.Claim(job.spec().cores,
                 suspended_holds_memory_ ? 0 : job.spec().memory_mb);
   machine.RemoveSuspended(job.id());
-  machine.AddRunning(job.id());
+  AddRunningIndexed(machine, job);
+  ReindexFree(machine);
   --suspended_count_;
   job.OnResumed(now);
   busy_cores_ += job.spec().cores;
   if (observer_ != nullptr) observer_->OnJobResumed(job);
 }
 
+// Memory demands are summarized in power-of-two buckets: bucket b >= 1
+// covers [2^(b-1), 2^b); its floor 2^(b-1) under-estimates every member,
+// which keeps the backfill gate conservative.
+namespace {
+std::size_t MemoryBucket(std::int64_t memory_mb) {
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(memory_mb)));
+}
+}  // namespace
+
+void PhysicalPool::AddWaitingDemand(std::int32_t cores,
+                                    std::int64_t memory_mb) {
+  const std::size_t slot = static_cast<std::size_t>(cores);
+  if (slot >= waiting_cores_count_.size()) {
+    waiting_cores_count_.resize(slot + 1, 0);
+  }
+  ++waiting_cores_count_[slot];
+  ++waiting_memory_count_[MemoryBucket(memory_mb)];
+}
+
+void PhysicalPool::RemoveWaitingDemand(std::int32_t cores,
+                                       std::int64_t memory_mb) {
+  const std::size_t slot = static_cast<std::size_t>(cores);
+  NETBATCH_CHECK(slot < waiting_cores_count_.size() &&
+                     waiting_cores_count_[slot] > 0,
+                 "wait-queue core index out of sync");
+  --waiting_cores_count_[slot];
+  const std::size_t bucket = MemoryBucket(memory_mb);
+  NETBATCH_CHECK(waiting_memory_count_[bucket] > 0,
+                 "wait-queue memory index out of sync");
+  --waiting_memory_count_[bucket];
+}
+
+std::int32_t PhysicalPool::MinWaitingCores() const {
+  for (std::size_t c = 0; c < waiting_cores_count_.size(); ++c) {
+    if (waiting_cores_count_[c] > 0) return static_cast<std::int32_t>(c);
+  }
+  return std::numeric_limits<std::int32_t>::max();
+}
+
+std::int64_t PhysicalPool::MinWaitingMemoryFloor() const {
+  for (std::size_t b = 0; b < waiting_memory_count_.size(); ++b) {
+    if (waiting_memory_count_[b] > 0) {
+      return b == 0 ? 0 : std::int64_t{1} << (b - 1);
+    }
+  }
+  return std::numeric_limits<std::int64_t>::max();
+}
+
 void PhysicalPool::Enqueue(Job& job, Ticks now) {
   const WaitKey key{-job.priority(), next_wait_seq_++};
-  waiting_.emplace(key, job.id());
+  waiting_.emplace(key,
+                   WaitEntry{job.id(), job.spec().cores, job.spec().memory_mb});
   waiting_index_.emplace(job.id(), key);
-  waiting_cores_.insert(job.spec().cores);
+  AddWaitingDemand(job.spec().cores, job.spec().memory_mb);
   job.OnEnqueued(now, id_);
   if (observer_ != nullptr) observer_->OnJobEnqueued(job);
+}
+
+bool PhysicalPool::CouldPreemptFor(const Machine& machine,
+                                   const workload::JobSpec& spec,
+                                   workload::Priority priority) const {
+  if (!machine.online() || !machine.Eligible(spec.cores, spec.memory_mb)) {
+    return false;
+  }
+  if (machine.owner() != workload::kNoOwner &&
+      machine.owner() != spec.owner) {
+    return false;
+  }
+  // Suspending every lower-priority running job reclaims exactly the
+  // running-class totals below `priority`, so this is precise feasibility
+  // of PreemptionPlan — not a heuristic prefilter.
+  std::int32_t reclaim_cores = 0;
+  std::int64_t reclaim_memory = 0;
+  machine.ReclaimableBelow(priority, reclaim_cores, reclaim_memory);
+  if (suspended_holds_memory_) reclaim_memory = 0;
+  return machine.cores_free() + reclaim_cores >= spec.cores &&
+         machine.memory_free_mb() + reclaim_memory >= spec.memory_mb;
 }
 
 bool PhysicalPool::PreemptionPlan(const Machine& machine,
@@ -128,35 +243,72 @@ PlaceResult PhysicalPool::TryPlace(Job& job, Ticks now, bool allow_queue,
     return result;
   }
 
-  // Step 1: first eligible machine with free resources.
-  for (Machine& machine : machines_) {
-    if (!machine.online()) continue;
-    if (machine.Fits(spec.cores, spec.memory_mb)) {
-      StartOn(job, machine, now);
-      result.outcome = PlaceOutcome::kStarted;
-      result.machine = machine.id();
-      return result;
-    }
-  }
-
-  // Step 2: preempt lower-priority work on the first machine where that
-  // creates room.
-  std::vector<JobId> victims;
-  for (Machine& machine : machines_) {
-    if (!PreemptionPlan(machine, spec, job.priority(), victims)) continue;
-    for (JobId victim_id : victims) {
-      Job& victim = jobs_->at(victim_id);
-      machine.RemoveRunning(victim_id);
-      machine.Release(victim.spec().cores,
-                      suspended_holds_memory_ ? 0 : victim.spec().memory_mb);
-      machine.AddSuspended(victim_id);
-      ++suspended_count_;
-      busy_cores_ -= victim.spec().cores;
-      victim.OnSuspended(now);
-    }
+  // Step 1: first eligible machine with free resources — the smallest-id
+  // online machine the job fits, straight from the free-capacity index.
+  const MachineId fit = free_index_.FirstFit(spec.cores, spec.memory_mb);
+  if (fit.valid()) {
+    Machine& machine = machines_[fit.value()];
     StartOn(job, machine, now);
     result.outcome = PlaceOutcome::kStarted;
     result.machine = machine.id();
+    return result;
+  }
+
+  // Step 2: preempt lower-priority work on the first machine where that
+  // creates room. Only machines whose lowest running priority is below the
+  // job's can yield anything (step 1 already proved nothing fits for free),
+  // so OR the id-ordered preemptible bitmaps below the job's priority word
+  // by word — visiting exactly the viable machines, in the original scan
+  // order. The target is located read-only first: suspensions mutate the
+  // registry the merge iterates.
+  Machine* target = nullptr;
+  {
+    preempt_scratch_.clear();
+    for (auto it = preemptible_.begin();
+         it != preemptible_.end() && it->first < job.priority(); ++it) {
+      if (it->second.count > 0) preempt_scratch_.push_back(&it->second);
+    }
+    for (std::size_t word = 0;
+         word < machine_words_ && target == nullptr &&
+         !preempt_scratch_.empty();
+         ++word) {
+      std::uint64_t merged = 0;
+      for (const PriorityBitmap* bitmap : preempt_scratch_) {
+        merged |= bitmap->bits[word];
+      }
+      for (std::uint64_t rest = merged; rest != 0; rest &= rest - 1) {
+        const MachineId::ValueType id =
+            static_cast<MachineId::ValueType>(word * 64) +
+            static_cast<MachineId::ValueType>(std::countr_zero(rest));
+        Machine& machine = machines_[id];
+        if (CouldPreemptFor(machine, spec, job.priority())) {
+          target = &machine;
+          break;
+        }
+      }
+    }
+  }
+  if (target != nullptr) {
+    std::vector<JobId> victims;
+    NETBATCH_CHECK(
+        PreemptionPlan(*target, spec, job.priority(), victims) &&
+            !victims.empty(),
+        "preemption feasibility filter disagreed with the plan");
+    for (JobId victim_id : victims) {
+      Job& victim = jobs_->at(victim_id);
+      RemoveRunningIndexed(*target, victim);
+      target->Release(victim.spec().cores,
+                      suspended_holds_memory_ ? 0 : victim.spec().memory_mb);
+      target->AddSuspended(victim_id);
+      ++suspended_count_;
+      busy_cores_ -= victim.spec().cores;
+      victim.OnSuspended(now);
+      ReindexFree(*target);
+      if (observer_ != nullptr) observer_->OnJobSuspended(victim);
+    }
+    StartOn(job, *target, now);
+    result.outcome = PlaceOutcome::kStarted;
+    result.machine = target->id();
     result.suspended = std::move(victims);
     return result;
   }
@@ -176,11 +328,8 @@ void PhysicalPool::RemoveFromQueue(JobId job) {
   const auto it = waiting_index_.find(job);
   NETBATCH_CHECK(it != waiting_index_.end(), "job not in this wait queue");
   waiting_.erase(it->second);
-  const auto cores_it =
-      waiting_cores_.find(jobs_->at(job).spec().cores);
-  NETBATCH_CHECK(cores_it != waiting_cores_.end(),
-                 "wait-queue core index out of sync");
-  waiting_cores_.erase(cores_it);
+  const workload::JobSpec& spec = jobs_->at(job).spec();
+  RemoveWaitingDemand(spec.cores, spec.memory_mb);
   waiting_index_.erase(it);
 }
 
@@ -192,6 +341,7 @@ MachineId PhysicalPool::DetachSuspended(Job& job) {
   --suspended_count_;
   if (suspended_holds_memory_) {
     machine.Release(0, job.spec().memory_mb);
+    ReindexFree(machine);
   }
   return machine.id();
 }
@@ -228,12 +378,15 @@ JobId PhysicalPool::ScheduleNextOn(Machine& machine, Ticks now) {
   // ordered (priority desc, FIFO), so the first fit is the best fit.
   JobId best_waiting;
   workload::Priority best_waiting_prio = 0;
-  if (!waiting_.empty() && !waiting_cores_.empty() &&
-      machine.cores_free() >= *waiting_cores_.begin()) {
-    for (const auto& [key, id] : waiting_) {
-      const Job& job = jobs_->at(id);
-      if (machine.Fits(job.spec().cores, job.spec().memory_mb)) {
-        best_waiting = id;
+  // Gate on both demand minima: a machine with idle cores but exhausted
+  // memory (or vice versa) cannot start any waiting job, so don't walk the
+  // queue for it. The minima come from different jobs, so passing the gate
+  // doesn't guarantee a fit — it only prunes certain misses.
+  if (!waiting_.empty() && machine.cores_free() >= MinWaitingCores() &&
+      machine.memory_free_mb() >= MinWaitingMemoryFloor()) {
+    for (const auto& [key, entry] : waiting_) {
+      if (machine.Fits(entry.cores, entry.memory_mb)) {
+        best_waiting = entry.id;
         best_waiting_prio = -key.neg_priority;
         break;
       }
@@ -279,7 +432,7 @@ std::vector<JobId> PhysicalPool::EvictMachine(MachineId machine_id,
   while (!machine.running().empty()) {
     const JobId id = machine.running().front();
     Job& job = jobs_->at(id);
-    machine.RemoveRunning(id);
+    RemoveRunningIndexed(machine, job);
     machine.Release(job.spec().cores, job.spec().memory_mb);
     busy_cores_ -= job.spec().cores;
     evicted.push_back(id);
@@ -293,6 +446,8 @@ std::vector<JobId> PhysicalPool::EvictMachine(MachineId machine_id,
     evicted.push_back(id);
   }
   machine.set_online(false);
+  capacity_classes_.OnOnlineChanged(machine, false);
+  ReindexFree(machine);  // offline: drops out of the free-capacity index
   return evicted;
 }
 
@@ -301,6 +456,8 @@ std::vector<JobId> PhysicalPool::RepairMachine(MachineId machine_id,
   Machine& machine = MachineById(machine_id);
   NETBATCH_CHECK(!machine.online(), "repairing an online machine");
   machine.set_online(true);
+  capacity_classes_.OnOnlineChanged(machine, true);
+  ReindexFree(machine);
   return Backfill(machine_id, now);
 }
 
@@ -318,9 +475,10 @@ std::vector<JobId> PhysicalPool::KillJob(Job& job, Ticks now,
   switch (job.state()) {
     case JobState::kRunning: {
       Machine& machine = MachineById(job.machine());
-      machine.RemoveRunning(job.id());
+      RemoveRunningIndexed(machine, job);
       machine.Release(job.spec().cores, job.spec().memory_mb);
       busy_cores_ -= job.spec().cores;
+      ReindexFree(machine);
       finish(job);
       scheduled = Backfill(machine.id(), now);
       break;
@@ -345,22 +503,29 @@ std::vector<JobId> PhysicalPool::OnJobCompleted(Job& job, Ticks now) {
   NETBATCH_CHECK(job.state() == JobState::kRunning,
                  "completing a non-running job");
   Machine& machine = MachineById(job.machine());
-  machine.RemoveRunning(job.id());
+  RemoveRunningIndexed(machine, job);
   machine.Release(job.spec().cores, job.spec().memory_mb);
   busy_cores_ -= job.spec().cores;
+  ReindexFree(machine);
   job.OnCompleted(now);
   return Backfill(machine.id(), now);
 }
 
 void PhysicalPool::AuditInvariants(Ticks now, InvariantSink& sink) const {
   const auto check = [&](bool ok, const std::string& what) {
-    if (!ok) sink.Report(InvariantViolation{now, id_, what});
+    if (!ok) sink.Report(InvariantViolation{now, id_, what, MachineId()});
+  };
+  const auto check_machine = [&](bool ok, const std::string& what,
+                                 MachineId machine) {
+    if (!ok) sink.Report(InvariantViolation{now, id_, what, machine});
   };
   std::int64_t busy = 0;
   std::size_t suspended = 0;
+  std::size_t with_running = 0;
   for (const Machine& machine : machines_) {
     std::int32_t cores_claimed = 0;
     std::int64_t memory_claimed = 0;
+    std::int32_t lowest_priority = Machine::kNoRunningPriority;
     for (JobId id : machine.running()) {
       const Job& job = jobs_->at(id);
       check(job.state() == JobState::kRunning,
@@ -368,6 +533,7 @@ void PhysicalPool::AuditInvariants(Ticks now, InvariantSink& sink) const {
       check(job.machine() == machine.id(), "machine mismatch");
       cores_claimed += job.spec().cores;
       memory_claimed += job.spec().memory_mb;
+      lowest_priority = std::min(lowest_priority, job.priority());
     }
     for (JobId id : machine.suspended()) {
       const Job& job = jobs_->at(id);
@@ -380,23 +546,71 @@ void PhysicalPool::AuditInvariants(Ticks now, InvariantSink& sink) const {
     check(machine.memory_free_mb() ==
               machine.memory_total_mb() - memory_claimed,
           "memory accounting out of sync");
+    // Running-class summary: lowest priority and total reclaimable cores
+    // must match the running registry it aggregates.
+    check_machine(machine.lowest_running_priority() == lowest_priority,
+                  "running-class summary priority out of sync", machine.id());
+    std::int32_t class_cores = 0;
+    std::int64_t class_memory = 0;
+    machine.ReclaimableBelow(Machine::kNoRunningPriority, class_cores,
+                             class_memory);
+    check_machine(class_cores == cores_claimed,
+                  "running-class summary cores out of sync", machine.id());
+    // Preemptible registry: a machine appears exactly under its lowest
+    // running priority, and only when something runs on it.
+    if (lowest_priority != Machine::kNoRunningPriority) {
+      ++with_running;
+      const auto it = preemptible_.find(lowest_priority);
+      const std::size_t word = machine.id().value() / 64;
+      const std::uint64_t bit = std::uint64_t{1}
+                                << (machine.id().value() % 64);
+      check_machine(it != preemptible_.end() && !it->second.bits.empty() &&
+                        (it->second.bits[word] & bit) != 0,
+                    "preemptible registry missing machine", machine.id());
+    }
     busy += cores_claimed;
     suspended += machine.suspended().size();
   }
+  std::size_t preemptible_entries = 0;
+  for (const auto& [priority, bitmap] : preemptible_) {
+    std::size_t members = 0;
+    for (const std::uint64_t word : bitmap.bits) {
+      members += static_cast<std::size_t>(std::popcount(word));
+    }
+    check(members == bitmap.count, "preemptible class count out of sync");
+    preemptible_entries += members;
+  }
+  check(preemptible_entries == with_running,
+        "preemptible registry holds stray machines");
+  free_index_.Audit(machines_, [&](MachineId machine, const char* what) {
+    check_machine(false, what, machine);
+  });
+  capacity_classes_.Audit(
+      machines_, [&](const char* what) { check(false, what); });
   check(busy == busy_cores_, "pool busy-core counter out of sync");
   check(suspended == suspended_count_, "pool suspended counter out of sync");
-  check(waiting_.size() == waiting_index_.size() &&
-            waiting_.size() == waiting_cores_.size(),
+  check(waiting_.size() == waiting_index_.size(),
         "wait queue indexes out of sync");
-  for (const auto& [key, id] : waiting_) {
-    const Job& job = jobs_->at(id);
+  std::vector<std::int32_t> cores_count(waiting_cores_count_.size(), 0);
+  std::vector<std::int32_t> memory_count(waiting_memory_count_.size(), 0);
+  for (const auto& [key, entry] : waiting_) {
+    const Job& job = jobs_->at(entry.id);
     check(job.state() == JobState::kWaiting,
           "wait queue holds non-waiting job");
     check(job.pool() == id_, "wait queue holds foreign job");
-    const auto index_it = waiting_index_.find(id);
+    check(entry.cores == job.spec().cores &&
+              entry.memory_mb == job.spec().memory_mb,
+          "wait queue entry demand is stale");
+    const auto index_it = waiting_index_.find(entry.id);
     check(index_it != waiting_index_.end() && index_it->second == key,
           "wait queue index disagrees with queue entry");
+    const std::size_t slot = static_cast<std::size_t>(entry.cores);
+    if (slot < cores_count.size()) ++cores_count[slot];
+    ++memory_count[MemoryBucket(entry.memory_mb)];
   }
+  check(cores_count == waiting_cores_count_ &&
+            memory_count == waiting_memory_count_,
+        "wait-queue demand summaries out of sync");
 }
 
 void PhysicalPool::CheckInvariants() const {

@@ -14,19 +14,19 @@
 
 #include <cstdint>
 #include <map>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/invariants.h"
 #include "cluster/job_table.h"
 #include "cluster/machine.h"
+#include "cluster/placement_index.h"
 
 namespace netbatch::cluster {
 
 // Hooks fired by a pool whenever it transitions a job (start / resume /
-// enqueue). Suspension and completion are driven by the simulation engine,
-// which already sees them; these three transitions happen deep inside pool
+// enqueue / preemption suspension). Completion is driven by the simulation
+// engine, which already sees it; these transitions happen deep inside pool
 // scheduling (backfill, preemption) and would otherwise be invisible. Each
 // hook fires *after* the pool's bookkeeping settled, so the pool is
 // audit-consistent inside the callback.
@@ -36,6 +36,10 @@ class PoolObserver {
   virtual void OnJobStarted(const Job& job) { (void)job; }
   virtual void OnJobResumed(const Job& job) { (void)job; }
   virtual void OnJobEnqueued(const Job& job) { (void)job; }
+  // Fired per preemption victim, after the victim released its resources
+  // and moved to the machine's suspended registry (but before the
+  // preempting job starts — victims settle first).
+  virtual void OnJobSuspended(const Job& job) { (void)job; }
 };
 
 enum class PlaceOutcome {
@@ -144,10 +148,32 @@ class PhysicalPool {
     std::uint64_t seq;
     friend auto operator<=>(const WaitKey&, const WaitKey&) = default;
   };
+  // Queue entry carries the job's demand so the backfill walk doesn't
+  // dereference the job table per scanned waiter.
+  struct WaitEntry {
+    JobId id;
+    std::int32_t cores = 0;
+    std::int64_t memory_mb = 0;
+  };
 
   void StartOn(Job& job, Machine& machine, Ticks now);
   void ResumeOn(Job& job, Machine& machine, Ticks now);
   void Enqueue(Job& job, Ticks now);
+
+  // Index maintenance. ReindexFree re-syncs a machine's free-capacity entry
+  // after any Claim/Release/online flip. The running-registry wrappers keep
+  // the machine's running-class summary and the pool's preemptible registry
+  // in lockstep with the job lists.
+  void ReindexFree(const Machine& machine) { free_index_.Update(machine); }
+  void AddRunningIndexed(Machine& machine, const Job& job);
+  void RemoveRunningIndexed(Machine& machine, const Job& job);
+  void ReindexPreemptible(const Machine& machine, std::int32_t before);
+
+  // Step-2 candidate filter: exact feasibility of a preemption plan for
+  // `spec` at `priority` on `machine` (ownership + capacity + reclaimable
+  // resources), without touching the machine's job lists.
+  bool CouldPreemptFor(const Machine& machine, const workload::JobSpec& spec,
+                       workload::Priority priority) const;
 
   // Picks and schedules the best candidate for `machine`; returns the job
   // started/resumed, or an invalid id when nothing fits.
@@ -170,12 +196,43 @@ class PhysicalPool {
   std::int64_t busy_cores_ = 0;
   std::size_t suspended_count_ = 0;
 
-  std::map<WaitKey, JobId> waiting_;
+  std::map<WaitKey, WaitEntry> waiting_;
   std::unordered_map<JobId, WaitKey> waiting_index_;
   std::uint64_t next_wait_seq_ = 0;
-  // Core demands of waiting jobs; lets Backfill skip queue scans when a
-  // machine has fewer free cores than any waiting job needs.
-  std::multiset<std::int32_t> waiting_cores_;
+  // Demand summaries of waiting jobs; let Backfill skip queue scans when a
+  // machine has fewer free cores than any waiting job needs — or,
+  // symmetrically, less free memory (a machine with idle cores but
+  // exhausted memory used to walk the entire queue on every backfill).
+  // Cores are counted exactly per demand value; memory is counted in
+  // power-of-two buckets, so its minimum is a conservative floor — the
+  // gate only prunes machines that certainly cannot start anything.
+  void AddWaitingDemand(std::int32_t cores, std::int64_t memory_mb);
+  void RemoveWaitingDemand(std::int32_t cores, std::int64_t memory_mb);
+  std::int32_t MinWaitingCores() const;
+  std::int64_t MinWaitingMemoryFloor() const;
+  std::vector<std::int32_t> waiting_cores_count_;
+  std::vector<std::int32_t> waiting_memory_count_ =
+      std::vector<std::int32_t>(65, 0);
+
+  // Placement indexes (see placement_index.h): pure caches over machine
+  // state, audited against a from-scratch rebuild by AuditInvariants.
+  FreeCapacityIndex free_index_;
+  CapacityClassIndex capacity_classes_;
+  // Machines keyed by the priority of their lowest-priority running job —
+  // the machines a preemption at a higher priority could harvest. Stored
+  // as id-ordered bitmaps (bit flips per transition, no node churn);
+  // TryPlace step 2 merges the bitmaps below the job's priority word by
+  // word to recover exact machine-id scan order. Classes for priorities
+  // that empty out stay allocated — distinct priorities are few.
+  struct PriorityBitmap {
+    std::vector<std::uint64_t> bits;
+    std::size_t count = 0;
+  };
+  std::map<std::int32_t, PriorityBitmap> preemptible_;
+  std::size_t machine_words_ = 0;  // ceil(machines / 64)
+  // Reused step-2 scratch (the classes below the job's priority) so the
+  // merge never allocates once its capacity warms up.
+  std::vector<const PriorityBitmap*> preempt_scratch_;
 };
 
 }  // namespace netbatch::cluster

@@ -301,13 +301,13 @@ void NetBatchSimulation::HandleVictims(const std::vector<JobId>& victims) {
   // The two passes matter: rescheduling victim A away can free enough of
   // its machine to resume victim B immediately, and B must not be treated
   // as suspended (or have its new completion event cancelled) afterwards.
+  // Counters and observer notification fired from the pool's per-victim
+  // OnJobSuspended hook, inside TryPlace; only the event plumbing the pool
+  // cannot see (cancelling the victim's completion event) remains here.
   for (JobId victim_id : victims) {
     Job& victim = jobs_.at(victim_id);
     sim_.Cancel(victim.pending_event());
     victim.set_pending_event(sim::kNoEvent);
-    ++preemption_count_;
-    hot_.preempted->Increment();
-    for (SimulationObserver* obs : observers_) obs->OnJobSuspended(victim);
   }
   for (JobId victim_id : victims) {
     Job& victim = jobs_.at(victim_id);
@@ -385,6 +385,7 @@ void NetBatchSimulation::ResolveTwinRace(Job& winner) {
   // transit (restart overhead) holds no pool resources; its delivery event
   // is invalidated by the generation bump of the terminal transition.
   const bool complete_by_twin = winner.is_duplicate();
+  std::vector<JobId> scheduled;
   if (loser.state() == JobState::kInTransit ||
       loser.state() == JobState::kPending) {
     if (complete_by_twin) {
@@ -394,8 +395,15 @@ void NetBatchSimulation::ResolveTwinRace(Job& winner) {
     }
   } else {
     PhysicalPool& pool = *pools_[loser.pool().value()];
-    FinishJobsScheduledBy(pool.KillJob(loser, sim_.Now(), complete_by_twin));
+    scheduled = pool.KillJob(loser, sim_.Now(), complete_by_twin);
   }
+  if (!complete_by_twin) {
+    // Registered lazily so runs without twin races (every run outside the
+    // duplication extension) keep their counter snapshot unchanged.
+    counters_.GetCounter("jobs.killed").Increment();
+    for (SimulationObserver* obs : observers_) obs->OnJobKilled(loser);
+  }
+  FinishJobsScheduledBy(scheduled);
 
   if (winner.is_duplicate()) {
     // The original finishes with its duplicate's result. Its own partial
@@ -527,6 +535,7 @@ void NetBatchSimulation::OnMachineFailure(PoolId pool_id, MachineId machine) {
     job.OnRestart(sim_.Now(), job.pool(), options_.checkpoint_interval);
     ++eviction_count_;
     hot_.evicted->Increment();
+    for (SimulationObserver* obs : observers_) obs->OnJobEvicted(job);
     const bool placed =
         OfferToPools(job, scheduler_->PoolOrder(job.spec(), *this));
     NETBATCH_CHECK(placed, "evicted job no longer placeable anywhere");
@@ -567,6 +576,13 @@ void NetBatchSimulation::OnJobEnqueued(const Job& job) {
   AuditTransition(job.pool());
 }
 
+void NetBatchSimulation::OnJobSuspended(const Job& job) {
+  ++preemption_count_;
+  hot_.preempted->Increment();
+  for (SimulationObserver* obs : observers_) obs->OnJobSuspended(job);
+  AuditTransition(job.pool());
+}
+
 void NetBatchSimulation::AuditTransition(PoolId pool) {
   if (!options_.audit_on_transitions) return;
   hot_.audits->Increment();
@@ -604,7 +620,7 @@ void NetBatchSimulation::AuditInvariants(InvariantSink& sink) const {
   // this pass cross-checks job states (the other side of the ledger)
   // against the pool aggregates and the engine's terminal counters.
   const auto check = [&](bool ok, const char* what) {
-    if (!ok) sink.Report(InvariantViolation{now, PoolId(), what});
+    if (!ok) sink.Report(InvariantViolation{now, PoolId(), what, MachineId()});
   };
   std::size_t running = 0;
   std::size_t waiting = 0;

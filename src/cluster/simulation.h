@@ -180,6 +180,7 @@ class NetBatchSimulation final : public ClusterView,
   void OnJobStarted(const Job& job) override;
   void OnJobResumed(const Job& job) override;
   void OnJobEnqueued(const Job& job) override;
+  void OnJobSuspended(const Job& job) override;
   void AuditTransition(PoolId pool);
   void RunPeriodicAudit();
   void SampleGauges(Ticks now);

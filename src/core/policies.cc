@@ -66,19 +66,25 @@ std::unique_ptr<cluster::ReschedulingPolicy> MakePolicy(
       return std::make_unique<NoResPolicy>();
     case PolicyKind::kResSusUtil:
       return std::make_unique<CompositeReschedulingPolicy>(
-          std::make_unique<LowestUtilizationSelector>(), nullptr, Ticks{0});
+          std::make_unique<LowestUtilizationSelector>(
+              /*retain_if_current_best=*/true, options.cross_site),
+          nullptr, Ticks{0});
     case PolicyKind::kResSusRand:
       return std::make_unique<CompositeReschedulingPolicy>(
-          std::make_unique<RandomSelector>(options.seed), nullptr, Ticks{0});
+          std::make_unique<RandomSelector>(options.seed, options.cross_site),
+          nullptr, Ticks{0});
     case PolicyKind::kResSusWaitUtil:
       return std::make_unique<CompositeReschedulingPolicy>(
-          std::make_unique<LowestUtilizationSelector>(),
-          std::make_unique<LowestUtilizationSelector>(),
+          std::make_unique<LowestUtilizationSelector>(
+              /*retain_if_current_best=*/true, options.cross_site),
+          std::make_unique<LowestUtilizationSelector>(
+              /*retain_if_current_best=*/true, options.cross_site),
           options.wait_threshold);
     case PolicyKind::kResSusWaitRand:
       return std::make_unique<CompositeReschedulingPolicy>(
-          std::make_unique<RandomSelector>(options.seed),
-          std::make_unique<RandomSelector>(options.seed + 1),
+          std::make_unique<RandomSelector>(options.seed, options.cross_site),
+          std::make_unique<RandomSelector>(options.seed + 1,
+                                           options.cross_site),
           options.wait_threshold);
   }
   NETBATCH_CHECK(false, "unknown policy kind");
@@ -87,9 +93,10 @@ std::unique_ptr<cluster::ReschedulingPolicy> MakePolicy(
 
 std::unique_ptr<cluster::ReschedulingPolicy> MakeDuplicationPolicy(
     const PolicyOptions& options) {
-  (void)options;
   return std::make_unique<CompositeReschedulingPolicy>(
-      std::make_unique<LowestUtilizationSelector>(), nullptr, Ticks{0},
+      std::make_unique<LowestUtilizationSelector>(
+          /*retain_if_current_best=*/true, options.cross_site),
+      nullptr, Ticks{0},
       /*duplicate=*/true);
 }
 

@@ -91,6 +91,9 @@ inline constexpr PolicyKind kAllPolicyKinds[] = {
 struct PolicyOptions {
   Ticks wait_threshold = MinutesToTicks(30);
   std::uint64_t seed = 0x9e3779b9u;  // for the random selectors
+  // Inter-site rescheduling (paper §5): selectors ignore the job's
+  // candidate-pool restriction and consider every pool in the cluster.
+  bool cross_site = false;
 };
 
 // Builds one of the paper's five policies.

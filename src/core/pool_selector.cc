@@ -53,7 +53,7 @@ std::optional<PoolId> LowestUtilizationSelector::Select(
 std::optional<PoolId> RandomSelector::Select(const cluster::Job& job,
                                              PoolId current,
                                              const cluster::ClusterView& view) {
-  std::vector<PoolId> pools = EligibleCandidatePools(job, view);
+  std::vector<PoolId> pools = EligibleCandidatePools(job, view, cross_site_);
   std::erase(pools, current);
   if (pools.empty()) return std::nullopt;
   return pools[rng_.UniformIndex(pools.size())];

@@ -70,15 +70,19 @@ class LowestUtilizationSelector final : public PoolSelector {
 // ("a randomly selected pool among all candidate pools", §3.2). Requires
 // no pool statistics at all — the property that makes the paper's
 // decentralized, job-driven rescheduling possible (§3.3.2).
+// `cross_site` widens the choice to every pool in the cluster, matching
+// LowestUtilizationSelector's inter-site mode (paper §5).
 class RandomSelector final : public PoolSelector {
  public:
-  explicit RandomSelector(std::uint64_t seed) : rng_(seed) {}
+  explicit RandomSelector(std::uint64_t seed, bool cross_site = false)
+      : rng_(seed), cross_site_(cross_site) {}
 
   std::optional<PoolId> Select(const cluster::Job& job, PoolId current,
                                const cluster::ClusterView& view) override;
 
  private:
   Rng rng_;
+  bool cross_site_;
 };
 
 // Extension (paper §5 future work): picks the candidate with the shortest

@@ -129,6 +129,22 @@ void ChromeTraceExporter::OnJobRejected(const cluster::Job& job) {
   EmitInstant("rejected", job.last_transition_time(), /*pid=*/0, job.id());
 }
 
+void ChromeTraceExporter::OnJobEvicted(const cluster::Job& job) {
+  // The machine failed under the job; a placement hook (started/enqueued)
+  // reopens its timeline right after resubmission.
+  const Ticks now = job.last_transition_time();
+  CloseJobPhase(job.id(), now);
+  EmitInstant("evicted", now, PoolPid(job.pool()), job.id());
+}
+
+void ChromeTraceExporter::OnJobKilled(const cluster::Job& job) {
+  if (job.last_transition_time() > latest_) {
+    latest_ = job.last_transition_time();
+  }
+  CloseJobPhase(job.id(), job.last_transition_time());
+  EmitInstant("killed", job.last_transition_time(), /*pid=*/0, job.id());
+}
+
 void ChromeTraceExporter::OnSample(Ticks now,
                                    const cluster::ClusterView& view) {
   for (std::size_t p = 0; p < view.PoolCount(); ++p) {

@@ -32,6 +32,8 @@ class ChromeTraceExporter final : public cluster::SimulationObserver {
                         cluster::RescheduleReason reason) override;
   void OnJobCompleted(const cluster::Job& job) override;
   void OnJobRejected(const cluster::Job& job) override;
+  void OnJobEvicted(const cluster::Job& job) override;
+  void OnJobKilled(const cluster::Job& job) override;
   void OnSample(Ticks now, const cluster::ClusterView& view) override;
 
   // Closes any still-open job phases at the latest simulated time seen.

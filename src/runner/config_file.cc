@@ -404,11 +404,12 @@ Scenario ResolveScenario(const std::string& name, double scale,
   if (name == "high") return HighLoadScenario(scale, seed);
   if (name == "highsusp") return HighSuspensionScenario(scale, seed);
   if (name == "year") return YearLongScenario(scale, seed);
+  if (name == "bigpool") return LargePoolScenario(scale, seed);
   std::ifstream probe(name);
   NETBATCH_CHECK(static_cast<bool>(probe),
                  "unknown scenario '" + name +
-                     "' (expected normal | high | highsusp | year, or a "
-                     "workload preset file path)");
+                     "' (expected normal | high | highsusp | year | bigpool, "
+                     "or a workload preset file path)");
   workload::GeneratorConfig workload = LoadWorkloadPreset(probe);
   workload.seed = seed;
   return ScenarioFromWorkload(std::move(workload), scale);

@@ -217,6 +217,65 @@ Scenario YearLongScenario(double scale, std::uint64_t seed) {
   return scenario;
 }
 
+Scenario LargePoolScenario(double scale, std::uint64_t seed) {
+  NETBATCH_CHECK(scale > 0 && scale <= 1.0, "scale must be in (0, 1]");
+  Scenario scenario;
+  constexpr int kPools = 4;
+  scenario.cluster.pools.reserve(kPools);
+  for (int p = 0; p < kPools; ++p) {
+    cluster::PoolConfig pool;
+    // 10k machines per pool at scale 1 (88k cores). Pools 0/1 are owned by
+    // the groups whose bursts target them, so bursts preempt there.
+    pool.machine_groups.push_back({
+        .count = Scaled(9000, scale),
+        .cores = 8,
+        .memory_mb = 64 * 1024,
+        .speed = 1.0,
+        .owner = p < 2 ? p : -1,
+    });
+    pool.machine_groups.push_back({
+        .count = Scaled(1000, scale),
+        .cores = 16,
+        .memory_mb = 128 * 1024,
+        .speed = 1.2,
+        .owner = p < 2 ? p : -1,
+    });
+    scenario.cluster.pools.push_back(std::move(pool));
+  }
+
+  workload::GeneratorConfig& w = scenario.workload;
+  w.seed = seed;
+  w.num_pools = kPools;
+  w.duration = MinutesToTicks(180);
+  // ~55% utilization across 352k cores at scale 1.
+  w.low_jobs_per_minute = 930.0 * scale;
+  w.low_runtime.lognormal_mu = std::log(60.0);
+  w.low_runtime.lognormal_sigma = 1.0;
+  w.low_runtime.tail_probability = 0.01;
+  w.low_runtime.tail_alpha = 1.2;
+  w.low_runtime.min_minutes = 2;
+  w.low_runtime.max_minutes = 20000;
+  w.high_runtime.lognormal_mu = std::log(30.0);
+  w.high_runtime.lognormal_sigma = 0.8;
+  w.high_runtime.tail_probability = 0.0;
+  w.high_runtime.min_minutes = 5;
+  w.high_runtime.max_minutes = 2000;
+  // One hour-long burst per owner group, staggered so each lands on top of
+  // the base load and saturates its single target pool (preemption + a
+  // standing low-priority backlog — the placement engine's worst case).
+  for (int s = 0; s < 2; ++s) {
+    workload::BurstStreamConfig burst;
+    burst.owner = s;
+    burst.jobs_per_minute_on = 600.0 * scale;
+    burst.jobs_per_minute_off = 0.0;
+    burst.target_pools = {PoolId(static_cast<PoolId::ValueType>(s))};
+    burst.scheduled_bursts = {
+        {.start_minute = 30.0 + 60.0 * s, .length_minutes = 60.0}};
+    w.bursts.push_back(std::move(burst));
+  }
+  return scenario;
+}
+
 Scenario ScenarioFromWorkload(workload::GeneratorConfig workload,
                               double scale, double target_utilization) {
   NETBATCH_CHECK(scale > 0, "scale must be positive");

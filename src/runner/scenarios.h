@@ -40,6 +40,14 @@ Scenario HighSuspensionScenario(double scale = 1.0, std::uint64_t seed = 42);
 // bench runs at YearLongDefaultScale().
 Scenario YearLongScenario(double scale = 0.05, std::uint64_t seed = 42);
 
+// Paper-scale pools ("tens of thousands of machines", §2.1): 4 pools of
+// 10k machines each at scale 1, three busy hours at ~55% utilization with
+// two owner burst streams forcing preemption on pools 0/1. This is the
+// placement-engine stress preset (bench_placement, the CI placement
+// determinism smoke): per-event cost is dominated by pool scheduling, so
+// anything linear in machine count shows up immediately.
+Scenario LargePoolScenario(double scale = 1.0, std::uint64_t seed = 42);
+
 // Builds a runnable scenario around an arbitrary (typically calibrated —
 // see calib/fit.h) workload config: `scale` multiplies the arrival rates,
 // and the cluster is sized so the scaled offered load lands at

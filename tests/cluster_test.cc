@@ -58,12 +58,40 @@ TEST(MachineTest, OverreleaseAborts) {
 
 TEST(MachineTest, JobRegistriesAddAndRemove) {
   Machine machine(MachineId(0), PoolId(0), 8, 8192, 1.0);
-  machine.AddRunning(JobId(1));
-  machine.AddRunning(JobId(2));
-  machine.RemoveRunning(JobId(1));
+  machine.AddRunning(JobId(1), /*priority=*/0, /*cores=*/2, /*memory_mb=*/512);
+  machine.AddRunning(JobId(2), /*priority=*/10, /*cores=*/1, /*memory_mb=*/256);
+  machine.RemoveRunning(JobId(1), 0, 2, 512);
   ASSERT_EQ(machine.running().size(), 1u);
   EXPECT_EQ(machine.running()[0], JobId(2));
-  EXPECT_DEATH(machine.RemoveRunning(JobId(1)), "not registered");
+  EXPECT_DEATH(machine.RemoveRunning(JobId(1), 10, 1, 256), "not registered");
+}
+
+TEST(MachineTest, RunningClassSummaryTracksPrioritiesAndReclaim) {
+  Machine machine(MachineId(0), PoolId(0), 8, 8192, 1.0);
+  EXPECT_EQ(machine.lowest_running_priority(), Machine::kNoRunningPriority);
+  machine.AddRunning(JobId(1), /*priority=*/10, /*cores=*/2, /*memory_mb=*/512);
+  EXPECT_EQ(machine.lowest_running_priority(), 10);
+  machine.AddRunning(JobId(2), /*priority=*/0, /*cores=*/3, /*memory_mb=*/256);
+  machine.AddRunning(JobId(3), /*priority=*/0, /*cores=*/1, /*memory_mb=*/128);
+  EXPECT_EQ(machine.lowest_running_priority(), 0);
+
+  std::int32_t cores = 0;
+  std::int64_t memory = 0;
+  machine.ReclaimableBelow(10, cores, memory);
+  EXPECT_EQ(cores, 4);
+  EXPECT_EQ(memory, 384);
+  machine.ReclaimableBelow(Machine::kNoRunningPriority, cores, memory);
+  EXPECT_EQ(cores, 6);
+  EXPECT_EQ(memory, 896);
+  machine.ReclaimableBelow(0, cores, memory);
+  EXPECT_EQ(cores, 0);
+  EXPECT_EQ(memory, 0);
+
+  machine.RemoveRunning(JobId(2), 0, 3, 256);
+  machine.RemoveRunning(JobId(3), 0, 1, 128);
+  EXPECT_EQ(machine.lowest_running_priority(), 10);
+  EXPECT_DEATH(machine.RemoveRunning(JobId(1), 5, 2, 512),
+               "missing the job's priority");
 }
 
 // --- job lifecycle accounting -------------------------------------------------

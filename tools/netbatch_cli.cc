@@ -50,9 +50,9 @@ Single-run flags:
   --config=<file.ini>                    load experiment settings from an
                                          INI file (flags below override it)
   --scenario=<name|preset.ini>           scenario preset: normal | high |
-                                         highsusp | year, or the path of a
-                                         workload preset file written by
-                                         `calibrate --emit-preset`
+                                         highsusp | year | bigpool, or the
+                                         path of a workload preset file
+                                         written by `calibrate --emit-preset`
                                          (default normal)
   --scale=<0..1>                         cluster/workload scale (default 0.25)
   --seed=<n>                             workload seed (default 42)
