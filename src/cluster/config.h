@@ -37,6 +37,23 @@ struct PoolConfig {
   }
 };
 
+// How the virtual pool manager dispatches a new submission across its
+// candidate pools (paper §2.1: jobs are distributed to connected pools
+// "according to resource availability and NetBatch configurations").
+enum class DispatchMode {
+  // Availability-aware round: offer to pools in scheduler order, preferring
+  // the first pool that can start the job immediately; only when every
+  // candidate is busy does the job queue at the scheduler's first eligible
+  // choice. This is the default — and it is exactly the check a
+  // *rescheduled* job skips, since restarts are "sent to the alternate pool
+  // directly" (§3.2), which is what makes a poor alternate-pool choice
+  // expensive.
+  kPreferImmediateStart,
+  // Naive: commit to the scheduler's first eligible pool, queueing there
+  // even if an idle pool exists further down the order.
+  kQueueAtFirstEligible,
+};
+
 struct ClusterConfig {
   std::vector<PoolConfig> pools;
 

@@ -52,6 +52,14 @@ class JobTable {
     return jobs_[SparseSlot(id)];
   }
 
+  // Whether `id` names a job in this table. The serving layer uses this to
+  // turn bad client ids into error responses instead of at()'s abort.
+  bool Contains(JobId id) const {
+    const JobId::ValueType v = id.value();
+    if (v < kDenseCap) return v < dense_.size() && dense_[v] != kNoSlot;
+    return sparse_.contains(id);
+  }
+
   // Pre-sizes the id index for `n` jobs with ids 0..n-1 (the common trace
   // shape) so neither the dense vector nor the fallback map reallocates
   // mid-run. Safe to call with jobs already present.

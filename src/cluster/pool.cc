@@ -324,6 +324,34 @@ PlaceResult PhysicalPool::TryPlace(Job& job, Ticks now, bool allow_queue,
   return result;
 }
 
+void PhysicalPool::SuspendRunning(Job& job, Ticks now) {
+  NETBATCH_CHECK(job.state() == JobState::kRunning && job.pool() == id_,
+                 "suspending a job not running in this pool");
+  Machine& machine = MachineById(job.machine());
+  RemoveRunningIndexed(machine, job);
+  machine.Release(job.spec().cores,
+                  suspended_holds_memory_ ? 0 : job.spec().memory_mb);
+  machine.AddSuspended(job.id());
+  ++suspended_count_;
+  busy_cores_ -= job.spec().cores;
+  job.OnSuspended(now);
+  ReindexFree(machine);
+  if (observer_ != nullptr) observer_->OnJobSuspended(job);
+}
+
+bool PhysicalPool::TryResume(Job& job, Ticks now) {
+  NETBATCH_CHECK(job.state() == JobState::kSuspended && job.pool() == id_,
+                 "resuming a job not suspended in this pool");
+  Machine& machine = MachineById(job.machine());
+  if (!machine.online()) return false;
+  if (!machine.Fits(job.spec().cores,
+                    suspended_holds_memory_ ? 0 : job.spec().memory_mb)) {
+    return false;
+  }
+  ResumeOn(job, machine, now);
+  return true;
+}
+
 void PhysicalPool::RemoveFromQueue(JobId job) {
   const auto it = waiting_index_.find(job);
   NETBATCH_CHECK(it != waiting_index_.end(), "job not in this wait queue");

@@ -96,6 +96,22 @@ class PhysicalPool {
   PlaceResult TryPlace(Job& job, Ticks now, bool allow_queue = true,
                        bool require_online = false);
 
+  // Suspends a running job in place without a preempting job — host-level /
+  // operator-initiated suspension (the serving layer's kSuspend op). The
+  // resource bookkeeping is identical to a preemption victim's: cores are
+  // released, memory per the suspension model, and the job parks in its
+  // machine's suspended registry. The machine is NOT backfilled: under
+  // local_resume_first the freed cores would immediately resume the job
+  // that was just suspended, so the hole persists until the job resumes,
+  // is rescheduled away, or its machine turns over. The caller cancels the
+  // job's completion timer.
+  void SuspendRunning(Job& job, Ticks now);
+
+  // Resumes a suspended job on its own machine if its demand fits right
+  // now; returns false (no state change) otherwise. The caller re-arms the
+  // completion timer on success.
+  bool TryResume(Job& job, Ticks now);
+
   // Removes a job from this pool's wait queue (wait-timeout rescheduling).
   void RemoveFromQueue(JobId job);
 

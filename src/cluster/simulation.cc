@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/distributions.h"
-#include "common/log.h"
 
 namespace netbatch::cluster {
 
@@ -36,107 +35,56 @@ sim::Event TickEvent(EventKind kind) {
 
 }  // namespace
 
+sched::CoreOptions NetBatchSimulation::CoreOptionsFrom(
+    const SimulationOptions& options) {
+  sched::CoreOptions core_options;
+  core_options.restart_overhead = options.restart_overhead;
+  core_options.checkpoint_interval = options.checkpoint_interval;
+  core_options.transfer_matrix = options.transfer_matrix;
+  core_options.dispatch_mode = options.dispatch_mode;
+  core_options.audit_on_transitions = options.audit_on_transitions;
+  return core_options;
+}
+
 NetBatchSimulation::NetBatchSimulation(const ClusterConfig& config,
                                        const workload::Trace& trace,
                                        InitialScheduler& scheduler,
                                        ReschedulingPolicy& policy,
                                        SimulationOptions options)
-    : scheduler_(&scheduler),
-      policy_(&policy),
-      options_(options),
-      outage_rng_(options.outages.seed) {
-  NETBATCH_CHECK(!config.pools.empty(), "cluster needs at least one pool");
+    : options_(std::move(options)),
+      core_(config, scheduler, policy, /*host=*/*this,
+            CoreOptionsFrom(options_)),
+      outage_rng_(options_.outages.seed) {
   sim_.set_dispatcher(this);
   // Size the job index and the event heap for the trace up front so neither
   // reallocates mid-run (duplicates spill past this; that growth is rare).
-  jobs_.Reserve(trace.size());
+  core_.ReserveJobs(trace.size());
   sim_.Reserve(trace.size());
-  pools_.reserve(config.pools.size());
-  for (std::size_t p = 0; p < config.pools.size(); ++p) {
-    const PoolId pool_id(static_cast<PoolId::ValueType>(p));
-    std::vector<Machine> machines;
-    MachineId::ValueType next_machine = 0;
-    for (const MachineGroupConfig& group : config.pools[p].machine_groups) {
-      for (std::int32_t i = 0; i < group.count; ++i) {
-        machines.emplace_back(MachineId(next_machine++), pool_id, group.cores,
-                              group.memory_mb, group.speed, group.owner);
-      }
-    }
-    NETBATCH_CHECK(!machines.empty(), "pool without machines");
-    pools_.push_back(std::make_unique<PhysicalPool>(
-        pool_id, std::move(machines), jobs_, config.suspended_holds_memory,
-        config.local_resume_first,
-        /*observer=*/static_cast<PoolObserver*>(this)));
-    total_cores_ += pools_.back()->total_cores();
-  }
-
-  // Resolve the hot-path counter handles once; every engine transition then
-  // costs a single integer add.
-  hot_.submitted = &counters_.GetCounter("jobs.submitted");
-  hot_.enqueued = &counters_.GetCounter("jobs.enqueued");
-  hot_.started = &counters_.GetCounter("jobs.started");
-  hot_.resumed = &counters_.GetCounter("jobs.resumed");
-  hot_.preempted = &counters_.GetCounter("jobs.preempted");
-  hot_.completed = &counters_.GetCounter("jobs.completed");
-  hot_.rejected = &counters_.GetCounter("jobs.rejected");
-  hot_.rescheduled = &counters_.GetCounter("jobs.rescheduled");
-  hot_.duplicated = &counters_.GetCounter("jobs.duplicated");
-  hot_.evicted = &counters_.GetCounter("jobs.evicted");
-  hot_.bounced = &counters_.GetCounter("vpm.bounces");
-  hot_.failures = &counters_.GetCounter("outages.failures");
-  hot_.repairs = &counters_.GetCounter("outages.repairs");
-  hot_.audits = &counters_.GetCounter("audit.runs");
-  hot_.busy_cores = &counters_.GetGauge("cluster.busy_cores");
-  hot_.suspended_jobs = &counters_.GetGauge("cluster.suspended_jobs");
-  hot_.waiting_jobs = &counters_.GetGauge("cluster.waiting_jobs");
-  hot_.pending_events = &counters_.GetGauge("sim.pending_events");
-  hot_.fired_events = &counters_.GetGauge("sim.fired_events");
-
-  JobId::ValueType max_id = 0;
+  // The core registered the cluster gauges in its constructor; adding the
+  // sim gauges here keeps the registry's snapshot order unchanged.
+  pending_events_ = &core_.counters().GetGauge("sim.pending_events");
+  fired_events_ = &core_.counters().GetGauge("sim.fired_events");
   for (const workload::JobSpec& spec : trace.jobs()) {
-    for (PoolId pool : spec.candidate_pools) {
-      NETBATCH_CHECK(pool.value() < pools_.size(),
-                     "trace references unknown pool");
-    }
-    max_id = std::max(max_id, spec.id.value());
-    jobs_.Create(spec);
+    core_.AdmitJob(spec);
   }
   total_jobs_ = trace.size();
-  // Duplicates get ids above every trace id.
-  next_duplicate_id_ = max_id + 1;
-
-  if (!options_.transfer_matrix.empty()) {
-    NETBATCH_CHECK(options_.transfer_matrix.size() == pools_.size(),
-                   "transfer matrix must have one row per pool");
-    for (const auto& row : options_.transfer_matrix) {
-      NETBATCH_CHECK(row.size() == pools_.size(),
-                     "transfer matrix must be square");
-      for (Ticks delay : row) {
-        NETBATCH_CHECK(delay >= 0, "negative transfer delay");
-      }
-    }
-  }
-}
-
-void NetBatchSimulation::AddObserver(SimulationObserver* observer) {
-  NETBATCH_CHECK(observer != nullptr, "null observer");
-  observers_.push_back(observer);
 }
 
 void NetBatchSimulation::Run() {
-  for (const Job& job : jobs_) {
+  for (const Job& job : core_.jobs()) {
     sim_.ScheduleAt(job.submit_time(), JobEvent(EventKind::kSubmit, job));
   }
   if (options_.outages.mtbf_minutes > 0) {
     NETBATCH_CHECK(options_.outages.mttr_minutes > 0,
                    "outage repair time must be positive");
-    for (const auto& pool : pools_) {
-      for (const Machine& machine : pool->machines()) {
-        ScheduleNextFailure(pool->id(), machine.id());
+    for (std::size_t p = 0; p < core_.PoolCount(); ++p) {
+      const PoolId pool_id(static_cast<PoolId::ValueType>(p));
+      for (const Machine& machine : core_.pool(pool_id).machines()) {
+        ScheduleNextFailure(pool_id, machine.id());
       }
     }
   }
-  if (options_.sampling_enabled && !observers_.empty()) {
+  if (options_.sampling_enabled && !core_.observers().empty()) {
     sim_.ScheduleAt(Ticks{0}, TickEvent(EventKind::kSampleTick));
   }
   if (options_.audit_period > 0) {
@@ -153,16 +101,16 @@ void NetBatchSimulation::Run() {
 void NetBatchSimulation::Dispatch(const sim::Event& event) {
   switch (static_cast<EventKind>(event.kind)) {
     case EventKind::kSubmit:
-      SubmitJob(event.job);
+      core_.Submit(event.job, sim_.Now());
       break;
     case EventKind::kCompletion:
-      OnCompletionEvent(event);
+      core_.Complete(event.job, event.stamp, sim_.Now());
       break;
     case EventKind::kWaitTimeout:
-      OnWaitTimeoutEvent(event);
+      core_.OnWaitTimeout(event.job, event.stamp, sim_.Now());
       break;
     case EventKind::kRestartDelivery:
-      DeliverRestartedJob(event.job, event.stamp, event.pool);
+      core_.DeliverRestart(event.job, event.stamp, event.pool, sim_.Now());
       break;
     case EventKind::kMachineFailure:
       OnMachineFailure(event.pool, event.machine);
@@ -181,10 +129,45 @@ void NetBatchSimulation::Dispatch(const sim::Event& event) {
   }
 }
 
+// ---- sched::CoreHost ------------------------------------------------------
+
+void NetBatchSimulation::ArmCompletion(Job& job, Ticks duration) {
+  const sim::EventSeq seq =
+      sim_.ScheduleAfter(duration, JobEvent(EventKind::kCompletion, job));
+  job.set_pending_event(seq);
+}
+
+void NetBatchSimulation::CancelCompletion(Job& job) {
+  sim_.Cancel(job.pending_event());
+  job.set_pending_event(sim::kNoEvent);
+}
+
+void NetBatchSimulation::ArmWaitTimeout(Job& job, Ticks threshold) {
+  sim_.ScheduleAfter(threshold, JobEvent(EventKind::kWaitTimeout, job));
+}
+
+void NetBatchSimulation::ScheduleRestartDelivery(Job& job, PoolId target,
+                                                 Ticks overhead) {
+  sim::Event event = JobEvent(EventKind::kRestartDelivery, job);
+  event.pool = target;
+  sim_.ScheduleAfter(overhead, event);
+}
+
+void NetBatchSimulation::OnJobTerminal(const Job& job) {
+  (void)job;
+  if (AllJobsFinished()) {
+    // Everything is finished; any residual events are generation-guarded
+    // no-ops, so the loop can stop immediately.
+    sim_.RequestStop();
+  }
+}
+
+// ---- engine-owned periodic work -------------------------------------------
+
 void NetBatchSimulation::OnSampleTick() {
   const Ticks now = sim_.Now();
   SampleGauges(now);
-  for (SimulationObserver* obs : observers_) obs->OnSample(now, *this);
+  for (SimulationObserver* obs : core_.observers()) obs->OnSample(now, *this);
   // Stop sampling once the last job settled (the loop is about to stop).
   if (AllJobsFinished()) return;
   sim_.ScheduleAfter(options_.sample_period,
@@ -197,319 +180,19 @@ void NetBatchSimulation::OnAuditTick() {
   sim_.ScheduleAfter(options_.audit_period, TickEvent(EventKind::kAuditTick));
 }
 
-void NetBatchSimulation::MarkJobDone() {
-  if (AllJobsFinished()) {
-    // Everything is finished; any residual events are generation-guarded
-    // no-ops, so the loop can stop immediately.
-    sim_.RequestStop();
-  }
+void NetBatchSimulation::RunPeriodicAudit() {
+  core_.counters().GetCounter("audit.runs").Increment();
+  FailFastSink sink;
+  AuditInvariants(sink);
 }
 
-void NetBatchSimulation::SubmitJob(JobId id) {
-  Job& job = jobs_.at(id);
-  job.OnSubmitted(sim_.Now());
-  hot_.submitted->Increment();
-  const std::vector<PoolId> order = scheduler_->PoolOrder(job.spec(), *this);
-  if (!OfferToPools(job, order)) {
-    job.OnRejected(sim_.Now());
-    ++rejected_count_;
-    hot_.rejected->Increment();
-    for (SimulationObserver* obs : observers_) obs->OnJobRejected(job);
-    NETBATCH_LOG(kWarn) << "job " << id.value()
-                        << " rejected: no eligible machine in any pool";
-    MarkJobDone();
-  }
+void NetBatchSimulation::SampleGauges(Ticks now) {
+  core_.RefreshGauges(now);
+  pending_events_->Set(static_cast<std::int64_t>(sim_.PendingEvents()));
+  fired_events_->Set(static_cast<std::int64_t>(sim_.FiredEvents()));
 }
 
-bool NetBatchSimulation::OfferToPools(Job& job,
-                                      const std::vector<PoolId>& order) {
-  if (options_.dispatch_mode == DispatchMode::kPreferImmediateStart) {
-    // First pass: any pool that can start (or preempt for) the job now.
-    for (PoolId pool_id : order) {
-      NETBATCH_CHECK(pool_id.value() < pools_.size(),
-                     "scheduler chose unknown pool");
-      const PlaceResult result =
-          pools_[pool_id.value()]->TryPlace(job, sim_.Now(),
-                                            /*allow_queue=*/false);
-      if (result.outcome == PlaceOutcome::kNotEligible) continue;
-      HandlePlaceResult(job, pool_id, result);
-      return true;
-    }
-  }
-  // Commit pass: queue at the first pool with an *online* eligible machine.
-  // A pool whose only capacity-fit machines are down would strand the job
-  // behind the outage, so it bounces to the next candidate instead.
-  for (PoolId pool_id : order) {
-    NETBATCH_CHECK(pool_id.value() < pools_.size(),
-                   "scheduler chose unknown pool");
-    const PlaceResult result = pools_[pool_id.value()]->TryPlace(
-        job, sim_.Now(), /*allow_queue=*/true, /*require_online=*/true);
-    if (result.outcome == PlaceOutcome::kNotEligible) {
-      // Only an availability refusal is a bounce: the pool has the capacity
-      // but its eligible machines are down. Capacity refusals are the
-      // ordinary §2.1 step-4 path, not outage fallout.
-      if (pools_[pool_id.value()]->HasEligibleMachine(job.spec())) {
-        hot_.bounced->Increment();
-      }
-      continue;
-    }
-    HandlePlaceResult(job, pool_id, result);
-    return true;
-  }
-  // Fallback: every candidate pool's eligible machines are offline right
-  // now. Queue at the first capacity-eligible pool and wait for repair —
-  // rejection stays a pure capacity decision, never an availability one.
-  for (PoolId pool_id : order) {
-    const PlaceResult result =
-        pools_[pool_id.value()]->TryPlace(job, sim_.Now());
-    if (result.outcome == PlaceOutcome::kNotEligible) continue;
-    HandlePlaceResult(job, pool_id, result);
-    return true;
-  }
-  return false;
-}
-
-void NetBatchSimulation::HandlePlaceResult(Job& job, PoolId pool,
-                                           const PlaceResult& result) {
-  (void)pool;
-  switch (result.outcome) {
-    case PlaceOutcome::kStarted:
-      HandleStarted(job);
-      HandleVictims(result.suspended);
-      break;
-    case PlaceOutcome::kQueued:
-      ArmWaitTimeout(job);
-      break;
-    case PlaceOutcome::kNotEligible:
-      NETBATCH_CHECK(false, "HandlePlaceResult on a refused placement");
-  }
-}
-
-void NetBatchSimulation::HandleStarted(Job& job) { ScheduleCompletion(job); }
-
-void NetBatchSimulation::ScheduleCompletion(Job& job) {
-  NETBATCH_CHECK(job.state() == JobState::kRunning,
-                 "scheduling completion of a non-running job");
-  const Ticks duration = job.TicksToCompletion(job.run_speed());
-  const sim::EventSeq seq =
-      sim_.ScheduleAfter(duration, JobEvent(EventKind::kCompletion, job));
-  job.set_pending_event(seq);
-}
-
-void NetBatchSimulation::HandleVictims(const std::vector<JobId>& victims) {
-  // First settle the bookkeeping for every victim, then consult the policy.
-  // The two passes matter: rescheduling victim A away can free enough of
-  // its machine to resume victim B immediately, and B must not be treated
-  // as suspended (or have its new completion event cancelled) afterwards.
-  // Counters and observer notification fired from the pool's per-victim
-  // OnJobSuspended hook, inside TryPlace; only the event plumbing the pool
-  // cannot see (cancelling the victim's completion event) remains here.
-  for (JobId victim_id : victims) {
-    Job& victim = jobs_.at(victim_id);
-    sim_.Cancel(victim.pending_event());
-    victim.set_pending_event(sim::kNoEvent);
-  }
-  for (JobId victim_id : victims) {
-    Job& victim = jobs_.at(victim_id);
-    if (victim.state() != JobState::kSuspended) continue;  // already resumed
-    // Duplicates never spawn further copies or restart: their race with the
-    // original resolves on whichever side finishes first.
-    if (victim.is_duplicate()) continue;
-    const std::optional<PoolId> target = policy_->OnSuspended(victim, *this);
-    if (target.has_value() && *target != victim.pool()) {
-      if (policy_->DuplicateInsteadOfRestart()) {
-        SpawnDuplicate(victim, *target);
-      } else {
-        RestartJob(victim, *target, RescheduleReason::kSuspension);
-      }
-    }
-  }
-}
-
-void NetBatchSimulation::OnCompletionEvent(const sim::Event& event) {
-  Job& job = jobs_.at(event.job);
-  if (!job.GenerationIs(event.stamp)) {
-    return;  // stale event: the job was preempted or rescheduled meanwhile
-  }
-  NETBATCH_CHECK(job.state() == JobState::kRunning,
-                 "completion event matched generation of a non-running job");
-  PhysicalPool& pool = *pools_[job.pool().value()];
-  const std::vector<JobId> scheduled = pool.OnJobCompleted(job, sim_.Now());
-  if (job.twin().valid()) ResolveTwinRace(job);
-  if (!job.is_duplicate()) {
-    ++completed_count_;
-    hot_.completed->Increment();
-    for (SimulationObserver* obs : observers_) obs->OnJobCompleted(job);
-    MarkJobDone();
-  }
-  FinishJobsScheduledBy(scheduled);
-}
-
-void NetBatchSimulation::SpawnDuplicate(Job& original, PoolId target) {
-  NETBATCH_CHECK(!original.is_duplicate(), "duplicating a duplicate");
-  if (original.twin().valid()) return;  // a race is already in flight
-
-  workload::JobSpec spec = original.spec();
-  spec.id = JobId(next_duplicate_id_++);
-  spec.candidate_pools = {target};
-  Job& duplicate = jobs_.Create(std::move(spec));
-  duplicate.MarkDuplicateOf(original.id());
-  original.set_twin(duplicate.id());
-  ++duplicate_count_;
-  ++reschedule_count_;
-  hot_.duplicated->Increment();
-  hot_.rescheduled->Increment();
-  for (SimulationObserver* obs : observers_) {
-    obs->OnJobRescheduled(original, original.pool(), target,
-                          RescheduleReason::kSuspension);
-  }
-
-  duplicate.OnSubmitted(sim_.Now());
-  const PlaceResult result =
-      pools_[target.value()]->TryPlace(duplicate, sim_.Now());
-  NETBATCH_CHECK(result.outcome != PlaceOutcome::kNotEligible,
-                 "policy duplicated a job into an ineligible pool");
-  HandlePlaceResult(duplicate, target, result);
-}
-
-void NetBatchSimulation::ResolveTwinRace(Job& winner) {
-  Job& loser = jobs_.at(winner.twin());
-  winner.set_twin(JobId());
-  loser.set_twin(JobId());
-  Job& original = winner.is_duplicate() ? loser : winner;
-
-  sim_.Cancel(loser.pending_event());
-  loser.set_pending_event(sim::kNoEvent);
-
-  // Remove the loser from wherever it is parked. A loser that is mid-
-  // transit (restart overhead) holds no pool resources; its delivery event
-  // is invalidated by the generation bump of the terminal transition.
-  const bool complete_by_twin = winner.is_duplicate();
-  std::vector<JobId> scheduled;
-  if (loser.state() == JobState::kInTransit ||
-      loser.state() == JobState::kPending) {
-    if (complete_by_twin) {
-      loser.OnCompletedByTwin(sim_.Now());
-    } else {
-      loser.OnKilled(sim_.Now());
-    }
-  } else {
-    PhysicalPool& pool = *pools_[loser.pool().value()];
-    scheduled = pool.KillJob(loser, sim_.Now(), complete_by_twin);
-  }
-  if (!complete_by_twin) {
-    // Registered lazily so runs without twin races (every run outside the
-    // duplication extension) keep their counter snapshot unchanged.
-    counters_.GetCounter("jobs.killed").Increment();
-    for (SimulationObserver* obs : observers_) obs->OnJobKilled(loser);
-  }
-  FinishJobsScheduledBy(scheduled);
-
-  if (winner.is_duplicate()) {
-    // The original finishes with its duplicate's result. Its own partial
-    // progress was folded into rescheduling waste by OnCompletedByTwin; the
-    // duplicate's (useful) run is credited through the original's
-    // completion time.
-    NETBATCH_CHECK(original.state() == JobState::kCompleted,
-                   "twin completion did not complete the original");
-    ++completed_count_;
-    hot_.completed->Increment();
-    for (SimulationObserver* obs : observers_) obs->OnJobCompleted(original);
-    MarkJobDone();
-  } else {
-    // The original won; the duplicate's entire execution is waste.
-    original.AddExtraWaste(loser.executed_ticks());
-  }
-}
-
-void NetBatchSimulation::FinishJobsScheduledBy(
-    const std::vector<JobId>& scheduled) {
-  for (JobId id : scheduled) {
-    ScheduleCompletion(jobs_.at(id));
-  }
-}
-
-void NetBatchSimulation::ArmWaitTimeout(Job& job) {
-  const std::optional<Ticks> threshold = policy_->WaitRescheduleThreshold();
-  if (!threshold.has_value()) return;
-  NETBATCH_CHECK(*threshold > 0, "wait-reschedule threshold must be positive");
-  NETBATCH_CHECK(job.state() == JobState::kWaiting,
-                 "arming wait timeout for a non-waiting job");
-  sim_.ScheduleAfter(*threshold, JobEvent(EventKind::kWaitTimeout, job));
-}
-
-void NetBatchSimulation::OnWaitTimeoutEvent(const sim::Event& event) {
-  Job& job = jobs_.at(event.job);
-  if (!job.GenerationIs(event.stamp)) {
-    return;  // the job started, was moved, or completed meanwhile
-  }
-  NETBATCH_CHECK(job.state() == JobState::kWaiting,
-                 "wait-timeout event matched generation of a non-waiting job");
-  const std::optional<PoolId> target = policy_->OnWaitTimeout(job, *this);
-  if (target.has_value() && *target != job.pool()) {
-    RestartJob(job, *target, RescheduleReason::kWaitTimeout);
-  } else {
-    // Keep waiting here, but give the job another chance later ("the
-    // rescheduled job can gain multiple second chances", §3.3.1).
-    ArmWaitTimeout(job);
-  }
-}
-
-void NetBatchSimulation::RestartJob(Job& job, PoolId target,
-                                    RescheduleReason reason) {
-  NETBATCH_CHECK(target.value() < pools_.size(), "restart to unknown pool");
-  const PoolId from = job.pool();
-  PhysicalPool& from_pool = *pools_[from.value()];
-
-  MachineId freed_machine;
-  if (job.state() == JobState::kSuspended) {
-    freed_machine = from_pool.DetachSuspended(job);
-  } else {
-    from_pool.RemoveFromQueue(job.id());
-  }
-  job.OnRestart(sim_.Now(), target, options_.checkpoint_interval);
-  ++reschedule_count_;
-  hot_.rescheduled->Increment();
-  for (SimulationObserver* obs : observers_) {
-    obs->OnJobRescheduled(job, from, target, reason);
-  }
-
-  // Detaching a suspended job may have freed memory another parked job was
-  // waiting for; let the machine backfill before the restart is delivered.
-  if (freed_machine.valid()) {
-    FinishJobsScheduledBy(from_pool.Backfill(freed_machine, sim_.Now()));
-  }
-
-  const Ticks overhead =
-      options_.transfer_matrix.empty()
-          ? options_.restart_overhead
-          : options_.transfer_matrix[from.value()][target.value()];
-  if (overhead == 0) {
-    DeliverRestartedJob(job.id(), job.generation(), target);
-  } else {
-    sim::Event event = JobEvent(EventKind::kRestartDelivery, job);
-    event.pool = target;
-    sim_.ScheduleAfter(overhead, event);
-  }
-}
-
-void NetBatchSimulation::DeliverRestartedJob(JobId id,
-                                             std::uint64_t generation,
-                                             PoolId target) {
-  Job& job = jobs_.at(id);
-  if (!job.GenerationIs(generation)) {
-    return;  // the transit was superseded (e.g. the job's twin resolved)
-  }
-  NETBATCH_CHECK(job.state() == JobState::kInTransit,
-                 "restart delivery matched generation of a non-transit job");
-  const PlaceResult result =
-      pools_[target.value()]->TryPlace(job, sim_.Now());
-  // Policies must pick pools the job is eligible for; the engine exposes
-  // PoolEligible() exactly for that check.
-  NETBATCH_CHECK(result.outcome != PlaceOutcome::kNotEligible,
-                 "policy rescheduled a job to an ineligible pool");
-  HandlePlaceResult(job, target, result);
-}
+// ---- failure injection ----------------------------------------------------
 
 void NetBatchSimulation::ScheduleNextFailure(PoolId pool, MachineId machine) {
   const double uptime_minutes =
@@ -520,27 +203,7 @@ void NetBatchSimulation::ScheduleNextFailure(PoolId pool, MachineId machine) {
 }
 
 void NetBatchSimulation::OnMachineFailure(PoolId pool_id, MachineId machine) {
-  PhysicalPool& pool = *pools_[pool_id.value()];
-  ++outage_count_;
-  hot_.failures->Increment();
-  const std::vector<JobId> evicted = pool.EvictMachine(machine, sim_.Now());
-
-  // Evicted jobs lose their (un-checkpointed) progress and are resubmitted
-  // through the virtual pool manager, like a rescheduling restart without a
-  // chosen target.
-  for (JobId id : evicted) {
-    Job& job = jobs_.at(id);
-    sim_.Cancel(job.pending_event());
-    job.set_pending_event(sim::kNoEvent);
-    job.OnRestart(sim_.Now(), job.pool(), options_.checkpoint_interval);
-    ++eviction_count_;
-    hot_.evicted->Increment();
-    for (SimulationObserver* obs : observers_) obs->OnJobEvicted(job);
-    const bool placed =
-        OfferToPools(job, scheduler_->PoolOrder(job.spec(), *this));
-    NETBATCH_CHECK(placed, "evicted job no longer placeable anywhere");
-  }
-
+  core_.FailMachine(pool_id, machine, sim_.Now());
   const double downtime_minutes =
       SampleExponential(outage_rng_, 1.0 / options_.outages.mttr_minutes);
   sim_.ScheduleAfter(
@@ -550,169 +213,27 @@ void NetBatchSimulation::OnMachineFailure(PoolId pool_id, MachineId machine) {
 }
 
 void NetBatchSimulation::OnMachineRepair(PoolId pool_id, MachineId machine) {
-  PhysicalPool& pool = *pools_[pool_id.value()];
-  hot_.repairs->Increment();
-  FinishJobsScheduledBy(pool.RepairMachine(machine, sim_.Now()));
+  core_.RepairMachine(pool_id, machine, sim_.Now());
   ScheduleNextFailure(pool_id, machine);
 }
 
-// ---- observability --------------------------------------------------------
-
-void NetBatchSimulation::OnJobStarted(const Job& job) {
-  hot_.started->Increment();
-  for (SimulationObserver* obs : observers_) obs->OnJobStarted(job);
-  AuditTransition(job.pool());
-}
-
-void NetBatchSimulation::OnJobResumed(const Job& job) {
-  hot_.resumed->Increment();
-  for (SimulationObserver* obs : observers_) obs->OnJobResumed(job);
-  AuditTransition(job.pool());
-}
-
-void NetBatchSimulation::OnJobEnqueued(const Job& job) {
-  hot_.enqueued->Increment();
-  for (SimulationObserver* obs : observers_) obs->OnJobEnqueued(job);
-  AuditTransition(job.pool());
-}
-
-void NetBatchSimulation::OnJobSuspended(const Job& job) {
-  ++preemption_count_;
-  hot_.preempted->Increment();
-  for (SimulationObserver* obs : observers_) obs->OnJobSuspended(job);
-  AuditTransition(job.pool());
-}
-
-void NetBatchSimulation::AuditTransition(PoolId pool) {
-  if (!options_.audit_on_transitions) return;
-  hot_.audits->Increment();
-  FailFastSink sink;
-  pools_[pool.value()]->AuditInvariants(sim_.Now(), sink);
-}
-
-void NetBatchSimulation::RunPeriodicAudit() {
-  hot_.audits->Increment();
-  FailFastSink sink;
-  AuditInvariants(sink);
-}
-
-void NetBatchSimulation::SampleGauges(Ticks now) {
-  (void)now;
-  std::int64_t busy = 0;
-  std::size_t waiting = 0;
-  for (const auto& pool : pools_) {
-    busy += pool->busy_cores();
-    waiting += pool->QueueLength();
-  }
-  hot_.busy_cores->Set(busy);
-  hot_.suspended_jobs->Set(static_cast<std::int64_t>(SuspendedJobCount()));
-  hot_.waiting_jobs->Set(static_cast<std::int64_t>(waiting));
-  hot_.pending_events->Set(
-      static_cast<std::int64_t>(sim_.PendingEvents()));
-  hot_.fired_events->Set(static_cast<std::int64_t>(sim_.FiredEvents()));
-}
+// ---- invariants -----------------------------------------------------------
 
 void NetBatchSimulation::AuditInvariants(InvariantSink& sink) const {
   const Ticks now = sim_.Now();
-  for (const auto& pool : pools_) pool->AuditInvariants(now, sink);
-
-  // Cluster-wide conservation. Pools audited their own registries above;
-  // this pass cross-checks job states (the other side of the ledger)
-  // against the pool aggregates and the engine's terminal counters.
-  const auto check = [&](bool ok, const char* what) {
-    if (!ok) sink.Report(InvariantViolation{now, PoolId(), what, MachineId()});
-  };
-  std::size_t running = 0;
-  std::size_t waiting = 0;
-  std::size_t suspended = 0;
-  std::size_t completed = 0;
-  std::size_t rejected = 0;
-  std::int64_t running_cores = 0;
-  for (const Job& job : jobs_) {
-    switch (job.state()) {
-      case JobState::kRunning:
-        ++running;
-        running_cores += job.spec().cores;
-        break;
-      case JobState::kWaiting:
-        ++waiting;
-        break;
-      case JobState::kSuspended:
-        ++suspended;
-        break;
-      case JobState::kCompleted:
-        // Duplicates are credited to their original, never to the engine's
-        // completion counter.
-        if (!job.is_duplicate()) ++completed;
-        break;
-      case JobState::kRejected:
-        ++rejected;
-        break;
-      default:
-        break;
-    }
+  core_.AuditInvariants(sink, now);
+  // The trace-total bound is engine knowledge: the core admits jobs one at a
+  // time and never learns how many the trace holds.
+  if (!(core_.completed_count() + core_.rejected_count() <= total_jobs_)) {
+    sink.Report(InvariantViolation{
+        now, PoolId(), "terminal counters exceed total trace jobs",
+        MachineId()});
   }
-  std::int64_t busy = 0;
-  std::size_t pool_suspended = 0;
-  std::size_t pool_waiting = 0;
-  std::size_t pool_running = 0;
-  for (const auto& pool : pools_) {
-    busy += pool->busy_cores();
-    pool_suspended += pool->SuspendedCount();
-    pool_waiting += pool->QueueLength();
-    for (const Machine& machine : pool->machines()) {
-      pool_running += machine.running().size();
-    }
-  }
-  check(busy == running_cores,
-        "cluster busy cores != sum of running job core demands");
-  check(pool_running == running,
-        "machine running registries != jobs in running state");
-  check(pool_suspended == suspended,
-        "pool suspended counts != jobs in suspended state");
-  check(pool_waiting == waiting,
-        "pool wait queues != jobs in waiting state");
-  check(completed == completed_count_,
-        "completion counter != completed (non-duplicate) jobs");
-  check(rejected == rejected_count_,
-        "rejection counter != rejected jobs");
-  check(completed_count_ + rejected_count_ <= total_jobs_,
-        "terminal counters exceed total trace jobs");
 }
 
 void NetBatchSimulation::CheckInvariants() const {
   FailFastSink sink;
   AuditInvariants(sink);
-}
-
-double NetBatchSimulation::PoolUtilization(PoolId pool) const {
-  return pools_[pool.value()]->Utilization();
-}
-
-std::size_t NetBatchSimulation::PoolQueueLength(PoolId pool) const {
-  return pools_[pool.value()]->QueueLength();
-}
-
-std::int64_t NetBatchSimulation::PoolTotalCores(PoolId pool) const {
-  return pools_[pool.value()]->total_cores();
-}
-
-bool NetBatchSimulation::PoolEligible(PoolId pool,
-                                      const workload::JobSpec& spec) const {
-  return pools_[pool.value()]->HasEligibleMachine(spec);
-}
-
-double NetBatchSimulation::ClusterUtilization() const {
-  if (total_cores_ == 0) return 0.0;
-  std::int64_t busy = 0;
-  for (const auto& pool : pools_) busy += pool->busy_cores();
-  return static_cast<double>(busy) / static_cast<double>(total_cores_);
-}
-
-std::size_t NetBatchSimulation::SuspendedJobCount() const {
-  std::size_t suspended = 0;
-  for (const auto& pool : pools_) suspended += pool->SuspendedCount();
-  return suspended;
 }
 
 }  // namespace netbatch::cluster

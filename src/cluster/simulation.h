@@ -1,9 +1,14 @@
 // The NetBatch simulation engine.
 //
-// Plays the role of the paper's ASCA simulator (§3.1): it wires together
-// the event core, the cluster substrate (virtual pool manager + physical
-// pools + machines), an initial scheduler, a rescheduling policy, and any
-// number of observers, then replays a trace until every job completes.
+// Plays the role of the paper's ASCA simulator (§3.1): it wires the event
+// core to the simulator-independent scheduling core (sched::SchedulerCore,
+// which owns the virtual pool manager + physical pools + machines and the
+// initial-scheduler / rescheduling-policy stack), then replays a trace
+// until every job completes. The engine itself is a thin shell: it admits
+// the trace, turns the core's deferred-work hooks (sched::CoreHost) into
+// typed events on the simulator heap, and routes fired events back into
+// the core with the simulated clock. Every scheduling decision lives in
+// the core — the same code netbatchd drives under wall-clock time.
 //
 // Event flow:
 //   submission --> VPM (initial scheduler picks pool order) --> pool
@@ -13,7 +18,6 @@
 //   completion --> machine backfill (resume suspended, start waiting)
 #pragma once
 
-#include <memory>
 #include <optional>
 #include <vector>
 
@@ -25,6 +29,7 @@
 #include "cluster/view.h"
 #include "common/counters.h"
 #include "common/rng.h"
+#include "service/scheduler_core.h"
 #include "sim/simulator.h"
 #include "workload/trace.h"
 
@@ -57,23 +62,6 @@ struct OutageModel {
   std::uint64_t seed = 0xfa11;
 };
 
-// How the virtual pool manager dispatches a new submission across its
-// candidate pools (paper §2.1: jobs are distributed to connected pools
-// "according to resource availability and NetBatch configurations").
-enum class DispatchMode {
-  // Availability-aware round: offer to pools in scheduler order, preferring
-  // the first pool that can start the job immediately; only when every
-  // candidate is busy does the job queue at the scheduler's first eligible
-  // choice. This is the default — and it is exactly the check a
-  // *rescheduled* job skips, since restarts are "sent to the alternate pool
-  // directly" (§3.2), which is what makes a poor alternate-pool choice
-  // expensive.
-  kPreferImmediateStart,
-  // Naive: commit to the scheduler's first eligible pool, queueing there
-  // even if an idle pool exists further down the order.
-  kQueueAtFirstEligible,
-};
-
 struct SimulationOptions {
   // Delivery delay applied when a job is rescheduled to another pool
   // (models data/binary transfer; the paper's future-work overhead).
@@ -102,7 +90,7 @@ struct SimulationOptions {
 };
 
 class NetBatchSimulation final : public ClusterView,
-                                 private PoolObserver,
+                                 private sched::CoreHost,
                                  private sim::EventDispatcher {
  public:
   // `scheduler` and `policy` must outlive the simulation.
@@ -115,33 +103,40 @@ class NetBatchSimulation final : public ClusterView,
   NetBatchSimulation& operator=(const NetBatchSimulation&) = delete;
 
   // Observers must outlive the simulation; call before Run().
-  void AddObserver(SimulationObserver* observer);
+  void AddObserver(SimulationObserver* observer) {
+    core_.AddObserver(observer);
+  }
 
   // Replays the whole trace and runs until every job completed (or was
   // rejected because no pool can ever run it).
   void Run();
 
-  // --- results ------------------------------------------------------------
-  const JobTable& jobs() const { return jobs_; }
-  std::size_t completed_count() const { return completed_count_; }
-  std::size_t rejected_count() const { return rejected_count_; }
-  std::uint64_t preemption_count() const { return preemption_count_; }
-  std::uint64_t reschedule_count() const { return reschedule_count_; }
-  std::uint64_t duplicate_count() const { return duplicate_count_; }
-  std::uint64_t outage_count() const { return outage_count_; }
-  std::uint64_t eviction_count() const { return eviction_count_; }
+  // The scheduling core this engine drives. Exposed for callers that want
+  // the simulator-independent facade (snapshots, direct suspend/resume).
+  sched::SchedulerCore& core() { return core_; }
+  const sched::SchedulerCore& core() const { return core_; }
 
-  const PhysicalPool& pool(PoolId id) const { return *pools_[id.value()]; }
+  // --- results ------------------------------------------------------------
+  const JobTable& jobs() const { return core_.jobs(); }
+  std::size_t completed_count() const { return core_.completed_count(); }
+  std::size_t rejected_count() const { return core_.rejected_count(); }
+  std::uint64_t preemption_count() const { return core_.preemption_count(); }
+  std::uint64_t reschedule_count() const { return core_.reschedule_count(); }
+  std::uint64_t duplicate_count() const { return core_.duplicate_count(); }
+  std::uint64_t outage_count() const { return core_.outage_count(); }
+  std::uint64_t eviction_count() const { return core_.eviction_count(); }
+
+  const PhysicalPool& pool(PoolId id) const { return core_.pool(id); }
   sim::Simulator& simulator() { return sim_; }
   const sim::Simulator& simulator() const { return sim_; }
 
-  // The per-simulation observability registry. Counters (jobs.*, vpm.*,
-  // outages.*, audit.*) are maintained on every engine transition; gauges
-  // (cluster.*, sim.*) are refreshed each sampling period and once at the
-  // end of Run(). Per-instance by design: sweeps run simulations in
+  // The per-simulation observability registry (owned by the core). Counters
+  // (jobs.*, vpm.*, outages.*, audit.*) are maintained on every transition;
+  // gauges (cluster.*, sim.*) are refreshed each sampling period and once at
+  // the end of Run(). Per-instance by design: sweeps run simulations in
   // parallel, so a process-global registry would race.
-  const CounterRegistry& counters() const { return counters_; }
-  CounterRegistry& counters() { return counters_; }
+  const CounterRegistry& counters() const { return core_.counters(); }
+  CounterRegistry& counters() { return core_.counters(); }
 
   // Audits every pool's resource invariants plus cluster-wide conservation
   // (job states vs pool registries, busy cores vs running jobs, terminal
@@ -153,17 +148,30 @@ class NetBatchSimulation final : public ClusterView,
 
   // Test support: mutable pool access, for corruption tests that desync
   // pool/machine accounting to prove the auditor fires.
-  PhysicalPool& mutable_pool(PoolId id) { return *pools_[id.value()]; }
+  PhysicalPool& mutable_pool(PoolId id) { return core_.mutable_pool(id); }
 
   // --- ClusterView ----------------------------------------------------------
   Ticks Now() const override { return sim_.Now(); }
-  std::size_t PoolCount() const override { return pools_.size(); }
-  double PoolUtilization(PoolId pool) const override;
-  std::size_t PoolQueueLength(PoolId pool) const override;
-  std::int64_t PoolTotalCores(PoolId pool) const override;
-  bool PoolEligible(PoolId pool, const workload::JobSpec& spec) const override;
-  double ClusterUtilization() const override;
-  std::size_t SuspendedJobCount() const override;
+  std::size_t PoolCount() const override { return core_.PoolCount(); }
+  double PoolUtilization(PoolId pool) const override {
+    return core_.PoolUtilization(pool);
+  }
+  std::size_t PoolQueueLength(PoolId pool) const override {
+    return core_.PoolQueueLength(pool);
+  }
+  std::int64_t PoolTotalCores(PoolId pool) const override {
+    return core_.PoolTotalCores(pool);
+  }
+  bool PoolEligible(PoolId pool,
+                    const workload::JobSpec& spec) const override {
+    return core_.PoolEligible(pool, spec);
+  }
+  double ClusterUtilization() const override {
+    return core_.ClusterUtilization();
+  }
+  std::size_t SuspendedJobCount() const override {
+    return core_.SuspendedJobCount();
+  }
   std::size_t PendingEventCount() const override {
     return sim_.PendingEvents();
   }
@@ -175,87 +183,40 @@ class NetBatchSimulation final : public ClusterView,
   // sim::EventDispatcher: the single switch every typed event goes through.
   void Dispatch(const sim::Event& event) override;
 
-  // PoolObserver: pools report job transitions here; the engine bumps
-  // counters, forwards to SimulationObservers, and (when enabled) audits.
-  void OnJobStarted(const Job& job) override;
-  void OnJobResumed(const Job& job) override;
-  void OnJobEnqueued(const Job& job) override;
-  void OnJobSuspended(const Job& job) override;
-  void AuditTransition(PoolId pool);
+  // sched::CoreHost: deferred work the core requests mid-decision becomes
+  // a typed event on the simulator heap. The hook call sites inside the
+  // core fix the event insertion sequence (and thus tie-breaking), so the
+  // extraction preserves decisions bit for bit.
+  void ArmCompletion(Job& job, Ticks duration) override;
+  void CancelCompletion(Job& job) override;
+  void ArmWaitTimeout(Job& job, Ticks threshold) override;
+  void ScheduleRestartDelivery(Job& job, PoolId target,
+                               Ticks overhead) override;
+  void OnJobTerminal(const Job& job) override;
+
   void RunPeriodicAudit();
   void SampleGauges(Ticks now);
   void OnSampleTick();
   void OnAuditTick();
   bool AllJobsFinished() const {
-    return completed_count_ + rejected_count_ == total_jobs_;
+    return core_.completed_count() + core_.rejected_count() == total_jobs_;
   }
 
-  void SubmitJob(JobId id);
-  // Offers the job to pools in `order`; returns false if every pool refused.
-  bool OfferToPools(Job& job, const std::vector<PoolId>& order);
-  void HandlePlaceResult(Job& job, PoolId pool, const PlaceResult& result);
-  void HandleStarted(Job& job);
-  void HandleVictims(const std::vector<JobId>& victims);
-  void ScheduleCompletion(Job& job);
-  void OnCompletionEvent(const sim::Event& event);
-  void ArmWaitTimeout(Job& job);
-  void OnWaitTimeoutEvent(const sim::Event& event);
-  void RestartJob(Job& job, PoolId target, RescheduleReason reason);
-  void DeliverRestartedJob(JobId id, std::uint64_t generation, PoolId target);
-  // Duplication extension: launch a copy of `original` in `target`; the
-  // first of the pair to complete wins (ResolveTwinRace).
-  void SpawnDuplicate(Job& original, PoolId target);
-  void ResolveTwinRace(Job& winner);
   // Failure injection.
   void ScheduleNextFailure(PoolId pool, MachineId machine);
   void OnMachineFailure(PoolId pool, MachineId machine);
   void OnMachineRepair(PoolId pool, MachineId machine);
-  void FinishJobsScheduledBy(const std::vector<JobId>& scheduled);
-  void MarkJobDone();
+
+  static sched::CoreOptions CoreOptionsFrom(const SimulationOptions& options);
 
   sim::Simulator sim_;
-  JobTable jobs_;
-  std::vector<std::unique_ptr<PhysicalPool>> pools_;
-  InitialScheduler* scheduler_;
-  ReschedulingPolicy* policy_;
   SimulationOptions options_;
-  std::vector<SimulationObserver*> observers_;
-
-  CounterRegistry counters_;
-  // Hot-path handles into counters_, resolved once at construction.
-  struct HotCounters {
-    Counter* submitted = nullptr;
-    Counter* enqueued = nullptr;
-    Counter* started = nullptr;
-    Counter* resumed = nullptr;
-    Counter* preempted = nullptr;
-    Counter* completed = nullptr;
-    Counter* rejected = nullptr;
-    Counter* rescheduled = nullptr;
-    Counter* duplicated = nullptr;
-    Counter* evicted = nullptr;
-    Counter* bounced = nullptr;
-    Counter* failures = nullptr;
-    Counter* repairs = nullptr;
-    Counter* audits = nullptr;
-    Gauge* busy_cores = nullptr;
-    Gauge* suspended_jobs = nullptr;
-    Gauge* waiting_jobs = nullptr;
-    Gauge* pending_events = nullptr;
-    Gauge* fired_events = nullptr;
-  };
-  HotCounters hot_;
-
-  std::int64_t total_cores_ = 0;
+  sched::SchedulerCore core_;
+  // Engine-owned gauges in the core's registry (registered after the core's
+  // own, preserving the pre-extraction snapshot order).
+  Gauge* pending_events_ = nullptr;
+  Gauge* fired_events_ = nullptr;
   std::size_t total_jobs_ = 0;
-  std::size_t completed_count_ = 0;
-  std::size_t rejected_count_ = 0;
-  std::uint64_t preemption_count_ = 0;
-  std::uint64_t reschedule_count_ = 0;
-  std::uint64_t duplicate_count_ = 0;
-  std::uint64_t outage_count_ = 0;
-  std::uint64_t eviction_count_ = 0;
-  JobId::ValueType next_duplicate_id_;
   Rng outage_rng_;
 };
 

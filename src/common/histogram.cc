@@ -1,6 +1,7 @@
 #include "common/histogram.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/check.h"
@@ -101,6 +102,77 @@ double LogHistogram::ApproxQuantile(double q) const {
     }
   }
   return bucket_lower(counts_.size() - 1);
+}
+
+// Bucket layout: values < 64 map to their own bucket (index == value).
+// For v >= 64 with octave e = bit_width(v) - 1 (e >= 6), the 6 bits below
+// the leading bit pick one of 64 sub-buckets; octave e starts at index
+// (e - 5) * 64. The first octave (e = 6, values 64..127) therefore begins
+// at index 64, flush against the exact region.
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const int e = 63 - std::countl_zero(value);
+  const std::uint64_t sub = (value >> (e - 6)) & (kSubBuckets - 1);
+  return static_cast<std::size_t>(e - 5) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+// Largest value mapping to `index`, plus one — i.e. the exclusive upper
+// bound of the bucket. Inverse of BucketIndex's layout.
+std::uint64_t LatencyHistogram::BucketUpperBound(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index) + 1;
+  const int e = static_cast<int>(index / kSubBuckets) + 5;
+  const std::uint64_t sub = index % kSubBuckets;
+  // Bucket spans [ (64+sub) << (e-6), (64+sub+1) << (e-6) ).
+  return (kSubBuckets + sub + 1) << (e - 6);
+}
+
+void LatencyHistogram::Record(std::uint64_t value) {
+  const std::size_t index = BucketIndex(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  ++buckets_[index];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double LatencyHistogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Exact rank over the bucketed distribution, 1-based.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= rank) {
+      // The bucket bound can overshoot the recorded maximum (the max sits
+      // somewhere inside the top bucket); clamp so Quantile(1) == max().
+      return std::min(BucketUpperBound(i) - 1, max_);
+    }
+  }
+  return max_;
 }
 
 }  // namespace netbatch

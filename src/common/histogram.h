@@ -74,4 +74,49 @@ class LogHistogram {
   std::int64_t total_ = 0;
 };
 
+// Log-bucketed latency histogram for the serving layer: integer values
+// (nanoseconds, microseconds — any unit), bounded relative error, lossless
+// merge across threads.
+//
+// Values below 64 get one exact bucket each; larger values land in one of
+// 64 sub-buckets per power of two (octave e = bit_width(v) - 1, sub-bucket
+// from the 6 bits below the leading bit), so a reported quantile's bucket
+// bound is within a factor of 1 + 1/64 (~1.6%) of the true sample. Buckets
+// are allocated lazily per octave; the whole structure is a few KiB even
+// for nanosecond-scale tails.
+//
+// Quantile() is exact-rank over the bucketed distribution: it walks the
+// cumulative counts to rank ceil(q * count) and reports that bucket's upper
+// bound (clamped to the recorded maximum, so Quantile(1) == max()).
+// Merge() adds bucket-wise and is lossless: merging per-thread histograms
+// then querying equals querying one histogram fed all samples.
+class LatencyHistogram {
+ public:
+  void Record(std::uint64_t value);
+
+  // Adds `other`'s samples into this histogram (bucket-wise; lossless).
+  void Merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const;
+
+  // Upper bound of the bucket holding the sample at rank ceil(q * count),
+  // q in [0, 1]; relative error vs the true sample is at most 1/64.
+  // Returns 0 for an empty histogram.
+  std::uint64_t Quantile(double q) const;
+
+ private:
+  static constexpr std::uint32_t kSubBuckets = 64;
+  static std::size_t BucketIndex(std::uint64_t value);
+  static std::uint64_t BucketUpperBound(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
 }  // namespace netbatch

@@ -1,0 +1,83 @@
+#include "net/poller.h"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/check.h"
+
+namespace netbatch::net {
+
+namespace {
+
+constexpr std::size_t kInitialReadyCap = 64;
+
+std::uint32_t ToEpoll(std::uint32_t events) {
+  std::uint32_t raw = 0;
+  if (events & kPollIn) raw |= EPOLLIN;
+  if (events & kPollOut) raw |= EPOLLOUT;
+  // EPOLLHUP / EPOLLERR are always reported; nothing to request.
+  return raw;
+}
+
+std::uint32_t FromEpoll(std::uint32_t raw) {
+  std::uint32_t events = 0;
+  if (raw & EPOLLIN) events |= kPollIn;
+  if (raw & EPOLLOUT) events |= kPollOut;
+  if (raw & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) events |= kPollHup;
+  return events;
+}
+
+}  // namespace
+
+Poller::Poller() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  NETBATCH_CHECK(epoll_fd_ >= 0, "epoll_create1 failed");
+  scratch_.resize(kInitialReadyCap * sizeof(struct epoll_event));
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void Poller::Add(int fd, std::uint32_t events, std::uint64_t token) {
+  struct epoll_event ev = {};
+  ev.events = ToEpoll(events);
+  ev.data.u64 = token;
+  const int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  NETBATCH_CHECK(rc == 0, "epoll_ctl ADD failed");
+}
+
+void Poller::Modify(int fd, std::uint32_t events, std::uint64_t token) {
+  struct epoll_event ev = {};
+  ev.events = ToEpoll(events);
+  ev.data.u64 = token;
+  const int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  NETBATCH_CHECK(rc == 0, "epoll_ctl MOD failed");
+}
+
+void Poller::Remove(int fd) {
+  const int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  NETBATCH_CHECK(rc == 0, "epoll_ctl DEL failed");
+}
+
+int Poller::Wait(int timeout_ms, std::vector<PollResult>& out) {
+  out.clear();
+  auto* events = reinterpret_cast<struct epoll_event*>(scratch_.data());
+  const int cap = static_cast<int>(scratch_.size() / sizeof(*events));
+  const int n = ::epoll_wait(epoll_fd_, events, cap, timeout_ms);
+  if (n < 0) {
+    NETBATCH_CHECK(errno == EINTR, "epoll_wait failed");
+    return 0;  // interrupted: let the caller recheck its stop flag
+  }
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(PollResult{events[i].data.u64, FromEpoll(events[i].events)});
+  }
+  // Saturated result array: grow so the next wake-up drains more per call.
+  if (n == cap) scratch_.resize(scratch_.size() * 2);
+  return n;
+}
+
+}  // namespace netbatch::net

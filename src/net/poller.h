@@ -1,0 +1,55 @@
+// A thin epoll wrapper for the serving layer's single-threaded event loop.
+//
+// One Poller instance owns one epoll fd. Interest is registered per fd with
+// a user token (typically the fd itself, or a session key); Wait() fills a
+// caller-owned vector so the loop allocates nothing in steady state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace netbatch::net {
+
+// Readiness bits, kept independent of the epoll ABI so callers never
+// include <sys/epoll.h>.
+enum PollEvents : std::uint32_t {
+  kPollIn = 1u << 0,   // readable (or a pending accept on a listener)
+  kPollOut = 1u << 1,  // writable
+  kPollHup = 1u << 2,  // peer closed / error; always waited for implicitly
+};
+
+struct PollResult {
+  std::uint64_t token = 0;
+  std::uint32_t events = 0;  // PollEvents bits
+};
+
+class Poller {
+ public:
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  // Registers / re-arms / removes interest in `fd`. `token` comes back
+  // verbatim in PollResult. Add aborts on kernel refusal (fd exhaustion is
+  // not a recoverable serving state); Modify/Remove abort likewise.
+  void Add(int fd, std::uint32_t events, std::uint64_t token);
+  void Modify(int fd, std::uint32_t events, std::uint64_t token);
+  void Remove(int fd);
+
+  // Blocks up to `timeout_ms` (-1 = forever, 0 = poll) and appends one
+  // PollResult per ready fd to `out` (cleared first). Returns the number of
+  // ready fds; 0 on timeout. EINTR reports as 0 ready fds so signal-driven
+  // shutdown flags get rechecked by the caller.
+  int Wait(int timeout_ms, std::vector<PollResult>& out);
+
+  int fd() const { return epoll_fd_; }
+
+ private:
+  int epoll_fd_ = -1;
+  // Scratch for the raw epoll_event array, sized to the high-water mark of
+  // ready fds per wake-up.
+  std::vector<unsigned char> scratch_;
+};
+
+}  // namespace netbatch::net

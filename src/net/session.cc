@@ -1,0 +1,89 @@
+#include "net/session.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace netbatch::net {
+
+Session::~Session() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Session::Session(Session&& other) noexcept
+    : fd_(other.fd_),
+      pending_(std::move(other.pending_)),
+      pending_head_(other.pending_head_) {
+  other.fd_ = -1;
+}
+
+Session::IoStatus Session::Read(std::vector<std::uint8_t>& buf,
+                                std::size_t max_bytes) {
+  std::size_t total = 0;
+  while (total < max_bytes) {
+    std::uint8_t chunk[4096];
+    const std::size_t want =
+        std::min(sizeof(chunk), max_bytes - total);
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
+    if (n > 0) {
+      buf.insert(buf.end(), chunk, chunk + n);
+      total += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kOk;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;  // hit the per-call cap; poller will re-report
+}
+
+Session::IoStatus Session::Write(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  // Preserve ordering: never bypass bytes already queued.
+  if (!wants_write()) {
+    while (size > 0) {
+      const ssize_t n = ::send(fd_, bytes, size, MSG_NOSIGNAL);
+      if (n > 0) {
+        bytes += n;
+        size -= static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+  }
+  if (size > 0) pending_.insert(pending_.end(), bytes, bytes + size);
+  return IoStatus::kOk;
+}
+
+Session::IoStatus Session::FlushPending() {
+  while (wants_write()) {
+    const std::size_t left = pending_.size() - pending_head_;
+    const ssize_t n =
+        ::send(fd_, pending_.data() + pending_head_, left, MSG_NOSIGNAL);
+    if (n > 0) {
+      pending_head_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+  if (pending_head_ == pending_.size()) {
+    pending_.clear();
+    pending_head_ = 0;
+  } else if (pending_head_ > pending_.size() / 2) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() +
+                       static_cast<std::ptrdiff_t>(pending_head_));
+    pending_head_ = 0;
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace netbatch::net

@@ -1,0 +1,58 @@
+// One accepted connection in the daemon's event loop.
+//
+// A Session owns its fd and the unsent-output buffer that makes writes
+// nonblocking-safe: Write() pushes straight to the socket and queues the
+// remainder on EAGAIN or partial send, FlushPending() drains the queue when
+// the poller reports writability. Reads hand raw bytes to the caller, which
+// feeds them to a protocol FrameDecoder (service/protocol.h) — the session
+// is deliberately framing-agnostic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace netbatch::net {
+
+class Session {
+ public:
+  explicit Session(int fd) : fd_(fd) {}
+  ~Session();
+  Session(Session&& other) noexcept;
+  Session& operator=(Session&&) = delete;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  int fd() const { return fd_; }
+
+  enum class IoStatus {
+    kOk,      // made progress (or had nothing to do)
+    kClosed,  // orderly EOF from the peer
+    kError,   // connection reset / unrecoverable errno
+  };
+
+  // Reads whatever the socket has into `buf` (appending), up to `max_bytes`
+  // per call. Returns kOk when the socket is drained (EAGAIN), kClosed on
+  // EOF with no buffered input remaining to process after this call.
+  IoStatus Read(std::vector<std::uint8_t>& buf,
+                std::size_t max_bytes = 1 << 16);
+
+  // Queues `size` bytes for the peer, writing as much as the socket accepts
+  // immediately. Returns kError when the connection is gone.
+  IoStatus Write(const void* data, std::size_t size);
+
+  // Drains the unsent-output queue; call when the poller reports POLLOUT.
+  IoStatus FlushPending();
+
+  bool wants_write() const { return pending_head_ < pending_.size(); }
+  std::size_t pending_bytes() const { return pending_.size() - pending_head_; }
+
+ private:
+  int fd_;
+  // Unsent output. Consumed from pending_head_ forward; compacted once the
+  // head clears half the buffer so a slow reader cannot pin stale bytes.
+  std::vector<std::uint8_t> pending_;
+  std::size_t pending_head_ = 0;
+};
+
+}  // namespace netbatch::net

@@ -1,0 +1,73 @@
+#include "net/socket.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace netbatch::net {
+
+namespace {
+
+// Fills a sockaddr_un for `path`, aborting if the path does not fit — a
+// truncated socket path would silently bind somewhere else.
+sockaddr_un MakeAddress(const std::string& path) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  NETBATCH_CHECK(path.size() < sizeof(addr.sun_path),
+                 "unix socket path too long");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int ListenUnix(const std::string& path, int backlog) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  NETBATCH_CHECK(fd >= 0, "socket(AF_UNIX) failed");
+  // A previous daemon instance (or unclean shutdown) may have left the
+  // socket file behind; the bind below would fail on it.
+  ::unlink(path.c_str());
+  const sockaddr_un addr = MakeAddress(path);
+  const int bound =
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  NETBATCH_CHECK(bound == 0, "bind on unix socket failed");
+  NETBATCH_CHECK(::listen(fd, backlog) == 0, "listen failed");
+  SetNonBlocking(fd);
+  return fd;
+}
+
+int ConnectUnix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  NETBATCH_CHECK(fd >= 0, "socket(AF_UNIX) failed");
+  const sockaddr_un addr = MakeAddress(path);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return -1;
+  }
+  return fd;
+}
+
+int AcceptUnix(int listener_fd) {
+  const int fd = ::accept4(listener_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) return -1;  // EAGAIN (queue drained) or aborted connection
+  SetNonBlocking(fd);
+  return fd;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  NETBATCH_CHECK(flags >= 0, "fcntl(F_GETFL) failed");
+  NETBATCH_CHECK(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                 "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+}  // namespace netbatch::net

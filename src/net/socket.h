@@ -1,0 +1,29 @@
+// Unix-domain stream socket helpers for netbatchd and its clients.
+//
+// Free functions over raw fds; ownership stays with the caller (the daemon
+// tracks fds in its session map, the load generator in its worker state).
+// All sockets are created close-on-exec.
+#pragma once
+
+#include <string>
+
+namespace netbatch::net {
+
+// Binds and listens on `path` (unlinking a stale socket file first) and
+// returns the nonblocking listener fd. Aborts on bind/listen failure —
+// a daemon that cannot claim its socket has nothing to serve.
+int ListenUnix(const std::string& path, int backlog = 128);
+
+// Connects to the daemon at `path`. Returns the connected fd, or -1 with
+// errno set (callers retry while the daemon is still starting). The fd is
+// blocking; call SetNonBlocking for event-loop use.
+int ConnectUnix(const std::string& path);
+
+// Accepts one pending connection from a nonblocking listener. Returns the
+// nonblocking connection fd, or -1 when the accept queue is empty (EAGAIN)
+// or the connection aborted before we got to it.
+int AcceptUnix(int listener_fd);
+
+void SetNonBlocking(int fd);
+
+}  // namespace netbatch::net

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "common/check.h"
+#include "runner/parse.h"
 
 namespace netbatch::runner {
 namespace {
@@ -396,23 +397,6 @@ workload::GeneratorConfig LoadWorkloadPresetFile(const std::string& path) {
   std::ifstream in(path);
   NETBATCH_CHECK(static_cast<bool>(in), "cannot open preset file: " + path);
   return LoadWorkloadPreset(in);
-}
-
-Scenario ResolveScenario(const std::string& name, double scale,
-                         std::uint64_t seed) {
-  if (name == "normal") return NormalLoadScenario(scale, seed);
-  if (name == "high") return HighLoadScenario(scale, seed);
-  if (name == "highsusp") return HighSuspensionScenario(scale, seed);
-  if (name == "year") return YearLongScenario(scale, seed);
-  if (name == "bigpool") return LargePoolScenario(scale, seed);
-  std::ifstream probe(name);
-  NETBATCH_CHECK(static_cast<bool>(probe),
-                 "unknown scenario '" + name +
-                     "' (expected normal | high | highsusp | year | bigpool, "
-                     "or a workload preset file path)");
-  workload::GeneratorConfig workload = LoadWorkloadPreset(probe);
-  workload.seed = seed;
-  return ScenarioFromWorkload(std::move(workload), scale);
 }
 
 }  // namespace netbatch::runner

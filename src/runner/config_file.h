@@ -67,11 +67,7 @@ void WriteWorkloadPresetFile(const std::string& path,
 workload::GeneratorConfig LoadWorkloadPreset(std::istream& in);
 workload::GeneratorConfig LoadWorkloadPresetFile(const std::string& path);
 
-// Resolves a scenario name: one of the built-in presets (normal | high |
-// highsusp | year), or a path to a workload preset file. For preset files,
-// `seed` replaces the stored workload seed and `scale` feeds
-// ScenarioFromWorkload; unknown names abort.
-Scenario ResolveScenario(const std::string& name, double scale,
-                         std::uint64_t seed);
+// Scenario resolution (builtin name or preset file path) lives in
+// runner/parse.h with the other name -> configuration helpers.
 
 }  // namespace netbatch::runner

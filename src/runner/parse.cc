@@ -1,0 +1,58 @@
+#include "runner/parse.h"
+
+#include <fstream>
+#include <utility>
+
+#include "common/check.h"
+#include "runner/config_file.h"
+
+namespace netbatch::runner {
+
+const char* ToString(InitialSchedulerKind kind) {
+  switch (kind) {
+    case InitialSchedulerKind::kRoundRobin:
+      return "round-robin";
+    case InitialSchedulerKind::kUtilization:
+      return "utilization-based";
+  }
+  return "?";
+}
+
+const char* ToShortString(InitialSchedulerKind kind) {
+  switch (kind) {
+    case InitialSchedulerKind::kRoundRobin:
+      return "rr";
+    case InitialSchedulerKind::kUtilization:
+      return "util";
+  }
+  return "?";
+}
+
+std::optional<InitialSchedulerKind> ParseInitialSchedulerKind(
+    std::string_view name) {
+  for (const InitialSchedulerKind kind :
+       {InitialSchedulerKind::kRoundRobin,
+        InitialSchedulerKind::kUtilization}) {
+    if (name == ToString(kind) || name == ToShortString(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+Scenario ResolveScenario(const std::string& name, double scale,
+                         std::uint64_t seed) {
+  if (name == "normal") return NormalLoadScenario(scale, seed);
+  if (name == "high") return HighLoadScenario(scale, seed);
+  if (name == "highsusp") return HighSuspensionScenario(scale, seed);
+  if (name == "year") return YearLongScenario(scale, seed);
+  if (name == "bigpool") return LargePoolScenario(scale, seed);
+  std::ifstream probe(name);
+  NETBATCH_CHECK(static_cast<bool>(probe),
+                 "unknown scenario '" + name +
+                     "' (expected normal | high | highsusp | year | bigpool, "
+                     "or a workload preset file path)");
+  workload::GeneratorConfig workload = LoadWorkloadPreset(probe);
+  workload.seed = seed;
+  return ScenarioFromWorkload(std::move(workload), scale);
+}
+
+}  // namespace netbatch::runner

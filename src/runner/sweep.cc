@@ -18,36 +18,6 @@
 
 namespace netbatch::runner {
 
-const char* ToString(InitialSchedulerKind kind) {
-  switch (kind) {
-    case InitialSchedulerKind::kRoundRobin:
-      return "round-robin";
-    case InitialSchedulerKind::kUtilization:
-      return "utilization-based";
-  }
-  return "?";
-}
-
-const char* ToShortString(InitialSchedulerKind kind) {
-  switch (kind) {
-    case InitialSchedulerKind::kRoundRobin:
-      return "rr";
-    case InitialSchedulerKind::kUtilization:
-      return "util";
-  }
-  return "?";
-}
-
-std::optional<InitialSchedulerKind> ParseInitialSchedulerKind(
-    std::string_view name) {
-  for (const InitialSchedulerKind kind :
-       {InitialSchedulerKind::kRoundRobin,
-        InitialSchedulerKind::kUtilization}) {
-    if (name == ToString(kind) || name == ToShortString(kind)) return kind;
-  }
-  return std::nullopt;
-}
-
 // ---- ExperimentSpec -------------------------------------------------------
 
 std::string ExperimentSpec::PolicyName() const {

@@ -36,20 +36,11 @@
 #include "core/policies.h"
 #include "metrics/collector.h"
 #include "metrics/report.h"
+#include "runner/parse.h"
 #include "runner/scenarios.h"
 #include "workload/trace.h"
 
 namespace netbatch::runner {
-
-enum class InitialSchedulerKind { kRoundRobin, kUtilization };
-
-const char* ToString(InitialSchedulerKind kind);       // "round-robin" ...
-const char* ToShortString(InitialSchedulerKind kind);  // "rr" / "util"
-
-// Accepts both the ToString and ToShortString forms;
-// ParseInitialSchedulerKind(ToString(k)) == k for every kind.
-std::optional<InitialSchedulerKind> ParseInitialSchedulerKind(
-    std::string_view name);
 
 // Everything measured from one run.
 struct ExperimentResult {

@@ -10,6 +10,7 @@
 #include "calib/fit.h"
 #include "calib/goodness.h"
 #include "runner/config_file.h"
+#include "runner/parse.h"
 #include "runner/scenarios.h"
 #include "workload/generator.h"
 

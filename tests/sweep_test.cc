@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "runner/parse.h"
 #include "runner/scenarios.h"
 #include "runner/sweep.h"
 

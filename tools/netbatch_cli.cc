@@ -28,17 +28,11 @@
 #include <string>
 #include <vector>
 
-#include "calib/fit.h"
-#include "calib/goodness.h"
-#include "common/counters.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
-#include "runner/config_file.h"
-#include "metrics/chrome_trace.h"
-#include "metrics/event_log.h"
-#include "metrics/report_json.h"
 #include "netbatch.h"
+#include "subcommand.h"
 
 using namespace netbatch;
 
@@ -353,23 +347,8 @@ int RunSweepCommand(const Flags& flags) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  if (flags.GetBool("help", false)) {
-    std::fputs(kUsage, stdout);
-    return 0;
-  }
-
-  if (!flags.positional().empty() && flags.positional().front() == "sweep") {
-    return RunSweepCommand(flags);
-  }
-  if (!flags.positional().empty() &&
-      flags.positional().front() == "calibrate") {
-    return RunCalibrateCommand(flags);
-  }
-
+// Default mode: one experiment driven entirely by flags.
+int RunSingleCommand(const Flags& flags) {
   // Base configuration: an INI file when given, defaults otherwise;
   // individual flags override either.
   runner::ExperimentConfig config;
@@ -568,4 +547,16 @@ int main(int argc, char** argv) {
                 samples_out.c_str());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  return tools::DispatchSubcommand(flags,
+                                   {
+                                       {"sweep", RunSweepCommand},
+                                       {"calibrate", RunCalibrateCommand},
+                                   },
+                                   kUsage, RunSingleCommand);
 }

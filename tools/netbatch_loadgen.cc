@@ -1,0 +1,326 @@
+// netbatch_loadgen — replay a workload against a running netbatchd.
+//
+// Opens N concurrent sessions, shards the trace across them, and submits
+// each job over the binary protocol — either paced against the trace's
+// submit times (--speed=100 replays at 100x real time) or as fast as the
+// daemon will take them (--speed=0, pipelining up to --window requests per
+// session). Reports client-observed submit round-trip latency (p50 / p99 /
+// p999 via the log-bucketed LatencyHistogram, losslessly merged across
+// sessions) plus the daemon's own admission-to-placement histogram from
+// its stats endpoint.
+//
+// Examples:
+//   # Replay the normal workload at 1000x from 4 sessions:
+//   netbatch_loadgen --socket=/tmp/nb.sock --scenario=normal --speed=1000
+//       --sessions=4
+//
+//   # Throughput firehose for BENCH_serve:
+//   netbatch_loadgen --socket=/tmp/nb.sock --scenario=bigpool --speed=0
+//       --sessions=8 --window=64 --json-out=bench.json
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "net/socket.h"
+#include "netbatch.h"
+
+using namespace netbatch;
+
+namespace {
+
+constexpr const char* kUsage = R"(netbatch_loadgen — netbatchd load generator
+
+  --socket=<path>              daemon socket (required)
+  --scenario=<name|preset.ini> workload to replay: scenario preset name or
+                               a calibrated workload preset file
+                               (default normal); must match the cluster
+                               netbatchd was started with
+  --trace-in=<file.csv>        replay a saved trace instead of generating
+  --scale=<0..1>               workload scale (default 0.25)
+  --seed=<n>                   workload seed (default 42)
+  --jobs=<n>                   cap the number of jobs submitted (default
+                               all)
+  --sessions=<n>               concurrent client sessions (default 4)
+  --speed=<n>                  replay speed vs. the trace's submit times:
+                               1 = real time, 1000 = 1000x; 0 = submit as
+                               fast as possible (default 1000)
+  --window=<n>                 max in-flight requests per session when
+                               --speed=0 (default 64)
+  --json-out=<file>            write a machine-readable result summary
+)";
+
+std::uint64_t WallNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void SendAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    NETBATCH_CHECK(n > 0, "send to netbatchd failed");
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+// Per-session tallies, merged after the workers join.
+struct SessionResult {
+  LatencyHistogram rtt;  // submit round-trip, nanoseconds
+  std::uint64_t ok = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t other = 0;
+};
+
+struct LoadConfig {
+  std::string socket_path;
+  double speed = 1000;   // 0 = unthrottled
+  std::size_t window = 64;
+};
+
+void CountStatus(service::Status status, SessionResult& result) {
+  switch (status) {
+    case service::Status::kOk:
+      ++result.ok;
+      break;
+    case service::Status::kQueued:
+      ++result.queued;
+      break;
+    case service::Status::kRejected:
+      ++result.rejected;
+      break;
+    default:
+      ++result.other;
+      break;
+  }
+}
+
+// One session: submit every job in `shard` in order, tracking round-trip
+// latency per request. The daemon answers in arrival order per session, so
+// a FIFO of send timestamps matches responses without a map.
+void RunSession(const LoadConfig& config,
+                const std::vector<const workload::JobSpec*>& shard,
+                std::uint64_t origin_ns, SessionResult& result) {
+  const int fd = net::ConnectUnix(config.socket_path);
+  NETBATCH_CHECK(fd >= 0, "cannot connect to " + config.socket_path);
+
+  service::FrameDecoder decoder;
+  std::vector<service::Frame> frames;
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> frame_buf;
+  std::uint8_t read_buf[1 << 16];
+  // (request_id, send time) for every in-flight submit, oldest first.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> in_flight;
+  const std::size_t window = config.speed > 0 ? 1 : config.window;
+
+  std::size_t next = 0;
+  std::size_t received = 0;
+  while (received < shard.size()) {
+    // Fill the window, pacing against the trace clock when throttled.
+    while (next < shard.size() && in_flight.size() < window) {
+      const workload::JobSpec& spec = *shard[next];
+      if (config.speed > 0) {
+        const auto due_ns = static_cast<std::uint64_t>(
+            static_cast<double>(spec.submit_time) * 1e9 / config.speed);
+        while (WallNanos() - origin_ns < due_ns) {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+      payload.clear();
+      service::EncodeJobSpec(spec, payload);
+      frame_buf.clear();
+      service::EncodeFrame(
+          static_cast<std::uint16_t>(service::Opcode::kSubmit),
+          /*request_id=*/spec.id.value(), payload, frame_buf);
+      in_flight.emplace_back(spec.id.value(), WallNanos());
+      SendAll(fd, frame_buf.data(), frame_buf.size());
+      ++next;
+    }
+
+    // Drain at least one response.
+    const ssize_t n = ::recv(fd, read_buf, sizeof(read_buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    NETBATCH_CHECK(n > 0, "netbatchd closed the session mid-run");
+    NETBATCH_CHECK(
+        decoder.Feed(read_buf, static_cast<std::size_t>(n), frames),
+        "protocol error from netbatchd: " + decoder.error());
+    const std::uint64_t now_ns = WallNanos();
+    for (const service::Frame& frame : frames) {
+      NETBATCH_CHECK(!in_flight.empty() &&
+                         frame.header.request_id == in_flight.front().first,
+                     "response out of order");
+      result.rtt.Record(now_ns - in_flight.front().second);
+      in_flight.pop_front();
+      ++received;
+      service::SubmitResponse response;
+      NETBATCH_CHECK(service::DecodeSubmitResponse(frame.payload, response),
+                     "malformed submit response");
+      CountStatus(response.status, result);
+    }
+    frames.clear();
+  }
+  ::close(fd);
+}
+
+// Fetches the daemon's stats rendering (counters + its server-side
+// admission-to-placement histogram) over a fresh session.
+std::string FetchServerStats(const std::string& socket_path) {
+  const int fd = net::ConnectUnix(socket_path);
+  if (fd < 0) return "";
+  std::vector<std::uint8_t> frame_buf;
+  service::EncodeFrame(static_cast<std::uint16_t>(service::Opcode::kStats),
+                       /*request_id=*/0, {}, frame_buf);
+  SendAll(fd, frame_buf.data(), frame_buf.size());
+  service::FrameDecoder decoder;
+  std::vector<service::Frame> frames;
+  std::uint8_t read_buf[1 << 16];
+  while (frames.empty()) {
+    const ssize_t n = ::recv(fd, read_buf, sizeof(read_buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    if (!decoder.Feed(read_buf, static_cast<std::size_t>(n), frames)) break;
+  }
+  ::close(fd);
+  if (frames.empty()) return "";
+  return std::string(frames.front().payload.begin(),
+                     frames.front().payload.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  LoadConfig config;
+  config.socket_path = flags.GetString("socket", "");
+  NETBATCH_CHECK(!config.socket_path.empty(), "--socket is required");
+  config.speed = flags.GetDouble("speed", 1000);
+  NETBATCH_CHECK(config.speed >= 0, "--speed must be >= 0");
+  config.window =
+      static_cast<std::size_t>(flags.GetInt("window", 64));
+  NETBATCH_CHECK(config.window > 0, "--window must be > 0");
+  const auto sessions = static_cast<std::size_t>(flags.GetInt("sessions", 4));
+  NETBATCH_CHECK(sessions > 0, "--sessions must be > 0");
+
+  workload::Trace trace;
+  if (flags.Has("trace-in")) {
+    trace = workload::ReadTraceFile(flags.GetString("trace-in", ""));
+  } else {
+    const runner::Scenario scenario = runner::ResolveScenario(
+        flags.GetString("scenario", "normal"), flags.GetDouble("scale", 0.25),
+        static_cast<std::uint64_t>(flags.GetInt("seed", 42)));
+    trace = workload::GenerateTrace(scenario.workload);
+  }
+  std::size_t total = trace.size();
+  if (flags.Has("jobs")) {
+    total = std::min(total,
+                     static_cast<std::size_t>(flags.GetInt("jobs", 0)));
+  }
+  NETBATCH_CHECK(total > 0, "nothing to submit");
+
+  const std::string json_out = flags.GetString("json-out", "");
+  const auto unused = flags.UnusedFlags();
+  NETBATCH_CHECK(unused.empty(),
+                 "unknown flag --" + (unused.empty() ? "" : unused.front()) +
+                     " (see --help)");
+
+  // Shard round-robin so every session sees the trace's arrival pattern.
+  std::vector<std::vector<const workload::JobSpec*>> shards(sessions);
+  for (std::size_t i = 0; i < total; ++i) {
+    shards[i % sessions].push_back(&trace.jobs()[i]);
+  }
+
+  std::printf("loadgen: %zu jobs, %zu sessions, %s\n", total, sessions,
+              config.speed > 0
+                  ? (std::to_string(config.speed) + "x real time").c_str()
+                  : ("unthrottled, window " + std::to_string(config.window))
+                        .c_str());
+
+  std::vector<SessionResult> results(sessions);
+  const std::uint64_t origin_ns = WallNanos();
+  std::vector<std::thread> workers;
+  workers.reserve(sessions);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    workers.emplace_back(RunSession, std::cref(config), std::cref(shards[s]),
+                         origin_ns, std::ref(results[s]));
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds =
+      static_cast<double>(WallNanos() - origin_ns) / 1e9;
+
+  SessionResult merged;
+  for (const SessionResult& result : results) {
+    merged.rtt.Merge(result.rtt);
+    merged.ok += result.ok;
+    merged.queued += result.queued;
+    merged.rejected += result.rejected;
+    merged.other += result.other;
+  }
+  const double rate =
+      wall_seconds > 0 ? static_cast<double>(merged.rtt.count()) / wall_seconds
+                       : 0;
+
+  std::printf(
+      "submitted %llu jobs in %.2fs (%.0f decisions/s): %llu started, "
+      "%llu queued, %llu rejected, %llu other\n",
+      static_cast<unsigned long long>(merged.rtt.count()), wall_seconds, rate,
+      static_cast<unsigned long long>(merged.ok),
+      static_cast<unsigned long long>(merged.queued),
+      static_cast<unsigned long long>(merged.rejected),
+      static_cast<unsigned long long>(merged.other));
+  std::printf(
+      "submit rtt: p50 %.1fus  p99 %.1fus  p999 %.1fus  max %.1fus\n",
+      static_cast<double>(merged.rtt.Quantile(0.50)) / 1e3,
+      static_cast<double>(merged.rtt.Quantile(0.99)) / 1e3,
+      static_cast<double>(merged.rtt.Quantile(0.999)) / 1e3,
+      static_cast<double>(merged.rtt.max()) / 1e3);
+
+  const std::string stats = FetchServerStats(config.socket_path);
+  const std::size_t latency_line = stats.find("placement_latency_ns");
+  if (latency_line != std::string::npos) {
+    const std::size_t end = stats.find('\n', latency_line);
+    std::printf("server %s\n",
+                stats.substr(latency_line, end - latency_line).c_str());
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    NETBATCH_CHECK(static_cast<bool>(out), "cannot open --json-out path");
+    out << "{\n"
+        << "  \"jobs\": " << merged.rtt.count() << ",\n"
+        << "  \"sessions\": " << sessions << ",\n"
+        << "  \"speed\": " << config.speed << ",\n"
+        << "  \"window\": " << config.window << ",\n"
+        << "  \"wall_seconds\": " << wall_seconds << ",\n"
+        << "  \"decisions_per_second\": " << rate << ",\n"
+        << "  \"started\": " << merged.ok << ",\n"
+        << "  \"queued\": " << merged.queued << ",\n"
+        << "  \"rejected\": " << merged.rejected << ",\n"
+        << "  \"rtt_ns\": {\"p50\": " << merged.rtt.Quantile(0.50)
+        << ", \"p99\": " << merged.rtt.Quantile(0.99)
+        << ", \"p999\": " << merged.rtt.Quantile(0.999)
+        << ", \"max\": " << merged.rtt.max() << "}\n"
+        << "}\n";
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return merged.other == 0 ? 0 : 1;
+}

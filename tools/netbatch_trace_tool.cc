@@ -22,11 +22,8 @@
 
 #include "common/check.h"
 #include "common/flags.h"
-#include "common/histogram.h"
-#include "common/table.h"
-#include "workload/swf.h"
-#include "workload/trace_io.h"
-#include "workload/transform.h"
+#include "netbatch.h"
+#include "subcommand.h"
 
 using namespace netbatch;
 
@@ -156,26 +153,21 @@ int RunImportSwf(const Flags& flags) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Flags flags = Flags::Parse(argc, argv);
-  if (flags.positional().empty() || flags.GetBool("help", false)) {
-    std::fputs(kUsage, stdout);
-    return flags.GetBool("help", false) ? 0 : 1;
-  }
-  const std::string command = flags.positional().front();
-  if (command == "import-swf") return RunImportSwf(flags);
-
+int RunStats(const Flags& flags) {
   const std::string in = flags.GetString("in", "");
   NETBATCH_CHECK(!in.empty(), "--in is required");
   const workload::Trace trace = workload::ReadTraceFile(in);
+  PrintStats(trace);
+  if (flags.GetBool("histograms", false)) PrintHistograms(trace);
+  return 0;
+}
 
-  if (command == "stats") {
-    PrintStats(trace);
-    if (flags.GetBool("histograms", false)) PrintHistograms(trace);
-    return 0;
-  }
+// Shared scaffolding for the trace -> trace subcommands: load --in, apply
+// the named transform, write --out.
+int RunTransform(const Flags& flags, const std::string& command) {
+  const std::string in = flags.GetString("in", "");
+  NETBATCH_CHECK(!in.empty(), "--in is required");
+  const workload::Trace trace = workload::ReadTraceFile(in);
 
   const std::string out = flags.GetString("out", "");
   NETBATCH_CHECK(!out.empty(), "--out is required for transforms");
@@ -199,17 +191,36 @@ int main(int argc, char** argv) {
     result = workload::FilterByPriority(
         trace, klass == "low" ? workload::kLowPriority
                               : workload::kHighPriority);
-  } else if (command == "merge") {
+  } else {
+    NETBATCH_CHECK(command == "merge", "unknown transform: " + command);
     const std::string in2 = flags.GetString("in2", "");
     NETBATCH_CHECK(!in2.empty(), "merge requires --in2");
     result = workload::Merge(trace, workload::ReadTraceFile(in2),
                              flags.GetBool("rebase", false));
-  } else {
-    NETBATCH_CHECK(false, "unknown subcommand (see --help)");
   }
 
   workload::WriteTraceFile(result, out);
   std::printf("%s: %zu jobs -> %zu jobs -> %s\n", command.c_str(),
               trace.size(), result.size(), out.c_str());
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  return tools::DispatchSubcommand(
+      flags,
+      {
+          {"stats", RunStats},
+          {"window",
+           [](const Flags& f) { return RunTransform(f, "window"); }},
+          {"thin", [](const Flags& f) { return RunTransform(f, "thin"); }},
+          {"scale-rt",
+           [](const Flags& f) { return RunTransform(f, "scale-rt"); }},
+          {"filter", [](const Flags& f) { return RunTransform(f, "filter"); }},
+          {"merge", [](const Flags& f) { return RunTransform(f, "merge"); }},
+          {"import-swf", RunImportSwf},
+      },
+      kUsage);
 }

@@ -1,0 +1,134 @@
+// netbatchd — serve the placement engine over a unix-domain socket.
+//
+// The daemon owns a cluster (any scenario preset or calibrated workload
+// preset sizes it) and the same scheduler/policy decision stack the
+// simulator drives; clients submit jobs, report completions, suspend,
+// resume, and query over the binary protocol in service/protocol.h.
+//
+// Examples:
+//   # Serve the normal-scenario cluster with the paper's default stack:
+//   netbatchd --socket=/tmp/nb.sock
+//
+//   # Utilization scheduling + DupSusUtil at 1000x real time:
+//   netbatchd --socket=/tmp/nb.sock --scheduler=util --policy=DupSusUtil
+//             --time-scale=1000
+//
+// SIGINT/SIGTERM drain cleanly: sessions close, the socket file unlinks.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "netbatch.h"
+
+using namespace netbatch;
+
+namespace {
+
+constexpr const char* kUsage = R"(netbatchd — NetBatchSim placement daemon
+
+  --socket=<path>              unix socket to serve on (required)
+  --scenario=<name|preset.ini> cluster sizing: normal | high | highsusp |
+                               year | bigpool, or a workload preset file
+                               (default normal)
+  --scale=<0..1>               cluster scale (default 0.25)
+  --seed=<n>                   scenario/policy seed (default 42)
+  --scheduler=<rr|util>        initial scheduler (default rr)
+  --staleness=<min>            util-scheduler snapshot staleness (default 0)
+  --policy=<name>              NoRes | ResSusUtil | ResSusRand |
+                               ResSusWaitUtil | ResSusWaitRand | DupSusUtil
+                               (default ResSusUtil)
+  --threshold=<min>            Wait-policy threshold (default 30)
+  --time-scale=<n>             simulated seconds per wall second: job
+                               runtimes and wait timeouts replay n x real
+                               time (default 1000)
+  --auto-complete=<bool>       daemon completes jobs after their runtime;
+                               false leaves completion to clients
+                               (default true)
+)";
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  const std::string socket_path = flags.GetString("socket", "");
+  NETBATCH_CHECK(!socket_path.empty(), "--socket is required");
+
+  const double scale = flags.GetDouble("scale", 0.25);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const runner::Scenario scenario = runner::ResolveScenario(
+      flags.GetString("scenario", "normal"), scale, seed);
+
+  std::unique_ptr<cluster::InitialScheduler> scheduler;
+  {
+    const auto kind = runner::ParseInitialSchedulerKind(
+        flags.GetString("scheduler", "rr"));
+    NETBATCH_CHECK(kind.has_value(), "--scheduler must be rr or util");
+    if (*kind == runner::InitialSchedulerKind::kRoundRobin) {
+      scheduler = std::make_unique<sched::RoundRobinScheduler>();
+    } else {
+      scheduler = std::make_unique<sched::UtilizationScheduler>(
+          MinutesToTicks(flags.GetInt("staleness", 0)));
+    }
+  }
+
+  const std::string policy_name = flags.GetString("policy", "ResSusUtil");
+  core::PolicyOptions policy_options;
+  policy_options.wait_threshold =
+      MinutesToTicks(flags.GetInt("threshold", 30));
+  policy_options.seed = seed;
+  std::unique_ptr<cluster::ReschedulingPolicy> policy;
+  if (policy_name == "DupSusUtil") {
+    policy = core::MakeDuplicationPolicy(policy_options);
+  } else {
+    const auto kind = core::ParsePolicyKind(policy_name);
+    NETBATCH_CHECK(kind.has_value(), "unknown --policy (see --help)");
+    policy = core::MakePolicy(*kind, policy_options);
+  }
+
+  service::DaemonOptions options;
+  options.socket_path = socket_path;
+  options.time_scale = flags.GetInt("time-scale", 1000);
+  options.auto_complete = flags.GetBool("auto-complete", true);
+
+  const auto unused = flags.UnusedFlags();
+  NETBATCH_CHECK(unused.empty(),
+                 "unknown flag --" + (unused.empty() ? "" : unused.front()) +
+                     " (see --help)");
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  service::Daemon daemon(scenario.cluster, *scheduler, *policy, options);
+  std::printf("netbatchd: %zu pools, %lld cores, %s/%s, %lldx real time, %s\n",
+              scenario.cluster.pools.size(),
+              static_cast<long long>(scenario.cluster.TotalCores()),
+              flags.GetString("scheduler", "rr").c_str(), policy_name.c_str(),
+              static_cast<long long>(options.time_scale),
+              socket_path.c_str());
+  daemon.Run(g_stop);
+
+  const LatencyHistogram& latency = daemon.placement_latency();
+  if (latency.count() > 0) {
+    std::printf(
+        "placement latency: %llu placements, p50 %.1fus, p99 %.1fus, "
+        "p999 %.1fus\n",
+        static_cast<unsigned long long>(latency.count()),
+        static_cast<double>(latency.Quantile(0.50)) / 1e3,
+        static_cast<double>(latency.Quantile(0.99)) / 1e3,
+        static_cast<double>(latency.Quantile(0.999)) / 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared subcommand dispatch for the netbatch tools.
+//
+// Each CLI fronts a table of named subcommands. Dispatch resolves the first
+// positional argument against the table; --help prints usage and exits 0;
+// an unknown or missing subcommand prints usage to stderr and exits with
+// kUsageExitCode. (netbatch_cli used to silently fall through to its
+// single-run mode on a misspelled subcommand — a typo'd `netbatch_cli swep`
+// would run a default experiment and exit 0.)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+
+namespace netbatch::tools {
+
+struct Subcommand {
+  const char* name;
+  int (*run)(const Flags& flags);
+};
+
+// Exit code for an unknown or missing subcommand — distinct from a
+// subcommand that ran and failed, so scripts can tell the two apart.
+inline constexpr int kUsageExitCode = 2;
+
+// `fallback` (nullable) runs when no subcommand is named — netbatch_cli's
+// flag-driven single-run mode. Tools without a default mode pass nullptr,
+// making a bare invocation a usage error.
+inline int DispatchSubcommand(const Flags& flags,
+                              const std::vector<Subcommand>& commands,
+                              const char* usage,
+                              int (*fallback)(const Flags&) = nullptr) {
+  if (flags.GetBool("help", false)) {
+    std::fputs(usage, stdout);
+    return 0;
+  }
+  if (flags.positional().empty()) {
+    if (fallback != nullptr) return fallback(flags);
+    std::fputs(usage, stderr);
+    return kUsageExitCode;
+  }
+  const std::string& name = flags.positional().front();
+  for (const Subcommand& command : commands) {
+    if (name == command.name) return command.run(flags);
+  }
+  std::fprintf(stderr, "unknown subcommand '%s'\n\n", name.c_str());
+  std::fputs(usage, stderr);
+  return kUsageExitCode;
+}
+
+}  // namespace netbatch::tools
