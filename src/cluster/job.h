@@ -125,6 +125,13 @@ class Job {
   // implies an unchanged state, since no transition leaves it untouched.
   std::uint64_t generation() const { return generation_; }
   bool GenerationIs(std::uint64_t stamp) const { return generation_ == stamp; }
+  // Slot-reuse guard (JobTable reclamation): a freshly constructed job
+  // occupying a reclaimed slot starts its generation above every stamp the
+  // slot's previous occupant ever handed out, so a stale timer for the old
+  // job can never match the new one.
+  void EnsureGenerationAtLeast(std::uint64_t floor) {
+    if (generation_ < floor) generation_ = floor;
+  }
   // Handle of the in-flight completion event, kept so preemption/eviction/
   // twin-resolution can remove it from the heap eagerly (memory stays
   // proportional to live events; staleness would be caught anyway).

@@ -5,6 +5,17 @@
 // JobId -> slot vector for ordinary (small, near-contiguous) ids — one
 // indexed load on the event-dispatch hot path — with a hash-map fallback
 // for traces that use sparse ids beyond the dense cap.
+//
+// Reclamation (daemon path only): a simulation retains every job until the
+// run ends — metrics walk the full table — but a long-running daemon must
+// reclaim terminal jobs or grow without bound. EnableReclamation() turns on
+// guarded slot reuse: Erase(id) frees the id's index entry and parks the
+// slot on a free list; the next Create reuses it, seeding the new job's
+// generation above every stamp the old occupant handed out so stale timers
+// can never match the reused slot. The simulator never enables this, so
+// sweep artifacts are untouched. With reclamation on, iteration may still
+// visit erased-but-not-yet-reused slots (stale terminal jobs); the
+// cluster-wide terminal-ledger audit is skipped in that mode.
 #pragma once
 
 #include <deque>
@@ -20,15 +31,17 @@ class JobTable {
  public:
   Job& Create(workload::JobSpec spec) {
     const JobId id = spec.id;
-    const JobId::ValueType v = id.value();
-    if (v < kDenseCap) {
-      if (v >= dense_.size()) dense_.resize(v + 1, kNoSlot);
-      NETBATCH_CHECK(dense_[v] == kNoSlot, "duplicate job id");
-      dense_[v] = static_cast<std::uint32_t>(jobs_.size());
-    } else {
-      NETBATCH_CHECK(!sparse_.contains(id), "duplicate job id");
-      sparse_.emplace(id, jobs_.size());
+    if (reclaim_enabled_ && !free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      Job& reused = jobs_[slot];
+      const std::uint64_t generation_floor = reused.generation() + 1;
+      reused = Job(std::move(spec));
+      reused.EnsureGenerationAtLeast(generation_floor);
+      IndexSlot(id, slot);
+      return reused;
     }
+    IndexSlot(id, static_cast<std::uint32_t>(jobs_.size()));
     jobs_.emplace_back(std::move(spec));
     return jobs_.back();
   }
@@ -67,6 +80,35 @@ class JobTable {
     if (n < kDenseCap && n > dense_.size()) dense_.resize(n, kNoSlot);
   }
 
+  // --- reclamation (daemon path only; see file comment) ---------------------
+
+  void EnableReclamation() { reclaim_enabled_ = true; }
+  bool reclaim_enabled() const { return reclaim_enabled_; }
+
+  // Frees `id`'s slot for reuse by a later Create. The Job object stays
+  // constructed (references from the current dispatch remain valid) until
+  // the slot is actually reused; callers must only erase terminal jobs
+  // after the dispatch that retired them has fully unwound.
+  void Erase(JobId id) {
+    NETBATCH_CHECK(reclaim_enabled_, "Erase without EnableReclamation");
+    std::uint32_t slot = kNoSlot;
+    const JobId::ValueType v = id.value();
+    if (v < dense_.size()) {
+      slot = dense_[v];
+      NETBATCH_CHECK(slot != kNoSlot, "erasing unknown job id");
+      dense_[v] = kNoSlot;
+    } else {
+      slot = static_cast<std::uint32_t>(SparseSlot(id));
+      sparse_.erase(id);
+    }
+    free_slots_.push_back(slot);
+    ++reclaimed_count_;
+  }
+
+  // Jobs currently reachable by id (size() minus free slots).
+  std::size_t live_size() const { return jobs_.size() - free_slots_.size(); }
+  std::uint64_t reclaimed_count() const { return reclaimed_count_; }
+
   std::size_t size() const { return jobs_.size(); }
   auto begin() const { return jobs_.begin(); }
   auto end() const { return jobs_.end(); }
@@ -77,6 +119,18 @@ class JobTable {
   static constexpr JobId::ValueType kDenseCap = 1u << 22;
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
+  void IndexSlot(JobId id, std::uint32_t slot) {
+    const JobId::ValueType v = id.value();
+    if (v < kDenseCap) {
+      if (v >= dense_.size()) dense_.resize(v + 1, kNoSlot);
+      NETBATCH_CHECK(dense_[v] == kNoSlot, "duplicate job id");
+      dense_[v] = slot;
+    } else {
+      NETBATCH_CHECK(!sparse_.contains(id), "duplicate job id");
+      sparse_.emplace(id, slot);
+    }
+  }
+
   std::size_t SparseSlot(JobId id) const {
     const auto it = sparse_.find(id);
     NETBATCH_CHECK(it != sparse_.end(), "unknown job id");
@@ -86,6 +140,9 @@ class JobTable {
   std::deque<Job> jobs_;
   std::vector<std::uint32_t> dense_;  // id.value() -> slot, kNoSlot if absent
   std::unordered_map<JobId, std::size_t> sparse_;  // ids >= kDenseCap
+  bool reclaim_enabled_ = false;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t reclaimed_count_ = 0;
 };
 
 }  // namespace netbatch::cluster

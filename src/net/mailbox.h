@@ -1,0 +1,109 @@
+// Lock-free MPSC mailbox with an eventfd wake-up, the cross-thread seam of
+// the sharded daemon.
+//
+// Any thread may Post; exactly one thread (the owning event loop) drains.
+// Posting pushes onto a Treiber stack with a single CAS and signals the
+// eventfd; the consumer registers wake_fd() with its poller, clears the
+// eventfd on wake-up, then drains the whole batch in one exchange (the
+// stack is reversed on drain, so delivery is FIFO per producer and totally
+// ordered per drain batch). Clearing the eventfd *before* draining makes
+// the wake-up race-free: a Post that lands after the drain leaves the
+// eventfd signaled, so the next poller wait returns immediately.
+//
+// The queue is intentionally unbounded: producers are event-loop peers
+// forwarding protocol frames, and back-pressure is applied upstream by the
+// per-session pending-output cap, not here.
+#pragma once
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace netbatch::net {
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() {
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    NETBATCH_CHECK(wake_fd_ >= 0, "eventfd failed");
+  }
+
+  ~Mailbox() {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    while (node != nullptr) {
+      Node* next = node->next;
+      delete node;
+      node = next;
+    }
+    ::close(wake_fd_);
+  }
+
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  // Thread-safe; wakes the owning loop. Wait-free except for CAS retries
+  // under contention.
+  void Post(T value) {
+    Node* node = new Node{std::move(value), head_.load(std::memory_order_relaxed)};
+    while (!head_.compare_exchange_weak(node->next, node,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    }
+    const std::uint64_t one = 1;
+    // The eventfd counter saturates at 2^64-2; a failed write means the
+    // loop is already guaranteed to wake.
+    [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+  // Consumer only: clears the wake signal. Call when the poller reports
+  // wake_fd() readable, before Drain.
+  void ClearWake() {
+    std::uint64_t count = 0;
+    [[maybe_unused]] const ssize_t n =
+        ::read(wake_fd_, &count, sizeof(count));
+  }
+
+  // Consumer only: appends every posted message to `out` in FIFO order.
+  void Drain(std::vector<T>& out) {
+    Node* node = head_.exchange(nullptr, std::memory_order_acquire);
+    // The stack yields newest-first; reverse in place for FIFO delivery.
+    Node* reversed = nullptr;
+    while (node != nullptr) {
+      Node* next = node->next;
+      node->next = reversed;
+      reversed = node;
+      node = next;
+    }
+    while (reversed != nullptr) {
+      out.push_back(std::move(reversed->value));
+      Node* done = reversed;
+      reversed = reversed->next;
+      delete done;
+    }
+  }
+
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) == nullptr;
+  }
+
+  // Register with the owning loop's poller (read interest).
+  int wake_fd() const { return wake_fd_; }
+
+ private:
+  struct Node {
+    T value;
+    Node* next;
+  };
+
+  std::atomic<Node*> head_{nullptr};
+  int wake_fd_ = -1;
+};
+
+}  // namespace netbatch::net

@@ -16,7 +16,8 @@ Session::~Session() {
 Session::Session(Session&& other) noexcept
     : fd_(other.fd_),
       pending_(std::move(other.pending_)),
-      pending_head_(other.pending_head_) {
+      pending_head_(other.pending_head_),
+      max_pending_(other.max_pending_) {
   other.fd_ = -1;
 }
 
@@ -57,7 +58,12 @@ Session::IoStatus Session::Write(const void* data, std::size_t size) {
       return IoStatus::kError;
     }
   }
-  if (size > 0) pending_.insert(pending_.end(), bytes, bytes + size);
+  if (size > 0) {
+    if (max_pending_ != 0 && pending_bytes() + size > max_pending_) {
+      return IoStatus::kOverflow;
+    }
+    pending_.insert(pending_.end(), bytes, bytes + size);
+  }
   return IoStatus::kOk;
 }
 

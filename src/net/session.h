@@ -26,9 +26,10 @@ class Session {
   int fd() const { return fd_; }
 
   enum class IoStatus {
-    kOk,      // made progress (or had nothing to do)
-    kClosed,  // orderly EOF from the peer
-    kError,   // connection reset / unrecoverable errno
+    kOk,        // made progress (or had nothing to do)
+    kClosed,    // orderly EOF from the peer
+    kError,     // connection reset / unrecoverable errno
+    kOverflow,  // pending output exceeded max_pending (slow reader)
   };
 
   // Reads whatever the socket has into `buf` (appending), up to `max_bytes`
@@ -38,8 +39,15 @@ class Session {
                 std::size_t max_bytes = 1 << 16);
 
   // Queues `size` bytes for the peer, writing as much as the socket accepts
-  // immediately. Returns kError when the connection is gone.
+  // immediately. Returns kError when the connection is gone, kOverflow when
+  // the unsent queue would exceed max_pending — a reader too slow (or too
+  // stalled) to keep up with the responses it keeps requesting must be
+  // dropped, not allowed to grow the daemon's heap without bound.
   IoStatus Write(const void* data, std::size_t size);
+
+  // Caps the unsent-output queue; 0 means unlimited (the default for
+  // client-side use, where the peer is trusted).
+  void set_max_pending(std::size_t bytes) { max_pending_ = bytes; }
 
   // Drains the unsent-output queue; call when the poller reports POLLOUT.
   IoStatus FlushPending();
@@ -53,6 +61,7 @@ class Session {
   // head clears half the buffer so a slow reader cannot pin stale bytes.
   std::vector<std::uint8_t> pending_;
   std::size_t pending_head_ = 0;
+  std::size_t max_pending_ = 0;  // 0 = unlimited
 };
 
 }  // namespace netbatch::net

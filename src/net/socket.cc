@@ -1,6 +1,10 @@
 #include "net/socket.h"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -23,6 +27,13 @@ sockaddr_un MakeAddress(const std::string& path) {
                  "unix socket path too long");
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   return addr;
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  // Best-effort: a kernel refusing TCP_NODELAY costs latency, not
+  // correctness.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
 }  // namespace
@@ -60,6 +71,66 @@ int AcceptUnix(int listener_fd) {
   const int fd = ::accept4(listener_fd, nullptr, nullptr, SOCK_CLOEXEC);
   if (fd < 0) return -1;  // EAGAIN (queue drained) or aborted connection
   SetNonBlocking(fd);
+  return fd;
+}
+
+int ListenTcp(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  NETBATCH_CHECK(fd >= 0, "socket(AF_INET) failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  const int bound =
+      ::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  NETBATCH_CHECK(bound == 0, "bind on tcp port failed");
+  NETBATCH_CHECK(::listen(fd, backlog) == 0, "listen failed");
+  SetNonBlocking(fd);
+  return fd;
+}
+
+std::uint16_t BoundTcpPort(int listener_fd) {
+  sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  NETBATCH_CHECK(::getsockname(listener_fd,
+                               reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+                 "getsockname failed");
+  return ntohs(addr.sin_port);
+}
+
+int AcceptTcp(int listener_fd) {
+  const int fd = ::accept4(listener_fd, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) return -1;
+  SetNoDelay(fd);
+  SetNonBlocking(fd);
+  return fd;
+}
+
+int ConnectTcp(const std::string& host, std::uint16_t port) {
+  addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string service = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), service.c_str(), &hints, &result) != 0) {
+    errno = EHOSTUNREACH;
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    const int saved = errno;
+    ::close(fd);
+    fd = -1;
+    errno = saved;
+  }
+  ::freeaddrinfo(result);
+  if (fd >= 0) SetNoDelay(fd);
   return fd;
 }
 

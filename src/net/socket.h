@@ -1,10 +1,13 @@
-// Unix-domain stream socket helpers for netbatchd and its clients.
+// Stream socket helpers for netbatchd and its clients: unix-domain for
+// local drivers, TCP for remote ones. The NBP1 framing layer is
+// transport-agnostic, so both transports share Session/FrameDecoder.
 //
 // Free functions over raw fds; ownership stays with the caller (the daemon
-// tracks fds in its session map, the load generator in its worker state).
-// All sockets are created close-on-exec.
+// tracks fds in its per-shard session maps, the load generator in its
+// worker state). All sockets are created close-on-exec.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 namespace netbatch::net {
@@ -23,6 +26,23 @@ int ConnectUnix(const std::string& path);
 // nonblocking connection fd, or -1 when the accept queue is empty (EAGAIN)
 // or the connection aborted before we got to it.
 int AcceptUnix(int listener_fd);
+
+// Binds and listens on `port` (all interfaces, SO_REUSEADDR) and returns
+// the nonblocking listener fd. Port 0 asks the kernel for an ephemeral
+// port; recover it with BoundTcpPort. Aborts on bind/listen failure.
+int ListenTcp(std::uint16_t port, int backlog = 128);
+
+// The port a TCP listener actually bound (resolves port 0).
+std::uint16_t BoundTcpPort(int listener_fd);
+
+// Accepts one pending TCP connection; same contract as AcceptUnix, plus
+// TCP_NODELAY on the accepted fd (the protocol is small request/response
+// frames — Nagle would serialize pipelined round-trips).
+int AcceptTcp(int listener_fd);
+
+// Connects to `host:port` (name or numeric address). Returns the connected
+// blocking fd with TCP_NODELAY set, or -1 with errno set.
+int ConnectTcp(const std::string& host, std::uint16_t port);
 
 void SetNonBlocking(int fd);
 

@@ -3,370 +3,170 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <chrono>
+#include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
+#include "net/poller.h"
 #include "net/socket.h"
 
 namespace netbatch::service {
 
 namespace {
 
-std::uint64_t WallNanos() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-// The poll timeout when no timer is pending: long enough to idle cheaply,
-// short enough to notice the stop flag promptly.
+// Acceptor poll timeout: long enough to idle cheaply, short enough to
+// notice the stop/drain flags promptly.
 constexpr int kIdlePollMs = 100;
+
+constexpr std::uint64_t kUnixToken = 0;
+constexpr std::uint64_t kTcpToken = 1;
 
 }  // namespace
 
-Daemon::Daemon(const cluster::ClusterConfig& config,
-               cluster::InitialScheduler& scheduler,
-               cluster::ReschedulingPolicy& policy, DaemonOptions options,
-               sched::CoreOptions core_options)
-    : options_(std::move(options)),
-      core_(config, scheduler, policy, /*host=*/*this,
-            std::move(core_options)) {
+Daemon::Daemon(const cluster::ClusterConfig& config, ShardStackFactory factory,
+               DaemonOptions options, sched::CoreOptions core_options)
+    : options_(std::move(options)) {
   NETBATCH_CHECK(options_.time_scale > 0, "time_scale must be positive");
-  NETBATCH_CHECK(!options_.socket_path.empty(), "socket path required");
-  core_.AddObserver(this);
-}
+  NETBATCH_CHECK(options_.threads > 0, "at least one shard thread");
+  NETBATCH_CHECK(!options_.socket_path.empty() || options_.tcp,
+                 "daemon needs a unix socket path or a TCP listener");
+  NETBATCH_CHECK(!config.pools.empty(), "cluster needs at least one pool");
 
-Ticks Daemon::NowTicks() const {
-  const std::uint64_t elapsed_ns = WallNanos() - clock_origin_ns_;
-  // ticks = seconds * time_scale, computed in ns to avoid drift.
-  return static_cast<Ticks>(
-      static_cast<std::uint64_t>(options_.time_scale) * elapsed_ns /
-      1'000'000'000ull);
-}
-
-void Daemon::PushTimer(TimerKind kind, const cluster::Job& job, Ticks delay,
-                       PoolId pool) {
-  Timer timer;
-  timer.due = NowTicks() + delay;
-  timer.seq = next_timer_seq_++;
-  timer.kind = kind;
-  timer.job = job.id();
-  timer.stamp = job.generation();
-  timer.pool = pool;
-  timers_.push(timer);
-}
-
-void Daemon::ArmCompletion(cluster::Job& job, Ticks duration) {
-  if (!options_.auto_complete) return;  // the client owns completion
-  PushTimer(TimerKind::kCompletion, job, duration);
-}
-
-void Daemon::ArmWaitTimeout(cluster::Job& job, Ticks threshold) {
-  PushTimer(TimerKind::kWaitTimeout, job, threshold);
-}
-
-void Daemon::ScheduleRestartDelivery(cluster::Job& job, PoolId target,
-                                     Ticks overhead) {
-  PushTimer(TimerKind::kDelivery, job, overhead, target);
-}
-
-void Daemon::OnJobStarted(const cluster::Job& job) {
-  const auto it = submit_arrival_ns_.find(job.id());
-  if (it == submit_arrival_ns_.end()) return;  // restart/backfill, not admission
-  placement_latency_.Record(WallNanos() - it->second);
-  submit_arrival_ns_.erase(it);
-}
-
-void Daemon::DrainDueTimers() {
-  while (!timers_.empty()) {
-    const Ticks now = NowTicks();
-    if (timers_.top().due > now) break;
-    const Timer timer = timers_.top();
-    timers_.pop();
-    switch (timer.kind) {
-      case TimerKind::kCompletion:
-        core_.Complete(timer.job, timer.stamp, now);
-        break;
-      case TimerKind::kWaitTimeout:
-        core_.OnWaitTimeout(timer.job, timer.stamp, now);
-        break;
-      case TimerKind::kDelivery:
-        core_.DeliverRestart(timer.job, timer.stamp, timer.pool, now);
-        break;
-    }
+  if (!options_.socket_path.empty()) {
+    unix_listener_ = net::ListenUnix(options_.socket_path);
   }
+  if (options_.tcp) {
+    tcp_listener_ = net::ListenTcp(options_.tcp_port);
+    tcp_port_ = net::BoundTcpPort(tcp_listener_);
+  }
+
+  // Interleaved slicing: global pool g lives on shard g % S as local pool
+  // g / S, so any pool-count imbalance is at most one pool per shard.
+  const auto pool_count = static_cast<std::uint32_t>(config.pools.size());
+  const std::uint32_t shard_count = std::min(options_.threads, pool_count);
+  std::vector<cluster::ClusterConfig> shard_configs(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    shard_configs[s].suspended_holds_memory = config.suspended_holds_memory;
+    shard_configs[s].local_resume_first = config.local_resume_first;
+  }
+  for (std::uint32_t g = 0; g < pool_count; ++g) {
+    shard_configs[g % shard_count].pools.push_back(config.pools[g]);
+  }
+
+  stacks_.reserve(shard_count);
+  shards_.reserve(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    stacks_.push_back(factory(s));
+    NETBATCH_CHECK(stacks_[s].scheduler != nullptr && stacks_[s].policy != nullptr,
+                   "shard stack factory returned a null stage");
+    ShardOptions shard_options;
+    shard_options.shard_index = s;
+    shard_options.shard_count = shard_count;
+    shard_options.global_pool_count = pool_count;
+    shard_options.time_scale = options_.time_scale;
+    shard_options.auto_complete = options_.auto_complete;
+    shard_options.max_payload = options_.max_payload;
+    shard_options.max_session_pending = options_.max_session_pending;
+    shards_.push_back(std::make_unique<ShardLoop>(
+        shard_configs[s], *stacks_[s].scheduler, *stacks_[s].policy,
+        shard_options, core_options, directory_, draining_));
+  }
+  std::vector<ShardLoop*> peers;
+  peers.reserve(shard_count);
+  for (auto& shard : shards_) peers.push_back(shard.get());
+  for (auto& shard : shards_) shard->SetPeers(peers);
 }
 
-int Daemon::NextTimerDelayMs() const {
-  if (timers_.empty()) return -1;
-  const Ticks now = NowTicks();
-  const Ticks due = timers_.top().due;
-  if (due <= now) return 0;
-  // ticks -> ms at time_scale ticks per second, rounded up so we never wake
-  // a hair early and busy-spin.
-  const std::int64_t ms =
-      ((due - now) * 1000 + options_.time_scale - 1) / options_.time_scale;
-  return static_cast<int>(std::min<std::int64_t>(ms, kIdlePollMs));
+Daemon::~Daemon() {
+  if (unix_listener_ >= 0) {
+    ::close(unix_listener_);
+    ::unlink(options_.socket_path.c_str());
+  }
+  if (tcp_listener_ >= 0) ::close(tcp_listener_);
 }
 
 void Daemon::Run(const std::atomic<bool>& stop) {
-  listener_fd_ = net::ListenUnix(options_.socket_path);
-  poller_.Add(listener_fd_, net::kPollIn,
-              static_cast<std::uint64_t>(listener_fd_));
-  clock_origin_ns_ = WallNanos();
-  NETBATCH_LOG(kInfo) << "netbatchd serving on " << options_.socket_path
-                      << " (time_scale=" << options_.time_scale << ")";
+  const std::uint64_t origin_ns = WallNanos();
+  for (auto& shard : shards_) shard->set_clock_origin(origin_ns);
+  for (auto& shard : shards_) shard->Start();
 
+  net::Poller poller;
+  if (unix_listener_ >= 0) poller.Add(unix_listener_, net::kPollIn, kUnixToken);
+  if (tcp_listener_ >= 0) poller.Add(tcp_listener_, net::kPollIn, kTcpToken);
+  NETBATCH_LOG(kInfo) << "netbatchd serving on "
+                      << (unix_listener_ >= 0 ? options_.socket_path
+                                              : std::string("(no unix)"))
+                      << (tcp_listener_ >= 0
+                              ? " + tcp:" + std::to_string(tcp_port_)
+                              : "")
+                      << " (threads=" << shards_.size()
+                      << ", time_scale=" << options_.time_scale << ")";
+
+  std::vector<net::PollResult> ready;
+  std::uint32_t next_shard = 0;
+  bool listeners_open = true;
   while (!stop.load(std::memory_order_relaxed)) {
-    int timeout_ms = NextTimerDelayMs();
-    if (timeout_ms < 0) timeout_ms = kIdlePollMs;
-    poller_.Wait(timeout_ms, ready_);
-    DrainDueTimers();
-    for (const net::PollResult& event : ready_) {
-      const int fd = static_cast<int>(event.token);
-      if (fd == listener_fd_) {
-        HandleListener();
-        continue;
+    poller.Wait(kIdlePollMs, ready);
+    if (listeners_open && draining_.load(std::memory_order_acquire)) {
+      // kDrain: stop admitting connections; existing sessions are served
+      // until the stop flag flips.
+      if (unix_listener_ >= 0) {
+        poller.Remove(unix_listener_);
+        ::close(unix_listener_);
+        ::unlink(options_.socket_path.c_str());
+        unix_listener_ = -1;
       }
-      const auto it = sessions_.find(fd);
-      if (it == sessions_.end()) continue;  // closed earlier this wake-up
-      SessionState& state = it->second;
-      bool alive = true;
-      if (event.events & net::kPollOut) {
-        alive = state.session.FlushPending() == net::Session::IoStatus::kOk;
+      if (tcp_listener_ >= 0) {
+        poller.Remove(tcp_listener_);
+        ::close(tcp_listener_);
+        tcp_listener_ = -1;
       }
-      if (alive && (event.events & net::kPollIn)) {
-        alive = HandleReadable(state);
+      listeners_open = false;
+      NETBATCH_LOG(kInfo) << "netbatchd draining: listeners closed";
+      continue;
+    }
+    for (const net::PollResult& event : ready) {
+      const int listener =
+          event.token == kUnixToken ? unix_listener_ : tcp_listener_;
+      if (listener < 0) continue;
+      for (;;) {
+        const int fd = event.token == kUnixToken ? net::AcceptUnix(listener)
+                                                 : net::AcceptTcp(listener);
+        if (fd < 0) break;  // accept queue drained
+        ShardMessage msg;
+        msg.kind = ShardMessage::Kind::kNewSession;
+        msg.fd = fd;
+        shards_[next_shard]->Post(std::move(msg));
+        next_shard = (next_shard + 1) % shards_.size();
       }
-      if (alive && (event.events & net::kPollHup) &&
-          !(event.events & net::kPollIn)) {
-        alive = false;
-      }
-      if (!alive) {
-        poller_.Remove(fd);
-        sessions_.erase(it);
-        continue;
-      }
-      // Re-arm write interest to match the unsent-output state.
-      poller_.Modify(fd,
-                     state.session.wants_write()
-                         ? (net::kPollIn | net::kPollOut)
-                         : net::kPollIn,
-                     static_cast<std::uint64_t>(fd));
     }
   }
 
-  sessions_.clear();
-  poller_.Remove(listener_fd_);
-  ::close(listener_fd_);
-  ::unlink(options_.socket_path.c_str());
-  listener_fd_ = -1;
-  NETBATCH_LOG(kInfo) << "netbatchd stopped; "
-                      << core_.counters().GetCounter("jobs.started").value()
-                      << " placements served";
-}
+  for (auto& shard : shards_) shard->RequestStop();
+  for (auto& shard : shards_) shard->Join();
 
-void Daemon::HandleListener() {
-  for (;;) {
-    const int fd = net::AcceptUnix(listener_fd_);
-    if (fd < 0) return;  // accept queue drained
-    sessions_.emplace(fd, SessionState(fd, options_.max_payload));
-    poller_.Add(fd, net::kPollIn, static_cast<std::uint64_t>(fd));
+  placement_latency_ = LatencyHistogram();
+  std::uint64_t placements = 0;
+  for (auto& shard : shards_) {
+    placement_latency_.Merge(shard->placement_latency());
+    placements +=
+        shard->core().counters().GetCounter("jobs.started").value();
   }
-}
 
-bool Daemon::HandleReadable(SessionState& state) {
-  read_buf_.clear();
-  const net::Session::IoStatus status = state.session.Read(read_buf_);
-  if (status == net::Session::IoStatus::kError) return false;
-  frames_.clear();
-  if (!state.decoder.Feed(read_buf_.data(), read_buf_.size(), frames_)) {
-    NETBATCH_LOG(kWarn) << "dropping session: " << state.decoder.error();
-    return false;
+  if (unix_listener_ >= 0) {
+    poller.Remove(unix_listener_);
+    ::close(unix_listener_);
+    ::unlink(options_.socket_path.c_str());
+    unix_listener_ = -1;
   }
-  write_buf_.clear();
-  for (const Frame& frame : frames_) {
-    HandleFrame(frame, write_buf_);
+  if (tcp_listener_ >= 0) {
+    poller.Remove(tcp_listener_);
+    ::close(tcp_listener_);
+    tcp_listener_ = -1;
   }
-  if (!write_buf_.empty() &&
-      state.session.Write(write_buf_.data(), write_buf_.size()) ==
-          net::Session::IoStatus::kError) {
-    return false;
-  }
-  if (status == net::Session::IoStatus::kClosed) {
-    // Orderly EOF. A partial frame left in the decoder means the peer
-    // truncated mid-send; either way the session is done.
-    return false;
-  }
-  return true;
-}
-
-void Daemon::HandleFrame(const Frame& frame, std::vector<std::uint8_t>& out) {
-  switch (static_cast<Opcode>(frame.header.opcode)) {
-    case Opcode::kSubmit:
-      HandleSubmit(frame, out);
-      break;
-    case Opcode::kComplete:
-    case Opcode::kSuspend:
-    case Opcode::kResume:
-    case Opcode::kQueryJob:
-      HandleJobOp(frame, out);
-      break;
-    case Opcode::kSnapshot:
-      HandleSnapshot(frame, out);
-      break;
-    case Opcode::kStats:
-      HandleStats(frame, out);
-      break;
-    default: {
-      std::vector<std::uint8_t> payload;
-      WireWriter w(payload);
-      w.U32(static_cast<std::uint32_t>(Status::kBadRequest));
-      EncodeFrame(frame.header.opcode | kResponseBit, frame.header.request_id,
-                  payload, out);
-    }
-  }
-}
-
-void Daemon::HandleSubmit(const Frame& frame, std::vector<std::uint8_t>& out) {
-  const std::uint64_t arrival_ns = WallNanos();
-  SubmitResponse response;
-  workload::JobSpec spec;
-  bool valid = DecodeJobSpec(frame.payload, spec);
-  if (valid) {
-    response.job_id = spec.id.value();
-    if (core_.jobs().Contains(spec.id)) valid = false;  // duplicate id
-    if (spec.cores <= 0 || spec.memory_mb < 0 || spec.runtime < 0) {
-      valid = false;
-    }
-    for (PoolId pool : spec.candidate_pools) {
-      if (pool.value() >= core_.PoolCount()) valid = false;
-    }
-  }
-  if (!valid) {
-    response.status = Status::kBadRequest;
-  } else {
-    const JobId id = spec.id;
-    core_.AdmitJob(std::move(spec));
-    submit_arrival_ns_.emplace(id, arrival_ns);
-    core_.Submit(id, NowTicks());
-    const cluster::Job& job = core_.jobs().at(id);
-    switch (job.state()) {
-      case cluster::JobState::kRunning:
-        response.status = Status::kOk;
-        response.pool = job.pool().value();
-        response.machine = job.machine().value();
-        break;
-      case cluster::JobState::kWaiting:
-      case cluster::JobState::kInTransit:
-        response.status = Status::kQueued;
-        response.pool = job.pool().value();
-        break;
-      default:
-        response.status = Status::kRejected;
-        submit_arrival_ns_.erase(id);
-        break;
-    }
-  }
-  std::vector<std::uint8_t> payload;
-  EncodeSubmitResponse(response, payload);
-  EncodeFrame(static_cast<std::uint16_t>(Opcode::kSubmit) | kResponseBit,
-              frame.header.request_id, payload, out);
-}
-
-void Daemon::HandleJobOp(const Frame& frame, std::vector<std::uint8_t>& out) {
-  const auto opcode = static_cast<Opcode>(frame.header.opcode);
-  WireReader r(frame.payload);
-  const JobId id(static_cast<JobId::ValueType>(r.U64()));
-  Status status = Status::kOk;
-  std::uint32_t state = 0;
-  std::uint32_t pool = 0;
-  std::uint32_t machine = 0;
-  if (!r.exhausted()) {
-    status = Status::kBadRequest;
-  } else if (!core_.jobs().Contains(id)) {
-    status = Status::kUnknownJob;
-  } else {
-    const Ticks now = NowTicks();
-    cluster::Job& job = core_.jobs().at(id);
-    switch (opcode) {
-      case Opcode::kComplete:
-        if (job.state() != cluster::JobState::kRunning) {
-          status = Status::kBadState;
-        } else {
-          core_.Complete(id, job.generation(), now);
-        }
-        break;
-      case Opcode::kSuspend:
-        if (!core_.Suspend(id, now)) status = Status::kBadState;
-        break;
-      case Opcode::kResume:
-        if (job.state() != cluster::JobState::kSuspended) {
-          status = Status::kBadState;
-        } else if (!core_.Resume(id, now)) {
-          // Still suspended: its machine is full or offline right now.
-          status = Status::kQueued;
-        }
-        break;
-      case Opcode::kQueryJob:
-        break;
-      default:
-        status = Status::kBadRequest;
-        break;
-    }
-    state = static_cast<std::uint32_t>(job.state());
-    pool = job.pool().value();
-    machine = job.machine().value();
-  }
-  std::vector<std::uint8_t> payload;
-  WireWriter w(payload);
-  w.U32(static_cast<std::uint32_t>(status));
-  if (opcode == Opcode::kQueryJob) {
-    w.U32(state);
-    w.U32(pool);
-    w.U32(machine);
-  }
-  EncodeFrame(frame.header.opcode | kResponseBit, frame.header.request_id,
-              payload, out);
-}
-
-void Daemon::HandleSnapshot(const Frame& frame,
-                            std::vector<std::uint8_t>& out) {
-  const sched::SchedulerCore::Snapshot snap = core_.GetSnapshot();
-  std::vector<std::uint8_t> payload;
-  WireWriter w(payload);
-  w.I64(NowTicks());
-  w.U64(snap.started);
-  w.U64(snap.completed);
-  w.U64(snap.rejected);
-  w.U64(snap.preemptions);
-  w.U64(snap.reschedules);
-  w.U32(static_cast<std::uint32_t>(snap.pools.size()));
-  for (const auto& pool : snap.pools) {
-    w.U32(pool.id.value());
-    w.I64(pool.total_cores);
-    w.I64(pool.busy_cores);
-    w.U64(pool.queued);
-    w.U64(pool.suspended);
-  }
-  EncodeFrame(static_cast<std::uint16_t>(Opcode::kSnapshot) | kResponseBit,
-              frame.header.request_id, payload, out);
-}
-
-void Daemon::HandleStats(const Frame& frame, std::vector<std::uint8_t>& out) {
-  core_.RefreshGauges(NowTicks());
-  std::string text = core_.counters().Render();
-  const LatencyHistogram& lat = placement_latency_;
-  text += "placement_latency_ns{count=" + std::to_string(lat.count()) +
-          ",p50=" + std::to_string(lat.Quantile(0.5)) +
-          ",p99=" + std::to_string(lat.Quantile(0.99)) +
-          ",p999=" + std::to_string(lat.Quantile(0.999)) +
-          ",max=" + std::to_string(lat.max()) + "}\n";
-  std::vector<std::uint8_t> payload(text.begin(), text.end());
-  EncodeFrame(static_cast<std::uint16_t>(Opcode::kStats) | kResponseBit,
-              frame.header.request_id, payload, out);
+  NETBATCH_LOG(kInfo) << "netbatchd stopped; " << placements
+                      << " placements served across " << shards_.size()
+                      << " shard(s)";
 }
 
 }  // namespace netbatch::service

@@ -1,150 +1,113 @@
-// netbatchd: the placement engine served over a unix-domain socket.
+// netbatchd: the placement engine served over unix-domain and TCP sockets.
 //
-// A single-threaded event loop owns all cluster state through a
-// sched::SchedulerCore — the exact decision stack the simulator drives,
-// here driven by wall-clock time. Clients submit jobs, report completions,
-// suspend/resume, and query state over the binary protocol in
-// service/protocol.h; deferred work the core requests (completions under
-// auto-complete, wait-timeout checks, restart deliveries) sits in a timer
-// min-heap drained between socket wake-ups.
+// The daemon is an acceptor in front of N event-loop shards
+// (service/shard_loop.h). Each shard owns one thread, one epoll instance,
+// its own timers and sessions, and a sched::SchedulerCore over an
+// interleaved slice of the pools (global pool g -> shard g % N); accepted
+// connections are dealt round-robin, and requests whose target pool or job
+// lives elsewhere hop shards over lock-free mailboxes. With --threads=1 the
+// whole arrangement degenerates to the original single-threaded daemon —
+// no forwarding, no gathers, identical decisions.
 //
 // Time: one simulated tick is one trace second. `time_scale` maps ticks to
 // wall time as ticks-per-wall-second, so 1000 replays a trace at 1000x real
-// time. Timers are generation-stamped like simulator events: a job that
+// time. All shards share one clock origin, so ticks are comparable across
+// shards. Timers are generation-stamped like simulator events: a job that
 // transitioned before its timer fires invalidates it (the stamp no longer
 // matches), so cancellation is lazy and O(1).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <queue>
+#include <functional>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/config.h"
 #include "cluster/interfaces.h"
 #include "common/histogram.h"
-#include "net/poller.h"
-#include "net/session.h"
-#include "service/protocol.h"
-#include "service/scheduler_core.h"
+#include "service/job_directory.h"
+#include "service/shard_loop.h"
 
 namespace netbatch::service {
 
 struct DaemonOptions {
+  // Unix listener path; empty disables the unix listener.
   std::string socket_path;
+  // TCP listener; port 0 binds an ephemeral port (see tcp_port()).
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+  // Event-loop shards. Effective shard count is min(threads, pool count)
+  // so every shard owns at least one pool.
+  std::uint32_t threads = 1;
   // Simulated ticks per wall-clock second; higher = faster replay.
   std::int64_t time_scale = 1000;
   // When set the daemon completes running jobs itself after their spec
   // runtime (scaled); otherwise clients drive completion via kComplete.
   bool auto_complete = true;
   std::uint32_t max_payload = kMaxPayloadBytes;
+  // Per-session unsent-output cap; a reader that falls further behind than
+  // this is dropped instead of growing the heap. 0 = unlimited.
+  std::size_t max_session_pending = 4u << 20;
 };
 
-class Daemon final : private sched::CoreHost,
-                     private cluster::SimulationObserver {
+// One shard's private scheduler/policy instances. Policies carry RNG state,
+// so shards cannot share them; the factory builds one stack per shard
+// (typically with per-shard seeds).
+struct ShardStack {
+  std::unique_ptr<cluster::InitialScheduler> scheduler;
+  std::unique_ptr<cluster::ReschedulingPolicy> policy;
+};
+using ShardStackFactory = std::function<ShardStack(std::uint32_t shard)>;
+
+class Daemon {
  public:
-  // `scheduler` and `policy` must outlive the daemon.
-  Daemon(const cluster::ClusterConfig& config,
-         cluster::InitialScheduler& scheduler,
-         cluster::ReschedulingPolicy& policy, DaemonOptions options,
-         sched::CoreOptions core_options = {});
+  // Binds the listeners immediately (so tcp_port() is valid before Run —
+  // tests bind port 0 and read the kernel's choice) and builds the shards.
+  Daemon(const cluster::ClusterConfig& config, ShardStackFactory factory,
+         DaemonOptions options, sched::CoreOptions core_options = {});
+  ~Daemon();
 
   Daemon(const Daemon&) = delete;
   Daemon& operator=(const Daemon&) = delete;
 
   // Serves until `*stop` turns true (typically flipped by a SIGTERM
-  // handler). Closes every session and unlinks the socket on exit.
+  // handler). Closes every session and unlinks the socket on exit. A kDrain
+  // request closes the listeners early; existing sessions keep being served
+  // until stop.
   void Run(const std::atomic<bool>& stop);
 
-  sched::SchedulerCore& core() { return core_; }
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  // The TCP listener's bound port (the kernel's choice when tcp_port was 0).
+  std::uint16_t tcp_port() const { return tcp_port_; }
+
+  // Shard access for tests and post-run reporting. Only safe while the
+  // shards are quiescent (before Run or after it returns).
+  ShardLoop& shard(std::uint32_t index) { return *shards_[index]; }
+
   // Server-side admission-to-placement latency (nanoseconds, wall clock):
   // from the submit frame's arrival to the job's start transition —
   // including pool-queue wait for jobs that could not start immediately.
+  // Merged across shards; valid after Run returns.
   const LatencyHistogram& placement_latency() const {
     return placement_latency_;
   }
 
  private:
-  struct SessionState {
-    net::Session session;
-    FrameDecoder decoder;
-    explicit SessionState(int fd, std::uint32_t max_payload)
-        : session(fd), decoder(max_payload) {}
-  };
-
-  enum class TimerKind : std::uint8_t { kCompletion, kWaitTimeout, kDelivery };
-  struct Timer {
-    Ticks due = 0;
-    std::uint64_t seq = 0;  // FIFO tie-break among equal deadlines
-    TimerKind kind = TimerKind::kCompletion;
-    JobId job;
-    std::uint64_t stamp = 0;
-    PoolId pool;
-  };
-  struct TimerLater {
-    bool operator()(const Timer& a, const Timer& b) const {
-      return a.due != b.due ? a.due > b.due : a.seq > b.seq;
-    }
-  };
-
-  // sched::CoreHost — deferred work becomes stamped wall-clock timers.
-  void ArmCompletion(cluster::Job& job, Ticks duration) override;
-  void CancelCompletion(cluster::Job& job) override {
-    (void)job;  // lazy: the generation bump already invalidated the timer
-  }
-  void ArmWaitTimeout(cluster::Job& job, Ticks threshold) override;
-  void ScheduleRestartDelivery(cluster::Job& job, PoolId target,
-                               Ticks overhead) override;
-  void OnJobTerminal(const cluster::Job& job) override { (void)job; }
-
-  // cluster::SimulationObserver — only the start transition matters here:
-  // it closes the admission-to-placement latency measurement.
-  void OnJobStarted(const cluster::Job& job) override;
-
-  Ticks NowTicks() const;
-  void PushTimer(TimerKind kind, const cluster::Job& job, Ticks delay,
-                 PoolId pool = PoolId());
-  void DrainDueTimers();
-  // Milliseconds until the next timer is due (for the poll timeout);
-  // -1 when the heap is empty.
-  int NextTimerDelayMs() const;
-
-  void HandleListener();
-  // Reads, reassembles, dispatches, and responds for one ready session.
-  // Returns false when the session should be dropped.
-  bool HandleReadable(SessionState& state);
-  void HandleFrame(const Frame& frame, std::vector<std::uint8_t>& out);
-
-  void HandleSubmit(const Frame& frame, std::vector<std::uint8_t>& out);
-  void HandleJobOp(const Frame& frame, std::vector<std::uint8_t>& out);
-  void HandleSnapshot(const Frame& frame, std::vector<std::uint8_t>& out);
-  void HandleStats(const Frame& frame, std::vector<std::uint8_t>& out);
-
   DaemonOptions options_;
-  sched::SchedulerCore core_;
+  JobDirectory directory_;
+  std::atomic<bool> draining_{false};
+  std::vector<ShardStack> stacks_;
+  std::vector<std::unique_ptr<ShardLoop>> shards_;
 
-  net::Poller poller_;
-  int listener_fd_ = -1;
-  std::unordered_map<int, SessionState> sessions_;
+  int unix_listener_ = -1;
+  int tcp_listener_ = -1;
+  std::uint16_t tcp_port_ = 0;
 
-  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
-  std::uint64_t next_timer_seq_ = 0;
-
-  std::uint64_t clock_origin_ns_ = 0;
-
-  // Submit-frame arrival time per not-yet-started job, closed by
-  // OnJobStarted into placement_latency_.
-  std::unordered_map<JobId, std::uint64_t> submit_arrival_ns_;
   LatencyHistogram placement_latency_;
-
-  // Reused per-wakeup buffers: poll results, read bytes, decoded frames,
-  // response bytes. Steady-state serving allocates nothing.
-  std::vector<net::PollResult> ready_;
-  std::vector<std::uint8_t> read_buf_;
-  std::vector<Frame> frames_;
-  std::vector<std::uint8_t> write_buf_;
 };
 
 }  // namespace netbatch::service

@@ -1,0 +1,74 @@
+// Global JobId -> shard routing table for the sharded daemon.
+//
+// Each job admitted by any shard registers here so every shard can route a
+// job op (complete / suspend / resume / query / kill) to the event loop
+// that owns the job. The map is the only cluster-wide mutable state the
+// shards share; it is touched once per submit, once per cross-shard job-op
+// lookup, and once per terminal reclamation — never on the per-decision hot
+// path — so a striped mutex is plenty. Internal duplicate jobs (the
+// duplication extension's twins) are shard-local and never registered.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/ids.h"
+
+namespace netbatch::service {
+
+class JobDirectory {
+ public:
+  // Claims `id` for `shard`. Returns false (and changes nothing) when the
+  // id is already claimed — the cluster-wide duplicate-submit check.
+  bool TryInsert(JobId id, std::uint32_t shard) {
+    Stripe& stripe = StripeFor(id);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    return stripe.map.emplace(id, shard).second;
+  }
+
+  std::optional<std::uint32_t> Lookup(JobId id) const {
+    const Stripe& stripe = StripeFor(id);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const auto it = stripe.map.find(id);
+    if (it == stripe.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Releases `id` if (and only if) `shard` owns it. The owner check keeps a
+  // shard reclaiming one of its internal duplicate ids from releasing an
+  // unrelated client job that happens to share the number on another shard.
+  void EraseIfOwner(JobId id, std::uint32_t shard) {
+    Stripe& stripe = StripeFor(id);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const auto it = stripe.map.find(id);
+    if (it != stripe.map.end() && it->second == shard) stripe.map.erase(it);
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Stripe& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      total += stripe.map.size();
+    }
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 64;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<JobId, std::uint32_t> map;
+  };
+
+  Stripe& StripeFor(JobId id) { return stripes_[id.value() % kStripes]; }
+  const Stripe& StripeFor(JobId id) const {
+    return stripes_[id.value() % kStripes];
+  }
+
+  Stripe stripes_[kStripes];
+};
+
+}  // namespace netbatch::service

@@ -132,6 +132,21 @@ bool DecodeSubmitResponse(const std::vector<std::uint8_t>& payload,
   return reader.exhausted();
 }
 
+void EncodeMachineOpPayload(std::uint32_t pool, std::uint32_t machine,
+                            std::vector<std::uint8_t>& out) {
+  WireWriter w(out);
+  w.U32(pool);
+  w.U32(machine);
+}
+
+bool DecodeMachineOpPayload(const std::vector<std::uint8_t>& payload,
+                            std::uint32_t& pool, std::uint32_t& machine) {
+  WireReader r(payload);
+  pool = r.U32();
+  machine = r.U32();
+  return r.exhausted();
+}
+
 bool FrameDecoder::Fail(const std::string& why) {
   failed_ = true;
   error_ = why;

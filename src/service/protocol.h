@@ -1,5 +1,5 @@
 // The netbatchd wire protocol: length-prefixed binary frames over a
-// unix-domain stream socket.
+// stream socket (unix-domain or TCP; the framing is transport-agnostic).
 //
 // Every frame is a fixed 20-byte little-endian header followed by an
 // opcode-specific payload:
@@ -17,9 +17,13 @@
 // Submit payloads mirror workload::JobSpec field for field.
 //
 // The protocol is strictly request/response per frame, but clients may
-// pipeline: the daemon answers in arrival order per session, echoing each
+// pipeline: every request gets exactly one response echoing its
 // request_id, so a client can keep hundreds of requests in flight (the
-// load generator does exactly that).
+// load generator does exactly that). Responses are NOT guaranteed to
+// arrive in request order — on a sharded daemon a request whose target
+// pool or job lives on another event-loop shard is forwarded over a
+// mailbox and its response overtakes or trails shard-local ones — so
+// clients must match responses to requests by request_id.
 #pragma once
 
 #include <cstddef>
@@ -43,8 +47,14 @@ enum class Opcode : std::uint16_t {
   kSuspend = 3,   // job id -> StatusResponse
   kResume = 4,    // job id -> StatusResponse
   kQueryJob = 5,  // job id -> QueryJobResponse
-  kSnapshot = 6,  // (empty) -> SnapshotResponse
-  kStats = 7,     // (empty) -> counter/latency text rendering
+  kSnapshot = 6,  // (empty) -> SnapshotResponse (merged across shards)
+  kStats = 7,     // (empty) -> counter/latency text (merged across shards)
+  // Admin opcodes: live outage drills and maintenance against the service,
+  // mirroring the simulator's failure-injection hooks.
+  kFailMachine = 8,    // u32 pool, u32 machine -> StatusResponse
+  kRepairMachine = 9,  // u32 pool, u32 machine -> StatusResponse
+  kDrain = 10,         // (empty) -> StatusResponse; stop accepting new work
+  kKill = 11,          // job id -> StatusResponse (terminate wherever parked)
 };
 
 enum class Status : std::uint32_t {
@@ -54,6 +64,7 @@ enum class Status : std::uint32_t {
   kUnknownJob = 3,  // the job id names nothing on this daemon
   kBadState = 4,    // op legal but the job is not in the required state
   kBadRequest = 5,  // malformed payload
+  kDraining = 6,    // submit refused: the daemon is draining (kDrain)
 };
 
 struct FrameHeader {
@@ -143,6 +154,13 @@ void EncodeSubmitResponse(const SubmitResponse& r,
                           std::vector<std::uint8_t>& out);
 bool DecodeSubmitResponse(const std::vector<std::uint8_t>& payload,
                           SubmitResponse& r);
+
+// kFailMachine / kRepairMachine payload: the target machine's global pool
+// id and its machine id within that pool.
+void EncodeMachineOpPayload(std::uint32_t pool, std::uint32_t machine,
+                            std::vector<std::uint8_t>& out);
+bool DecodeMachineOpPayload(const std::vector<std::uint8_t>& payload,
+                            std::uint32_t& pool, std::uint32_t& machine);
 
 // --- incremental frame reassembly -------------------------------------------
 

@@ -261,6 +261,37 @@ bool SchedulerCore::Resume(JobId id, Ticks now) {
   return true;
 }
 
+bool SchedulerCore::Kill(JobId id, Ticks now) {
+  now_ = now;
+  Job& job = jobs_.at(id);
+  if (job.twin().valid()) return false;  // let the twin race resolve itself
+  std::vector<JobId> scheduled;
+  switch (job.state()) {
+    case JobState::kInTransit:
+      // Holds no pool resources; the pending delivery is invalidated by the
+      // terminal transition's generation bump.
+      job.OnKilled(now_);
+      break;
+    case JobState::kRunning:
+    case JobState::kWaiting:
+    case JobState::kSuspended:
+      host_->CancelCompletion(job);
+      scheduled =
+          pools_[job.pool().value()]->KillJob(job, now_,
+                                              /*complete_by_twin=*/false);
+      break;
+    default:
+      return false;  // pending (transient) or already terminal
+  }
+  // Lazy registration, same rationale as the twin-race kill counter: runs
+  // that never kill keep their counter snapshot unchanged.
+  counters_.GetCounter("jobs.killed").Increment();
+  for (SimulationObserver* obs : observers_) obs->OnJobKilled(job);
+  host_->OnJobTerminal(job);
+  FinishJobsScheduledBy(scheduled);
+  return true;
+}
+
 void SchedulerCore::Tick(Ticks now) {
   now_ = now;
   RefreshGauges(now);
@@ -344,6 +375,12 @@ void SchedulerCore::ResolveTwinRace(Job& winner) {
     for (SimulationObserver* obs : observers_) obs->OnJobKilled(loser);
   }
   FinishJobsScheduledBy(scheduled);
+
+  // The duplicate side is terminal either way (killed or completed-by-proxy
+  // via its winning run); tell the host so a serving layer can release its
+  // per-job state. The sim host's hook only checks for quiescence, which
+  // an extra call cannot disturb.
+  host_->OnJobTerminal(winner.is_duplicate() ? winner : loser);
 
   if (winner.is_duplicate()) {
     // The original finishes with its duplicate's result. Its own partial
@@ -585,10 +622,16 @@ void SchedulerCore::AuditInvariants(InvariantSink& sink, Ticks now) const {
         "pool suspended counts != jobs in suspended state");
   check(pool_waiting == waiting,
         "pool wait queues != jobs in waiting state");
-  check(completed == completed_count_,
-        "completion counter != completed (non-duplicate) jobs");
-  check(rejected == rejected_count_,
-        "rejection counter != rejected jobs");
+  // With slot reclamation on (daemon path), terminal jobs leave the table
+  // while the lifetime counters keep counting, so the terminal ledgers no
+  // longer correspond. The non-terminal checks above stay exact: live jobs
+  // are never reclaimed.
+  if (!jobs_.reclaim_enabled()) {
+    check(completed == completed_count_,
+          "completion counter != completed (non-duplicate) jobs");
+    check(rejected == rejected_count_,
+          "rejection counter != rejected jobs");
+  }
 }
 
 void SchedulerCore::CheckInvariants() const {

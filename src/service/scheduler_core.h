@@ -132,6 +132,12 @@ class SchedulerCore final : public cluster::ClusterView,
   // (the daemon's kResume op). Returns false otherwise.
   bool Resume(JobId id, Ticks now);
 
+  // Terminates a job wherever it is parked (the daemon's kKill op):
+  // running, suspended, waiting, or in transit. Refuses (returns false)
+  // terminal jobs and jobs with a twin race in flight — the race must
+  // resolve through ResolveTwinRace so waste accounting stays consistent.
+  bool Kill(JobId id, Ticks now);
+
   // Advances the core's notion of time and refreshes the cluster.* gauges.
   void Tick(Ticks now);
 

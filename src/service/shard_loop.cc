@@ -1,0 +1,802 @@
+#include "service/shard_loop.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace netbatch::service {
+
+namespace {
+
+// The poll timeout when nothing is pending: long enough to idle cheaply,
+// short enough to notice the stop flag promptly.
+constexpr int kIdlePollMs = 100;
+
+// Epoll token for the mailbox eventfd; never collides with a session token
+// (fd part would be 0xffffffff).
+constexpr std::uint64_t kWakeToken = ~0ull;
+
+bool IsTerminal(cluster::JobState state) {
+  return state == cluster::JobState::kCompleted ||
+         state == cluster::JobState::kRejected ||
+         state == cluster::JobState::kKilled;
+}
+
+// Folds `src` into `dst` by name: counters add, gauge values and maxes add
+// (each name is a disjoint per-shard quantity, so the cluster-wide reading
+// is the sum). Names are few (~20) and stats queries rare, so linear search
+// beats carrying an index around.
+void MergeCounterSnapshots(CounterSnapshot& dst, const CounterSnapshot& src) {
+  for (const auto& [name, value] : src.counters) {
+    auto it = std::find_if(dst.counters.begin(), dst.counters.end(),
+                           [&](const auto& c) { return c.first == name; });
+    if (it == dst.counters.end()) {
+      dst.counters.emplace_back(name, value);
+    } else {
+      it->second += value;
+    }
+  }
+  for (const auto& [name, value, max] : src.gauges) {
+    auto it = std::find_if(dst.gauges.begin(), dst.gauges.end(), [&](const auto& g) {
+      return std::get<0>(g) == name;
+    });
+    if (it == dst.gauges.end()) {
+      dst.gauges.emplace_back(name, value, max);
+    } else {
+      std::get<1>(*it) += value;
+      std::get<2>(*it) += max;
+    }
+  }
+}
+
+// Same layout as CounterRegistry::Render(), so clients parse one format
+// whether the daemon runs one shard or many.
+std::string RenderCounterSnapshot(const CounterSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += name + "=" + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value, max] : snap.gauges) {
+    out += name + "=" + std::to_string(value) +
+           " (max=" + std::to_string(max) + ")\n";
+  }
+  return out;
+}
+
+std::string RenderLatencyLine(const LatencyHistogram& lat) {
+  return "placement_latency_ns{count=" + std::to_string(lat.count()) +
+         ",p50=" + std::to_string(lat.Quantile(0.5)) +
+         ",p99=" + std::to_string(lat.Quantile(0.99)) +
+         ",p999=" + std::to_string(lat.Quantile(0.999)) +
+         ",max=" + std::to_string(lat.max()) + "}\n";
+}
+
+}  // namespace
+
+std::uint64_t WallNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ShardLoop::ShardLoop(const cluster::ClusterConfig& config,
+                     cluster::InitialScheduler& scheduler,
+                     cluster::ReschedulingPolicy& policy, ShardOptions options,
+                     sched::CoreOptions core_options, JobDirectory& directory,
+                     std::atomic<bool>& draining)
+    : options_(options),
+      core_(config, scheduler, policy, /*host=*/*this,
+            std::move(core_options)),
+      directory_(&directory),
+      draining_(&draining) {
+  NETBATCH_CHECK(options_.time_scale > 0, "time_scale must be positive");
+  NETBATCH_CHECK(options_.shard_index < options_.shard_count,
+                 "shard index out of range");
+  core_.AddObserver(this);
+  // A serving core reclaims terminal jobs; the simulator never does, which
+  // is what keeps sweep artifacts byte-identical.
+  core_.jobs().EnableReclamation();
+  latency_map_gauge_ = &core_.counters().GetGauge("daemon.latency_map_entries");
+}
+
+// --- time & timers ----------------------------------------------------------
+
+Ticks ShardLoop::NowTicks() const {
+  const std::uint64_t elapsed_ns = WallNanos() - clock_origin_ns_;
+  // ticks = seconds * time_scale, computed in ns to avoid drift.
+  return static_cast<Ticks>(
+      static_cast<std::uint64_t>(options_.time_scale) * elapsed_ns /
+      1'000'000'000ull);
+}
+
+void ShardLoop::PushTimer(TimerKind kind, const cluster::Job& job, Ticks delay,
+                          PoolId pool) {
+  Timer timer;
+  timer.due = NowTicks() + delay;
+  timer.seq = next_timer_seq_++;
+  timer.kind = kind;
+  timer.job = job.id();
+  timer.stamp = job.generation();
+  timer.pool = pool;
+  timers_.push(timer);
+}
+
+void ShardLoop::ArmCompletion(cluster::Job& job, Ticks duration) {
+  if (!options_.auto_complete) return;  // the client owns completion
+  PushTimer(TimerKind::kCompletion, job, duration);
+}
+
+void ShardLoop::ArmWaitTimeout(cluster::Job& job, Ticks threshold) {
+  PushTimer(TimerKind::kWaitTimeout, job, threshold);
+}
+
+void ShardLoop::ScheduleRestartDelivery(cluster::Job& job, PoolId target,
+                                        Ticks overhead) {
+  PushTimer(TimerKind::kDelivery, job, overhead, target);
+}
+
+void ShardLoop::OnJobTerminal(const cluster::Job& job) {
+  // A job that went terminal before ever starting (killed while queued,
+  // rejected at admission) would leak its arrival entry forever — this
+  // erase IS the latency-map drain.
+  if (submit_arrival_ns_.erase(job.id()) > 0) {
+    latency_map_gauge_->Set(
+        static_cast<std::int64_t>(submit_arrival_ns_.size()));
+  }
+  reclaim_queue_.push_back(job.id());
+}
+
+void ShardLoop::OnJobStarted(const cluster::Job& job) {
+  const auto it = submit_arrival_ns_.find(job.id());
+  if (it == submit_arrival_ns_.end()) return;  // restart/backfill, not admission
+  placement_latency_.Record(WallNanos() - it->second);
+  submit_arrival_ns_.erase(it);
+  latency_map_gauge_->Set(static_cast<std::int64_t>(submit_arrival_ns_.size()));
+}
+
+void ShardLoop::DrainDueTimers() {
+  while (!timers_.empty()) {
+    const Ticks now = NowTicks();
+    if (timers_.top().due > now) break;
+    const Timer timer = timers_.top();
+    timers_.pop();
+    // A reclaimed slot means the job this timer was armed for is gone (and
+    // its id may even be reused — the generation floor on reuse would catch
+    // that too, but an unknown id must not reach jobs_.at()).
+    if (!core_.jobs().Contains(timer.job)) continue;
+    switch (timer.kind) {
+      case TimerKind::kCompletion:
+        core_.Complete(timer.job, timer.stamp, now);
+        break;
+      case TimerKind::kWaitTimeout:
+        core_.OnWaitTimeout(timer.job, timer.stamp, now);
+        break;
+      case TimerKind::kDelivery:
+        core_.DeliverRestart(timer.job, timer.stamp, timer.pool, now);
+        break;
+    }
+  }
+}
+
+int ShardLoop::NextTimerDelayMs() const {
+  if (timers_.empty()) return -1;
+  const Ticks now = NowTicks();
+  const Ticks due = timers_.top().due;
+  if (due <= now) return 0;
+  // ticks -> ms at time_scale ticks per second, rounded up so we never wake
+  // a hair early and busy-spin.
+  const std::int64_t ms =
+      ((due - now) * 1000 + options_.time_scale - 1) / options_.time_scale;
+  return static_cast<int>(std::min<std::int64_t>(ms, kIdlePollMs));
+}
+
+// --- lifecycle --------------------------------------------------------------
+
+void ShardLoop::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void ShardLoop::RequestStop() {
+  stop_.store(true, std::memory_order_relaxed);
+  ShardMessage nudge;  // fd < 0: wakes the loop, handled as a no-op
+  mailbox_.Post(std::move(nudge));
+}
+
+void ShardLoop::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void ShardLoop::Run() {
+  poller_.Add(mailbox_.wake_fd(), net::kPollIn, kWakeToken);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    int timeout_ms = NextTimerDelayMs();
+    if (timeout_ms < 0) timeout_ms = kIdlePollMs;
+    poller_.Wait(timeout_ms, ready_);
+    // Clear-before-drain keeps the wake-up race-free (see net/mailbox.h).
+    mailbox_.ClearWake();
+    DrainMailbox();
+    DrainDueTimers();
+    DrainReclaim();
+    for (const net::PollResult& event : ready_) {
+      if (event.token == kWakeToken) continue;  // handled above
+      const int fd = static_cast<int>(event.token & 0xffffffffu);
+      const auto gen = static_cast<std::uint32_t>(event.token >> 32);
+      const auto it = sessions_.find(fd);
+      // Generation mismatch: this event is for a connection dropped earlier
+      // in the batch whose fd number was already recycled. Delivering it to
+      // the new session would corrupt an unrelated client's stream.
+      if (it == sessions_.end() || it->second.gen != gen) continue;
+      SessionState& state = it->second;
+      bool alive = true;
+      if (event.events & net::kPollOut) {
+        alive = state.session.FlushPending() == net::Session::IoStatus::kOk;
+      }
+      if (alive && (event.events & net::kPollIn)) {
+        alive = HandleReadable(state, event.token);
+      }
+      if (alive && (event.events & net::kPollHup) &&
+          !(event.events & net::kPollIn)) {
+        alive = false;
+      }
+      if (!alive) {
+        DropSession(fd);
+        continue;
+      }
+      RearmSession(state);
+    }
+  }
+  poller_.Remove(mailbox_.wake_fd());
+  sessions_.clear();
+  // Connections the acceptor posted after the stop flag flipped would leak
+  // their fds inside dead mailbox nodes otherwise.
+  inbox_.clear();
+  mailbox_.Drain(inbox_);
+  for (ShardMessage& msg : inbox_) {
+    if (msg.kind == ShardMessage::Kind::kNewSession && msg.fd >= 0) {
+      ::close(msg.fd);
+    }
+  }
+  inbox_.clear();
+}
+
+void ShardLoop::DrainMailbox() {
+  inbox_.clear();
+  mailbox_.Drain(inbox_);
+  for (ShardMessage& msg : inbox_) HandleMessage(msg);
+  inbox_.clear();
+}
+
+void ShardLoop::DrainReclaim() {
+  for (JobId id : reclaim_queue_) {
+    if (!core_.jobs().Contains(id)) continue;  // already reclaimed
+    if (!IsTerminal(core_.jobs().at(id).state())) continue;
+    directory_->EraseIfOwner(id, options_.shard_index);
+    core_.jobs().Erase(id);
+  }
+  reclaim_queue_.clear();
+}
+
+void ShardLoop::HandleMessage(ShardMessage& msg) {
+  switch (msg.kind) {
+    case ShardMessage::Kind::kNewSession:
+      if (msg.fd >= 0) AddSession(msg.fd);
+      break;
+    case ShardMessage::Kind::kFrame:
+      ProcessFrame(msg.sender, msg.token, msg.frame, msg.arrival_ns,
+                   /*out=*/nullptr);
+      break;
+    case ShardMessage::Kind::kResponse:
+      WriteToSession(msg.token, msg.bytes.data(), msg.bytes.size());
+      break;
+    case ShardMessage::Kind::kStatsQuery: {
+      core_.RefreshGauges(NowTicks());
+      ShardMessage reply;
+      reply.kind = ShardMessage::Kind::kStatsReply;
+      reply.sender = options_.shard_index;
+      reply.gather = msg.gather;
+      reply.counters = core_.counters().TakeSnapshot();
+      reply.latency = placement_latency_;
+      peers_[msg.sender]->Post(std::move(reply));
+      break;
+    }
+    case ShardMessage::Kind::kStatsReply: {
+      const auto it = stats_gathers_.find(msg.gather);
+      if (it == stats_gathers_.end()) break;
+      MergeCounterSnapshots(it->second.counters, msg.counters);
+      it->second.latency.Merge(msg.latency);
+      if (--it->second.remaining == 0) FinishStatsGather(msg.gather);
+      break;
+    }
+    case ShardMessage::Kind::kSnapshotQuery: {
+      ShardMessage reply;
+      reply.kind = ShardMessage::Kind::kSnapshotReply;
+      reply.sender = options_.shard_index;
+      reply.gather = msg.gather;
+      reply.snapshot = LocalSnapshot();
+      peers_[msg.sender]->Post(std::move(reply));
+      break;
+    }
+    case ShardMessage::Kind::kSnapshotReply: {
+      const auto it = snapshot_gathers_.find(msg.gather);
+      if (it == snapshot_gathers_.end()) break;
+      SnapshotGather& g = it->second;
+      g.merged.started += msg.snapshot.started;
+      g.merged.completed += msg.snapshot.completed;
+      g.merged.rejected += msg.snapshot.rejected;
+      g.merged.preemptions += msg.snapshot.preemptions;
+      g.merged.reschedules += msg.snapshot.reschedules;
+      g.merged.pools.insert(g.merged.pools.end(), msg.snapshot.pools.begin(),
+                            msg.snapshot.pools.end());
+      if (--g.remaining == 0) FinishSnapshotGather(msg.gather);
+      break;
+    }
+  }
+}
+
+// --- sessions ---------------------------------------------------------------
+
+void ShardLoop::AddSession(int fd) {
+  const std::uint32_t gen = next_session_gen_++;
+  auto [it, inserted] =
+      sessions_.emplace(fd, SessionState(fd, options_.max_payload, gen));
+  NETBATCH_CHECK(inserted, "fd already has a session");
+  it->second.session.set_max_pending(options_.max_session_pending);
+  poller_.Add(fd, net::kPollIn, MakeToken(fd, gen));
+}
+
+void ShardLoop::DropSession(int fd) {
+  poller_.Remove(fd);
+  sessions_.erase(fd);
+}
+
+void ShardLoop::RearmSession(SessionState& state) {
+  poller_.Modify(state.session.fd(),
+                 state.session.wants_write() ? (net::kPollIn | net::kPollOut)
+                                             : net::kPollIn,
+                 MakeToken(state.session.fd(), state.gen));
+}
+
+bool ShardLoop::HandleReadable(SessionState& state, std::uint64_t token) {
+  read_buf_.clear();
+  const net::Session::IoStatus status = state.session.Read(read_buf_);
+  if (status == net::Session::IoStatus::kError) return false;
+  frames_.clear();
+  if (!state.decoder.Feed(read_buf_.data(), read_buf_.size(), frames_)) {
+    NETBATCH_LOG(kWarn) << "dropping session: " << state.decoder.error();
+    return false;
+  }
+  const std::uint64_t arrival_ns = WallNanos();
+  write_buf_.clear();
+  for (const Frame& frame : frames_) {
+    ProcessFrame(options_.shard_index, token, frame, arrival_ns, &write_buf_);
+  }
+  if (!write_buf_.empty()) {
+    const net::Session::IoStatus wstatus =
+        state.session.Write(write_buf_.data(), write_buf_.size());
+    if (wstatus == net::Session::IoStatus::kOverflow) {
+      NETBATCH_LOG(kWarn) << "dropping session: pending output over "
+                          << options_.max_session_pending
+                          << " bytes (slow reader)";
+      return false;
+    }
+    if (wstatus != net::Session::IoStatus::kOk) return false;
+  }
+  if (status == net::Session::IoStatus::kClosed) {
+    // Orderly EOF. A partial frame left in the decoder means the peer
+    // truncated mid-send; either way the session is done.
+    return false;
+  }
+  return true;
+}
+
+void ShardLoop::WriteToSession(std::uint64_t token, const std::uint8_t* bytes,
+                               std::size_t size) {
+  const int fd = static_cast<int>(token & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(token >> 32);
+  const auto it = sessions_.find(fd);
+  if (it == sessions_.end() || it->second.gen != gen) return;  // session gone
+  SessionState& state = it->second;
+  const net::Session::IoStatus status = state.session.Write(bytes, size);
+  if (status == net::Session::IoStatus::kOverflow) {
+    NETBATCH_LOG(kWarn) << "dropping session: pending output over "
+                        << options_.max_session_pending
+                        << " bytes (slow reader)";
+    DropSession(fd);
+    return;
+  }
+  if (status != net::Session::IoStatus::kOk) {
+    DropSession(fd);
+    return;
+  }
+  RearmSession(state);
+}
+
+// --- frame dispatch ---------------------------------------------------------
+
+void ShardLoop::Respond(std::uint32_t origin, std::uint64_t token,
+                        std::vector<std::uint8_t>&& bytes,
+                        std::vector<std::uint8_t>* out) {
+  if (origin == options_.shard_index) {
+    if (out != nullptr) {
+      out->insert(out->end(), bytes.begin(), bytes.end());
+    } else {
+      WriteToSession(token, bytes.data(), bytes.size());
+    }
+    return;
+  }
+  ShardMessage msg;
+  msg.kind = ShardMessage::Kind::kResponse;
+  msg.sender = options_.shard_index;
+  msg.token = token;
+  msg.bytes = std::move(bytes);
+  peers_[origin]->Post(std::move(msg));
+}
+
+void ShardLoop::RespondStatus(std::uint32_t origin, std::uint64_t token,
+                              const FrameHeader& header, Status status,
+                              std::vector<std::uint8_t>* out) {
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.U32(static_cast<std::uint32_t>(status));
+  std::vector<std::uint8_t> bytes;
+  EncodeFrame(header.opcode | kResponseBit, header.request_id, payload, bytes);
+  Respond(origin, token, std::move(bytes), out);
+}
+
+void ShardLoop::ForwardFrame(std::uint32_t target, std::uint32_t origin,
+                             std::uint64_t token, const Frame& frame,
+                             std::uint64_t arrival_ns) {
+  ShardMessage msg;
+  msg.kind = ShardMessage::Kind::kFrame;
+  msg.sender = origin;
+  msg.token = token;
+  msg.frame = frame;
+  msg.arrival_ns = arrival_ns;
+  peers_[target]->Post(std::move(msg));
+}
+
+void ShardLoop::ProcessFrame(std::uint32_t origin, std::uint64_t token,
+                             const Frame& frame, std::uint64_t arrival_ns,
+                             std::vector<std::uint8_t>* out) {
+  switch (static_cast<Opcode>(frame.header.opcode)) {
+    case Opcode::kSubmit:
+      HandleSubmit(origin, token, frame, arrival_ns, out);
+      break;
+    case Opcode::kComplete:
+    case Opcode::kSuspend:
+    case Opcode::kResume:
+    case Opcode::kQueryJob:
+    case Opcode::kKill:
+      HandleJobOp(origin, token, frame, out);
+      break;
+    case Opcode::kFailMachine:
+    case Opcode::kRepairMachine:
+      HandleMachineOp(origin, token, frame, out);
+      break;
+    case Opcode::kDrain:
+      draining_->store(true, std::memory_order_release);
+      RespondStatus(origin, token, frame.header, Status::kOk, out);
+      break;
+    case Opcode::kSnapshot:
+      // Only ever initiated on the session's shard (never forwarded).
+      HandleSnapshot(token, frame, out);
+      break;
+    case Opcode::kStats:
+      HandleStats(token, frame, out);
+      break;
+    default:
+      RespondStatus(origin, token, frame.header, Status::kBadRequest, out);
+  }
+}
+
+void ShardLoop::HandleSubmit(std::uint32_t origin, std::uint64_t token,
+                             const Frame& frame, std::uint64_t arrival_ns,
+                             std::vector<std::uint8_t>* out) {
+  SubmitResponse response;
+  workload::JobSpec spec;
+  bool valid = DecodeJobSpec(frame.payload, spec);
+  if (valid) {
+    response.job_id = spec.id.value();
+    if (spec.cores <= 0 || spec.memory_mb < 0 || spec.runtime < 0) {
+      valid = false;
+    }
+    for (PoolId pool : spec.candidate_pools) {
+      if (pool.value() >= options_.global_pool_count) valid = false;
+    }
+  }
+  if (valid && draining_->load(std::memory_order_acquire)) {
+    response.status = Status::kDraining;
+    std::vector<std::uint8_t> payload;
+    EncodeSubmitResponse(response, payload);
+    std::vector<std::uint8_t> bytes;
+    EncodeFrame(static_cast<std::uint16_t>(Opcode::kSubmit) | kResponseBit,
+                frame.header.request_id, payload, bytes);
+    Respond(origin, token, std::move(bytes), out);
+    return;
+  }
+  if (valid && !spec.candidate_pools.empty()) {
+    // Keep the candidates this shard owns (an empty candidate list means
+    // "any pool" and is always shard-local). When none are ours, forward to
+    // the shard of the first candidate — the common case, where a client's
+    // submits target pools on its session's shard, never crosses threads.
+    std::vector<PoolId> local;
+    for (PoolId pool : spec.candidate_pools) {
+      if (ShardOfPool(pool.value()) == options_.shard_index) {
+        local.push_back(ToLocalPool(pool.value()));
+      }
+    }
+    if (local.empty()) {
+      ForwardFrame(ShardOfPool(spec.candidate_pools.front().value()), origin,
+                   token, frame, arrival_ns);
+      return;
+    }
+    spec.candidate_pools = std::move(local);
+  }
+  if (valid) {
+    const JobId id = spec.id;
+    // Local duplicates first (covers ids the duplication extension spawned
+    // on this shard), then the cluster-wide claim.
+    if (core_.jobs().Contains(id) ||
+        !directory_->TryInsert(id, options_.shard_index)) {
+      valid = false;
+    } else {
+      core_.AdmitJob(std::move(spec));
+      submit_arrival_ns_.emplace(id, arrival_ns);
+      latency_map_gauge_->Set(
+          static_cast<std::int64_t>(submit_arrival_ns_.size()));
+      core_.Submit(id, NowTicks());
+      const cluster::Job& job = core_.jobs().at(id);
+      switch (job.state()) {
+        case cluster::JobState::kRunning:
+          response.status = Status::kOk;
+          response.pool = ToGlobalPool(job.pool()).value();
+          response.machine = job.machine().value();
+          break;
+        case cluster::JobState::kWaiting:
+        case cluster::JobState::kInTransit:
+          response.status = Status::kQueued;
+          response.pool = ToGlobalPool(job.pool()).value();
+          break;
+        default:
+          // Rejected: OnJobTerminal already drained the arrival entry and
+          // queued the slot for reclamation.
+          response.status = Status::kRejected;
+          break;
+      }
+    }
+  }
+  if (!valid) response.status = Status::kBadRequest;
+  std::vector<std::uint8_t> payload;
+  EncodeSubmitResponse(response, payload);
+  std::vector<std::uint8_t> bytes;
+  EncodeFrame(static_cast<std::uint16_t>(Opcode::kSubmit) | kResponseBit,
+              frame.header.request_id, payload, bytes);
+  Respond(origin, token, std::move(bytes), out);
+}
+
+void ShardLoop::HandleJobOp(std::uint32_t origin, std::uint64_t token,
+                            const Frame& frame,
+                            std::vector<std::uint8_t>* out) {
+  const auto opcode = static_cast<Opcode>(frame.header.opcode);
+  WireReader r(frame.payload);
+  const JobId id(static_cast<JobId::ValueType>(r.U64()));
+  Status status = Status::kOk;
+  std::uint32_t state = 0;
+  std::uint32_t pool = 0;
+  std::uint32_t machine = 0;
+  if (!r.exhausted()) {
+    status = Status::kBadRequest;
+  } else {
+    // Route to the owning shard. A directory miss falls through to the
+    // local table: it may be an internal duplicate id (shard-local, never
+    // registered) — or truly unknown.
+    const std::optional<std::uint32_t> owner = directory_->Lookup(id);
+    if (owner.has_value() && *owner != options_.shard_index) {
+      ForwardFrame(*owner, origin, token, frame, 0);
+      return;
+    }
+    if (!core_.jobs().Contains(id)) {
+      status = Status::kUnknownJob;
+    } else {
+      const Ticks now = NowTicks();
+      cluster::Job& job = core_.jobs().at(id);
+      switch (opcode) {
+        case Opcode::kComplete:
+          if (job.state() != cluster::JobState::kRunning) {
+            status = Status::kBadState;
+          } else {
+            core_.Complete(id, job.generation(), now);
+          }
+          break;
+        case Opcode::kSuspend:
+          if (!core_.Suspend(id, now)) status = Status::kBadState;
+          break;
+        case Opcode::kResume:
+          if (job.state() != cluster::JobState::kSuspended) {
+            status = Status::kBadState;
+          } else if (!core_.Resume(id, now)) {
+            // Still suspended: its machine is full or offline right now.
+            status = Status::kQueued;
+          }
+          break;
+        case Opcode::kQueryJob:
+          break;
+        case Opcode::kKill:
+          if (!core_.Kill(id, now)) status = Status::kBadState;
+          break;
+        default:
+          status = Status::kBadRequest;
+          break;
+      }
+      state = static_cast<std::uint32_t>(job.state());
+      pool = ToGlobalPool(job.pool()).value();
+      machine = job.machine().value();
+    }
+  }
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.U32(static_cast<std::uint32_t>(status));
+  if (opcode == Opcode::kQueryJob) {
+    w.U32(state);
+    w.U32(pool);
+    w.U32(machine);
+  }
+  std::vector<std::uint8_t> bytes;
+  EncodeFrame(frame.header.opcode | kResponseBit, frame.header.request_id,
+              payload, bytes);
+  Respond(origin, token, std::move(bytes), out);
+}
+
+void ShardLoop::HandleMachineOp(std::uint32_t origin, std::uint64_t token,
+                                const Frame& frame,
+                                std::vector<std::uint8_t>* out) {
+  std::uint32_t pool = 0;
+  std::uint32_t machine = 0;
+  if (!DecodeMachineOpPayload(frame.payload, pool, machine) ||
+      pool >= options_.global_pool_count) {
+    RespondStatus(origin, token, frame.header, Status::kBadRequest, out);
+    return;
+  }
+  const std::uint32_t owner = ShardOfPool(pool);
+  if (owner != options_.shard_index) {
+    ForwardFrame(owner, origin, token, frame, 0);
+    return;
+  }
+  const PoolId local = ToLocalPool(pool);
+  if (machine >= core_.pool(local).machines().size()) {
+    RespondStatus(origin, token, frame.header, Status::kBadRequest, out);
+    return;
+  }
+  if (static_cast<Opcode>(frame.header.opcode) == Opcode::kFailMachine) {
+    core_.FailMachine(local, MachineId(machine), NowTicks());
+  } else {
+    core_.RepairMachine(local, MachineId(machine), NowTicks());
+  }
+  RespondStatus(origin, token, frame.header, Status::kOk, out);
+}
+
+// --- stats & snapshot scatter-gather ----------------------------------------
+
+void ShardLoop::HandleStats(std::uint64_t token, const Frame& frame,
+                            std::vector<std::uint8_t>* out) {
+  core_.RefreshGauges(NowTicks());
+  if (options_.shard_count == 1) {
+    std::string text = core_.counters().Render();
+    text += RenderLatencyLine(placement_latency_);
+    std::vector<std::uint8_t> payload(text.begin(), text.end());
+    std::vector<std::uint8_t> bytes;
+    EncodeFrame(static_cast<std::uint16_t>(Opcode::kStats) | kResponseBit,
+                frame.header.request_id, payload, bytes);
+    Respond(options_.shard_index, token, std::move(bytes), out);
+    return;
+  }
+  const std::uint64_t gid = next_gather_id_++;
+  StatsGather& g = stats_gathers_[gid];
+  g.token = token;
+  g.request_id = frame.header.request_id;
+  g.remaining = options_.shard_count - 1;
+  g.counters = core_.counters().TakeSnapshot();
+  g.latency = placement_latency_;
+  for (std::uint32_t s = 0; s < options_.shard_count; ++s) {
+    if (s == options_.shard_index) continue;
+    ShardMessage query;
+    query.kind = ShardMessage::Kind::kStatsQuery;
+    query.sender = options_.shard_index;
+    query.gather = gid;
+    peers_[s]->Post(std::move(query));
+  }
+}
+
+void ShardLoop::FinishStatsGather(std::uint64_t gather_id) {
+  const auto it = stats_gathers_.find(gather_id);
+  StatsGather& g = it->second;
+  std::string text = RenderCounterSnapshot(g.counters);
+  text += RenderLatencyLine(g.latency);
+  std::vector<std::uint8_t> payload(text.begin(), text.end());
+  std::vector<std::uint8_t> bytes;
+  EncodeFrame(static_cast<std::uint16_t>(Opcode::kStats) | kResponseBit,
+              g.request_id, payload, bytes);
+  WriteToSession(g.token, bytes.data(), bytes.size());
+  stats_gathers_.erase(it);
+}
+
+sched::SchedulerCore::Snapshot ShardLoop::LocalSnapshot() {
+  sched::SchedulerCore::Snapshot snap = core_.GetSnapshot();
+  for (auto& pool : snap.pools) pool.id = ToGlobalPool(pool.id);
+  return snap;
+}
+
+namespace {
+
+void EncodeSnapshotPayload(Ticks now,
+                           const sched::SchedulerCore::Snapshot& snap,
+                           std::vector<std::uint8_t>& payload) {
+  WireWriter w(payload);
+  w.I64(now);
+  w.U64(snap.started);
+  w.U64(snap.completed);
+  w.U64(snap.rejected);
+  w.U64(snap.preemptions);
+  w.U64(snap.reschedules);
+  w.U32(static_cast<std::uint32_t>(snap.pools.size()));
+  for (const auto& pool : snap.pools) {
+    w.U32(pool.id.value());
+    w.I64(pool.total_cores);
+    w.I64(pool.busy_cores);
+    w.U64(pool.queued);
+    w.U64(pool.suspended);
+  }
+}
+
+}  // namespace
+
+void ShardLoop::HandleSnapshot(std::uint64_t token, const Frame& frame,
+                               std::vector<std::uint8_t>* out) {
+  if (options_.shard_count == 1) {
+    std::vector<std::uint8_t> payload;
+    EncodeSnapshotPayload(NowTicks(), LocalSnapshot(), payload);
+    std::vector<std::uint8_t> bytes;
+    EncodeFrame(static_cast<std::uint16_t>(Opcode::kSnapshot) | kResponseBit,
+                frame.header.request_id, payload, bytes);
+    Respond(options_.shard_index, token, std::move(bytes), out);
+    return;
+  }
+  const std::uint64_t gid = next_gather_id_++;
+  SnapshotGather& g = snapshot_gathers_[gid];
+  g.token = token;
+  g.request_id = frame.header.request_id;
+  g.remaining = options_.shard_count - 1;
+  g.merged = LocalSnapshot();
+  for (std::uint32_t s = 0; s < options_.shard_count; ++s) {
+    if (s == options_.shard_index) continue;
+    ShardMessage query;
+    query.kind = ShardMessage::Kind::kSnapshotQuery;
+    query.sender = options_.shard_index;
+    query.gather = gid;
+    peers_[s]->Post(std::move(query));
+  }
+}
+
+void ShardLoop::FinishSnapshotGather(std::uint64_t gather_id) {
+  const auto it = snapshot_gathers_.find(gather_id);
+  SnapshotGather& g = it->second;
+  std::sort(g.merged.pools.begin(), g.merged.pools.end(),
+            [](const auto& a, const auto& b) {
+              return a.id.value() < b.id.value();
+            });
+  std::vector<std::uint8_t> payload;
+  EncodeSnapshotPayload(NowTicks(), g.merged, payload);
+  std::vector<std::uint8_t> bytes;
+  EncodeFrame(static_cast<std::uint16_t>(Opcode::kSnapshot) | kResponseBit,
+              g.request_id, payload, bytes);
+  WriteToSession(g.token, bytes.data(), bytes.size());
+  snapshot_gathers_.erase(it);
+}
+
+}  // namespace netbatch::service

@@ -100,6 +100,24 @@ TEST(ProtocolTest, SubmitResponseRoundTrips) {
   EXPECT_EQ(decoded.machine, response.machine);
 }
 
+TEST(ProtocolTest, MachineOpPayloadRoundTrips) {
+  std::vector<std::uint8_t> payload;
+  EncodeMachineOpPayload(7, 1234, payload);
+
+  std::uint32_t pool = 0;
+  std::uint32_t machine = 0;
+  ASSERT_TRUE(DecodeMachineOpPayload(payload, pool, machine));
+  EXPECT_EQ(pool, 7u);
+  EXPECT_EQ(machine, 1234u);
+
+  // Truncation and trailing garbage are both malformed.
+  std::vector<std::uint8_t> truncated(payload.begin(), payload.end() - 1);
+  EXPECT_FALSE(DecodeMachineOpPayload(truncated, pool, machine));
+  std::vector<std::uint8_t> trailing = payload;
+  trailing.push_back(0);
+  EXPECT_FALSE(DecodeMachineOpPayload(trailing, pool, machine));
+}
+
 TEST(ProtocolTest, WireReaderIsBoundsChecked) {
   const std::vector<std::uint8_t> two_bytes = {0xab, 0xcd};
   WireReader reader(two_bytes);

@@ -1,22 +1,31 @@
 // netbatch_loadgen — replay a workload against a running netbatchd.
 //
-// Opens N concurrent sessions, shards the trace across them, and submits
-// each job over the binary protocol — either paced against the trace's
-// submit times (--speed=100 replays at 100x real time) or as fast as the
-// daemon will take them (--speed=0, pipelining up to --window requests per
-// session). Reports client-observed submit round-trip latency (p50 / p99 /
-// p999 via the log-bucketed LatencyHistogram, losslessly merged across
-// sessions) plus the daemon's own admission-to-placement histogram from
-// its stats endpoint.
+// Opens N concurrent sessions (unix-domain or TCP), shards the trace across
+// them, and submits each job over the binary protocol — either paced
+// against the trace's submit times (--speed=100 replays at 100x real time)
+// or as fast as the daemon will take them (--speed=0, pipelining up to
+// --window requests per session). Responses are matched to requests by
+// request_id — a sharded daemon reorders responses when a submit hops to
+// another event-loop shard. Reports client-observed submit round-trip
+// latency (p50 / p99 / p999 via the log-bucketed LatencyHistogram,
+// losslessly merged across sessions) plus the daemon's own
+// admission-to-placement histogram from its stats endpoint.
+//
+// --drill runs a live outage during the replay: a side session fails a
+// machine (kFailMachine), holds the outage, then repairs it
+// (kRepairMachine) — the serving twin of the simulator's failure injection.
 //
 // Examples:
 //   # Replay the normal workload at 1000x from 4 sessions:
 //   netbatch_loadgen --socket=/tmp/nb.sock --scenario=normal --speed=1000
 //       --sessions=4
 //
-//   # Throughput firehose for BENCH_serve:
-//   netbatch_loadgen --socket=/tmp/nb.sock --scenario=bigpool --speed=0
+//   # Throughput firehose for BENCH_serve against a 4-shard daemon:
+//   netbatch_loadgen --tcp=127.0.0.1:7077 --scenario=bigpool --speed=0
 //       --sessions=8 --window=64 --json-out=bench.json
+//
+//   # Replay with a 2-second outage of machine 3 in pool 1:
+//   netbatch_loadgen --socket=/tmp/nb.sock --drill=1:3:2000
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -25,10 +34,10 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <deque>
 #include <fstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
@@ -42,7 +51,11 @@ namespace {
 
 constexpr const char* kUsage = R"(netbatch_loadgen — netbatchd load generator
 
-  --socket=<path>              daemon socket (required)
+  --socket=<path>              daemon unix socket (this or --tcp required)
+  --tcp=<host:port>            connect over TCP instead of the unix socket
+  --drill=<pool>:<machine>:<hold_ms>
+                               run a live outage drill during the replay:
+                               fail the machine, hold, then repair it
   --scenario=<name|preset.ini> workload to replay: scenario preset name or
                                a calibrated workload preset file
                                (default normal); must match the cluster
@@ -88,10 +101,19 @@ struct SessionResult {
 };
 
 struct LoadConfig {
-  std::string socket_path;
+  std::string socket_path;  // empty when connecting over TCP
+  std::string tcp_host;
+  std::uint16_t tcp_port = 0;
   double speed = 1000;   // 0 = unthrottled
   std::size_t window = 64;
 };
+
+int Connect(const LoadConfig& config) {
+  if (!config.tcp_host.empty()) {
+    return net::ConnectTcp(config.tcp_host, config.tcp_port);
+  }
+  return net::ConnectUnix(config.socket_path);
+}
 
 void CountStatus(service::Status status, SessionResult& result) {
   switch (status) {
@@ -111,21 +133,22 @@ void CountStatus(service::Status status, SessionResult& result) {
 }
 
 // One session: submit every job in `shard` in order, tracking round-trip
-// latency per request. The daemon answers in arrival order per session, so
-// a FIFO of send timestamps matches responses without a map.
+// latency per request. Responses are matched by request_id — a sharded
+// daemon answers cross-shard submits out of order relative to shard-local
+// ones, so arrival order carries no meaning.
 void RunSession(const LoadConfig& config,
                 const std::vector<const workload::JobSpec*>& shard,
                 std::uint64_t origin_ns, SessionResult& result) {
-  const int fd = net::ConnectUnix(config.socket_path);
-  NETBATCH_CHECK(fd >= 0, "cannot connect to " + config.socket_path);
+  const int fd = Connect(config);
+  NETBATCH_CHECK(fd >= 0, "cannot connect to netbatchd");
 
   service::FrameDecoder decoder;
   std::vector<service::Frame> frames;
   std::vector<std::uint8_t> payload;
   std::vector<std::uint8_t> frame_buf;
   std::uint8_t read_buf[1 << 16];
-  // (request_id, send time) for every in-flight submit, oldest first.
-  std::deque<std::pair<std::uint64_t, std::uint64_t>> in_flight;
+  // request_id -> send time for every in-flight submit.
+  std::unordered_map<std::uint64_t, std::uint64_t> in_flight;
   const std::size_t window = config.speed > 0 ? 1 : config.window;
 
   std::size_t next = 0;
@@ -147,7 +170,7 @@ void RunSession(const LoadConfig& config,
       service::EncodeFrame(
           static_cast<std::uint16_t>(service::Opcode::kSubmit),
           /*request_id=*/spec.id.value(), payload, frame_buf);
-      in_flight.emplace_back(spec.id.value(), WallNanos());
+      in_flight.emplace(spec.id.value(), WallNanos());
       SendAll(fd, frame_buf.data(), frame_buf.size());
       ++next;
     }
@@ -161,11 +184,11 @@ void RunSession(const LoadConfig& config,
         "protocol error from netbatchd: " + decoder.error());
     const std::uint64_t now_ns = WallNanos();
     for (const service::Frame& frame : frames) {
-      NETBATCH_CHECK(!in_flight.empty() &&
-                         frame.header.request_id == in_flight.front().first,
-                     "response out of order");
-      result.rtt.Record(now_ns - in_flight.front().second);
-      in_flight.pop_front();
+      const auto it = in_flight.find(frame.header.request_id);
+      NETBATCH_CHECK(it != in_flight.end(),
+                     "response for a request that is not in flight");
+      result.rtt.Record(now_ns - it->second);
+      in_flight.erase(it);
       ++received;
       service::SubmitResponse response;
       NETBATCH_CHECK(service::DecodeSubmitResponse(frame.payload, response),
@@ -177,10 +200,56 @@ void RunSession(const LoadConfig& config,
   ::close(fd);
 }
 
+// Sends one status-style request (kFailMachine / kRepairMachine / kDrain)
+// on `fd` and returns the response status.
+service::Status RoundTripStatus(int fd, service::Opcode opcode,
+                                const std::vector<std::uint8_t>& payload,
+                                std::uint64_t request_id) {
+  std::vector<std::uint8_t> frame_buf;
+  service::EncodeFrame(static_cast<std::uint16_t>(opcode), request_id, payload,
+                       frame_buf);
+  SendAll(fd, frame_buf.data(), frame_buf.size());
+  service::FrameDecoder decoder;
+  std::vector<service::Frame> frames;
+  std::uint8_t read_buf[4096];
+  while (frames.empty()) {
+    const ssize_t n = ::recv(fd, read_buf, sizeof(read_buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    NETBATCH_CHECK(n > 0, "netbatchd closed the drill session");
+    NETBATCH_CHECK(decoder.Feed(read_buf, static_cast<std::size_t>(n), frames),
+                   "protocol error from netbatchd: " + decoder.error());
+  }
+  service::WireReader r(frames.front().payload);
+  return static_cast<service::Status>(r.U32());
+}
+
+// The outage drill: fail a machine, hold the outage, repair it. Runs
+// concurrently with the replay sessions, exercising the daemon's
+// kFailMachine eviction/requeue path and the repair-triggered restarts.
+void RunDrill(const LoadConfig& config, std::uint32_t pool,
+              std::uint32_t machine, std::int64_t hold_ms) {
+  const int fd = Connect(config);
+  NETBATCH_CHECK(fd >= 0, "drill cannot connect to netbatchd");
+  std::vector<std::uint8_t> payload;
+  service::EncodeMachineOpPayload(pool, machine, payload);
+  const service::Status failed =
+      RoundTripStatus(fd, service::Opcode::kFailMachine, payload, 1);
+  NETBATCH_CHECK(failed == service::Status::kOk,
+                 "kFailMachine refused (bad --drill pool/machine?)");
+  std::printf("drill: failed pool %u machine %u for %lldms\n", pool, machine,
+              static_cast<long long>(hold_ms));
+  std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+  const service::Status repaired =
+      RoundTripStatus(fd, service::Opcode::kRepairMachine, payload, 2);
+  NETBATCH_CHECK(repaired == service::Status::kOk, "kRepairMachine refused");
+  std::printf("drill: repaired pool %u machine %u\n", pool, machine);
+  ::close(fd);
+}
+
 // Fetches the daemon's stats rendering (counters + its server-side
 // admission-to-placement histogram) over a fresh session.
-std::string FetchServerStats(const std::string& socket_path) {
-  const int fd = net::ConnectUnix(socket_path);
+std::string FetchServerStats(const LoadConfig& config) {
+  const int fd = Connect(config);
   if (fd < 0) return "";
   std::vector<std::uint8_t> frame_buf;
   service::EncodeFrame(static_cast<std::uint16_t>(service::Opcode::kStats),
@@ -212,7 +281,19 @@ int main(int argc, char** argv) {
 
   LoadConfig config;
   config.socket_path = flags.GetString("socket", "");
-  NETBATCH_CHECK(!config.socket_path.empty(), "--socket is required");
+  const std::string tcp = flags.GetString("tcp", "");
+  if (!tcp.empty()) {
+    const std::size_t colon = tcp.rfind(':');
+    NETBATCH_CHECK(colon != std::string::npos && colon > 0,
+                   "--tcp must be host:port");
+    config.tcp_host = tcp.substr(0, colon);
+    const int port = std::stoi(tcp.substr(colon + 1));
+    NETBATCH_CHECK(port > 0 && port < 65536, "--tcp port out of range");
+    config.tcp_port = static_cast<std::uint16_t>(port);
+    config.socket_path.clear();  // TCP wins when both are given
+  }
+  NETBATCH_CHECK(!config.socket_path.empty() || !config.tcp_host.empty(),
+                 "--socket or --tcp is required");
   config.speed = flags.GetDouble("speed", 1000);
   NETBATCH_CHECK(config.speed >= 0, "--speed must be >= 0");
   config.window =
@@ -238,6 +319,23 @@ int main(int argc, char** argv) {
   NETBATCH_CHECK(total > 0, "nothing to submit");
 
   const std::string json_out = flags.GetString("json-out", "");
+  const std::string drill = flags.GetString("drill", "");
+  std::uint32_t drill_pool = 0;
+  std::uint32_t drill_machine = 0;
+  std::int64_t drill_hold_ms = 0;
+  if (!drill.empty()) {
+    const std::size_t c1 = drill.find(':');
+    const std::size_t c2 = c1 == std::string::npos
+                               ? std::string::npos
+                               : drill.find(':', c1 + 1);
+    NETBATCH_CHECK(c1 != std::string::npos && c2 != std::string::npos,
+                   "--drill must be pool:machine:hold_ms");
+    drill_pool = static_cast<std::uint32_t>(std::stoul(drill.substr(0, c1)));
+    drill_machine = static_cast<std::uint32_t>(
+        std::stoul(drill.substr(c1 + 1, c2 - c1 - 1)));
+    drill_hold_ms = std::stoll(drill.substr(c2 + 1));
+    NETBATCH_CHECK(drill_hold_ms >= 0, "--drill hold must be >= 0");
+  }
   const auto unused = flags.UnusedFlags();
   NETBATCH_CHECK(unused.empty(),
                  "unknown flag --" + (unused.empty() ? "" : unused.front()) +
@@ -263,7 +361,13 @@ int main(int argc, char** argv) {
     workers.emplace_back(RunSession, std::cref(config), std::cref(shards[s]),
                          origin_ns, std::ref(results[s]));
   }
+  std::thread drill_worker;
+  if (!drill.empty()) {
+    drill_worker = std::thread(RunDrill, std::cref(config), drill_pool,
+                               drill_machine, drill_hold_ms);
+  }
   for (std::thread& worker : workers) worker.join();
+  if (drill_worker.joinable()) drill_worker.join();
   const double wall_seconds =
       static_cast<double>(WallNanos() - origin_ns) / 1e9;
 
@@ -294,7 +398,7 @@ int main(int argc, char** argv) {
       static_cast<double>(merged.rtt.Quantile(0.999)) / 1e3,
       static_cast<double>(merged.rtt.max()) / 1e3);
 
-  const std::string stats = FetchServerStats(config.socket_path);
+  const std::string stats = FetchServerStats(config);
   const std::size_t latency_line = stats.find("placement_latency_ns");
   if (latency_line != std::string::npos) {
     const std::size_t end = stats.find('\n', latency_line);

@@ -1,13 +1,19 @@
-// netbatchd — serve the placement engine over a unix-domain socket.
+// netbatchd — serve the placement engine over unix-domain and TCP sockets.
 //
 // The daemon owns a cluster (any scenario preset or calibrated workload
 // preset sizes it) and the same scheduler/policy decision stack the
 // simulator drives; clients submit jobs, report completions, suspend,
-// resume, and query over the binary protocol in service/protocol.h.
+// resume, kill, and query over the binary protocol in service/protocol.h.
+// With --threads=N the pools are interleaved across N event-loop shards,
+// each running its own single-threaded SchedulerCore; requests hop shards
+// over lock-free mailboxes when their target lives elsewhere.
 //
 // Examples:
 //   # Serve the normal-scenario cluster with the paper's default stack:
 //   netbatchd --socket=/tmp/nb.sock
+//
+//   # Four shards, plus a TCP listener on port 7331:
+//   netbatchd --socket=/tmp/nb.sock --threads=4 --tcp=7331
 //
 //   # Utilization scheduling + DupSusUtil at 1000x real time:
 //   netbatchd --socket=/tmp/nb.sock --scheduler=util --policy=DupSusUtil
@@ -30,12 +36,19 @@ namespace {
 
 constexpr const char* kUsage = R"(netbatchd — NetBatchSim placement daemon
 
-  --socket=<path>              unix socket to serve on (required)
+  --socket=<path>              unix socket to serve on
+  --tcp=<port>                 also listen on TCP (0 = kernel-chosen port);
+                               at least one of --socket/--tcp is required
+  --threads=<n>                event-loop shards; pools are interleaved
+                               across shards, capped at the pool count
+                               (default 1)
   --scenario=<name|preset.ini> cluster sizing: normal | high | highsusp |
                                year | bigpool, or a workload preset file
                                (default normal)
   --scale=<0..1>               cluster scale (default 0.25)
-  --seed=<n>                   scenario/policy seed (default 42)
+  --seed=<n>                   scenario/policy seed (default 42); shard s
+                               mixes s into its policy seed so shard RNG
+                               streams stay independent
   --scheduler=<rr|util>        initial scheduler (default rr)
   --staleness=<min>            util-scheduler snapshot staleness (default 0)
   --policy=<name>              NoRes | ResSusUtil | ResSusRand |
@@ -63,61 +76,86 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const std::string socket_path = flags.GetString("socket", "");
-  NETBATCH_CHECK(!socket_path.empty(), "--socket is required");
+  service::DaemonOptions options;
+  options.socket_path = flags.GetString("socket", "");
+  const int tcp_port = flags.GetInt("tcp", -1);
+  if (tcp_port >= 0) {
+    NETBATCH_CHECK(tcp_port < 65536, "--tcp port out of range");
+    options.tcp = true;
+    options.tcp_port = static_cast<std::uint16_t>(tcp_port);
+  }
+  NETBATCH_CHECK(!options.socket_path.empty() || options.tcp,
+                 "--socket or --tcp is required");
+  const int threads = flags.GetInt("threads", 1);
+  NETBATCH_CHECK(threads > 0, "--threads must be positive");
+  options.threads = static_cast<std::uint32_t>(threads);
+  options.time_scale = flags.GetInt("time-scale", 1000);
+  options.auto_complete = flags.GetBool("auto-complete", true);
 
   const double scale = flags.GetDouble("scale", 0.25);
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const runner::Scenario scenario = runner::ResolveScenario(
       flags.GetString("scenario", "normal"), scale, seed);
 
-  std::unique_ptr<cluster::InitialScheduler> scheduler;
-  {
-    const auto kind = runner::ParseInitialSchedulerKind(
-        flags.GetString("scheduler", "rr"));
-    NETBATCH_CHECK(kind.has_value(), "--scheduler must be rr or util");
-    if (*kind == runner::InitialSchedulerKind::kRoundRobin) {
-      scheduler = std::make_unique<sched::RoundRobinScheduler>();
-    } else {
-      scheduler = std::make_unique<sched::UtilizationScheduler>(
-          MinutesToTicks(flags.GetInt("staleness", 0)));
-    }
-  }
+  const auto scheduler_kind = runner::ParseInitialSchedulerKind(
+      flags.GetString("scheduler", "rr"));
+  NETBATCH_CHECK(scheduler_kind.has_value(), "--scheduler must be rr or util");
+  const Ticks staleness = MinutesToTicks(flags.GetInt("staleness", 0));
 
   const std::string policy_name = flags.GetString("policy", "ResSusUtil");
   core::PolicyOptions policy_options;
   policy_options.wait_threshold =
       MinutesToTicks(flags.GetInt("threshold", 30));
-  policy_options.seed = seed;
-  std::unique_ptr<cluster::ReschedulingPolicy> policy;
-  if (policy_name == "DupSusUtil") {
-    policy = core::MakeDuplicationPolicy(policy_options);
-  } else {
-    const auto kind = core::ParsePolicyKind(policy_name);
-    NETBATCH_CHECK(kind.has_value(), "unknown --policy (see --help)");
-    policy = core::MakePolicy(*kind, policy_options);
+  std::optional<core::PolicyKind> policy_kind;
+  if (policy_name != "DupSusUtil") {
+    policy_kind = core::ParsePolicyKind(policy_name);
+    NETBATCH_CHECK(policy_kind.has_value(), "unknown --policy (see --help)");
   }
-
-  service::DaemonOptions options;
-  options.socket_path = socket_path;
-  options.time_scale = flags.GetInt("time-scale", 1000);
-  options.auto_complete = flags.GetBool("auto-complete", true);
 
   const auto unused = flags.UnusedFlags();
   NETBATCH_CHECK(unused.empty(),
                  "unknown flag --" + (unused.empty() ? "" : unused.front()) +
                      " (see --help)");
 
+  // Each shard gets its own scheduler/policy instances (policies carry RNG
+  // state). Per-shard seeds are derived by mixing the shard index so shard 0
+  // of a single-shard daemon reproduces the original stream exactly.
+  service::ShardStackFactory factory =
+      [&](std::uint32_t shard) -> service::ShardStack {
+    service::ShardStack stack;
+    if (*scheduler_kind == runner::InitialSchedulerKind::kRoundRobin) {
+      stack.scheduler = std::make_unique<sched::RoundRobinScheduler>();
+    } else {
+      stack.scheduler = std::make_unique<sched::UtilizationScheduler>(staleness);
+    }
+    core::PolicyOptions shard_policy = policy_options;
+    shard_policy.seed =
+        shard == 0 ? seed : seed ^ (0x9e3779b97f4a7c15ull * (shard + 1));
+    if (policy_name == "DupSusUtil") {
+      stack.policy = core::MakeDuplicationPolicy(shard_policy);
+    } else {
+      stack.policy = core::MakePolicy(*policy_kind, shard_policy);
+    }
+    return stack;
+  };
+
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
-  service::Daemon daemon(scenario.cluster, *scheduler, *policy, options);
-  std::printf("netbatchd: %zu pools, %lld cores, %s/%s, %lldx real time, %s\n",
-              scenario.cluster.pools.size(),
-              static_cast<long long>(scenario.cluster.TotalCores()),
-              flags.GetString("scheduler", "rr").c_str(), policy_name.c_str(),
-              static_cast<long long>(options.time_scale),
-              socket_path.c_str());
+  service::Daemon daemon(scenario.cluster, factory, options);
+  std::printf(
+      "netbatchd: %zu pools, %lld cores, %s/%s, %lldx real time, "
+      "%u shard(s), %s%s%s\n",
+      scenario.cluster.pools.size(),
+      static_cast<long long>(scenario.cluster.TotalCores()),
+      flags.GetString("scheduler", "rr").c_str(), policy_name.c_str(),
+      static_cast<long long>(options.time_scale), daemon.shard_count(),
+      options.socket_path.empty() ? "(no unix)" : options.socket_path.c_str(),
+      options.tcp ? " tcp:" : "",
+      options.tcp ? std::to_string(daemon.tcp_port()).c_str() : "");
+  // Scripts scrape the banner for the kernel-chosen --tcp=0 port; don't
+  // leave it sitting in a block buffer when stdout is redirected.
+  std::fflush(stdout);
   daemon.Run(g_stop);
 
   const LatencyHistogram& latency = daemon.placement_latency();
