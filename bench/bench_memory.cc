@@ -1,0 +1,103 @@
+// Memory-footprint benchmark for the SoA cluster core (BENCH_memory.json):
+// resident bytes per machine at 1M machines, resident bytes per job slot at
+// 10M reserved slots, and — the arena contract — the number of heap
+// allocations performed by job creation after Reserve (must be zero for
+// specs without candidate-pool lists).
+//
+// Run it on a quiet host and read three lines: machines, jobs, totals. The
+// global operator new override counts allocations only while g_count is set,
+// so the counters isolate the Create loop from everything around it.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "cluster/job_table.h"
+#include "cluster/machine.h"
+#include "cluster/pool.h"
+#include "common/time.h"
+
+static unsigned long long g_allocs = 0;
+static unsigned long long g_alloc_bytes = 0;
+static bool g_count = false;
+
+void* operator new(std::size_t size) {
+  if (g_count) {
+    ++g_allocs;
+    g_alloc_bytes += size;
+  }
+  void* p = std::malloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+static long RssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  long total = 0, rss = 0;
+  if (f) {
+    if (std::fscanf(f, "%ld %ld", &total, &rss) != 2) rss = 0;
+    std::fclose(f);
+  }
+  return rss * 4096L;
+}
+
+using namespace netbatch;
+using namespace netbatch::cluster;
+
+int main() {
+  const long rss0 = RssBytes();
+
+  // --- 1M machines in pools of 40k (the paper's pool scale) ---------------
+  constexpr std::size_t kMachines = 1'000'000;
+  constexpr std::size_t kPerPool = 40'000;
+  JobTable dummy_jobs;
+  std::vector<std::unique_ptr<PhysicalPool>> pools;
+  for (std::size_t base = 0; base < kMachines; base += kPerPool) {
+    const PoolId pool_id(static_cast<PoolId::ValueType>(base / kPerPool));
+    MachineArena machines(pool_id, dummy_jobs);
+    machines.Reserve(kPerPool);
+    for (std::size_t m = 0; m < kPerPool; ++m) {
+      machines.Add(8, 32768, 1.0);
+    }
+    pools.push_back(std::make_unique<PhysicalPool>(
+        pool_id, std::move(machines), dummy_jobs, true));
+  }
+  const long rss_machines = RssBytes();
+  std::printf("machines: %zu, bytes=%ld, bytes/machine=%.1f\n", kMachines,
+              rss_machines - rss0,
+              double(rss_machines - rss0) / double(kMachines));
+
+  // --- 10M job slots ------------------------------------------------------
+  constexpr std::size_t kJobs = 10'000'000;
+  JobTable jobs;
+  jobs.Reserve(kJobs);
+  g_count = true;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    workload::JobSpec spec;
+    spec.id = JobId(static_cast<JobId::ValueType>(j));
+    spec.submit_time = static_cast<Ticks>(j);
+    spec.runtime = 1000;
+    jobs.Create(std::move(spec));
+  }
+  g_count = false;
+  const long rss_jobs = RssBytes();
+  std::printf(
+      "jobs: %zu, bytes=%ld, bytes/job=%.1f, allocs_after_reserve=%llu, "
+      "alloc_bytes=%llu\n",
+      kJobs, rss_jobs - rss_machines,
+      double(rss_jobs - rss_machines) / double(kJobs), g_allocs,
+      g_alloc_bytes);
+
+  // Self-accounted column bytes, for cross-checking the RSS deltas.
+  unsigned long long arena_machine_bytes = 0;
+  for (const auto& pool : pools) {
+    arena_machine_bytes += pool->machines().MemoryBytes();
+  }
+  std::printf("arena_bytes_machines=%llu, arena_bytes_jobs=%zu\n",
+              arena_machine_bytes, jobs.MemoryBytes());
+  std::printf("total_bytes=%ld\n", rss_jobs - rss0);
+  return 0;
+}

@@ -92,10 +92,9 @@ void BM_PoolPlaceAndComplete(benchmark::State& state) {
   using namespace cluster;
   const auto machines_count = static_cast<int>(state.range(0));
   JobTable jobs;
-  std::vector<Machine> machines;
+  MachineArena machines(PoolId(0), jobs);
   for (int m = 0; m < machines_count; ++m) {
-    machines.emplace_back(MachineId(static_cast<MachineId::ValueType>(m)),
-                          PoolId(0), 8, 65536, 1.0);
+    machines.Add(8, 65536, 1.0);
   }
   PhysicalPool pool(PoolId(0), std::move(machines), jobs, true);
   workload::JobSpec spec;
@@ -106,7 +105,7 @@ void BM_PoolPlaceAndComplete(benchmark::State& state) {
   Ticks now = 0;
   for (auto _ : state) {
     spec.id = JobId(next++);
-    Job& job = jobs.Create(spec);
+    Job job = jobs.Create(spec);
     job.OnSubmitted(now);
     benchmark::DoNotOptimize(pool.TryPlace(job, now));
     pool.OnJobCompleted(job, ++now);
@@ -120,10 +119,9 @@ BENCHMARK(BM_PoolPlaceAndComplete)->Arg(64)->Arg(512);
 void BM_PoolPreemptionPath(benchmark::State& state) {
   using namespace cluster;
   JobTable jobs;
-  std::vector<Machine> machines;
+  MachineArena machines(PoolId(0), jobs);
   for (int m = 0; m < 64; ++m) {
-    machines.emplace_back(MachineId(static_cast<MachineId::ValueType>(m)),
-                          PoolId(0), 8, 65536, 1.0);
+    machines.Add(8, 65536, 1.0);
   }
   PhysicalPool pool(PoolId(0), std::move(machines), jobs, true);
   workload::JobSpec low;
@@ -133,7 +131,7 @@ void BM_PoolPreemptionPath(benchmark::State& state) {
   JobId::ValueType next = 0;
   for (int m = 0; m < 64; ++m) {
     low.id = JobId(next++);
-    Job& job = jobs.Create(low);
+    Job job = jobs.Create(low);
     job.OnSubmitted(0);
     pool.TryPlace(job, 0);
   }
@@ -143,7 +141,7 @@ void BM_PoolPreemptionPath(benchmark::State& state) {
   Ticks now = 1;
   for (auto _ : state) {
     high.id = JobId(next++);
-    Job& job = jobs.Create(high);
+    Job job = jobs.Create(high);
     job.OnSubmitted(now);
     const PlaceResult result = pool.TryPlace(job, now);
     benchmark::DoNotOptimize(result.suspended.size());

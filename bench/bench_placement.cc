@@ -43,14 +43,14 @@ workload::JobSpec MakeSpec(JobId::ValueType id, std::int32_t cores,
   return spec;
 }
 
-std::vector<Machine> UniformMachines(int count, std::int32_t cores = 8,
-                                     std::int64_t memory_mb = 64 * 1024,
-                                     std::int32_t owner = -1) {
-  std::vector<Machine> machines;
-  machines.reserve(static_cast<std::size_t>(count));
+MachineArena UniformMachines(JobTable& jobs, int count,
+                             std::int32_t cores = 8,
+                             std::int64_t memory_mb = 64 * 1024,
+                             std::int32_t owner = -1) {
+  MachineArena machines(PoolId(0), jobs);
+  machines.Reserve(static_cast<std::size_t>(count));
   for (int m = 0; m < count; ++m) {
-    machines.emplace_back(MachineId(static_cast<MachineId::ValueType>(m)),
-                          PoolId(0), cores, memory_mb, 1.0, owner);
+    machines.Add(cores, memory_mb, 1.0, owner);
   }
   return machines;
 }
@@ -61,7 +61,7 @@ JobId::ValueType Saturate(PhysicalPool& pool, JobTable& jobs, int machines,
                           std::int32_t cores, JobId::ValueType next,
                           workload::Priority priority = workload::kLowPriority) {
   for (int m = 0; m < machines; ++m) {
-    Job& job = jobs.Create(MakeSpec(next++, cores, 1024, 100000, priority));
+    Job job = jobs.Create(MakeSpec(next++, cores, 1024, 100000, priority));
     job.OnSubmitted(0);
     const PlaceResult result = pool.TryPlace(job, 0);
     NETBATCH_CHECK(result.outcome == PlaceOutcome::kStarted,
@@ -75,13 +75,13 @@ JobId::ValueType Saturate(PhysicalPool& pool, JobTable& jobs, int machines,
 void BM_FirstFitLastFreeMachine(benchmark::State& state) {
   const int machines = static_cast<int>(state.range(0));
   JobTable jobs;
-  PhysicalPool pool(PoolId(0), UniformMachines(machines), jobs,
+  PhysicalPool pool(PoolId(0), UniformMachines(jobs, machines), jobs,
                     /*suspended_holds_memory=*/true);
   JobId::ValueType next =
       Saturate(pool, jobs, machines - 1, /*cores=*/8, /*next=*/0);
   Ticks now = 1;
   for (auto _ : state) {
-    Job& job = jobs.Create(MakeSpec(next++, 2, 1024, 10));
+    Job job = jobs.Create(MakeSpec(next++, 2, 1024, 10));
     job.OnSubmitted(now);
     const PlaceResult result = pool.TryPlace(job, now);
     benchmark::DoNotOptimize(result.machine);
@@ -97,12 +97,12 @@ BENCHMARK(BM_FirstFitLastFreeMachine)->Arg(1024)->Arg(10000)->Arg(40000);
 void BM_SaturatedSubmitToQueue(benchmark::State& state) {
   const int machines = static_cast<int>(state.range(0));
   JobTable jobs;
-  PhysicalPool pool(PoolId(0), UniformMachines(machines), jobs,
+  PhysicalPool pool(PoolId(0), UniformMachines(jobs, machines), jobs,
                     /*suspended_holds_memory=*/true);
   JobId::ValueType next = Saturate(pool, jobs, machines, /*cores=*/8, 0);
   Ticks now = 1;
   for (auto _ : state) {
-    Job& job = jobs.Create(MakeSpec(next++, 2, 1024, 10));
+    Job job = jobs.Create(MakeSpec(next++, 2, 1024, 10));
     job.OnSubmitted(now);
     const PlaceResult result = pool.TryPlace(job, now);
     NETBATCH_CHECK(result.outcome == PlaceOutcome::kQueued, "expected queue");
@@ -118,7 +118,7 @@ BENCHMARK(BM_SaturatedSubmitToQueue)->Arg(1024)->Arg(10000)->Arg(40000);
 void BM_PreemptionBehindBusyPrefix(benchmark::State& state) {
   const int machines = static_cast<int>(state.range(0));
   JobTable jobs;
-  PhysicalPool pool(PoolId(0), UniformMachines(machines), jobs,
+  PhysicalPool pool(PoolId(0), UniformMachines(jobs, machines), jobs,
                     /*suspended_holds_memory=*/true);
   JobId::ValueType next = 0;
   next = Saturate(pool, jobs, machines / 2, /*cores=*/8, next,
@@ -127,7 +127,7 @@ void BM_PreemptionBehindBusyPrefix(benchmark::State& state) {
                   workload::kLowPriority);
   Ticks now = 1;
   for (auto _ : state) {
-    Job& job = jobs.Create(
+    Job job = jobs.Create(
         MakeSpec(next++, 8, 1024, 5, workload::kHighPriority));
     job.OnSubmitted(now);
     const PlaceResult result = pool.TryPlace(job, now);
@@ -146,7 +146,7 @@ BENCHMARK(BM_PreemptionBehindBusyPrefix)->Arg(1024)->Arg(10000)->Arg(40000);
 void BM_HasEligibleMachineMiss(benchmark::State& state) {
   const int machines = static_cast<int>(state.range(0));
   JobTable jobs;
-  PhysicalPool pool(PoolId(0), UniformMachines(machines), jobs,
+  PhysicalPool pool(PoolId(0), UniformMachines(jobs, machines), jobs,
                     /*suspended_holds_memory=*/true);
   const workload::JobSpec spec = MakeSpec(0, 128, 1024, 10);
   for (auto _ : state) {
@@ -162,18 +162,18 @@ BENCHMARK(BM_HasEligibleMachineMiss)->Arg(1024)->Arg(10000)->Arg(40000);
 void BM_BackfillMemoryExhausted(benchmark::State& state) {
   const int waiters = static_cast<int>(state.range(0));
   JobTable jobs;
-  std::vector<Machine> machines;
-  machines.emplace_back(MachineId(0), PoolId(0), 64, 64 * 1024, 1.0);
+  MachineArena machines(PoolId(0), jobs);
+  machines.Add(64, 64 * 1024, 1.0);
   PhysicalPool pool(PoolId(0), std::move(machines), jobs,
                     /*suspended_holds_memory=*/true);
   JobId::ValueType next = 0;
   // One job claims all memory but few cores.
-  Job& hog = jobs.Create(MakeSpec(next++, 2, 64 * 1024, 100000));
+  Job hog = jobs.Create(MakeSpec(next++, 2, 64 * 1024, 100000));
   hog.OnSubmitted(0);
   NETBATCH_CHECK(pool.TryPlace(hog, 0).outcome == PlaceOutcome::kStarted,
                  "hog failed to start");
   for (int w = 0; w < waiters; ++w) {
-    Job& job = jobs.Create(MakeSpec(next++, 1, 2048, 10));
+    Job job = jobs.Create(MakeSpec(next++, 1, 2048, 10));
     job.OnSubmitted(0);
     NETBATCH_CHECK(pool.TryPlace(job, 0).outcome == PlaceOutcome::kQueued,
                    "waiter failed to queue");

@@ -26,24 +26,22 @@ const char* ToString(JobState state) {
   return "?";
 }
 
-Job::Job(workload::JobSpec spec)
-    : spec_(std::move(spec)), remaining_work_(spec_.runtime) {}
-
 void Job::Transition(JobState next) {
-  state_ = next;
-  ++generation_;
+  arena_->state_[slot_] = next;
+  ++arena_->generation_[slot_];
 }
 
 void Job::SettleWaitingTime(Ticks now) {
-  const Ticks elapsed = now - state_since_;
+  JobArena& a = *arena_;
+  const Ticks elapsed = now - a.state_since_[slot_];
   NETBATCH_CHECK(elapsed >= 0, "time went backwards in job accounting");
-  switch (state_) {
+  switch (a.state_[slot_]) {
     case JobState::kPending:
     case JobState::kWaiting:
-      wait_ticks_ += elapsed;
+      a.wait_ticks_[slot_] += elapsed;
       break;
     case JobState::kInTransit:
-      transit_ticks_ += elapsed;
+      a.transit_ticks_[slot_] += elapsed;
       break;
     default:
       NETBATCH_CHECK(false, "SettleWaitingTime from a non-queued state");
@@ -51,90 +49,104 @@ void Job::SettleWaitingTime(Ticks now) {
 }
 
 void Job::SettleRunProgress(Ticks now) {
-  NETBATCH_CHECK(state_ == JobState::kRunning,
+  JobArena& a = *arena_;
+  NETBATCH_CHECK(a.state_[slot_] == JobState::kRunning,
                  "SettleRunProgress outside running state");
-  const Ticks elapsed = now - state_since_;
+  const Ticks elapsed = now - a.state_since_[slot_];
   NETBATCH_CHECK(elapsed >= 0, "time went backwards in job accounting");
-  executed_ticks_ += elapsed;
-  attempt_executed_ += elapsed;
+  a.executed_ticks_[slot_] += elapsed;
+  a.attempt_executed_[slot_] += elapsed;
   const auto consumed = std::min(
-      remaining_work_, static_cast<Ticks>(std::floor(
-                           static_cast<double>(elapsed) * run_speed_)));
-  remaining_work_ -= consumed;
-  attempt_work_ += consumed;
+      a.remaining_work_[slot_],
+      static_cast<Ticks>(std::floor(static_cast<double>(elapsed) *
+                                    a.run_speed_[slot_])));
+  a.remaining_work_[slot_] -= consumed;
+  a.attempt_work_[slot_] += consumed;
 }
 
 void Job::OnSubmitted(Ticks now) {
-  NETBATCH_CHECK(state_ == JobState::kPending, "double submission");
-  state_since_ = now;
-  ++generation_;
+  JobArena& a = *arena_;
+  NETBATCH_CHECK(a.state_[slot_] == JobState::kPending, "double submission");
+  a.state_since_[slot_] = now;
+  ++a.generation_[slot_];
 }
 
 void Job::OnEnqueued(Ticks now, PoolId pool) {
-  NETBATCH_CHECK(state_ == JobState::kPending ||
-                     state_ == JobState::kInTransit,
+  JobArena& a = *arena_;
+  NETBATCH_CHECK(a.state_[slot_] == JobState::kPending ||
+                     a.state_[slot_] == JobState::kInTransit,
                  "enqueue from illegal state");
   SettleWaitingTime(now);
-  pool_ = pool;
-  machine_ = MachineId();
+  a.pool_[slot_] = pool;
+  a.machine_[slot_] = MachineId();
   Transition(JobState::kWaiting);
-  state_since_ = now;
+  a.state_since_[slot_] = now;
 }
 
 void Job::OnStarted(Ticks now, MachineId machine, double speed) {
-  NETBATCH_CHECK(state_ == JobState::kPending ||
-                     state_ == JobState::kWaiting ||
-                     state_ == JobState::kInTransit,
+  JobArena& a = *arena_;
+  NETBATCH_CHECK(a.state_[slot_] == JobState::kPending ||
+                     a.state_[slot_] == JobState::kWaiting ||
+                     a.state_[slot_] == JobState::kInTransit,
                  "start from illegal state");
   SettleWaitingTime(now);
-  machine_ = machine;
-  run_speed_ = speed;
+  a.machine_[slot_] = machine;
+  a.run_speed_[slot_] = speed;
   Transition(JobState::kRunning);
-  state_since_ = now;
+  a.state_since_[slot_] = now;
 }
 
 void Job::OnSuspended(Ticks now) {
-  NETBATCH_CHECK(state_ == JobState::kRunning, "suspend of non-running job");
+  JobArena& a = *arena_;
+  NETBATCH_CHECK(a.state_[slot_] == JobState::kRunning,
+                 "suspend of non-running job");
   SettleRunProgress(now);
-  ++suspend_count_;
+  ++a.suspend_count_[slot_];
   Transition(JobState::kSuspended);
-  state_since_ = now;
+  a.state_since_[slot_] = now;
 }
 
 void Job::OnResumed(Ticks now) {
-  NETBATCH_CHECK(state_ == JobState::kSuspended, "resume of non-suspended job");
-  suspend_ticks_ += now - state_since_;
+  JobArena& a = *arena_;
+  NETBATCH_CHECK(a.state_[slot_] == JobState::kSuspended,
+                 "resume of non-suspended job");
+  a.suspend_ticks_[slot_] += now - a.state_since_[slot_];
   Transition(JobState::kRunning);
-  state_since_ = now;
+  a.state_since_[slot_] = now;
 }
 
 void Job::OnCompleted(Ticks now) {
-  NETBATCH_CHECK(state_ == JobState::kRunning, "completion of non-running job");
-  const Ticks elapsed = now - state_since_;
-  executed_ticks_ += elapsed;
-  attempt_executed_ += elapsed;
-  remaining_work_ = 0;
-  completion_time_ = now;
+  JobArena& a = *arena_;
+  NETBATCH_CHECK(a.state_[slot_] == JobState::kRunning,
+                 "completion of non-running job");
+  const Ticks elapsed = now - a.state_since_[slot_];
+  a.executed_ticks_[slot_] += elapsed;
+  a.attempt_executed_[slot_] += elapsed;
+  a.remaining_work_[slot_] = 0;
+  a.completion_time_[slot_] = now;
   Transition(JobState::kCompleted);
-  state_since_ = now;
+  a.state_since_[slot_] = now;
 }
 
 void Job::OnRejected(Ticks now) {
-  NETBATCH_CHECK(state_ == JobState::kPending, "rejection of accepted job");
-  completion_time_ = -1;
+  JobArena& a = *arena_;
+  NETBATCH_CHECK(a.state_[slot_] == JobState::kPending,
+                 "rejection of accepted job");
+  a.completion_time_[slot_] = -1;
   Transition(JobState::kRejected);
-  state_since_ = now;
+  a.state_since_[slot_] = now;
 }
 
 // Settles the accounting of whatever non-terminal state the job is in at
 // `now` (used by the twin-race terminal transitions).
 void Job::SettleAnyState(Ticks now) {
-  switch (state_) {
+  JobArena& a = *arena_;
+  switch (a.state_[slot_]) {
     case JobState::kRunning:
       SettleRunProgress(now);
       break;
     case JobState::kSuspended:
-      suspend_ticks_ += now - state_since_;
+      a.suspend_ticks_[slot_] += now - a.state_since_[slot_];
       break;
     case JobState::kPending:
     case JobState::kWaiting:
@@ -149,26 +161,28 @@ void Job::SettleAnyState(Ticks now) {
 void Job::OnKilled(Ticks now) {
   SettleAnyState(now);
   Transition(JobState::kKilled);
-  state_since_ = now;
+  arena_->state_since_[slot_] = now;
 }
 
 void Job::OnCompletedByTwin(Ticks now) {
+  JobArena& a = *arena_;
   SettleAnyState(now);
   // Whatever this attempt executed is now discarded work.
-  resched_waste_ticks_ += attempt_executed_;
-  attempt_executed_ = 0;
-  completion_time_ = now;
+  a.resched_waste_ticks_[slot_] += a.attempt_executed_[slot_];
+  a.attempt_executed_[slot_] = 0;
+  a.completion_time_[slot_] = now;
   Transition(JobState::kCompleted);
-  state_since_ = now;
+  a.state_since_[slot_] = now;
 }
 
 void Job::OnRestart(Ticks now, PoolId target, Ticks checkpoint_interval) {
-  switch (state_) {
+  JobArena& a = *arena_;
+  switch (a.state_[slot_]) {
     case JobState::kSuspended:
-      suspend_ticks_ += now - state_since_;
+      a.suspend_ticks_[slot_] += now - a.state_since_[slot_];
       break;
     case JobState::kWaiting:
-      wait_ticks_ += now - state_since_;
+      a.wait_ticks_[slot_] += now - a.state_since_[slot_];
       break;
     case JobState::kRunning:
       // Eviction by a machine outage: the run ends here and the job is
@@ -183,32 +197,32 @@ void Job::OnRestart(Ticks now, PoolId target, Ticks checkpoint_interval) {
   // positive interval. Any earlier restart left total progress at a
   // checkpoint multiple, so the discarded work always belongs to the
   // current attempt.
-  const Ticks total_done = spec_.runtime - remaining_work_;
+  const Ticks total_done = a.spec_[slot_].runtime - a.remaining_work_[slot_];
   const Ticks kept =
       checkpoint_interval > 0
           ? (total_done / checkpoint_interval) * checkpoint_interval
           : Ticks{0};
   const Ticks discarded_work = total_done - kept;
-  NETBATCH_CHECK(discarded_work <= attempt_work_,
+  NETBATCH_CHECK(discarded_work <= a.attempt_work_[slot_],
                  "restart discarding work from a previous checkpoint");
   // The discarded execution — pro-rated wall-clock of this attempt — is the
   // paper's "wasted time by rescheduling".
   const Ticks wasted_wall =
-      attempt_work_ == 0
-          ? attempt_executed_
+      a.attempt_work_[slot_] == 0
+          ? a.attempt_executed_[slot_]
           : static_cast<Ticks>(std::llround(
-                static_cast<double>(attempt_executed_) *
+                static_cast<double>(a.attempt_executed_[slot_]) *
                 static_cast<double>(discarded_work) /
-                static_cast<double>(attempt_work_)));
-  resched_waste_ticks_ += wasted_wall;
-  attempt_executed_ = 0;
-  attempt_work_ = 0;
-  remaining_work_ = spec_.runtime - kept;
-  ++restart_count_;
-  pool_ = target;
-  machine_ = MachineId();
+                static_cast<double>(a.attempt_work_[slot_])));
+  a.resched_waste_ticks_[slot_] += wasted_wall;
+  a.attempt_executed_[slot_] = 0;
+  a.attempt_work_[slot_] = 0;
+  a.remaining_work_[slot_] = a.spec_[slot_].runtime - kept;
+  ++a.restart_count_[slot_];
+  a.pool_[slot_] = target;
+  a.machine_[slot_] = MachineId();
   Transition(JobState::kInTransit);
-  state_since_ = now;
+  a.state_since_[slot_] = now;
 }
 
 }  // namespace netbatch::cluster

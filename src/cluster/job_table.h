@@ -1,148 +1,15 @@
 // Storage for all job runtime objects in a simulation.
 //
-// Jobs live in a deque so references stay stable as jobs are added (the
-// duplication extension creates clone jobs mid-run). Lookup is a dense
-// JobId -> slot vector for ordinary (small, near-contiguous) ids — one
-// indexed load on the event-dispatch hot path — with a hash-map fallback
-// for traces that use sparse ids beyond the dense cap.
-//
-// Reclamation (daemon path only): a simulation retains every job until the
-// run ends — metrics walk the full table — but a long-running daemon must
-// reclaim terminal jobs or grow without bound. EnableReclamation() turns on
-// guarded slot reuse: Erase(id) frees the id's index entry and parks the
-// slot on a free list; the next Create reuses it, seeding the new job's
-// generation above every stamp the old occupant handed out so stale timers
-// can never match the reused slot. The simulator never enables this, so
-// sweep artifacts are untouched. With reclamation on, iteration may still
-// visit erased-but-not-yet-reused slots (stale terminal jobs); the
-// cluster-wide terminal-ledger audit is skipped in that mode.
+// The storage itself is the struct-of-arrays JobArena (see cluster/job.h):
+// parallel columns indexed by dense slots, a dense/sparse id index, and the
+// guarded reclamation free-list the daemon path uses. This header keeps the
+// historical JobTable name for the many call sites that predate the arena.
 #pragma once
 
-#include <deque>
-#include <unordered_map>
-#include <vector>
-
-#include "common/check.h"
 #include "cluster/job.h"
 
 namespace netbatch::cluster {
 
-class JobTable {
- public:
-  Job& Create(workload::JobSpec spec) {
-    const JobId id = spec.id;
-    if (reclaim_enabled_ && !free_slots_.empty()) {
-      const std::uint32_t slot = free_slots_.back();
-      free_slots_.pop_back();
-      Job& reused = jobs_[slot];
-      const std::uint64_t generation_floor = reused.generation() + 1;
-      reused = Job(std::move(spec));
-      reused.EnsureGenerationAtLeast(generation_floor);
-      IndexSlot(id, slot);
-      return reused;
-    }
-    IndexSlot(id, static_cast<std::uint32_t>(jobs_.size()));
-    jobs_.emplace_back(std::move(spec));
-    return jobs_.back();
-  }
-
-  Job& at(JobId id) {
-    const JobId::ValueType v = id.value();
-    if (v < dense_.size()) {
-      const std::uint32_t slot = dense_[v];
-      NETBATCH_CHECK(slot != kNoSlot, "unknown job id");
-      return jobs_[slot];
-    }
-    return jobs_[SparseSlot(id)];
-  }
-  const Job& at(JobId id) const {
-    const JobId::ValueType v = id.value();
-    if (v < dense_.size()) {
-      const std::uint32_t slot = dense_[v];
-      NETBATCH_CHECK(slot != kNoSlot, "unknown job id");
-      return jobs_[slot];
-    }
-    return jobs_[SparseSlot(id)];
-  }
-
-  // Whether `id` names a job in this table. The serving layer uses this to
-  // turn bad client ids into error responses instead of at()'s abort.
-  bool Contains(JobId id) const {
-    const JobId::ValueType v = id.value();
-    if (v < kDenseCap) return v < dense_.size() && dense_[v] != kNoSlot;
-    return sparse_.contains(id);
-  }
-
-  // Pre-sizes the id index for `n` jobs with ids 0..n-1 (the common trace
-  // shape) so neither the dense vector nor the fallback map reallocates
-  // mid-run. Safe to call with jobs already present.
-  void Reserve(std::size_t n) {
-    if (n < kDenseCap && n > dense_.size()) dense_.resize(n, kNoSlot);
-  }
-
-  // --- reclamation (daemon path only; see file comment) ---------------------
-
-  void EnableReclamation() { reclaim_enabled_ = true; }
-  bool reclaim_enabled() const { return reclaim_enabled_; }
-
-  // Frees `id`'s slot for reuse by a later Create. The Job object stays
-  // constructed (references from the current dispatch remain valid) until
-  // the slot is actually reused; callers must only erase terminal jobs
-  // after the dispatch that retired them has fully unwound.
-  void Erase(JobId id) {
-    NETBATCH_CHECK(reclaim_enabled_, "Erase without EnableReclamation");
-    std::uint32_t slot = kNoSlot;
-    const JobId::ValueType v = id.value();
-    if (v < dense_.size()) {
-      slot = dense_[v];
-      NETBATCH_CHECK(slot != kNoSlot, "erasing unknown job id");
-      dense_[v] = kNoSlot;
-    } else {
-      slot = static_cast<std::uint32_t>(SparseSlot(id));
-      sparse_.erase(id);
-    }
-    free_slots_.push_back(slot);
-    ++reclaimed_count_;
-  }
-
-  // Jobs currently reachable by id (size() minus free slots).
-  std::size_t live_size() const { return jobs_.size() - free_slots_.size(); }
-  std::uint64_t reclaimed_count() const { return reclaimed_count_; }
-
-  std::size_t size() const { return jobs_.size(); }
-  auto begin() const { return jobs_.begin(); }
-  auto end() const { return jobs_.end(); }
-
- private:
-  // Ids below this resolve through the dense vector (worst case 16 MiB of
-  // index); anything above falls back to the hash map.
-  static constexpr JobId::ValueType kDenseCap = 1u << 22;
-  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
-
-  void IndexSlot(JobId id, std::uint32_t slot) {
-    const JobId::ValueType v = id.value();
-    if (v < kDenseCap) {
-      if (v >= dense_.size()) dense_.resize(v + 1, kNoSlot);
-      NETBATCH_CHECK(dense_[v] == kNoSlot, "duplicate job id");
-      dense_[v] = slot;
-    } else {
-      NETBATCH_CHECK(!sparse_.contains(id), "duplicate job id");
-      sparse_.emplace(id, slot);
-    }
-  }
-
-  std::size_t SparseSlot(JobId id) const {
-    const auto it = sparse_.find(id);
-    NETBATCH_CHECK(it != sparse_.end(), "unknown job id");
-    return it->second;
-  }
-
-  std::deque<Job> jobs_;
-  std::vector<std::uint32_t> dense_;  // id.value() -> slot, kNoSlot if absent
-  std::unordered_map<JobId, std::size_t> sparse_;  // ids >= kDenseCap
-  bool reclaim_enabled_ = false;
-  std::vector<std::uint32_t> free_slots_;
-  std::uint64_t reclaimed_count_ = 0;
-};
+using JobTable = JobArena;
 
 }  // namespace netbatch::cluster

@@ -1,77 +1,175 @@
 #include "cluster/machine.h"
 
-#include <algorithm>
-
 namespace netbatch::cluster {
 
-Machine::Machine(MachineId id, PoolId pool, std::int32_t cores,
-                 std::int64_t memory_mb, double speed, std::int32_t owner)
-    : id_(id),
-      pool_(pool),
-      owner_(owner),
-      cores_total_(cores),
-      memory_total_mb_(memory_mb),
-      speed_(speed),
-      cores_free_(cores),
-      memory_free_mb_(memory_mb) {
+MachineId MachineArena::Add(std::int32_t cores, std::int64_t memory_mb,
+                            double speed, std::int32_t owner) {
   NETBATCH_CHECK(cores > 0, "machine needs at least one core");
   NETBATCH_CHECK(memory_mb > 0, "machine needs memory");
   NETBATCH_CHECK(speed > 0, "machine speed must be positive");
+  owner_.push_back(owner);
+  cores_total_.push_back(cores);
+  memory_total_mb_.push_back(memory_mb);
+  speed_.push_back(speed);
+  cores_free_.push_back(cores);
+  memory_free_mb_.push_back(memory_mb);
+  online_.push_back(1);
+  run_head_.push_back(JobArena::kNoSlot);
+  run_tail_.push_back(JobArena::kNoSlot);
+  run_count_.push_back(0);
+  susp_head_.push_back(JobArena::kNoSlot);
+  susp_tail_.push_back(JobArena::kNoSlot);
+  susp_count_.push_back(0);
+  class_head_.push_back(kNoNode);
+  return MachineId(static_cast<MachineId::ValueType>(size() - 1));
+}
+
+void MachineArena::LinkJob(std::uint32_t machine, JobId job, bool running) {
+  JobArena& jobs = *jobs_;
+  const std::uint32_t slot = jobs.SlotOf(job);
+  NETBATCH_CHECK(jobs.link_list_[slot] == JobArena::kNoList,
+                 "job already registered on a machine");
+  std::uint32_t& head = running ? run_head_[machine] : susp_head_[machine];
+  std::uint32_t& tail = running ? run_tail_[machine] : susp_tail_[machine];
+  // Append at the tail — same arrival order the per-machine vectors kept.
+  jobs.link_prev_[slot] = tail;
+  jobs.link_next_[slot] = JobArena::kNoSlot;
+  jobs.link_list_[slot] =
+      running ? JobArena::kRunningList : JobArena::kSuspendedList;
+  if (tail == JobArena::kNoSlot) {
+    head = slot;
+  } else {
+    jobs.link_next_[tail] = slot;
+  }
+  tail = slot;
+  ++(running ? run_count_ : susp_count_)[machine];
+}
+
+void MachineArena::UnlinkJob(std::uint32_t machine, JobId job, bool running) {
+  JobArena& jobs = *jobs_;
+  const std::uint32_t slot = jobs.SlotOf(job);
+  std::uint32_t& head = running ? run_head_[machine] : susp_head_[machine];
+  std::uint32_t& tail = running ? run_tail_[machine] : susp_tail_[machine];
+  const std::uint8_t expected =
+      running ? JobArena::kRunningList : JobArena::kSuspendedList;
+  // On the right kind of list, and — when it claims to be a head — the head
+  // of THIS machine's list. (A mid-list slot is only reachable from the head
+  // that owns it, so this is the cheap whole-list membership guard.)
+  NETBATCH_CHECK(
+      jobs.link_list_[slot] == expected &&
+          (jobs.link_prev_[slot] != JobArena::kNoSlot || head == slot),
+      "job not registered on machine");
+  const std::uint32_t prev = jobs.link_prev_[slot];
+  const std::uint32_t next = jobs.link_next_[slot];
+  if (prev == JobArena::kNoSlot) {
+    head = next;
+  } else {
+    jobs.link_next_[prev] = next;
+  }
+  if (next == JobArena::kNoSlot) {
+    tail = prev;
+  } else {
+    jobs.link_prev_[next] = prev;
+  }
+  jobs.link_next_[slot] = JobArena::kNoSlot;
+  jobs.link_prev_[slot] = JobArena::kNoSlot;
+  jobs.link_list_[slot] = JobArena::kNoList;
+  --(running ? run_count_ : susp_count_)[machine];
+}
+
+void MachineArena::AddRunningClass(std::uint32_t machine, std::int32_t priority,
+                                   std::int32_t cores,
+                                   std::int64_t memory_mb) {
+  // Walk the (short, ascending) class list to the insertion point. Indices,
+  // not pointers: emplace_back below may reallocate class_nodes_.
+  std::uint32_t prev = kNoNode;
+  std::uint32_t cur = class_head_[machine];
+  while (cur != kNoNode && class_nodes_[cur].priority < priority) {
+    prev = cur;
+    cur = class_nodes_[cur].next;
+  }
+  if (cur == kNoNode || class_nodes_[cur].priority != priority) {
+    std::uint32_t node;
+    if (!class_free_.empty()) {
+      node = class_free_.back();
+      class_free_.pop_back();
+    } else {
+      node = static_cast<std::uint32_t>(class_nodes_.size());
+      class_nodes_.emplace_back();
+    }
+    class_nodes_[node] = ClassNode{priority, 0, 0, 0, cur};
+    if (prev == kNoNode) {
+      class_head_[machine] = node;
+    } else {
+      class_nodes_[prev].next = node;
+    }
+    cur = node;
+  }
+  ClassNode& cls = class_nodes_[cur];
+  ++cls.jobs;
+  cls.cores += cores;
+  cls.memory_mb += memory_mb;
+}
+
+void MachineArena::RemoveRunningClass(std::uint32_t machine,
+                                      std::int32_t priority,
+                                      std::int32_t cores,
+                                      std::int64_t memory_mb) {
+  std::uint32_t* link = &class_head_[machine];
+  while (*link != kNoNode && class_nodes_[*link].priority < priority) {
+    link = &class_nodes_[*link].next;
+  }
+  NETBATCH_CHECK(*link != kNoNode && class_nodes_[*link].priority == priority,
+                 "running-class summary missing the job's priority");
+  ClassNode& cls = class_nodes_[*link];
+  --cls.jobs;
+  cls.cores -= cores;
+  cls.memory_mb -= memory_mb;
+  NETBATCH_CHECK(cls.jobs >= 0 && cls.cores >= 0 && cls.memory_mb >= 0,
+                 "running-class summary went negative");
+  if (cls.jobs == 0) {
+    const std::uint32_t node = *link;
+    *link = cls.next;
+    class_free_.push_back(node);
+  }
 }
 
 void Machine::Claim(std::int32_t cores, std::int64_t memory_mb) {
-  NETBATCH_CHECK(cores_free_ >= cores && memory_free_mb_ >= memory_mb,
-                 "claiming more resources than free");
-  cores_free_ -= cores;
-  memory_free_mb_ -= memory_mb;
+  MachineArena& a = *arena_;
+  NETBATCH_CHECK(
+      a.cores_free_[slot_] >= cores && a.memory_free_mb_[slot_] >= memory_mb,
+      "claiming more resources than free");
+  a.cores_free_[slot_] -= cores;
+  a.memory_free_mb_[slot_] -= memory_mb;
 }
 
 void Machine::Release(std::int32_t cores, std::int64_t memory_mb) {
-  cores_free_ += cores;
-  memory_free_mb_ += memory_mb;
-  NETBATCH_CHECK(cores_free_ <= cores_total_ &&
-                     memory_free_mb_ <= memory_total_mb_,
+  MachineArena& a = *arena_;
+  a.cores_free_[slot_] += cores;
+  a.memory_free_mb_[slot_] += memory_mb;
+  NETBATCH_CHECK(a.cores_free_[slot_] <= a.cores_total_[slot_] &&
+                     a.memory_free_mb_[slot_] <= a.memory_total_mb_[slot_],
                  "released more resources than were claimed");
 }
 
-namespace {
-void RemoveId(std::vector<JobId>& jobs, JobId job) {
-  const auto it = std::find(jobs.begin(), jobs.end(), job);
-  NETBATCH_CHECK(it != jobs.end(), "job not registered on machine");
-  jobs.erase(it);
-}
-}  // namespace
-
 void Machine::AddRunning(JobId job, std::int32_t priority, std::int32_t cores,
                          std::int64_t memory_mb) {
-  running_.push_back(job);
-  auto it = std::lower_bound(
-      running_classes_.begin(), running_classes_.end(), priority,
-      [](const RunningClass& cls, std::int32_t p) { return cls.priority < p; });
-  if (it == running_classes_.end() || it->priority != priority) {
-    it = running_classes_.insert(it, RunningClass{priority, 0, 0, 0});
-  }
-  ++it->jobs;
-  it->cores += cores;
-  it->memory_mb += memory_mb;
+  arena_->LinkJob(slot_, job, /*running=*/true);
+  arena_->AddRunningClass(slot_, priority, cores, memory_mb);
 }
 
 void Machine::RemoveRunning(JobId job, std::int32_t priority,
                             std::int32_t cores, std::int64_t memory_mb) {
-  RemoveId(running_, job);
-  const auto it = std::lower_bound(
-      running_classes_.begin(), running_classes_.end(), priority,
-      [](const RunningClass& cls, std::int32_t p) { return cls.priority < p; });
-  NETBATCH_CHECK(it != running_classes_.end() && it->priority == priority,
-                 "running-class summary missing the job's priority");
-  --it->jobs;
-  it->cores -= cores;
-  it->memory_mb -= memory_mb;
-  NETBATCH_CHECK(it->jobs >= 0 && it->cores >= 0 && it->memory_mb >= 0,
-                 "running-class summary went negative");
-  if (it->jobs == 0) running_classes_.erase(it);
+  arena_->UnlinkJob(slot_, job, /*running=*/true);
+  arena_->RemoveRunningClass(slot_, priority, cores, memory_mb);
 }
 
-void Machine::RemoveSuspended(JobId job) { RemoveId(suspended_, job); }
+void Machine::AddSuspended(JobId job) {
+  arena_->LinkJob(slot_, job, /*running=*/false);
+}
+
+void Machine::RemoveSuspended(JobId job) {
+  arena_->UnlinkJob(slot_, job, /*running=*/false);
+}
 
 }  // namespace netbatch::cluster

@@ -14,7 +14,7 @@ constexpr std::int64_t kNoMemory = -1;
 
 }  // namespace
 
-void FreeCapacityIndex::Rebuild(const std::vector<Machine>& machines) {
+void FreeCapacityIndex::Rebuild(const MachineArena& machines) {
   std::int32_t max_cores = 0;
   for (const Machine& machine : machines) {
     max_cores = std::max(max_cores, machine.cores_total());
@@ -116,7 +116,7 @@ MachineId FreeCapacityIndex::FirstFit(std::int32_t cores,
 }
 
 void FreeCapacityIndex::Audit(
-    const std::vector<Machine>& machines,
+    const MachineArena& machines,
     const std::function<void(MachineId, const char*)>& report) const {
   if (entries_.size() != machines.size()) {
     report(MachineId(), "free-capacity index sized for wrong machine count");
@@ -171,7 +171,7 @@ void FreeCapacityIndex::Audit(
   }
 }
 
-void CapacityClassIndex::Rebuild(const std::vector<Machine>& machines) {
+void CapacityClassIndex::Rebuild(const MachineArena& machines) {
   classes_.clear();
   for (const Machine& machine : machines) {
     Class* found = nullptr;
@@ -244,7 +244,7 @@ bool CapacityClassIndex::AnyEligible(std::int32_t cores,
 }
 
 void CapacityClassIndex::Audit(
-    const std::vector<Machine>& machines,
+    const MachineArena& machines,
     const std::function<void(const char*)>& report) const {
   std::int64_t total = 0;
   std::int64_t online = 0;

@@ -37,12 +37,13 @@
 namespace netbatch::cluster {
 
 class Machine;
+class MachineArena;
 
 class FreeCapacityIndex {
  public:
   // Registers every machine (capacity table sizing) and indexes the online
   // ones. Machine ids must equal their position in `machines`.
-  void Rebuild(const std::vector<Machine>& machines);
+  void Rebuild(const MachineArena& machines);
 
   // Re-syncs one machine after any change to its free resources or online
   // state. Offline machines are absent from the index.
@@ -54,7 +55,7 @@ class FreeCapacityIndex {
 
   // Reports every divergence between the index and the machines' actual
   // state to `report(machine, what)` — the pool audit's consistency check.
-  void Audit(const std::vector<Machine>& machines,
+  void Audit(const MachineArena& machines,
              const std::function<void(MachineId, const char*)>& report) const;
 
  private:
@@ -86,7 +87,7 @@ class FreeCapacityIndex {
 
 class CapacityClassIndex {
  public:
-  void Rebuild(const std::vector<Machine>& machines);
+  void Rebuild(const MachineArena& machines);
 
   // Tracks online/offline flips (capacity totals never change).
   void OnOnlineChanged(const Machine& machine, bool now_online);
@@ -98,7 +99,7 @@ class CapacityClassIndex {
   bool AnyEligible(std::int32_t cores, std::int64_t memory_mb,
                    bool require_online) const;
 
-  void Audit(const std::vector<Machine>& machines,
+  void Audit(const MachineArena& machines,
              const std::function<void(const char*)>& report) const;
 
  private:

@@ -6,7 +6,7 @@
 
 namespace netbatch::cluster {
 
-PhysicalPool::PhysicalPool(PoolId id, std::vector<Machine> machines,
+PhysicalPool::PhysicalPool(PoolId id, MachineArena machines,
                            JobTable& jobs, bool suspended_holds_memory,
                            bool local_resume_first, PoolObserver* observer)
     : id_(id),
@@ -15,26 +15,26 @@ PhysicalPool::PhysicalPool(PoolId id, std::vector<Machine> machines,
       suspended_holds_memory_(suspended_holds_memory),
       local_resume_first_(local_resume_first),
       observer_(observer) {
-  for (std::size_t m = 0; m < machines_.size(); ++m) {
-    NETBATCH_CHECK(machines_[m].pool() == id_,
-                   "machine assigned to wrong pool");
-    NETBATCH_CHECK(machines_[m].id().value() == m,
-                   "machine ids must be dense and in table order");
-    total_cores_ += machines_[m].cores_total();
+  NETBATCH_CHECK(machines_.empty() || machines_.pool() == id_,
+                 "machine assigned to wrong pool");
+  NETBATCH_CHECK(&machines_.jobs() == jobs_,
+                 "machine arena bound to a different job table");
+  for (const Machine& machine : machines_) {
+    total_cores_ += machine.cores_total();
   }
   machine_words_ = (machines_.size() + 63) / 64;
   free_index_.Rebuild(machines_);
   capacity_classes_.Rebuild(machines_);
 }
 
-void PhysicalPool::AddRunningIndexed(Machine& machine, const Job& job) {
+void PhysicalPool::AddRunningIndexed(Machine machine, const Job& job) {
   const std::int32_t before = machine.lowest_running_priority();
   machine.AddRunning(job.id(), job.priority(), job.spec().cores,
                      job.spec().memory_mb);
   ReindexPreemptible(machine, before);
 }
 
-void PhysicalPool::RemoveRunningIndexed(Machine& machine, const Job& job) {
+void PhysicalPool::RemoveRunningIndexed(Machine machine, const Job& job) {
   const std::int32_t before = machine.lowest_running_priority();
   machine.RemoveRunning(job.id(), job.priority(), job.spec().cores,
                         job.spec().memory_mb);
@@ -64,10 +64,8 @@ void PhysicalPool::ReindexPreemptible(const Machine& machine,
   }
 }
 
-Machine& PhysicalPool::MachineById(MachineId id) {
-  NETBATCH_CHECK(id.valid() && id.value() < machines_.size(),
-                 "machine id out of range");
-  return machines_[id.value()];
+Machine PhysicalPool::MachineById(MachineId id) const {
+  return machines_.at(id);
 }
 
 bool PhysicalPool::HasEligibleMachine(const workload::JobSpec& spec,
@@ -76,7 +74,7 @@ bool PhysicalPool::HasEligibleMachine(const workload::JobSpec& spec,
                                        require_online);
 }
 
-void PhysicalPool::StartOn(Job& job, Machine& machine, Ticks now) {
+void PhysicalPool::StartOn(Job job, Machine machine, Ticks now) {
   machine.Claim(job.spec().cores, job.spec().memory_mb);
   AddRunningIndexed(machine, job);
   ReindexFree(machine);
@@ -86,7 +84,7 @@ void PhysicalPool::StartOn(Job& job, Machine& machine, Ticks now) {
   if (observer_ != nullptr) observer_->OnJobStarted(job);
 }
 
-void PhysicalPool::ResumeOn(Job& job, Machine& machine, Ticks now) {
+void PhysicalPool::ResumeOn(Job job, Machine machine, Ticks now) {
   // A suspended job's memory may still be claimed from its suspension.
   machine.Claim(job.spec().cores,
                 suspended_holds_memory_ ? 0 : job.spec().memory_mb);
@@ -148,7 +146,7 @@ std::int64_t PhysicalPool::MinWaitingMemoryFloor() const {
   return std::numeric_limits<std::int64_t>::max();
 }
 
-void PhysicalPool::Enqueue(Job& job, Ticks now) {
+void PhysicalPool::Enqueue(Job job, Ticks now) {
   const WaitKey key{-job.priority(), next_wait_seq_++};
   waiting_.emplace(key,
                    WaitEntry{job.id(), job.spec().cores, job.spec().memory_mb});
@@ -231,7 +229,7 @@ bool PhysicalPool::PreemptionPlan(const Machine& machine,
          machine.memory_free_mb() + memory_gain >= spec.memory_mb;
 }
 
-PlaceResult PhysicalPool::TryPlace(Job& job, Ticks now, bool allow_queue,
+PlaceResult PhysicalPool::TryPlace(Job job, Ticks now, bool allow_queue,
                                    bool require_online) {
   PlaceResult result;
   const workload::JobSpec& spec = job.spec();
@@ -247,7 +245,7 @@ PlaceResult PhysicalPool::TryPlace(Job& job, Ticks now, bool allow_queue,
   // online machine the job fits, straight from the free-capacity index.
   const MachineId fit = free_index_.FirstFit(spec.cores, spec.memory_mb);
   if (fit.valid()) {
-    Machine& machine = machines_[fit.value()];
+    const Machine machine = machines_[fit.value()];
     StartOn(job, machine, now);
     result.outcome = PlaceOutcome::kStarted;
     result.machine = machine.id();
@@ -261,7 +259,7 @@ PlaceResult PhysicalPool::TryPlace(Job& job, Ticks now, bool allow_queue,
   // by word — visiting exactly the viable machines, in the original scan
   // order. The target is located read-only first: suspensions mutate the
   // registry the merge iterates.
-  Machine* target = nullptr;
+  MachineId target;
   {
     preempt_scratch_.clear();
     for (auto it = preemptible_.begin();
@@ -269,7 +267,7 @@ PlaceResult PhysicalPool::TryPlace(Job& job, Ticks now, bool allow_queue,
       if (it->second.count > 0) preempt_scratch_.push_back(&it->second);
     }
     for (std::size_t word = 0;
-         word < machine_words_ && target == nullptr &&
+         word < machine_words_ && !target.valid() &&
          !preempt_scratch_.empty();
          ++word) {
       std::uint64_t merged = 0;
@@ -280,35 +278,36 @@ PlaceResult PhysicalPool::TryPlace(Job& job, Ticks now, bool allow_queue,
         const MachineId::ValueType id =
             static_cast<MachineId::ValueType>(word * 64) +
             static_cast<MachineId::ValueType>(std::countr_zero(rest));
-        Machine& machine = machines_[id];
+        const Machine machine = machines_[id];
         if (CouldPreemptFor(machine, spec, job.priority())) {
-          target = &machine;
+          target = machine.id();
           break;
         }
       }
     }
   }
-  if (target != nullptr) {
+  if (target.valid()) {
+    Machine machine = machines_[target.value()];
     std::vector<JobId> victims;
     NETBATCH_CHECK(
-        PreemptionPlan(*target, spec, job.priority(), victims) &&
+        PreemptionPlan(machine, spec, job.priority(), victims) &&
             !victims.empty(),
         "preemption feasibility filter disagreed with the plan");
     for (JobId victim_id : victims) {
-      Job& victim = jobs_->at(victim_id);
-      RemoveRunningIndexed(*target, victim);
-      target->Release(victim.spec().cores,
+      Job victim = jobs_->at(victim_id);
+      RemoveRunningIndexed(machine, victim);
+      machine.Release(victim.spec().cores,
                       suspended_holds_memory_ ? 0 : victim.spec().memory_mb);
-      target->AddSuspended(victim_id);
+      machine.AddSuspended(victim_id);
       ++suspended_count_;
       busy_cores_ -= victim.spec().cores;
       victim.OnSuspended(now);
-      ReindexFree(*target);
+      ReindexFree(machine);
       if (observer_ != nullptr) observer_->OnJobSuspended(victim);
     }
-    StartOn(job, *target, now);
+    StartOn(job, machine, now);
     result.outcome = PlaceOutcome::kStarted;
-    result.machine = target->id();
+    result.machine = machine.id();
     result.suspended = std::move(victims);
     return result;
   }
@@ -324,10 +323,10 @@ PlaceResult PhysicalPool::TryPlace(Job& job, Ticks now, bool allow_queue,
   return result;
 }
 
-void PhysicalPool::SuspendRunning(Job& job, Ticks now) {
+void PhysicalPool::SuspendRunning(Job job, Ticks now) {
   NETBATCH_CHECK(job.state() == JobState::kRunning && job.pool() == id_,
                  "suspending a job not running in this pool");
-  Machine& machine = MachineById(job.machine());
+  Machine machine = MachineById(job.machine());
   RemoveRunningIndexed(machine, job);
   machine.Release(job.spec().cores,
                   suspended_holds_memory_ ? 0 : job.spec().memory_mb);
@@ -339,10 +338,10 @@ void PhysicalPool::SuspendRunning(Job& job, Ticks now) {
   if (observer_ != nullptr) observer_->OnJobSuspended(job);
 }
 
-bool PhysicalPool::TryResume(Job& job, Ticks now) {
+bool PhysicalPool::TryResume(Job job, Ticks now) {
   NETBATCH_CHECK(job.state() == JobState::kSuspended && job.pool() == id_,
                  "resuming a job not suspended in this pool");
-  Machine& machine = MachineById(job.machine());
+  Machine machine = MachineById(job.machine());
   if (!machine.online()) return false;
   if (!machine.Fits(job.spec().cores,
                     suspended_holds_memory_ ? 0 : job.spec().memory_mb)) {
@@ -361,10 +360,10 @@ void PhysicalPool::RemoveFromQueue(JobId job) {
   waiting_index_.erase(it);
 }
 
-MachineId PhysicalPool::DetachSuspended(Job& job) {
+MachineId PhysicalPool::DetachSuspended(Job job) {
   NETBATCH_CHECK(job.state() == JobState::kSuspended,
                  "detaching a non-suspended job");
-  Machine& machine = MachineById(job.machine());
+  Machine machine = MachineById(job.machine());
   machine.RemoveSuspended(job.id());
   --suspended_count_;
   if (suspended_holds_memory_) {
@@ -374,7 +373,7 @@ MachineId PhysicalPool::DetachSuspended(Job& job) {
   return machine.id();
 }
 
-JobId PhysicalPool::ScheduleNextOn(Machine& machine, Ticks now) {
+JobId PhysicalPool::ScheduleNextOn(Machine machine, Ticks now) {
   // Best suspended job parked on this machine that fits again. Equal
   // priorities resume the longest-suspended job first (total accumulated
   // suspension, settled spells plus the current one) — breaking ties by
@@ -431,7 +430,7 @@ JobId PhysicalPool::ScheduleNextOn(Machine& machine, Ticks now) {
     return best_suspended;
   }
   if (best_waiting.valid()) {
-    Job& job = jobs_->at(best_waiting);
+    const Job job = jobs_->at(best_waiting);
     RemoveFromQueue(best_waiting);
     StartOn(job, machine, now);
     return best_waiting;
@@ -440,7 +439,7 @@ JobId PhysicalPool::ScheduleNextOn(Machine& machine, Ticks now) {
 }
 
 std::vector<JobId> PhysicalPool::Backfill(MachineId machine_id, Ticks now) {
-  Machine& machine = MachineById(machine_id);
+  Machine machine = MachineById(machine_id);
   if (!machine.online()) return {};
   std::vector<JobId> scheduled;
   while (true) {
@@ -454,12 +453,12 @@ std::vector<JobId> PhysicalPool::Backfill(MachineId machine_id, Ticks now) {
 std::vector<JobId> PhysicalPool::EvictMachine(MachineId machine_id,
                                               Ticks now) {
   (void)now;
-  Machine& machine = MachineById(machine_id);
+  Machine machine = MachineById(machine_id);
   NETBATCH_CHECK(machine.online(), "evicting an already-offline machine");
   std::vector<JobId> evicted;
   while (!machine.running().empty()) {
     const JobId id = machine.running().front();
-    Job& job = jobs_->at(id);
+    const Job job = jobs_->at(id);
     RemoveRunningIndexed(machine, job);
     machine.Release(job.spec().cores, job.spec().memory_mb);
     busy_cores_ -= job.spec().cores;
@@ -467,7 +466,7 @@ std::vector<JobId> PhysicalPool::EvictMachine(MachineId machine_id,
   }
   while (!machine.suspended().empty()) {
     const JobId id = machine.suspended().front();
-    Job& job = jobs_->at(id);
+    const Job job = jobs_->at(id);
     machine.RemoveSuspended(id);
     --suspended_count_;
     if (suspended_holds_memory_) machine.Release(0, job.spec().memory_mb);
@@ -481,7 +480,7 @@ std::vector<JobId> PhysicalPool::EvictMachine(MachineId machine_id,
 
 std::vector<JobId> PhysicalPool::RepairMachine(MachineId machine_id,
                                                Ticks now) {
-  Machine& machine = MachineById(machine_id);
+  Machine machine = MachineById(machine_id);
   NETBATCH_CHECK(!machine.online(), "repairing an online machine");
   machine.set_online(true);
   capacity_classes_.OnOnlineChanged(machine, true);
@@ -489,10 +488,10 @@ std::vector<JobId> PhysicalPool::RepairMachine(MachineId machine_id,
   return Backfill(machine_id, now);
 }
 
-std::vector<JobId> PhysicalPool::KillJob(Job& job, Ticks now,
+std::vector<JobId> PhysicalPool::KillJob(Job job, Ticks now,
                                          bool complete_by_twin) {
   NETBATCH_CHECK(job.pool() == id_, "killing a job parked in another pool");
-  const auto finish = [&](Job& victim) {
+  const auto finish = [&](Job victim) {
     if (complete_by_twin) {
       victim.OnCompletedByTwin(now);
     } else {
@@ -502,7 +501,7 @@ std::vector<JobId> PhysicalPool::KillJob(Job& job, Ticks now,
   std::vector<JobId> scheduled;
   switch (job.state()) {
     case JobState::kRunning: {
-      Machine& machine = MachineById(job.machine());
+      Machine machine = MachineById(job.machine());
       RemoveRunningIndexed(machine, job);
       machine.Release(job.spec().cores, job.spec().memory_mb);
       busy_cores_ -= job.spec().cores;
@@ -527,10 +526,10 @@ std::vector<JobId> PhysicalPool::KillJob(Job& job, Ticks now,
   return scheduled;
 }
 
-std::vector<JobId> PhysicalPool::OnJobCompleted(Job& job, Ticks now) {
+std::vector<JobId> PhysicalPool::OnJobCompleted(Job job, Ticks now) {
   NETBATCH_CHECK(job.state() == JobState::kRunning,
                  "completing a non-running job");
-  Machine& machine = MachineById(job.machine());
+  Machine machine = MachineById(job.machine());
   RemoveRunningIndexed(machine, job);
   machine.Release(job.spec().cores, job.spec().memory_mb);
   busy_cores_ -= job.spec().cores;

@@ -59,12 +59,12 @@ class PhysicalPool {
   // `suspended_holds_memory` / `local_resume_first`: host-level suspension
   // semantics (see ClusterConfig). `observer` (optional, must outlive the
   // pool) sees every start/resume/enqueue transition.
-  PhysicalPool(PoolId id, std::vector<Machine> machines, JobTable& jobs,
+  PhysicalPool(PoolId id, MachineArena machines, JobTable& jobs,
                bool suspended_holds_memory, bool local_resume_first = true,
                PoolObserver* observer = nullptr);
 
   PoolId id() const { return id_; }
-  const std::vector<Machine>& machines() const { return machines_; }
+  const MachineArena& machines() const { return machines_; }
   std::int64_t total_cores() const { return total_cores_; }
   std::int64_t busy_cores() const { return busy_cores_; }
   double Utilization() const {
@@ -93,7 +93,7 @@ class PhysicalPool {
   // manager's availability-aware dispatch pass (§2.1: jobs are distributed
   // "according to resource availability"). With require_online, the step-0
   // eligibility gate also demands an online machine (see above).
-  PlaceResult TryPlace(Job& job, Ticks now, bool allow_queue = true,
+  PlaceResult TryPlace(Job job, Ticks now, bool allow_queue = true,
                        bool require_online = false);
 
   // Suspends a running job in place without a preempting job — host-level /
@@ -105,24 +105,24 @@ class PhysicalPool {
   // that was just suspended, so the hole persists until the job resumes,
   // is rescheduled away, or its machine turns over. The caller cancels the
   // job's completion timer.
-  void SuspendRunning(Job& job, Ticks now);
+  void SuspendRunning(Job job, Ticks now);
 
   // Resumes a suspended job on its own machine if its demand fits right
   // now; returns false (no state change) otherwise. The caller re-arms the
   // completion timer on success.
-  bool TryResume(Job& job, Ticks now);
+  bool TryResume(Job job, Ticks now);
 
   // Removes a job from this pool's wait queue (wait-timeout rescheduling).
   void RemoveFromQueue(JobId job);
 
   // Detaches a suspended job from its machine (suspended-job rescheduling),
   // releasing any memory it still held. Returns the machine it was on.
-  MachineId DetachSuspended(Job& job);
+  MachineId DetachSuspended(Job job);
 
   // Releases `job`'s resources after completion and backfills the machine:
   // resumes/starts whatever now fits. Returns the jobs that (re)started,
   // in scheduling order; the caller schedules their completion events.
-  std::vector<JobId> OnJobCompleted(Job& job, Ticks now);
+  std::vector<JobId> OnJobCompleted(Job job, Ticks now);
 
   // Backfills one machine (used after DetachSuspended frees memory).
   std::vector<JobId> Backfill(MachineId machine, Ticks now);
@@ -133,7 +133,7 @@ class PhysicalPool {
   // `complete_by_twin` is set, OnCompletedByTwin (the original finishes
   // with its duplicate's result). Returns any jobs started/resumed by the
   // freed resources.
-  std::vector<JobId> KillJob(Job& job, Ticks now,
+  std::vector<JobId> KillJob(Job job, Ticks now,
                              bool complete_by_twin = false);
 
   // Machine outage support: takes the machine offline and detaches every
@@ -153,9 +153,10 @@ class PhysicalPool {
   // Fail-fast form: aborts on the first violated invariant.
   void CheckInvariants() const;
 
-  // Mutable machine access — for outage wiring and for corruption tests
-  // that desync a machine's accounting to prove the auditor fires.
-  Machine& MachineById(MachineId id);
+  // Machine lookup by id. The returned view is mutable — outage wiring and
+  // corruption tests use it to desync a machine's accounting and prove the
+  // auditor fires.
+  Machine MachineById(MachineId id) const;
 
  private:
   // Ordered wait-queue key: highest priority first, then FIFO.
@@ -172,17 +173,17 @@ class PhysicalPool {
     std::int64_t memory_mb = 0;
   };
 
-  void StartOn(Job& job, Machine& machine, Ticks now);
-  void ResumeOn(Job& job, Machine& machine, Ticks now);
-  void Enqueue(Job& job, Ticks now);
+  void StartOn(Job job, Machine machine, Ticks now);
+  void ResumeOn(Job job, Machine machine, Ticks now);
+  void Enqueue(Job job, Ticks now);
 
   // Index maintenance. ReindexFree re-syncs a machine's free-capacity entry
   // after any Claim/Release/online flip. The running-registry wrappers keep
   // the machine's running-class summary and the pool's preemptible registry
   // in lockstep with the job lists.
   void ReindexFree(const Machine& machine) { free_index_.Update(machine); }
-  void AddRunningIndexed(Machine& machine, const Job& job);
-  void RemoveRunningIndexed(Machine& machine, const Job& job);
+  void AddRunningIndexed(Machine machine, const Job& job);
+  void RemoveRunningIndexed(Machine machine, const Job& job);
   void ReindexPreemptible(const Machine& machine, std::int32_t before);
 
   // Step-2 candidate filter: exact feasibility of a preemption plan for
@@ -193,7 +194,7 @@ class PhysicalPool {
 
   // Picks and schedules the best candidate for `machine`; returns the job
   // started/resumed, or an invalid id when nothing fits.
-  JobId ScheduleNextOn(Machine& machine, Ticks now);
+  JobId ScheduleNextOn(Machine machine, Ticks now);
 
   // True when suspending lower-priority running work on `machine` could make
   // `spec` fit; fills `victims` with the chosen jobs (lowest priority first).
@@ -202,7 +203,7 @@ class PhysicalPool {
                       std::vector<JobId>& victims) const;
 
   PoolId id_;
-  std::vector<Machine> machines_;
+  MachineArena machines_;
   JobTable* jobs_;
   bool suspended_holds_memory_;
   bool local_resume_first_;

@@ -131,22 +131,22 @@ void NetBatchSimulation::Dispatch(const sim::Event& event) {
 
 // ---- sched::CoreHost ------------------------------------------------------
 
-void NetBatchSimulation::ArmCompletion(Job& job, Ticks duration) {
+void NetBatchSimulation::ArmCompletion(Job job, Ticks duration) {
   const sim::EventSeq seq =
       sim_.ScheduleAfter(duration, JobEvent(EventKind::kCompletion, job));
   job.set_pending_event(seq);
 }
 
-void NetBatchSimulation::CancelCompletion(Job& job) {
+void NetBatchSimulation::CancelCompletion(Job job) {
   sim_.Cancel(job.pending_event());
   job.set_pending_event(sim::kNoEvent);
 }
 
-void NetBatchSimulation::ArmWaitTimeout(Job& job, Ticks threshold) {
+void NetBatchSimulation::ArmWaitTimeout(Job job, Ticks threshold) {
   sim_.ScheduleAfter(threshold, JobEvent(EventKind::kWaitTimeout, job));
 }
 
-void NetBatchSimulation::ScheduleRestartDelivery(Job& job, PoolId target,
+void NetBatchSimulation::ScheduleRestartDelivery(Job job, PoolId target,
                                                  Ticks overhead) {
   sim::Event event = JobEvent(EventKind::kRestartDelivery, job);
   event.pool = target;

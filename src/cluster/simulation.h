@@ -187,10 +187,10 @@ class NetBatchSimulation final : public ClusterView,
   // a typed event on the simulator heap. The hook call sites inside the
   // core fix the event insertion sequence (and thus tie-breaking), so the
   // extraction preserves decisions bit for bit.
-  void ArmCompletion(Job& job, Ticks duration) override;
-  void CancelCompletion(Job& job) override;
-  void ArmWaitTimeout(Job& job, Ticks threshold) override;
-  void ScheduleRestartDelivery(Job& job, PoolId target,
+  void ArmCompletion(Job job, Ticks duration) override;
+  void CancelCompletion(Job job) override;
+  void ArmWaitTimeout(Job job, Ticks threshold) override;
+  void ScheduleRestartDelivery(Job job, PoolId target,
                                Ticks overhead) override;
   void OnJobTerminal(const Job& job) override;
 

@@ -33,12 +33,15 @@ SchedulerCore::SchedulerCore(const cluster::ClusterConfig& config,
   pools_.reserve(config.pools.size());
   for (std::size_t p = 0; p < config.pools.size(); ++p) {
     const PoolId pool_id(static_cast<PoolId::ValueType>(p));
-    std::vector<Machine> machines;
-    MachineId::ValueType next_machine = 0;
+    cluster::MachineArena machines(pool_id, jobs_);
+    std::size_t machine_count = 0;
+    for (const MachineGroupConfig& group : config.pools[p].machine_groups) {
+      machine_count += static_cast<std::size_t>(std::max(group.count, 0));
+    }
+    machines.Reserve(machine_count);
     for (const MachineGroupConfig& group : config.pools[p].machine_groups) {
       for (std::int32_t i = 0; i < group.count; ++i) {
-        machines.emplace_back(MachineId(next_machine++), pool_id, group.cores,
-                              group.memory_mb, group.speed, group.owner);
+        machines.Add(group.cores, group.memory_mb, group.speed, group.owner);
       }
     }
     NETBATCH_CHECK(!machines.empty(), "pool without machines");
@@ -69,6 +72,9 @@ SchedulerCore::SchedulerCore(const cluster::ClusterConfig& config,
   hot_.busy_cores = &counters_.GetGauge("cluster.busy_cores");
   hot_.suspended_jobs = &counters_.GetGauge("cluster.suspended_jobs");
   hot_.waiting_jobs = &counters_.GetGauge("cluster.waiting_jobs");
+  hot_.bytes_jobs = &counters_.GetGauge("sim.bytes_jobs");
+  hot_.bytes_machines = &counters_.GetGauge("sim.bytes_machines");
+  hot_.job_slots_free = &counters_.GetGauge("sim.job_slots_free");
 
   if (!options_.transfer_matrix.empty()) {
     NETBATCH_CHECK(options_.transfer_matrix.size() == pools_.size(),
@@ -88,7 +94,7 @@ void SchedulerCore::AddObserver(SimulationObserver* observer) {
   observers_.push_back(observer);
 }
 
-Job& SchedulerCore::AdmitJob(workload::JobSpec spec) {
+Job SchedulerCore::AdmitJob(workload::JobSpec spec) {
   for (PoolId pool : spec.candidate_pools) {
     NETBATCH_CHECK(pool.value() < pools_.size(),
                    "job references unknown pool");
@@ -100,7 +106,7 @@ Job& SchedulerCore::AdmitJob(workload::JobSpec spec) {
 
 bool SchedulerCore::Submit(JobId id, Ticks now) {
   now_ = now;
-  Job& job = jobs_.at(id);
+  Job job = jobs_.at(id);
   job.OnSubmitted(now_);
   hot_.submitted->Increment();
   const std::vector<PoolId> order = scheduler_->PoolOrder(job.spec(), *this);
@@ -117,7 +123,7 @@ bool SchedulerCore::Submit(JobId id, Ticks now) {
   return true;
 }
 
-bool SchedulerCore::OfferToPools(Job& job, const std::vector<PoolId>& order) {
+bool SchedulerCore::OfferToPools(Job job, const std::vector<PoolId>& order) {
   if (options_.dispatch_mode == DispatchMode::kPreferImmediateStart) {
     // First pass: any pool that can start (or preempt for) the job now.
     for (PoolId pool_id : order) {
@@ -163,7 +169,7 @@ bool SchedulerCore::OfferToPools(Job& job, const std::vector<PoolId>& order) {
   return false;
 }
 
-void SchedulerCore::HandlePlaceResult(Job& job, PoolId pool,
+void SchedulerCore::HandlePlaceResult(Job job, PoolId pool,
                                       const PlaceResult& result) {
   (void)pool;
   switch (result.outcome) {
@@ -179,7 +185,7 @@ void SchedulerCore::HandlePlaceResult(Job& job, PoolId pool,
   }
 }
 
-void SchedulerCore::ScheduleCompletion(Job& job) {
+void SchedulerCore::ScheduleCompletion(Job job) {
   NETBATCH_CHECK(job.state() == JobState::kRunning,
                  "scheduling completion of a non-running job");
   host_->ArmCompletion(job, job.TicksToCompletion(job.run_speed()));
@@ -197,13 +203,13 @@ void SchedulerCore::HandleVictims(const std::vector<JobId>& victims) {
     host_->CancelCompletion(jobs_.at(victim_id));
   }
   for (JobId victim_id : victims) {
-    Job& victim = jobs_.at(victim_id);
+    Job victim = jobs_.at(victim_id);
     if (victim.state() != JobState::kSuspended) continue;  // already resumed
     ConsultPolicyOnSuspension(victim);
   }
 }
 
-void SchedulerCore::ConsultPolicyOnSuspension(Job& victim) {
+void SchedulerCore::ConsultPolicyOnSuspension(Job victim) {
   // Duplicates never spawn further copies or restart: their race with the
   // original resolves on whichever side finishes first.
   if (victim.is_duplicate()) return;
@@ -219,7 +225,7 @@ void SchedulerCore::ConsultPolicyOnSuspension(Job& victim) {
 
 bool SchedulerCore::Complete(JobId id, std::uint64_t stamp, Ticks now) {
   now_ = now;
-  Job& job = jobs_.at(id);
+  Job job = jobs_.at(id);
   if (!job.GenerationIs(stamp)) {
     return false;  // stale: the job was preempted or rescheduled meanwhile
   }
@@ -240,7 +246,7 @@ bool SchedulerCore::Complete(JobId id, std::uint64_t stamp, Ticks now) {
 
 bool SchedulerCore::Suspend(JobId id, Ticks now) {
   now_ = now;
-  Job& job = jobs_.at(id);
+  Job job = jobs_.at(id);
   if (job.state() != JobState::kRunning) return false;
   PhysicalPool& pool = *pools_[job.pool().value()];
   pool.SuspendRunning(job, now_);
@@ -253,7 +259,7 @@ bool SchedulerCore::Suspend(JobId id, Ticks now) {
 
 bool SchedulerCore::Resume(JobId id, Ticks now) {
   now_ = now;
-  Job& job = jobs_.at(id);
+  Job job = jobs_.at(id);
   if (job.state() != JobState::kSuspended) return false;
   PhysicalPool& pool = *pools_[job.pool().value()];
   if (!pool.TryResume(job, now_)) return false;
@@ -263,7 +269,7 @@ bool SchedulerCore::Resume(JobId id, Ticks now) {
 
 bool SchedulerCore::Kill(JobId id, Ticks now) {
   now_ = now;
-  Job& job = jobs_.at(id);
+  Job job = jobs_.at(id);
   if (job.twin().valid()) return false;  // let the twin race resolve itself
   std::vector<JobId> scheduled;
   switch (job.state()) {
@@ -318,14 +324,14 @@ SchedulerCore::Snapshot SchedulerCore::GetSnapshot() const {
   return snap;
 }
 
-void SchedulerCore::SpawnDuplicate(Job& original, PoolId target) {
+void SchedulerCore::SpawnDuplicate(Job original, PoolId target) {
   NETBATCH_CHECK(!original.is_duplicate(), "duplicating a duplicate");
   if (original.twin().valid()) return;  // a race is already in flight
 
   workload::JobSpec spec = original.spec();
   spec.id = JobId(next_duplicate_id_++);
   spec.candidate_pools = {target};
-  Job& duplicate = jobs_.Create(std::move(spec));
+  Job duplicate = jobs_.Create(std::move(spec));
   duplicate.MarkDuplicateOf(original.id());
   original.set_twin(duplicate.id());
   ++duplicate_count_;
@@ -344,11 +350,11 @@ void SchedulerCore::SpawnDuplicate(Job& original, PoolId target) {
   HandlePlaceResult(duplicate, target, result);
 }
 
-void SchedulerCore::ResolveTwinRace(Job& winner) {
-  Job& loser = jobs_.at(winner.twin());
+void SchedulerCore::ResolveTwinRace(Job winner) {
+  Job loser = jobs_.at(winner.twin());
   winner.set_twin(JobId());
   loser.set_twin(JobId());
-  Job& original = winner.is_duplicate() ? loser : winner;
+  Job original = winner.is_duplicate() ? loser : winner;
 
   host_->CancelCompletion(loser);
 
@@ -405,7 +411,7 @@ void SchedulerCore::FinishJobsScheduledBy(const std::vector<JobId>& scheduled) {
   }
 }
 
-void SchedulerCore::ArmWaitTimeout(Job& job) {
+void SchedulerCore::ArmWaitTimeout(Job job) {
   const std::optional<Ticks> threshold = policy_->WaitRescheduleThreshold();
   if (!threshold.has_value()) return;
   NETBATCH_CHECK(*threshold > 0, "wait-reschedule threshold must be positive");
@@ -416,7 +422,7 @@ void SchedulerCore::ArmWaitTimeout(Job& job) {
 
 void SchedulerCore::OnWaitTimeout(JobId id, std::uint64_t stamp, Ticks now) {
   now_ = now;
-  Job& job = jobs_.at(id);
+  Job job = jobs_.at(id);
   if (!job.GenerationIs(stamp)) {
     return;  // the job started, was moved, or completed meanwhile
   }
@@ -432,7 +438,7 @@ void SchedulerCore::OnWaitTimeout(JobId id, std::uint64_t stamp, Ticks now) {
   }
 }
 
-void SchedulerCore::RestartJob(Job& job, PoolId target,
+void SchedulerCore::RestartJob(Job job, PoolId target,
                                RescheduleReason reason) {
   NETBATCH_CHECK(target.value() < pools_.size(), "restart to unknown pool");
   const PoolId from = job.pool();
@@ -471,7 +477,7 @@ void SchedulerCore::RestartJob(Job& job, PoolId target,
 void SchedulerCore::DeliverRestart(JobId id, std::uint64_t stamp,
                                    PoolId target, Ticks now) {
   now_ = now;
-  Job& job = jobs_.at(id);
+  Job job = jobs_.at(id);
   if (!job.GenerationIs(stamp)) {
     return;  // the transit was superseded (e.g. the job's twin resolved)
   }
@@ -496,7 +502,7 @@ void SchedulerCore::FailMachine(PoolId pool_id, MachineId machine, Ticks now) {
   // through the virtual pool manager, like a rescheduling restart without a
   // chosen target.
   for (JobId id : evicted) {
-    Job& job = jobs_.at(id);
+    Job job = jobs_.at(id);
     host_->CancelCompletion(job);
     job.OnRestart(now_, job.pool(), options_.checkpoint_interval);
     ++eviction_count_;
@@ -561,6 +567,13 @@ void SchedulerCore::RefreshGauges(Ticks now) {
   hot_.busy_cores->Set(busy);
   hot_.suspended_jobs->Set(static_cast<std::int64_t>(SuspendedJobCount()));
   hot_.waiting_jobs->Set(static_cast<std::int64_t>(waiting));
+  std::size_t machine_bytes = 0;
+  for (const auto& pool : pools_) {
+    machine_bytes += pool->machines().MemoryBytes();
+  }
+  hot_.bytes_jobs->Set(static_cast<std::int64_t>(jobs_.MemoryBytes()));
+  hot_.bytes_machines->Set(static_cast<std::int64_t>(machine_bytes));
+  hot_.job_slots_free->Set(static_cast<std::int64_t>(jobs_.free_slot_count()));
 }
 
 void SchedulerCore::AuditInvariants(InvariantSink& sink, Ticks now) const {

@@ -46,20 +46,20 @@ class CoreHost {
   // `job` just started (or resumed) running; fire Complete(job, stamp) after
   // `duration` ticks unless the job transitions first. The host may record a
   // handle in job.set_pending_event() for eager cancellation.
-  virtual void ArmCompletion(cluster::Job& job, Ticks duration) = 0;
+  virtual void ArmCompletion(cluster::Job job, Ticks duration) = 0;
 
   // `job` lost its machine (preemption, twin race, eviction) — drop its
   // completion timer. Hosts with lazy timers only clear the job's handle.
-  virtual void CancelCompletion(cluster::Job& job) = 0;
+  virtual void CancelCompletion(cluster::Job job) = 0;
 
   // `job` queued in a pool and the policy wants a wait-timeout check
   // (OnWaitTimeout(job, stamp)) after `threshold` ticks.
-  virtual void ArmWaitTimeout(cluster::Job& job, Ticks threshold) = 0;
+  virtual void ArmWaitTimeout(cluster::Job job, Ticks threshold) = 0;
 
   // A rescheduling restart needs `overhead` ticks of transfer before
   // DeliverRestart(job, stamp, target) lands it. Zero-overhead restarts
   // never reach this hook — the core delivers them inline.
-  virtual void ScheduleRestartDelivery(cluster::Job& job, PoolId target,
+  virtual void ScheduleRestartDelivery(cluster::Job job, PoolId target,
                                        Ticks overhead) = 0;
 
   // `job` reached a terminal state (completed or rejected). The sim host
@@ -109,7 +109,7 @@ class SchedulerCore final : public cluster::ClusterView,
 
   // Registers a job in the table (validating its candidate pools) without
   // submitting it. Ids spawned for duplicates stay above every admitted id.
-  cluster::Job& AdmitJob(workload::JobSpec spec);
+  cluster::Job AdmitJob(workload::JobSpec spec);
 
   // --- the facade -----------------------------------------------------------
 
@@ -234,19 +234,19 @@ class SchedulerCore final : public cluster::ClusterView,
   void AuditTransition(PoolId pool);
 
   // Offers the job to pools in `order`; returns false if every pool refused.
-  bool OfferToPools(cluster::Job& job, const std::vector<PoolId>& order);
-  void HandlePlaceResult(cluster::Job& job, PoolId pool,
+  bool OfferToPools(cluster::Job job, const std::vector<PoolId>& order);
+  void HandlePlaceResult(cluster::Job job, PoolId pool,
                          const cluster::PlaceResult& result);
   void HandleVictims(const std::vector<JobId>& victims);
-  void ConsultPolicyOnSuspension(cluster::Job& victim);
-  void ScheduleCompletion(cluster::Job& job);
-  void ArmWaitTimeout(cluster::Job& job);
-  void RestartJob(cluster::Job& job, PoolId target,
+  void ConsultPolicyOnSuspension(cluster::Job victim);
+  void ScheduleCompletion(cluster::Job job);
+  void ArmWaitTimeout(cluster::Job job);
+  void RestartJob(cluster::Job job, PoolId target,
                   cluster::RescheduleReason reason);
   // Duplication extension: launch a copy of `original` in `target`; the
   // first of the pair to complete wins (ResolveTwinRace).
-  void SpawnDuplicate(cluster::Job& original, PoolId target);
-  void ResolveTwinRace(cluster::Job& winner);
+  void SpawnDuplicate(cluster::Job original, PoolId target);
+  void ResolveTwinRace(cluster::Job winner);
   void FinishJobsScheduledBy(const std::vector<JobId>& scheduled);
 
   cluster::JobTable jobs_;
@@ -277,6 +277,10 @@ class SchedulerCore final : public cluster::ClusterView,
     Gauge* busy_cores = nullptr;
     Gauge* suspended_jobs = nullptr;
     Gauge* waiting_jobs = nullptr;
+    // Arena footprint gauges (resident column bytes + free job slots).
+    Gauge* bytes_jobs = nullptr;
+    Gauge* bytes_machines = nullptr;
+    Gauge* job_slots_free = nullptr;
   };
   HotCounters hot_;
 

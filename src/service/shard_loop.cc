@@ -127,16 +127,16 @@ void ShardLoop::PushTimer(TimerKind kind, const cluster::Job& job, Ticks delay,
   timers_.push(timer);
 }
 
-void ShardLoop::ArmCompletion(cluster::Job& job, Ticks duration) {
+void ShardLoop::ArmCompletion(cluster::Job job, Ticks duration) {
   if (!options_.auto_complete) return;  // the client owns completion
   PushTimer(TimerKind::kCompletion, job, duration);
 }
 
-void ShardLoop::ArmWaitTimeout(cluster::Job& job, Ticks threshold) {
+void ShardLoop::ArmWaitTimeout(cluster::Job job, Ticks threshold) {
   PushTimer(TimerKind::kWaitTimeout, job, threshold);
 }
 
-void ShardLoop::ScheduleRestartDelivery(cluster::Job& job, PoolId target,
+void ShardLoop::ScheduleRestartDelivery(cluster::Job job, PoolId target,
                                         Ticks overhead) {
   PushTimer(TimerKind::kDelivery, job, overhead, target);
 }
@@ -605,7 +605,7 @@ void ShardLoop::HandleJobOp(std::uint32_t origin, std::uint64_t token,
       status = Status::kUnknownJob;
     } else {
       const Ticks now = NowTicks();
-      cluster::Job& job = core_.jobs().at(id);
+      const cluster::Job job = core_.jobs().at(id);
       switch (opcode) {
         case Opcode::kComplete:
           if (job.state() != cluster::JobState::kRunning) {

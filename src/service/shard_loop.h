@@ -186,12 +186,12 @@ class ShardLoop final : private sched::CoreHost,
   }
 
   // sched::CoreHost — deferred work becomes stamped wall-clock timers.
-  void ArmCompletion(cluster::Job& job, Ticks duration) override;
-  void CancelCompletion(cluster::Job& job) override {
+  void ArmCompletion(cluster::Job job, Ticks duration) override;
+  void CancelCompletion(cluster::Job job) override {
     (void)job;  // lazy: the generation bump already invalidated the timer
   }
-  void ArmWaitTimeout(cluster::Job& job, Ticks threshold) override;
-  void ScheduleRestartDelivery(cluster::Job& job, PoolId target,
+  void ArmWaitTimeout(cluster::Job job, Ticks threshold) override;
+  void ScheduleRestartDelivery(cluster::Job job, PoolId target,
                                Ticks overhead) override;
   // Drains the job's latency-map entry (kill/reject before start would
   // otherwise leak it) and queues the slot for reclamation.

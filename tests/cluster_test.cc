@@ -25,8 +25,22 @@ workload::JobSpec Spec(JobId::ValueType id, std::int32_t cores = 1,
 
 // --- machine ---------------------------------------------------------------
 
+// One-machine arena plus the job arena its registries link through.
+struct MachineFixture {
+  explicit MachineFixture(std::int32_t cores = 8,
+                          std::int64_t memory_mb = 8192)
+      : machines(PoolId(0), jobs) {
+    id = machines.Add(cores, memory_mb, 1.0);
+  }
+  Machine machine() const { return machines.at(id); }
+  JobTable jobs;
+  MachineArena machines;
+  MachineId id;
+};
+
 TEST(MachineTest, TracksFreeResources) {
-  Machine machine(MachineId(0), PoolId(0), 8, 32768, 1.0);
+  MachineFixture fixture(8, 32768);
+  Machine machine = fixture.machine();
   EXPECT_TRUE(machine.Fits(8, 32768));
   machine.Claim(3, 10000);
   EXPECT_EQ(machine.cores_free(), 5);
@@ -39,7 +53,8 @@ TEST(MachineTest, TracksFreeResources) {
 }
 
 TEST(MachineTest, EligibilityIsCapacityNotAvailability) {
-  Machine machine(MachineId(0), PoolId(0), 4, 8192, 1.0);
+  MachineFixture fixture(4, 8192);
+  Machine machine = fixture.machine();
   machine.Claim(4, 8192);
   EXPECT_TRUE(machine.Eligible(4, 8192));   // could run it when empty
   EXPECT_FALSE(machine.Eligible(5, 1));     // can never run it
@@ -47,27 +62,36 @@ TEST(MachineTest, EligibilityIsCapacityNotAvailability) {
 }
 
 TEST(MachineTest, OverclaimAborts) {
-  Machine machine(MachineId(0), PoolId(0), 2, 1024, 1.0);
+  MachineFixture fixture(2, 1024);
+  Machine machine = fixture.machine();
   EXPECT_DEATH(machine.Claim(3, 1), "more resources than free");
 }
 
 TEST(MachineTest, OverreleaseAborts) {
-  Machine machine(MachineId(0), PoolId(0), 2, 1024, 1.0);
+  MachineFixture fixture(2, 1024);
+  Machine machine = fixture.machine();
   EXPECT_DEATH(machine.Release(1, 0), "more resources than were claimed");
 }
 
 TEST(MachineTest, JobRegistriesAddAndRemove) {
-  Machine machine(MachineId(0), PoolId(0), 8, 8192, 1.0);
+  MachineFixture fixture;
+  fixture.jobs.Create(Spec(1));
+  fixture.jobs.Create(Spec(2));
+  Machine machine = fixture.machine();
   machine.AddRunning(JobId(1), /*priority=*/0, /*cores=*/2, /*memory_mb=*/512);
   machine.AddRunning(JobId(2), /*priority=*/10, /*cores=*/1, /*memory_mb=*/256);
   machine.RemoveRunning(JobId(1), 0, 2, 512);
   ASSERT_EQ(machine.running().size(), 1u);
-  EXPECT_EQ(machine.running()[0], JobId(2));
+  EXPECT_EQ(machine.running().front(), JobId(2));
   EXPECT_DEATH(machine.RemoveRunning(JobId(1), 10, 1, 256), "not registered");
 }
 
 TEST(MachineTest, RunningClassSummaryTracksPrioritiesAndReclaim) {
-  Machine machine(MachineId(0), PoolId(0), 8, 8192, 1.0);
+  MachineFixture fixture;
+  fixture.jobs.Create(Spec(1));
+  fixture.jobs.Create(Spec(2));
+  fixture.jobs.Create(Spec(3));
+  Machine machine = fixture.machine();
   EXPECT_EQ(machine.lowest_running_priority(), Machine::kNoRunningPriority);
   machine.AddRunning(JobId(1), /*priority=*/10, /*cores=*/2, /*memory_mb=*/512);
   EXPECT_EQ(machine.lowest_running_priority(), 10);
@@ -97,7 +121,8 @@ TEST(MachineTest, RunningClassSummaryTracksPrioritiesAndReclaim) {
 // --- job lifecycle accounting -------------------------------------------------
 
 TEST(JobTest, PlainRunAccountsExecutionOnly) {
-  Job job(Spec(0));
+  JobTable jobs;
+  Job job = jobs.Create(Spec(0));
   job.OnSubmitted(100);
   job.OnStarted(100, MachineId(0), 1.0);
   const Ticks done = 100 + job.TicksToCompletion(1.0);
@@ -111,16 +136,18 @@ TEST(JobTest, PlainRunAccountsExecutionOnly) {
 }
 
 TEST(JobTest, SpeedShortensWallClock) {
-  Job job(Spec(0, 1, 1024, MinutesToTicks(100)));
+  JobTable jobs;
+  Job job = jobs.Create(Spec(0, 1, 1024, MinutesToTicks(100)));
   EXPECT_EQ(job.TicksToCompletion(2.0), MinutesToTicks(50));
   EXPECT_EQ(job.TicksToCompletion(0.5), MinutesToTicks(200));
   // Rounding never yields zero.
-  Job tiny(Spec(1, 1, 1024, 1));
+  Job tiny = jobs.Create(Spec(1, 1, 1024, 1));
   EXPECT_EQ(tiny.TicksToCompletion(10.0), 1);
 }
 
 TEST(JobTest, WaitingTimeAccrues) {
-  Job job(Spec(0));
+  JobTable jobs;
+  Job job = jobs.Create(Spec(0));
   job.OnSubmitted(0);
   job.OnEnqueued(0, PoolId(2));
   job.OnStarted(600, MachineId(1), 1.0);
@@ -129,7 +156,8 @@ TEST(JobTest, WaitingTimeAccrues) {
 }
 
 TEST(JobTest, SuspendResumeAccountsProgressAndSuspension) {
-  Job job(Spec(0, 1, 1024, MinutesToTicks(100)));
+  JobTable jobs;
+  Job job = jobs.Create(Spec(0, 1, 1024, MinutesToTicks(100)));
   job.OnSubmitted(0);
   job.OnStarted(0, MachineId(0), 1.0);
   job.OnSuspended(MinutesToTicks(40));
@@ -145,7 +173,8 @@ TEST(JobTest, SuspendResumeAccountsProgressAndSuspension) {
 }
 
 TEST(JobTest, RestartDiscardsProgressIntoReschedWaste) {
-  Job job(Spec(0, 1, 1024, MinutesToTicks(100)));
+  JobTable jobs;
+  Job job = jobs.Create(Spec(0, 1, 1024, MinutesToTicks(100)));
   job.OnSubmitted(0);
   job.OnStarted(0, MachineId(0), 1.0);
   job.OnSuspended(MinutesToTicks(30));
@@ -170,7 +199,8 @@ TEST(JobTest, RestartDiscardsProgressIntoReschedWaste) {
 }
 
 TEST(JobTest, RestartFromWaitingWastesNothing) {
-  Job job(Spec(0));
+  JobTable jobs;
+  Job job = jobs.Create(Spec(0));
   job.OnSubmitted(0);
   job.OnEnqueued(0, PoolId(0));
   job.OnRestart(MinutesToTicks(30), PoolId(1));
@@ -179,7 +209,8 @@ TEST(JobTest, RestartFromWaitingWastesNothing) {
 }
 
 TEST(JobTest, GenerationBumpsOnEveryTransition) {
-  Job job(Spec(0));
+  JobTable jobs;
+  Job job = jobs.Create(Spec(0));
   const auto g0 = job.generation();
   job.OnSubmitted(0);
   job.OnStarted(0, MachineId(0), 1.0);
@@ -190,7 +221,8 @@ TEST(JobTest, GenerationBumpsOnEveryTransition) {
 }
 
 TEST(JobTest, IllegalTransitionsAbort) {
-  Job job(Spec(0));
+  JobTable jobs;
+  Job job = jobs.Create(Spec(0));
   job.OnSubmitted(0);
   EXPECT_DEATH(job.OnSuspended(1), "non-running");
   EXPECT_DEATH(job.OnResumed(1), "non-suspended");
@@ -214,16 +246,16 @@ TEST(JobTableTest, CreateAndLookup) {
 struct PoolFixture {
   // Two 4-core/8GB machines plus one 16-core/64GB machine.
   PoolFixture(bool holds_memory = true, bool local_resume = true) {
-    std::vector<Machine> machines;
-    machines.emplace_back(MachineId(0), PoolId(0), 4, 8192, 1.0);
-    machines.emplace_back(MachineId(1), PoolId(0), 4, 8192, 1.0);
-    machines.emplace_back(MachineId(2), PoolId(0), 16, 65536, 1.0);
+    MachineArena machines(PoolId(0), jobs);
+    machines.Add(4, 8192, 1.0);
+    machines.Add(4, 8192, 1.0);
+    machines.Add(16, 65536, 1.0);
     pool = std::make_unique<PhysicalPool>(PoolId(0), std::move(machines),
                                           jobs, holds_memory, local_resume);
   }
 
-  Job& Add(workload::JobSpec spec) {
-    Job& job = jobs.Create(std::move(spec));
+  Job Add(workload::JobSpec spec) {
+    Job job = jobs.Create(std::move(spec));
     job.OnSubmitted(0);
     return job;
   }
@@ -234,7 +266,7 @@ struct PoolFixture {
 
 TEST(PoolTest, FirstFitPlacement) {
   PoolFixture fixture;
-  Job& job = fixture.Add(Spec(0, 2, 4096));
+  Job job = fixture.Add(Spec(0, 2, 4096));
   const PlaceResult result = fixture.pool->TryPlace(job, 0);
   EXPECT_EQ(result.outcome, PlaceOutcome::kStarted);
   EXPECT_EQ(result.machine, MachineId(0));  // first eligible available
@@ -245,7 +277,7 @@ TEST(PoolTest, FirstFitPlacement) {
 
 TEST(PoolTest, NotEligibleWhenNoMachineBigEnough) {
   PoolFixture fixture;
-  Job& job = fixture.Add(Spec(0, 32, 1024));
+  Job job = fixture.Add(Spec(0, 32, 1024));
   EXPECT_EQ(fixture.pool->TryPlace(job, 0).outcome,
             PlaceOutcome::kNotEligible);
   EXPECT_EQ(job.state(), JobState::kPending);
@@ -257,12 +289,12 @@ TEST(PoolTest, QueuesWhenBusy) {
   fixture.pool->TryPlace(fixture.Add(Spec(0, 4, 8192)), 0);
   fixture.pool->TryPlace(fixture.Add(Spec(1, 4, 8192)), 0);
   fixture.pool->TryPlace(fixture.Add(Spec(2, 16, 65536)), 0);
-  Job& queued = fixture.Add(Spec(3, 1, 1024));
+  Job queued = fixture.Add(Spec(3, 1, 1024));
   EXPECT_EQ(fixture.pool->TryPlace(queued, 0).outcome, PlaceOutcome::kQueued);
   EXPECT_EQ(queued.state(), JobState::kWaiting);
   EXPECT_EQ(fixture.pool->QueueLength(), 1u);
   // Probe mode refuses instead of queueing.
-  Job& probe = fixture.Add(Spec(4, 1, 1024));
+  Job probe = fixture.Add(Spec(4, 1, 1024));
   EXPECT_EQ(fixture.pool->TryPlace(probe, 0, /*allow_queue=*/false).outcome,
             PlaceOutcome::kNotEligible);
   EXPECT_EQ(probe.state(), JobState::kPending);
@@ -271,14 +303,14 @@ TEST(PoolTest, QueuesWhenBusy) {
 
 TEST(PoolTest, HighPriorityPreemptsLowerPriority) {
   PoolFixture fixture;
-  Job& low0 = fixture.Add(Spec(0, 4, 4096));
-  Job& low1 = fixture.Add(Spec(1, 4, 4096));
-  Job& low2 = fixture.Add(Spec(2, 16, 16384));
+  Job low0 = fixture.Add(Spec(0, 4, 4096));
+  Job low1 = fixture.Add(Spec(1, 4, 4096));
+  Job low2 = fixture.Add(Spec(2, 16, 16384));
   fixture.pool->TryPlace(low0, 0);
   fixture.pool->TryPlace(low1, 0);
   fixture.pool->TryPlace(low2, 0);
 
-  Job& high = fixture.Add(
+  Job high = fixture.Add(
       Spec(3, 4, 4096, MinutesToTicks(10), workload::kHighPriority));
   const PlaceResult result = fixture.pool->TryPlace(high, MinutesToTicks(5));
   EXPECT_EQ(result.outcome, PlaceOutcome::kStarted);
@@ -293,8 +325,8 @@ TEST(PoolTest, HighPriorityPreemptsLowerPriority) {
 TEST(PoolTest, PreemptionPrefersLeastProgress) {
   PoolFixture fixture;
   // Two low jobs on the big machine, started at different times.
-  Job& old_job = fixture.Add(Spec(0, 8, 16384));
-  Job& young_job = fixture.Add(Spec(1, 8, 16384));
+  Job old_job = fixture.Add(Spec(0, 8, 16384));
+  Job young_job = fixture.Add(Spec(1, 8, 16384));
   fixture.pool->TryPlace(fixture.Add(Spec(10, 4, 8192)), 0);  // fill m0
   fixture.pool->TryPlace(fixture.Add(Spec(11, 4, 8192)), 0);  // fill m1
   fixture.pool->TryPlace(old_job, 0);
@@ -304,7 +336,7 @@ TEST(PoolTest, PreemptionPrefersLeastProgress) {
   // attempt on suspension, so preemption compares attempt_executed_ticks,
   // both 0 here; tie keeps registry order -> old first. Instead give young
   // a later start by suspending+resuming it at t=50.)
-  Job& high = fixture.Add(
+  Job high = fixture.Add(
       Spec(2, 8, 16384, MinutesToTicks(10), workload::kHighPriority));
   const PlaceResult result =
       fixture.pool->TryPlace(high, MinutesToTicks(50));
@@ -317,14 +349,14 @@ TEST(PoolTest, PreemptionPrefersLeastProgress) {
 
 TEST(PoolTest, PreemptionSuspendsMultipleVictimsIfNeeded) {
   PoolFixture fixture;
-  Job& low0 = fixture.Add(Spec(0, 8, 8192));
-  Job& low1 = fixture.Add(Spec(1, 8, 8192));
+  Job low0 = fixture.Add(Spec(0, 8, 8192));
+  Job low1 = fixture.Add(Spec(1, 8, 8192));
   fixture.pool->TryPlace(fixture.Add(Spec(10, 4, 8192)), 0);
   fixture.pool->TryPlace(fixture.Add(Spec(11, 4, 8192)), 0);
   fixture.pool->TryPlace(low0, 0);
   fixture.pool->TryPlace(low1, 0);
 
-  Job& high = fixture.Add(
+  Job high = fixture.Add(
       Spec(2, 16, 16384, MinutesToTicks(10), workload::kHighPriority));
   const PlaceResult result = fixture.pool->TryPlace(high, 0);
   ASSERT_EQ(result.outcome, PlaceOutcome::kStarted);
@@ -339,7 +371,7 @@ TEST(PoolTest, EqualPriorityNeverPreempts) {
   fixture.pool->TryPlace(fixture.Add(Spec(0, 4, 8192)), 0);
   fixture.pool->TryPlace(fixture.Add(Spec(1, 4, 8192)), 0);
   fixture.pool->TryPlace(fixture.Add(Spec(2, 16, 65536)), 0);
-  Job& same = fixture.Add(Spec(3, 4, 8192));
+  Job same = fixture.Add(Spec(3, 4, 8192));
   EXPECT_EQ(fixture.pool->TryPlace(same, 0).outcome, PlaceOutcome::kQueued);
 }
 
@@ -349,11 +381,11 @@ TEST(PoolTest, SuspendedMemoryBlocksPreemptionWhenHeld) {
   fixture.pool->TryPlace(fixture.Add(Spec(10, 4, 8192)), 0);
   fixture.pool->TryPlace(fixture.Add(Spec(11, 4, 8192)), 0);
   // Low job occupying most of m2's memory.
-  Job& low = fixture.Add(Spec(0, 16, 60000));
+  Job low = fixture.Add(Spec(0, 16, 60000));
   fixture.pool->TryPlace(low, 0);
   // High job needing more memory than will be free (suspension keeps the
   // victim's memory resident) -> must queue, not preempt.
-  Job& high = fixture.Add(
+  Job high = fixture.Add(
       Spec(1, 4, 16384, MinutesToTicks(10), workload::kHighPriority));
   EXPECT_EQ(fixture.pool->TryPlace(high, 0).outcome, PlaceOutcome::kQueued);
   // With swap-out semantics the same preemption succeeds.
@@ -361,7 +393,7 @@ TEST(PoolTest, SuspendedMemoryBlocksPreemptionWhenHeld) {
   swapping.pool->TryPlace(swapping.Add(Spec(10, 4, 8192)), 0);
   swapping.pool->TryPlace(swapping.Add(Spec(11, 4, 8192)), 0);
   swapping.pool->TryPlace(swapping.Add(Spec(0, 16, 60000)), 0);
-  Job& high2 = swapping.Add(
+  Job high2 = swapping.Add(
       Spec(1, 4, 16384, MinutesToTicks(10), workload::kHighPriority));
   EXPECT_EQ(swapping.pool->TryPlace(high2, 0).outcome,
             PlaceOutcome::kStarted);
@@ -370,11 +402,11 @@ TEST(PoolTest, SuspendedMemoryBlocksPreemptionWhenHeld) {
 
 TEST(PoolTest, CompletionBackfillsFromQueue) {
   PoolFixture fixture;
-  Job& running = fixture.Add(Spec(0, 4, 8192));
+  Job running = fixture.Add(Spec(0, 4, 8192));
   fixture.pool->TryPlace(running, 0);
   fixture.pool->TryPlace(fixture.Add(Spec(1, 4, 8192)), 0);
   fixture.pool->TryPlace(fixture.Add(Spec(2, 16, 65536)), 0);
-  Job& waiting = fixture.Add(Spec(3, 2, 2048));
+  Job waiting = fixture.Add(Spec(3, 2, 2048));
   fixture.pool->TryPlace(waiting, 0);
   ASSERT_EQ(waiting.state(), JobState::kWaiting);
 
@@ -389,9 +421,9 @@ TEST(PoolTest, CompletionBackfillsFromQueue) {
 TEST(PoolTest, BackfillResumesSuspendedBeforeQueueWithLocalResume) {
   PoolFixture fixture(/*holds_memory=*/true, /*local_resume=*/true);
   // Low job on m0, then preempt it with a high job.
-  Job& low = fixture.Add(Spec(0, 4, 4096));
+  Job low = fixture.Add(Spec(0, 4, 4096));
   fixture.pool->TryPlace(low, 0);
-  Job& high = fixture.Add(
+  Job high = fixture.Add(
       Spec(1, 4, 4096, MinutesToTicks(10), workload::kHighPriority));
   // Fill other machines so the high job preempts on m0.
   fixture.pool->TryPlace(fixture.Add(Spec(10, 4, 8192)), 0);
@@ -400,7 +432,7 @@ TEST(PoolTest, BackfillResumesSuspendedBeforeQueueWithLocalResume) {
   ASSERT_EQ(low.state(), JobState::kSuspended);
 
   // A queued high-priority job is waiting too.
-  Job& queued_high = fixture.Add(
+  Job queued_high = fixture.Add(
       Spec(2, 4, 4096, MinutesToTicks(10), workload::kHighPriority));
   fixture.pool->TryPlace(queued_high, 0);
   ASSERT_EQ(queued_high.state(), JobState::kWaiting);
@@ -415,15 +447,15 @@ TEST(PoolTest, BackfillResumesSuspendedBeforeQueueWithLocalResume) {
 
 TEST(PoolTest, BackfillPrefersQueuedHighWithPriorityOrder) {
   PoolFixture fixture(/*holds_memory=*/true, /*local_resume=*/false);
-  Job& low = fixture.Add(Spec(0, 4, 4096));
+  Job low = fixture.Add(Spec(0, 4, 4096));
   fixture.pool->TryPlace(low, 0);
-  Job& high = fixture.Add(
+  Job high = fixture.Add(
       Spec(1, 4, 4096, MinutesToTicks(10), workload::kHighPriority));
   fixture.pool->TryPlace(fixture.Add(Spec(10, 4, 8192)), 0);
   fixture.pool->TryPlace(fixture.Add(Spec(11, 16, 65536)), 0);
   fixture.pool->TryPlace(high, 0);
   ASSERT_EQ(low.state(), JobState::kSuspended);
-  Job& queued_high = fixture.Add(
+  Job queued_high = fixture.Add(
       Spec(2, 4, 4096, MinutesToTicks(10), workload::kHighPriority));
   fixture.pool->TryPlace(queued_high, 0);
 
@@ -450,14 +482,14 @@ TEST(PoolTest, ResumePrefersLongestSuspendedAmongEqualPriority) {
                        workload::kHighPriority)),
       0);
 
-  Job& low_a = fixture.Add(Spec(0, 4, 4096, MinutesToTicks(1000)));
+  Job low_a = fixture.Add(Spec(0, 4, 4096, MinutesToTicks(1000)));
   fixture.pool->TryPlace(low_a, 0);  // m2, 12 cores left
-  Job& high1 = fixture.Add(
+  Job high1 = fixture.Add(
       Spec(2, 12, 16384, MinutesToTicks(20), workload::kHighPriority));
   fixture.pool->TryPlace(high1, 0);  // m2 now full
 
   // lowA's settled spell: preempted at t=10, resumed by backfill at t=15.
-  Job& high2 = fixture.Add(
+  Job high2 = fixture.Add(
       Spec(3, 4, 4096, MinutesToTicks(5), workload::kHighPriority));
   fixture.pool->TryPlace(high2, MinutesToTicks(10));
   ASSERT_EQ(low_a.state(), JobState::kSuspended);
@@ -466,13 +498,13 @@ TEST(PoolTest, ResumePrefersLongestSuspendedAmongEqualPriority) {
   EXPECT_EQ(low_a.suspend_ticks(), MinutesToTicks(5));
 
   fixture.pool->OnJobCompleted(high1, MinutesToTicks(20));
-  Job& low_b = fixture.Add(Spec(1, 8, 16384, MinutesToTicks(1000)));
+  Job low_b = fixture.Add(Spec(1, 8, 16384, MinutesToTicks(1000)));
   fixture.pool->TryPlace(low_b, MinutesToTicks(20));
   ASSERT_EQ(low_b.state(), JobState::kRunning);
 
   // A 16-core preemptor suspends both lows: lowB first (least attempt
   // progress), so the suspension registry reads [lowB, lowA].
-  Job& high3 = fixture.Add(
+  Job high3 = fixture.Add(
       Spec(4, 16, 16384, MinutesToTicks(5), workload::kHighPriority));
   fixture.pool->TryPlace(high3, MinutesToTicks(25));
   ASSERT_EQ(low_a.state(), JobState::kSuspended);
@@ -493,9 +525,9 @@ TEST(PoolTest, ResumePrefersLongestSuspendedAmongEqualPriority) {
 
 TEST(PoolTest, DetachSuspendedFreesHeldMemory) {
   PoolFixture fixture(/*holds_memory=*/true);
-  Job& low = fixture.Add(Spec(0, 4, 8000));
+  Job low = fixture.Add(Spec(0, 4, 8000));
   fixture.pool->TryPlace(low, 0);
-  Job& high = fixture.Add(
+  Job high = fixture.Add(
       Spec(1, 4, 100, MinutesToTicks(10), workload::kHighPriority));
   fixture.pool->TryPlace(fixture.Add(Spec(10, 4, 8192)), 0);
   fixture.pool->TryPlace(fixture.Add(Spec(11, 16, 65536)), 0);
@@ -520,12 +552,12 @@ TEST(PoolTest, QueueOrderIsPriorityThenFifo) {
   // Saturate the pool.
   fixture.pool->TryPlace(fixture.Add(Spec(10, 4, 8192)), 0);
   fixture.pool->TryPlace(fixture.Add(Spec(11, 4, 8192)), 0);
-  Job& big = fixture.Add(Spec(12, 16, 65536));
+  Job big = fixture.Add(Spec(12, 16, 65536));
   fixture.pool->TryPlace(big, 0);
 
-  Job& low_a = fixture.Add(Spec(0, 1, 512));
-  Job& low_b = fixture.Add(Spec(1, 1, 512));
-  Job& high_c = fixture.Add(
+  Job low_a = fixture.Add(Spec(0, 1, 512));
+  Job low_b = fixture.Add(Spec(1, 1, 512));
+  Job high_c = fixture.Add(
       Spec(2, 1, 512, MinutesToTicks(10), workload::kHighPriority));
   fixture.pool->TryPlace(low_a, 1);
   fixture.pool->TryPlace(low_b, 2);

@@ -2,6 +2,7 @@
 // policy factory.
 #include <gtest/gtest.h>
 
+#include "cluster/job_table.h"
 #include "core/policies.h"
 #include "core/pool_selector.h"
 
@@ -34,11 +35,13 @@ class FakeView final : public cluster::ClusterView {
 };
 
 cluster::Job MakeJob(std::vector<PoolId> candidates = {}) {
+  static cluster::JobTable table;
+  static int next_id = 0;
   workload::JobSpec spec;
-  spec.id = JobId(0);
+  spec.id = JobId(next_id++);
   spec.runtime = 600;
   spec.candidate_pools = std::move(candidates);
-  return cluster::Job(spec);
+  return table.Create(spec);
 }
 
 TEST(EligibleCandidatePoolsTest, FiltersIneligiblePools) {

@@ -149,11 +149,46 @@ TEST(JobTableReclaimTest, ReusedSlotGenerationExceedsEveryOldStamp) {
   const std::uint64_t old_generation = table.at(JobId(7)).generation();
   table.Erase(JobId(7));
 
-  cluster::Job& reused = table.Create(TableSpec(8));
+  cluster::Job reused = table.Create(TableSpec(8));
   // A stale timer stamped with any of the old occupant's generations must
   // never match the new job.
   EXPECT_GT(reused.generation(), old_generation);
   EXPECT_EQ(table.live_size(), 1u);
+}
+
+TEST(JobTableReclaimTest, SparseIdsShareTheFreeListWithDenseIds) {
+  // Ids past the dense cap live in the hash-map side of the index but park
+  // their slots on the same free list as dense ids, with the same
+  // generation floor on reuse.
+  cluster::JobTable table;
+  table.EnableReclamation();
+  constexpr std::uint64_t kSparseId = (1u << 24) + 17;  // >= kDenseCap
+  table.Create(TableSpec(kSparseId));
+  EXPECT_TRUE(table.Contains(JobId(kSparseId)));
+  table.at(JobId(kSparseId)).EnsureGenerationAtLeast(9);
+  const std::uint64_t old_generation = table.at(JobId(kSparseId)).generation();
+  table.Erase(JobId(kSparseId));
+  EXPECT_FALSE(table.Contains(JobId(kSparseId)));
+  EXPECT_EQ(table.reclaimed_count(), 1u);
+  EXPECT_EQ(table.live_size(), 0u);
+
+  // A dense-id Create reuses the sparse job's parked slot, and its
+  // generation clears every stamp the old occupant handed out.
+  cluster::Job reused = table.Create(TableSpec(3));
+  EXPECT_EQ(table.size(), 1u);  // slot reused, not appended
+  EXPECT_EQ(table.live_size(), 1u);
+  EXPECT_GT(reused.generation(), old_generation);
+
+  // And a fresh sparse id can take a dense job's slot just the same —
+  // including reuse of the same sparse id after a kill-then-resubmit.
+  // (Views alias the slot, so snapshot the generation before the reuse.)
+  const std::uint64_t dense_generation = reused.generation();
+  table.Erase(JobId(3));
+  cluster::Job sparse_again = table.Create(TableSpec(kSparseId));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_TRUE(table.Contains(JobId(kSparseId)));
+  EXPECT_EQ(sparse_again.id(), JobId(kSparseId));
+  EXPECT_GT(sparse_again.generation(), dense_generation);
 }
 
 TEST(JobTableReclaimTest, WithoutEnableReclamationCreateAlwaysAppends) {

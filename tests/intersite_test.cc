@@ -113,7 +113,9 @@ TEST(CrossSiteSelectorTest, EscapesCandidateRestriction) {
   core::NoResPolicy policy;
   NetBatchSimulation sim(ThreePoolCluster(), trace, scheduler, policy);
   sim.simulator().ScheduleAt(MinutesToTicks(5), [&] {
-    Job probe(Spec(99, 0, 600, 1, workload::kLowPriority, {PoolId(0)}));
+    JobTable probe_table;
+    Job probe =
+        probe_table.Create(Spec(99, 0, 600, 1, workload::kLowPriority, {PoolId(0)}));
     probe.OnSubmitted(0);
     probe.set_pool(PoolId(0));
     EXPECT_FALSE(in_site.Select(probe, PoolId(0), sim).has_value());

@@ -1,6 +1,7 @@
 // Tests for the telemetry-driven load predictor and its selector.
 #include <gtest/gtest.h>
 
+#include "cluster/job_table.h"
 #include "cluster/simulation.h"
 #include "core/load_predictor.h"
 #include "core/policies.h"
@@ -36,10 +37,12 @@ class FakeView final : public cluster::ClusterView {
 };
 
 cluster::Job MakeJob() {
+  static cluster::JobTable table;
+  static int next_id = 0;
   workload::JobSpec spec;
-  spec.id = JobId(0);
+  spec.id = JobId(next_id++);
   spec.runtime = 600;
-  return cluster::Job(spec);
+  return table.Create(spec);
 }
 
 TEST(PoolLoadPredictorTest, FirstSampleInitializesState) {

@@ -32,11 +32,11 @@ ClusterConfig TwoMachineCluster() {
 
 TEST(OutageTest, EvictMachineDetachesEverything) {
   JobTable jobs;
-  std::vector<Machine> machines;
-  machines.emplace_back(MachineId(0), PoolId(0), 4, 16384, 1.0);
+  MachineArena machines(PoolId(0), jobs);
+  machines.Add(4, 16384, 1.0);
   PhysicalPool pool(PoolId(0), std::move(machines), jobs, true);
 
-  Job& running = jobs.Create(Spec(0, 0, MinutesToTicks(100), 2));
+  Job running = jobs.Create(Spec(0, 0, MinutesToTicks(100), 2));
   running.OnSubmitted(0);
   pool.TryPlace(running, 0);
   ASSERT_EQ(running.state(), JobState::kRunning);
@@ -48,7 +48,7 @@ TEST(OutageTest, EvictMachineDetachesEverything) {
   EXPECT_FALSE(pool.machines()[0].online());
 
   // Offline machine refuses placements...
-  Job& next = jobs.Create(Spec(1, 0, MinutesToTicks(10), 1));
+  Job next = jobs.Create(Spec(1, 0, MinutesToTicks(10), 1));
   next.OnSubmitted(0);
   running.OnRestart(MinutesToTicks(10), PoolId(0));
   EXPECT_EQ(pool.TryPlace(next, MinutesToTicks(10)).outcome,

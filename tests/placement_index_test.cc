@@ -6,9 +6,12 @@
 // backfill gate; (4) the cross-site widening of both paper selectors.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <string>
 #include <tuple>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/pool.h"
@@ -114,20 +117,90 @@ TEST_P(PlacementIndexFuzzTest, IncrementalIndexMatchesRebuildUnderChurn) {
   Rng rng(seed);
 
   JobTable jobs;
-  std::vector<Machine> machines;
-  for (MachineId::ValueType m = 0; m < 8; ++m) {
-    machines.emplace_back(MachineId(m), PoolId(0),
-                          static_cast<std::int32_t>(rng.UniformInt(2, 16)),
-                          rng.UniformInt(4096, 65536), 1.0);
+  MachineArena machines(PoolId(0), jobs);
+  for (int m = 0; m < 8; ++m) {
+    machines.Add(static_cast<std::int32_t>(rng.UniformInt(2, 16)),
+                 rng.UniformInt(4096, 65536), 1.0);
   }
   PhysicalPool pool(PoolId(0), std::move(machines), jobs, holds_memory,
                     local_resume);
+
+  std::unordered_map<JobId::ValueType, Ticks> submitted_at;
+  // Jobs pulled off a machine (evict/detach) but not yet restarted: their
+  // state still reads running/suspended while the registries no longer hold
+  // them, so the reference derivation below must skip them.
+  std::unordered_set<JobId::ValueType> in_limbo;
 
   const auto audit = [&](Ticks now, int step, const char* op) {
     CollectSink sink;
     pool.AuditInvariants(now, sink);
     ASSERT_TRUE(sink.violations.empty())
         << "step " << step << " after " << op << ": " << sink.Describe();
+
+    // Arena-vs-reference: re-derive every machine's registries from the job
+    // columns alone (state + machine id) and diff them against the intrusive
+    // lists threaded through the arena, counts and resources included.
+    std::vector<std::vector<JobId>> ref_running(pool.machines().size());
+    std::vector<std::vector<JobId>> ref_suspended(pool.machines().size());
+    for (const Job& job : jobs) {
+      if (in_limbo.contains(job.id().value())) continue;
+      if (job.state() == JobState::kRunning) {
+        ref_running[job.machine().value()].push_back(job.id());
+      } else if (job.state() == JobState::kSuspended) {
+        ref_suspended[job.machine().value()].push_back(job.id());
+      }
+    }
+    const auto sorted = [](std::vector<JobId> v) {
+      std::sort(v.begin(), v.end(),
+                [](JobId a, JobId b) { return a.value() < b.value(); });
+      return v;
+    };
+    for (const Machine& m : pool.machines()) {
+      std::vector<JobId> run;
+      for (JobId id : m.running()) run.push_back(id);
+      std::vector<JobId> susp;
+      for (JobId id : m.suspended()) susp.push_back(id);
+      ASSERT_EQ(run.size(), m.running().size())
+          << "step " << step << " after " << op << ": machine "
+          << m.id().value() << " running-list walk disagrees with its count";
+      ASSERT_EQ(susp.size(), m.suspended().size())
+          << "step " << step << " after " << op << ": machine "
+          << m.id().value() << " suspended-list walk disagrees with its count";
+      ASSERT_EQ(sorted(run), sorted(ref_running[m.id().value()]))
+          << "step " << step << " after " << op << ": machine "
+          << m.id().value() << " running list diverged from job state";
+      ASSERT_EQ(sorted(susp), sorted(ref_suspended[m.id().value()]))
+          << "step " << step << " after " << op << ": machine "
+          << m.id().value() << " suspended list diverged from job state";
+      std::int32_t cores_used = 0;
+      std::int64_t memory_used = 0;
+      for (JobId id : run) {
+        const Job& job = jobs.at(id);
+        cores_used += job.spec().cores;
+        memory_used += job.spec().memory_mb;
+      }
+      if (holds_memory) {
+        for (JobId id : susp) memory_used += jobs.at(id).spec().memory_mb;
+      }
+      ASSERT_EQ(m.cores_free(), m.cores_total() - cores_used)
+          << "step " << step << " after " << op << ": machine "
+          << m.id().value() << " free cores diverged from registry sum";
+      ASSERT_EQ(m.memory_free_mb(), m.memory_total_mb() - memory_used)
+          << "step " << step << " after " << op << ": machine "
+          << m.id().value() << " free memory diverged from registry sum";
+    }
+
+    // Accounting identity: a completed job's wall-clock lifetime — from the
+    // tick it was submitted to the tick it completed — splits exactly into
+    // the four accounted states.
+    for (const Job& job : jobs) {
+      if (job.state() != JobState::kCompleted) continue;
+      ASSERT_EQ(job.completion_time() - submitted_at[job.id().value()],
+                job.wait_ticks() + job.suspend_ticks() + job.executed_ticks() +
+                    job.transit_ticks())
+          << "step " << step << " after " << op << ": accounting identity "
+          << "broken for job " << job.id().value();
+    }
   };
 
   std::vector<JobId> live;  // running, waiting or suspended in this pool
@@ -136,7 +209,7 @@ TEST_P(PlacementIndexFuzzTest, IncrementalIndexMatchesRebuildUnderChurn) {
   constexpr workload::Priority kPriorities[] = {workload::kLowPriority, 5,
                                                 workload::kHighPriority};
 
-  const auto place = [&](Job& job, int step) {
+  const auto place = [&](Job job, int step) {
     const auto expected = ReferencePlace(pool, jobs, job.spec(),
                                          job.priority(), holds_memory);
     const PlaceResult result = pool.TryPlace(job, now);
@@ -161,14 +234,15 @@ TEST_P(PlacementIndexFuzzTest, IncrementalIndexMatchesRebuildUnderChurn) {
           Spec(next_id++, static_cast<std::int32_t>(rng.UniformInt(1, 8)),
                rng.UniformInt(256, 16384),
                kPriorities[rng.UniformIndex(3)]);
-      Job& job = jobs.Create(spec);
+      Job job = jobs.Create(spec);
       job.OnSubmitted(now);
+      submitted_at[job.id().value()] = now;
       place(job, step);
       audit(now, step, "place");
     } else if (action < 0.65 && !live.empty()) {
       // Complete a random running job (frees resources, backfills).
       const std::size_t pick = rng.UniformIndex(live.size());
-      Job& job = jobs.at(live[pick]);
+      Job job = jobs.at(live[pick]);
       if (job.state() == JobState::kRunning) {
         pool.OnJobCompleted(job, now);
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
@@ -177,7 +251,7 @@ TEST_P(PlacementIndexFuzzTest, IncrementalIndexMatchesRebuildUnderChurn) {
     } else if (action < 0.75 && !live.empty()) {
       // Kill a random job in whatever state it is parked.
       const std::size_t pick = rng.UniformIndex(live.size());
-      Job& job = jobs.at(live[pick]);
+      Job job = jobs.at(live[pick]);
       pool.KillJob(job, now);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
       audit(now, step, "kill");
@@ -187,11 +261,13 @@ TEST_P(PlacementIndexFuzzTest, IncrementalIndexMatchesRebuildUnderChurn) {
           rng.UniformIndex(pool.machines().size())));
       if (!pool.machines()[id.value()].online()) continue;
       const std::vector<JobId> evicted = pool.EvictMachine(id, now);
+      for (JobId jid : evicted) in_limbo.insert(jid.value());
       audit(now, step, "evict");
       for (JobId jid : evicted) {
         std::erase(live, jid);
-        Job& job = jobs.at(jid);
+        Job job = jobs.at(jid);
         job.OnRestart(now, PoolId(0));
+        in_limbo.erase(jid.value());
         place(job, step);
         audit(now, step, "evict-resubmit");
       }
@@ -208,13 +284,15 @@ TEST_P(PlacementIndexFuzzTest, IncrementalIndexMatchesRebuildUnderChurn) {
       // Reschedule: detach a suspended job or dequeue a waiter, restart it,
       // and place it again from scratch.
       const std::size_t pick = rng.UniformIndex(live.size());
-      Job& job = jobs.at(live[pick]);
+      Job job = jobs.at(live[pick]);
       if (job.state() == JobState::kSuspended) {
         const MachineId machine = pool.DetachSuspended(job);
+        in_limbo.insert(job.id().value());
         pool.Backfill(machine, now);
         audit(now, step, "detach");
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
         job.OnRestart(now, PoolId(0));
+        in_limbo.erase(job.id().value());
         place(job, step);
         audit(now, step, "detach-resubmit");
       } else if (job.state() == JobState::kWaiting) {
@@ -233,7 +311,7 @@ TEST_P(PlacementIndexFuzzTest, IncrementalIndexMatchesRebuildUnderChurn) {
   while (progress) {
     progress = false;
     for (std::size_t i = 0; i < live.size();) {
-      Job& job = jobs.at(live[i]);
+      Job job = jobs.at(live[i]);
       if (job.state() == JobState::kRunning) {
         now += 1;
         pool.OnJobCompleted(job, now);
@@ -263,12 +341,12 @@ INSTANTIATE_TEST_SUITE_P(
 // machine with a tighter fit must not steal the placement.
 TEST(PlacementOrderTest, FirstFitPrefersLowestMachineId) {
   JobTable jobs;
-  std::vector<Machine> machines;
-  machines.emplace_back(MachineId(0), PoolId(0), 16, 65536, 1.0);
-  machines.emplace_back(MachineId(1), PoolId(0), 4, 8192, 1.0);  // tight fit
+  MachineArena machines(PoolId(0), jobs);
+  machines.Add(16, 65536, 1.0);
+  machines.Add(4, 8192, 1.0);  // tight fit
   PhysicalPool pool(PoolId(0), std::move(machines), jobs, false);
 
-  Job& job = jobs.Create(Spec(0, 4, 8192));
+  Job job = jobs.Create(Spec(0, 4, 8192));
   job.OnSubmitted(0);
   const PlaceResult result = pool.TryPlace(job, 0);
   ASSERT_EQ(result.outcome, PlaceOutcome::kStarted);
@@ -279,22 +357,22 @@ TEST(PlacementOrderTest, FirstFitPrefersLowestMachineId) {
 // when a later machine could yield more cheaply.
 TEST(PlacementOrderTest, PreemptionPrefersLowestMachineId) {
   JobTable jobs;
-  std::vector<Machine> machines;
-  for (MachineId::ValueType m = 0; m < 3; ++m) {
-    machines.emplace_back(MachineId(m), PoolId(0), 4, 16384, 1.0);
+  MachineArena machines(PoolId(0), jobs);
+  for (int m = 0; m < 3; ++m) {
+    machines.Add(4, 16384, 1.0);
   }
   PhysicalPool pool(PoolId(0), std::move(machines), jobs, false);
 
   // Machine 0: high-priority work (cannot yield). Machines 1, 2: low.
   for (JobId::ValueType j = 0; j < 3; ++j) {
-    Job& job = jobs.Create(Spec(j, 4, 1024,
+    Job job = jobs.Create(Spec(j, 4, 1024,
                                 j == 0 ? workload::kHighPriority
                                        : workload::kLowPriority));
     job.OnSubmitted(0);
     ASSERT_EQ(pool.TryPlace(job, 0).outcome, PlaceOutcome::kStarted);
   }
 
-  Job& preemptor = jobs.Create(Spec(10, 4, 1024, workload::kHighPriority));
+  Job preemptor = jobs.Create(Spec(10, 4, 1024, workload::kHighPriority));
   preemptor.OnSubmitted(5);
   const PlaceResult result = pool.TryPlace(preemptor, 5);
   ASSERT_EQ(result.outcome, PlaceOutcome::kStarted);
@@ -330,20 +408,20 @@ class RecordingPoolObserver final : public PoolObserver {
 TEST(PoolObserverTest, PreemptionVictimsFireOnJobSuspended) {
   JobTable jobs;
   RecordingPoolObserver observer;
-  std::vector<Machine> machines;
-  machines.emplace_back(MachineId(0), PoolId(0), 4, 16384, 1.0);
+  MachineArena machines(PoolId(0), jobs);
+  machines.Add(4, 16384, 1.0);
   PhysicalPool pool(PoolId(0), std::move(machines), jobs, false, true,
                     &observer);
 
-  Job& victim_a = jobs.Create(Spec(0, 2, 1024));
-  Job& victim_b = jobs.Create(Spec(1, 2, 1024));
+  Job victim_a = jobs.Create(Spec(0, 2, 1024));
+  Job victim_b = jobs.Create(Spec(1, 2, 1024));
   victim_a.OnSubmitted(0);
   victim_b.OnSubmitted(0);
   ASSERT_EQ(pool.TryPlace(victim_a, 0).outcome, PlaceOutcome::kStarted);
   ASSERT_EQ(pool.TryPlace(victim_b, 0).outcome, PlaceOutcome::kStarted);
   observer.events.clear();
 
-  Job& preemptor = jobs.Create(Spec(2, 4, 1024, workload::kHighPriority));
+  Job preemptor = jobs.Create(Spec(2, 4, 1024, workload::kHighPriority));
   preemptor.OnSubmitted(10);
   const PlaceResult result = pool.TryPlace(preemptor, 10);
   ASSERT_EQ(result.outcome, PlaceOutcome::kStarted);
@@ -421,24 +499,24 @@ TEST(SimulationObserverTest, PreemptionsReachObservers) {
 
 TEST(BackfillGateTest, MemoryGateDoesNotSkipSchedulableWork) {
   JobTable jobs;
-  std::vector<Machine> machines;
-  machines.emplace_back(MachineId(0), PoolId(0), 4, 4096, 1.0);
+  MachineArena machines(PoolId(0), jobs);
+  machines.Add(4, 4096, 1.0);
   PhysicalPool pool(PoolId(0), std::move(machines), jobs, false);
 
   // Hog takes the whole machine; two jobs queue behind it. The queue's
   // core minimum (1) comes from the memory-heavy job, its memory minimum
   // (512) from the 2-core job — passing the gate must not imply a fit,
   // and failing jobs must not block the fitting one behind them.
-  Job& hog = jobs.Create(Spec(0, 4, 4096));
+  Job hog = jobs.Create(Spec(0, 4, 4096));
   hog.OnSubmitted(0);
   ASSERT_EQ(pool.TryPlace(hog, 0).outcome, PlaceOutcome::kStarted);
-  Job& memory_heavy = jobs.Create(Spec(1, 1, 32768));  // never fits: 32 GB
-  Job& small = jobs.Create(Spec(2, 2, 512));
+  Job memory_heavy = jobs.Create(Spec(1, 1, 32768));  // never fits: 32 GB
+  Job small = jobs.Create(Spec(2, 2, 512));
   memory_heavy.OnSubmitted(1);
   small.OnSubmitted(2);
   ASSERT_EQ(pool.TryPlace(memory_heavy, 1).outcome, PlaceOutcome::kNotEligible);
   ASSERT_EQ(pool.TryPlace(small, 2).outcome, PlaceOutcome::kQueued);
-  Job& medium = jobs.Create(Spec(3, 1, 2048));
+  Job medium = jobs.Create(Spec(3, 1, 2048));
   medium.OnSubmitted(3);
   ASSERT_EQ(pool.TryPlace(medium, 3).outcome, PlaceOutcome::kQueued);
 
@@ -454,16 +532,16 @@ TEST(BackfillGateTest, MemoryGateDoesNotSkipSchedulableWork) {
 
 TEST(BackfillGateTest, MemoryExhaustedMachineStartsNothing) {
   JobTable jobs;
-  std::vector<Machine> machines;
-  machines.emplace_back(MachineId(0), PoolId(0), 64, 4096, 1.0);
+  MachineArena machines(PoolId(0), jobs);
+  machines.Add(64, 4096, 1.0);
   PhysicalPool pool(PoolId(0), std::move(machines), jobs, false);
 
   // Hog claims all memory but leaves 62 idle cores.
-  Job& hog = jobs.Create(Spec(0, 2, 4096));
+  Job hog = jobs.Create(Spec(0, 2, 4096));
   hog.OnSubmitted(0);
   ASSERT_EQ(pool.TryPlace(hog, 0).outcome, PlaceOutcome::kStarted);
   for (JobId::ValueType j = 1; j <= 16; ++j) {
-    Job& waiter = jobs.Create(Spec(j, 1, 2048));
+    Job waiter = jobs.Create(Spec(j, 1, 2048));
     waiter.OnSubmitted(j);
     ASSERT_EQ(pool.TryPlace(waiter, j).outcome, PlaceOutcome::kQueued);
   }
@@ -520,7 +598,8 @@ TEST_P(CrossSiteBothSelectorsTest, CrossSiteEscapesCandidateRestriction) {
   sim.simulator().ScheduleAt(MinutesToTicks(5), [&] {
     workload::JobSpec probe_spec = Spec(99, 1, 1024);
     probe_spec.candidate_pools = {PoolId(0)};
-    Job probe(probe_spec);
+    JobTable probe_table;
+    Job probe = probe_table.Create(probe_spec);
     probe.OnSubmitted(0);
     probe.set_pool(PoolId(0));
     // Restricted to its saturated home pool, the in-site selector has

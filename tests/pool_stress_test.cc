@@ -38,11 +38,10 @@ TEST_P(PoolStressTest, InvariantsSurviveRandomOperationSequences) {
   Rng rng(seed);
 
   JobTable jobs;
-  std::vector<Machine> machines;
+  MachineArena machines(PoolId(0), jobs);
   for (MachineId::ValueType m = 0; m < 6; ++m) {
-    machines.emplace_back(MachineId(m), PoolId(0),
-                          static_cast<std::int32_t>(rng.UniformInt(2, 16)),
-                          rng.UniformInt(4096, 65536), 1.0);
+    machines.Add(static_cast<std::int32_t>(rng.UniformInt(2, 16)),
+                 rng.UniformInt(4096, 65536), 1.0);
   }
   PhysicalPool pool(PoolId(0), std::move(machines), jobs, holds_memory,
                     local_resume);
@@ -56,7 +55,7 @@ TEST_P(PoolStressTest, InvariantsSurviveRandomOperationSequences) {
     const double action = rng.NextDouble();
     if (action < 0.5) {
       // Submit a new job.
-      Job& job = jobs.Create(RandomSpec(rng, next_id++));
+      Job job = jobs.Create(RandomSpec(rng, next_id++));
       job.OnSubmitted(now);
       const PlaceResult result = pool.TryPlace(job, now);
       if (result.outcome != PlaceOutcome::kNotEligible) {
@@ -65,7 +64,7 @@ TEST_P(PoolStressTest, InvariantsSurviveRandomOperationSequences) {
     } else if (action < 0.8 && !live.empty()) {
       // Complete a random running job.
       const std::size_t pick = rng.UniformIndex(live.size());
-      Job& job = jobs.at(live[pick]);
+      Job job = jobs.at(live[pick]);
       if (job.state() == JobState::kRunning) {
         pool.OnJobCompleted(job, now);
         live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
@@ -73,7 +72,7 @@ TEST_P(PoolStressTest, InvariantsSurviveRandomOperationSequences) {
     } else if (!live.empty()) {
       // Detach-and-restart a random suspended job, or dequeue a waiter.
       const std::size_t pick = rng.UniformIndex(live.size());
-      Job& job = jobs.at(live[pick]);
+      Job job = jobs.at(live[pick]);
       if (job.state() == JobState::kSuspended) {
         pool.DetachSuspended(job);
         job.OnRestart(now, PoolId(0));
@@ -93,7 +92,7 @@ TEST_P(PoolStressTest, InvariantsSurviveRandomOperationSequences) {
   while (progress) {
     progress = false;
     for (std::size_t i = 0; i < live.size();) {
-      Job& job = jobs.at(live[i]);
+      Job job = jobs.at(live[i]);
       if (job.state() == JobState::kRunning) {
         now += 1;
         pool.OnJobCompleted(job, now);
