@@ -5,6 +5,8 @@
 // dynamic rescheduling policies on top of them.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -23,6 +25,18 @@ class InitialScheduler {
   // job's candidate pools (all pools when the candidate list is empty).
   virtual std::vector<PoolId> PoolOrder(const workload::JobSpec& spec,
                                         const ClusterView& view) = 0;
+
+  // Opaque decision-state capture for daemon checkpoint/restore. Stateless
+  // implementations keep the defaults (export nothing, accept only an
+  // empty blob); stateful ones override both so a restored daemon resumes
+  // the exact decision stream (RNG positions, cursors, caches).
+  virtual void ExportState(std::vector<std::uint8_t>& out) const {
+    (void)out;
+  }
+  virtual bool ImportState(const std::uint8_t* data, std::size_t size) {
+    (void)data;
+    return size == 0;
+  }
 };
 
 // A dynamic rescheduling policy (the paper's contribution, §3).
@@ -60,6 +74,15 @@ class ReschedulingPolicy {
   // the original stays suspended, and the first of the pair to finish wins
   // (the loser is killed and its execution counted as rescheduling waste).
   virtual bool DuplicateInsteadOfRestart() const { return false; }
+
+  // Opaque decision-state capture, mirroring InitialScheduler's pair.
+  virtual void ExportState(std::vector<std::uint8_t>& out) const {
+    (void)out;
+  }
+  virtual bool ImportState(const std::uint8_t* data, std::size_t size) {
+    (void)data;
+    return size == 0;
+  }
 };
 
 // Why a job was moved between pools.

@@ -313,6 +313,90 @@ class JobArena {
     return const_iterator(this, static_cast<std::uint32_t>(spec_.size()));
   }
 
+  // --- checkpoint/restore (service layer) -----------------------------------
+  // Column image of one job: everything AppendSlot initializes except the
+  // spec (carried separately), the pending simulator event (the daemon uses
+  // timers, not the event heap) and the intrusive machine-list links (the
+  // pool restore rebuilds those via AddRunning/AddSuspended).
+  struct RestoreImage {
+    JobState state = JobState::kPending;
+    PoolId pool;
+    MachineId machine;
+    double run_speed = 1.0;
+    Ticks remaining_work = 0;
+    Ticks state_since = 0;
+    Ticks completion_time = -1;
+    Ticks attempt_executed = 0;
+    Ticks attempt_work = 0;
+    Ticks wait_ticks = 0;
+    Ticks suspend_ticks = 0;
+    Ticks executed_ticks = 0;
+    Ticks resched_waste_ticks = 0;
+    Ticks transit_ticks = 0;
+    std::int32_t suspend_count = 0;
+    std::int32_t restart_count = 0;
+    std::uint8_t is_duplicate = 0;
+    JobId twin;
+    Ticks extra_waste_ticks = 0;
+    std::uint64_t generation = 0;
+  };
+
+  RestoreImage CaptureImage(JobId id) const {
+    const std::uint32_t slot = SlotOf(id);
+    RestoreImage image;
+    image.state = state_[slot];
+    image.pool = pool_[slot];
+    image.machine = machine_[slot];
+    image.run_speed = run_speed_[slot];
+    image.remaining_work = remaining_work_[slot];
+    image.state_since = state_since_[slot];
+    image.completion_time = completion_time_[slot];
+    image.attempt_executed = attempt_executed_[slot];
+    image.attempt_work = attempt_work_[slot];
+    image.wait_ticks = wait_ticks_[slot];
+    image.suspend_ticks = suspend_ticks_[slot];
+    image.executed_ticks = executed_ticks_[slot];
+    image.resched_waste_ticks = resched_waste_ticks_[slot];
+    image.transit_ticks = transit_ticks_[slot];
+    image.suspend_count = suspend_count_[slot];
+    image.restart_count = restart_count_[slot];
+    image.is_duplicate = is_duplicate_[slot];
+    image.twin = twin_[slot];
+    image.extra_waste_ticks = extra_waste_ticks_[slot];
+    image.generation = generation_[slot];
+    return image;
+  }
+
+  // Re-materializes a job from a captured image into a fresh arena slot.
+  // The generation is written verbatim — recovery runs in a new process,
+  // so no stale timer stamps from a previous occupant can exist — keeping
+  // WAL-replayed timer records matchable against the restored job.
+  Job RestoreJob(workload::JobSpec spec, const RestoreImage& image) {
+    Job job = Create(std::move(spec));
+    const std::uint32_t slot = job.slot();
+    state_[slot] = image.state;
+    pool_[slot] = image.pool;
+    machine_[slot] = image.machine;
+    run_speed_[slot] = image.run_speed;
+    remaining_work_[slot] = image.remaining_work;
+    state_since_[slot] = image.state_since;
+    completion_time_[slot] = image.completion_time;
+    attempt_executed_[slot] = image.attempt_executed;
+    attempt_work_[slot] = image.attempt_work;
+    wait_ticks_[slot] = image.wait_ticks;
+    suspend_ticks_[slot] = image.suspend_ticks;
+    executed_ticks_[slot] = image.executed_ticks;
+    resched_waste_ticks_[slot] = image.resched_waste_ticks;
+    transit_ticks_[slot] = image.transit_ticks;
+    suspend_count_[slot] = image.suspend_count;
+    restart_count_[slot] = image.restart_count;
+    is_duplicate_[slot] = image.is_duplicate;
+    twin_[slot] = image.twin;
+    extra_waste_ticks_[slot] = image.extra_waste_ticks;
+    generation_[slot] = image.generation;
+    return job;
+  }
+
   // Resident bytes of every column plus the id index and free list —
   // capacity, not size, so reserved-but-unused slots are charged too.
   // Shallow: a spec's candidate-pool vector is not followed.

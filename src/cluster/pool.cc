@@ -538,6 +538,62 @@ std::vector<JobId> PhysicalPool::OnJobCompleted(Job job, Ticks now) {
   return Backfill(machine.id(), now);
 }
 
+void PhysicalPool::RestoreRunning(Job job) {
+  NETBATCH_CHECK(job.state() == JobState::kRunning && job.pool() == id_,
+                 "restore-running job is not running in this pool");
+  Machine machine = MachineById(job.machine());
+  machine.Claim(job.spec().cores, job.spec().memory_mb);
+  AddRunningIndexed(machine, job);
+  ReindexFree(machine);
+  busy_cores_ += job.spec().cores;
+}
+
+void PhysicalPool::RestoreSuspended(Job job) {
+  NETBATCH_CHECK(job.state() == JobState::kSuspended && job.pool() == id_,
+                 "restore-suspended job is not suspended in this pool");
+  Machine machine = MachineById(job.machine());
+  if (suspended_holds_memory_) {
+    machine.Claim(0, job.spec().memory_mb);
+  }
+  machine.AddSuspended(job.id());
+  ++suspended_count_;
+  ReindexFree(machine);
+}
+
+void PhysicalPool::RestoreWaiting(Job job) {
+  NETBATCH_CHECK(job.state() == JobState::kWaiting && job.pool() == id_,
+                 "restore-waiting job is not waiting in this pool");
+  // Fresh seqs, assigned in snapshot order (the snapshot emits the queue in
+  // key order), preserve the exact relative FIFO order within a priority.
+  const WaitKey key{-job.priority(), next_wait_seq_++};
+  waiting_.emplace(key,
+                   WaitEntry{job.id(), job.spec().cores, job.spec().memory_mb});
+  waiting_index_.emplace(job.id(), key);
+  AddWaitingDemand(job.spec().cores, job.spec().memory_mb);
+}
+
+void PhysicalPool::RestoreOffline(MachineId machine_id) {
+  Machine machine = MachineById(machine_id);
+  NETBATCH_CHECK(machine.online(), "machine restored offline twice");
+  machine.set_online(false);
+  capacity_classes_.OnOnlineChanged(machine, false);
+  ReindexFree(machine);
+}
+
+void PhysicalPool::AppendJobsInRestoreOrder(std::vector<JobId>& out) const {
+  for (const Machine machine : machines_) {
+    for (const JobId id : machine.running()) out.push_back(id);
+    for (const JobId id : machine.suspended()) out.push_back(id);
+  }
+  for (const auto& [key, entry] : waiting_) out.push_back(entry.id);
+}
+
+void PhysicalPool::AppendOfflineMachines(std::vector<MachineId>& out) const {
+  for (const Machine machine : machines_) {
+    if (!machine.online()) out.push_back(machine.id());
+  }
+}
+
 void PhysicalPool::AuditInvariants(Ticks now, InvariantSink& sink) const {
   const auto check = [&](bool ok, const std::string& what) {
     if (!ok) sink.Report(InvariantViolation{now, id_, what, MachineId()});

@@ -145,6 +145,28 @@ class PhysicalPool {
   // jobs started/resumed.
   std::vector<JobId> RepairMachine(MachineId machine, Ticks now);
 
+  // --- checkpoint/restore (service layer) -----------------------------------
+  // Re-registers a job whose arena columns were already imported (state,
+  // machine, accounting) into this pool's bookkeeping: resource claims,
+  // registries, indexes and counters — WITHOUT firing observers or job
+  // transitions. Callers invoke these in the snapshot's canonical order
+  // (running then suspended per machine, then the wait queue in key order)
+  // and finish with CheckInvariants().
+  void RestoreRunning(Job job);
+  void RestoreSuspended(Job job);
+  void RestoreWaiting(Job job);
+  // Marks a machine offline (it was down at checkpoint time) and drops it
+  // from the placement indexes. Must run before any job restores touch the
+  // machine's neighbors — index updates consult the online bit.
+  void RestoreOffline(MachineId machine);
+
+  // Checkpoint export: every job parked in this pool, in the canonical
+  // restore order — per machine (id order) its running registry then its
+  // suspended registry, both in arrival order, then the wait queue in key
+  // order — plus the offline machines in id order.
+  void AppendJobsInRestoreOrder(std::vector<JobId>& out) const;
+  void AppendOfflineMachines(std::vector<MachineId>& out) const;
+
   // Walks this pool's resource-conservation invariants (free counters match
   // registered job demands; queue/suspended registries consistent) and
   // reports every violated one to `sink` instead of aborting.

@@ -1,0 +1,114 @@
+#include "common/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define NETBATCH_CRC32C_X86 1
+#endif
+#if defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#define NETBATCH_CRC32C_ARM 1
+#endif
+
+namespace netbatch {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t ExtendCrc32cSoftware(std::uint32_t crc, const void* data,
+                                   std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xffu];
+  }
+  return ~crc;
+}
+
+#if defined(NETBATCH_CRC32C_X86)
+
+// Compiled for SSE4.2 regardless of the baseline -march; only called after
+// the cpuid check below confirms the instruction exists.
+__attribute__((target("sse4.2"))) static std::uint32_t ExtendCrc32cHardware(
+    std::uint32_t crc, const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+#if defined(__x86_64__)
+  std::uint64_t crc64 = crc;
+  while (size >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc64 = _mm_crc32_u64(crc64, word);
+    p += 8;
+    size -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+#endif
+  while (size >= 4) {
+    std::uint32_t word;
+    std::memcpy(&word, p, 4);
+    crc = _mm_crc32_u32(crc, word);
+    p += 4;
+    size -= 4;
+  }
+  while (size > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --size;
+  }
+  return ~crc;
+}
+
+#elif defined(NETBATCH_CRC32C_ARM)
+
+static std::uint32_t ExtendCrc32cHardware(std::uint32_t crc, const void* data,
+                                          std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (size >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = __crc32cd(crc, word);
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    crc = __crc32cb(crc, *p++);
+    --size;
+  }
+  return ~crc;
+}
+
+#endif
+
+std::uint32_t ExtendCrc32c(std::uint32_t crc, const void* data,
+                           std::size_t size) {
+#if defined(NETBATCH_CRC32C_X86)
+  static const bool kHasSse42 = __builtin_cpu_supports("sse4.2") != 0;
+  if (kHasSse42) return ExtendCrc32cHardware(crc, data, size);
+#elif defined(NETBATCH_CRC32C_ARM)
+  return ExtendCrc32cHardware(crc, data, size);
+#endif
+  return ExtendCrc32cSoftware(crc, data, size);
+}
+
+}  // namespace netbatch

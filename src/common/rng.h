@@ -10,6 +10,7 @@
 // draws in one subsystem does not perturb the stream seen by another.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -61,6 +62,16 @@ class Rng {
   const T& Pick(std::span<const T> items) {
     NETBATCH_CHECK(!items.empty(), "Pick() from empty span");
     return items[UniformIndex(items.size())];
+  }
+
+  // Raw state capture for checkpoint/restore: LoadState(SaveState())
+  // resumes the exact stream. The words are xoshiro256** internal state —
+  // persist them as opaque bytes, not as seeds.
+  std::array<std::uint64_t, 4> SaveState() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void LoadState(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state[i];
   }
 
  private:

@@ -36,6 +36,41 @@ std::optional<PoolId> CompositeReschedulingPolicy::OnWaitTimeout(
   return wait_selector_->Select(job, job.pool(), view);
 }
 
+void CompositeReschedulingPolicy::ExportState(
+    std::vector<std::uint8_t>& out) const {
+  const auto append_selector = [&out](const PoolSelector* selector) {
+    std::vector<std::uint8_t> blob;
+    if (selector != nullptr) selector->ExportState(blob);
+    const auto len = static_cast<std::uint32_t>(blob.size());
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+    }
+    out.insert(out.end(), blob.begin(), blob.end());
+  };
+  append_selector(suspend_selector_.get());
+  append_selector(wait_selector_.get());
+}
+
+bool CompositeReschedulingPolicy::ImportState(const std::uint8_t* data,
+                                              std::size_t size) {
+  std::size_t at = 0;
+  const auto read_selector = [&](PoolSelector* selector) {
+    if (size - at < 4) return false;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(data[at + i]) << (8 * i);
+    }
+    at += 4;
+    if (size - at < len) return false;
+    const std::uint8_t* blob = data + at;
+    at += len;
+    if (selector == nullptr) return len == 0;
+    return selector->ImportState(blob, len);
+  };
+  return read_selector(suspend_selector_.get()) &&
+         read_selector(wait_selector_.get()) && at == size;
+}
+
 const char* ToString(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::kNoRes:

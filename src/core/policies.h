@@ -53,6 +53,13 @@ class CompositeReschedulingPolicy final : public cluster::ReschedulingPolicy {
                                       const cluster::ClusterView& view) override;
   bool DuplicateInsteadOfRestart() const override { return duplicate_; }
 
+  // Checkpoint/restore: concatenation of the two selectors' states, each
+  // length-prefixed (u32 LE). Null selectors contribute a zero length, so
+  // the blob shape also validates the policy was rebuilt with the same
+  // selector arrangement.
+  void ExportState(std::vector<std::uint8_t>& out) const override;
+  bool ImportState(const std::uint8_t* data, std::size_t size) override;
+
  private:
   std::unique_ptr<PoolSelector> suspend_selector_;
   std::unique_ptr<PoolSelector> wait_selector_;

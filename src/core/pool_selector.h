@@ -8,6 +8,9 @@
 // interface so policies can mix and match.
 #pragma once
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -28,6 +31,16 @@ class PoolSelector {
   virtual std::optional<PoolId> Select(const cluster::Job& job,
                                        PoolId current,
                                        const cluster::ClusterView& view) = 0;
+
+  // Opaque decision-state capture for daemon checkpoint/restore (see
+  // cluster::InitialScheduler). Only RandomSelector carries state.
+  virtual void ExportState(std::vector<std::uint8_t>& out) const {
+    (void)out;
+  }
+  virtual bool ImportState(const std::uint8_t* data, std::size_t size) {
+    (void)data;
+    return size == 0;
+  }
 };
 
 // Candidate pools of `job` that are eligible in `view` (helper for all
@@ -79,6 +92,26 @@ class RandomSelector final : public PoolSelector {
 
   std::optional<PoolId> Select(const cluster::Job& job, PoolId current,
                                const cluster::ClusterView& view) override;
+
+  // The selector's only state is its RNG position; 32 bytes, little-endian.
+  void ExportState(std::vector<std::uint8_t>& out) const override {
+    for (const std::uint64_t word : rng_.SaveState()) {
+      for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(word >> (8 * i)));
+      }
+    }
+  }
+  bool ImportState(const std::uint8_t* data, std::size_t size) override {
+    if (size != 32) return false;
+    std::array<std::uint64_t, 4> state{};
+    for (int w = 0; w < 4; ++w) {
+      for (int i = 0; i < 8; ++i) {
+        state[w] |= static_cast<std::uint64_t>(data[w * 8 + i]) << (8 * i);
+      }
+    }
+    rng_.LoadState(state);
+    return true;
+  }
 
  private:
   Rng rng_;

@@ -67,6 +67,15 @@ Session::IoStatus Session::Write(const void* data, std::size_t size) {
   return IoStatus::kOk;
 }
 
+Session::IoStatus Session::QueueWrite(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  if (max_pending_ != 0 && pending_bytes() + size > max_pending_) {
+    return IoStatus::kOverflow;
+  }
+  pending_.insert(pending_.end(), bytes, bytes + size);
+  return IoStatus::kOk;
+}
+
 Session::IoStatus Session::FlushPending() {
   while (wants_write()) {
     const std::size_t left = pending_.size() - pending_head_;

@@ -45,6 +45,13 @@ class Session {
   // dropped, not allowed to grow the daemon's heap without bound.
   IoStatus Write(const void* data, std::size_t size);
 
+  // Queues `size` bytes without touching the socket — the batching half of
+  // Write. The caller coalesces a whole event-loop round of responses and
+  // drains them with one FlushPending() per session (the daemon flushes its
+  // WAL in between, which is what makes acks-after-log cheap). Returns
+  // kOverflow exactly as Write does; never kError (no I/O happens here).
+  IoStatus QueueWrite(const void* data, std::size_t size);
+
   // Caps the unsent-output queue; 0 means unlimited (the default for
   // client-side use, where the peer is trusted).
   void set_max_pending(std::size_t bytes) { max_pending_ = bytes; }

@@ -1,0 +1,28 @@
+#include "persist/recovery.h"
+
+namespace netbatch::persist {
+
+RecoveryPlan BuildRecoveryPlan(const std::string& dir) {
+  RecoveryPlan plan;
+  plan.snapshot = LoadNewestSnapshot(dir);
+  const std::uint64_t snapshot_lsn = plan.snapshot ? plan.snapshot->lsn : 0;
+
+  WalScanResult scan = ScanWal(dir, snapshot_lsn);
+  plan.truncated = scan.truncated;
+  plan.reason = std::move(scan.reason);
+  plan.tail = std::move(scan.records);
+  plan.next_lsn = std::max(scan.next_lsn, snapshot_lsn + 1);
+
+  // If the newest snapshot was corrupt and we fell back to an older one,
+  // the WAL may have been truncated past the older snapshot's LSN already —
+  // the tail then starts with a gap and cannot be replayed against it.
+  if (!plan.tail.empty() && plan.tail.front().lsn != snapshot_lsn + 1) {
+    plan.truncated = true;
+    plan.reason = "WAL gap after snapshot; dropping unreachable tail";
+    plan.next_lsn = snapshot_lsn + 1;
+    plan.tail.clear();
+  }
+  return plan;
+}
+
+}  // namespace netbatch::persist

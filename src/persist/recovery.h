@@ -1,0 +1,38 @@
+// Shard recovery: newest valid snapshot + the WAL tail above it.
+//
+// BuildRecoveryPlan is pure inspection — it reads the shard's data
+// directory and returns what a restart should do; the shard loop owns the
+// actual state reconstruction (import the snapshot payload, replay the tail
+// records in LSN order, re-arm timers). The plan stops at the first torn or
+// corrupt WAL record: by the append-before-ack contract nothing after that
+// point was ever acknowledged to a client.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace netbatch::persist {
+
+struct RecoveryPlan {
+  // Newest snapshot that passed validation; nullopt = cold start (replay
+  // the WAL from the beginning).
+  std::optional<SnapshotData> snapshot;
+  // WAL records to replay, strictly above the snapshot's LSN, contiguous
+  // and in order.
+  std::vector<WalRecord> tail;
+  // Where the reopened WAL writer continues: last recovered LSN + 1.
+  std::uint64_t next_lsn = 1;
+  // True when the WAL had a torn/corrupt record (or a gap after a
+  // fallen-back snapshot); `reason` is human-readable for the log line.
+  bool truncated = false;
+  std::string reason;
+};
+
+RecoveryPlan BuildRecoveryPlan(const std::string& dir);
+
+}  // namespace netbatch::persist

@@ -1,0 +1,192 @@
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/crc32c.h"
+
+namespace netbatch::persist {
+
+namespace {
+
+void PutU32(std::uint32_t v, std::uint8_t* out) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void PutU64(std::uint64_t v, std::uint8_t* out) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t GetU32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t GetU64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+std::string SnapshotPath(const std::string& dir, std::uint64_t lsn) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "snap-%016llx.nbs",
+                static_cast<unsigned long long>(lsn));
+  return dir + "/" + name;
+}
+
+bool ParseSnapshotName(const std::string& name, std::uint64_t& lsn) {
+  if (name.size() != 5 + 16 + 4) return false;
+  if (name.compare(0, 5, "snap-") != 0) return false;
+  if (name.compare(21, 4, ".nbs") != 0) return false;
+  std::uint64_t value = 0;
+  for (std::size_t i = 5; i < 21; ++i) {
+    const char c = name[i];
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  lsn = value;
+  return true;
+}
+
+// Snapshot files in `dir`, newest (highest LSN) first.
+std::vector<std::pair<std::uint64_t, std::string>> ListSnapshots(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> snaps;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    std::uint64_t lsn = 0;
+    if (ParseSnapshotName(entry.path().filename().string(), lsn)) {
+      snaps.emplace_back(lsn, entry.path().string());
+    }
+  }
+  std::sort(snaps.begin(), snaps.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return snaps;
+}
+
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+bool WriteSnapshot(const std::string& dir, const SnapshotData& snap,
+                   std::string* error) {
+  const std::string final_path = SnapshotPath(dir, snap.lsn);
+  const std::string tmp_path = final_path + ".tmp";
+
+  std::uint8_t header[kSnapshotHeaderBytes];
+  PutU32(kSnapshotMagic, header);
+  PutU32(kSnapshotVersion, header + 4);
+  PutU64(snap.lsn, header + 8);
+  PutU64(snap.payload.size(), header + 16);
+  PutU32(Crc32c(snap.payload.data(), snap.payload.size()), header + 24);
+
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error) {
+      *error = "cannot create " + tmp_path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  const bool wrote = WriteAll(fd, header, sizeof(header)) &&
+                     (snap.payload.empty() ||
+                      WriteAll(fd, snap.payload.data(), snap.payload.size()));
+  const bool synced = wrote && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    if (error) *error = "cannot write " + tmp_path;
+    ::unlink(tmp_path.c_str());
+    return false;
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    if (error) {
+      *error = "cannot rename " + tmp_path + ": " + std::strerror(errno);
+    }
+    ::unlink(tmp_path.c_str());
+    return false;
+  }
+  FsyncDir(dir);
+  return true;
+}
+
+std::optional<SnapshotData> LoadNewestSnapshot(const std::string& dir) {
+  for (const auto& [lsn, path] : ListSnapshots(dir)) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) continue;
+    std::uint8_t header[kSnapshotHeaderBytes];
+    std::size_t got = 0;
+    while (got < sizeof(header)) {
+      const ssize_t n = ::read(fd, header + got, sizeof(header) - got);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+    if (got != sizeof(header) || GetU32(header) != kSnapshotMagic ||
+        GetU32(header + 4) != kSnapshotVersion || GetU64(header + 8) != lsn) {
+      ::close(fd);
+      continue;  // torn or corrupt header: never load, try the next-newest
+    }
+    const std::uint64_t payload_len = GetU64(header + 16);
+    const std::uint32_t stored_crc = GetU32(header + 24);
+    SnapshotData snap;
+    snap.lsn = lsn;
+    snap.payload.resize(payload_len);
+    std::size_t read = 0;
+    bool ok = true;
+    while (read < payload_len) {
+      const ssize_t n =
+          ::read(fd, snap.payload.data() + read, payload_len - read);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        ok = false;  // shorter than its header claims: torn write
+        break;
+      }
+      read += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    if (!ok) continue;
+    if (Crc32c(snap.payload.data(), snap.payload.size()) != stored_crc) {
+      continue;  // bit rot: never load a payload that fails its checksum
+    }
+    return snap;
+  }
+  return std::nullopt;
+}
+
+void DeleteSnapshotsBelow(const std::string& dir, std::uint64_t keep_lsn) {
+  for (const auto& [lsn, path] : ListSnapshots(dir)) {
+    if (lsn < keep_lsn) ::unlink(path.c_str());
+  }
+}
+
+}  // namespace netbatch::persist

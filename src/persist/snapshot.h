@@ -1,0 +1,50 @@
+// Atomic checkpoint files for netbatchd shard state.
+//
+// A snapshot is an opaque payload (the shard's serialized SchedulerCore
+// state — this layer does not interpret it) stamped with the LSN of the
+// last WAL record it covers. Files are named `snap-<016x lsn>.nbs` and
+// written atomically: payload to a temp file, fsync, rename into place,
+// fsync the directory — a crash mid-write leaves either the old snapshot
+// set or the new one, never a half-written file that loads.
+//
+// File layout (little-endian):
+//   u32 magic       'NBS1' (0x3153424e)
+//   u32 version     (1)
+//   u64 lsn
+//   u64 payload_len
+//   u32 crc32c      over the payload
+//   payload bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netbatch::persist {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x3153424eu;  // "NBS1"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::size_t kSnapshotHeaderBytes = 28;
+
+struct SnapshotData {
+  // LSN of the last WAL record the payload reflects (0 = empty log).
+  std::uint64_t lsn = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Writes `snap` into `dir` atomically. Returns false and fills `error` on
+// I/O failure (the temp file is cleaned up).
+bool WriteSnapshot(const std::string& dir, const SnapshotData& snap,
+                   std::string* error);
+
+// Loads the newest snapshot whose header, length and checksum all verify.
+// Corrupt or torn snapshot files are skipped (never loaded), falling back
+// to the next-newest; nullopt when none survives.
+std::optional<SnapshotData> LoadNewestSnapshot(const std::string& dir);
+
+// Deletes every snapshot file with lsn < keep_lsn. Called after a new
+// checkpoint lands so the directory holds one snapshot plus the WAL tail.
+void DeleteSnapshotsBelow(const std::string& dir, std::uint64_t keep_lsn);
+
+}  // namespace netbatch::persist

@@ -1,0 +1,160 @@
+// Framed, CRC32C-protected write-ahead log for netbatchd shards.
+//
+// Each shard appends one record per state-mutating request *after* applying
+// it in memory and *before* acking it, so every acked mutation is on disk
+// (in the page cache at minimum; fsync batching below decides when it is
+// on the platter). Records carry a monotonically increasing LSN; recovery
+// replays the tail above the newest snapshot and stops permanently at the
+// first torn or corrupt record — everything before that point was acked
+// durably, everything after it never was.
+//
+// On-disk layout: a directory of segment files `wal-<016x>.log`, the hex
+// being the first LSN the segment holds. A record is a 24-byte header
+// followed by the payload:
+//
+//   u32 magic   'WAL1' (0x314c4157 little-endian)
+//   u32 payload_len
+//   u64 lsn
+//   u16 type
+//   u16 pad     (zero)
+//   u32 crc32c  over [lsn | type | pad | payload]
+//
+// All integers are little-endian. The CRC covers the LSN and type, so a
+// record spliced from another position (or another shard's log) is rejected
+// even when its payload bytes are intact.
+//
+// Group commit: `Append` only encodes into a userspace buffer; `Flush`
+// hands the whole batch to the kernel with one write() and then decides
+// whether an fdatasync is due — after `fsync_every` unsynced records,
+// or `fsync_interval_ms` since the last sync, whichever fires first
+// (either trigger can be disabled with 0; both 0 = page cache only).
+// The serving loop flushes before any ack leaves the process, so an
+// acked mutation is always at least in the page cache: process crashes
+// (SIGKILL) lose nothing regardless of the sync policy, and the policy
+// only sizes the power-loss window. `Sync()` forces both the flush and
+// the fdatasync; checkpoint and drain call it so a snapshot never refers
+// to WAL state that could outrun it after a power cut.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace netbatch::persist {
+
+// Hard cap on a single record's payload; anything larger in a scan is
+// treated as corruption rather than an allocation request.
+inline constexpr std::uint32_t kMaxWalPayloadBytes = 16u << 20;
+
+inline constexpr std::uint32_t kWalMagic = 0x314c4157u;  // "WAL1"
+inline constexpr std::size_t kWalHeaderBytes = 24;
+
+struct WalOptions {
+  // First LSN this writer will assign (recovery passes last valid + 1).
+  std::uint64_t next_lsn = 1;
+  // Record trigger: a Flush issues fdatasync once this many records are
+  // unsynced (1 = sync on every flush, 0 = no record trigger). Unsynced
+  // records still survive process crashes; only power loss can lose them.
+  std::uint32_t fsync_every = 0;
+  // Time trigger: a Flush issues fdatasync when this many milliseconds
+  // have passed since the last sync (0 = no time trigger). The default
+  // bounds the power-loss window to ~250ms of acked work at a cost of a
+  // few fdatasyncs per second instead of one per record batch.
+  std::uint32_t fsync_interval_ms = 250;
+};
+
+struct WalRecord {
+  std::uint64_t lsn = 0;
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// Append-only writer over a shard's WAL directory. Opening truncates any
+// torn bytes past `next_lsn - 1` (they were never acked) and starts a
+// fresh segment at `next_lsn`.
+class WalWriter {
+ public:
+  // Opens `dir` (which must exist) for appending. Deletes segments that
+  // start at or above `options.next_lsn`, physically truncates a torn tail
+  // in the newest surviving segment, and creates segment
+  // `wal-<next_lsn>.log`. Returns nullptr and fills `error` on I/O failure.
+  static std::unique_ptr<WalWriter> Open(const std::string& dir,
+                                         const WalOptions& options,
+                                         std::string* error);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Encodes one record into the userspace batch buffer and returns its
+  // LSN. The record reaches the kernel on the next Flush()/Sync() — the
+  // caller must flush before acking it.
+  std::uint64_t Append(std::uint16_t type,
+                       const std::vector<std::uint8_t>& payload);
+
+  // Writes every buffered record with a single write(), then issues an
+  // fdatasync if either group-commit trigger is due. Crashes the process
+  // on I/O error — a daemon that cannot log cannot safely ack.
+  void Flush();
+
+  // Flush() plus an unconditional fdatasync of anything still unsynced.
+  void Sync();
+
+  // True when Append()ed records have not reached the kernel yet.
+  bool has_buffered() const { return !buffer_.empty(); }
+
+  // Called right after a snapshot at `snapshot_lsn` (== last_lsn()) is
+  // durably on disk: starts a fresh segment at next_lsn() and deletes every
+  // older segment — all their records are covered by the snapshot.
+  void StartSegmentAndTruncate(std::uint64_t snapshot_lsn);
+
+  std::uint64_t next_lsn() const { return next_lsn_; }
+  std::uint64_t last_lsn() const { return next_lsn_ - 1; }
+
+  // Lifetime totals for the daemon.wal_bytes / daemon.wal_records gauges.
+  std::uint64_t bytes_appended() const { return bytes_appended_; }
+  std::uint64_t records_appended() const { return records_appended_; }
+
+ private:
+  WalWriter(std::string dir, int fd, const WalOptions& options);
+
+  void OpenSegment();
+  void DoSync();
+
+  std::string dir_;
+  int fd_ = -1;
+  std::uint64_t next_lsn_ = 1;
+  std::uint32_t fsync_every_ = 0;
+  std::uint32_t fsync_interval_ms_ = 250;
+  std::uint32_t unsynced_ = 0;
+  std::uint64_t bytes_appended_ = 0;
+  std::uint64_t records_appended_ = 0;
+  std::uint64_t buffered_records_ = 0;
+  std::vector<std::uint8_t> buffer_;
+  std::chrono::steady_clock::time_point last_sync_;
+};
+
+struct WalScanResult {
+  // Valid records with lsn > after_lsn, in LSN order.
+  std::vector<WalRecord> records;
+  // One past the last valid LSN seen (1 when the log is empty).
+  std::uint64_t next_lsn = 1;
+  // True when the scan stopped at a torn/corrupt record; `reason` says why.
+  bool truncated = false;
+  std::string reason;
+};
+
+// Reads every segment in `dir` in LSN order, validating framing, CRC and
+// LSN continuity. Stops permanently at the first anomaly: later segments
+// are NOT read (their records were never ackable once the chain broke).
+// Records with lsn <= after_lsn are validated but not returned.
+WalScanResult ScanWal(const std::string& dir, std::uint64_t after_lsn);
+
+// Segment files in `dir` sorted by start LSN, as (start_lsn, path) pairs.
+std::vector<std::pair<std::uint64_t, std::string>> ListWalSegments(
+    const std::string& dir);
+
+}  // namespace netbatch::persist

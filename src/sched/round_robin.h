@@ -16,6 +16,21 @@ class RoundRobinScheduler final : public cluster::InitialScheduler {
   std::vector<PoolId> PoolOrder(const workload::JobSpec& spec,
                                 const cluster::ClusterView& view) override;
 
+  // Checkpoint/restore: the rotation cursor, 8 bytes little-endian.
+  void ExportState(std::vector<std::uint8_t>& out) const override {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<std::uint8_t>(next_ >> (8 * i)));
+    }
+  }
+  bool ImportState(const std::uint8_t* data, std::size_t size) override {
+    if (size != 8) return false;
+    next_ = 0;
+    for (int i = 0; i < 8; ++i) {
+      next_ |= static_cast<std::uint64_t>(data[i]) << (8 * i);
+    }
+    return true;
+  }
+
  private:
   std::uint64_t next_ = 0;
 };

@@ -9,6 +9,7 @@
 // snapshot every so often (the staleness ablation bench sweeps it).
 #pragma once
 
+#include <cstring>
 #include <vector>
 
 #include "cluster/interfaces.h"
@@ -24,6 +25,51 @@ class UtilizationScheduler final : public cluster::InitialScheduler {
   // (ties broken by pool id for determinism).
   std::vector<PoolId> PoolOrder(const workload::JobSpec& spec,
                                 const cluster::ClusterView& view) override;
+
+  // Checkpoint/restore: the staleness snapshot cache. A restored daemon
+  // with staleness > 0 must keep serving the same cached utilizations
+  // until the original refresh deadline, or its decisions would diverge
+  // from the uncrashed run. Layout: i64 snapshot_time, u32 pool count,
+  // then one IEEE-754 double (as little-endian u64 bits) per pool.
+  void ExportState(std::vector<std::uint8_t>& out) const override {
+    auto put_u64 = [&out](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      }
+    };
+    put_u64(static_cast<std::uint64_t>(snapshot_time_));
+    const auto count = static_cast<std::uint32_t>(snapshot_.size());
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<std::uint8_t>(count >> (8 * i)));
+    }
+    for (const double value : snapshot_) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &value, 8);
+      put_u64(bits);
+    }
+  }
+  bool ImportState(const std::uint8_t* data, std::size_t size) override {
+    auto get_u64 = [data](std::size_t at) {
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(data[at + i]) << (8 * i);
+      }
+      return v;
+    };
+    if (size < 12) return false;
+    std::uint32_t count = 0;
+    for (int i = 0; i < 4; ++i) {
+      count |= static_cast<std::uint32_t>(data[8 + i]) << (8 * i);
+    }
+    if (size != 12 + static_cast<std::size_t>(count) * 8) return false;
+    snapshot_time_ = static_cast<Ticks>(get_u64(0));
+    snapshot_.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t bits = get_u64(12 + static_cast<std::size_t>(i) * 8);
+      std::memcpy(&snapshot_[i], &bits, 8);
+    }
+    return true;
+  }
 
  private:
   double Utilization(PoolId pool, const cluster::ClusterView& view);

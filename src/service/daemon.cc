@@ -3,6 +3,9 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <filesystem>
+#include <string>
+#include <system_error>
 #include <utility>
 
 #include "common/check.h"
@@ -67,6 +70,17 @@ Daemon::Daemon(const cluster::ClusterConfig& config, ShardStackFactory factory,
     shard_options.auto_complete = options_.auto_complete;
     shard_options.max_payload = options_.max_payload;
     shard_options.max_session_pending = options_.max_session_pending;
+    if (!options_.data_dir.empty()) {
+      shard_options.data_dir =
+          options_.data_dir + "/shard-" + std::to_string(s);
+      std::error_code ec;
+      std::filesystem::create_directories(shard_options.data_dir, ec);
+      NETBATCH_CHECK(!ec, "failed to create " + shard_options.data_dir + ": " +
+                              ec.message());
+      shard_options.fsync_every = options_.fsync_every;
+      shard_options.fsync_interval_ms = options_.fsync_interval_ms;
+      shard_options.checkpoint_every_ticks = options_.checkpoint_every_ticks;
+    }
     shards_.push_back(std::make_unique<ShardLoop>(
         shard_configs[s], *stacks_[s].scheduler, *stacks_[s].policy,
         shard_options, core_options, directory_, draining_));

@@ -50,6 +50,19 @@ struct DaemonOptions {
   // Per-session unsent-output cap; a reader that falls further behind than
   // this is dropped instead of growing the heap. 0 = unlimited.
   std::size_t max_session_pending = 4u << 20;
+  // Durability root. When set, shard s logs and checkpoints under
+  // <data_dir>/shard-<s> (created on construction) and recovers from it on
+  // start. Empty = in-memory only, exactly the pre-durability daemon.
+  std::string data_dir;
+  // Group-commit fdatasync triggers (persist/wal.h): record-count trigger
+  // (1 = sync every ack batch, 0 = off) and time trigger in ms (0 = off).
+  // The defaults cost ~4 fdatasyncs/s/shard and bound the power-loss
+  // window to ~250ms; SIGKILL durability never depends on either.
+  std::uint32_t fsync_every = 0;
+  std::uint32_t fsync_interval_ms = 250;
+  // Ticks between automatic per-shard checkpoints; 0 = only on
+  // kCheckpoint / kDrain requests.
+  std::int64_t checkpoint_every_ticks = 0;
 };
 
 // One shard's private scheduler/policy instances. Policies carry RNG state,

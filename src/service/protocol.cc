@@ -54,6 +54,16 @@ std::uint64_t WireReader::U64() {
   return v;
 }
 
+void WireReader::Bytes(std::size_t len, std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (len > size_ - pos_) {
+    ok_ = false;
+    return;
+  }
+  out.assign(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+}
+
 void EncodeHeader(const FrameHeader& header, std::vector<std::uint8_t>& out) {
   WireWriter w(out);
   w.U32(header.magic);

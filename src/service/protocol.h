@@ -55,6 +55,7 @@ enum class Opcode : std::uint16_t {
   kRepairMachine = 9,  // u32 pool, u32 machine -> StatusResponse
   kDrain = 10,         // (empty) -> StatusResponse; stop accepting new work
   kKill = 11,          // job id -> StatusResponse (terminate wherever parked)
+  kCheckpoint = 12,    // (empty) -> StatusResponse; force a durable snapshot
 };
 
 enum class Status : std::uint32_t {
@@ -113,6 +114,10 @@ class WireReader {
   std::uint64_t U64();
   std::int32_t I32() { return static_cast<std::int32_t>(U32()); }
   std::int64_t I64() { return static_cast<std::int64_t>(U64()); }
+
+  // Copies `len` raw bytes into `out` (replacing its contents); sets ok()
+  // false and leaves `out` empty on truncation.
+  void Bytes(std::size_t len, std::vector<std::uint8_t>& out);
 
   bool ok() const { return ok_; }
   // True when every payload byte was consumed (trailing garbage is a

@@ -1,8 +1,10 @@
 #include "service/scheduler_core.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/log.h"
+#include "service/protocol.h"
 
 namespace netbatch::sched {
 
@@ -680,6 +682,273 @@ std::size_t SchedulerCore::SuspendedJobCount() const {
   std::size_t suspended = 0;
   for (const auto& pool : pools_) suspended += pool->SuspendedCount();
   return suspended;
+}
+
+// --- checkpoint/restore ------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kCoreStateVersion = 1;
+
+void EncodeJobRecord(const cluster::JobTable& jobs, JobId id,
+                     std::vector<std::uint8_t>& out,
+                     std::vector<std::uint8_t>& scratch) {
+  const Job job = jobs.at(id);
+  const cluster::JobArena::RestoreImage image = jobs.CaptureImage(id);
+  scratch.clear();
+  service::EncodeJobSpec(job.spec(), scratch);
+  service::WireWriter w(out);
+  w.U32(static_cast<std::uint32_t>(scratch.size()));
+  out.insert(out.end(), scratch.begin(), scratch.end());
+  service::WireWriter body(out);
+  body.U32(static_cast<std::uint32_t>(image.state));
+  body.U32(image.pool.value());
+  body.U32(image.machine.value());
+  std::uint64_t speed_bits;
+  std::memcpy(&speed_bits, &image.run_speed, 8);
+  body.U64(speed_bits);
+  body.I64(image.remaining_work);
+  body.I64(image.state_since);
+  body.I64(image.completion_time);
+  body.I64(image.attempt_executed);
+  body.I64(image.attempt_work);
+  body.I64(image.wait_ticks);
+  body.I64(image.suspend_ticks);
+  body.I64(image.executed_ticks);
+  body.I64(image.resched_waste_ticks);
+  body.I64(image.transit_ticks);
+  body.I32(image.suspend_count);
+  body.I32(image.restart_count);
+  body.U32(image.is_duplicate);
+  body.U32(image.twin.value());
+  body.I64(image.extra_waste_ticks);
+  body.U64(image.generation);
+}
+
+bool DecodeJobRecord(service::WireReader& r,
+                     std::vector<std::uint8_t>& scratch,
+                     workload::JobSpec& spec,
+                     cluster::JobArena::RestoreImage& image) {
+  const std::uint32_t spec_len = r.U32();
+  if (!r.ok()) return false;
+  r.Bytes(spec_len, scratch);
+  if (!r.ok() || !service::DecodeJobSpec(scratch, spec)) return false;
+  image.state = static_cast<JobState>(r.U32());
+  image.pool = PoolId(r.U32());
+  image.machine = MachineId(r.U32());
+  const std::uint64_t speed_bits = r.U64();
+  std::memcpy(&image.run_speed, &speed_bits, 8);
+  image.remaining_work = r.I64();
+  image.state_since = r.I64();
+  image.completion_time = r.I64();
+  image.attempt_executed = r.I64();
+  image.attempt_work = r.I64();
+  image.wait_ticks = r.I64();
+  image.suspend_ticks = r.I64();
+  image.executed_ticks = r.I64();
+  image.resched_waste_ticks = r.I64();
+  image.transit_ticks = r.I64();
+  image.suspend_count = r.I32();
+  image.restart_count = r.I32();
+  image.is_duplicate = static_cast<std::uint8_t>(r.U32());
+  image.twin = JobId(r.U32());
+  image.extra_waste_ticks = r.I64();
+  image.generation = r.U64();
+  return r.ok();
+}
+
+}  // namespace
+
+void SchedulerCore::ExportState(std::vector<std::uint8_t>& out) const {
+  service::WireWriter w(out);
+  w.U32(kCoreStateVersion);
+  w.I64(now_);
+  w.U64(completed_count_);
+  w.U64(rejected_count_);
+  w.U64(preemption_count_);
+  w.U64(reschedule_count_);
+  w.U64(duplicate_count_);
+  w.U64(outage_count_);
+  w.U64(eviction_count_);
+  w.U64(next_duplicate_id_);
+
+  // Counter registry, in registration order — the order itself is part of
+  // the rendered-stats surface, so import replays it name by name.
+  const CounterSnapshot counters = counters_.TakeSnapshot();
+  w.U32(static_cast<std::uint32_t>(counters.counters.size()));
+  for (const auto& [name, value] : counters.counters) {
+    w.U32(static_cast<std::uint32_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+    service::WireWriter(out).U64(value);
+  }
+  w.U32(static_cast<std::uint32_t>(counters.gauges.size()));
+  for (const auto& [name, value, max] : counters.gauges) {
+    (void)max;  // a gauge's historical max is not restorable
+    w.U32(static_cast<std::uint32_t>(name.size()));
+    out.insert(out.end(), name.begin(), name.end());
+    service::WireWriter(out).I64(value);
+  }
+
+  // Scheduler/policy decision state, length-prefixed opaque blobs.
+  std::vector<std::uint8_t> blob;
+  scheduler_->ExportState(blob);
+  w.U32(static_cast<std::uint32_t>(blob.size()));
+  out.insert(out.end(), blob.begin(), blob.end());
+  blob.clear();
+  policy_->ExportState(blob);
+  service::WireWriter(out).U32(static_cast<std::uint32_t>(blob.size()));
+  out.insert(out.end(), blob.begin(), blob.end());
+
+  // Pool occupancy in the canonical restore order.
+  std::vector<std::uint8_t> scratch;
+  w.U32(static_cast<std::uint32_t>(pools_.size()));
+  std::vector<JobId> pooled_jobs;
+  for (const auto& pool : pools_) {
+    service::WireWriter pw(out);
+    pw.U32(pool->id().value());
+    std::vector<MachineId> offline;
+    pool->AppendOfflineMachines(offline);
+    pw.U32(static_cast<std::uint32_t>(offline.size()));
+    for (const MachineId m : offline) service::WireWriter(out).U32(m.value());
+    std::vector<JobId> ids;
+    pool->AppendJobsInRestoreOrder(ids);
+    service::WireWriter(out).U32(static_cast<std::uint32_t>(ids.size()));
+    for (const JobId id : ids) {
+      EncodeJobRecord(jobs_, id, out, scratch);
+      pooled_jobs.push_back(id);
+    }
+  }
+
+  // Everything not parked in a pool: pending, in-transit, and terminal
+  // jobs awaiting reclamation — straight from the arena, in slot order.
+  // A slot is live when the id index still points back at it (erased
+  // slots, and slots whose id was re-admitted elsewhere, are skipped).
+  std::vector<JobId> loose;
+  for (const Job job : jobs_) {
+    const JobId id = job.id();
+    if (!jobs_.Contains(id) || jobs_.at(id).slot() != job.slot()) continue;
+    const JobState state = job.state();
+    if (state == JobState::kRunning || state == JobState::kSuspended ||
+        state == JobState::kWaiting) {
+      continue;  // emitted via its pool above
+    }
+    loose.push_back(id);
+  }
+  w.U32(static_cast<std::uint32_t>(loose.size()));
+  for (const JobId id : loose) EncodeJobRecord(jobs_, id, out, scratch);
+}
+
+bool SchedulerCore::ImportState(const std::vector<std::uint8_t>& payload) {
+  NETBATCH_CHECK(jobs_.size() == 0,
+                 "ImportState into a core that already has jobs");
+  service::WireReader r(payload);
+  if (r.U32() != kCoreStateVersion) return false;
+  now_ = r.I64();
+  completed_count_ = r.U64();
+  rejected_count_ = r.U64();
+  preemption_count_ = r.U64();
+  reschedule_count_ = r.U64();
+  duplicate_count_ = r.U64();
+  outage_count_ = r.U64();
+  eviction_count_ = r.U64();
+  next_duplicate_id_ = static_cast<JobId::ValueType>(r.U64());
+  if (!r.ok()) return false;
+
+  std::vector<std::uint8_t> scratch;
+  const auto read_name = [&](std::string& name) {
+    const std::uint32_t len = r.U32();
+    if (!r.ok()) return false;
+    r.Bytes(len, scratch);
+    if (!r.ok()) return false;
+    name.assign(scratch.begin(), scratch.end());
+    return true;
+  };
+
+  const std::uint32_t counter_count = r.U32();
+  if (!r.ok()) return false;
+  std::string name;
+  for (std::uint32_t i = 0; i < counter_count; ++i) {
+    if (!read_name(name)) return false;
+    const std::uint64_t value = r.U64();
+    if (!r.ok()) return false;
+    counters_.GetCounter(name).Increment(value);
+  }
+  const std::uint32_t gauge_count = r.U32();
+  if (!r.ok()) return false;
+  for (std::uint32_t i = 0; i < gauge_count; ++i) {
+    if (!read_name(name)) return false;
+    const std::int64_t value = r.I64();
+    if (!r.ok()) return false;
+    counters_.GetGauge(name).Set(value);
+  }
+
+  std::vector<std::uint8_t> blob;
+  const auto read_blob = [&] {
+    const std::uint32_t len = r.U32();
+    if (!r.ok()) return false;
+    r.Bytes(len, blob);
+    return r.ok();
+  };
+  if (!read_blob()) return false;
+  if (!scheduler_->ImportState(blob.data(), blob.size())) return false;
+  if (!read_blob()) return false;
+  if (!policy_->ImportState(blob.data(), blob.size())) return false;
+
+  const std::uint32_t pool_count = r.U32();
+  if (!r.ok() || pool_count != pools_.size()) return false;
+  workload::JobSpec spec;
+  cluster::JobArena::RestoreImage image;
+  for (std::uint32_t p = 0; p < pool_count; ++p) {
+    PhysicalPool& pool = *pools_[p];
+    if (PoolId(r.U32()) != pool.id()) return false;
+    const std::uint32_t offline_count = r.U32();
+    if (!r.ok() || offline_count > pool.machines().size()) return false;
+    for (std::uint32_t i = 0; i < offline_count; ++i) {
+      const MachineId m(r.U32());
+      if (!r.ok() || !m.valid() || m.value() >= pool.machines().size()) {
+        return false;
+      }
+      pool.RestoreOffline(m);
+    }
+    const std::uint32_t job_count = r.U32();
+    if (!r.ok() || job_count > payload.size()) return false;
+    for (std::uint32_t i = 0; i < job_count; ++i) {
+      if (!DecodeJobRecord(r, scratch, spec, image)) return false;
+      if (image.pool != pool.id()) return false;
+      const Job job = jobs_.RestoreJob(std::move(spec), image);
+      switch (image.state) {
+        case JobState::kRunning:
+          pool.RestoreRunning(job);
+          break;
+        case JobState::kSuspended:
+          pool.RestoreSuspended(job);
+          break;
+        case JobState::kWaiting:
+          pool.RestoreWaiting(job);
+          break;
+        default:
+          return false;  // pooled section only holds parked states
+      }
+    }
+  }
+
+  const std::uint32_t loose_count = r.U32();
+  if (!r.ok() || loose_count > payload.size()) return false;
+  for (std::uint32_t i = 0; i < loose_count; ++i) {
+    if (!DecodeJobRecord(r, scratch, spec, image)) return false;
+    switch (image.state) {
+      case JobState::kRunning:
+      case JobState::kSuspended:
+      case JobState::kWaiting:
+        return false;  // parked states belong to the pooled section
+      default:
+        break;
+    }
+    jobs_.RestoreJob(std::move(spec), image);
+  }
+  if (!r.exhausted()) return false;
+  CheckInvariants();
+  return true;
 }
 
 }  // namespace netbatch::sched

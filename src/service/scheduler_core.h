@@ -201,6 +201,25 @@ class SchedulerCore final : public cluster::ClusterView,
   // Refreshes the cluster.* gauges (busy cores, suspended, waiting).
   void RefreshGauges(Ticks now);
 
+  // --- checkpoint/restore ---------------------------------------------------
+
+  // Serializes the complete decision state: the clock, result counters,
+  // the counter registry (in registration order — it is part of the
+  // observable surface), the scheduler/policy opaque blobs, every pool's
+  // occupancy (offline machines; running/suspended/waiting jobs in the
+  // canonical restore order) and the remaining jobs (pending, in-transit,
+  // terminal-awaiting-reclaim) straight from the arena columns. Pending
+  // host timers are NOT included — the host (shard loop) owns those and
+  // persists its timer list alongside this payload.
+  void ExportState(std::vector<std::uint8_t>& out) const;
+
+  // Rebuilds the exported state into this core, which must be freshly
+  // constructed over the same cluster config and scheduler/policy stack
+  // and must not have admitted any job yet. Returns false (leaving the
+  // core unusable) on a malformed or mismatched payload; finishes with
+  // CheckInvariants() on success.
+  bool ImportState(const std::vector<std::uint8_t>& payload);
+
   // Audits every pool's resource invariants plus cluster-wide conservation
   // (job states vs pool registries, busy cores vs running jobs, terminal
   // counters vs terminal states), reporting violations to `sink`. The

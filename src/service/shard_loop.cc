@@ -4,9 +4,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
+#include <iterator>
 #include <utility>
 
 #include "common/check.h"
+#include "common/crc32c.h"
 #include "common/log.h"
 
 namespace netbatch::service {
@@ -25,6 +28,32 @@ bool IsTerminal(cluster::JobState state) {
   return state == cluster::JobState::kCompleted ||
          state == cluster::JobState::kRejected ||
          state == cluster::JobState::kKilled;
+}
+
+// WAL record types. Every payload leads with the I64 tick the mutation was
+// applied at, so replay re-runs the exact decision sequence and recovery
+// can fast-forward the clock before touching the core.
+enum class WalKind : std::uint16_t {
+  kSubmit = 1,     // now, JobSpec (candidate pools already shard-local)
+  kJobOp = 2,      // now, u16 opcode, u64 job id — logged only if it mutated
+  kMachineOp = 3,  // now, u16 opcode, u32 local pool, u32 machine
+  kTimer = 4,      // now, u16 kind, u64 job, u64 stamp, u32 local pool
+  kDrain = 5,      // now
+};
+
+// Version tag of the shard wrapper around the core's serialized state
+// inside a snapshot payload.
+constexpr std::uint32_t kSnapshotWrapperVersion = 1;
+
+constexpr std::uint32_t kShardMetaMagic = 0x4d53424eu;  // "NBSM"
+
+// The tick stamp leading every WAL record payload (0 if malformed — the
+// CRC already vouched for it, so that never happens in practice).
+Ticks WalRecordNow(const persist::WalRecord& record) {
+  if (record.payload.size() < 8) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | record.payload[i];
+  return static_cast<Ticks>(v);
 }
 
 // Folds `src` into `dst` by name: counters add, gauge values and maxes add
@@ -103,16 +132,27 @@ ShardLoop::ShardLoop(const cluster::ClusterConfig& config,
   // is what keeps sweep artifacts byte-identical.
   core_.jobs().EnableReclamation();
   latency_map_gauge_ = &core_.counters().GetGauge("daemon.latency_map_entries");
+  if (!options_.data_dir.empty()) {
+    // Registered in the ctor (not lazily in the durability paths) so the
+    // registry order is identical before a checkpoint and after a restore.
+    wal_bytes_gauge_ = &core_.counters().GetGauge("daemon.wal_bytes");
+    wal_records_gauge_ = &core_.counters().GetGauge("daemon.wal_records");
+    recovery_ms_gauge_ = &core_.counters().GetGauge("daemon.recovery_ms");
+  }
 }
 
 // --- time & timers ----------------------------------------------------------
 
 Ticks ShardLoop::NowTicks() const {
   const std::uint64_t elapsed_ns = WallNanos() - clock_origin_ns_;
-  // ticks = seconds * time_scale, computed in ns to avoid drift.
-  return static_cast<Ticks>(
-      static_cast<std::uint64_t>(options_.time_scale) * elapsed_ns /
-      1'000'000'000ull);
+  // ticks = seconds * time_scale, computed in ns to avoid drift. The offset
+  // is zero except after recovery, which resumes the pre-crash tick clock
+  // (per shard — cross-shard tick comparability is approximate after a
+  // restart, and nothing compares ticks across cores).
+  return tick_offset_ +
+         static_cast<Ticks>(
+             static_cast<std::uint64_t>(options_.time_scale) * elapsed_ns /
+             1'000'000'000ull);
 }
 
 void ShardLoop::PushTimer(TimerKind kind, const cluster::Job& job, Ticks delay,
@@ -124,7 +164,8 @@ void ShardLoop::PushTimer(TimerKind kind, const cluster::Job& job, Ticks delay,
   timer.job = job.id();
   timer.stamp = job.generation();
   timer.pool = pool;
-  timers_.push(timer);
+  timers_.push_back(timer);
+  std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
 }
 
 void ShardLoop::ArmCompletion(cluster::Job job, Ticks duration) {
@@ -163,9 +204,10 @@ void ShardLoop::OnJobStarted(const cluster::Job& job) {
 void ShardLoop::DrainDueTimers() {
   while (!timers_.empty()) {
     const Ticks now = NowTicks();
-    if (timers_.top().due > now) break;
-    const Timer timer = timers_.top();
-    timers_.pop();
+    if (timers_.front().due > now) break;
+    const Timer timer = timers_.front();
+    std::pop_heap(timers_.begin(), timers_.end(), TimerLater{});
+    timers_.pop_back();
     // A reclaimed slot means the job this timer was armed for is gone (and
     // its id may even be reused — the generation floor on reuse would catch
     // that too, but an unknown id must not reach jobs_.at()).
@@ -181,13 +223,23 @@ void ShardLoop::DrainDueTimers() {
         core_.DeliverRestart(timer.job, timer.stamp, timer.pool, now);
         break;
     }
+    if (wal_ != nullptr) {
+      wal_payload_.clear();
+      WireWriter w(wal_payload_);
+      w.I64(now);
+      w.U16(static_cast<std::uint16_t>(timer.kind));
+      w.U64(timer.job.value());
+      w.U64(timer.stamp);
+      w.U32(timer.pool.value());
+      AppendWal(static_cast<std::uint16_t>(WalKind::kTimer));
+    }
   }
 }
 
 int ShardLoop::NextTimerDelayMs() const {
   if (timers_.empty()) return -1;
   const Ticks now = NowTicks();
-  const Ticks due = timers_.top().due;
+  const Ticks due = timers_.front().due;
   if (due <= now) return 0;
   // ticks -> ms at time_scale ticks per second, rounded up so we never wake
   // a hair early and busy-spin.
@@ -213,6 +265,7 @@ void ShardLoop::Join() {
 }
 
 void ShardLoop::Run() {
+  if (!options_.data_dir.empty()) RecoverFromDisk();
   poller_.Add(mailbox_.wake_fd(), net::kPollIn, kWakeToken);
   while (!stop_.load(std::memory_order_relaxed)) {
     int timeout_ms = NextTimerDelayMs();
@@ -223,6 +276,11 @@ void ShardLoop::Run() {
     DrainMailbox();
     DrainDueTimers();
     DrainReclaim();
+    if (wal_ != nullptr && options_.checkpoint_every_ticks > 0 &&
+        NowTicks() >= next_checkpoint_due_) {
+      DoLocalCheckpoint();
+      next_checkpoint_due_ = NowTicks() + options_.checkpoint_every_ticks;
+    }
     for (const net::PollResult& event : ready_) {
       if (event.token == kWakeToken) continue;  // handled above
       const int fd = static_cast<int>(event.token & 0xffffffffu);
@@ -248,8 +306,13 @@ void ShardLoop::Run() {
         DropSession(fd);
         continue;
       }
-      RearmSession(state);
+      // Sessions with queued output get rearmed by FlushRound below,
+      // usually straight back to read-only interest.
+      if (!state.session.wants_write()) RearmSession(state);
     }
+    // One WAL flush covers the whole round's records (also the time-based
+    // fsync trigger's heartbeat), then the queued acks leave.
+    FlushRound();
   }
   poller_.Remove(mailbox_.wake_fd());
   sessions_.clear();
@@ -336,6 +399,21 @@ void ShardLoop::HandleMessage(ShardMessage& msg) {
       if (--g.remaining == 0) FinishSnapshotGather(msg.gather);
       break;
     }
+    case ShardMessage::Kind::kCheckpointQuery: {
+      if (wal_ != nullptr) DoLocalCheckpoint();
+      ShardMessage reply;
+      reply.kind = ShardMessage::Kind::kCheckpointReply;
+      reply.sender = options_.shard_index;
+      reply.gather = msg.gather;
+      peers_[msg.sender]->Post(std::move(reply));
+      break;
+    }
+    case ShardMessage::Kind::kCheckpointReply: {
+      const auto it = checkpoint_gathers_.find(msg.gather);
+      if (it == checkpoint_gathers_.end()) break;
+      if (--it->second.remaining == 0) FinishCheckpointGather(msg.gather);
+      break;
+    }
   }
 }
 
@@ -377,15 +455,16 @@ bool ShardLoop::HandleReadable(SessionState& state, std::uint64_t token) {
     ProcessFrame(options_.shard_index, token, frame, arrival_ns, &write_buf_);
   }
   if (!write_buf_.empty()) {
-    const net::Session::IoStatus wstatus =
-        state.session.Write(write_buf_.data(), write_buf_.size());
-    if (wstatus == net::Session::IoStatus::kOverflow) {
+    // Queue only — the bytes leave in FlushRound(), after this round's WAL
+    // records have reached the kernel.
+    if (state.session.QueueWrite(write_buf_.data(), write_buf_.size()) !=
+        net::Session::IoStatus::kOk) {
       NETBATCH_LOG(kWarn) << "dropping session: pending output over "
                           << options_.max_session_pending
                           << " bytes (slow reader)";
       return false;
     }
-    if (wstatus != net::Session::IoStatus::kOk) return false;
+    round_dirty_.push_back(token);
   }
   if (status == net::Session::IoStatus::kClosed) {
     // Orderly EOF. A partial frame left in the decoder means the peer
@@ -402,19 +481,32 @@ void ShardLoop::WriteToSession(std::uint64_t token, const std::uint8_t* bytes,
   const auto it = sessions_.find(fd);
   if (it == sessions_.end() || it->second.gen != gen) return;  // session gone
   SessionState& state = it->second;
-  const net::Session::IoStatus status = state.session.Write(bytes, size);
-  if (status == net::Session::IoStatus::kOverflow) {
+  if (state.session.QueueWrite(bytes, size) !=
+      net::Session::IoStatus::kOk) {
     NETBATCH_LOG(kWarn) << "dropping session: pending output over "
                         << options_.max_session_pending
                         << " bytes (slow reader)";
     DropSession(fd);
     return;
   }
-  if (status != net::Session::IoStatus::kOk) {
-    DropSession(fd);
-    return;
+  round_dirty_.push_back(token);
+}
+
+void ShardLoop::FlushRound() {
+  FlushWal();
+  if (round_dirty_.empty()) return;
+  for (const std::uint64_t token : round_dirty_) {
+    const int fd = static_cast<int>(token & 0xffffffffu);
+    const auto gen = static_cast<std::uint32_t>(token >> 32);
+    const auto it = sessions_.find(fd);
+    if (it == sessions_.end() || it->second.gen != gen) continue;
+    if (it->second.session.FlushPending() != net::Session::IoStatus::kOk) {
+      DropSession(fd);
+      continue;
+    }
+    RearmSession(it->second);
   }
-  RearmSession(state);
+  round_dirty_.clear();
 }
 
 // --- frame dispatch ---------------------------------------------------------
@@ -430,6 +522,11 @@ void ShardLoop::Respond(std::uint32_t origin, std::uint64_t token,
     }
     return;
   }
+  // A forwarded mutation was applied (and logged) HERE, but its ack leaves
+  // through the origin shard's socket — flush this shard's WAL before the
+  // response crosses the mailbox, or the origin could ack an unflushed
+  // record.
+  FlushWal();
   ShardMessage msg;
   msg.kind = ShardMessage::Kind::kResponse;
   msg.sender = options_.shard_index;
@@ -481,7 +578,26 @@ void ShardLoop::ProcessFrame(std::uint32_t origin, std::uint64_t token,
       break;
     case Opcode::kDrain:
       draining_->store(true, std::memory_order_release);
-      RespondStatus(origin, token, frame.header, Status::kOk, out);
+      if (wal_ != nullptr) {
+        // A drain is the orderly shutdown path: make everything acked so
+        // far durable — log the drain, force the batch out, and write a
+        // final checkpoint on every shard — before confirming it.
+        wal_payload_.clear();
+        WireWriter(wal_payload_).I64(NowTicks());
+        AppendWal(static_cast<std::uint16_t>(WalKind::kDrain));
+        wal_->Sync();
+        StartCheckpointFanout(token, frame.header, out);
+      } else {
+        RespondStatus(origin, token, frame.header, Status::kOk, out);
+      }
+      break;
+    case Opcode::kCheckpoint:
+      if (wal_ == nullptr) {
+        // No --data-dir: there is nowhere to checkpoint to.
+        RespondStatus(origin, token, frame.header, Status::kBadState, out);
+      } else {
+        StartCheckpointFanout(token, frame.header, out);
+      }
       break;
     case Opcode::kSnapshot:
       // Only ever initiated on the session's shard (never forwarded).
@@ -546,11 +662,25 @@ void ShardLoop::HandleSubmit(std::uint32_t origin, std::uint64_t token,
         !directory_->TryInsert(id, options_.shard_index)) {
       valid = false;
     } else {
+      const Ticks now = NowTicks();
+      if (wal_ != nullptr) {
+        // Log the spec as admitted — candidate pools already rewritten to
+        // this shard's local ids — so replay skips the routing step.
+        wal_payload_.clear();
+        WireWriter(wal_payload_).I64(now);
+        EncodeJobSpec(spec, wal_payload_);
+      }
       core_.AdmitJob(std::move(spec));
       submit_arrival_ns_.emplace(id, arrival_ns);
       latency_map_gauge_->Set(
           static_cast<std::int64_t>(submit_arrival_ns_.size()));
-      core_.Submit(id, NowTicks());
+      core_.Submit(id, now);
+      // Even a rejected submit mutated state (the scheduler cursor, the
+      // reject counters, possibly the duplicate id sequence) — log it
+      // before acking so the replayed core lands on the same sequence.
+      if (wal_ != nullptr) {
+        AppendWal(static_cast<std::uint16_t>(WalKind::kSubmit));
+      }
       const cluster::Job& job = core_.jobs().at(id);
       switch (job.state()) {
         case cluster::JobState::kRunning:
@@ -606,16 +736,22 @@ void ShardLoop::HandleJobOp(std::uint32_t origin, std::uint64_t token,
     } else {
       const Ticks now = NowTicks();
       const cluster::Job job = core_.jobs().at(id);
+      bool mutated = false;
       switch (opcode) {
         case Opcode::kComplete:
           if (job.state() != cluster::JobState::kRunning) {
             status = Status::kBadState;
           } else {
             core_.Complete(id, job.generation(), now);
+            mutated = true;
           }
           break;
         case Opcode::kSuspend:
-          if (!core_.Suspend(id, now)) status = Status::kBadState;
+          if (!core_.Suspend(id, now)) {
+            status = Status::kBadState;
+          } else {
+            mutated = true;
+          }
           break;
         case Opcode::kResume:
           if (job.state() != cluster::JobState::kSuspended) {
@@ -623,16 +759,32 @@ void ShardLoop::HandleJobOp(std::uint32_t origin, std::uint64_t token,
           } else if (!core_.Resume(id, now)) {
             // Still suspended: its machine is full or offline right now.
             status = Status::kQueued;
+          } else {
+            mutated = true;
           }
           break;
         case Opcode::kQueryJob:
           break;
         case Opcode::kKill:
-          if (!core_.Kill(id, now)) status = Status::kBadState;
+          if (!core_.Kill(id, now)) {
+            status = Status::kBadState;
+          } else {
+            mutated = true;
+          }
           break;
         default:
           status = Status::kBadRequest;
           break;
+      }
+      // Only ops that actually changed the core are logged: replay mirrors
+      // the applied sequence, not the request stream.
+      if (mutated && wal_ != nullptr) {
+        wal_payload_.clear();
+        WireWriter w(wal_payload_);
+        w.I64(now);
+        w.U16(frame.header.opcode);
+        w.U64(id.value());
+        AppendWal(static_cast<std::uint16_t>(WalKind::kJobOp));
       }
       state = static_cast<std::uint32_t>(job.state());
       pool = ToGlobalPool(job.pool()).value();
@@ -673,10 +825,20 @@ void ShardLoop::HandleMachineOp(std::uint32_t origin, std::uint64_t token,
     RespondStatus(origin, token, frame.header, Status::kBadRequest, out);
     return;
   }
+  const Ticks now = NowTicks();
   if (static_cast<Opcode>(frame.header.opcode) == Opcode::kFailMachine) {
-    core_.FailMachine(local, MachineId(machine), NowTicks());
+    core_.FailMachine(local, MachineId(machine), now);
   } else {
-    core_.RepairMachine(local, MachineId(machine), NowTicks());
+    core_.RepairMachine(local, MachineId(machine), now);
+  }
+  if (wal_ != nullptr) {
+    wal_payload_.clear();
+    WireWriter w(wal_payload_);
+    w.I64(now);
+    w.U16(frame.header.opcode);
+    w.U32(local.value());
+    w.U32(machine);
+    AppendWal(static_cast<std::uint16_t>(WalKind::kMachineOp));
   }
   RespondStatus(origin, token, frame.header, Status::kOk, out);
 }
@@ -797,6 +959,354 @@ void ShardLoop::FinishSnapshotGather(std::uint64_t gather_id) {
               g.request_id, payload, bytes);
   WriteToSession(g.token, bytes.data(), bytes.size());
   snapshot_gathers_.erase(it);
+}
+
+// --- durability -------------------------------------------------------------
+
+void ShardLoop::AppendWal(std::uint16_t type) {
+  wal_->Append(type, wal_payload_);
+}
+
+void ShardLoop::FlushWal() {
+  if (wal_ == nullptr) return;
+  const bool had_buffered = wal_->has_buffered();
+  // Always let Flush run: with an empty buffer it still evaluates the
+  // time-based fsync trigger for records flushed-but-unsynced earlier.
+  wal_->Flush();
+  if (!had_buffered) return;
+  // Gauge updates ride the flush, not the per-record append — one batch's
+  // worth of records shows up at once, which is also exactly when they
+  // became crash-durable.
+  wal_bytes_gauge_->Set(static_cast<std::int64_t>(wal_->bytes_appended()));
+  wal_records_gauge_->Set(
+      static_cast<std::int64_t>(wal_->records_appended()));
+}
+
+void ShardLoop::ValidateShardMeta() {
+  const std::string path = options_.data_dir + "/shard.meta";
+  std::vector<std::uint8_t> meta;
+  {
+    WireWriter w(meta);
+    w.U32(kShardMetaMagic);
+    w.U32(options_.shard_index);
+    w.U32(options_.shard_count);
+    w.U32(options_.global_pool_count);
+    w.U32(ExtendCrc32c(0, meta.data(), meta.size()));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (in) {
+    std::vector<std::uint8_t> existing(
+        (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    // Reusing a data directory under a different topology would silently
+    // misroute every recovered job; refuse loudly instead.
+    NETBATCH_CHECK(existing == meta,
+                   "shard.meta mismatch: " + path +
+                       " was written by a daemon with different "
+                       "--threads/pool topology (or is corrupt)");
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(meta.data()),
+            static_cast<std::streamsize>(meta.size()));
+  out.flush();
+  NETBATCH_CHECK(out.good(), "failed to write " + path);
+}
+
+void ShardLoop::ApplyWalRecord(const persist::WalRecord& record) {
+  WireReader r(record.payload);
+  const Ticks now = r.I64();
+  switch (static_cast<WalKind>(record.type)) {
+    case WalKind::kSubmit: {
+      workload::JobSpec spec;
+      if (record.payload.size() < 8 ||
+          !DecodeJobSpec(std::vector<std::uint8_t>(record.payload.begin() + 8,
+                                                   record.payload.end()),
+                         spec)) {
+        NETBATCH_LOG(kWarn) << "WAL " << record.lsn << ": bad submit payload";
+        return;
+      }
+      const JobId id = spec.id;
+      if (core_.jobs().Contains(id)) {
+        NETBATCH_LOG(kWarn) << "WAL " << record.lsn << ": duplicate submit";
+        return;
+      }
+      core_.AdmitJob(std::move(spec));
+      core_.Submit(id, now);
+      break;
+    }
+    case WalKind::kJobOp: {
+      const auto opcode = static_cast<Opcode>(r.U16());
+      const JobId id(static_cast<JobId::ValueType>(r.U64()));
+      if (!r.exhausted() || !core_.jobs().Contains(id)) return;
+      const cluster::Job job = core_.jobs().at(id);
+      switch (opcode) {
+        case Opcode::kComplete:
+          if (job.state() == cluster::JobState::kRunning) {
+            core_.Complete(id, job.generation(), now);
+          }
+          break;
+        case Opcode::kSuspend:
+          core_.Suspend(id, now);
+          break;
+        case Opcode::kResume:
+          if (job.state() == cluster::JobState::kSuspended) {
+            core_.Resume(id, now);
+          }
+          break;
+        case Opcode::kKill:
+          core_.Kill(id, now);
+          break;
+        default:
+          break;
+      }
+      break;
+    }
+    case WalKind::kMachineOp: {
+      const auto opcode = static_cast<Opcode>(r.U16());
+      const PoolId local(r.U32());
+      const MachineId machine(r.U32());
+      if (!r.exhausted()) return;
+      if (opcode == Opcode::kFailMachine) {
+        core_.FailMachine(local, machine, now);
+      } else {
+        core_.RepairMachine(local, machine, now);
+      }
+      break;
+    }
+    case WalKind::kTimer: {
+      const auto kind = static_cast<TimerKind>(r.U16());
+      const JobId id(static_cast<JobId::ValueType>(r.U64()));
+      const std::uint64_t stamp = r.U64();
+      const PoolId pool(r.U32());
+      if (!r.exhausted() || !core_.jobs().Contains(id)) return;
+      switch (kind) {
+        case TimerKind::kCompletion:
+          core_.Complete(id, stamp, now);
+          break;
+        case TimerKind::kWaitTimeout:
+          core_.OnWaitTimeout(id, stamp, now);
+          break;
+        case TimerKind::kDelivery:
+          core_.DeliverRestart(id, stamp, pool, now);
+          break;
+      }
+      break;
+    }
+    case WalKind::kDrain:
+      draining_->store(true, std::memory_order_release);
+      break;
+    default:
+      NETBATCH_LOG(kWarn) << "WAL " << record.lsn << ": unknown record type "
+                          << record.type;
+  }
+}
+
+void ShardLoop::RecoverFromDisk() {
+  const std::uint64_t start_ns = WallNanos();
+  ValidateShardMeta();
+  persist::RecoveryPlan plan = persist::BuildRecoveryPlan(options_.data_dir);
+  if (plan.truncated) {
+    NETBATCH_LOG(kWarn) << "shard " << options_.shard_index
+                        << ": WAL truncated during recovery: " << plan.reason;
+  }
+
+  // Fast-forward the tick clock past every persisted stamp before touching
+  // the core: elapsed-time settlements inside it require time to only move
+  // forward, and replay feeds it pre-crash stamps.
+  struct RearmedTimer {
+    std::uint16_t kind;
+    JobId job;
+    std::uint64_t stamp;
+    PoolId pool;
+    Ticks rel_due;
+  };
+  std::vector<RearmedTimer> rearm;
+  std::vector<std::uint8_t> core_payload;
+  bool restore_draining = false;
+  if (plan.snapshot.has_value()) {
+    WireReader r(plan.snapshot->payload);
+    NETBATCH_CHECK(r.U32() == kSnapshotWrapperVersion,
+                   "snapshot wrapper version mismatch");
+    NETBATCH_CHECK(r.U32() == options_.shard_index &&
+                       r.U32() == options_.shard_count,
+                   "snapshot belongs to a different shard topology");
+    restore_draining = r.U32() != 0;
+    tick_offset_ = std::max(tick_offset_, r.I64());
+    const std::uint32_t timer_count = r.U32();
+    NETBATCH_CHECK(r.ok(), "snapshot wrapper truncated");
+    rearm.reserve(timer_count);
+    for (std::uint32_t i = 0; i < timer_count; ++i) {
+      RearmedTimer t;
+      t.kind = r.U16();
+      t.job = JobId(static_cast<JobId::ValueType>(r.U64()));
+      t.stamp = r.U64();
+      t.pool = PoolId(r.U32());
+      t.rel_due = r.I64();
+      rearm.push_back(t);
+    }
+    const std::uint32_t core_len = r.U32();
+    NETBATCH_CHECK(r.ok(), "snapshot wrapper truncated");
+    r.Bytes(core_len, core_payload);
+    NETBATCH_CHECK(r.exhausted(), "snapshot wrapper has trailing bytes");
+  }
+  for (const persist::WalRecord& record : plan.tail) {
+    tick_offset_ = std::max(tick_offset_, WalRecordNow(record));
+  }
+
+  if (plan.snapshot.has_value()) {
+    // The snapshot passed its CRC, so a failed import is a codec bug, not
+    // disk damage — crash rather than serve an empty cluster.
+    NETBATCH_CHECK(core_.ImportState(core_payload),
+                   "snapshot payload failed to import");
+    if (restore_draining) {
+      draining_->store(true, std::memory_order_release);
+    }
+    const Ticks now = NowTicks();
+    for (const RearmedTimer& t : rearm) {
+      if (!core_.jobs().Contains(t.job)) continue;
+      Timer timer;
+      timer.due = now + t.rel_due;
+      timer.seq = next_timer_seq_++;
+      timer.kind = static_cast<TimerKind>(t.kind);
+      timer.job = t.job;
+      timer.stamp = t.stamp;
+      timer.pool = t.pool;
+      timers_.push_back(timer);
+      std::push_heap(timers_.begin(), timers_.end(), TimerLater{});
+    }
+  }
+
+  for (const persist::WalRecord& record : plan.tail) ApplyWalRecord(record);
+
+  // Re-register the surviving jobs in the shared directory (each shard
+  // recovers its own; the directory stripes its locks, so concurrent
+  // recovery is safe). Internal duplicates were never registered; terminal
+  // jobs are queued for the normal reclaim path instead.
+  std::size_t restored = 0;
+  for (const cluster::Job job : core_.jobs()) {
+    const JobId id = job.id();
+    if (!core_.jobs().Contains(id) || core_.jobs().at(id).slot() != job.slot()) {
+      continue;
+    }
+    ++restored;
+    if (IsTerminal(job.state())) {
+      reclaim_queue_.push_back(id);
+      continue;
+    }
+    if (!job.is_duplicate()) directory_->TryInsert(id, options_.shard_index);
+  }
+
+  persist::WalOptions wal_options;
+  wal_options.next_lsn = plan.next_lsn;
+  wal_options.fsync_every = options_.fsync_every;
+  wal_options.fsync_interval_ms = options_.fsync_interval_ms;
+  std::string error;
+  wal_ = persist::WalWriter::Open(options_.data_dir, wal_options, &error);
+  NETBATCH_CHECK(wal_ != nullptr, "failed to open WAL: " + error);
+
+  if (options_.checkpoint_every_ticks > 0) {
+    next_checkpoint_due_ = NowTicks() + options_.checkpoint_every_ticks;
+  }
+  wal_bytes_gauge_->Set(0);
+  wal_records_gauge_->Set(0);
+  recovery_ms_gauge_->Set(
+      static_cast<std::int64_t>((WallNanos() - start_ns) / 1'000'000ull));
+  if (plan.snapshot.has_value() || !plan.tail.empty()) {
+    NETBATCH_LOG(kInfo) << "shard " << options_.shard_index << ": recovered "
+                        << restored << " jobs (snapshot lsn "
+                        << (plan.snapshot ? plan.snapshot->lsn : 0)
+                        << ", replayed " << plan.tail.size()
+                        << " records, next lsn " << plan.next_lsn << ")";
+  }
+}
+
+void ShardLoop::DoLocalCheckpoint() {
+  // Nothing in the current WAL batch may outrun the snapshot that claims
+  // to cover it.
+  wal_->Sync();
+  const std::uint64_t lsn = wal_->last_lsn();
+  const Ticks now = NowTicks();
+
+  persist::SnapshotData snap;
+  snap.lsn = lsn;
+  WireWriter w(snap.payload);
+  w.U32(kSnapshotWrapperVersion);
+  w.U32(options_.shard_index);
+  w.U32(options_.shard_count);
+  w.U32(draining_->load(std::memory_order_acquire) ? 1 : 0);
+  w.I64(now);
+
+  // Pending host timers, minus the lazily-cancelled ones (dead job or
+  // stale generation), as relative deadlines sorted canonically.
+  std::vector<Timer> live;
+  for (const Timer& t : timers_) {
+    if (!core_.jobs().Contains(t.job)) continue;
+    if (!core_.jobs().at(t.job).GenerationIs(t.stamp)) continue;
+    live.push_back(t);
+  }
+  std::sort(live.begin(), live.end(), [](const Timer& a, const Timer& b) {
+    return a.due != b.due ? a.due < b.due : a.seq < b.seq;
+  });
+  w.U32(static_cast<std::uint32_t>(live.size()));
+  for (const Timer& t : live) {
+    WireWriter tw(snap.payload);
+    tw.U16(static_cast<std::uint16_t>(t.kind));
+    tw.U64(t.job.value());
+    tw.U64(t.stamp);
+    tw.U32(t.pool.value());
+    tw.I64(std::max<Ticks>(0, t.due - now));
+  }
+
+  std::vector<std::uint8_t> core_payload;
+  core_.ExportState(core_payload);
+  WireWriter(snap.payload).U32(static_cast<std::uint32_t>(core_payload.size()));
+  snap.payload.insert(snap.payload.end(), core_payload.begin(),
+                      core_payload.end());
+
+  std::string error;
+  NETBATCH_CHECK(persist::WriteSnapshot(options_.data_dir, snap, &error),
+                 "checkpoint write failed: " + error);
+  wal_->StartSegmentAndTruncate(lsn);
+  persist::DeleteSnapshotsBelow(options_.data_dir, lsn);
+  wal_bytes_gauge_->Set(static_cast<std::int64_t>(wal_->bytes_appended()));
+  wal_records_gauge_->Set(
+      static_cast<std::int64_t>(wal_->records_appended()));
+}
+
+void ShardLoop::StartCheckpointFanout(std::uint64_t token,
+                                      const FrameHeader& header,
+                                      std::vector<std::uint8_t>* out) {
+  DoLocalCheckpoint();
+  if (options_.shard_count == 1) {
+    RespondStatus(options_.shard_index, token, header, Status::kOk, out);
+    return;
+  }
+  const std::uint64_t gid = next_gather_id_++;
+  CheckpointGather& g = checkpoint_gathers_[gid];
+  g.token = token;
+  g.request_id = header.request_id;
+  g.opcode = header.opcode;
+  g.remaining = options_.shard_count - 1;
+  for (std::uint32_t s = 0; s < options_.shard_count; ++s) {
+    if (s == options_.shard_index) continue;
+    ShardMessage query;
+    query.kind = ShardMessage::Kind::kCheckpointQuery;
+    query.sender = options_.shard_index;
+    query.gather = gid;
+    peers_[s]->Post(std::move(query));
+  }
+}
+
+void ShardLoop::FinishCheckpointGather(std::uint64_t gather_id) {
+  const auto it = checkpoint_gathers_.find(gather_id);
+  CheckpointGather& g = it->second;
+  std::vector<std::uint8_t> payload;
+  WireWriter w(payload);
+  w.U32(static_cast<std::uint32_t>(Status::kOk));
+  std::vector<std::uint8_t> bytes;
+  EncodeFrame(g.opcode | kResponseBit, g.request_id, payload, bytes);
+  WriteToSession(g.token, bytes.data(), bytes.size());
+  checkpoint_gathers_.erase(it);
 }
 
 }  // namespace netbatch::service

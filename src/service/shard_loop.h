@@ -32,7 +32,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -44,6 +43,8 @@
 #include "net/mailbox.h"
 #include "net/poller.h"
 #include "net/session.h"
+#include "persist/recovery.h"
+#include "persist/wal.h"
 #include "service/job_directory.h"
 #include "service/protocol.h"
 #include "service/scheduler_core.h"
@@ -60,10 +61,12 @@ struct ShardMessage {
     kNewSession,     // fd (acceptor -> shard; fd < 0 is a stop nudge)
     kFrame,          // sender(origin shard), token, frame, arrival_ns
     kResponse,       // token, bytes (handler -> origin shard)
-    kStatsQuery,     // sender(origin), gather
-    kStatsReply,     // gather, counters, latency
-    kSnapshotQuery,  // sender(origin), gather
-    kSnapshotReply,  // gather, snapshot (pool ids already global)
+    kStatsQuery,       // sender(origin), gather
+    kStatsReply,       // gather, counters, latency
+    kSnapshotQuery,    // sender(origin), gather
+    kSnapshotReply,    // gather, snapshot (pool ids already global)
+    kCheckpointQuery,  // sender(origin), gather — force a durable snapshot
+    kCheckpointReply,  // gather
   };
   Kind kind = Kind::kNewSession;
   std::uint32_t sender = 0;  // shard index the reply/response goes back to
@@ -88,6 +91,17 @@ struct ShardOptions {
   std::uint32_t max_payload = kMaxPayloadBytes;
   // Per-session unsent-output cap (net::Session); 0 = unlimited.
   std::size_t max_session_pending = 4u << 20;
+  // Durability (src/persist). Empty = no WAL, no checkpoints, no recovery.
+  // This shard's private log directory; must exist before Start().
+  std::string data_dir;
+  // Group-commit fdatasync triggers, evaluated when the loop flushes the
+  // WAL before acking a batch (see persist/wal.h): sync after this many
+  // unsynced records (1 = every flush, 0 = no record trigger) ...
+  std::uint32_t fsync_every = 0;
+  // ... or after this many ms since the last sync (0 = no time trigger).
+  std::uint32_t fsync_interval_ms = 250;
+  // Ticks between automatic checkpoints; 0 = only on kCheckpoint/kDrain.
+  std::int64_t checkpoint_every_ticks = 0;
 };
 
 class ShardLoop final : private sched::CoreHost,
@@ -168,6 +182,14 @@ class ShardLoop final : private sched::CoreHost,
     std::uint32_t remaining = 0;
     sched::SchedulerCore::Snapshot merged;
   };
+  // kCheckpoint / kDrain wait for every shard's snapshot to be durable
+  // before acking; `opcode` is echoed so both ops share the machinery.
+  struct CheckpointGather {
+    std::uint64_t token = 0;
+    std::uint64_t request_id = 0;
+    std::uint16_t opcode = 0;
+    std::uint32_t remaining = 0;
+  };
 
   // --- pool id translation (interleaved sharding) ---------------------------
   PoolId ToGlobalPool(PoolId local) const {
@@ -215,10 +237,14 @@ class ShardLoop final : private sched::CoreHost,
   void DropSession(int fd);
   bool HandleReadable(SessionState& state, std::uint64_t token);
   void RearmSession(SessionState& state);
-  // Writes `bytes` to the session identified by `token` (no-op if the
-  // session is gone; drops it on error/overflow).
+  // Queues `bytes` on the session identified by `token` (no-op if the
+  // session is gone; drops it on overflow) and marks it for FlushRound().
   void WriteToSession(std::uint64_t token, const std::uint8_t* bytes,
                       std::size_t size);
+  // End of one loop iteration: one WAL flush for every record the round
+  // appended, THEN one socket flush per session with queued responses.
+  // That order is the append-before-ack invariant at batch granularity.
+  void FlushRound();
 
   // Frame dispatch. `origin` is the shard owning the session; `out` batches
   // responses when the frame came off a local readable (origin == this
@@ -253,6 +279,30 @@ class ShardLoop final : private sched::CoreHost,
   void FinishStatsGather(std::uint64_t gather_id);
   void FinishSnapshotGather(std::uint64_t gather_id);
 
+  // --- durability (active only when options_.data_dir is set) ---------------
+  // Rebuilds this shard's state from the newest valid snapshot plus the WAL
+  // tail, re-arms timers, re-registers surviving jobs in the shared
+  // directory, and opens the WAL for appending. Runs on the loop thread
+  // before the first poll.
+  void RecoverFromDisk();
+  void ValidateShardMeta();
+  void ApplyWalRecord(const persist::WalRecord& record);
+  // Buffers wal_payload_ as one record; FlushWal() moves the batch into
+  // the kernel. Every path that lets an ack escape this shard (a session
+  // write or a response posted to a peer) flushes first, so an acked
+  // mutation is always at least in the page cache when the client sees
+  // the ack — that is the whole crash-safety argument.
+  void AppendWal(std::uint16_t type);
+  void FlushWal();
+  // Syncs the WAL, writes a snapshot at last_lsn, then truncates the log
+  // and deletes superseded snapshots. Callable at any point between core
+  // operations — terminal-but-unreclaimed jobs serialize fine.
+  void DoLocalCheckpoint();
+  // Checkpoints locally, then every peer; responds kOk when all are durable.
+  void StartCheckpointFanout(std::uint64_t token, const FrameHeader& header,
+                             std::vector<std::uint8_t>* out);
+  void FinishCheckpointGather(std::uint64_t gather_id);
+
   ShardOptions options_;
   sched::SchedulerCore core_;
   JobDirectory* directory_;
@@ -263,11 +313,26 @@ class ShardLoop final : private sched::CoreHost,
   net::Poller poller_;
   std::unordered_map<int, SessionState> sessions_;
   std::uint32_t next_session_gen_ = 1;
+  // Tokens of sessions that queued output this iteration (may repeat; a
+  // second FlushPending on a drained session is a no-op).
+  std::vector<std::uint64_t> round_dirty_;
 
-  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  // A binary heap via push_heap/pop_heap rather than priority_queue so
+  // checkpointing can iterate the pending timers.
+  std::vector<Timer> timers_;
   std::uint64_t next_timer_seq_ = 0;
 
   std::uint64_t clock_origin_ns_ = 0;
+  // Recovery fast-forwards the tick clock past every persisted stamp
+  // (elapsed time must never read negative inside the core).
+  Ticks tick_offset_ = 0;
+
+  std::unique_ptr<persist::WalWriter> wal_;
+  std::vector<std::uint8_t> wal_payload_;
+  Ticks next_checkpoint_due_ = 0;
+  Gauge* wal_bytes_gauge_ = nullptr;
+  Gauge* wal_records_gauge_ = nullptr;
+  Gauge* recovery_ms_gauge_ = nullptr;
 
   std::unordered_map<JobId, std::uint64_t> submit_arrival_ns_;
   Gauge* latency_map_gauge_ = nullptr;
@@ -278,6 +343,7 @@ class ShardLoop final : private sched::CoreHost,
   std::uint64_t next_gather_id_ = 1;
   std::unordered_map<std::uint64_t, StatsGather> stats_gathers_;
   std::unordered_map<std::uint64_t, SnapshotGather> snapshot_gathers_;
+  std::unordered_map<std::uint64_t, CheckpointGather> checkpoint_gathers_;
 
   std::thread thread_;
   std::atomic<bool> stop_{false};

@@ -35,9 +35,11 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
@@ -72,6 +74,15 @@ constexpr const char* kUsage = R"(netbatch_loadgen — netbatchd load generator
   --window=<n>                 max in-flight requests per session when
                                --speed=0 (default 64)
   --json-out=<file>            write a machine-readable result summary
+  --acked-out=<file>           crash-drill mode: append every acked submit's
+                               request_id (one per line, flushed per ack)
+                               and tolerate the daemon dying mid-run — the
+                               file is the acked prefix a restarted daemon
+                               must still know
+  --verify-acked=<file>        query-only mode: read request_ids from the
+                               file, kQueryJob each against the daemon, and
+                               exit nonzero if any is unknown or listed
+                               twice (no jobs are submitted)
 )";
 
 std::uint64_t WallNanos() {
@@ -81,15 +92,26 @@ std::uint64_t WallNanos() {
           .count());
 }
 
-void SendAll(int fd, const std::uint8_t* data, std::size_t size) {
+// Returns false when the peer is gone (crash-drill sessions tolerate that;
+// everything else treats it as fatal).
+bool SendAll(int fd, const std::uint8_t* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
     const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
-    NETBATCH_CHECK(n > 0, "send to netbatchd failed");
+    if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
+  return true;
 }
+
+// Serialized sink for --acked-out: one decimal request_id per line, flushed
+// before the ack is counted, so the file never claims an ack that was not
+// fully received.
+struct AckedLog {
+  std::mutex mu;
+  std::ofstream out;
+};
 
 // Per-session tallies, merged after the workers join.
 struct SessionResult {
@@ -106,6 +128,9 @@ struct LoadConfig {
   std::uint16_t tcp_port = 0;
   double speed = 1000;   // 0 = unthrottled
   std::size_t window = 64;
+  // Crash-drill hooks (--acked-out): record acks, survive the daemon dying.
+  AckedLog* acked_log = nullptr;
+  bool tolerate_close = false;
 };
 
 int Connect(const LoadConfig& config) {
@@ -171,14 +196,24 @@ void RunSession(const LoadConfig& config,
           static_cast<std::uint16_t>(service::Opcode::kSubmit),
           /*request_id=*/spec.id.value(), payload, frame_buf);
       in_flight.emplace(spec.id.value(), WallNanos());
-      SendAll(fd, frame_buf.data(), frame_buf.size());
+      if (!SendAll(fd, frame_buf.data(), frame_buf.size())) {
+        NETBATCH_CHECK(config.tolerate_close,
+                       "send to netbatchd failed mid-run");
+        ::close(fd);
+        return;  // crash drill: the acked prefix is already on disk
+      }
       ++next;
     }
 
     // Drain at least one response.
     const ssize_t n = ::recv(fd, read_buf, sizeof(read_buf), 0);
     if (n < 0 && errno == EINTR) continue;
-    NETBATCH_CHECK(n > 0, "netbatchd closed the session mid-run");
+    if (n <= 0) {
+      NETBATCH_CHECK(config.tolerate_close,
+                     "netbatchd closed the session mid-run");
+      ::close(fd);
+      return;
+    }
     NETBATCH_CHECK(
         decoder.Feed(read_buf, static_cast<std::size_t>(n), frames),
         "protocol error from netbatchd: " + decoder.error());
@@ -193,11 +228,85 @@ void RunSession(const LoadConfig& config,
       service::SubmitResponse response;
       NETBATCH_CHECK(service::DecodeSubmitResponse(frame.payload, response),
                      "malformed submit response");
+      // Record the ack before counting it: only ids whose job survives on
+      // the daemon (placed or queued) are part of the recovery contract.
+      if (config.acked_log != nullptr &&
+          (response.status == service::Status::kOk ||
+           response.status == service::Status::kQueued)) {
+        std::lock_guard<std::mutex> lock(config.acked_log->mu);
+        config.acked_log->out << frame.header.request_id << '\n';
+        config.acked_log->out.flush();
+      }
       CountStatus(response.status, result);
     }
     frames.clear();
   }
   ::close(fd);
+}
+
+// --verify-acked: replay the acked-id file as kQueryJob probes. Every id
+// must be known to the daemon and listed exactly once — the client half of
+// the crash-recovery contract.
+int VerifyAcked(const LoadConfig& config, const std::string& path) {
+  std::ifstream in(path);
+  NETBATCH_CHECK(static_cast<bool>(in), "cannot open --verify-acked file");
+  std::vector<std::uint64_t> ids;
+  std::unordered_set<std::uint64_t> seen;
+  std::uint64_t duplicate_lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::uint64_t id = std::stoull(line);
+    if (!seen.insert(id).second) {
+      ++duplicate_lines;
+      continue;
+    }
+    ids.push_back(id);
+  }
+
+  const int fd = Connect(config);
+  NETBATCH_CHECK(fd >= 0, "cannot connect to netbatchd");
+  service::FrameDecoder decoder;
+  std::vector<service::Frame> frames;
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> frame_buf;
+  std::uint8_t read_buf[1 << 16];
+  std::size_t next = 0;
+  std::size_t received = 0;
+  std::uint64_t unknown = 0;
+  while (received < ids.size()) {
+    while (next < ids.size() && next - received < config.window) {
+      payload.clear();
+      service::WireWriter(payload).U64(ids[next]);
+      frame_buf.clear();
+      service::EncodeFrame(static_cast<std::uint16_t>(service::Opcode::kQueryJob),
+                           /*request_id=*/ids[next], payload, frame_buf);
+      NETBATCH_CHECK(SendAll(fd, frame_buf.data(), frame_buf.size()),
+                     "send to netbatchd failed");
+      ++next;
+    }
+    const ssize_t n = ::recv(fd, read_buf, sizeof(read_buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    NETBATCH_CHECK(n > 0, "netbatchd closed the verify session");
+    NETBATCH_CHECK(decoder.Feed(read_buf, static_cast<std::size_t>(n), frames),
+                   "protocol error from netbatchd: " + decoder.error());
+    for (const service::Frame& frame : frames) {
+      service::WireReader r(frame.payload);
+      const auto status = static_cast<service::Status>(r.U32());
+      if (status == service::Status::kUnknownJob) {
+        std::printf("verify: job %llu unknown after restart\n",
+                    static_cast<unsigned long long>(frame.header.request_id));
+        ++unknown;
+      }
+      ++received;
+    }
+    frames.clear();
+  }
+  ::close(fd);
+  std::printf("verify: %zu acked ids, %llu unknown, %llu duplicate lines\n",
+              ids.size(), static_cast<unsigned long long>(unknown),
+              static_cast<unsigned long long>(duplicate_lines));
+  return (unknown == 0 && duplicate_lines == 0) ? 0 : 1;
 }
 
 // Sends one status-style request (kFailMachine / kRepairMachine / kDrain)
@@ -301,6 +410,28 @@ int main(int argc, char** argv) {
   NETBATCH_CHECK(config.window > 0, "--window must be > 0");
   const auto sessions = static_cast<std::size_t>(flags.GetInt("sessions", 4));
   NETBATCH_CHECK(sessions > 0, "--sessions must be > 0");
+
+  // Query-only mode: verify a previous run's acked ids and exit.
+  const std::string verify_acked = flags.GetString("verify-acked", "");
+  if (!verify_acked.empty()) {
+    const auto unused_verify = flags.UnusedFlags();
+    NETBATCH_CHECK(
+        unused_verify.empty(),
+        "unknown flag --" +
+            (unused_verify.empty() ? "" : unused_verify.front()) +
+            " (see --help)");
+    return VerifyAcked(config, verify_acked);
+  }
+
+  AckedLog acked_log;
+  const std::string acked_out = flags.GetString("acked-out", "");
+  if (!acked_out.empty()) {
+    acked_log.out.open(acked_out, std::ios::trunc);
+    NETBATCH_CHECK(static_cast<bool>(acked_log.out),
+                   "cannot open --acked-out path");
+    config.acked_log = &acked_log;
+    config.tolerate_close = true;
+  }
 
   workload::Trace trace;
   if (flags.Has("trace-in")) {

@@ -61,6 +61,20 @@ constexpr const char* kUsage = R"(netbatchd — NetBatchSim placement daemon
   --auto-complete=<bool>       daemon completes jobs after their runtime;
                                false leaves completion to clients
                                (default true)
+  --data-dir=<path>            durability root: shard s write-ahead-logs and
+                               checkpoints under <path>/shard-<s> and
+                               recovers from it on start (default off —
+                               in-memory only)
+  --fsync-every=<n>            fdatasync after n unsynced WAL records:
+                               1 = sync every ack batch, 0 = record
+                               trigger off (default 0; SIGKILL durability
+                               never depends on fsync)
+  --fsync-interval-ms=<n>      fdatasync when n ms have passed since the
+                               last sync; 0 = time trigger off (default
+                               250 — bounds the power-loss window)
+  --checkpoint-every=<sec>     write a checkpoint every n wall-clock
+                               seconds; 0 = only on kCheckpoint/kDrain
+                               requests (default 0)
 )";
 
 std::atomic<bool> g_stop{false};
@@ -91,6 +105,17 @@ int main(int argc, char** argv) {
   options.threads = static_cast<std::uint32_t>(threads);
   options.time_scale = flags.GetInt("time-scale", 1000);
   options.auto_complete = flags.GetBool("auto-complete", true);
+  options.data_dir = flags.GetString("data-dir", "");
+  const int fsync_every = flags.GetInt("fsync-every", 0);
+  NETBATCH_CHECK(fsync_every >= 0, "--fsync-every must be >= 0");
+  options.fsync_every = static_cast<std::uint32_t>(fsync_every);
+  const int fsync_interval = flags.GetInt("fsync-interval-ms", 250);
+  NETBATCH_CHECK(fsync_interval >= 0, "--fsync-interval-ms must be >= 0");
+  options.fsync_interval_ms = static_cast<std::uint32_t>(fsync_interval);
+  const int checkpoint_every = flags.GetInt("checkpoint-every", 0);
+  NETBATCH_CHECK(checkpoint_every >= 0, "--checkpoint-every must be >= 0");
+  // Wall seconds -> ticks: the loop clock runs time_scale ticks per second.
+  options.checkpoint_every_ticks = checkpoint_every * options.time_scale;
 
   const double scale = flags.GetDouble("scale", 0.25);
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
