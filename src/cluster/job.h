@@ -276,6 +276,32 @@ class JobArena {
     ++reclaimed_count_;
   }
 
+  // Generation floors of the parked free slots, bottom of the reuse stack
+  // first — the serializable form of the free list. Slot indices mean
+  // nothing across processes; only the floors and their LIFO order must
+  // survive a snapshot, so that a WAL-replayed Create reuses a slot at
+  // exactly the generation the live run's Create handed out (stale-timer
+  // stamps in replayed records would otherwise never match).
+  void AppendFreeSlotGenerations(std::vector<std::uint64_t>& out) const {
+    for (const std::uint32_t slot : free_slots_) {
+      out.push_back(generation_[slot]);
+    }
+  }
+
+  // Re-creates one parked slot carrying only its generation floor, in the
+  // same order AppendFreeSlotGenerations emitted (bottom first) so the
+  // restored stack pops in the live order. The slot is unreachable by id
+  // (its spec holds the invalid sentinel) until a Create reuses it.
+  void RestoreFreeSlot(std::uint64_t generation) {
+    NETBATCH_CHECK(reclaim_enabled_,
+                   "RestoreFreeSlot without EnableReclamation");
+    const auto slot = static_cast<std::uint32_t>(spec_.size());
+    AppendSlot(workload::JobSpec{});
+    state_[slot] = JobState::kKilled;  // shaped like a genuinely erased slot
+    generation_[slot] = generation;
+    free_slots_.push_back(slot);
+  }
+
   // Jobs currently reachable by id (size() minus free slots).
   std::size_t live_size() const { return spec_.size() - free_slots_.size(); }
   std::uint64_t reclaimed_count() const { return reclaimed_count_; }

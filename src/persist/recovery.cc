@@ -1,5 +1,8 @@
 #include "persist/recovery.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace netbatch::persist {
 
 RecoveryPlan BuildRecoveryPlan(const std::string& dir) {

@@ -1,6 +1,7 @@
 #include "persist/snapshot.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -158,6 +159,17 @@ std::optional<SnapshotData> LoadNewestSnapshot(const std::string& dir) {
     }
     const std::uint64_t payload_len = GetU64(header + 16);
     const std::uint32_t stored_crc = GetU32(header + 24);
+    // The length field is not covered by the payload CRC, so validate it
+    // against the file's actual size before trusting it with an allocation:
+    // a corrupted length must read as "corrupt snapshot, try the next one",
+    // not as a near-2^64 resize() that kills recovery with bad_alloc.
+    struct stat st;
+    if (::fstat(fd, &st) != 0 ||
+        static_cast<std::uint64_t>(st.st_size) !=
+            kSnapshotHeaderBytes + payload_len) {
+      ::close(fd);
+      continue;
+    }
     SnapshotData snap;
     snap.lsn = lsn;
     snap.payload.resize(payload_len);

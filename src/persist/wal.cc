@@ -236,6 +236,19 @@ std::unique_ptr<WalWriter> WalWriter::Open(const std::string& dir,
         if (error) *error = "cannot truncate WAL segment " + newest_keep;
         return nullptr;
       }
+      // The truncation itself must be durable before any new segment takes
+      // acked records: if power is lost with the shrunken length still only
+      // in memory, the torn bytes resurrect, the next scan stops at them,
+      // and every durably-synced record in newer segments is discarded.
+      const int tfd = ::open(newest_keep.c_str(), O_WRONLY);
+      const bool trunc_synced = tfd >= 0 && ::fsync(tfd) == 0;
+      if (tfd >= 0) ::close(tfd);
+      if (!trunc_synced) {
+        if (error) {
+          *error = "cannot fsync truncated WAL segment " + newest_keep;
+        }
+        return nullptr;
+      }
     }
   }
 

@@ -688,7 +688,9 @@ std::size_t SchedulerCore::SuspendedJobCount() const {
 
 namespace {
 
-constexpr std::uint32_t kCoreStateVersion = 1;
+// v2: trailing free-slot generation-floor section (WAL-replayed admissions
+// must reuse slots at the same floors the live run did).
+constexpr std::uint32_t kCoreStateVersion = 2;
 
 void EncodeJobRecord(const cluster::JobTable& jobs, JobId id,
                      std::vector<std::uint8_t>& out,
@@ -836,6 +838,17 @@ void SchedulerCore::ExportState(std::vector<std::uint8_t>& out) const {
   }
   w.U32(static_cast<std::uint32_t>(loose.size()));
   for (const JobId id : loose) EncodeJobRecord(jobs_, id, out, scratch);
+
+  // Parked free-slot generation floors, bottom of the reuse stack first.
+  // Without them a restored (compacted) arena would hand WAL-replayed
+  // submits fresh generation-0 slots where the live run reused parked ones,
+  // and every replayed timer stamp for those jobs would read as stale.
+  std::vector<std::uint64_t> floors;
+  jobs_.AppendFreeSlotGenerations(floors);
+  w.U32(static_cast<std::uint32_t>(floors.size()));
+  for (const std::uint64_t floor : floors) {
+    service::WireWriter(out).U64(floor);
+  }
 }
 
 bool SchedulerCore::ImportState(const std::vector<std::uint8_t>& payload) {
@@ -945,6 +958,18 @@ bool SchedulerCore::ImportState(const std::vector<std::uint8_t>& payload) {
         break;
     }
     jobs_.RestoreJob(std::move(spec), image);
+  }
+
+  // Free-slot floors last: every RestoreJob above ran with an empty free
+  // list (fresh slots only), so re-parking these now rebuilds the reuse
+  // stack in its live LIFO order without disturbing the restored jobs.
+  const std::uint32_t floor_count = r.U32();
+  if (!r.ok() || floor_count > payload.size()) return false;
+  if (floor_count > 0 && !jobs_.reclaim_enabled()) return false;
+  for (std::uint32_t i = 0; i < floor_count; ++i) {
+    const std::uint64_t floor = r.U64();
+    if (!r.ok()) return false;
+    jobs_.RestoreFreeSlot(floor);
   }
   if (!r.exhausted()) return false;
   CheckInvariants();

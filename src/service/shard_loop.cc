@@ -1,9 +1,12 @@
 #include "service/shard_loop.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <utility>
@@ -39,7 +42,18 @@ enum class WalKind : std::uint16_t {
   kMachineOp = 3,  // now, u16 opcode, u32 local pool, u32 machine
   kTimer = 4,      // now, u16 kind, u64 job, u64 stamp, u32 local pool
   kDrain = 5,      // now
+  // now, u32 count, count * u64 job id. Reclamation reuses job-table slots
+  // (with a generation floor), so WHEN a terminal job left the table is as
+  // much a part of the decision sequence as the ops themselves: replay must
+  // erase the same ids at the same point or later submits land in different
+  // slots/generations than the live run (and an acked re-submit of a
+  // reclaimed id would bounce off its still-present predecessor).
+  kReclaim = 6,
 };
+
+// Ids per kReclaim record; a pathological round reclaiming more than this
+// simply logs several records back to back (erase order is preserved).
+constexpr std::size_t kReclaimIdsPerRecord = 8192;
 
 // Version tag of the shard wrapper around the core's serialized state
 // inside a snapshot payload.
@@ -336,13 +350,31 @@ void ShardLoop::DrainMailbox() {
 }
 
 void ShardLoop::DrainReclaim() {
+  reclaimed_ids_.clear();
   for (JobId id : reclaim_queue_) {
     if (!core_.jobs().Contains(id)) continue;  // already reclaimed
     if (!IsTerminal(core_.jobs().at(id).state())) continue;
     directory_->EraseIfOwner(id, options_.shard_index);
     core_.jobs().Erase(id);
+    if (wal_ != nullptr) reclaimed_ids_.push_back(id);
   }
   reclaim_queue_.clear();
+  // Erasing frees slots for reuse, which moves the generation sequence
+  // later Creates observe — log it so replay reclaims at the same point
+  // (see WalKind::kReclaim).
+  for (std::size_t base = 0; base < reclaimed_ids_.size();
+       base += kReclaimIdsPerRecord) {
+    const std::size_t end =
+        std::min(base + kReclaimIdsPerRecord, reclaimed_ids_.size());
+    wal_payload_.clear();
+    WireWriter w(wal_payload_);
+    w.I64(NowTicks());
+    w.U32(static_cast<std::uint32_t>(end - base));
+    for (std::size_t i = base; i < end; ++i) {
+      w.U64(reclaimed_ids_[i].value());
+    }
+    AppendWal(static_cast<std::uint16_t>(WalKind::kReclaim));
+  }
 }
 
 void ShardLoop::HandleMessage(ShardMessage& msg) {
@@ -997,19 +1029,48 @@ void ShardLoop::ValidateShardMeta() {
   if (in) {
     std::vector<std::uint8_t> existing(
         (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-    // Reusing a data directory under a different topology would silently
-    // misroute every recovered job; refuse loudly instead.
-    NETBATCH_CHECK(existing == meta,
+    if (existing == meta) return;
+    // Separate an intact-but-different file from a torn write: the trailing
+    // CRC vouches for intactness. Intact + different topology would
+    // silently misroute every recovered job — refuse loudly. A torn file
+    // (crash mid-write) says nothing about the topology; rewriting it below
+    // keeps an otherwise healthy data dir bootable.
+    const bool intact =
+        existing.size() == meta.size() &&
+        [&] {
+          WireReader r(existing);
+          const std::uint32_t magic = r.U32();
+          r.U32();  // shard index
+          r.U32();  // shard count
+          r.U32();  // pool count
+          const std::uint32_t crc = r.U32();
+          return r.exhausted() && magic == kShardMetaMagic &&
+                 crc == ExtendCrc32c(0, existing.data(), existing.size() - 4);
+        }();
+    NETBATCH_CHECK(!intact,
                    "shard.meta mismatch: " + path +
                        " was written by a daemon with different "
-                       "--threads/pool topology (or is corrupt)");
-    return;
+                       "--threads/pool topology");
+    NETBATCH_LOG(kWarn) << "shard " << options_.shard_index
+                        << ": torn/corrupt shard.meta, rewriting";
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(reinterpret_cast<const char*>(meta.data()),
-            static_cast<std::streamsize>(meta.size()));
-  out.flush();
-  NETBATCH_CHECK(out.good(), "failed to write " + path);
+  in.close();
+  // tmp + fsync + rename, like snapshots: a crash mid-write must never
+  // leave a partial file that bricks every subsequent start.
+  const std::string tmp_path = path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  NETBATCH_CHECK(fd >= 0, "cannot create " + tmp_path);
+  std::size_t off = 0;
+  while (off < meta.size()) {
+    const ssize_t n = ::write(fd, meta.data() + off, meta.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    NETBATCH_CHECK(n > 0, "cannot write " + tmp_path);
+    off += static_cast<std::size_t>(n);
+  }
+  NETBATCH_CHECK(::fsync(fd) == 0, "cannot fsync " + tmp_path);
+  ::close(fd);
+  NETBATCH_CHECK(::rename(tmp_path.c_str(), path.c_str()) == 0,
+                 "cannot rename " + tmp_path);
 }
 
 void ShardLoop::ApplyWalRecord(const persist::WalRecord& record) {
@@ -1027,8 +1088,17 @@ void ShardLoop::ApplyWalRecord(const persist::WalRecord& record) {
       }
       const JobId id = spec.id;
       if (core_.jobs().Contains(id)) {
-        NETBATCH_LOG(kWarn) << "WAL " << record.lsn << ": duplicate submit";
-        return;
+        // Live, an id is only re-admitted after its terminal predecessor
+        // was reclaimed, and that reclaim rides the log as a kReclaim
+        // record preceding this one. A terminal occupant still here means
+        // the reclaim record was lost (or the log predates kReclaim):
+        // erase it rather than silently dropping an acked submit.
+        if (!IsTerminal(core_.jobs().at(id).state())) {
+          NETBATCH_LOG(kWarn) << "WAL " << record.lsn << ": duplicate submit";
+          return;
+        }
+        directory_->EraseIfOwner(id, options_.shard_index);
+        core_.jobs().Erase(id);
       }
       core_.AdmitJob(std::move(spec));
       core_.Submit(id, now);
@@ -1089,6 +1159,21 @@ void ShardLoop::ApplyWalRecord(const persist::WalRecord& record) {
         case TimerKind::kDelivery:
           core_.DeliverRestart(id, stamp, pool, now);
           break;
+      }
+      break;
+    }
+    case WalKind::kReclaim: {
+      // Mirror the live DrainReclaim that produced this record: erase the
+      // listed ids in order, so slot reuse (and the generation floors it
+      // seeds) advances exactly as it did before the crash.
+      const std::uint32_t count = r.U32();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const JobId id(static_cast<JobId::ValueType>(r.U64()));
+        if (!r.ok()) break;
+        if (!core_.jobs().Contains(id)) continue;
+        if (!IsTerminal(core_.jobs().at(id).state())) continue;
+        directory_->EraseIfOwner(id, options_.shard_index);
+        core_.jobs().Erase(id);
       }
       break;
     }

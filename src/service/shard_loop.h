@@ -339,6 +339,9 @@ class ShardLoop final : private sched::CoreHost,
   LatencyHistogram placement_latency_;
 
   std::vector<JobId> reclaim_queue_;
+  // Ids DrainReclaim actually erased this round, reused across rounds; they
+  // become the round's kReclaim WAL record(s) so replay reclaims in step.
+  std::vector<JobId> reclaimed_ids_;
 
   std::uint64_t next_gather_id_ = 1;
   std::unordered_map<std::uint64_t, StatsGather> stats_gathers_;

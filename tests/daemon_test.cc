@@ -191,6 +191,46 @@ TEST(JobTableReclaimTest, SparseIdsShareTheFreeListWithDenseIds) {
   EXPECT_GT(sparse_again.generation(), dense_generation);
 }
 
+TEST(JobTableReclaimTest, FreeSlotGenerationFloorsSurviveRestore) {
+  // A compacted snapshot restore rebuilds only live jobs, so the free list
+  // must be re-parked explicitly — otherwise replayed Creates observe
+  // generation floors of zero and every timer stamp the live run logged
+  // against a reused slot goes stale (or worse, a dead stamp goes fresh).
+  cluster::JobTable live;
+  live.EnableReclamation();
+  live.Create(TableSpec(1));
+  live.Create(TableSpec(2));
+  live.at(JobId(1)).EnsureGenerationAtLeast(5);
+  live.at(JobId(2)).EnsureGenerationAtLeast(9);
+  live.Erase(JobId(1));
+  live.Erase(JobId(2));
+
+  std::vector<std::uint64_t> floors;
+  live.AppendFreeSlotGenerations(floors);
+  ASSERT_EQ(floors.size(), 2u);
+
+  cluster::JobTable restored;
+  restored.EnableReclamation();
+  for (const std::uint64_t floor : floors) restored.RestoreFreeSlot(floor);
+  EXPECT_EQ(restored.size(), 2u);       // parked slots, shaped like erasures
+  EXPECT_EQ(restored.live_size(), 0u);  // but nothing reachable
+  EXPECT_FALSE(restored.Contains(JobId(1)));
+  EXPECT_FALSE(restored.Contains(JobId(2)));
+
+  // Both tables must now hand out identical slot/generation sequences —
+  // LIFO order included (job 2's slot, then job 1's).
+  const cluster::Job a_live = live.Create(TableSpec(3));
+  const cluster::Job a_restored = restored.Create(TableSpec(3));
+  EXPECT_EQ(a_restored.generation(), a_live.generation());
+  EXPECT_GT(a_restored.generation(), 9u);
+  const cluster::Job b_live = live.Create(TableSpec(4));
+  const cluster::Job b_restored = restored.Create(TableSpec(4));
+  EXPECT_EQ(b_restored.generation(), b_live.generation());
+  EXPECT_GT(b_restored.generation(), 5u);
+  EXPECT_EQ(restored.size(), 2u);  // reused, not appended
+  EXPECT_EQ(restored.live_size(), 2u);
+}
+
 TEST(JobTableReclaimTest, WithoutEnableReclamationCreateAlwaysAppends) {
   cluster::JobTable table;
   table.Create(TableSpec(1));

@@ -351,6 +351,43 @@ TEST(PersistTest, CorruptSnapshotIsNeverLoaded) {
   EXPECT_FALSE(LoadNewestSnapshot(dir.path()).has_value());
 }
 
+TEST(PersistTest, CorruptSnapshotLengthFieldIsNeverTrusted) {
+  // payload_len lives in the header outside the payload CRC. A corrupted
+  // length must be detected against the file's real size and treated as
+  // corruption (fall back to the next-newest snapshot) — not handed to
+  // resize(), where a near-2^64 value kills recovery with bad_alloc.
+  TempDir dir("snap_badlen");
+  std::string error;
+  SnapshotData old_snap;
+  old_snap.lsn = 5;
+  old_snap.payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(WriteSnapshot(dir.path(), old_snap, &error)) << error;
+  SnapshotData new_snap;
+  new_snap.lsn = 9;
+  new_snap.payload = {9, 9, 9, 9, 9, 9};
+  ASSERT_TRUE(WriteSnapshot(dir.path(), new_snap, &error)) << error;
+
+  const std::string newest = dir.path() + "/" + SnapshotFileName(9);
+  std::vector<std::uint8_t> bytes = ReadFileBytes(newest);
+  ASSERT_GE(bytes.size(), kSnapshotHeaderBytes);
+  // Length bytes (header offset 16..23) maxed out: a ~2^64 claim.
+  for (std::size_t i = 16; i < 24; ++i) bytes[i] = 0xff;
+  WriteFileBytes(newest, bytes);
+  auto loaded = LoadNewestSnapshot(dir.path());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->lsn, 5u);
+
+  // A too-small claim (file longer than the header admits) is corruption
+  // too, not a shorter-but-valid snapshot.
+  bytes = ReadFileBytes(newest);
+  for (std::size_t i = 16; i < 24; ++i) bytes[i] = 0;
+  bytes[16] = static_cast<std::uint8_t>(new_snap.payload.size() - 1);
+  WriteFileBytes(newest, bytes);
+  loaded = LoadNewestSnapshot(dir.path());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->lsn, 5u);
+}
+
 TEST(PersistTest, DeleteSnapshotsBelowKeepsTheNewest) {
   TempDir dir("snap_delete");
   std::string error;
@@ -937,6 +974,152 @@ TEST(DaemonPersistTest, TrailingWalGarbageIsDiscardedOnRestart) {
   // The reopened WAL keeps accepting appends past the trimmed garbage.
   EXPECT_EQ(client.Submit(rid++, MakeSpec(7, {PoolId(0)})).status,
             Status::kOk);
+}
+
+TEST(DaemonPersistTest, ResubmitOfReclaimedIdSurvivesCrash) {
+  // Live, a killed job is reclaimed (its id freed) before the client's next
+  // frame is handled, so a resubmit of the same id is acked as a fresh job.
+  // Replay must reproduce that reclaim from the WAL's kReclaim record —
+  // a replay without it sees the terminal predecessor still in the table
+  // and drops the acked resubmit as a "duplicate submit".
+  TempDir data("resubmit_data");
+  const std::string path = TestSocketPath("resubmit");
+  const cluster::ClusterConfig config = SmallCluster(1, 2, 4);
+  const DaemonOptions options = PersistOptions(path, data.path());
+
+  std::map<std::uint64_t, Client::JobOpResult> before;
+  std::vector<std::uint8_t> snapshot_before;
+  {
+    RunningDaemon daemon(config, options);
+    Client client(net::ConnectUnix(path));
+    ASSERT_TRUE(client.connected());
+    std::uint64_t rid = 1;
+    EXPECT_EQ(client.Submit(rid++, MakeSpec(1, {PoolId(0)})).status,
+              Status::kOk);
+    EXPECT_EQ(client.Submit(rid++, MakeSpec(2, {PoolId(0)})).status,
+              Status::kOk);
+    EXPECT_EQ(client.JobOp(Opcode::kKill, rid++, 1).status, Status::kOk);
+    // The kill queued job 1 for reclamation; the round woken by this query
+    // reclaims it before answering, so the id reads as gone...
+    EXPECT_EQ(client.JobOp(Opcode::kQueryJob, rid++, 1).status,
+              Status::kUnknownJob);
+    // ...and is accepted again. This ack is the one a reclaim-blind replay
+    // loses.
+    EXPECT_EQ(client.Submit(rid++, MakeSpec(1, {PoolId(0)})).status,
+              Status::kOk);
+    // Mutate the second incarnation so replay must act on it, not merely
+    // re-admit it.
+    EXPECT_EQ(client.JobOp(Opcode::kSuspend, rid++, 1).status, Status::kOk);
+    before = QueryAll(client, 2, rid);
+    snapshot_before = client.SnapshotBody(rid++);
+  }  // crash: no checkpoint — recovery replays submit, kill, reclaim, submit
+
+  RunningDaemon daemon(config, options);
+  Client client(net::ConnectUnix(path));
+  ASSERT_TRUE(client.connected());
+  std::uint64_t rid = 1000;
+  const auto after = QueryAll(client, 2, rid);
+  ExpectSameViews(before, after);
+  EXPECT_EQ(client.SnapshotBody(rid++), snapshot_before);
+  // The recovered second incarnation is live (suspended): its id is claimed.
+  EXPECT_EQ(client.Submit(rid++, MakeSpec(1, {PoolId(0)})).status,
+            Status::kBadRequest);
+}
+
+TEST(DaemonPersistTest, CheckpointAfterReclaimRestoresFreeSlotFloors) {
+  // A checkpoint taken after a reclaim compacts the dead slot away, but its
+  // generation floor must ride the snapshot (core state v2's trailing
+  // section): the post-checkpoint WAL re-admits the freed id into that very
+  // slot, and every stamp it logs assumes the floor the live run observed.
+  TempDir data("floors_data");
+  const std::string path = TestSocketPath("floors");
+  const cluster::ClusterConfig config = SmallCluster(1, 2, 4);
+  const DaemonOptions options = PersistOptions(path, data.path());
+
+  std::map<std::uint64_t, Client::JobOpResult> before;
+  std::vector<std::uint8_t> snapshot_before;
+  {
+    RunningDaemon daemon(config, options);
+    Client client(net::ConnectUnix(path));
+    ASSERT_TRUE(client.connected());
+    std::uint64_t rid = 1;
+    EXPECT_EQ(client.Submit(rid++, MakeSpec(1, {PoolId(0)})).status,
+              Status::kOk);
+    EXPECT_EQ(client.JobOp(Opcode::kKill, rid++, 1).status, Status::kOk);
+    EXPECT_EQ(client.JobOp(Opcode::kQueryJob, rid++, 1).status,
+              Status::kUnknownJob);
+    EXPECT_EQ(client.AdminOp(Opcode::kCheckpoint, rid++), Status::kOk);
+    // Post-snapshot slot reuse: replay lands this in the restored free slot.
+    EXPECT_EQ(client.Submit(rid++, MakeSpec(1, {PoolId(0)})).status,
+              Status::kOk);
+    EXPECT_EQ(client.JobOp(Opcode::kSuspend, rid++, 1).status, Status::kOk);
+    before = QueryAll(client, 1, rid);
+    snapshot_before = client.SnapshotBody(rid++);
+  }  // crash: restore the snapshot, replay the reuse on top of it
+
+  std::map<std::uint64_t, Client::JobOpResult> before2;
+  std::vector<std::uint8_t> snapshot_before2;
+  {
+    RunningDaemon daemon(config, options);
+    Client client(net::ConnectUnix(path));
+    ASSERT_TRUE(client.connected());
+    std::uint64_t rid = 1000;
+    const auto after = QueryAll(client, 1, rid);
+    ExpectSameViews(before, after);
+    EXPECT_EQ(client.SnapshotBody(rid++), snapshot_before);
+    EXPECT_EQ(client.Submit(rid++, MakeSpec(1, {PoolId(0)})).status,
+              Status::kBadRequest);
+
+    // Round two: retire the recovered incarnation and checkpoint the
+    // *restored* table — its export must carry the (now higher) floor —
+    // then reuse the slot once more and crash again.
+    EXPECT_EQ(client.JobOp(Opcode::kKill, rid++, 1).status, Status::kOk);
+    EXPECT_EQ(client.JobOp(Opcode::kQueryJob, rid++, 1).status,
+              Status::kUnknownJob);
+    EXPECT_EQ(client.AdminOp(Opcode::kCheckpoint, rid++), Status::kOk);
+    EXPECT_EQ(client.Submit(rid++, MakeSpec(2, {PoolId(0)})).status,
+              Status::kOk);
+    before2 = QueryAll(client, 2, rid);
+    snapshot_before2 = client.SnapshotBody(rid++);
+  }
+
+  RunningDaemon daemon(config, options);
+  Client client(net::ConnectUnix(path));
+  ASSERT_TRUE(client.connected());
+  std::uint64_t rid = 2000;
+  const auto after2 = QueryAll(client, 2, rid);
+  ExpectSameViews(before2, after2);
+  EXPECT_EQ(client.SnapshotBody(rid++), snapshot_before2);
+}
+
+TEST(DaemonPersistTest, TornShardMetaIsRewrittenOnRestart) {
+  // shard.meta is written on every start; a crash mid-write leaves a torn
+  // file. That must read as "rewrite it" — not as the fatal topology
+  // mismatch, which would permanently brick an otherwise healthy data dir.
+  TempDir data("meta_data");
+  const std::string path = TestSocketPath("meta");
+  const cluster::ClusterConfig config = SmallCluster(1, 2, 4);
+  const DaemonOptions options = PersistOptions(path, data.path());
+  {
+    RunningDaemon daemon(config, options);
+    Client client(net::ConnectUnix(path));
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.Submit(1, MakeSpec(1, {PoolId(0)})).status, Status::kOk);
+  }
+  // Tear the 20-byte meta mid-payload.
+  ChopTail(data.path() + "/shard-0/shard.meta", 13);
+  {
+    RunningDaemon daemon(config, options);
+    Client client(net::ConnectUnix(path));
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.JobOp(Opcode::kQueryJob, 100, 1).status, Status::kOk);
+  }
+  // The rewrite restored a whole file: a third start validates it cleanly
+  // and still refuses nothing.
+  RunningDaemon daemon(config, options);
+  Client client(net::ConnectUnix(path));
+  ASSERT_TRUE(client.connected());
+  EXPECT_EQ(client.JobOp(Opcode::kQueryJob, 200, 1).status, Status::kOk);
 }
 
 }  // namespace
