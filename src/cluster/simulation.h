@@ -87,6 +87,11 @@ struct SimulationOptions {
   // every pool-level job transition (start / resume / enqueue).
   Ticks audit_period = 0;
   bool audit_on_transitions = false;
+  // 0 = the classic single-domain engine (NetBatchSimulation). >= 1 selects
+  // the sharded engine (ShardedSimulation) with that many worker threads;
+  // results are bit-identical across every value >= 1, so shards=1 is the
+  // reference execution and larger values only buy wall-clock.
+  int shards = 0;
 };
 
 class NetBatchSimulation final : public ClusterView,

@@ -1,8 +1,47 @@
 #include "common/counters.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace netbatch {
+
+GaugeMergePolicy GaugeMergePolicyFor(std::string_view name) {
+  // Watermark gauges: each shard reports its own maximum (or a duration that
+  // is not additive across shards), so the cluster-wide value is the max of
+  // the per-shard values — summing them fabricates a number no shard ever saw.
+  if (name == "daemon.recovery_ms") return GaugeMergePolicy::kMax;
+  if (name == "daemon.latency_map_entries") return GaugeMergePolicy::kMax;
+  return GaugeMergePolicy::kSum;
+}
+
+void MergeCounterSnapshots(CounterSnapshot& into, const CounterSnapshot& from) {
+  for (const auto& [name, value] : from.counters) {
+    auto it = std::find_if(
+        into.counters.begin(), into.counters.end(),
+        [&](const auto& entry) { return entry.first == name; });
+    if (it == into.counters.end()) {
+      into.counters.emplace_back(name, value);
+    } else {
+      it->second += value;
+    }
+  }
+  for (const auto& [name, value, max] : from.gauges) {
+    auto it = std::find_if(into.gauges.begin(), into.gauges.end(),
+                           [&](const auto& entry) {
+                             return std::get<0>(entry) == name;
+                           });
+    if (it == into.gauges.end()) {
+      into.gauges.emplace_back(name, value, max);
+      continue;
+    }
+    if (GaugeMergePolicyFor(name) == GaugeMergePolicy::kMax) {
+      std::get<1>(*it) = std::max(std::get<1>(*it), value);
+    } else {
+      std::get<1>(*it) += value;
+    }
+    std::get<2>(*it) = std::max(std::get<2>(*it), max);
+  }
+}
 
 Counter& CounterRegistry::GetCounter(std::string_view name) {
   auto it = counter_index_.find(std::string(name));

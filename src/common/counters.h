@@ -52,6 +52,25 @@ struct CounterSnapshot {
   std::vector<std::tuple<std::string, std::int64_t, std::int64_t>> gauges;
 };
 
+// How a gauge's *value* combines when snapshots from several shards (or
+// simulation domains) are folded into one cluster-wide view. Counters always
+// add; a gauge's `max` field always merges by max-of-maxes — the policy only
+// decides the merged `value`.
+enum class GaugeMergePolicy {
+  kSum,  // additive quantities: busy cores, queue depths, pending events
+  kMax,  // watermarks / per-shard maxima: recovery time, map high-water marks
+};
+
+// Per-gauge merge policy by name. Additive by default; watermark-style
+// gauges — whose per-shard values are already maxima or durations that do
+// not add across shards — merge by max.
+GaugeMergePolicy GaugeMergePolicyFor(std::string_view name);
+
+// Folds `from` into `into`: counters add, gauge values merge per
+// GaugeMergePolicyFor, gauge maxes merge by max. Names absent from `into`
+// are appended, preserving first-seen order.
+void MergeCounterSnapshots(CounterSnapshot& into, const CounterSnapshot& from);
+
 class CounterRegistry {
  public:
   // Returns the counter/gauge with `name`, creating it on first use.

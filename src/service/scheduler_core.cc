@@ -46,7 +46,11 @@ SchedulerCore::SchedulerCore(const cluster::ClusterConfig& config,
         machines.Add(group.cores, group.memory_mb, group.speed, group.owner);
       }
     }
-    NETBATCH_CHECK(!machines.empty(), "pool without machines");
+    // A pool with no machine groups at all is a deliberate capacity-less
+    // husk (the sharded engine slices a cluster by emptying remote pools'
+    // group lists); declared groups that sum to zero machines stay an error.
+    NETBATCH_CHECK(!machines.empty() || config.pools[p].machine_groups.empty(),
+                   "pool without machines");
     pools_.push_back(std::make_unique<PhysicalPool>(
         pool_id, std::move(machines), jobs_, config.suspended_holds_memory,
         config.local_resume_first,

@@ -70,32 +70,11 @@ Ticks WalRecordNow(const persist::WalRecord& record) {
   return static_cast<Ticks>(v);
 }
 
-// Folds `src` into `dst` by name: counters add, gauge values and maxes add
-// (each name is a disjoint per-shard quantity, so the cluster-wide reading
-// is the sum). Names are few (~20) and stats queries rare, so linear search
-// beats carrying an index around.
-void MergeCounterSnapshots(CounterSnapshot& dst, const CounterSnapshot& src) {
-  for (const auto& [name, value] : src.counters) {
-    auto it = std::find_if(dst.counters.begin(), dst.counters.end(),
-                           [&](const auto& c) { return c.first == name; });
-    if (it == dst.counters.end()) {
-      dst.counters.emplace_back(name, value);
-    } else {
-      it->second += value;
-    }
-  }
-  for (const auto& [name, value, max] : src.gauges) {
-    auto it = std::find_if(dst.gauges.begin(), dst.gauges.end(), [&](const auto& g) {
-      return std::get<0>(g) == name;
-    });
-    if (it == dst.gauges.end()) {
-      dst.gauges.emplace_back(name, value, max);
-    } else {
-      std::get<1>(*it) += value;
-      std::get<2>(*it) += max;
-    }
-  }
-}
+// Scatter-gather stats folding uses the shared netbatch::MergeCounterSnapshots
+// (common/counters.h): counters add, gauge values merge per-policy (sum for
+// additive quantities, max for watermarks like daemon.recovery_ms), gauge
+// maxes merge by max — a 2-shard daemon must report the cluster-wide
+// watermark, not the sum of per-shard watermarks.
 
 // Same layout as CounterRegistry::Render(), so clients parse one format
 // whether the daemon runs one shard or many.

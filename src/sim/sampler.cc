@@ -14,13 +14,20 @@ PeriodicSampler::PeriodicSampler(Simulator& sim, Ticks start, Ticks period,
 }
 
 void PeriodicSampler::Stop() {
-  if (active_) {
+  // Idempotent: cancels the pending tick if one is armed (it never is after
+  // a predicate-triggered stop — Fire clears its handle before the predicate
+  // runs, so there is no stale handle to cancel by mistake).
+  if (pending_ != kNoEvent) {
     sim_->Cancel(pending_);
-    active_ = false;
+    pending_ = kNoEvent;
   }
+  active_ = false;
 }
 
 void PeriodicSampler::StopWhen(std::function<bool(Ticks)> pred) {
+  // Re-arming a stopped sampler would silently do nothing (Fire never runs
+  // again) — make that a loud lifecycle error instead.
+  NETBATCH_CHECK(active_, "StopWhen on a stopped PeriodicSampler");
   stop_pred_ = std::move(pred);
 }
 
@@ -29,6 +36,9 @@ void PeriodicSampler::ScheduleNext(Ticks at) {
 }
 
 void PeriodicSampler::Fire(Ticks now) {
+  // This tick just fired; its handle must not outlive it, or a later Stop()
+  // would cancel whatever event recycled the slot.
+  pending_ = kNoEvent;
   if (!active_) return;
   on_sample_(now);
   ++samples_taken_;

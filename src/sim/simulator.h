@@ -13,6 +13,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/check.h"
@@ -72,6 +73,14 @@ class Simulator {
 
   // Pre-sizes the event heap (e.g. for the trace size).
   void Reserve(std::size_t events) { queue_.Reserve(events); }
+
+  // Time of the earliest live event, or nullopt when the queue is empty.
+  // Non-const because peeking lazily drops cancelled heap tops. Used by the
+  // sharded coordinator to size conservative sync windows.
+  std::optional<Ticks> NextEventTime() {
+    if (queue_.Empty()) return std::nullopt;
+    return queue_.PeekTime();
+  }
 
   std::size_t PendingEvents() const { return queue_.LiveCount(); }
   std::uint64_t FiredEvents() const { return fired_events_; }

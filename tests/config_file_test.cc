@@ -33,6 +33,7 @@ policy     = ResSusWaitRand
 threshold_min = 45
 overhead_min  = 5
 checkpoint_min = 30
+shards        = 4
 )");
   EXPECT_EQ(loaded.policy_name, "ResSusWaitRand");
   EXPECT_EQ(loaded.config.scheduler, InitialSchedulerKind::kUtilization);
@@ -41,6 +42,7 @@ checkpoint_min = 30
   EXPECT_EQ(loaded.config.sim_options.restart_overhead, MinutesToTicks(5));
   EXPECT_EQ(loaded.config.sim_options.checkpoint_interval,
             MinutesToTicks(30));
+  EXPECT_EQ(loaded.config.sim_options.shards, 4);
   // scenario=high halves capacity relative to normal at the same scale.
   const auto normal_cores = NormalLoadScenario(0.5).cluster.TotalCores();
   EXPECT_LT(loaded.config.scenario.cluster.TotalCores(), normal_cores);

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <map>
 #include <string>
@@ -663,6 +664,91 @@ TEST(DaemonTest, CrossShardSubmitsAnswerEveryRequestExactlyOnce) {
   EXPECT_TRUE(r.exhausted());
   EXPECT_EQ(busy, 32);
   EXPECT_EQ(queued, kJobs - 32);
+}
+
+TEST(DaemonTest, WatermarkGaugesMergeAsMaxAcrossShards) {
+  const std::string path = TestSocketPath("gaugemerge");
+  DaemonOptions options = UnixOptions(path);
+  options.threads = 2;
+  // 2 pools over 2 shards, one single-core machine each: every submission
+  // past the first per pool queues and keeps its arrival entry alive.
+  RunningDaemon daemon(SmallCluster(2, 1, 1), options);
+  ASSERT_EQ(daemon.daemon().shard_count(), 2u);
+  Client client(net::ConnectUnix(path));
+  ASSERT_TRUE(client.connected());
+
+  // Shard 0 (pool 0): one running (entry erased at start) + two queued.
+  // Shard 1 (pool 1): one running + four queued.
+  std::uint64_t id = 1;
+  std::uint64_t req = 1;
+  EXPECT_EQ(client.Submit(req++, MakeSpec(id++, {PoolId(0)})).status,
+            Status::kOk);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(client.Submit(req++, MakeSpec(id++, {PoolId(0)})).status,
+              Status::kQueued);
+  }
+  EXPECT_EQ(client.Submit(req++, MakeSpec(id++, {PoolId(1)})).status,
+            Status::kOk);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(client.Submit(req++, MakeSpec(id++, {PoolId(1)})).status,
+              Status::kQueued);
+  }
+
+  // daemon.latency_map_entries is a per-shard watermark, not additive: the
+  // merged report is the busiest shard's 4. Summing the shards (the old
+  // merge bug) would invent a 6 no single map ever held.
+  const std::string stats = client.Stats(100);
+  EXPECT_NE(stats.find("daemon.latency_map_entries=4 (max=4)"),
+            std::string::npos)
+      << stats;
+  EXPECT_EQ(stats.find("daemon.latency_map_entries=6"), std::string::npos)
+      << stats;
+}
+
+TEST(DaemonTest, ForwardedFramesCountExactlyOnceInMergedStats) {
+  // The same workload against a 1-shard and a 2-shard daemon must merge to
+  // identical lifecycle counters: a submit forwarded to its owning shard is
+  // one submission, not one per hop.
+  auto run = [](std::uint32_t threads, const std::string& tag) {
+    const std::string path = TestSocketPath("fwdonce" + tag);
+    DaemonOptions options = UnixOptions(path);
+    options.threads = threads;
+    RunningDaemon daemon(SmallCluster(4, 1, 2), options);
+    Client client(net::ConnectUnix(path));
+    EXPECT_TRUE(client.connected());
+    std::uint64_t req = 1;
+    // 4 pools x 1 machine x 2 cores: 8 of these 16 run, 8 queue. Half the
+    // submits cross shards when threads = 2.
+    for (std::uint64_t job = 1; job <= 16; ++job) {
+      const Status status =
+          client.Submit(req++, MakeSpec(job, {PoolId(static_cast<std::uint32_t>(
+                                            (job - 1) % 4))}))
+              .status;
+      EXPECT_TRUE(status == Status::kOk || status == Status::kQueued);
+    }
+    // Forwarded job ops ride the same path: kill a queued job, complete a
+    // running one (which backfills a queued neighbour).
+    EXPECT_EQ(client.JobOp(Opcode::kKill, req++, 16).status, Status::kOk);
+    EXPECT_EQ(client.JobOp(Opcode::kComplete, req++, 1).status, Status::kOk);
+    return client.Stats(req++);
+  };
+  const std::string one = run(1, "1");
+  const std::string two = run(2, "2");
+
+  auto value = [](const std::string& stats, const std::string& key) {
+    const auto at = stats.find(key + "=");
+    EXPECT_NE(at, std::string::npos) << key << " missing in:\n" << stats;
+    if (at == std::string::npos) return std::int64_t{-1};
+    return static_cast<std::int64_t>(
+        std::strtoll(stats.c_str() + at + key.size() + 1, nullptr, 10));
+  };
+  for (const char* key :
+       {"jobs.submitted", "jobs.enqueued", "jobs.started", "jobs.killed",
+        "jobs.completed"}) {
+    EXPECT_EQ(value(one, key), value(two, key)) << key;
+  }
+  EXPECT_EQ(value(two, "jobs.submitted"), 16);
+  EXPECT_EQ(value(two, "jobs.killed"), 1);
 }
 
 TEST(DaemonTest, TcpTransportServesTheSameProtocol) {

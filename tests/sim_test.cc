@@ -315,5 +315,43 @@ TEST(SamplerTest, ManualStopCancelsPendingSample) {
   EXPECT_EQ(samples, 2);  // t = 5, 15; the t = 25 sample was cancelled
 }
 
+TEST(SamplerTest, StopIsIdempotent) {
+  Simulator sim;
+  int samples = 0;
+  PeriodicSampler sampler(sim, 5, 10, [&](Ticks) { ++samples; });
+  sim.ScheduleAt(7, [&] {
+    sampler.Stop();
+    sampler.Stop();  // the second stop must be a no-op, not a double cancel
+  });
+  sim.RunToCompletion();
+  EXPECT_EQ(samples, 1);
+}
+
+TEST(SamplerTest, StopAfterPredicateStopLeavesRecycledEventsAlone) {
+  Simulator sim;
+  PeriodicSampler sampler(sim, 0, 10, [](Ticks) {});
+  sampler.StopWhen([](Ticks) { return true; });  // stops at the t = 0 fire
+  bool fired = false;
+  sim.ScheduleAt(5, [&] {
+    // The sampler stopped itself at t = 0 and its event slot is free; the
+    // t = 10 event below may recycle it. A redundant Stop() must not cancel
+    // whatever now occupies that slot — the exact stale-handle bug this
+    // suite pins down.
+    sim.ScheduleAt(10, [&] { fired = true; });
+    sampler.Stop();
+  });
+  sim.RunToCompletion();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sampler.samples_taken(), 1);
+}
+
+TEST(SamplerDeathTest, StopWhenOnAStoppedSamplerIsAProgrammingError) {
+  Simulator sim;
+  PeriodicSampler sampler(sim, 5, 10, [](Ticks) {});
+  sampler.Stop();
+  EXPECT_DEATH(sampler.StopWhen([](Ticks) { return true; }),
+               "StopWhen on a stopped PeriodicSampler");
+}
+
 }  // namespace
 }  // namespace netbatch::sim
